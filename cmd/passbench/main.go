@@ -1,0 +1,68 @@
+// Command passbench regenerates the tables and figures of the PASS paper's
+// evaluation (Section 5). Each experiment id maps to one paper artifact;
+// see DESIGN.md for the index and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	passbench -exp table1            # one experiment
+//	passbench -exp all               # everything, in paper order
+//	passbench -exp fig8 -rows 200000 -queries 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(bench.ExperimentOrder, ", ")+")")
+		rows    = flag.Int("rows", 60000, "rows per dataset (paper: 1.4M-7.7M)")
+		queries = flag.Int("queries", 200, "queries per workload (paper: 2000)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(bench.Experiments))
+		for id := range bench.Experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := bench.Config{Rows: *rows, Queries: *queries, Seed: *seed}
+	var ids []string
+	if *exp == "all" {
+		ids = bench.ExperimentOrder
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if bench.Experiments[id] == nil {
+				fmt.Fprintf(os.Stderr, "passbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tables := bench.Experiments[id](cfg)
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,195 @@
+// Command passquery builds a PASS synopsis from a CSV file and answers
+// one aggregate query with a confidence interval and hard bounds.
+//
+// The CSV must have a header row; all columns but the last are predicate
+// columns, the last is the aggregation column. Ranges are given as
+// lo:hi pairs, one per predicate column in order (missing trailing ranges
+// are unconstrained).
+//
+// Usage:
+//
+//	passquery -in taxi.csv -agg sum -where 6:18
+//	passquery -in taxi5d.csv -agg avg -where 6:18,0:15 -partitions 256
+//	passquery -in taxi.csv -agg count -where 6:18 -exact   # also print truth
+//	passquery -in taxi.csv -sql "SELECT AVG(trip_distance) FROM t WHERE pickup_time BETWEEN 6 AND 18"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/pass"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input CSV (required)")
+		aggName    = flag.String("agg", "sum", "aggregate: sum, count, avg, min, max")
+		where      = flag.String("where", "", "comma-separated lo:hi ranges, one per predicate column")
+		partitions = flag.Int("partitions", 64, "leaf partitions k")
+		rate       = flag.Float64("rate", 0.005, "sample rate")
+		confidence = flag.Float64("confidence", 0.99, "CI coverage")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		exact      = flag.Bool("exact", false, "also compute the exact answer by full scan")
+		sqlQuery   = flag.String("sql", "", "SQL statement (overrides -agg/-where); column names come from the CSV header")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "passquery: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tbl, err := pass.ReadCSV(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	agg, err := parseAgg(*aggName)
+	if err != nil {
+		fatal(err)
+	}
+	ranges, err := parseRanges(*where)
+	if err != nil {
+		fatal(err)
+	}
+	if len(ranges) == 0 {
+		ranges = []pass.Range{{Lo: math.Inf(-1), Hi: math.Inf(1)}}
+	}
+
+	opt := pass.Options{
+		Partitions: *partitions,
+		SampleRate: *rate,
+		Confidence: *confidence,
+		Seed:       *seed,
+	}
+	var syn *pass.Synopsis
+	if tbl.Dims() == 1 {
+		syn, err = pass.Build(tbl, opt)
+	} else {
+		syn, err = pass.BuildMulti(tbl, opt)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("synopsis: %d rows, %d leaves, %d samples, %.1f KiB, built in %.3fs\n",
+		tbl.Len(), syn.Leaves(), syn.Samples(), float64(syn.MemoryBytes())/1024, syn.BuildSeconds())
+
+	if *sqlQuery != "" {
+		runSQL(syn, *sqlQuery)
+		return
+	}
+
+	ans, err := syn.Query(agg, ranges...)
+	if err == pass.ErrNoMatch {
+		fmt.Println("no tuples match the predicate")
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s ≈ %.6g ± %.6g (%.0f%% CI)\n", strings.ToUpper(*aggName), ans.Estimate, ans.CIHalf, *confidence*100)
+	if ans.HardBounds {
+		fmt.Printf("hard bounds: [%.6g, %.6g]\n", ans.HardLo, ans.HardHi)
+	}
+	if ans.Exact {
+		fmt.Println("answer is exact (predicate aligned with partitioning)")
+	}
+	fmt.Printf("tuples read: %d   skip rate: %.1f%%\n", ans.TuplesRead, ans.SkipRate*100)
+
+	if *exact {
+		truth, err := tbl.Exact(agg, ranges...)
+		if err != nil {
+			fmt.Printf("exact: undefined (%v)\n", err)
+			return
+		}
+		rel := 0.0
+		if truth != 0 {
+			rel = math.Abs(ans.Estimate-truth) / math.Abs(truth)
+		}
+		fmt.Printf("exact: %.6g   relative error: %.4f%%\n", truth, rel*100)
+	}
+}
+
+func runSQL(syn *pass.Synopsis, query string) {
+	res, err := syn.SQL(query)
+	if err == pass.ErrNoMatch {
+		fmt.Println("no tuples match the predicate")
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if res.Groups == nil {
+		a := res.Scalar
+		fmt.Printf("result ≈ %.6g ± %.6g\n", a.Estimate, a.CIHalf)
+		if a.HardBounds {
+			fmt.Printf("hard bounds: [%.6g, %.6g]\n", a.HardLo, a.HardHi)
+		}
+		fmt.Printf("tuples read: %d   skip rate: %.1f%%\n", a.TuplesRead, a.SkipRate*100)
+		return
+	}
+	for _, g := range res.Groups {
+		label := g.Label
+		if label == "" {
+			label = fmt.Sprintf("%g", g.Group)
+		}
+		if g.NoMatch {
+			fmt.Printf("%-20s  (no matching tuples)\n", label)
+			continue
+		}
+		fmt.Printf("%-20s  %.6g ± %.6g\n", label, g.Answer.Estimate, g.Answer.CIHalf)
+	}
+}
+
+func parseAgg(s string) (pass.Agg, error) {
+	switch strings.ToLower(s) {
+	case "sum":
+		return pass.Sum, nil
+	case "count":
+		return pass.Count, nil
+	case "avg":
+		return pass.Avg, nil
+	case "min":
+		return pass.Min, nil
+	case "max":
+		return pass.Max, nil
+	}
+	return 0, fmt.Errorf("passquery: unknown aggregate %q", s)
+}
+
+func parseRanges(s string) ([]pass.Range, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []pass.Range
+	for _, part := range strings.Split(s, ",") {
+		bounds := strings.Split(strings.TrimSpace(part), ":")
+		if len(bounds) != 2 {
+			return nil, fmt.Errorf("passquery: range %q must be lo:hi", part)
+		}
+		lo, err := strconv.ParseFloat(bounds[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("passquery: bad lower bound %q", bounds[0])
+		}
+		hi, err := strconv.ParseFloat(bounds[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("passquery: bad upper bound %q", bounds[1])
+		}
+		out = append(out, pass.Range{Lo: lo, Hi: hi})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "passquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Streaming updates: the dynamic-maintenance scenario of Section 4.5. An
+// order stream keeps appending to the table after the synopsis is built;
+// PASS absorbs inserts with O(log k) aggregate maintenance and reservoir
+// sampling, so SUM/COUNT stay exactly consistent and sampled estimates
+// remain statistically valid without rebuilding.
+//
+// Run with: go run ./examples/streaming_updates
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/pass"
+)
+
+func main() {
+	// initial load: an Instacart-like order log (product id → reordered
+	// flag); AVG over a product range = reorder rate
+	tbl, err := pass.Demo("instacart", 100000, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	syn, err := pass.Build(tbl, pass.Options{
+		Partitions:  64,
+		SampleRate:  0.01,
+		OptimizeFor: pass.Avg,
+		Seed:        8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial synopsis over %d orders: %d leaves, %d samples\n\n",
+		tbl.Len(), syn.Leaves(), syn.Samples())
+
+	all := pass.Range{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	report := func(stage string) {
+		cnt, _ := syn.Count(all)
+		truthCnt, _ := tbl.Exact(pass.Count, all)
+		avg, _ := syn.Avg(all)
+		truthAvg, _ := tbl.Exact(pass.Avg, all)
+		fmt.Printf("%-28s  COUNT %.0f (exact %.0f)   reorder rate %.4f (exact %.4f)   samples %d\n",
+			stage, cnt.Estimate, truthCnt, avg.Estimate, truthAvg, syn.Samples())
+	}
+	report("after initial build")
+
+	// stream five batches of new orders; the popular products get more
+	// reorders over time, drifting the distribution
+	seedStream := uint64(1234567)
+	next := func() float64 { // cheap deterministic pseudo-random in [0,1)
+		seedStream = seedStream*6364136223846793005 + 1442695040888963407
+		return float64(seedStream>>11) / (1 << 53)
+	}
+	for batch := 1; batch <= 5; batch++ {
+		for i := 0; i < 20000; i++ {
+			product := math.Floor(next() * next() * 3300) // popularity-skewed
+			reordered := 0.0
+			if next() < 0.55+0.05*float64(batch) { // drift upward
+				reordered = 1.0
+			}
+			if err := syn.Insert([]float64{product}, reordered); err != nil {
+				log.Fatal(err)
+			}
+			tbl.Append([]float64{product}, reordered)
+		}
+		report(fmt.Sprintf("after batch %d (+20k orders)", batch))
+	}
+
+	// windowed queries remain accurate after heavy drift
+	fmt.Println("\nwindowed reorder rates after 100k streamed inserts:")
+	for _, w := range []pass.Range{{Lo: 0, Hi: 100}, {Lo: 500, Hi: 1500}, {Lo: 2500, Hi: 3300}} {
+		ans, err := syn.Avg(w)
+		if err != nil {
+			fmt.Printf("  products %4.0f-%4.0f: %v\n", w.Lo, w.Hi, err)
+			continue
+		}
+		truth, err := tbl.Exact(pass.Avg, w)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  products %4.0f-%4.0f: %.4f ± %.4f (exact %.4f)\n",
+			w.Lo, w.Hi, ans.Estimate, ans.CIHalf, truth)
+	}
+
+	// deletes are supported too (e.g. GDPR erasure of one order)
+	before, _ := syn.Count(all)
+	if err := syn.Delete([]float64{50}, 1); err == nil {
+		after, _ := syn.Count(all)
+		fmt.Printf("\ndeleted one order: COUNT %.0f -> %.0f (synopsis stays exactly consistent)\n",
+			before.Estimate, after.Estimate)
+	}
+}

@@ -1,0 +1,292 @@
+// Package baselines implements the sampling-only AQP comparators of the
+// paper's evaluation: US (uniform sampling, Section 2.1) and ST
+// (equal-depth stratified sampling, Section 2.2). Both answer
+// SUM/COUNT/AVG queries with CLT confidence intervals and expose the same
+// Result type as the PASS engine, so the benchmark harness treats every
+// system uniformly.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Engine is the common query interface implemented by every AQP system in
+// this repository (PASS, US, ST, AQP++, the VerdictDB and DeepDB
+// simulators).
+type Engine interface {
+	Name() string
+	Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error)
+	// MemoryBytes is the synopsis storage footprint.
+	MemoryBytes() int
+}
+
+// Uniform is the US baseline: a single uniform sample of K tuples.
+type Uniform struct {
+	n       int
+	samples []core.SampleTuple
+	lambda  float64
+}
+
+// NewUniform draws K tuples uniformly from d.
+func NewUniform(d *dataset.Dataset, k int, lambda float64, seed uint64) *Uniform {
+	rng := stats.NewRNG(seed)
+	idx := sample.UniformIndices(rng, d.N(), k)
+	s := &Uniform{n: d.N(), lambda: lambda}
+	if s.lambda <= 0 {
+		s.lambda = stats.Lambda99
+	}
+	s.samples = make([]core.SampleTuple, len(idx))
+	for i, j := range idx {
+		s.samples[i] = core.SampleTuple{Point: d.Point(j), Value: d.Agg[j]}
+	}
+	return s
+}
+
+// Name implements Engine.
+func (u *Uniform) Name() string { return "US" }
+
+// MemoryBytes implements Engine.
+func (u *Uniform) MemoryBytes() int {
+	if len(u.samples) == 0 {
+		return 0
+	}
+	return len(u.samples) * (len(u.samples[0].Point) + 1) * 8
+}
+
+// Query implements Engine using the φ-transform estimators of Section 2.1.
+func (u *Uniform) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	k := len(u.samples)
+	r := core.Result{TuplesRead: k}
+	if k == 0 {
+		r.NoMatch = true
+		return r, nil
+	}
+	var kPred int
+	var sum, sumSq float64
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, t := range u.samples {
+		if !q.Contains(t.Point) {
+			continue
+		}
+		kPred++
+		sum += t.Value
+		sumSq += t.Value * t.Value
+		if t.Value < mn {
+			mn = t.Value
+		}
+		if t.Value > mx {
+			mx = t.Value
+		}
+	}
+	n := float64(u.n)
+	kf := float64(k)
+	fpc := stats.FPC(u.n, k)
+	switch kind {
+	case dataset.Sum, dataset.Count:
+		var phiMean, phiSq float64
+		if kind == dataset.Sum {
+			phiMean = n * sum / kf
+			phiSq = n * n * sumSq / kf
+		} else {
+			phiMean = n * float64(kPred) / kf
+			phiSq = n * n * float64(kPred) / kf
+		}
+		phiVar := phiSq - phiMean*phiMean
+		if phiVar < 0 {
+			phiVar = 0
+		}
+		r.Estimate = phiMean
+		r.CIHalf = u.lambda * math.Sqrt(phiVar/kf*fpc)
+		return r, nil
+	case dataset.Avg:
+		if kPred == 0 {
+			r.NoMatch = true
+			return r, nil
+		}
+		est := sum / float64(kPred)
+		ratio := kf / float64(kPred)
+		phiSq := ratio * ratio * sumSq / kf
+		phiVar := phiSq - est*est
+		if phiVar < 0 {
+			phiVar = 0
+		}
+		r.Estimate = est
+		r.CIHalf = u.lambda * math.Sqrt(phiVar/kf*fpc)
+		return r, nil
+	case dataset.Min, dataset.Max:
+		if kPred == 0 {
+			r.NoMatch = true
+			return r, nil
+		}
+		if kind == dataset.Min {
+			r.Estimate = mn
+		} else {
+			r.Estimate = mx
+		}
+		return r, nil
+	}
+	return r, fmt.Errorf("baselines: unsupported aggregate %v", kind)
+}
+
+// Stratified is the ST baseline: B equal-depth strata over the first
+// predicate column, each carrying K/B uniform samples. It has no
+// precomputed aggregates: strata fully covered by the predicate are still
+// answered from their samples.
+type Stratified struct {
+	n      int
+	lambda float64
+	strata []stratum
+}
+
+type stratum struct {
+	lo, hi  float64 // predicate-value range
+	n       int     // population size N_i
+	samples []core.SampleTuple
+}
+
+// NewStratified partitions d (any dimensionality; strata are formed on
+// predicate column 0) into b equal-depth strata with a total budget of k
+// samples allocated equally.
+func NewStratified(d *dataset.Dataset, b, k int, lambda float64, seed uint64) *Stratified {
+	rng := stats.NewRNG(seed)
+	sorted := d.Clone()
+	sorted.SortByPred(0)
+	p := partition.EqualDepth(sorted.N(), b)
+	s := &Stratified{n: d.N(), lambda: lambda}
+	if s.lambda <= 0 {
+		s.lambda = stats.Lambda99
+	}
+	sizes := make([]int, p.K())
+	for i := 0; i < p.K(); i++ {
+		lo, hi := p.Bounds(i)
+		sizes[i] = hi - lo
+	}
+	alloc := sample.Allocate(k, sizes, false)
+	for i := 0; i < p.K(); i++ {
+		lo, hi := p.Bounds(i)
+		if lo == hi {
+			continue
+		}
+		st := stratum{lo: sorted.Pred[0][lo], hi: sorted.Pred[0][hi-1], n: hi - lo}
+		idx := sample.UniformIndices(rng, hi-lo, alloc[i])
+		for _, off := range idx {
+			gi := lo + off
+			st.samples = append(st.samples, core.SampleTuple{Point: sorted.Point(gi), Value: sorted.Agg[gi]})
+		}
+		s.strata = append(s.strata, st)
+	}
+	return s
+}
+
+// Name implements Engine.
+func (s *Stratified) Name() string { return "ST" }
+
+// MemoryBytes implements Engine.
+func (s *Stratified) MemoryBytes() int {
+	total := 0
+	for _, st := range s.strata {
+		for range st.samples {
+			total += 2 * 8
+		}
+		total += 3 * 8
+	}
+	return total
+}
+
+// Query implements Engine with the weighted stratified estimators of
+// Section 2.2. Strata whose value range is disjoint from the predicate's
+// first dimension are skipped.
+func (s *Stratified) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	r := core.Result{}
+	type part struct {
+		est, vi, nHat float64
+	}
+	var parts []part
+	for _, st := range s.strata {
+		if len(q.Lo) >= 1 && (st.hi < q.Lo[0] || st.lo > q.Hi[0]) {
+			r.SkippedTuples += st.n
+			continue
+		}
+		k := len(st.samples)
+		r.TuplesRead += k
+		if k == 0 {
+			continue
+		}
+		var kPred int
+		var sum, sumSq float64
+		for _, t := range st.samples {
+			if !q.Contains(t.Point) {
+				continue
+			}
+			kPred++
+			sum += t.Value
+			sumSq += t.Value * t.Value
+		}
+		ni := float64(st.n)
+		kf := float64(k)
+		fpc := stats.FPC(st.n, k)
+		switch kind {
+		case dataset.Sum, dataset.Count:
+			var phiMean, phiSq float64
+			if kind == dataset.Sum {
+				phiMean = ni * sum / kf
+				phiSq = ni * ni * sumSq / kf
+			} else {
+				phiMean = ni * float64(kPred) / kf
+				phiSq = ni * ni * float64(kPred) / kf
+			}
+			phiVar := phiSq - phiMean*phiMean
+			if phiVar < 0 {
+				phiVar = 0
+			}
+			parts = append(parts, part{est: phiMean, vi: phiVar / kf * fpc, nHat: 1})
+		case dataset.Avg:
+			if kPred == 0 {
+				continue
+			}
+			est := sum / float64(kPred)
+			ratio := kf / float64(kPred)
+			phiSq := ratio * ratio * sumSq / kf
+			phiVar := phiSq - est*est
+			if phiVar < 0 {
+				phiVar = 0
+			}
+			parts = append(parts, part{est: est, vi: phiVar / kf * fpc, nHat: ni * float64(kPred) / kf})
+		default:
+			return r, fmt.Errorf("baselines: ST does not support %v", kind)
+		}
+	}
+	switch kind {
+	case dataset.Sum, dataset.Count:
+		variance := 0.0
+		for _, p := range parts {
+			r.Estimate += p.est
+			variance += p.vi // w_i = 1
+		}
+		r.CIHalf = s.lambda * math.Sqrt(variance)
+	case dataset.Avg:
+		nq := 0.0
+		for _, p := range parts {
+			nq += p.nHat
+		}
+		if nq == 0 {
+			r.NoMatch = true
+			return r, nil
+		}
+		variance := 0.0
+		for _, p := range parts {
+			w := p.nHat / nq
+			r.Estimate += w * p.est
+			variance += w * w * p.vi
+		}
+		r.CIHalf = s.lambda * math.Sqrt(variance)
+	}
+	return r, nil
+}

@@ -1,0 +1,192 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestUniformFullSampleIsExact(t *testing.T) {
+	d := dataset.GenNYCTaxi(2000, 1, 1)
+	u := NewUniform(d, 2000, stats.Lambda99, 1)
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 40; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg} {
+			truth, err := d.Exact(kind, q)
+			r, qerr := u.Query(kind, q)
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			if err != nil {
+				if !r.NoMatch {
+					t.Errorf("%v: expected NoMatch", kind)
+				}
+				continue
+			}
+			if math.Abs(r.Estimate-truth) > 1e-6*(1+math.Abs(truth)) {
+				t.Errorf("%v: full-sample estimate %v != %v", kind, r.Estimate, truth)
+			}
+		}
+	}
+}
+
+func TestUniformReasonableAccuracy(t *testing.T) {
+	d := dataset.GenNYCTaxi(20000, 1, 3)
+	u := NewUniform(d, 2000, stats.Lambda99, 4)
+	rng := stats.NewRNG(5)
+	errs := []float64{}
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		if math.Abs(a-b) < 2 {
+			continue
+		}
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		truth, err := d.Exact(dataset.Sum, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		r, _ := u.Query(dataset.Sum, q)
+		errs = append(errs, r.RelativeError(truth))
+	}
+	if med := stats.Median(errs); med > 0.15 {
+		t.Errorf("US median relative error = %v", med)
+	}
+}
+
+func TestUniformCICoverage(t *testing.T) {
+	d := dataset.GenNYCTaxi(20000, 1, 6)
+	u := NewUniform(d, 1000, stats.Lambda99, 7)
+	rng := stats.NewRNG(8)
+	covered, total := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		if math.Abs(a-b) < 2 {
+			continue
+		}
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		truth, err := d.Exact(dataset.Sum, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		r, _ := u.Query(dataset.Sum, q)
+		total++
+		if math.Abs(r.Estimate-truth) <= r.CIHalf {
+			covered++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no usable queries")
+	}
+	if frac := float64(covered) / float64(total); frac < 0.9 {
+		t.Errorf("99%% CI coverage = %.2f", frac)
+	}
+}
+
+func TestUniformSelectiveQueryWeakness(t *testing.T) {
+	// the motivating pitfall: highly selective queries on a small uniform
+	// sample should have large CIs (or no matches at all)
+	d := dataset.GenUniform(50000, 1, 100, 9)
+	u := NewUniform(d, 250, stats.Lambda99, 10) // 0.5% sample
+	q := dataset.Rect1(0.0, 0.002)              // ~0.2% selectivity
+	r, err := u.Query(dataset.Avg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.NoMatch && r.CIHalf == 0 {
+		t.Errorf("selective AVG on tiny sample should be NoMatch or have a wide CI, got est=%v ci=%v", r.Estimate, r.CIHalf)
+	}
+}
+
+func TestStratifiedBeatsUniformOnSkewed(t *testing.T) {
+	d := dataset.GenAdversarial(20000, 11)
+	k := 1000
+	u := NewUniform(d, k, stats.Lambda99, 12)
+	st := NewStratified(d, 32, k, stats.Lambda99, 12)
+	rng := stats.NewRNG(13)
+	var usErr, stErr []float64
+	for trial := 0; trial < 150; trial++ {
+		// queries over the high-variance tail
+		a := 17500 + rng.Float64()*2500
+		b := 17500 + rng.Float64()*2500
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		truth, err := d.Exact(dataset.Sum, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		ru, _ := u.Query(dataset.Sum, q)
+		rs, _ := st.Query(dataset.Sum, q)
+		usErr = append(usErr, ru.RelativeError(truth))
+		stErr = append(stErr, rs.RelativeError(truth))
+	}
+	if len(usErr) < 30 {
+		t.Fatalf("too few usable queries: %d", len(usErr))
+	}
+	mu, ms := stats.Median(usErr), stats.Median(stErr)
+	if ms > mu {
+		t.Errorf("ST median error %v should beat US %v on skewed data", ms, mu)
+	}
+}
+
+func TestStratifiedSkipsDisjointStrata(t *testing.T) {
+	d := dataset.GenIntelWireless(10000, 14)
+	st := NewStratified(d, 50, 1000, stats.Lambda99, 15)
+	r, err := st.Query(dataset.Sum, dataset.Rect1(0, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkippedTuples == 0 {
+		t.Error("selective query should skip strata")
+	}
+	if r.TuplesRead >= 1000 {
+		t.Errorf("read %d of 1000 samples; skipping should reduce reads", r.TuplesRead)
+	}
+}
+
+func TestStratifiedAvgWeighting(t *testing.T) {
+	// two regions with different densities and values; stratified AVG must
+	// weight by estimated matching population, not per-stratum equally
+	d := dataset.New("w", 1)
+	for i := 0; i < 9000; i++ {
+		d.Append([]float64{float64(i)}, 10)
+	}
+	for i := 9000; i < 10000; i++ {
+		d.Append([]float64{float64(i)}, 110)
+	}
+	st := NewStratified(d, 10, 2000, stats.Lambda99, 16)
+	r, err := st.Query(dataset.Avg, dataset.Rect1(0, 9999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (9000.0*10 + 1000*110) / 10000
+	if math.Abs(r.Estimate-want) > 2 {
+		t.Errorf("AVG = %v, want ~%v", r.Estimate, want)
+	}
+}
+
+func TestStratifiedUnsupportedKind(t *testing.T) {
+	d := dataset.GenUniform(100, 1, 1, 17)
+	st := NewStratified(d, 4, 20, stats.Lambda99, 18)
+	if _, err := st.Query(dataset.Min, dataset.Rect1(0, 1)); err == nil {
+		t.Error("ST should reject MIN")
+	}
+}
+
+func TestEngineInterfaces(t *testing.T) {
+	d := dataset.GenUniform(100, 1, 1, 19)
+	var engines []Engine = []Engine{
+		NewUniform(d, 20, 0, 1),
+		NewStratified(d, 4, 20, 0, 1),
+	}
+	for _, e := range engines {
+		if e.Name() == "" {
+			t.Error("empty engine name")
+		}
+		if e.MemoryBytes() <= 0 {
+			t.Errorf("%s: MemoryBytes = %d", e.Name(), e.MemoryBytes())
+		}
+	}
+}

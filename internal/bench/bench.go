@@ -1,0 +1,194 @@
+// Package bench implements the experiment harness that regenerates every
+// table and figure of the paper's evaluation (Section 5). Each experiment
+// has a Run function returning one or more plain-text tables whose rows
+// mirror the series the paper plots; DESIGN.md maps experiment ids to
+// paper artifacts and EXPERIMENTS.md records paper-vs-measured outcomes.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. The defaults run every experiment in
+// seconds on a laptop while preserving the paper's curve shapes; raise
+// Rows/Queries to approach the paper's absolute settings.
+type Config struct {
+	// Rows is the per-dataset row count (paper: 1.4M-7.7M; default 60k).
+	Rows int
+	// Queries per workload (paper: 2000; default 200).
+	Queries int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Defaults fills zero fields.
+func (c Config) Defaults() Config {
+	if c.Rows <= 0 {
+		c.Rows = 60000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// AddRow appends a row of already formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Metrics summarises one engine's performance over a workload.
+type Metrics struct {
+	MedianRelErr  float64
+	MedianCIRatio float64
+	MeanSkipRate  float64
+	MeanRead      float64
+	MeanLatency   time.Duration
+	MaxLatency    time.Duration
+	Answered      int
+}
+
+// RunWorkload evaluates an engine over a query set with known truths.
+func RunWorkload(e baselines.Engine, qs []workload.Query, n int) Metrics {
+	var relErrs, ciRatios, skips, reads []float64
+	var totalLat, maxLat time.Duration
+	answered := 0
+	for _, q := range qs {
+		if !q.HasTruth {
+			continue
+		}
+		start := time.Now()
+		r, err := e.Query(q.Kind, q.Rect)
+		lat := time.Since(start)
+		if err != nil || r.NoMatch {
+			continue
+		}
+		answered++
+		totalLat += lat
+		if lat > maxLat {
+			maxLat = lat
+		}
+		relErrs = append(relErrs, r.RelativeError(q.Truth))
+		ciRatios = append(ciRatios, r.CIRatio(q.Truth))
+		skips = append(skips, r.SkipRate(n))
+		reads = append(reads, float64(r.TuplesRead))
+	}
+	m := Metrics{
+		MedianRelErr:  stats.Median(relErrs),
+		MedianCIRatio: stats.Median(ciRatios),
+		MeanSkipRate:  stats.MeanOf(skips),
+		MeanRead:      stats.MeanOf(reads),
+		MaxLatency:    maxLat,
+		Answered:      answered,
+	}
+	if answered > 0 {
+		m.MeanLatency = totalLat / time.Duration(answered)
+	}
+	return m
+}
+
+// passEngine adapts a PASS synopsis to the Engine interface.
+type passEngine struct {
+	s    *core.Synopsis
+	name string
+}
+
+// PassEngine wraps a built synopsis for the harness.
+func PassEngine(s *core.Synopsis, name string) baselines.Engine {
+	return &passEngine{s: s, name: name}
+}
+
+func (p *passEngine) Name() string { return p.name }
+
+func (p *passEngine) MemoryBytes() int { return p.s.MemoryBytes() }
+
+func (p *passEngine) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	return p.s.Query(kind, q)
+}
+
+// Datasets returns the three simulated real-world datasets at the config's
+// scale, mirroring Section 5.1.1.
+func Datasets(cfg Config) map[string]*dataset.Dataset {
+	return map[string]*dataset.Dataset{
+		"Intel":     dataset.GenIntelWireless(cfg.Rows, cfg.Seed),
+		"Instacart": dataset.GenInstacart(cfg.Rows, cfg.Seed+1),
+		"NYC":       dataset.GenNYCTaxi(cfg.Rows, 1, cfg.Seed+2),
+	}
+}
+
+// DatasetOrder is the presentation order used across tables.
+var DatasetOrder = []string{"Intel", "Instacart", "NYC"}
+
+func pct(x float64) string   { return fmt.Sprintf("%.3f%%", x*100) }
+func ratio(x float64) string { return fmt.Sprintf("%.4f", x) }
+func ms(d time.Duration) string {
+	if d < time.Millisecond {
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+func mb(bytes int) string { return fmt.Sprintf("%.2fMB", float64(bytes)/(1<<20)) }

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Rows: 6000, Queries: 40, Seed: 7} }
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as percent: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"a", "bb"}, Note: "n"}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "a", "bb", "1", "2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestRunWorkloadMetrics(t *testing.T) {
+	d := dataset.GenNYCTaxi(5000, 1, 1)
+	ev := workload.NewEvaluator(d)
+	qs := workload.GenRandom(d, ev, workload.Options{N: 30, Kind: dataset.Sum, Seed: 2})
+	engines := sweepEngines(d, 16, 250, Config{Seed: 3}.Defaults())
+	for _, e := range engines {
+		m := RunWorkload(e, qs, d.N())
+		if m.Answered == 0 {
+			t.Errorf("%s answered no queries", e.Name())
+		}
+		if m.MedianRelErr < 0 || m.MedianRelErr > 2 {
+			t.Errorf("%s median error out of range: %v", e.Name(), m.MedianRelErr)
+		}
+	}
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	tables := Table1(tiny())
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table, got %d", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("want 6 approaches, got %d", len(tb.Rows))
+	}
+	// locate rows by name
+	rows := map[string][]string{}
+	for _, r := range tb.Rows {
+		rows[r[0]] = r
+	}
+	// the headline claim: PASS variants beat US on (nearly) every cell;
+	// compare dataset-averaged error to keep the test robust at tiny scale
+	avg := func(name string) float64 {
+		total := 0.0
+		for i := 2; i < len(rows[name]); i++ {
+			total += parsePct(t, rows[name][i])
+		}
+		return total / float64(len(rows[name])-2)
+	}
+	if avg("PASS-ESS") >= avg("US") {
+		t.Errorf("PASS-ESS avg error %.4f should beat US %.4f", avg("PASS-ESS"), avg("US"))
+	}
+	if avg("PASS-BSS10x") >= avg("US") {
+		t.Errorf("PASS-BSS10x avg error %.4f should beat US %.4f", avg("PASS-BSS10x"), avg("US"))
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	tables := Figure3(tiny())
+	if len(tables) != 3 {
+		t.Fatalf("want 3 dataset tables, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != len(figParts) {
+			t.Fatalf("%s: want %d partition rows", tb.Title, len(figParts))
+		}
+		// PASS at 128 partitions should not be worse than PASS at 4
+		first := parsePct(t, tb.Rows[0][1])
+		last := parsePct(t, tb.Rows[len(tb.Rows)-1][1])
+		if last > first*1.5+0.05 {
+			t.Errorf("%s: PASS error grew with partitions: %v -> %v", tb.Title, first, last)
+		}
+	}
+}
+
+func TestFigure6ADPBeatsEQOnChallenging(t *testing.T) {
+	tables := Figure6(tiny())
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	challenging := tables[1]
+	adpWins := 0
+	for _, row := range challenging.Rows {
+		adp, _ := strconv.ParseFloat(row[1], 64)
+		eq, _ := strconv.ParseFloat(row[2], 64)
+		if adp <= eq {
+			adpWins++
+		}
+	}
+	if adpWins < len(challenging.Rows)/2 {
+		t.Errorf("ADP won only %d of %d partition counts on challenging queries", adpWins, len(challenging.Rows))
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	cfg := tiny()
+	cfg.Queries = 30
+	tables := Figure8(cfg)
+	if len(tables) != 1 {
+		t.Fatalf("want 1 table")
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("want 5 templates, got %d", len(tb.Rows))
+	}
+	// skip rate must decrease (weakly) as dimensionality grows from 1 to 5
+	first, _ := strconv.ParseFloat(tb.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(tb.Rows[4][3], 64)
+	if last > first+0.05 {
+		t.Errorf("skip rate grew with dimension: %v -> %v", first, last)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tables := Table3(tiny())
+	tb := tables[0]
+	if len(tb.Rows) != len(figParts) {
+		t.Fatalf("want %d rows", len(figParts))
+	}
+	// accuracy at k=128 should beat k=4
+	first := parsePct(t, tb.Rows[0][4])
+	last := parsePct(t, tb.Rows[len(tb.Rows)-1][4])
+	if last > first {
+		t.Errorf("error should fall with k: %v -> %v", first, last)
+	}
+}
+
+func TestDPVariantsRuns(t *testing.T) {
+	tables := DPVariants(Config{Rows: 2000, Queries: 10, Seed: 3})
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatal("DPVariants produced no rows")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	tables := Ablation(tiny())
+	if len(tables) < 3 {
+		t.Fatalf("want >= 3 ablation tables, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty", tb.Title)
+		}
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	for _, id := range ExperimentOrder {
+		if Experiments[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Experiments) != len(ExperimentOrder) {
+		t.Errorf("registry size %d != order size %d", len(Experiments), len(ExperimentOrder))
+	}
+}

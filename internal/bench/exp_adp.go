@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// Figure6 reproduces Figure 6: median CI ratio of the Approximated Dynamic
+// Programming partitioning (ADP) versus Equal Partitioning (EQ) on the
+// synthetic adversarial dataset — 87.5% zeros followed by a normal tail —
+// for random queries over the whole domain and challenging queries over
+// the high-variance tail.
+func Figure6(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	d := dataset.GenAdversarial(cfg.Rows, cfg.Seed+6)
+	ev := workload.NewEvaluator(d)
+	random := workload.GenRandom(d, ev, workload.Options{N: cfg.Queries, Kind: dataset.Sum, Seed: cfg.Seed + 60})
+	challenging := workload.GenChallenging(d, ev, workload.Options{N: cfg.Queries, Kind: dataset.Sum, Seed: cfg.Seed + 61})
+	t1 := adpVsEq(cfg, d, random, "Figure 6 (left): ADP vs EQ, adversarial data, random queries")
+	t2 := adpVsEq(cfg, d, challenging, "Figure 6 (right): ADP vs EQ, adversarial data, challenging queries")
+	t2.Note = "paper shape: ADP well below EQ on challenging queries; similar on random"
+	return []Table{t1, t2}
+}
+
+// Figure7 reproduces Figure 7: ADP vs EQ median CI ratio on challenging
+// queries over the three real datasets.
+func Figure7(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	data := Datasets(cfg)
+	var out []Table
+	for _, name := range DatasetOrder {
+		d := data[name]
+		ev := workload.NewEvaluator(d)
+		qs := workload.GenChallenging(d, ev, workload.Options{N: cfg.Queries, Kind: dataset.Sum, Seed: cfg.Seed + 70})
+		t := adpVsEq(cfg, d, qs, fmt.Sprintf("Figure 7 (%s): ADP vs EQ, challenging queries", name))
+		t.Note = "paper shape: ADP at or below EQ in most partition counts"
+		out = append(out, t)
+	}
+	return out
+}
+
+func adpVsEq(cfg Config, d *dataset.Dataset, qs []workload.Query, title string) Table {
+	t := Table{Title: title, Header: []string{"Partitions", "ADP", "EQ"}}
+	k := int(0.005 * float64(d.N()))
+	if k < 100 {
+		k = 100
+	}
+	for _, parts := range figParts {
+		row := []string{fmt.Sprintf("%d", parts)}
+		for _, p := range []core.Partitioner{core.PartitionADP, core.PartitionEqualDepth} {
+			s, err := core.Build(d, core.Options{
+				Partitions: parts, SampleSize: k, Kind: dataset.Sum,
+				Partitioner: p, Seed: cfg.Seed + 71,
+			})
+			if err != nil {
+				row = append(row, "err")
+				continue
+			}
+			m := RunWorkload(PassEngine(s, p.String()), qs, d.N())
+			row = append(row, ratio(m.MedianCIRatio))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

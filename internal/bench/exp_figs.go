@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/aqpp"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// figParts is the partition sweep of Figure 3 (and Figures 6/7).
+var figParts = []int{4, 8, 16, 32, 64, 128}
+
+// figRates is the sample-rate sweep of Figures 4/5.
+var figRates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Figure3 reproduces Figure 3: median relative error of 2000 random SUM
+// queries versus the number of partitions, at a fixed 0.5% sample rate.
+func Figure3(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	data := Datasets(cfg)
+	var out []Table
+	for _, name := range DatasetOrder {
+		d := data[name]
+		k := int(0.005 * float64(d.N()))
+		ev := workload.NewEvaluator(d)
+		qs := workload.GenRandom(d, ev, workload.Options{N: cfg.Queries, Kind: dataset.Sum, Seed: cfg.Seed + 3})
+		t := Table{
+			Title:  fmt.Sprintf("Figure 3 (%s): median relative error of SUM vs #partitions, 0.5%% sample", name),
+			Header: []string{"Partitions", "PASS", "US", "ST", "AQP++"},
+		}
+		for _, parts := range figParts {
+			row := []string{fmt.Sprintf("%d", parts)}
+			for _, e := range sweepEngines(d, parts, k, cfg) {
+				m := RunWorkload(e, qs, d.N())
+				row = append(row, pct(m.MedianRelErr))
+			}
+			t.AddRow(row...)
+		}
+		t.Note = "paper shape: PASS error falls with partitions; US flat; ST/AQP++ in between"
+		out = append(out, t)
+	}
+	return out
+}
+
+// Figure4 reproduces Figure 4: median relative error of SUM queries versus
+// sample rate at a fixed 64 partitions.
+func Figure4(cfg Config) []Table { return rateSweep(cfg, false) }
+
+// Figure5 reproduces Figure 5: median confidence-interval ratio versus
+// sample rate at 64 partitions.
+func Figure5(cfg Config) []Table { return rateSweep(cfg, true) }
+
+func rateSweep(cfg Config, ciRatio bool) []Table {
+	cfg = cfg.Defaults()
+	const parts = 64
+	data := Datasets(cfg)
+	metric, figure := "median relative error", "Figure 4"
+	if ciRatio {
+		metric, figure = "median CI ratio", "Figure 5"
+	}
+	var out []Table
+	for _, name := range DatasetOrder {
+		d := data[name]
+		ev := workload.NewEvaluator(d)
+		qs := workload.GenRandom(d, ev, workload.Options{N: cfg.Queries, Kind: dataset.Sum, Seed: cfg.Seed + 4})
+		t := Table{
+			Title:  fmt.Sprintf("%s (%s): %s of SUM vs sample rate, 64 partitions", figure, name, metric),
+			Header: []string{"Rate", "PASS", "US", "ST", "AQP++"},
+		}
+		for _, rate := range figRates {
+			k := int(rate * float64(d.N()))
+			row := []string{fmt.Sprintf("%.1f", rate)}
+			for _, e := range sweepEngines(d, parts, k, cfg) {
+				m := RunWorkload(e, qs, d.N())
+				if ciRatio {
+					row = append(row, ratio(m.MedianCIRatio))
+				} else {
+					row = append(row, pct(m.MedianRelErr))
+				}
+			}
+			t.AddRow(row...)
+		}
+		t.Note = "paper shape: all errors fall with rate; PASS lowest at every rate"
+		out = append(out, t)
+	}
+	return out
+}
+
+// sweepEngines builds the four comparators of Figures 3-5 at the given
+// partition count and sample budget, in presentation order
+// (PASS, US, ST, AQP++).
+func sweepEngines(d *dataset.Dataset, parts, k int, cfg Config) []baselines.Engine {
+	var engines []baselines.Engine
+	s, err := core.Build(d, core.Options{
+		Partitions: parts, SampleSize: k, Kind: dataset.Sum, Seed: cfg.Seed + 20,
+	})
+	if err == nil {
+		engines = append(engines, PassEngine(s, "PASS"))
+	}
+	engines = append(engines,
+		baselines.NewUniform(d, k, 0, cfg.Seed+21),
+		baselines.NewStratified(d, parts, k, 0, cfg.Seed+22))
+	if ap, err := aqpp.New(d, aqpp.Options{Partitions: parts, SampleSize: k, Seed: cfg.Seed + 23}); err == nil {
+		engines = append(engines, ap)
+	}
+	return engines
+}

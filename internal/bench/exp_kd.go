@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/aqpp"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// kdLeaves is the leaf budget for the multi-dimensional experiments; the
+// paper uses 1024 at 7.7M rows — scaled proportionally here.
+func kdLeaves(cfg Config) int {
+	l := cfg.Rows / 300
+	if l < 64 {
+		l = 64
+	}
+	if l > 1024 {
+		l = 1024
+	}
+	return l
+}
+
+// Figure8 reproduces Figure 8: KD-PASS vs KD-US median CI ratio on the
+// 1D-5D NYC-taxi query templates (left) and KD-PASS's average skip rate
+// (right). Template i constrains the first i predicate columns.
+func Figure8(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	return kdTemplates(cfg, 0,
+		"Figure 8: KD-PASS vs KD-US on multidimensional templates (NYC taxi)",
+		"paper shape: KD-PASS below KD-US at every dimension; skip rate decreases with dimension")
+}
+
+// Figure9 reproduces Figure 9 (workload shift): the synopsis is built for
+// the 2D template but answers all five templates. PASS keeps skipping with
+// partially-matching aggregates; the KD-US design degrades.
+func Figure9(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	return kdTemplates(cfg, 2,
+		"Figure 9: workload shift — 2D aggregates answering 1D-5D templates (NYC taxi)",
+		"paper shape: KD-PASS stays accurate via data skipping even when templates do not align")
+}
+
+func kdTemplates(cfg Config, indexDims int, title, note string) []Table {
+	d := dataset.GenNYCTaxi(cfg.Rows, 5, cfg.Seed+8)
+	leaves := kdLeaves(cfg)
+	k := int(0.005 * float64(d.N()))
+	if k < 200 {
+		k = 200
+	}
+
+	buildDims := indexDims
+	if buildDims == 0 {
+		buildDims = 5 // per-template full index
+	}
+
+	ev := workload.NewEvaluator(d)
+	t := Table{
+		Title:  title,
+		Header: []string{"Template", "KD-PASS(CI)", "KD-US(CI)", "KD-PASS(skip)"},
+		Note:   note,
+	}
+	for dims := 1; dims <= 5; dims++ {
+		qs := workload.GenRandom(d, ev, workload.Options{
+			N: cfg.Queries / 2, Kind: dataset.Sum, Dims: dims,
+			MinSelFrac: 0.005, Seed: cfg.Seed + 80 + uint64(dims),
+		})
+		idx := indexDims
+		if idx == 0 {
+			idx = dims // Figure 8: the tree indexes exactly the template's columns
+		}
+		s, err := core.BuildKD(d, core.Options{
+			Partitions: leaves, SampleSize: k, Kind: dataset.Sum,
+			Seed: cfg.Seed + 81, IndexDims: idx,
+		})
+		if err != nil {
+			continue
+		}
+		pass := RunWorkload(PassEngine(s, "KD-PASS"), qs, d.N())
+
+		// KD-US: balanced k-d aggregates + uniform sampling, indexing the
+		// same columns
+		indexed := d
+		if idx < d.Dims() {
+			proj := dataset.New(d.Name, idx)
+			proj.Pred = d.Pred[:idx]
+			proj.Agg = d.Agg
+			indexed = proj
+		}
+		usM := Metrics{}
+		if us, err := aqpp.NewKDWithPoints(d, indexed, aqpp.Options{
+			Partitions: leaves, SampleSize: k, Seed: cfg.Seed + 82,
+		}); err == nil {
+			usM = RunWorkload(us, qs, d.N())
+		}
+		t.AddRow(fmt.Sprintf("%dD", dims), ratio(pass.MedianCIRatio), ratio(usM.MedianCIRatio),
+			fmt.Sprintf("%.3f", pass.MeanSkipRate))
+	}
+	return []Table{t}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aqpp"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// Table1 reproduces the paper's Table 1: median relative error of
+// US / ST / AQP++ / PASS-ESS / PASS-BSS2x / PASS-BSS10x across
+// COUNT / SUM / AVG workloads on the three datasets, plus the mean
+// construction cost of each approach. The paper's settings are a 0.5%
+// sample rate and 64 partitions.
+func Table1(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	const parts = 64
+	const rate = 0.005
+	data := Datasets(cfg)
+	kinds := []dataset.AggKind{dataset.Count, dataset.Sum, dataset.Avg}
+	approaches := []string{"US", "ST", "AQP++", "PASS-ESS", "PASS-BSS2x", "PASS-BSS10x"}
+
+	// results[approach][kind][dataset] = median relative error
+	results := map[string]map[dataset.AggKind]map[string]float64{}
+	costs := map[string]time.Duration{}
+	for _, a := range approaches {
+		results[a] = map[dataset.AggKind]map[string]float64{}
+		for _, k := range kinds {
+			results[a][k] = map[string]float64{}
+		}
+	}
+
+	for _, name := range DatasetOrder {
+		d := data[name]
+		k := int(rate * float64(d.N()))
+		ev := workload.NewEvaluator(d)
+		engines := buildTable1Engines(d, parts, k, cfg, costs)
+		for _, kind := range kinds {
+			qs := workload.GenRandom(d, ev, workload.Options{
+				N: cfg.Queries, Kind: kind, Seed: cfg.Seed + uint64(kind)*31,
+			})
+			for _, e := range engines {
+				m := RunWorkload(e, qs, d.N())
+				results[e.Name()][kind][name] = m.MedianRelErr
+			}
+		}
+	}
+
+	out := Table{
+		Title:  "Table 1: median relative error, 0.5% sample rate, 64 partitions",
+		Header: []string{"Approach", "MeanCost"},
+	}
+	for _, kind := range kinds {
+		for _, name := range DatasetOrder {
+			out.Header = append(out.Header, fmt.Sprintf("%s/%s", kind, name))
+		}
+	}
+	for _, a := range approaches {
+		row := []string{a, fmt.Sprintf("%.2fs", costs[a].Seconds())}
+		for _, kind := range kinds {
+			for _, name := range DatasetOrder {
+				row = append(row, pct(results[a][kind][name]))
+			}
+		}
+		out.AddRow(row...)
+	}
+	out.Note = "paper shape: PASS variants < AQP++ < ST < US in error; PASS costs more upfront"
+	return []Table{out}
+}
+
+func buildTable1Engines(d *dataset.Dataset, parts, k int, cfg Config, costs map[string]time.Duration) []baselines.Engine {
+	var engines []baselines.Engine
+
+	start := time.Now()
+	us := baselines.NewUniform(d, k, 0, cfg.Seed+10)
+	costs["US"] += time.Since(start)
+	engines = append(engines, us)
+
+	start = time.Now()
+	st := baselines.NewStratified(d, parts, k, 0, cfg.Seed+11)
+	costs["ST"] += time.Since(start)
+	engines = append(engines, st)
+
+	start = time.Now()
+	ap, err := aqpp.New(d, aqpp.Options{Partitions: parts, SampleSize: k, Seed: cfg.Seed + 12})
+	costs["AQP++"] += time.Since(start)
+	if err == nil {
+		engines = append(engines, ap)
+	}
+
+	// PASS-ESS: control for per-query tuples processed. PASS reads only
+	// the samples of partially covered strata, so to process ~k tuples per
+	// query it can afford a larger stored sample; the scale factor is
+	// estimated from the average partial fraction on probe queries.
+	base, err := core.Build(d, core.Options{
+		Partitions: parts, SampleSize: k, Kind: dataset.Sum, Seed: cfg.Seed + 13,
+	})
+	if err == nil {
+		frac := probePartialFraction(base, d, cfg)
+		essK := k
+		if frac > 0 {
+			essK = int(float64(k) / frac)
+		}
+		if max := d.N() / 2; essK > max {
+			essK = max
+		}
+		start = time.Now()
+		ess, err := core.Build(d, core.Options{
+			Partitions: parts, SampleSize: essK, Kind: dataset.Sum, Seed: cfg.Seed + 14,
+		})
+		costs["PASS-ESS"] += time.Since(start)
+		if err == nil {
+			engines = append(engines, PassEngine(ess, "PASS-ESS"))
+		}
+	}
+
+	for _, v := range []struct {
+		mult int
+		name string
+	}{{2, "PASS-BSS2x"}, {10, "PASS-BSS10x"}} {
+		start = time.Now()
+		s, err := core.Build(d, core.Options{
+			Partitions: parts, SampleSize: v.mult * k, Kind: dataset.Sum,
+			Seed: cfg.Seed + 15 + uint64(v.mult),
+		})
+		costs[v.name] += time.Since(start)
+		if err == nil {
+			engines = append(engines, PassEngine(s, v.name))
+		}
+	}
+	return engines
+}
+
+// probePartialFraction measures the average fraction of the dataset lying
+// in partially covered strata over a probe workload — the ESS scale factor.
+func probePartialFraction(s *core.Synopsis, d *dataset.Dataset, cfg Config) float64 {
+	ev := workload.NewEvaluator(d)
+	probes := workload.GenRandom(d, ev, workload.Options{N: 30, Kind: dataset.Sum, Seed: cfg.Seed + 999})
+	total, n := 0.0, 0
+	for _, q := range probes {
+		r, err := s.Query(dataset.Sum, q.Rect)
+		if err != nil {
+			continue
+		}
+		total += 1 - r.SkipRate(s.N())
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// Table3 reproduces the paper's Table 3: preprocessing cost, mean query
+// latency, max query latency, and median relative error of PASS on the NYC
+// taxi dataset as the number of partitions k grows. The paper uses the ADP
+// partitioner with a small optimisation sample.
+func Table3(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	d := dataset.GenNYCTaxi(cfg.Rows, 1, cfg.Seed+2)
+	ev := workload.NewEvaluator(d)
+	qs := workload.GenRandom(d, ev, workload.Options{N: cfg.Queries, Kind: dataset.Sum, Seed: cfg.Seed + 90})
+	k := int(0.005 * float64(d.N()))
+	if k < 100 {
+		k = 100
+	}
+	t := Table{
+		Title:  "Table 3: preprocessing cost / latency / accuracy vs #partitions (NYC taxi)",
+		Header: []string{"k", "Cost", "Latency", "MaxLatency", "MedianRE"},
+	}
+	for _, parts := range figParts {
+		s, err := core.Build(d, core.Options{
+			Partitions: parts, SampleSize: k, Kind: dataset.Sum, Seed: cfg.Seed + 91,
+		})
+		if err != nil {
+			t.AddRow(fmt.Sprintf("%d", parts), "err", "", "", "")
+			continue
+		}
+		m := RunWorkload(PassEngine(s, "PASS"), qs, d.N())
+		t.AddRow(
+			fmt.Sprintf("%d", parts),
+			fmt.Sprintf("%.3fs", s.BuildTime.Seconds()),
+			ms(m.MeanLatency),
+			ms(m.MaxLatency),
+			pct(m.MedianRelErr),
+		)
+	}
+	t.Note = "paper shape: cost grows mildly with k; latency falls; accuracy improves"
+	return []Table{t}
+}

@@ -1,0 +1,367 @@
+// Package core implements the PASS synopsis engine: it assembles the
+// partition tree (1D or multi-dimensional) with the stratified leaf samples
+// into a queryable structure, and answers SUM/COUNT/AVG/MIN/MAX queries
+// with predicates, returning CLT confidence intervals and deterministic
+// hard bounds (Sections 3 and 4 of the paper).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/kdtree"
+	"repro/internal/partition"
+	"repro/internal/ptree"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Partitioner selects the 1D leaf-partitioning algorithm.
+type Partitioner int
+
+const (
+	// PartitionADP is the sampling + discretization approximate dynamic
+	// program of Section 4.3.1 — the paper's default.
+	PartitionADP Partitioner = iota
+	// PartitionEqualDepth is equal-size partitioning (the EQ baseline;
+	// optimal for COUNT by Lemma A.1).
+	PartitionEqualDepth
+	// PartitionHillClimb is the AQP++-style hill-climbing heuristic.
+	PartitionHillClimb
+	// PartitionVOptimal minimises the total within-bucket squared error
+	// (the V-Optimal histogram objective of Jagadish et al., contrasted
+	// with PASS's min-max objective in Section 2.4).
+	PartitionVOptimal
+)
+
+func (p Partitioner) String() string {
+	switch p {
+	case PartitionADP:
+		return "ADP"
+	case PartitionEqualDepth:
+		return "EQ"
+	case PartitionHillClimb:
+		return "HillClimb"
+	case PartitionVOptimal:
+		return "VOptimal"
+	}
+	return fmt.Sprintf("Partitioner(%d)", int(p))
+}
+
+// Options configures synopsis construction. The zero value plus Partitions
+// and one of SampleRate/SampleSize is a working configuration.
+type Options struct {
+	// Partitions is the leaf budget k (derived from the construction time
+	// limit τ_c in the paper's cost model).
+	Partitions int
+	// SampleRate is the stratified-sample size as a fraction of N
+	// (derived from the query time limit τ_q). Ignored when SampleSize is
+	// set.
+	SampleRate float64
+	// SampleSize is the absolute total sample budget K; overrides
+	// SampleRate when positive.
+	SampleSize int
+	// Kind is the query type the partitioning is optimised for.
+	Kind dataset.AggKind
+	// Partitioner selects the 1D partitioning algorithm (default ADP).
+	Partitioner Partitioner
+	// OptSamples is m, the optimisation sample size for ADP (default
+	// max(20·k, 1000), capped at N).
+	OptSamples int
+	// Delta is the minimum meaningful query selectivity δ (default 0.01).
+	Delta float64
+	// Lambda is the CI multiplier (default 2.576, a 99% interval).
+	Lambda float64
+	// Seed drives all randomness.
+	Seed uint64
+	// ZeroVarianceRule enables the AVG-query shortcut of Section 3.4
+	// (default on; set DisableZeroVariance to turn it off).
+	DisableZeroVariance bool
+	// Proportional allocates the sample budget proportionally to leaf
+	// sizes instead of equally.
+	Proportional bool
+	// KD configures multi-dimensional construction (BuildKD only).
+	KD kdtree.Options
+	// KDPolicy selects KD-PASS (default) or KD-US.
+	KDPolicy kdtree.Policy
+	// IndexDims restricts the k-d tree to the first IndexDims predicate
+	// columns while samples retain the full predicate vector — the
+	// workload-shift scenario of Section 5.4.1 (0 = index all columns).
+	IndexDims int
+	// IndexCols restricts the k-d tree to an arbitrary subset of predicate
+	// columns, in the given order (generalises IndexDims; used by the
+	// multi-template sets of Section 4.5). Overrides IndexDims when set.
+	IndexCols []int
+	// Fanout is the 1D partition-tree fanout (default 2). Per Section 4.1
+	// it affects only construction time and query latency, never accuracy.
+	Fanout int
+}
+
+func (o *Options) fill(n int) error {
+	if o.Partitions <= 0 {
+		return fmt.Errorf("core: Options.Partitions must be positive")
+	}
+	if o.SampleSize <= 0 {
+		if o.SampleRate <= 0 || o.SampleRate > 1 {
+			return fmt.Errorf("core: need SampleSize or SampleRate in (0, 1]")
+		}
+		o.SampleSize = int(o.SampleRate * float64(n))
+	}
+	if o.SampleSize < o.Partitions {
+		o.SampleSize = o.Partitions // at least one sample per stratum
+	}
+	if o.SampleSize > n {
+		o.SampleSize = n
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.01
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = stats.Lambda99
+	}
+	if o.OptSamples <= 0 {
+		o.OptSamples = 20 * o.Partitions
+		if o.OptSamples < 1000 {
+			o.OptSamples = 1000
+		}
+	}
+	if o.OptSamples > n {
+		o.OptSamples = n
+	}
+	return nil
+}
+
+// SampleTuple is one stratified-sample entry: the tuple's predicate point
+// and aggregate value.
+type SampleTuple struct {
+	Point []float64
+	Value float64
+}
+
+// tree abstracts over the 1D partition tree and the k-d tree.
+type tree interface {
+	NumLeaves() int
+	LeafAgg(leaf int) ptree.Agg
+	Root() ptree.Agg
+	Frontier(q dataset.Rect, zeroVarAsCovered bool) ptree.Frontier
+	MemoryBytes() int
+}
+
+// Synopsis is a built PASS data structure.
+type Synopsis struct {
+	opts Options
+	tr   tree
+	oneD *ptree.Tree  // non-nil for 1D synopses (enables updates)
+	kd   *kdtree.Tree // non-nil for k-d synopses
+	// idxCols maps tree dimensions to dataset predicate columns when the
+	// tree indexes a column subset; nil when the tree indexes a prefix or
+	// all columns.
+	idxCols []int
+	samples [][]SampleTuple
+	totalK  int
+	n       int
+	dims    int
+	rng     *stats.RNG
+	res     *sample.Reservoir
+	// BuildTime records wall-clock construction cost.
+	BuildTime time.Duration
+	// Partitioning is the chosen 1D leaf partitioning (1D synopses only).
+	Partitioning partition.Partitioning
+}
+
+// Build constructs a 1D PASS synopsis over d. The dataset is not retained;
+// it is cloned and sorted by the predicate column internally.
+func Build(d *dataset.Dataset, opts Options) (*Synopsis, error) {
+	start := time.Now()
+	if d.N() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if d.Dims() != 1 {
+		return nil, fmt.Errorf("core: Build requires a 1D dataset, got %d dims (use BuildKD)", d.Dims())
+	}
+	if err := opts.fill(d.N()); err != nil {
+		return nil, err
+	}
+	sorted := d.Clone()
+	sorted.SortByPred(0)
+	rng := stats.NewRNG(opts.Seed + 0x9e37)
+
+	var p partition.Partitioning
+	switch opts.Partitioner {
+	case PartitionEqualDepth:
+		p = partition.EqualDepth(sorted.N(), opts.Partitions)
+	case PartitionHillClimb:
+		o := partition.NewSumOracle(sorted.Agg)
+		p = partition.HillClimb(sorted.N(), opts.Partitions, o, 40)
+	case PartitionVOptimal:
+		p = partition.VOptimalSampled(sorted, opts.Partitions, opts.OptSamples, rng)
+	default:
+		res := partition.ADP(sorted, opts.Partitions, opts.OptSamples, opts.Kind, opts.Delta, rng)
+		p = res.Partitioning
+	}
+	fanout := opts.Fanout
+	if fanout <= 0 {
+		fanout = 2
+	}
+	tr, err := ptree.BuildFanout(sorted, p, fanout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Synopsis{
+		opts: opts, tr: tr, oneD: tr,
+		n: sorted.N(), dims: 1, rng: rng,
+		Partitioning: p,
+	}
+	s.drawSamples1D(sorted, tr)
+	s.res = sample.NewReservoir(maxInt(s.totalK, 1), stats.NewRNG(opts.Seed+0x51ed))
+	s.seedReservoir()
+	s.BuildTime = time.Since(start)
+	return s, nil
+}
+
+// BuildKD constructs a multi-dimensional PASS synopsis over d using a k-d
+// partition tree (Section 4.4). Dynamic updates are not supported on k-d
+// synopses.
+func BuildKD(d *dataset.Dataset, opts Options) (*Synopsis, error) {
+	start := time.Now()
+	if d.N() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if err := opts.fill(d.N()); err != nil {
+		return nil, err
+	}
+	kdOpts := opts.KD
+	if kdOpts.MaxLeaves <= 0 {
+		kdOpts.MaxLeaves = opts.Partitions
+	}
+	if kdOpts.Kind == 0 {
+		kdOpts.Kind = opts.Kind
+	}
+	if kdOpts.Seed == 0 {
+		kdOpts.Seed = opts.Seed
+	}
+	// the tree may index only a subset of the predicate columns
+	// (workload shift); samples always retain the full predicate vector
+	indexed := d
+	var idxCols []int
+	switch {
+	case len(opts.IndexCols) > 0:
+		cols := opts.IndexCols
+		proj := dataset.New(d.Name, len(cols))
+		for i, c := range cols {
+			if c < 0 || c >= d.Dims() {
+				return nil, fmt.Errorf("core: IndexCols entry %d out of range (dataset has %d columns)", c, d.Dims())
+			}
+			proj.Pred[i] = d.Pred[c]
+		}
+		proj.Agg = d.Agg
+		indexed = proj
+		// a pure prefix needs no remapping at query time
+		prefix := true
+		for i, c := range cols {
+			if c != i {
+				prefix = false
+				break
+			}
+		}
+		if !prefix || len(cols) < d.Dims() {
+			idxCols = append([]int(nil), cols...)
+		}
+	case opts.IndexDims > 0 && opts.IndexDims < d.Dims():
+		proj := dataset.New(d.Name, opts.IndexDims)
+		proj.Pred = d.Pred[:opts.IndexDims]
+		proj.Agg = d.Agg
+		indexed = proj
+	}
+	tr, err := kdtree.Build(indexed, opts.KDPolicy, kdOpts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Synopsis{
+		opts: opts, tr: tr, kd: tr, idxCols: idxCols,
+		n: d.N(), dims: d.Dims(),
+		rng: stats.NewRNG(opts.Seed + 0x9e37),
+	}
+	s.drawSamplesKD(d, tr)
+	s.BuildTime = time.Since(start)
+	return s, nil
+}
+
+func (s *Synopsis) drawSamples1D(sorted *dataset.Dataset, tr *ptree.Tree) {
+	b := tr.NumLeaves()
+	sizes := make([]int, b)
+	for i := 0; i < b; i++ {
+		lo, hi := tr.LeafIndexRange(i)
+		sizes[i] = hi - lo
+	}
+	alloc := sample.Allocate(s.opts.SampleSize, sizes, s.opts.Proportional)
+	s.samples = make([][]SampleTuple, b)
+	for i := 0; i < b; i++ {
+		lo, _ := tr.LeafIndexRange(i)
+		idx := sample.UniformIndices(s.rng, sizes[i], alloc[i])
+		leafSamples := make([]SampleTuple, len(idx))
+		for j, off := range idx {
+			gi := lo + off
+			leafSamples[j] = SampleTuple{
+				Point: []float64{sorted.Pred[0][gi]},
+				Value: sorted.Agg[gi],
+			}
+		}
+		s.samples[i] = leafSamples
+		s.totalK += len(leafSamples)
+	}
+}
+
+func (s *Synopsis) drawSamplesKD(d *dataset.Dataset, tr *kdtree.Tree) {
+	b := tr.NumLeaves()
+	sizes := make([]int, b)
+	for i := 0; i < b; i++ {
+		sizes[i] = len(tr.LeafItems(i))
+	}
+	alloc := sample.Allocate(s.opts.SampleSize, sizes, s.opts.Proportional)
+	s.samples = make([][]SampleTuple, b)
+	for i := 0; i < b; i++ {
+		items := tr.LeafItems(i)
+		idx := sample.UniformIndices(s.rng, len(items), alloc[i])
+		leafSamples := make([]SampleTuple, len(idx))
+		for j, off := range idx {
+			gi := items[off]
+			leafSamples[j] = SampleTuple{Point: d.Point(gi), Value: d.Agg[gi]}
+		}
+		s.samples[i] = leafSamples
+		s.totalK += len(leafSamples)
+	}
+}
+
+// NumLeaves returns the number of leaf strata.
+func (s *Synopsis) NumLeaves() int { return s.tr.NumLeaves() }
+
+// TotalSamples returns the total stored sample count K.
+func (s *Synopsis) TotalSamples() int { return s.totalK }
+
+// N returns the dataset size the synopsis was built over.
+func (s *Synopsis) N() int { return s.n }
+
+// Dims returns the predicate dimensionality.
+func (s *Synopsis) Dims() int { return s.dims }
+
+// LeafSamples returns the stratified sample of one leaf (a view).
+func (s *Synopsis) LeafSamples(leaf int) []SampleTuple { return s.samples[leaf] }
+
+// MemoryBytes estimates total synopsis storage: tree aggregates plus
+// samples (8 bytes per float64: point coordinates + value).
+func (s *Synopsis) MemoryBytes() int {
+	bytes := s.tr.MemoryBytes()
+	for _, ls := range s.samples {
+		bytes += len(ls) * (s.dims + 1) * 8
+	}
+	return bytes
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Budget converts the user-facing time limits of Section 3.1 — τ_c, a
+// construction time budget, and τ_q, a per-query latency budget — into the
+// internal parameters k (leaf partitions) and K (total sample size) via a
+// calibrated cost model:
+//
+//	construction ≈ base + perDPUnit·k·m(k)·log₂(m(k)) + K·perSample
+//	query        ≈ touchedFraction·K·perScan
+//
+// where m(k) is the ADP optimisation sample size. The per-unit costs are
+// measured on the caller's machine by timing probe builds and probe
+// queries over the actual dataset, so the model reflects real constants
+// rather than assumptions.
+type Budget struct {
+	// Partitions is the derived leaf budget k.
+	Partitions int
+	// SampleSize is the derived total sample budget K.
+	SampleSize int
+	// PredictedBuild and PredictedQuery are the model's estimates for the
+	// chosen parameters.
+	PredictedBuild, PredictedQuery time.Duration
+}
+
+// PlanBudget derives (k, K) from the time limits. It clamps k to
+// [4, N/8] and K to [k, N/2]. The probe cost is a few milliseconds.
+func PlanBudget(d *dataset.Dataset, construct, query time.Duration) (Budget, error) {
+	if d.N() < 64 {
+		return Budget{}, fmt.Errorf("core: dataset too small to calibrate (%d rows)", d.N())
+	}
+	if construct <= 0 || query <= 0 {
+		return Budget{}, fmt.Errorf("core: time budgets must be positive")
+	}
+	costs, err := calibrate(d)
+	if err != nil {
+		return Budget{}, err
+	}
+	n := d.N()
+	// spend τ_q on samples first: queries touch roughly the partially
+	// covered strata; a 1D range query touches ~2 strata of K/k samples
+	// each, but the worst case is a constant fraction — we budget for
+	// touchedFraction of the stored samples
+	const touchedFraction = 0.25
+	maxK := int(float64(query) / (touchedFraction * float64(costs.perScan)))
+	if maxK > n/2 {
+		maxK = n / 2
+	}
+	// then spend the remaining construction budget on partitions: the ADP
+	// optimisation cost is ~ k·m(k)·log₂(m(k)) with m(k) the optimisation
+	// sample size, so find the largest k whose predicted build fits τ_c
+	remaining := float64(construct) - float64(costs.base) - float64(maxK)*float64(costs.perSample)
+	kMax := n / 8
+	if kMax > 4096 {
+		kMax = 4096 // strata thinner than this are never useful
+	}
+	k := 4
+	for cand := 4; cand <= kMax; cand *= 2 {
+		if costs.perDPUnit*dpUnits(cand, n) <= remaining {
+			k = cand
+		} else {
+			break
+		}
+	}
+	if maxK < k {
+		maxK = k
+	}
+	b := Budget{Partitions: k, SampleSize: maxK}
+	b.PredictedBuild = costs.base +
+		time.Duration(costs.perDPUnit*dpUnits(k, n)) +
+		time.Duration(float64(maxK)*float64(costs.perSample))
+	b.PredictedQuery = time.Duration(touchedFraction * float64(maxK) * float64(costs.perScan))
+	return b, nil
+}
+
+// dpUnits is the work term of the ADP dynamic program for leaf budget k
+// over an N-row dataset: k·m·log₂(m), with m the default optimisation
+// sample size of Options.fill.
+func dpUnits(k, n int) float64 {
+	m := 20 * k
+	if m < 1000 {
+		m = 1000
+	}
+	if m > n {
+		m = n
+	}
+	lg := 1.0
+	for v := m; v > 1; v /= 2 {
+		lg++
+	}
+	return float64(k) * float64(m) * lg
+}
+
+type unitCosts struct {
+	base      time.Duration // fixed build overhead (sort, tree)
+	perDPUnit float64       // ns per ADP work unit (k·m·log m)
+	perSample time.Duration // marginal cost of one more stored sample
+	perScan   time.Duration // cost of scanning one sample at query time
+}
+
+// calibrate measures the cost constants with two probe builds (different
+// k, K) and a batch of probe queries over a slice of the dataset.
+func calibrate(d *dataset.Dataset) (unitCosts, error) {
+	probeN := d.N()
+	if probeN > 20000 {
+		probeN = 20000
+	}
+	probe := d.Slice(0, probeN)
+	scale := float64(d.N()) / float64(probeN)
+
+	build := func(k, sampleK int) (time.Duration, *Synopsis, error) {
+		start := time.Now()
+		var s *Synopsis
+		var err error
+		// calibrate with the default (ADP) partitioner so perPartition
+		// reflects the real optimisation cost, not equal-depth's
+		opts := Options{Partitions: k, SampleSize: sampleK, Kind: dataset.Sum, Seed: 0xCA11}
+		if probe.Dims() == 1 {
+			s, err = Build(probe, opts)
+		} else {
+			s, err = BuildKD(probe, opts)
+		}
+		return time.Since(start), s, err
+	}
+	t1, s1, err := build(8, probeN/100+8)
+	if err != nil {
+		return unitCosts{}, err
+	}
+	t2, _, err := build(64, probeN/20+64)
+	if err != nil {
+		return unitCosts{}, err
+	}
+	// two-point fit: attribute the build delta to the DP work-unit
+	// difference and the sample-count difference evenly
+	dUnits := dpUnits(64, probeN) - dpUnits(8, probeN)
+	dK := probeN/20 - probeN/100 + 56
+	delta := t2 - t1
+	if delta < 0 {
+		delta = 0
+	}
+	perDPUnit := float64(delta) / 2 / dUnits
+	perSample := time.Duration(float64(delta) / 2 / float64(dK))
+	base := t1 - time.Duration(perDPUnit*dpUnits(8, probeN)) - time.Duration(float64(probeN/100+8)*float64(perSample))
+	if base < 0 {
+		base = 0
+	}
+	// query scan cost: time a batch of probe queries and divide by the
+	// samples actually read
+	rng := stats.NewRNG(0xCA12)
+	bounds := probe.Bounds()
+	read := 0
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		span := bounds.Hi[0] - bounds.Lo[0]
+		a := bounds.Lo[0] + rng.Float64()*span
+		b := bounds.Lo[0] + rng.Float64()*span
+		if a > b {
+			a, b = b, a
+		}
+		q := dataset.Rect1(a, b)
+		r, err := s1.Query(dataset.Sum, q)
+		if err != nil {
+			return unitCosts{}, err
+		}
+		read += r.TuplesRead + 1
+	}
+	perScan := time.Duration(float64(time.Since(start)) / float64(read))
+	if perScan <= 0 {
+		perScan = time.Nanosecond
+	}
+	// scale build constants to the full dataset: sorting and aggregation
+	// are ~linear in N
+	if perDPUnit <= 0 {
+		perDPUnit = 1
+	}
+	return unitCosts{
+		base:      time.Duration(float64(base) * scale),
+		perDPUnit: perDPUnit,
+		perSample: maxDur(time.Duration(float64(perSample)*scale), time.Nanosecond),
+		perScan:   perScan,
+	}, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DeriveTemplates inspects a past workload (Section 4.5: "we construct
+// different trees based on statistics from the workload") and returns the
+// distinct constrained-column sets with weights proportional to their
+// frequency, most frequent first, capped at maxTemplates (the tail is
+// dropped, mirroring the Facebook workload-statistics argument of the
+// paper).
+func DeriveTemplates(queries []dataset.Rect, maxTemplates int) []Template {
+	if maxTemplates <= 0 {
+		maxTemplates = 4
+	}
+	counts := map[string][]int{}
+	freq := map[string]int{}
+	for _, q := range queries {
+		var cols []int
+		for c := 0; c < q.Dims(); c++ {
+			if !isInf(q.Lo[c], -1) || !isInf(q.Hi[c], 1) {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 {
+			continue
+		}
+		key := fmt.Sprint(cols)
+		counts[key] = cols
+		freq[key]++
+	}
+	type entry struct {
+		cols []int
+		n    int
+	}
+	entries := make([]entry, 0, len(counts))
+	for k, cols := range counts {
+		entries = append(entries, entry{cols: cols, n: freq[k]})
+	}
+	// selection sort by frequency desc (tiny list)
+	for i := 0; i < len(entries); i++ {
+		best := i
+		for j := i + 1; j < len(entries); j++ {
+			if entries[j].n > entries[best].n {
+				best = j
+			}
+		}
+		entries[i], entries[best] = entries[best], entries[i]
+	}
+	if len(entries) > maxTemplates {
+		entries = entries[:maxTemplates]
+	}
+	out := make([]Template, len(entries))
+	for i, e := range entries {
+		out[i] = Template{Columns: e.cols, Weight: float64(e.n)}
+	}
+	return out
+}
+
+func isInf(v float64, sign int) bool {
+	if sign < 0 {
+		return v < -1.7e308
+	}
+	return v > 1.7e308
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestPlanBudgetBasics(t *testing.T) {
+	d := dataset.GenNYCTaxi(30000, 1, 71)
+	b, err := PlanBudget(d, 2*time.Second, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Partitions < 4 || b.Partitions > d.N()/8 {
+		t.Errorf("k = %d out of range", b.Partitions)
+	}
+	if b.SampleSize < b.Partitions || b.SampleSize > d.N()/2 {
+		t.Errorf("K = %d out of range (k=%d)", b.SampleSize, b.Partitions)
+	}
+	// the derived parameters must produce a buildable synopsis
+	s, err := Build(d, Options{Partitions: b.Partitions, SampleSize: b.SampleSize, Kind: dataset.Sum, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLeaves() == 0 {
+		t.Error("empty synopsis from planned budget")
+	}
+}
+
+func TestPlanBudgetMonotone(t *testing.T) {
+	// more query-time budget must never produce fewer samples
+	d := dataset.GenNYCTaxi(30000, 1, 73)
+	small, err := PlanBudget(d, time.Second, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := PlanBudget(d, time.Second, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.SampleSize < small.SampleSize {
+		t.Errorf("larger τ_q gave fewer samples: %d < %d", big.SampleSize, small.SampleSize)
+	}
+}
+
+func TestPlanBudgetValidation(t *testing.T) {
+	small := dataset.GenUniform(10, 1, 1, 74)
+	if _, err := PlanBudget(small, time.Second, time.Second); err == nil {
+		t.Error("tiny dataset accepted")
+	}
+	d := dataset.GenUniform(1000, 1, 1, 75)
+	if _, err := PlanBudget(d, 0, time.Second); err == nil {
+		t.Error("zero construct budget accepted")
+	}
+	if _, err := PlanBudget(d, time.Second, 0); err == nil {
+		t.Error("zero query budget accepted")
+	}
+}
+
+func TestDeriveTemplates(t *testing.T) {
+	inf := math.Inf(1)
+	mk := func(cols ...int) dataset.Rect {
+		lo := []float64{-inf, -inf, -inf, -inf, -inf}
+		hi := []float64{inf, inf, inf, inf, inf}
+		for _, c := range cols {
+			lo[c], hi[c] = 1, 2
+		}
+		return dataset.Rect{Lo: lo, Hi: hi}
+	}
+	var qs []dataset.Rect
+	for i := 0; i < 10; i++ {
+		qs = append(qs, mk(0, 1)) // dominant template
+	}
+	for i := 0; i < 4; i++ {
+		qs = append(qs, mk(2))
+	}
+	qs = append(qs, mk(0, 3, 4))
+	qs = append(qs, mk()) // unconstrained — ignored
+
+	ts := DeriveTemplates(qs, 2)
+	if len(ts) != 2 {
+		t.Fatalf("got %d templates", len(ts))
+	}
+	if len(ts[0].Columns) != 2 || ts[0].Columns[0] != 0 || ts[0].Columns[1] != 1 {
+		t.Errorf("dominant template = %v", ts[0].Columns)
+	}
+	if ts[0].Weight != 10 || ts[1].Weight != 4 {
+		t.Errorf("weights = %v, %v", ts[0].Weight, ts[1].Weight)
+	}
+}
+
+func TestDeriveTemplatesFeedsBuild(t *testing.T) {
+	d := dataset.GenNYCTaxi(6000, 3, 76)
+	inf := math.Inf(1)
+	qs := []dataset.Rect{
+		{Lo: []float64{7, 0, -inf}, Hi: []float64{10, 15, inf}},
+		{Lo: []float64{8, 2, -inf}, Hi: []float64{11, 20, inf}},
+		{Lo: []float64{-inf, -inf, 10}, Hi: []float64{inf, inf, 90}},
+	}
+	templates := DeriveTemplates(qs, 4)
+	if len(templates) != 2 {
+		t.Fatalf("templates = %v", templates)
+	}
+	ts, err := BuildTemplates(d, Options{Partitions: 64, SampleRate: 0.05, Seed: 77}, templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, idx, err := ts.Query(dataset.Sum, qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Errorf("routed to %d", idx)
+	}
+	_ = r
+}

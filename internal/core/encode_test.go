@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	values := []float64{10.001, 10.502, 9.75, 10.25, 11.0}
+	buf, err := EncodeLeafSamples(values, 10.3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLeafSamples(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(values) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range values {
+		if math.Abs(got[i]-values[i]) > 5e-4 {
+			t.Errorf("value %d: %v decoded as %v", i, values[i], got[i])
+		}
+	}
+}
+
+func TestEncodeEmptyAndErrors(t *testing.T) {
+	buf, err := EncodeLeafSamples(nil, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLeafSamples(buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round-trip: %v %v", got, err)
+	}
+	if _, err := EncodeLeafSamples([]float64{1}, 0, 0); err == nil {
+		t.Error("zero precision accepted")
+	}
+	if _, err := EncodeLeafSamples([]float64{1e300}, 0, 1e-9); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if _, err := DecodeLeafSamples(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if _, err := DecodeLeafSamples([]byte{0x05}); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+}
+
+func TestEncodeRoundTripProperty(t *testing.T) {
+	f := func(raw []int16, avgSeed int8) bool {
+		values := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v) / 7
+		}
+		avg := float64(avgSeed)
+		buf, err := EncodeLeafSamples(values, avg, 1e-4)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeLeafSamples(buf)
+		if err != nil || len(got) != len(values) {
+			return false
+		}
+		for i := range values {
+			if math.Abs(got[i]-values[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingCompressesLowVarianceLeaves(t *testing.T) {
+	// values tightly clustered around the leaf average should take far
+	// fewer than 8 bytes each
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = 100 + float64(i%7)*0.01
+	}
+	buf, err := EncodeLeafSamples(values, 100.03, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > len(values)*2+32 {
+		t.Errorf("encoded %d values into %d bytes; expected heavy compression", len(values), len(buf))
+	}
+}
+
+func TestEncodedSampleBytesSmallerThanRaw(t *testing.T) {
+	d := dataset.GenIntelWireless(5000, 1)
+	s := build1D(t, d, 32, 0.1)
+	enc, err := s.EncodedSampleBytes(1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := s.TotalSamples() * 2 * 8 // point + value per sample
+	if enc >= raw {
+		t.Errorf("delta encoding did not shrink storage: %d >= %d", enc, raw)
+	}
+}

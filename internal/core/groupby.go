@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// GroupResult is one group's approximate answer in a GROUP BY query.
+type GroupResult struct {
+	// Group is the group key (a dictionary code for categorical columns).
+	Group float64
+	// Result is the approximate aggregate over the group.
+	Result Result
+}
+
+// GroupBy answers SELECT agg(A) ... WHERE q GROUP BY column dim, following
+// Section 4.5: each group-by condition is rewritten as an equality
+// predicate on the grouping column and the per-group answers are collected.
+// groups lists the group keys to evaluate (for categorical columns, the
+// dictionary codes). Groups whose AVG/MIN/MAX is undefined are returned
+// with Result.NoMatch set.
+//
+// The base predicate q may constrain any columns, including dim; the
+// group equality is intersected with it.
+func (s *Synopsis) GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []float64) ([]GroupResult, error) {
+	if dim < 0 || dim >= s.dims {
+		return nil, fmt.Errorf("core: group-by column %d out of range (synopsis has %d)", dim, s.dims)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: GroupBy requires a non-empty group list")
+	}
+	// the per-group rectangle must constrain dim, so it needs at least
+	// dim+1 dimensions
+	width := q.Dims()
+	if width < dim+1 {
+		width = dim + 1
+	}
+	if width > s.dims {
+		return nil, fmt.Errorf("core: predicate constrains %d dimensions but samples carry %d", width, s.dims)
+	}
+	out := make([]GroupResult, 0, len(groups))
+	for _, g := range groups {
+		lo := make([]float64, width)
+		hi := make([]float64, width)
+		for c := 0; c < width; c++ {
+			if c < q.Dims() {
+				lo[c], hi[c] = q.Lo[c], q.Hi[c]
+			} else {
+				lo[c], hi[c] = math.Inf(-1), math.Inf(1)
+			}
+		}
+		// intersect with the group's equality predicate
+		if g > lo[dim] {
+			lo[dim] = g
+		}
+		if g < hi[dim] {
+			hi[dim] = g
+		}
+		if lo[dim] != g || hi[dim] != g {
+			// the base predicate excludes this group entirely
+			out = append(out, GroupResult{Group: g, Result: Result{NoMatch: true}})
+			continue
+		}
+		r, err := s.Query(kind, dataset.Rect{Lo: lo, Hi: hi})
+		if err != nil {
+			return nil, fmt.Errorf("core: group %v: %w", g, err)
+		}
+		out = append(out, GroupResult{Group: g, Result: r})
+	}
+	return out, nil
+}

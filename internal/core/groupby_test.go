@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestGroupByMatchesPerGroupQueries(t *testing.T) {
+	// categorical-ish data: 8 groups on column 1 of a 2D dataset
+	d := dataset.New("g", 2)
+	rng := newTestRNG()
+	for i := 0; i < 8000; i++ {
+		g := float64(i % 8)
+		x := rng()
+		d.Append([]float64{x, g}, 10*g+rng()*2)
+	}
+	s, err := BuildKD(d, Options{Partitions: 64, SampleRate: 0.1, Kind: dataset.Sum, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	q := dataset.Rect{Lo: []float64{0.2}, Hi: []float64{0.8}}
+	res, err := s.GroupBy(dataset.Avg, q, 1, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("got %d groups", len(res))
+	}
+	for _, gr := range res {
+		if gr.Result.NoMatch {
+			continue
+		}
+		truth, err := d.Exact(dataset.Avg, dataset.Rect{
+			Lo: []float64{0.2, gr.Group}, Hi: []float64{0.8, gr.Group},
+		})
+		if err != nil {
+			continue
+		}
+		if gr.Result.RelativeError(truth) > 0.15 {
+			t.Errorf("group %v: AVG %v far from %v", gr.Group, gr.Result.Estimate, truth)
+		}
+		// group means are ~10g; the per-group answers must be ordered
+		want := 10 * gr.Group
+		if math.Abs(gr.Result.Estimate-want) > 3 {
+			t.Errorf("group %v: AVG %v, want ~%v", gr.Group, gr.Result.Estimate, want)
+		}
+	}
+}
+
+func TestGroupByBasePredicateExcludesGroup(t *testing.T) {
+	d := dataset.GenNYCTaxi(3000, 2, 31)
+	s, err := BuildKD(d, Options{Partitions: 32, SampleRate: 0.1, Kind: dataset.Sum, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base predicate restricts column 1 (day) to [0, 10]; group 20 is
+	// outside it and must come back NoMatch
+	q := dataset.Rect{Lo: []float64{0, 0}, Hi: []float64{24, 10}}
+	res, err := s.GroupBy(dataset.Count, q, 1, []float64{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Result.NoMatch {
+		t.Error("group 5 inside the base predicate should be answerable")
+	}
+	if !res[1].Result.NoMatch {
+		t.Error("group 20 outside the base predicate must be NoMatch")
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	d := dataset.GenUniform(500, 1, 10, 33)
+	s := build1D(t, d, 8, 0.1)
+	if _, err := s.GroupBy(dataset.Sum, dataset.Rect1(0, 1), 3, []float64{1}); err == nil {
+		t.Error("out-of-range group column accepted")
+	}
+	if _, err := s.GroupBy(dataset.Sum, dataset.Rect1(0, 1), 0, nil); err == nil {
+		t.Error("empty group list accepted")
+	}
+}
+
+func TestGroupBy1DOnGroupColumn(t *testing.T) {
+	// grouping on the only predicate column of a 1D synopsis: aligned
+	// equality predicates — COUNT per group should be near-exact thanks
+	// to data skipping and sample estimation
+	d := dataset.New("g1", 1)
+	for i := 0; i < 4000; i++ {
+		d.Append([]float64{float64(i % 4)}, 1)
+	}
+	d.SortByPred(0)
+	s := build1D(t, d, 8, 0.1)
+	res, err := s.GroupBy(dataset.Count, dataset.Rect1(math.Inf(-1), math.Inf(1)), 0, []float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gr := range res {
+		if math.Abs(gr.Result.Estimate-1000) > 150 {
+			t.Errorf("group %v count = %v, want ~1000", gr.Group, gr.Result.Estimate)
+		}
+	}
+}
+
+// newTestRNG returns a tiny deterministic uniform generator for tests
+// that do not want a stats dependency loop.
+func newTestRNG() func() float64 {
+	seed := uint64(0x12345)
+	return func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / (1 << 53)
+	}
+}

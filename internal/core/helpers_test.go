@@ -1,0 +1,12 @@
+package core
+
+import (
+	"bufio"
+	"io"
+)
+
+// test helpers shared by serialize_test.go
+
+func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }
+
+func flushWriter(sw *serWriter) { _ = sw.w.Flush() }

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/ptree"
+	"repro/internal/stats"
+)
+
+// Result is the answer to one approximate aggregate query.
+type Result struct {
+	// Estimate is the point estimate of the aggregate.
+	Estimate float64
+	// CIHalf is the half-width of the λ-confidence interval around
+	// Estimate (0 when the query was answered exactly).
+	CIHalf float64
+	// HardLo/HardHi are deterministic bounds guaranteed to contain the
+	// exact answer when HardValid is true (Section 2.3).
+	HardLo, HardHi float64
+	HardValid      bool
+	// Exact reports that the query was answered with zero sampling error
+	// (predicate aligned with the partitioning).
+	Exact bool
+	// NoMatch reports that the synopsis believes no tuple satisfies the
+	// predicate (AVG/MIN/MAX undefined).
+	NoMatch bool
+
+	// Diagnostics
+	// TuplesRead counts sample tuples scanned: the effective IO of the
+	// query (the ESS numerator).
+	TuplesRead int
+	// SkippedTuples counts dataset tuples whose partitions were either
+	// skipped as irrelevant or answered from precomputed aggregates.
+	SkippedTuples int
+	// VisitedNodes counts partition-tree nodes touched by the MCF.
+	VisitedNodes int
+	// CoveredParts and PartialParts count frontier entries.
+	CoveredParts, PartialParts int
+}
+
+// SkipRate returns the fraction of dataset tuples not needed to answer the
+// query (the paper's skip-rate metric).
+func (r Result) SkipRate(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(r.SkippedTuples) / float64(n)
+}
+
+// RelativeError returns |Estimate-truth|/|truth|, or the absolute error
+// when the truth is zero.
+func (r Result) RelativeError(truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(r.Estimate)
+	}
+	return math.Abs(r.Estimate-truth) / math.Abs(truth)
+}
+
+// CIRatio returns CIHalf/|truth| (the paper's confidence-interval ratio
+// metric), or CIHalf when the truth is zero.
+func (r Result) CIRatio(truth float64) float64 {
+	if truth == 0 {
+		return r.CIHalf
+	}
+	return r.CIHalf / math.Abs(truth)
+}
+
+// Query answers an aggregate with a rectangular predicate. The rectangle
+// may constrain fewer dimensions than the synopsis (the rest are
+// unconstrained) or more (workload shift on k-d synopses).
+func (s *Synopsis) Query(kind dataset.AggKind, q dataset.Rect) (Result, error) {
+	if q.Dims() == 0 {
+		return Result{}, fmt.Errorf("core: query rectangle has no dimensions")
+	}
+	if q.Dims() > s.dims {
+		return Result{}, fmt.Errorf("core: query constrains %d dimensions but samples carry %d (build with the full predicate vector and IndexDims for workload shift)", q.Dims(), s.dims)
+	}
+	zeroVar := kind == dataset.Avg && !s.opts.DisableZeroVariance
+	f := s.frontier(q, zeroVar)
+	switch kind {
+	case dataset.Sum, dataset.Count:
+		return s.sumCount(kind, q, f), nil
+	case dataset.Avg:
+		return s.avg(q, f), nil
+	case dataset.Min, dataset.Max:
+		return s.minMax(kind, q, f), nil
+	}
+	return Result{}, fmt.Errorf("core: unsupported aggregate %v", kind)
+}
+
+// frontier dispatches the MCF, projecting the query onto the indexed
+// column subset when the tree indexes one (multi-template sets,
+// Section 4.5). If the query constrains a column the tree does not index,
+// coverage cannot be certified and every intersecting leaf is partial.
+func (s *Synopsis) frontier(q dataset.Rect, zeroVar bool) ptree.Frontier {
+	if s.idxCols == nil || s.kd == nil {
+		return s.tr.Frontier(q, zeroVar)
+	}
+	lo := make([]float64, len(s.idxCols))
+	hi := make([]float64, len(s.idxCols))
+	indexed := make(map[int]bool, len(s.idxCols))
+	for i, c := range s.idxCols {
+		indexed[c] = true
+		if c < q.Dims() {
+			lo[i], hi[i] = q.Lo[c], q.Hi[c]
+		} else {
+			lo[i], hi[i] = math.Inf(-1), math.Inf(1)
+		}
+	}
+	force := false
+	for c := 0; c < q.Dims(); c++ {
+		if !indexed[c] && (!math.IsInf(q.Lo[c], -1) || !math.IsInf(q.Hi[c], 1)) {
+			force = true
+			break
+		}
+	}
+	return s.kd.FrontierProjected(dataset.Rect{Lo: lo, Hi: hi}, force, zeroVar)
+}
+
+// leafScan summarises one pass over a partial leaf's sample against the
+// query predicate.
+type leafScan struct {
+	k     int     // sample size K_i
+	kPred int     // matching samples
+	sum   float64 // Σ matching values
+	sumSq float64 // Σ matching values²
+	min   float64 // min matching value
+	max   float64 // max matching value
+}
+
+func (s *Synopsis) scanLeaf(leaf int, q dataset.Rect) leafScan {
+	sc := leafScan{min: math.Inf(1), max: math.Inf(-1)}
+	for _, t := range s.samples[leaf] {
+		sc.k++
+		if !q.Contains(t.Point) {
+			continue
+		}
+		sc.kPred++
+		sc.sum += t.Value
+		sc.sumSq += t.Value * t.Value
+		if t.Value < sc.min {
+			sc.min = t.Value
+		}
+		if t.Value > sc.max {
+			sc.max = t.Value
+		}
+	}
+	return sc
+}
+
+func (s *Synopsis) diag(f ptree.Frontier, read int) Result {
+	partialN := 0
+	for _, p := range f.Partial {
+		partialN += p.Agg.N
+	}
+	return Result{
+		TuplesRead:    read,
+		SkippedTuples: s.n - partialN,
+		VisitedNodes:  f.Visited,
+		CoveredParts:  len(f.Cover),
+		PartialParts:  len(f.Partial),
+	}
+}
+
+// sumCount answers SUM and COUNT queries: exact partial aggregates over
+// covered partitions plus per-stratum sample estimates over partial leaves
+// (Section 3.3), with strata weights w_i = 1.
+func (s *Synopsis) sumCount(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier) Result {
+	cover := f.CoverAgg()
+	agg := cover.Sum
+	if kind == dataset.Count {
+		agg = float64(cover.N)
+	}
+	est := agg
+	varTotal := 0.0
+	read := 0
+	hardLo, hardHi := agg, agg
+	for _, p := range f.Partial {
+		sc := s.scanLeaf(p.Leaf, q)
+		read += sc.k
+		ni := float64(p.Agg.N)
+		if sc.k > 0 {
+			var phiMean, phiSq float64
+			if kind == dataset.Sum {
+				phiMean = ni * sc.sum / float64(sc.k)
+				phiSq = ni * ni * sc.sumSq / float64(sc.k)
+			} else {
+				phiMean = ni * float64(sc.kPred) / float64(sc.k)
+				phiSq = ni * ni * float64(sc.kPred) / float64(sc.k)
+			}
+			est += phiMean
+			phiVar := phiSq - phiMean*phiMean
+			if phiVar < 0 {
+				phiVar = 0
+			}
+			varTotal += phiVar / float64(sc.k) * stats.FPC(p.Agg.N, sc.k)
+		}
+		lo, hi := partialSumBounds(kind, p.Agg)
+		hardLo += lo
+		hardHi += hi
+	}
+	r := s.diag(f, read)
+	r.Estimate = est
+	r.CIHalf = s.opts.Lambda * math.Sqrt(varTotal)
+	r.HardLo, r.HardHi, r.HardValid = hardLo, hardHi, true
+	r.Exact = len(f.Partial) == 0
+	return r
+}
+
+// partialSumBounds returns the deterministic range of a partial leaf's
+// contribution to a SUM/COUNT. For COUNT it is [0, N]. For SUM the subset
+// sum lies between the sums of the most negative and most positive
+// subsets, which the partition extrema bound; with all-positive values
+// this reduces to the paper's [0, SUM(P_i)].
+func partialSumBounds(kind dataset.AggKind, a ptree.Agg) (lo, hi float64) {
+	if kind == dataset.Count {
+		return 0, float64(a.N)
+	}
+	n := float64(a.N)
+	// highest subset sum: total minus the most negative exclusions
+	hi = a.Sum - n*math.Min(0, a.Min)
+	if hi < 0 {
+		hi = 0
+	}
+	if a.Min >= 0 && a.Sum < hi {
+		hi = a.Sum // all positive: cannot exceed the partition total
+	}
+	// lowest subset sum
+	lo = math.Min(0, n*a.Min)
+	if v := a.Sum - n*math.Max(0, a.Max); v > lo {
+		lo = v
+	}
+	return lo, hi
+}
+
+// avg answers AVG queries via the weighted stratified combination of
+// Sections 2.2/3.3: covered strata contribute their exact averages with
+// exact weights; partial strata contribute sample means with weights
+// estimated from the sample predicate fraction.
+func (s *Synopsis) avg(q dataset.Rect, f ptree.Frontier) Result {
+	type stratum struct {
+		est   float64
+		nHat  float64
+		vi    float64 // V_i(q), zero for covered strata
+		exact bool
+	}
+	var strata []stratum
+	cover := f.CoverAgg()
+	if cover.N > 0 {
+		strata = append(strata, stratum{est: cover.Avg(), nHat: float64(cover.N), exact: true})
+	}
+	read := 0
+	for _, p := range f.Partial {
+		sc := s.scanLeaf(p.Leaf, q)
+		read += sc.k
+		if sc.k == 0 || sc.kPred == 0 {
+			continue // stratum contributes nothing we can estimate
+		}
+		ni := float64(p.Agg.N)
+		nHat := ni * float64(sc.kPred) / float64(sc.k)
+		est := sc.sum / float64(sc.kPred)
+		// φ(t) = pred·(K/K_pred)·a; var over the whole leaf sample
+		ratio := float64(sc.k) / float64(sc.kPred)
+		phiMean := est
+		phiSq := ratio * ratio * sc.sumSq / float64(sc.k)
+		phiVar := phiSq - phiMean*phiMean
+		if phiVar < 0 {
+			phiVar = 0
+		}
+		vi := phiVar / float64(sc.k) * stats.FPC(p.Agg.N, sc.k)
+		strata = append(strata, stratum{est: est, nHat: nHat, vi: vi})
+	}
+	r := s.diag(f, read)
+	nq := 0.0
+	for _, st := range strata {
+		nq += st.nHat
+	}
+	if nq == 0 {
+		r.NoMatch = true
+		return r
+	}
+	est, varTotal := 0.0, 0.0
+	allExact := true
+	for _, st := range strata {
+		w := st.nHat / nq
+		est += w * st.est
+		varTotal += w * w * st.vi
+		if !st.exact {
+			allExact = false
+		}
+	}
+	r.Estimate = est
+	r.CIHalf = s.opts.Lambda * math.Sqrt(varTotal)
+	r.Exact = allExact
+	// hard bounds (Section 2.3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	if cover.N > 0 {
+		lo, hi = cover.Avg(), cover.Avg()
+	}
+	for _, p := range f.Partial {
+		if p.Agg.N == 0 {
+			continue
+		}
+		if p.Agg.Min < lo {
+			lo = p.Agg.Min
+		}
+		if p.Agg.Max > hi {
+			hi = p.Agg.Max
+		}
+	}
+	if !math.IsInf(lo, 1) {
+		r.HardLo, r.HardHi, r.HardValid = lo, hi, true
+	}
+	return r
+}
+
+// minMax answers MIN and MAX queries: exact extrema over covered
+// partitions, sampled extrema over partial leaves, with hard bounds from
+// the partial partitions' stored extrema.
+func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier) Result {
+	cover := f.CoverAgg()
+	read := 0
+	best := math.Inf(1)
+	if kind == dataset.Max {
+		best = math.Inf(-1)
+	}
+	observed := false
+	if cover.N > 0 {
+		observed = true
+		if kind == dataset.Min {
+			best = cover.Min
+		} else {
+			best = cover.Max
+		}
+	}
+	// partialLo/partialHi: the range any matching tuple in a partial leaf
+	// could take
+	partialLo, partialHi := math.Inf(1), math.Inf(-1)
+	anyPartial := false
+	for _, p := range f.Partial {
+		sc := s.scanLeaf(p.Leaf, q)
+		read += sc.k
+		if p.Agg.N > 0 {
+			anyPartial = true
+			partialLo = math.Min(partialLo, p.Agg.Min)
+			partialHi = math.Max(partialHi, p.Agg.Max)
+		}
+		if sc.kPred > 0 {
+			observed = true
+			if kind == dataset.Min {
+				best = math.Min(best, sc.min)
+			} else {
+				best = math.Max(best, sc.max)
+			}
+		}
+	}
+	r := s.diag(f, read)
+	if !observed && !anyPartial {
+		r.NoMatch = true
+		return r
+	}
+	if !observed {
+		// no matching tuple seen; if any exists it lies in the partial
+		// envelope — report the midpoint with the envelope as hard bounds
+		r.Estimate = (partialLo + partialHi) / 2
+		r.HardLo, r.HardHi, r.HardValid = partialLo, partialHi, true
+		return r
+	}
+	r.Estimate = best
+	if kind == dataset.Min {
+		// best is an actual matching value, so the true minimum is at
+		// most best; it can be as low as the smallest partial candidate
+		lo := best
+		if anyPartial {
+			lo = math.Min(lo, partialLo)
+		}
+		r.HardLo, r.HardHi, r.HardValid = lo, best, true
+	} else {
+		hi := best
+		if anyPartial {
+			hi = math.Max(hi, partialHi)
+		}
+		r.HardLo, r.HardHi, r.HardValid = best, hi, true
+	}
+	r.Exact = len(f.Partial) == 0
+	return r
+}

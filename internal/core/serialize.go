@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/partition"
+	"repro/internal/ptree"
+	"repro/internal/sample"
+	"repro/internal/stats"
+)
+
+// Synopsis serialization: a compact binary format so a synopsis built
+// once (the expensive step) can be shipped to query nodes. Sample values
+// are stored delta-encoded against their leaf average (Section 3.4);
+// predicate points are stored raw. Only 1D synopses are serializable —
+// they are the ones with cheap dynamic maintenance and therefore the ones
+// worth persisting.
+
+// serMagic identifies the format; serVersion guards evolution.
+const (
+	serMagic   = 0x50415353 // "PASS"
+	serVersion = 1
+)
+
+// defaultSerPrecision is the fixed-point precision for delta-encoded
+// sample values; the relative error it introduces (≤ 5e-7 of a typical
+// value unit) is far below sampling error.
+const defaultSerPrecision = 1e-6
+
+type serWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (sw *serWriter) u64(v uint64) {
+	if sw.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, sw.err = sw.w.Write(buf[:n])
+}
+
+func (sw *serWriter) i64(v int64) {
+	if sw.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, sw.err = sw.w.Write(buf[:n])
+}
+
+func (sw *serWriter) f64(v float64) { sw.u64(math.Float64bits(v)) }
+
+type serReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (sr *serReader) u64() uint64 {
+	if sr.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		sr.err = fmt.Errorf("core: corrupt synopsis: %w", err)
+	}
+	return v
+}
+
+func (sr *serReader) i64() int64 {
+	if sr.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(sr.r)
+	if err != nil {
+		sr.err = fmt.Errorf("core: corrupt synopsis: %w", err)
+	}
+	return v
+}
+
+func (sr *serReader) f64() float64 { return math.Float64frombits(sr.u64()) }
+
+// Save writes the synopsis in the binary format. Only 1D synopses are
+// supported.
+func (s *Synopsis) Save(w io.Writer) error {
+	if s.oneD == nil {
+		return fmt.Errorf("core: only 1D synopses can be serialized")
+	}
+	sw := &serWriter{w: bufio.NewWriter(w)}
+	sw.u64(serMagic)
+	sw.u64(serVersion)
+	// options needed to answer queries
+	sw.f64(s.opts.Lambda)
+	flag := uint64(0)
+	if s.opts.DisableZeroVariance {
+		flag |= 1
+	}
+	sw.u64(flag)
+	sw.u64(uint64(s.n))
+	sw.u64(uint64(s.opts.Seed))
+	// partitioning cuts
+	sw.u64(uint64(len(s.Partitioning.Cuts)))
+	for _, c := range s.Partitioning.Cuts {
+		sw.u64(uint64(c))
+	}
+	// leaves
+	leaves := s.oneD.LeafSpecs()
+	sw.u64(uint64(len(leaves)))
+	for _, ls := range leaves {
+		sw.f64(ls.Lo)
+		sw.f64(ls.Hi)
+		sw.u64(uint64(ls.ILo))
+		sw.u64(uint64(ls.IHi))
+		sw.u64(uint64(ls.Agg.N))
+		sw.f64(ls.Agg.Sum)
+		sw.f64(ls.Agg.SumSq)
+		sw.f64(ls.Agg.Min)
+		sw.f64(ls.Agg.Max)
+	}
+	// samples: per leaf, points raw + values delta-encoded vs leaf avg
+	if len(s.samples) != len(leaves) {
+		return fmt.Errorf("core: internal: %d sample strata for %d leaves", len(s.samples), len(leaves))
+	}
+	for leaf, ls := range s.samples {
+		sw.u64(uint64(len(ls)))
+		avg := leaves[leaf].Agg.Avg()
+		for _, t := range ls {
+			sw.f64(t.Point[0])
+			q := math.Round((t.Value - avg) / defaultSerPrecision)
+			sw.i64(int64(q))
+		}
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// Load reads a synopsis written by Save. The restored synopsis answers
+// queries identically (up to the delta-encoding precision of sample
+// values) and supports further dynamic updates.
+func Load(r io.Reader) (*Synopsis, error) {
+	sr := &serReader{r: bufio.NewReader(r)}
+	if sr.u64() != serMagic {
+		return nil, fmt.Errorf("core: not a PASS synopsis (bad magic)")
+	}
+	if v := sr.u64(); v != serVersion {
+		return nil, fmt.Errorf("core: unsupported synopsis version %d", v)
+	}
+	var opts Options
+	opts.Lambda = sr.f64()
+	flag := sr.u64()
+	opts.DisableZeroVariance = flag&1 != 0
+	n := int(sr.u64())
+	opts.Seed = sr.u64()
+	nCuts := int(sr.u64())
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if nCuts < 2 || nCuts > n+1 {
+		return nil, fmt.Errorf("core: corrupt synopsis: %d cuts for %d rows", nCuts, n)
+	}
+	cuts := make([]int, nCuts)
+	for i := range cuts {
+		cuts[i] = int(sr.u64())
+	}
+	nLeaves := int(sr.u64())
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if nLeaves <= 0 || nLeaves > n {
+		return nil, fmt.Errorf("core: corrupt synopsis: %d leaves", nLeaves)
+	}
+	leaves := make([]ptree.LeafSpec, nLeaves)
+	for i := range leaves {
+		leaves[i].Lo = sr.f64()
+		leaves[i].Hi = sr.f64()
+		leaves[i].ILo = int(sr.u64())
+		leaves[i].IHi = int(sr.u64())
+		leaves[i].Agg.N = int(sr.u64())
+		leaves[i].Agg.Sum = sr.f64()
+		leaves[i].Agg.SumSq = sr.f64()
+		leaves[i].Agg.Min = sr.f64()
+		leaves[i].Agg.Max = sr.f64()
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	tr, err := ptree.FromLeaves(leaves)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt synopsis: %w", err)
+	}
+	s := &Synopsis{
+		opts: opts, tr: tr, oneD: tr,
+		n: n, dims: 1,
+		rng:          stats.NewRNG(opts.Seed + 0x9e37),
+		Partitioning: partition.Partitioning{Cuts: cuts},
+	}
+	s.samples = make([][]SampleTuple, nLeaves)
+	for leaf := range s.samples {
+		k := int(sr.u64())
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		if k < 0 || k > n {
+			return nil, fmt.Errorf("core: corrupt synopsis: leaf %d claims %d samples", leaf, k)
+		}
+		avg := leaves[leaf].Agg.Avg()
+		ls := make([]SampleTuple, k)
+		for j := range ls {
+			pt := sr.f64()
+			q := sr.i64()
+			ls[j] = SampleTuple{
+				Point: []float64{pt},
+				Value: avg + float64(q)*defaultSerPrecision,
+			}
+		}
+		s.samples[leaf] = ls
+		s.totalK += k
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	s.res = sample.NewReservoir(maxInt(s.totalK, 1), stats.NewRNG(opts.Seed+0x51ed))
+	s.seedReservoir()
+	return s, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := dataset.GenNYCTaxi(10000, 1, 21)
+	s := build1D(t, d, 32, 0.02)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != s.N() || got.NumLeaves() != s.NumLeaves() || got.TotalSamples() != s.TotalSamples() {
+		t.Fatalf("shape mismatch: N %d/%d leaves %d/%d samples %d/%d",
+			got.N(), s.N(), got.NumLeaves(), s.NumLeaves(), got.TotalSamples(), s.TotalSamples())
+	}
+	// answers must match to delta-encoding precision
+	rng := stats.NewRNG(22)
+	for trial := 0; trial < 80; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg} {
+			r1, err1 := s.Query(kind, q)
+			r2, err2 := Load2Query(got, kind, q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch for %v", kind)
+			}
+			if err1 != nil {
+				continue
+			}
+			if r1.NoMatch != r2.NoMatch {
+				t.Fatalf("%v: NoMatch mismatch", kind)
+			}
+			if r1.NoMatch {
+				continue
+			}
+			tol := 1e-4 * (1 + math.Abs(r1.Estimate))
+			if math.Abs(r1.Estimate-r2.Estimate) > tol {
+				t.Fatalf("%v: estimates diverge after round-trip: %v vs %v", kind, r1.Estimate, r2.Estimate)
+			}
+		}
+	}
+}
+
+// Load2Query exists to keep the call sites symmetric in the test above.
+func Load2Query(s *Synopsis, kind dataset.AggKind, q dataset.Rect) (Result, error) {
+	return s.Query(kind, q)
+}
+
+func TestSaveLoadSupportsUpdates(t *testing.T) {
+	d := dataset.GenUniform(3000, 1, 100, 23)
+	s := build1D(t, d, 16, 0.05)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := got.Query(dataset.Count, dataset.Rect1(math.Inf(-1), math.Inf(1)))
+	if err := got.Insert([]float64{0.5}, 42); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := got.Query(dataset.Count, dataset.Rect1(math.Inf(-1), math.Inf(1)))
+	if after.Estimate != before.Estimate+1 {
+		t.Errorf("loaded synopsis insert broken: %v -> %v", before.Estimate, after.Estimate)
+	}
+}
+
+func TestSaveRejectsKD(t *testing.T) {
+	d := dataset.GenNYCTaxi(1000, 2, 24)
+	s, err := BuildKD(d, Options{Partitions: 16, SampleRate: 0.1, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&bytes.Buffer{}); err == nil {
+		t.Error("Save should reject multi-dimensional synopses")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x01},
+		[]byte("not a synopsis at all"),
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: Load accepted garbage", i)
+		}
+	}
+	// right magic, wrong version
+	var buf bytes.Buffer
+	sw := &serWriter{w: newBufWriter(&buf)}
+	sw.u64(serMagic)
+	sw.u64(99)
+	flushWriter(sw)
+	if _, err := Load(&buf); err == nil {
+		t.Error("Load accepted unknown version")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	d := dataset.GenUniform(2000, 1, 100, 26)
+	s := build1D(t, d, 8, 0.05)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("Load accepted a synopsis truncated at %d of %d bytes", cut, len(full))
+		}
+	}
+}
+
+func TestSerializedSizeReasonable(t *testing.T) {
+	d := dataset.GenIntelWireless(20000, 27)
+	s := build1D(t, d, 64, 0.01)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// raw floats would be ~16 bytes per sample + ~72 per leaf; the delta
+	// encoding should land comfortably under raw
+	raw := s.TotalSamples()*16 + s.NumLeaves()*72 + 64
+	if buf.Len() > raw {
+		t.Errorf("serialized %d bytes, raw equivalent %d", buf.Len(), raw)
+	}
+}

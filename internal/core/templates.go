@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Template describes one query template of an anticipated workload: the
+// predicate columns it constrains and its share of the workload. PASS
+// handles multi-template workloads by building one tree per template
+// (Section 4.5 "Extensions") and routing each query to the best-matching
+// synopsis.
+type Template struct {
+	// Columns are the dataset predicate columns this template constrains.
+	Columns []int
+	// Weight is the template's workload share; the precomputation and
+	// sampling budgets are split proportionally. Zero weights share
+	// equally.
+	Weight float64
+}
+
+// TemplateSet is a collection of per-template synopses with a router.
+type TemplateSet struct {
+	templates []Template
+	synopses  []*Synopsis
+	dims      int
+}
+
+// BuildTemplates constructs one k-d synopsis per template over d,
+// splitting opts.Partitions and the sample budget proportionally to the
+// template weights.
+func BuildTemplates(d *dataset.Dataset, opts Options, templates []Template) (*TemplateSet, error) {
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("core: BuildTemplates requires at least one template")
+	}
+	if err := opts.fill(d.N()); err != nil {
+		return nil, err
+	}
+	totalW := 0.0
+	for i, t := range templates {
+		if len(t.Columns) == 0 {
+			return nil, fmt.Errorf("core: template %d has no columns", i)
+		}
+		seen := map[int]bool{}
+		for _, c := range t.Columns {
+			if c < 0 || c >= d.Dims() {
+				return nil, fmt.Errorf("core: template %d column %d out of range", i, c)
+			}
+			if seen[c] {
+				return nil, fmt.Errorf("core: template %d repeats column %d", i, c)
+			}
+			seen[c] = true
+		}
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("core: template %d has negative weight", i)
+		}
+		totalW += t.Weight
+	}
+	ts := &TemplateSet{templates: templates, dims: d.Dims()}
+	for i, t := range templates {
+		share := 1.0 / float64(len(templates))
+		if totalW > 0 {
+			share = t.Weight / totalW
+		}
+		sub := opts
+		sub.Partitions = maxInt(int(float64(opts.Partitions)*share), 4)
+		sub.SampleSize = maxInt(int(float64(opts.SampleSize)*share), sub.Partitions)
+		sub.SampleRate = 0
+		sub.IndexCols = t.Columns
+		sub.IndexDims = 0
+		sub.KD.MaxLeaves = sub.Partitions
+		sub.Seed = opts.Seed + uint64(i)*101
+		s, err := BuildKD(d, sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: template %d: %w", i, err)
+		}
+		ts.synopses = append(ts.synopses, s)
+	}
+	return ts, nil
+}
+
+// Route returns the index of the synopsis best suited to the query: the
+// template sharing the most constrained columns, breaking ties toward
+// fewer unconstrained indexed columns (tighter trees) and then higher
+// weight. A column counts as constrained when either bound is finite.
+func (ts *TemplateSet) Route(q dataset.Rect) int {
+	constrained := map[int]bool{}
+	for c := 0; c < q.Dims(); c++ {
+		if !math.IsInf(q.Lo[c], -1) || !math.IsInf(q.Hi[c], 1) {
+			constrained[c] = true
+		}
+	}
+	best, bestShared, bestExtra, bestWeight := 0, -1, 1<<30, -1.0
+	for i, t := range ts.templates {
+		shared, extra := 0, 0
+		for _, c := range t.Columns {
+			if constrained[c] {
+				shared++
+			} else {
+				extra++
+			}
+		}
+		better := shared > bestShared ||
+			(shared == bestShared && extra < bestExtra) ||
+			(shared == bestShared && extra == bestExtra && t.Weight > bestWeight)
+		if better {
+			best, bestShared, bestExtra, bestWeight = i, shared, extra, t.Weight
+		}
+	}
+	return best
+}
+
+// Query routes the query and answers it, returning the chosen template
+// index alongside the result.
+func (ts *TemplateSet) Query(kind dataset.AggKind, q dataset.Rect) (Result, int, error) {
+	idx := ts.Route(q)
+	r, err := ts.synopses[idx].Query(kind, q)
+	return r, idx, err
+}
+
+// Synopsis returns the i-th template's synopsis (for inspection).
+func (ts *TemplateSet) Synopsis(i int) *Synopsis { return ts.synopses[i] }
+
+// Len returns the number of templates.
+func (ts *TemplateSet) Len() int { return len(ts.synopses) }
+
+// MemoryBytes sums the storage of all member synopses.
+func (ts *TemplateSet) MemoryBytes() int {
+	total := 0
+	for _, s := range ts.synopses {
+		total += s.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func taxiTemplates(t *testing.T) (*dataset.Dataset, *TemplateSet) {
+	t.Helper()
+	d := dataset.GenNYCTaxi(12000, 5, 51)
+	ts, err := BuildTemplates(d, Options{
+		Partitions: 192, SampleRate: 0.05, Kind: dataset.Sum, Seed: 52,
+	}, []Template{
+		{Columns: []int{0, 1}, Weight: 2},    // (time, date)
+		{Columns: []int{2}, Weight: 1},       // (location)
+		{Columns: []int{0, 2, 4}, Weight: 1}, // (time, location, dropoff_time)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ts
+}
+
+func inf() float64 { return math.Inf(1) }
+
+func TestBuildTemplatesValidation(t *testing.T) {
+	d := dataset.GenNYCTaxi(500, 3, 53)
+	opts := Options{Partitions: 16, SampleRate: 0.1, Seed: 54}
+	if _, err := BuildTemplates(d, opts, nil); err == nil {
+		t.Error("no templates accepted")
+	}
+	if _, err := BuildTemplates(d, opts, []Template{{Columns: nil}}); err == nil {
+		t.Error("empty column set accepted")
+	}
+	if _, err := BuildTemplates(d, opts, []Template{{Columns: []int{7}}}); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := BuildTemplates(d, opts, []Template{{Columns: []int{0, 0}}}); err == nil {
+		t.Error("repeated column accepted")
+	}
+	if _, err := BuildTemplates(d, opts, []Template{{Columns: []int{0}, Weight: -1}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestRouteMatchesConstrainedColumns(t *testing.T) {
+	_, ts := taxiTemplates(t)
+	// constrain (time, date) → template 0
+	q := dataset.Rect{Lo: []float64{7, 0}, Hi: []float64{10, 15}}
+	if got := ts.Route(q); got != 0 {
+		t.Errorf("time+date query routed to template %d, want 0", got)
+	}
+	// constrain location only → template 1
+	q = dataset.Rect{
+		Lo: []float64{math.Inf(-1), math.Inf(-1), 10},
+		Hi: []float64{inf(), inf(), 50},
+	}
+	if got := ts.Route(q); got != 1 {
+		t.Errorf("location query routed to template %d, want 1", got)
+	}
+	// constrain time+location+dropoff_time → template 2
+	q = dataset.Rect{
+		Lo: []float64{7, math.Inf(-1), 10, math.Inf(-1), 18},
+		Hi: []float64{10, inf(), 50, inf(), 22},
+	}
+	if got := ts.Route(q); got != 2 {
+		t.Errorf("3-column query routed to template %d, want 2", got)
+	}
+}
+
+func TestTemplateQueriesAccurate(t *testing.T) {
+	d, ts := taxiTemplates(t)
+	rng := stats.NewRNG(55)
+	errs := []float64{}
+	for trial := 0; trial < 60; trial++ {
+		// (time, date) queries — the heavy template
+		lo := []float64{rng.Float64() * 12, rng.Float64() * 15}
+		hi := []float64{lo[0] + 6, lo[1] + 10}
+		q := dataset.Rect{Lo: lo, Hi: hi}
+		truth, err := d.Exact(dataset.Sum, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		r, idx, err := ts.Query(dataset.Sum, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 0 {
+			t.Fatalf("trial %d routed to %d", trial, idx)
+		}
+		errs = append(errs, r.RelativeError(truth))
+		if r.HardValid && (truth < r.HardLo-1e-6 || truth > r.HardHi+1e-6) {
+			t.Fatalf("hard bounds violated on trial %d", trial)
+		}
+	}
+	if med := stats.Median(errs); med > 0.3 {
+		t.Errorf("template-routed median relative error = %v", med)
+	}
+}
+
+func TestNonPrefixIndexColsCorrect(t *testing.T) {
+	// a synopsis indexing only column 2 (location) must still answer
+	// queries constraining other columns correctly (as partials)
+	d := dataset.GenNYCTaxi(8000, 3, 56)
+	s, err := BuildKD(d, Options{
+		Partitions: 64, SampleRate: 0.1, Kind: dataset.Sum, Seed: 57,
+		IndexCols: []int{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(58)
+	for trial := 0; trial < 40; trial++ {
+		// query constrains time (not indexed) and location (indexed)
+		q := dataset.Rect{
+			Lo: []float64{rng.Float64() * 10, math.Inf(-1), rng.Float64() * 100},
+			Hi: []float64{24, inf(), 263},
+		}
+		truth, err := d.Exact(dataset.Sum, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		r, err := s.Query(dataset.Sum, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// constraining a non-indexed column: no cover certification
+		if r.CoveredParts != 0 {
+			t.Fatalf("trial %d: cover certified despite non-indexed constraint", trial)
+		}
+		if r.HardValid && (truth < r.HardLo-1e-6 || truth > r.HardHi+1e-6) {
+			t.Fatalf("trial %d: hard bounds violated", trial)
+		}
+	}
+	// a query constraining ONLY the indexed column can use covers
+	q := dataset.Rect{
+		Lo: []float64{math.Inf(-1), math.Inf(-1), 0},
+		Hi: []float64{inf(), inf(), 263},
+	}
+	r, err := s.Query(dataset.Sum, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact {
+		t.Error("full-range indexed-column query should be exact")
+	}
+}
+
+func TestTemplateSetAccessors(t *testing.T) {
+	_, ts := taxiTemplates(t)
+	if ts.Len() != 3 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	if ts.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+	if ts.Synopsis(0) == nil {
+		t.Error("Synopsis accessor broken")
+	}
+}

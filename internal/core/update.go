@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sample"
+)
+
+// seedReservoir primes the reservoir with the samples drawn at build time:
+// they are already a uniform sample of the N dataset tuples, which is
+// exactly the reservoir invariant, so subsequent Offer calls continue the
+// stream with the correct acceptance probability K/N.
+func (s *Synopsis) seedReservoir() {
+	items := make([]sample.Item, 0, s.totalK)
+	for leaf, ls := range s.samples {
+		for _, t := range ls {
+			items = append(items, sample.Item{Point: t.Point, Value: t.Value, Leaf: leaf})
+		}
+	}
+	s.res.Restore(items, s.n)
+}
+
+// Insert adds one tuple (point, value) to a 1D synopsis: tree statistics
+// are updated along the leaf-to-root path in O(log k), and the stratified
+// sample is maintained by reservoir sampling (Section 4.5).
+func (s *Synopsis) Insert(point []float64, value float64) error {
+	if s.oneD == nil {
+		return fmt.Errorf("core: dynamic updates are supported on 1D synopses only")
+	}
+	if len(point) < 1 {
+		return fmt.Errorf("core: insert point has no coordinates")
+	}
+	leaf := s.oneD.LocateLeaf(point[0])
+	s.oneD.ApplyInsert(leaf, value)
+	s.n++
+	accepted, evicted := s.res.Offer(sample.Item{Point: point, Value: value, Leaf: leaf})
+	if !accepted {
+		return nil
+	}
+	if evicted.Leaf >= 0 {
+		s.removeLeafSample(evicted.Leaf, evicted.Value)
+	}
+	s.samples[leaf] = append(s.samples[leaf], SampleTuple{Point: point, Value: value})
+	s.recountSamples()
+	return nil
+}
+
+// Delete removes one tuple with the given predicate point and value from a
+// 1D synopsis. SUM/COUNT statistics are updated exactly; MIN/MAX stay
+// conservative. If a matching sample exists it is dropped.
+func (s *Synopsis) Delete(point []float64, value float64) error {
+	if s.oneD == nil {
+		return fmt.Errorf("core: dynamic updates are supported on 1D synopses only")
+	}
+	leaf := s.oneD.LocateLeaf(point[0])
+	if err := s.oneD.ApplyDelete(leaf, value); err != nil {
+		return err
+	}
+	s.n--
+	s.removeLeafSample(leaf, value)
+	// keep the reservoir's view consistent
+	items := s.res.Items()
+	for i := range items {
+		if items[i].Leaf == leaf && items[i].Value == value {
+			s.res.Remove(i)
+			break
+		}
+	}
+	s.recountSamples()
+	return nil
+}
+
+func (s *Synopsis) removeLeafSample(leaf int, value float64) {
+	ls := s.samples[leaf]
+	for i := range ls {
+		if ls[i].Value == value {
+			ls[i] = ls[len(ls)-1]
+			s.samples[leaf] = ls[:len(ls)-1]
+			return
+		}
+	}
+}
+
+func (s *Synopsis) recountSamples() {
+	k := 0
+	for _, ls := range s.samples {
+		k += len(ls)
+	}
+	s.totalK = k
+}

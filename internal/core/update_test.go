@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestInsertMaintainsExactAggregates(t *testing.T) {
+	d := dataset.GenUniform(2000, 1, 100, 1)
+	s := build1D(t, d, 16, 0.05)
+	live := d.Clone()
+	rng := stats.NewRNG(2)
+	for i := 0; i < 500; i++ {
+		pt := rng.Float64()
+		v := rng.Float64() * 100
+		if err := s.Insert([]float64{pt}, v); err != nil {
+			t.Fatal(err)
+		}
+		live.Append([]float64{pt}, v)
+	}
+	if s.N() != 2500 {
+		t.Fatalf("N = %d, want 2500", s.N())
+	}
+	// full-span SUM and COUNT must remain exact after updates
+	full := dataset.Rect1(math.Inf(-1), math.Inf(1))
+	for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Count} {
+		truth, _ := live.Exact(kind, full)
+		r, err := s.Query(kind, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RelativeError(truth) > 1e-9 {
+			t.Errorf("%v after inserts: %v != %v", kind, r.Estimate, truth)
+		}
+	}
+}
+
+func TestInsertKeepsEstimatesReasonable(t *testing.T) {
+	d := dataset.GenUniform(5000, 1, 100, 3)
+	s := build1D(t, d, 16, 0.1)
+	live := d.Clone()
+	rng := stats.NewRNG(4)
+	for i := 0; i < 2000; i++ {
+		pt := rng.Float64()
+		v := rng.Float64() * 100
+		if err := s.Insert([]float64{pt}, v); err != nil {
+			t.Fatal(err)
+		}
+		live.Append([]float64{pt}, v)
+	}
+	errs := []float64{}
+	for trial := 0; trial < 60; trial++ {
+		a, b := rng.Float64(), rng.Float64()
+		if math.Abs(a-b) < 0.1 {
+			continue
+		}
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		truth, err := live.Exact(dataset.Sum, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		r, _ := s.Query(dataset.Sum, q)
+		errs = append(errs, r.RelativeError(truth))
+	}
+	if med := stats.Median(errs); med > 0.1 {
+		t.Errorf("median relative error after heavy inserts = %v", med)
+	}
+}
+
+func TestReservoirSampleSizeStable(t *testing.T) {
+	d := dataset.GenUniform(2000, 1, 100, 5)
+	s := build1D(t, d, 8, 0.05)
+	k0 := s.TotalSamples()
+	rng := stats.NewRNG(6)
+	for i := 0; i < 5000; i++ {
+		if err := s.Insert([]float64{rng.Float64()}, rng.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k := s.TotalSamples(); k > k0 {
+		t.Errorf("sample grew from %d to %d; reservoir must cap it", k0, k)
+	}
+	if k := s.TotalSamples(); k < k0-1 {
+		t.Errorf("sample shrank from %d to %d", k0, k)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := dataset.GenUniform(1000, 1, 100, 7)
+	s := build1D(t, d, 8, 0.1)
+	before, _ := s.Query(dataset.Count, dataset.Rect1(math.Inf(-1), math.Inf(1)))
+	if err := s.Delete([]float64{d.Pred[0][10]}, d.Agg[10]); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.Query(dataset.Count, dataset.Rect1(math.Inf(-1), math.Inf(1)))
+	if after.Estimate != before.Estimate-1 {
+		t.Errorf("COUNT after delete = %v, want %v", after.Estimate, before.Estimate-1)
+	}
+}
+
+func TestUpdateRejectedOnKD(t *testing.T) {
+	d := dataset.GenNYCTaxi(1000, 2, 8)
+	s, err := BuildKD(d, Options{Partitions: 16, SampleRate: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert([]float64{1, 1}, 5); err == nil {
+		t.Error("Insert on KD synopsis should fail")
+	}
+	if err := s.Delete([]float64{1, 1}, 5); err == nil {
+		t.Error("Delete on KD synopsis should fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	d := dataset.GenUniform(100, 1, 10, 10)
+	s := build1D(t, d, 4, 0.1)
+	if err := s.Insert(nil, 1); err == nil {
+		t.Error("Insert with empty point accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dict is a dictionary encoding of a categorical column (Section 4.5
+// "Extensions"): string categories are mapped to dense float64 codes in
+// lexicographic order, so equality predicates on categories become
+// rectangular predicates code <= C <= code, and GROUP BY a category column
+// becomes one equality predicate per code.
+type Dict struct {
+	values []string
+	index  map[string]int
+}
+
+// BuildDict constructs a dictionary over the distinct values of a string
+// column, assigning codes in lexicographic order.
+func BuildDict(column []string) *Dict {
+	seen := map[string]bool{}
+	var distinct []string
+	for _, v := range column {
+		if !seen[v] {
+			seen[v] = true
+			distinct = append(distinct, v)
+		}
+	}
+	sort.Strings(distinct)
+	d := &Dict{values: distinct, index: make(map[string]int, len(distinct))}
+	for i, v := range distinct {
+		d.index[v] = i
+	}
+	return d
+}
+
+// Len returns the number of distinct categories.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Code returns the numeric code of a category.
+func (d *Dict) Code(v string) (float64, bool) {
+	i, ok := d.index[v]
+	return float64(i), ok
+}
+
+// Value returns the category for a code; it returns an error for codes
+// outside the dictionary.
+func (d *Dict) Value(code float64) (string, error) {
+	i := int(code)
+	if i < 0 || i >= len(d.values) || float64(i) != code {
+		return "", fmt.Errorf("dataset: code %v not in dictionary", code)
+	}
+	return d.values[i], nil
+}
+
+// Codes returns all codes in order — the group list for GROUP BY.
+func (d *Dict) Codes() []float64 {
+	out := make([]float64, len(d.values))
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// Encode maps a string column to its codes, building the dictionary.
+func Encode(column []string) ([]float64, *Dict) {
+	d := BuildDict(column)
+	out := make([]float64, len(column))
+	for i, v := range column {
+		code, _ := d.Code(v)
+		out[i] = code
+	}
+	return out, d
+}

@@ -1,0 +1,59 @@
+package dataset
+
+import "testing"
+
+func TestDictRoundTrip(t *testing.T) {
+	col := []string{"banana", "apple", "cherry", "apple", "banana"}
+	codes, dict := Encode(col)
+	if dict.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", dict.Len())
+	}
+	// codes assigned lexicographically: apple=0, banana=1, cherry=2
+	want := []float64{1, 0, 2, 0, 1}
+	for i, c := range codes {
+		if c != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	for _, v := range []string{"apple", "banana", "cherry"} {
+		code, ok := dict.Code(v)
+		if !ok {
+			t.Fatalf("Code(%q) missing", v)
+		}
+		back, err := dict.Value(code)
+		if err != nil || back != v {
+			t.Fatalf("Value(Code(%q)) = %q, %v", v, back, err)
+		}
+	}
+}
+
+func TestDictUnknowns(t *testing.T) {
+	dict := BuildDict([]string{"a", "b"})
+	if _, ok := dict.Code("zzz"); ok {
+		t.Error("unknown category accepted")
+	}
+	if _, err := dict.Value(5); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+	if _, err := dict.Value(0.5); err == nil {
+		t.Error("fractional code accepted")
+	}
+	if _, err := dict.Value(-1); err == nil {
+		t.Error("negative code accepted")
+	}
+}
+
+func TestDictCodes(t *testing.T) {
+	dict := BuildDict([]string{"x", "y", "z", "x"})
+	codes := dict.Codes()
+	if len(codes) != 3 || codes[0] != 0 || codes[2] != 2 {
+		t.Errorf("Codes = %v", codes)
+	}
+}
+
+func TestDictEmpty(t *testing.T) {
+	dict := BuildDict(nil)
+	if dict.Len() != 0 || len(dict.Codes()) != 0 {
+		t.Error("empty dictionary should have no codes")
+	}
+}

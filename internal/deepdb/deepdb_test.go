@@ -1,0 +1,128 @@
+package deepdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestValidation(t *testing.T) {
+	d := dataset.GenUniform(100, 1, 1, 1)
+	if _, err := New(dataset.New("e", 1), Options{TrainRatio: 0.5}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := New(d, Options{}); err == nil {
+		t.Error("zero train ratio accepted")
+	}
+}
+
+func TestSmooth1DIsAccurate(t *testing.T) {
+	// on smooth 1D data the histogram model should do well — the paper's
+	// Table 2 shows DeepDB near PASS on the NYC 1D workload
+	d := dataset.GenNYCTaxi(20000, 1, 2)
+	e, err := New(d, Options{TrainRatio: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	errs := []float64{}
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		if math.Abs(a-b) < 3 {
+			continue
+		}
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		truth, err := d.Exact(dataset.Count, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		r, _ := e.Query(dataset.Count, q)
+		errs = append(errs, r.RelativeError(truth))
+	}
+	if med := stats.Median(errs); med > 0.1 {
+		t.Errorf("smooth 1D COUNT median relative error = %v", med)
+	}
+}
+
+func TestHighDimWorseThan1D(t *testing.T) {
+	// independence factorisation degrades with correlated dimensions —
+	// the error profile the paper reports for the NYC multi-d templates
+	d1 := dataset.GenNYCTaxi(20000, 1, 5)
+	d3 := dataset.GenNYCTaxi(20000, 3, 5)
+	e1, _ := New(d1, Options{TrainRatio: 0.1, Seed: 6})
+	e3, _ := New(d3, Options{TrainRatio: 0.1, Seed: 6})
+	rng := stats.NewRNG(7)
+	med := func(e *Engine, d *dataset.Dataset, dims int) float64 {
+		scales := []float64{24, 31, 263}
+		errs := []float64{}
+		for trial := 0; trial < 80; trial++ {
+			lo := make([]float64, dims)
+			hi := make([]float64, dims)
+			for c := 0; c < dims; c++ {
+				lo[c] = rng.Float64() * scales[c] * 0.5
+				hi[c] = lo[c] + scales[c]*0.4
+			}
+			q := dataset.Rect{Lo: lo, Hi: hi}
+			truth, err := d.Exact(dataset.Sum, q)
+			if err != nil || truth == 0 {
+				continue
+			}
+			r, _ := e.Query(dataset.Sum, q)
+			errs = append(errs, r.RelativeError(truth))
+		}
+		return stats.Median(errs)
+	}
+	m1 := med(e1, d1, 1)
+	m3 := med(e3, d3, 3)
+	if m3 <= m1 {
+		t.Errorf("3D error %v should exceed 1D error %v under independence factorisation", m3, m1)
+	}
+}
+
+func TestTrainRatioInsensitive(t *testing.T) {
+	// more training data should not change the answers dramatically (the
+	// paper notes DeepDB accuracy does not improve with more data)
+	d := dataset.GenNYCTaxi(20000, 1, 8)
+	e10, _ := New(d, Options{TrainRatio: 0.1, Seed: 9})
+	e100, _ := New(d, Options{TrainRatio: 1.0, Seed: 9})
+	q := dataset.Rect1(6, 18)
+	r10, _ := e10.Query(dataset.Sum, q)
+	r100, _ := e100.Query(dataset.Sum, q)
+	truth, _ := d.Exact(dataset.Sum, q)
+	if r10.RelativeError(truth) > 0.2 || r100.RelativeError(truth) > 0.2 {
+		t.Errorf("wide 1D query should be decent at any ratio: %v / %v",
+			r10.RelativeError(truth), r100.RelativeError(truth))
+	}
+}
+
+func TestEmptyPredicate(t *testing.T) {
+	d := dataset.GenUniform(1000, 1, 10, 10)
+	e, _ := New(d, Options{TrainRatio: 0.5, Seed: 11})
+	r, err := e.Query(dataset.Sum, dataset.Rect1(100, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Estimate != 0 {
+		t.Errorf("disjoint SUM = %v, want 0", r.Estimate)
+	}
+	r, _ = e.Query(dataset.Avg, dataset.Rect1(100, 200))
+	if !r.NoMatch {
+		t.Error("disjoint AVG should be NoMatch")
+	}
+}
+
+func TestModelStorageSmall(t *testing.T) {
+	d := dataset.GenNYCTaxi(20000, 5, 12)
+	e, _ := New(d, Options{TrainRatio: 0.1, Seed: 13})
+	if e.MemoryBytes() > 5*64*5*8*2 {
+		t.Errorf("model storage %d larger than expected for 5 histograms", e.MemoryBytes())
+	}
+	if e.Name() != "DeepDB-10%" {
+		t.Errorf("name = %q", e.Name())
+	}
+	if _, err := e.Query(dataset.Min, dataset.Rect1(0, 24)); err == nil {
+		t.Error("DeepDB sim should reject MIN")
+	}
+}

@@ -1,0 +1,511 @@
+// Package kdtree implements the multi-dimensional PASS partition trees of
+// Section 4.4 / 5.4 of the paper: k-d trees with fanout 2^d whose leaves
+// form the strata of the stratified sample.
+//
+// Two construction policies are provided:
+//
+//   - BuildPASS (KD-PASS): greedy expansion — repeatedly split the leaf
+//     whose approximate maximum query variance is largest, until the leaf
+//     budget is exhausted, keeping leaf depths within a band of 2 as in the
+//     paper's experiments.
+//   - BuildUS (KD-US): the paper's baseline — always expand the shallowest
+//     leaf (ties broken pseudo-randomly), producing a balanced partitioning
+//     with no variance awareness.
+//
+// The max-variance score of a node uses the discretized estimators of
+// Appendix A: for SUM/COUNT the half-split bound, for AVG the best
+// δ-fraction chunk by sum of squares (the "second algorithm" of A.4).
+package kdtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/ptree"
+	"repro/internal/stats"
+)
+
+// node is one k-d tree node. Leaves own the indices of their tuples.
+type node struct {
+	children []int
+	rect     dataset.Rect
+	items    []int // tuple indices; nil for internal nodes
+	agg      ptree.Agg
+	leaf     int // dense leaf id, -1 for internal
+	depth    int
+	parent   int
+}
+
+// Tree is a multi-dimensional PASS partition tree.
+type Tree struct {
+	nodes  []node
+	root   int
+	leaves []int
+	dims   int
+	data   *dataset.Dataset
+}
+
+// Policy selects the expansion order during construction.
+type Policy int
+
+const (
+	// PolicyPASS expands the leaf with the largest approximate maximum
+	// query variance (KD-PASS).
+	PolicyPASS Policy = iota
+	// PolicyUniform expands the shallowest leaf (KD-US).
+	PolicyUniform
+)
+
+// Options configures construction.
+type Options struct {
+	// MaxLeaves is the leaf budget k.
+	MaxLeaves int
+	// Kind selects the variance score used by PolicyPASS.
+	Kind dataset.AggKind
+	// Delta is the minimum meaningful query selectivity for the AVG score
+	// (fraction of a node's items). Defaults to 0.05.
+	Delta float64
+	// DepthBand caps the difference between the deepest and shallowest
+	// leaf (the paper uses 2). Defaults to 2.
+	DepthBand int
+	// Seed drives tie-breaking for PolicyUniform.
+	Seed uint64
+}
+
+// Build constructs a k-d partition tree over d with the given policy.
+func Build(d *dataset.Dataset, policy Policy, opt Options) (*Tree, error) {
+	if d.N() == 0 {
+		return nil, fmt.Errorf("kdtree: empty dataset")
+	}
+	if opt.MaxLeaves < 1 {
+		return nil, fmt.Errorf("kdtree: MaxLeaves must be positive, got %d", opt.MaxLeaves)
+	}
+	if opt.Delta <= 0 {
+		opt.Delta = 0.05
+	}
+	if opt.DepthBand <= 0 {
+		opt.DepthBand = 2
+	}
+	t := &Tree{dims: d.Dims(), data: d}
+	all := make([]int, d.N())
+	for i := range all {
+		all[i] = i
+	}
+	t.root = t.newNode(all, 0, -1)
+	rng := stats.NewRNG(opt.Seed + 1)
+
+	pq := &candHeap{}
+	heap.Init(pq)
+	push := func(id int) {
+		var s float64
+		switch policy {
+		case PolicyPASS:
+			s = t.nodeScore(id, opt.Kind, opt.Delta)
+		default:
+			// shallowest-first: lower depth = higher priority; jitter
+			// breaks ties pseudo-randomly
+			s = -float64(t.nodes[id].depth) + rng.Float64()*0.5
+		}
+		heap.Push(pq, candHeapItem{id: id, score: s})
+	}
+	push(t.root)
+	for t.countLeaves() < opt.MaxLeaves && pq.Len() > 0 {
+		// respect the depth band: the candidate must not be deeper than
+		// the shallowest splittable leaf + band
+		minDepth := t.minSplittableDepth(pq)
+		var picked *candHeapItem
+		var deferred []candHeapItem
+		for pq.Len() > 0 {
+			c := heap.Pop(pq).(candHeapItem)
+			if t.nodes[c.id].depth > minDepth+opt.DepthBand {
+				deferred = append(deferred, c)
+				continue
+			}
+			picked = &c
+			break
+		}
+		for _, c := range deferred {
+			heap.Push(pq, c)
+		}
+		if picked == nil {
+			break
+		}
+		children := t.split(picked.id)
+		if len(children) == 0 {
+			continue // unsplittable (all points identical); drop from queue
+		}
+		for _, ch := range children {
+			if len(t.nodes[ch].items) > 1 {
+				push(ch)
+			}
+		}
+		if t.countLeaves() >= opt.MaxLeaves {
+			break
+		}
+	}
+	t.assignLeafIDs()
+	return t, nil
+}
+
+// BuildPASS builds a KD-PASS tree (greedy max-variance expansion).
+func BuildPASS(d *dataset.Dataset, opt Options) (*Tree, error) {
+	return Build(d, PolicyPASS, opt)
+}
+
+// BuildUS builds the KD-US baseline tree (balanced expansion).
+func BuildUS(d *dataset.Dataset, opt Options) (*Tree, error) {
+	return Build(d, PolicyUniform, opt)
+}
+
+type candHeapItem struct {
+	id    int
+	score float64
+}
+
+type candHeap []candHeapItem
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candHeapItem)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (t *Tree) newNode(items []int, depth, parent int) int {
+	var a ptree.Agg
+	lo := make([]float64, t.dims)
+	hi := make([]float64, t.dims)
+	for c := 0; c < t.dims; c++ {
+		lo[c], hi[c] = math.Inf(1), math.Inf(-1)
+	}
+	for _, i := range items {
+		a.Add(t.data.Agg[i])
+		for c := 0; c < t.dims; c++ {
+			v := t.data.Pred[c][i]
+			if v < lo[c] {
+				lo[c] = v
+			}
+			if v > hi[c] {
+				hi[c] = v
+			}
+		}
+	}
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node{
+		rect:   dataset.Rect{Lo: lo, Hi: hi},
+		items:  items,
+		agg:    a,
+		leaf:   -1,
+		depth:  depth,
+		parent: parent,
+	})
+	return id
+}
+
+// split divides a leaf node into up to 2^d children at the per-dimension
+// medians of its items (the paper's simultaneous split). Empty cells are
+// dropped; if every item lands in a single cell the node stays a leaf and
+// nil is returned.
+func (t *Tree) split(id int) []int {
+	items := t.nodes[id].items
+	if len(items) < 2 {
+		return nil
+	}
+	med := make([]float64, t.dims)
+	tmp := make([]float64, len(items))
+	for c := 0; c < t.dims; c++ {
+		col := t.data.Pred[c]
+		for i, it := range items {
+			tmp[i] = col[it]
+		}
+		sort.Float64s(tmp)
+		med[c] = tmp[len(tmp)/2]
+	}
+	cells := make(map[int][]int)
+	for _, it := range items {
+		key := 0
+		for c := 0; c < t.dims; c++ {
+			if t.data.Pred[c][it] >= med[c] {
+				key |= 1 << c
+			}
+		}
+		cells[key] = append(cells[key], it)
+	}
+	if len(cells) < 2 {
+		return nil
+	}
+	keys := make([]int, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var children []int
+	for _, k := range keys {
+		ch := t.newNode(cells[k], t.nodes[id].depth+1, id)
+		children = append(children, ch)
+	}
+	t.nodes[id].children = children
+	t.nodes[id].items = nil
+	return children
+}
+
+// nodeScore approximates the maximum query variance inside node id,
+// following Appendix A's discretizations adapted to d dimensions.
+func (t *Tree) nodeScore(id int, kind dataset.AggKind, delta float64) float64 {
+	items := t.nodes[id].items
+	n := len(items)
+	if n < 2 {
+		return 0
+	}
+	switch kind {
+	case dataset.Count:
+		return float64(n) / 4
+	case dataset.Avg:
+		w := int(delta * float64(n))
+		if w < 1 {
+			w = 1
+		}
+		if n < 2*w {
+			return 0
+		}
+		maxSq := t.maxChunkSumSq(items, w)
+		return float64(n) * maxSq / (float64(n) * float64(w) * float64(w))
+	default: // SUM
+		// half-split bound (Lemma A.3): score of the better half
+		half := n / 2
+		var s1, q1, s2, q2 float64
+		for i, it := range items {
+			v := t.data.Agg[it]
+			if i < half {
+				s1 += v
+				q1 += v * v
+			} else {
+				s2 += v
+				q2 += v * v
+			}
+		}
+		v1 := (float64(n)*q1 - s1*s1) / float64(n)
+		v2 := (float64(n)*q2 - s2*s2) / float64(n)
+		if v1 > v2 {
+			return v1
+		}
+		return v2
+	}
+}
+
+// maxChunkSumSq splits items into contiguous chunks of w along the
+// dimension with the widest spread and returns the largest chunk sum of
+// squares — the d-dimensional analogue of the δm-window index (A.4).
+func (t *Tree) maxChunkSumSq(items []int, w int) float64 {
+	// pick the dimension with the widest value range among the items
+	bestDim, bestSpread := 0, -1.0
+	for c := 0; c < t.dims; c++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		col := t.data.Pred[c]
+		for _, it := range items {
+			v := col[it]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s := hi - lo; s > bestSpread {
+			bestSpread, bestDim = s, c
+		}
+	}
+	ordered := append([]int(nil), items...)
+	col := t.data.Pred[bestDim]
+	sort.Slice(ordered, func(a, b int) bool { return col[ordered[a]] < col[ordered[b]] })
+	best, cur := 0.0, 0.0
+	for i, it := range ordered {
+		v := t.data.Agg[it]
+		cur += v * v
+		if i >= w {
+			u := t.data.Agg[ordered[i-w]]
+			cur -= u * u
+		}
+		if i >= w-1 && cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+func (t *Tree) countLeaves() int {
+	n := 0
+	for i := range t.nodes {
+		if t.nodes[i].children == nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Tree) minSplittableDepth(pq *candHeap) int {
+	min := 1 << 30
+	for _, c := range *pq {
+		if d := t.nodes[c.id].depth; d < min {
+			min = d
+		}
+	}
+	if min == 1<<30 {
+		return 0
+	}
+	return min
+}
+
+func (t *Tree) assignLeafIDs() {
+	t.leaves = t.leaves[:0]
+	for i := range t.nodes {
+		if t.nodes[i].children == nil {
+			t.nodes[i].leaf = len(t.leaves)
+			t.leaves = append(t.leaves, i)
+		}
+	}
+}
+
+// NumLeaves returns the number of leaf partitions.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Dims returns the tree's predicate dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Root returns the aggregates of the whole dataset.
+func (t *Tree) Root() ptree.Agg { return t.nodes[t.root].agg }
+
+// LeafAgg returns the aggregates of leaf id.
+func (t *Tree) LeafAgg(leaf int) ptree.Agg { return t.nodes[t.leaves[leaf]].agg }
+
+// LeafItems returns the dataset tuple indices of leaf id (a view).
+func (t *Tree) LeafItems(leaf int) []int { return t.nodes[t.leaves[leaf]].items }
+
+// LeafRect returns the bounding rectangle of leaf id.
+func (t *Tree) LeafRect(leaf int) dataset.Rect { return t.nodes[t.leaves[leaf]].rect }
+
+// MaxLeafDepth returns the depth of the deepest leaf.
+func (t *Tree) MaxLeafDepth() int {
+	max := 0
+	for _, id := range t.leaves {
+		if d := t.nodes[id].depth; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinLeafDepth returns the depth of the shallowest leaf.
+func (t *Tree) MinLeafDepth() int {
+	min := 1 << 30
+	for _, id := range t.leaves {
+		if d := t.nodes[id].depth; d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MemoryBytes estimates the synopsis storage of the tree's aggregates and
+// rectangles (excluding leaf item lists, which belong to the construction
+// phase, and samples, which are accounted separately by the engine).
+func (t *Tree) MemoryBytes() int {
+	return len(t.nodes) * (5 + 2*t.dims + 3) * 8
+}
+
+// Frontier runs the MCF over a rectangular query. The query may constrain
+// fewer dimensions than the tree (missing dimensions are unconstrained) or
+// more (workload shift, Section 5.4.1): when the query constrains
+// dimensions the tree does not index, no node can be certified as fully
+// covered, so every intersecting leaf is returned as partial — the tree
+// still provides data skipping for disjoint subtrees.
+func (t *Tree) Frontier(q dataset.Rect, zeroVarAsCovered bool) ptree.Frontier {
+	return t.FrontierProjected(q, q.Dims() > t.dims, zeroVarAsCovered)
+}
+
+// FrontierProjected runs the MCF with an explicit forcePartial flag: when
+// true, no node is certified as fully covered even if the (projected)
+// rectangle contains it — used when the original query constrains columns
+// this tree does not index (arbitrary-template workload shift, Section
+// 4.5), so coverage in the indexed columns does not imply coverage overall.
+func (t *Tree) FrontierProjected(q dataset.Rect, forcePartial, zeroVarAsCovered bool) ptree.Frontier {
+	var f ptree.Frontier
+	t.mcf(t.root, q, forcePartial, zeroVarAsCovered, &f)
+	return f
+}
+
+func (t *Tree) mcf(id int, q dataset.Rect, extra, zeroVar bool, f *ptree.Frontier) {
+	f.Visited++
+	n := &t.nodes[id]
+	shared := t.dims
+	if q.Dims() < shared {
+		shared = q.Dims()
+	}
+	// classify on the shared dimensions
+	disjoint, covered := false, true
+	for c := 0; c < shared; c++ {
+		if n.rect.Hi[c] < q.Lo[c] || n.rect.Lo[c] > q.Hi[c] {
+			disjoint = true
+			break
+		}
+		if n.rect.Lo[c] < q.Lo[c] || n.rect.Hi[c] > q.Hi[c] {
+			covered = false
+		}
+	}
+	if disjoint {
+		return
+	}
+	if covered && !extra {
+		f.Cover = append(f.Cover, ptree.CoverEntry{Node: id, Agg: n.agg, Rect: n.rect})
+		return
+	}
+	if zeroVar && !extra && n.agg.ZeroVariance() {
+		f.Cover = append(f.Cover, ptree.CoverEntry{Node: id, Agg: n.agg, Rect: n.rect})
+		return
+	}
+	if n.children == nil {
+		f.Partial = append(f.Partial, ptree.PartialEntry{Leaf: n.leaf, Agg: n.agg, Rect: n.rect})
+		return
+	}
+	for _, ch := range n.children {
+		t.mcf(ch, q, extra, zeroVar, f)
+	}
+}
+
+// CheckInvariants verifies that children partition their parent's items and
+// aggregates merge consistently.
+func (t *Tree) CheckInvariants() error {
+	for id := range t.nodes {
+		n := &t.nodes[id]
+		if n.children == nil {
+			if n.items == nil && n.agg.N > 0 {
+				return fmt.Errorf("kdtree: leaf %d lost its items", id)
+			}
+			if len(n.items) != n.agg.N {
+				return fmt.Errorf("kdtree: leaf %d item count %d != agg N %d", id, len(n.items), n.agg.N)
+			}
+			continue
+		}
+		var merged ptree.Agg
+		total := 0
+		for _, ch := range n.children {
+			merged.Merge(t.nodes[ch].agg)
+			total += t.nodes[ch].agg.N
+		}
+		if total != n.agg.N || merged.Min != n.agg.Min || merged.Max != n.agg.Max {
+			return fmt.Errorf("kdtree: node %d aggregates inconsistent with children", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package partition
+
+import (
+	"repro/internal/stats"
+)
+
+// Oracle approximates M(lo, hi): the maximum variance score of any
+// "meaningful" query that lies completely inside the candidate partition
+// [lo, hi) of the sorted value sequence (Section 4.3). Scores returned by
+// one oracle are mutually comparable; scores from different oracle types
+// are not.
+type Oracle interface {
+	MaxVar(lo, hi int) float64
+}
+
+// WindowOracle is an Oracle that can additionally report which query
+// (window of the sorted sequence) attains the maximum variance, which the
+// challenging-query workload generator uses (Section 5.3).
+type WindowOracle interface {
+	Oracle
+	// MaxVarWindow returns the half-open index range of the
+	// (approximately) worst query inside [lo, hi).
+	MaxVarWindow(lo, hi int) (qlo, qhi int)
+}
+
+// SumOracle scores SUM (and, with unit values, COUNT) queries using the
+// median-split discretization of Appendix A.3: the worst query inside a
+// partition is approximated, within a factor of 4, by the worse of its two
+// halves. The variance score follows Appendix A.1/A.2 with the ratio
+// N_i/n_i assumed common across partitions:
+//
+//	score([a,b) in [lo,hi)) = (n·Σt² − (Σt)²) / n, n = hi − lo.
+type SumOracle struct {
+	prefix *stats.Prefix
+}
+
+// NewSumOracle builds the oracle over the sorted aggregate values.
+func NewSumOracle(values []float64) *SumOracle {
+	return &SumOracle{prefix: stats.NewPrefix(values)}
+}
+
+func (o *SumOracle) score(a, b, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return o.prefix.ScaledVar(a, b, n) / float64(n)
+}
+
+// MaxVar implements Oracle via the median split (Lemma A.3).
+func (o *SumOracle) MaxVar(lo, hi int) float64 {
+	n := hi - lo
+	if n <= 1 {
+		return 0
+	}
+	mid := lo + n/2
+	return maxF(o.score(lo, mid, n), o.score(mid, hi, n))
+}
+
+// MaxVarWindow implements WindowOracle: it returns the half of the
+// partition with the larger variance score.
+func (o *SumOracle) MaxVarWindow(lo, hi int) (int, int) {
+	n := hi - lo
+	if n <= 1 {
+		return lo, hi
+	}
+	mid := lo + n/2
+	if o.score(lo, mid, n) >= o.score(mid, hi, n) {
+		return lo, mid
+	}
+	return mid, hi
+}
+
+// CountOracle scores COUNT queries. From Lemma A.1 the worst COUNT query
+// inside a partition of n items selects n/2 of them, with score
+// (n·(n/2) − (n/2)²)/n = n/4; it depends only on the partition size.
+type CountOracle struct{}
+
+// MaxVar implements Oracle.
+func (CountOracle) MaxVar(lo, hi int) float64 {
+	n := float64(hi - lo)
+	if n <= 1 {
+		return 0
+	}
+	return n / 4
+}
+
+// MaxVarWindow implements WindowOracle: any half-partition window.
+func (CountOracle) MaxVarWindow(lo, hi int) (int, int) {
+	n := hi - lo
+	if n <= 1 {
+		return lo, hi
+	}
+	return lo, lo + n/2
+}
+
+// AvgOracle scores AVG queries via the δm-window index of Appendix A.4:
+// the worst AVG query inside a partition has fewer than 2δm items
+// (Lemma A.4), and is approximated within a factor of 4 by the best
+// fixed-length δm window, found by a range-maximum query over precomputed
+// per-window sums of squares.
+//
+//	score(q in [lo,hi)) = (n·Σt² − (Σt)²) / (n·|q|²), n = hi − lo.
+//
+// Partitions with fewer than 2·δm items score 0 (the paper treats them as
+// too small to contain a meaningful query).
+type AvgOracle struct {
+	prefix *stats.Prefix
+	// winSq[g] = Σ_{h in [g, g+w)} t_h², indexed by window start
+	rmq *stats.SparseMax
+	w   int
+	n   int
+}
+
+// NewAvgOracle builds the index over the sorted aggregate values; delta is
+// the minimum meaningful selectivity (fraction of the m values a query must
+// cover), so the window length is max(1, δ·m).
+func NewAvgOracle(values []float64, delta float64) *AvgOracle {
+	m := len(values)
+	w := int(delta * float64(m))
+	if w < 1 {
+		w = 1
+	}
+	if w > m {
+		w = m
+	}
+	o := &AvgOracle{prefix: stats.NewPrefix(values), w: w, n: m}
+	if m >= w {
+		winSq := make([]float64, m-w+1)
+		for g := range winSq {
+			winSq[g] = o.prefix.RangeSumSq(g, g+w)
+		}
+		o.rmq = stats.NewSparseMax(winSq)
+	}
+	return o
+}
+
+// Window returns the δm window length used by the oracle.
+func (o *AvgOracle) Window() int { return o.w }
+
+// MaxVar implements Oracle.
+func (o *AvgOracle) MaxVar(lo, hi int) float64 {
+	qlo, qhi := o.MaxVarWindow(lo, hi)
+	if qlo == qhi {
+		return 0
+	}
+	n := hi - lo
+	q := qhi - qlo
+	return o.prefix.ScaledVar(qlo, qhi, n) / (float64(n) * float64(q) * float64(q))
+}
+
+// MaxVarWindow implements WindowOracle. It returns an empty range when the
+// partition is too small to contain a meaningful query.
+func (o *AvgOracle) MaxVarWindow(lo, hi int) (int, int) {
+	if hi-lo < 2*o.w || o.rmq == nil {
+		return lo, lo
+	}
+	// window starts in [lo, hi-w]
+	g := o.rmq.ArgMax(lo, hi-o.w+1)
+	return g, g + o.w
+}
+
+// ExactOracle enumerates every contiguous query of at least minLen items to
+// find the true maximum variance score — O((hi-lo)²) per call. It is the
+// reference oracle for tests and the naive DP of Section 4.3.
+type ExactOracle struct {
+	prefix *stats.Prefix
+	// Kind selects the score formula: true for AVG, false for SUM/COUNT.
+	avg    bool
+	minLen int
+}
+
+// NewExactOracle builds the reference oracle; avg selects the AVG score
+// normalisation, minLen is the smallest meaningful query size (δ·n).
+func NewExactOracle(values []float64, avg bool, minLen int) *ExactOracle {
+	if minLen < 1 {
+		minLen = 1
+	}
+	return &ExactOracle{prefix: stats.NewPrefix(values), avg: avg, minLen: minLen}
+}
+
+// MaxVar implements Oracle by exhaustive enumeration.
+func (o *ExactOracle) MaxVar(lo, hi int) float64 {
+	qlo, qhi := o.MaxVarWindow(lo, hi)
+	if qlo >= qhi {
+		return 0
+	}
+	return o.score(qlo, qhi, hi-lo)
+}
+
+func (o *ExactOracle) score(a, b, n int) float64 {
+	v := o.prefix.ScaledVar(a, b, n) / float64(n)
+	if o.avg {
+		q := float64(b - a)
+		v /= q * q
+	}
+	return v
+}
+
+// MaxVarWindow implements WindowOracle by exhaustive enumeration.
+func (o *ExactOracle) MaxVarWindow(lo, hi int) (int, int) {
+	n := hi - lo
+	if n < o.minLen {
+		return lo, lo
+	}
+	best, bl, bh := -1.0, lo, lo
+	for a := lo; a < hi; a++ {
+		for b := a + o.minLen; b <= hi; b++ {
+			if s := o.score(a, b, n); s > best {
+				best, bl, bh = s, a, b
+			}
+		}
+	}
+	return bl, bh
+}
+
+var (
+	_ WindowOracle = (*SumOracle)(nil)
+	_ WindowOracle = CountOracle{}
+	_ WindowOracle = (*AvgOracle)(nil)
+	_ WindowOracle = (*ExactOracle)(nil)
+)

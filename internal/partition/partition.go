@@ -1,0 +1,379 @@
+// Package partition implements the 1D partitioning algorithms of Section 4
+// of the PASS paper: the exact dynamic program, the monotone binary-search
+// dynamic program (Appendix A.5), the sampling + discretization approximate
+// dynamic program (ADP) used in the paper's experiments, the COUNT-optimal
+// equal-size partitioning (Lemma A.1), and the AQP++ hill-climbing
+// comparator.
+//
+// All algorithms operate on a dataset already sorted by the predicate
+// column; a partitioning is represented by index cut points into that
+// sorted order.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Partitioning describes k contiguous partitions of n sorted tuples via
+// k+1 cut points: partition i covers half-open index range
+// [Cuts[i], Cuts[i+1]); Cuts[0] == 0 and Cuts[k] == n.
+type Partitioning struct {
+	Cuts []int
+}
+
+// K returns the number of partitions.
+func (p Partitioning) K() int { return len(p.Cuts) - 1 }
+
+// Bounds returns the half-open index range of partition i.
+func (p Partitioning) Bounds(i int) (lo, hi int) { return p.Cuts[i], p.Cuts[i+1] }
+
+// Validate checks the structural invariants; it returns an error describing
+// the first violation, or nil.
+func (p Partitioning) Validate(n int) error {
+	if len(p.Cuts) < 2 {
+		return fmt.Errorf("partition: need at least one partition, got %d cuts", len(p.Cuts))
+	}
+	if p.Cuts[0] != 0 {
+		return fmt.Errorf("partition: first cut = %d, want 0", p.Cuts[0])
+	}
+	if p.Cuts[len(p.Cuts)-1] != n {
+		return fmt.Errorf("partition: last cut = %d, want %d", p.Cuts[len(p.Cuts)-1], n)
+	}
+	for i := 1; i < len(p.Cuts); i++ {
+		if p.Cuts[i] < p.Cuts[i-1] {
+			return fmt.Errorf("partition: cuts not monotone at %d", i)
+		}
+	}
+	return nil
+}
+
+// Find returns the index of the partition containing sorted position pos.
+func (p Partitioning) Find(pos int) int {
+	lo, hi := 0, p.K()-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Cuts[mid+1] <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// EqualDepth returns k equal-size partitions of n tuples. By Lemma A.1 this
+// is the optimal partitioning for COUNT queries in one dimension, and it is
+// the paper's EQ baseline for SUM/AVG.
+func EqualDepth(n, k int) Partitioning {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	cuts := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		cuts[i] = i * n / k
+	}
+	return Partitioning{Cuts: cuts}
+}
+
+// MaxScore returns the maximum oracle score over the partitions of p, and
+// the index of the partition attaining it.
+func MaxScore(p Partitioning, o Oracle) (float64, int) {
+	worst, arg := -1.0, -1
+	for i := 0; i < p.K(); i++ {
+		lo, hi := p.Bounds(i)
+		if s := o.MaxVar(lo, hi); s > worst {
+			worst, arg = s, i
+		}
+	}
+	return worst, arg
+}
+
+// NaiveDP computes an optimal (with respect to the oracle) partitioning of
+// n items into at most k partitions by the quadratic dynamic program of
+// Section 4.3. Runtime is O(k·n²) oracle calls; use only for small inputs
+// and as the reference implementation in tests.
+func NaiveDP(n, k int, o Oracle) Partitioning {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	if k > n {
+		k = maxInt(n, 1)
+	}
+	// A[j][i] = best achievable max-variance over first i items with j+1
+	// partitions; choice[j][i] = start index of the last partition.
+	const inf = 1e308
+	a := make([][]float64, k)
+	choice := make([][]int, k)
+	for j := range a {
+		a[j] = make([]float64, n+1)
+		choice[j] = make([]int, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		a[0][i] = o.MaxVar(0, i)
+		choice[0][i] = 0
+	}
+	for j := 1; j < k; j++ {
+		a[j][0] = 0
+		for i := 1; i <= n; i++ {
+			best, bestH := inf, 0
+			for h := 0; h < i; h++ {
+				v := maxF(a[j-1][h], o.MaxVar(h, i))
+				if v < best {
+					best, bestH = v, h
+				}
+			}
+			a[j][i] = best
+			choice[j][i] = bestH
+		}
+	}
+	return recoverCuts(choice, n, k)
+}
+
+// MonotoneDP computes the same partitioning as NaiveDP but exploits the
+// monotonicity of both DP terms (Appendix A.5): A[h, j-1] is non-decreasing
+// in h while M([h, i]) is non-increasing, so the minimising split point is
+// found by binary search. Runtime is O(k·n·log n) oracle calls.
+func MonotoneDP(n, k int, o Oracle) Partitioning {
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	if k > n {
+		k = maxInt(n, 1)
+	}
+	a := make([][]float64, k)
+	choice := make([][]int, k)
+	for j := range a {
+		a[j] = make([]float64, n+1)
+		choice[j] = make([]int, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		a[0][i] = o.MaxVar(0, i)
+	}
+	for j := 1; j < k; j++ {
+		for i := 1; i <= n; i++ {
+			// binary search for the crossing point of the non-decreasing
+			// prev row and the non-increasing tail variance
+			lo, hi := 0, i-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if a[j-1][mid] < o.MaxVar(mid, i) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			best, bestH := maxF(a[j-1][lo], o.MaxVar(lo, i)), lo
+			// the true optimum is at the crossing point or one before it
+			if lo > 0 {
+				if v := maxF(a[j-1][lo-1], o.MaxVar(lo-1, i)); v < best {
+					best, bestH = v, lo-1
+				}
+			}
+			if lo < i-1 {
+				if v := maxF(a[j-1][lo+1], o.MaxVar(lo+1, i)); v < best {
+					best, bestH = v, lo+1
+				}
+			}
+			a[j][i] = best
+			choice[j][i] = bestH
+		}
+	}
+	return recoverCuts(choice, n, k)
+}
+
+func recoverCuts(choice [][]int, n, k int) Partitioning {
+	cuts := make([]int, 0, k+1)
+	cuts = append(cuts, n)
+	i := n
+	for j := k - 1; j >= 1 && i > 0; j-- {
+		i = choice[j][i]
+		cuts = append(cuts, i)
+	}
+	if cuts[len(cuts)-1] != 0 {
+		cuts = append(cuts, 0)
+	}
+	// reverse and deduplicate empty partitions at the front
+	out := make([]int, 0, len(cuts))
+	for idx := len(cuts) - 1; idx >= 0; idx-- {
+		if len(out) > 0 && out[len(out)-1] == cuts[idx] {
+			continue
+		}
+		out = append(out, cuts[idx])
+	}
+	return Partitioning{Cuts: out}
+}
+
+// HillClimb implements the AQP++ comparator: starting from equal-depth
+// cuts, it repeatedly proposes moving one interior cut by a step and keeps
+// the move whenever it lowers the maximum variance score, until no move in
+// a full sweep improves or maxIters sweeps elapse.
+func HillClimb(n, k int, o Oracle, maxIters int) Partitioning {
+	p := EqualDepth(n, k)
+	if p.K() < 2 {
+		return p
+	}
+	step := maxInt(n/(k*8), 1)
+	cur, _ := MaxScore(p, o)
+	for iter := 0; iter < maxIters; iter++ {
+		improved := false
+		for c := 1; c < len(p.Cuts)-1; c++ {
+			for _, delta := range []int{-step, step} {
+				nc := p.Cuts[c] + delta
+				if nc <= p.Cuts[c-1] || nc >= p.Cuts[c+1] {
+					continue
+				}
+				old := p.Cuts[c]
+				p.Cuts[c] = nc
+				if s, _ := MaxScore(p, o); s < cur {
+					cur = s
+					improved = true
+				} else {
+					p.Cuts[c] = old
+				}
+			}
+		}
+		if !improved {
+			if step == 1 {
+				break
+			}
+			step = maxInt(step/2, 1)
+		}
+	}
+	return p
+}
+
+// ADPResult carries the partitioning chosen by ADP plus the sample
+// positions it was computed from, so callers can map diagnostics back.
+type ADPResult struct {
+	Partitioning Partitioning
+	// SampleIdx are the ascending full-data indices of the optimisation
+	// sample.
+	SampleIdx []int
+	// Score is the (approximate) max variance score of the chosen
+	// partitioning, measured on the optimisation sample.
+	Score float64
+}
+
+// ADP is the sampling + discretization approximate dynamic program of
+// Section 4.3.1 — the algorithm the paper uses in all experiments. It draws
+// m optimisation samples from the sorted dataset, builds the discretized
+// max-variance oracle for the query kind, runs the monotone DP over the
+// samples, and maps the sample cut positions back to full-data cut points.
+//
+// For COUNT queries the optimum is equal-size partitions (Lemma A.1), so
+// ADP short-circuits to EqualDepth.
+func ADP(d *dataset.Dataset, k, m int, kind dataset.AggKind, delta float64, rng *stats.RNG) ADPResult {
+	n := d.N()
+	if kind == dataset.Count {
+		return ADPResult{Partitioning: EqualDepth(n, k)}
+	}
+	if m > n {
+		m = n
+	}
+	if m < 2*k {
+		m = minInt(2*k, n)
+	}
+	idx := uniformSortedIndices(rng, n, m)
+	vals := make([]float64, len(idx))
+	for i, j := range idx {
+		vals[i] = d.Agg[j]
+	}
+	var o Oracle
+	switch kind {
+	case dataset.Avg:
+		o = NewAvgOracle(vals, delta)
+	default:
+		o = NewSumOracle(vals)
+	}
+	sp := MonotoneDP(len(vals), k, o)
+	score, _ := MaxScore(sp, o)
+	return ADPResult{
+		Partitioning: mapSampleCuts(sp, idx, n),
+		SampleIdx:    idx,
+		Score:        score,
+	}
+}
+
+// mapSampleCuts translates cut points over the sample positions into cut
+// points over the full sorted dataset: a cut before sample s maps to the
+// midpoint between the full indices of samples s-1 and s.
+func mapSampleCuts(sp Partitioning, idx []int, n int) Partitioning {
+	cuts := make([]int, 0, len(sp.Cuts))
+	for _, c := range sp.Cuts {
+		switch {
+		case c <= 0:
+			cuts = append(cuts, 0)
+		case c >= len(idx):
+			cuts = append(cuts, n)
+		default:
+			mid := (idx[c-1] + idx[c] + 1) / 2
+			cuts = append(cuts, mid)
+		}
+	}
+	// deduplicate (two samples can share a midpoint)
+	out := cuts[:1]
+	for _, c := range cuts[1:] {
+		if c > out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	if out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return Partitioning{Cuts: out}
+}
+
+func uniformSortedIndices(rng *stats.RNG, n, m int) []int {
+	if m >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	// systematic-ish sampling with jitter keeps indices sorted in O(m)
+	out := make([]int, m)
+	stride := float64(n) / float64(m)
+	for i := 0; i < m; i++ {
+		base := float64(i) * stride
+		j := int(base + rng.Float64()*stride)
+		if j >= n {
+			j = n - 1
+		}
+		if i > 0 && j <= out[i-1] {
+			j = out[i-1] + 1
+			if j >= n {
+				j = n - 1
+			}
+		}
+		out[i] = j
+	}
+	return out
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

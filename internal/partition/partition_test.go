@@ -1,0 +1,341 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestEqualDepth(t *testing.T) {
+	p := EqualDepth(100, 4)
+	if err := p.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4 {
+		t.Fatalf("K = %d", p.K())
+	}
+	for i := 0; i < 4; i++ {
+		lo, hi := p.Bounds(i)
+		if hi-lo != 25 {
+			t.Errorf("partition %d size = %d, want 25", i, hi-lo)
+		}
+	}
+}
+
+func TestEqualDepthMoreKThanN(t *testing.T) {
+	p := EqualDepth(3, 10)
+	if err := p.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() > 3 {
+		t.Errorf("K = %d, want <= 3", p.K())
+	}
+}
+
+func TestPartitioningFind(t *testing.T) {
+	p := Partitioning{Cuts: []int{0, 10, 30, 100}}
+	cases := []struct{ pos, want int }{
+		{0, 0}, {9, 0}, {10, 1}, {29, 1}, {30, 2}, {99, 2},
+	}
+	for _, c := range cases {
+		if got := p.Find(c.pos); got != c.want {
+			t.Errorf("Find(%d) = %d, want %d", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadCuts(t *testing.T) {
+	bad := []Partitioning{
+		{Cuts: []int{1, 10}},       // doesn't start at 0
+		{Cuts: []int{0, 5}},        // doesn't end at n
+		{Cuts: []int{0, 7, 3, 10}}, // not monotone
+		{Cuts: []int{0}},           // too few
+	}
+	for i, p := range bad {
+		if err := p.Validate(10); err == nil {
+			t.Errorf("case %d: Validate accepted invalid cuts %v", i, p.Cuts)
+		}
+	}
+}
+
+func TestSumOracleMedianSplitApprox(t *testing.T) {
+	// Lemma A.3: median-split score is within a factor 4 of the exact
+	// maximum variance (for SUM queries with no minimum length).
+	rng := stats.NewRNG(3)
+	vals := make([]float64, 60)
+	for i := range vals {
+		vals[i] = rng.Float64() * 10
+	}
+	sum := NewSumOracle(vals)
+	exact := NewExactOracle(vals, false, 1)
+	for _, r := range [][2]int{{0, 60}, {5, 40}, {20, 25}, {0, 2}} {
+		got := sum.MaxVar(r[0], r[1])
+		want := exact.MaxVar(r[0], r[1])
+		if got > want*(1+1e-9) {
+			t.Errorf("range %v: median-split %v exceeds exact max %v", r, got, want)
+		}
+		if want > 0 && got < want/4-1e-9 {
+			t.Errorf("range %v: median-split %v below want/4 = %v", r, got, want/4)
+		}
+	}
+}
+
+func TestCountOracle(t *testing.T) {
+	o := CountOracle{}
+	if got := o.MaxVar(0, 100); got != 25 {
+		t.Errorf("count score = %v, want 25", got)
+	}
+	if got := o.MaxVar(0, 1); got != 0 {
+		t.Errorf("singleton score = %v, want 0", got)
+	}
+	lo, hi := o.MaxVarWindow(0, 100)
+	if hi-lo != 50 {
+		t.Errorf("count worst window size = %d, want 50", hi-lo)
+	}
+}
+
+func TestAvgOracleFindsHighVarianceWindow(t *testing.T) {
+	// flat zeros except a burst in [70, 80) — the worst AVG window should
+	// cover the burst
+	vals := make([]float64, 100)
+	for i := 70; i < 80; i++ {
+		vals[i] = 50
+	}
+	o := NewAvgOracle(vals, 0.1) // window = 10
+	lo, hi := o.MaxVarWindow(0, 100)
+	if lo < 60 || hi > 90 {
+		t.Errorf("worst window [%d,%d) misses the burst", lo, hi)
+	}
+	if o.MaxVar(0, 100) <= 0 {
+		t.Error("burst should produce positive variance score")
+	}
+	// a region with no burst scores lower
+	if o.MaxVar(0, 50) >= o.MaxVar(50, 100) {
+		t.Error("burst half should dominate flat half")
+	}
+}
+
+func TestAvgOracleSmallPartition(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	o := NewAvgOracle(vals, 0.5) // window = 2, need >= 4 items
+	if got := o.MaxVar(0, 3); got != 0 {
+		t.Errorf("partition smaller than 2δm should score 0, got %v", got)
+	}
+	if got := o.MaxVar(0, 5); got < 0 {
+		t.Errorf("negative score %v", got)
+	}
+}
+
+func TestExactOracleMonotone(t *testing.T) {
+	// growing a partition can only increase the exact max variance
+	rng := stats.NewRNG(5)
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = rng.Float64() * 10
+	}
+	o := NewExactOracle(vals, false, 1)
+	prev := 0.0
+	for hi := 1; hi <= 40; hi++ {
+		cur := o.MaxVar(0, hi)
+		if cur < prev-1e-9 {
+			t.Fatalf("exact oracle not monotone at hi=%d: %v < %v", hi, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestNaiveDPOptimalOnTinyInput(t *testing.T) {
+	// the DP must match the brute-force optimum over all single cuts
+	vals := []float64{1, 1, 1, 1, 100, 100, 100, 100}
+	o := NewExactOracle(vals, false, 1)
+	p := NaiveDP(len(vals), 2, o)
+	if err := p.Validate(len(vals)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := MaxScore(p, o)
+	best := math.Inf(1)
+	for c := 1; c < len(vals); c++ {
+		cand := Partitioning{Cuts: []int{0, c, len(vals)}}
+		if s, _ := MaxScore(cand, o); s < best {
+			best = s
+		}
+	}
+	if math.Abs(got-best) > 1e-9 {
+		t.Errorf("DP score %v != brute-force optimum %v (cuts %v)", got, best, p.Cuts)
+	}
+}
+
+func TestNaiveDPBeatsBruteForce(t *testing.T) {
+	// exhaustive check: DP result must equal the best over all 2-cut
+	// partitionings of a small input
+	rng := stats.NewRNG(9)
+	vals := make([]float64, 12)
+	for i := range vals {
+		vals[i] = math.Floor(rng.Float64() * 10)
+	}
+	o := NewExactOracle(vals, false, 1)
+	p := NaiveDP(len(vals), 3, o)
+	got, _ := MaxScore(p, o)
+	best := math.Inf(1)
+	for c1 := 1; c1 < len(vals); c1++ {
+		for c2 := c1 + 1; c2 < len(vals); c2++ {
+			cand := Partitioning{Cuts: []int{0, c1, c2, len(vals)}}
+			if s, _ := MaxScore(cand, o); s < best {
+				best = s
+			}
+		}
+	}
+	if got > best+1e-9 {
+		t.Errorf("DP score %v worse than brute-force best %v", got, best)
+	}
+}
+
+func TestMonotoneDPMatchesNaiveWithExactOracle(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 5; trial++ {
+		vals := make([]float64, 30)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		o := NewExactOracle(vals, false, 1)
+		for _, k := range []int{2, 3, 4} {
+			pn := NaiveDP(len(vals), k, o)
+			pm := MonotoneDP(len(vals), k, o)
+			sn, _ := MaxScore(pn, o)
+			sm, _ := MaxScore(pm, o)
+			if sm > sn*(1+1e-9)+1e-12 {
+				t.Errorf("trial %d k=%d: monotone DP score %v > naive %v", trial, k, sm, sn)
+			}
+		}
+	}
+}
+
+func TestMonotoneDPHandlesAdversarial(t *testing.T) {
+	// 7/8 zeros then a noisy tail: the DP should concentrate cuts in the
+	// tail, giving a far lower score than equal-depth
+	d := dataset.GenAdversarial(400, 1)
+	o := NewSumOracle(d.Agg)
+	p := MonotoneDP(400, 8, o)
+	if err := p.Validate(400); err != nil {
+		t.Fatal(err)
+	}
+	dpScore, _ := MaxScore(p, o)
+	eqScore, _ := MaxScore(EqualDepth(400, 8), o)
+	if dpScore >= eqScore {
+		t.Errorf("DP score %v should beat equal-depth %v on adversarial data", dpScore, eqScore)
+	}
+}
+
+func TestADPCountShortCircuits(t *testing.T) {
+	d := dataset.GenUniform(1000, 1, 10, 1)
+	res := ADP(d, 8, 100, dataset.Count, 0.01, stats.NewRNG(1))
+	eq := EqualDepth(1000, 8)
+	if len(res.Partitioning.Cuts) != len(eq.Cuts) {
+		t.Fatalf("COUNT ADP should be equal-depth: %v", res.Partitioning.Cuts)
+	}
+	for i := range eq.Cuts {
+		if res.Partitioning.Cuts[i] != eq.Cuts[i] {
+			t.Fatalf("COUNT ADP cuts %v != equal-depth %v", res.Partitioning.Cuts, eq.Cuts)
+		}
+	}
+}
+
+func TestADPValidAndBeatsEqualDepthOnAdversarial(t *testing.T) {
+	d := dataset.GenAdversarial(4000, 2)
+	rng := stats.NewRNG(3)
+	res := ADP(d, 16, 800, dataset.Sum, 0.01, rng)
+	if err := res.Partitioning.Validate(d.N()); err != nil {
+		t.Fatal(err)
+	}
+	// evaluate both partitionings under the full-data oracle
+	o := NewSumOracle(d.Agg)
+	adpScore, _ := MaxScore(res.Partitioning, o)
+	eqScore, _ := MaxScore(EqualDepth(d.N(), 16), o)
+	if adpScore >= eqScore {
+		t.Errorf("ADP score %v should beat EQ %v on adversarial data", adpScore, eqScore)
+	}
+}
+
+func TestADPAvgKind(t *testing.T) {
+	d := dataset.GenIntelWireless(3000, 4)
+	res := ADP(d, 8, 500, dataset.Avg, 0.02, stats.NewRNG(5))
+	if err := res.Partitioning.Validate(d.N()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning.K() < 2 {
+		t.Errorf("expected multiple partitions, got %d", res.Partitioning.K())
+	}
+}
+
+func TestHillClimbImproves(t *testing.T) {
+	d := dataset.GenAdversarial(2000, 6)
+	o := NewSumOracle(d.Agg)
+	hc := HillClimb(d.N(), 8, o, 30)
+	if err := hc.Validate(d.N()); err != nil {
+		t.Fatal(err)
+	}
+	hcScore, _ := MaxScore(hc, o)
+	eqScore, _ := MaxScore(EqualDepth(d.N(), 8), o)
+	if hcScore > eqScore+1e-9 {
+		t.Errorf("hill climbing worsened the score: %v > %v", hcScore, eqScore)
+	}
+}
+
+// Property: DP output always satisfies the partitioning invariants and
+// never exceeds k partitions.
+func TestDPInvariantsProperty(t *testing.T) {
+	f := func(raw []uint8, kSeed uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		k := 2 + int(kSeed)%4
+		o := NewSumOracle(vals)
+		p := MonotoneDP(len(vals), k, o)
+		if p.Validate(len(vals)) != nil {
+			return false
+		}
+		return p.K() <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapSampleCuts(t *testing.T) {
+	idx := []int{5, 10, 20, 40, 80}
+	sp := Partitioning{Cuts: []int{0, 2, 5}}
+	full := mapSampleCuts(sp, idx, 100)
+	if err := full.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	// cut before sample 2 (full idx 20) should land between 10 and 20
+	if full.Cuts[1] <= 10 || full.Cuts[1] > 20 {
+		t.Errorf("mapped cut = %d, want in (10, 20]", full.Cuts[1])
+	}
+}
+
+func TestUniformSortedIndices(t *testing.T) {
+	rng := stats.NewRNG(8)
+	idx := uniformSortedIndices(rng, 1000, 100)
+	if len(idx) != 100 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatalf("not strictly increasing at %d: %v", i, idx[i-3:i+1])
+		}
+	}
+	if idx[len(idx)-1] >= 1000 || idx[0] < 0 {
+		t.Fatal("index out of range")
+	}
+}

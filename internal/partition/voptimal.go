@@ -1,0 +1,103 @@
+package partition
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// VOptimal computes the classic V-Optimal histogram partitioning
+// (Jagadish et al., VLDB 1998), which minimises the *total* within-bucket
+// sum of squared errors — the comparator the paper contrasts with PASS's
+// min-max objective in Section 2.4. Runtime is O(k·n²) via the standard
+// dynamic program with prefix sums, so callers run it on a sample for
+// large inputs (see VOptimalSampled).
+func VOptimal(values []float64, k int) Partitioning {
+	n := len(values)
+	if k <= 0 {
+		panic("partition: k must be positive")
+	}
+	if k > n {
+		k = maxInt(n, 1)
+	}
+	p := stats.NewPrefix(values)
+	sse := func(a, b int) float64 {
+		// Σ(x-mean)² = Σx² - (Σx)²/n over [a, b)
+		cnt := float64(b - a)
+		if cnt <= 1 {
+			return 0
+		}
+		s := p.RangeSum(a, b)
+		v := p.RangeSumSq(a, b) - s*s/cnt
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	const inf = 1e308
+	a := make([][]float64, k)
+	choice := make([][]int, k)
+	for j := range a {
+		a[j] = make([]float64, n+1)
+		choice[j] = make([]int, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		a[0][i] = sse(0, i)
+	}
+	for j := 1; j < k; j++ {
+		for i := 1; i <= n; i++ {
+			best, bestH := inf, 0
+			for h := j; h < i; h++ { // at least one item per earlier bucket
+				v := a[j-1][h] + sse(h, i)
+				if v < best {
+					best, bestH = v, h
+				}
+			}
+			if best == inf { // fewer items than buckets
+				best, bestH = a[j-1][i-1], i-1
+			}
+			a[j][i] = best
+			choice[j][i] = bestH
+		}
+	}
+	return recoverCuts(choice, n, k)
+}
+
+// VOptimalSampled runs VOptimal over m uniform samples of the (sorted)
+// dataset and maps the cuts back to full-data positions, mirroring the
+// ADP sampling strategy.
+func VOptimalSampled(d *dataset.Dataset, k, m int, rng *stats.RNG) Partitioning {
+	n := d.N()
+	if m > n {
+		m = n
+	}
+	if m < 2*k {
+		m = minInt(2*k, n)
+	}
+	idx := uniformSortedIndices(rng, n, m)
+	vals := make([]float64, len(idx))
+	for i, j := range idx {
+		vals[i] = d.Agg[j]
+	}
+	sp := VOptimal(vals, k)
+	return mapSampleCuts(sp, idx, n)
+}
+
+// TotalSSE evaluates the V-Optimal objective of a partitioning: the sum
+// over buckets of the within-bucket squared error.
+func TotalSSE(values []float64, p Partitioning) float64 {
+	pre := stats.NewPrefix(values)
+	total := 0.0
+	for i := 0; i < p.K(); i++ {
+		lo, hi := p.Bounds(i)
+		cnt := float64(hi - lo)
+		if cnt <= 1 {
+			continue
+		}
+		s := pre.RangeSum(lo, hi)
+		v := pre.RangeSumSq(lo, hi) - s*s/cnt
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestVOptimalSeparatesClusters(t *testing.T) {
+	// two flat clusters: the V-Optimal cut must land exactly between them,
+	// making the total SSE zero
+	vals := []float64{5, 5, 5, 5, 50, 50, 50}
+	p := VOptimal(vals, 2)
+	if err := p.Validate(len(vals)); err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalSSE(vals, p); got != 0 {
+		t.Errorf("two clusters, two buckets: SSE = %v, want 0 (cuts %v)", got, p.Cuts)
+	}
+}
+
+func TestVOptimalMatchesBruteForce(t *testing.T) {
+	rng := stats.NewRNG(2)
+	vals := make([]float64, 14)
+	for i := range vals {
+		vals[i] = math.Floor(rng.Float64() * 20)
+	}
+	p := VOptimal(vals, 3)
+	got := TotalSSE(vals, p)
+	best := math.Inf(1)
+	for c1 := 1; c1 < len(vals); c1++ {
+		for c2 := c1 + 1; c2 < len(vals); c2++ {
+			cand := Partitioning{Cuts: []int{0, c1, c2, len(vals)}}
+			if s := TotalSSE(vals, cand); s < best {
+				best = s
+			}
+		}
+	}
+	if got > best+1e-9 {
+		t.Errorf("V-Optimal SSE %v worse than brute force %v", got, best)
+	}
+}
+
+func TestVOptimalDegenerate(t *testing.T) {
+	p := VOptimal([]float64{1, 2}, 5)
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() > 2 {
+		t.Errorf("more buckets than items: %v", p.Cuts)
+	}
+}
+
+func TestVOptimalSampled(t *testing.T) {
+	d := dataset.GenAdversarial(5000, 3)
+	p := VOptimalSampled(d, 16, 600, stats.NewRNG(4))
+	if err := p.Validate(d.N()); err != nil {
+		t.Fatal(err)
+	}
+	// the variance-aware objective must beat equal-depth on total SSE
+	vo := TotalSSE(d.Agg, p)
+	eq := TotalSSE(d.Agg, EqualDepth(d.N(), 16))
+	if vo >= eq {
+		t.Errorf("V-Optimal SSE %v should beat equal-depth %v on adversarial data", vo, eq)
+	}
+}
+
+func TestVOptimalVsMinMaxObjective(t *testing.T) {
+	// the paper's point (Section 2.4): V-Optimal minimises total variance,
+	// PASS minimises the worst case; on the adversarial tail the min-max
+	// partitioning should have a no-worse maximum score
+	d := dataset.GenAdversarial(3000, 5)
+	o := NewSumOracle(d.Agg)
+	adp := ADP(d, 16, 600, dataset.Sum, 0.01, stats.NewRNG(6)).Partitioning
+	vo := VOptimalSampled(d, 16, 600, stats.NewRNG(6))
+	adpMax, _ := MaxScore(adp, o)
+	voMax, _ := MaxScore(vo, o)
+	if adpMax > voMax*2 {
+		t.Errorf("ADP max score %v should be competitive with V-Optimal %v on its own objective", adpMax, voMax)
+	}
+}

@@ -1,0 +1,95 @@
+package ptree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+func TestBuildFanoutStructure(t *testing.T) {
+	d := dataset.GenUniform(1000, 1, 100, 91)
+	for _, fanout := range []int{2, 3, 4, 8} {
+		tr, err := BuildFanout(d, partition.EqualDepth(1000, 16), fanout)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		if tr.NumLeaves() != 16 {
+			t.Fatalf("fanout %d: leaves = %d", fanout, tr.NumLeaves())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		if tr.Root().N != 1000 {
+			t.Fatalf("fanout %d: root N = %d", fanout, tr.Root().N)
+		}
+	}
+	// higher fanout → strictly fewer nodes and lower height
+	t2, _ := BuildFanout(d, partition.EqualDepth(1000, 64), 2)
+	t8, _ := BuildFanout(d, partition.EqualDepth(1000, 64), 8)
+	if t8.NumNodes() >= t2.NumNodes() {
+		t.Errorf("fanout 8 nodes %d should be < fanout 2 nodes %d", t8.NumNodes(), t2.NumNodes())
+	}
+	if t8.Height() >= t2.Height() {
+		t.Errorf("fanout 8 height %d should be < fanout 2 height %d", t8.Height(), t2.Height())
+	}
+}
+
+func TestBuildFanoutRejectsBad(t *testing.T) {
+	d := dataset.GenUniform(10, 1, 1, 92)
+	if _, err := BuildFanout(d, partition.EqualDepth(10, 2), 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+}
+
+// The Section 4.1 claim: the frontier classification — and hence every
+// estimate — is identical across fanouts; only the visit count differs.
+func TestFanoutDoesNotChangeFrontierContents(t *testing.T) {
+	d := dataset.GenNYCTaxi(3000, 1, 93)
+	sorted := d.Clone()
+	sorted.SortByPred(0)
+	p := partition.EqualDepth(3000, 32)
+	t2, err := BuildFanout(sorted, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := BuildFanout(sorted, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(94)
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		f2 := t2.Frontier(q, false)
+		f4 := t4.Frontier(q, false)
+		// covered tuple mass and partial leaf sets must agree exactly
+		if f2.CoverAgg().N != f4.CoverAgg().N {
+			t.Fatalf("trial %d: cover mass differs: %d vs %d", trial, f2.CoverAgg().N, f4.CoverAgg().N)
+		}
+		if len(f2.Partial) != len(f4.Partial) {
+			t.Fatalf("trial %d: partial count differs: %d vs %d", trial, len(f2.Partial), len(f4.Partial))
+		}
+		for i := range f2.Partial {
+			if f2.Partial[i].Leaf != f4.Partial[i].Leaf {
+				t.Fatalf("trial %d: partial leaf sets differ", trial)
+			}
+		}
+	}
+}
+
+func TestFanoutLocateLeafAgrees(t *testing.T) {
+	d := dataset.GenUniform(500, 1, 100, 95)
+	p := partition.EqualDepth(500, 20)
+	t2, _ := BuildFanout(d, p, 2)
+	t5, _ := BuildFanout(d, p, 5)
+	rng := stats.NewRNG(96)
+	for trial := 0; trial < 200; trial++ {
+		v := rng.Float64()
+		if t2.LocateLeaf(v) != t5.LocateLeaf(v) {
+			t.Fatalf("LocateLeaf(%v) differs across fanouts", v)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package ptree implements the PASS partition tree for one predicate
+// dimension: a balanced binary tree built bottom-up over an optimised leaf
+// partitioning, with SUM/COUNT/MIN/MAX aggregates at every node
+// (Section 3.2 of the paper), the Minimal Coverage Frontier algorithm
+// (Algorithm 1), the 0-variance rule, and O(height) statistics maintenance
+// under inserts and deletes.
+//
+// The shared Agg and Frontier types defined here are also used by the
+// multi-dimensional trees in package kdtree and by the query engine in
+// package core.
+package ptree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/partition"
+)
+
+// Agg is the per-partition aggregate record: the four statistics PASS
+// precomputes for every node, plus the sum of squares (used by the
+// 0-variance rule and by delta-encoded sample compression).
+type Agg struct {
+	N          int
+	Sum, SumSq float64
+	Min, Max   float64
+}
+
+// Add folds one value into the record.
+func (a *Agg) Add(v float64) {
+	a.N++
+	a.Sum += v
+	a.SumSq += v * v
+	if a.N == 1 {
+		a.Min, a.Max = v, v
+		return
+	}
+	if v < a.Min {
+		a.Min = v
+	}
+	if v > a.Max {
+		a.Max = v
+	}
+}
+
+// Merge folds other into a (mergeable-summary property).
+func (a *Agg) Merge(other Agg) {
+	if other.N == 0 {
+		return
+	}
+	if a.N == 0 {
+		*a = other
+		return
+	}
+	a.N += other.N
+	a.Sum += other.Sum
+	a.SumSq += other.SumSq
+	if other.Min < a.Min {
+		a.Min = other.Min
+	}
+	if other.Max > a.Max {
+		a.Max = other.Max
+	}
+}
+
+// Avg returns Sum/N, or 0 for an empty record.
+func (a Agg) Avg() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.N)
+}
+
+// Var returns the population variance implied by the record.
+func (a Agg) Var() float64 {
+	if a.N < 2 {
+		return 0
+	}
+	mean := a.Sum / float64(a.N)
+	v := a.SumSq/float64(a.N) - mean*mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ZeroVariance reports whether every value in the partition is identical
+// (min == max), the trigger of the paper's 0-variance rule.
+func (a Agg) ZeroVariance() bool { return a.N > 0 && a.Min == a.Max }
+
+// CoverEntry is one fully covered node returned by the MCF: its aggregates
+// can be used directly.
+type CoverEntry struct {
+	// Node is the node id inside the owning tree.
+	Node int
+	Agg  Agg
+	// Rect is the node's bounding rectangle in predicate space.
+	Rect dataset.Rect
+}
+
+// PartialEntry is one partially covered leaf returned by the MCF: its
+// stratified sample must be consulted.
+type PartialEntry struct {
+	// Leaf is the leaf id (dense, 0..NumLeaves-1).
+	Leaf int
+	Agg  Agg
+	// Rect is the leaf's bounding rectangle in predicate space.
+	Rect dataset.Rect
+}
+
+// Frontier is the result of the Minimal Coverage Frontier search.
+type Frontier struct {
+	Cover   []CoverEntry
+	Partial []PartialEntry
+	// Visited counts tree nodes touched, for latency accounting.
+	Visited int
+}
+
+// CoverAgg merges the aggregates of all fully covered nodes.
+func (f Frontier) CoverAgg() Agg {
+	var a Agg
+	for _, c := range f.Cover {
+		a.Merge(c.Agg)
+	}
+	return a
+}
+
+// node is one partition-tree node. Leaves carry a dense leaf id.
+type node struct {
+	children []int // child node ids; nil for leaves
+	lo, hi   float64
+	iLo, iHi int // index range in the sorted dataset
+	agg      Agg
+	leaf     int // dense leaf id, -1 for internal nodes
+	parent   int
+}
+
+// Tree is a 1D PASS partition tree.
+type Tree struct {
+	nodes  []node
+	root   int
+	leaves []int // leaf id -> node id
+}
+
+// Build constructs the tree over d (which must be sorted by predicate
+// column 0) using the given leaf partitioning. Empty partitions are
+// dropped. The tree is built bottom-up by pairing adjacent nodes, so its
+// height is ceil(log2(k)).
+func Build(d *dataset.Dataset, p partition.Partitioning) (*Tree, error) {
+	return BuildFanout(d, p, 2)
+}
+
+// BuildFanout builds the tree with the given fanout (children per
+// internal node). Per Section 4.1 of the paper, the leaf partitioning
+// alone governs estimation error; fanout trades tree height (MCF node
+// visits per query) against per-level branching, so it only moves
+// construction time and query latency — the fanout ablation bench
+// measures exactly that.
+func BuildFanout(d *dataset.Dataset, p partition.Partitioning, fanout int) (*Tree, error) {
+	if fanout < 2 {
+		return nil, fmt.Errorf("ptree: fanout must be at least 2, got %d", fanout)
+	}
+	if err := p.Validate(d.N()); err != nil {
+		return nil, err
+	}
+	if d.Dims() < 1 {
+		return nil, fmt.Errorf("ptree: dataset has no predicate column")
+	}
+	t := &Tree{}
+	col := d.Pred[0]
+	// leaf layer
+	var layer []int
+	for i := 0; i < p.K(); i++ {
+		lo, hi := p.Bounds(i)
+		if lo == hi {
+			continue
+		}
+		var a Agg
+		for j := lo; j < hi; j++ {
+			a.Add(d.Agg[j])
+		}
+		id := len(t.nodes)
+		t.nodes = append(t.nodes, node{
+			lo: col[lo], hi: col[hi-1],
+			iLo: lo, iHi: hi,
+			agg:    a,
+			leaf:   len(t.leaves),
+			parent: -1,
+		})
+		t.leaves = append(t.leaves, id)
+		layer = append(layer, id)
+	}
+	if len(layer) == 0 {
+		return nil, fmt.Errorf("ptree: empty dataset")
+	}
+	t.buildUp(layer, fanout)
+	return t, nil
+}
+
+// buildUp assembles internal levels bottom-up, grouping fanout adjacent
+// nodes per parent; a trailing group of one is promoted unchanged.
+func (t *Tree) buildUp(layer []int, fanout int) {
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i < len(layer); i += fanout {
+			end := i + fanout
+			if end > len(layer) {
+				end = len(layer)
+			}
+			if end-i == 1 {
+				next = append(next, layer[i])
+				continue
+			}
+			group := layer[i:end]
+			var a Agg
+			for _, c := range group {
+				a.Merge(t.nodes[c].agg)
+			}
+			id := len(t.nodes)
+			first, last := group[0], group[len(group)-1]
+			t.nodes = append(t.nodes, node{
+				children: append([]int(nil), group...),
+				lo:       t.nodes[first].lo, hi: t.nodes[last].hi,
+				iLo: t.nodes[first].iLo, iHi: t.nodes[last].iHi,
+				agg:    a,
+				leaf:   -1,
+				parent: -1,
+			})
+			for _, c := range group {
+				t.nodes[c].parent = id
+			}
+			next = append(next, id)
+		}
+		layer = next
+	}
+	t.root = layer[0]
+}
+
+// NumLeaves returns the number of leaf partitions.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// NumNodes returns the total node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Height returns the tree height (root = 0 for a single-node tree).
+func (t *Tree) Height() int {
+	h := 0
+	id := t.root
+	for len(t.nodes[id].children) > 0 {
+		id = t.nodes[id].children[0]
+		h++
+	}
+	return h
+}
+
+// Root returns the aggregates of the whole dataset.
+func (t *Tree) Root() Agg { return t.nodes[t.root].agg }
+
+// LeafAgg returns the aggregates of leaf id.
+func (t *Tree) LeafAgg(leaf int) Agg { return t.nodes[t.leaves[leaf]].agg }
+
+// LeafIndexRange returns the sorted-data index range [lo, hi) of leaf id.
+func (t *Tree) LeafIndexRange(leaf int) (lo, hi int) {
+	n := t.nodes[t.leaves[leaf]]
+	return n.iLo, n.iHi
+}
+
+// LeafValueRange returns the predicate-value range [lo, hi] of leaf id.
+func (t *Tree) LeafValueRange(leaf int) (lo, hi float64) {
+	n := t.nodes[t.leaves[leaf]]
+	return n.lo, n.hi
+}
+
+// MemoryBytes estimates the resident size of the tree's aggregates: the
+// synopsis storage attributable to precomputation.
+func (t *Tree) MemoryBytes() int {
+	// per node: 6 float64/int fields of 8 bytes that constitute the
+	// synopsis payload (ranges + aggregates)
+	return len(t.nodes) * 10 * 8
+}
+
+// Frontier runs the Minimal Coverage Frontier search (Algorithm 1) for the
+// interval query [q.Lo[0], q.Hi[0]]. When zeroVarAsCovered is true, the
+// 0-variance rule is applied: partially covered nodes whose values are all
+// identical are classified as covered (valid for AVG queries; also valid
+// for SUM when the constant is 0).
+func (t *Tree) Frontier(q dataset.Rect, zeroVarAsCovered bool) Frontier {
+	var f Frontier
+	qlo, qhi := q.Lo[0], q.Hi[0]
+	t.mcf(t.root, qlo, qhi, zeroVarAsCovered, &f)
+	return f
+}
+
+func (t *Tree) mcf(id int, qlo, qhi float64, zeroVar bool, f *Frontier) {
+	f.Visited++
+	n := &t.nodes[id]
+	if n.hi < qlo || n.lo > qhi {
+		return // R_none
+	}
+	if qlo <= n.lo && n.hi <= qhi {
+		f.Cover = append(f.Cover, CoverEntry{Node: id, Agg: n.agg, Rect: dataset.Rect1(n.lo, n.hi)})
+		return // fully covered: exact partial aggregate
+	}
+	if zeroVar && n.agg.ZeroVariance() {
+		// 0-variance rule (Section 3.4): all values in the node are
+		// identical, so for AVG it behaves as covered — applies to leaves
+		// (skipping their sample scan) and internal nodes alike
+		f.Cover = append(f.Cover, CoverEntry{Node: id, Agg: n.agg, Rect: dataset.Rect1(n.lo, n.hi)})
+		return
+	}
+	if len(n.children) == 0 { // leaf with partial overlap
+		f.Partial = append(f.Partial, PartialEntry{Leaf: n.leaf, Agg: n.agg, Rect: dataset.Rect1(n.lo, n.hi)})
+		return
+	}
+	for _, c := range n.children {
+		t.mcf(c, qlo, qhi, zeroVar, f)
+	}
+}
+
+// LocateLeaf returns the leaf whose value range contains v, or the nearest
+// leaf when v falls outside all ranges (for dynamic inserts).
+func (t *Tree) LocateLeaf(v float64) int {
+	id := t.root
+	for len(t.nodes[id].children) > 0 {
+		children := t.nodes[id].children
+		next := children[len(children)-1]
+		for _, c := range children {
+			if v <= t.nodes[c].hi {
+				next = c
+				break
+			}
+		}
+		id = next
+	}
+	return t.nodes[id].leaf
+}
+
+// ApplyInsert records a new tuple with the given aggregate value landing in
+// leaf, updating SUM/COUNT/MIN/MAX/SUMSQ along the leaf-to-root path in
+// O(height) (Section 4.5, dynamic updates).
+func (t *Tree) ApplyInsert(leaf int, value float64) {
+	id := t.leaves[leaf]
+	// widen the leaf's value range is not needed: predicate ranges are
+	// maintained by the caller re-locating; aggregates update here
+	for id >= 0 {
+		t.nodes[id].agg.Add(value)
+		id = t.nodes[id].parent
+	}
+}
+
+// ApplyDelete removes one tuple with the given value from leaf. SUM, COUNT
+// and SUMSQ are updated exactly; MIN/MAX are left untouched, which keeps
+// them conservative (hard bounds remain supersets of the truth).
+func (t *Tree) ApplyDelete(leaf int, value float64) error {
+	id := t.leaves[leaf]
+	if t.nodes[id].agg.N == 0 {
+		return fmt.Errorf("ptree: delete from empty leaf %d", leaf)
+	}
+	for id >= 0 {
+		a := &t.nodes[id].agg
+		a.N--
+		a.Sum -= value
+		a.SumSq -= value * value
+		if a.SumSq < 0 {
+			a.SumSq = 0
+		}
+		id = t.nodes[id].parent
+	}
+	return nil
+}
+
+// CheckInvariants verifies the partition-tree definition (Definition 3.1):
+// children contained in and spanning their parent, siblings disjoint by
+// index range, and aggregates consistent with the merge of the children.
+// It returns the first violation found, or nil.
+func (t *Tree) CheckInvariants() error {
+	for id, n := range t.nodes {
+		if len(n.children) == 0 {
+			continue
+		}
+		first := t.nodes[n.children[0]]
+		last := t.nodes[n.children[len(n.children)-1]]
+		if first.iLo != n.iLo || last.iHi != n.iHi {
+			return fmt.Errorf("ptree: node %d children do not span parent", id)
+		}
+		var merged Agg
+		prevHi := first.iLo
+		for _, cid := range n.children {
+			c := t.nodes[cid]
+			if c.iLo != prevHi {
+				return fmt.Errorf("ptree: node %d children not contiguous", id)
+			}
+			if c.iHi <= c.iLo {
+				return fmt.Errorf("ptree: node %d has an empty child", id)
+			}
+			prevHi = c.iHi
+			merged.Merge(c.agg)
+		}
+		if merged.N != n.agg.N ||
+			math.Abs(merged.Sum-n.agg.Sum) > 1e-6*(1+math.Abs(n.agg.Sum)) ||
+			merged.Min != n.agg.Min || merged.Max != n.agg.Max {
+			return fmt.Errorf("ptree: node %d aggregates inconsistent with children", id)
+		}
+	}
+	return nil
+}

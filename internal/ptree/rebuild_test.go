@@ -1,0 +1,61 @@
+package ptree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/partition"
+)
+
+func TestFromLeavesRoundTrip(t *testing.T) {
+	d := dataset.GenUniform(1000, 1, 100, 41)
+	orig, err := Build(d, partition.EqualDepth(1000, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := FromLeaves(orig.LeafSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.NumLeaves() != orig.NumLeaves() || rebuilt.NumNodes() != orig.NumNodes() {
+		t.Fatalf("shape mismatch: %d/%d leaves, %d/%d nodes",
+			rebuilt.NumLeaves(), orig.NumLeaves(), rebuilt.NumNodes(), orig.NumNodes())
+	}
+	if err := rebuilt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	ro, rr := orig.Root(), rebuilt.Root()
+	if ro.N != rr.N || math.Abs(ro.Sum-rr.Sum) > 1e-9 || ro.Min != rr.Min || ro.Max != rr.Max {
+		t.Errorf("root aggregates diverge: %+v vs %+v", ro, rr)
+	}
+	// frontiers must agree on random queries
+	for _, q := range []dataset.Rect{
+		dataset.Rect1(0.1, 0.5), dataset.Rect1(0.33, 0.34), dataset.Rect1(-1, 2),
+	} {
+		f1 := orig.Frontier(q, false)
+		f2 := rebuilt.Frontier(q, false)
+		if len(f1.Cover) != len(f2.Cover) || len(f1.Partial) != len(f2.Partial) {
+			t.Errorf("frontier mismatch for %v", q)
+		}
+	}
+}
+
+func TestFromLeavesRejectsBadInput(t *testing.T) {
+	if _, err := FromLeaves(nil); err == nil {
+		t.Error("empty leaves accepted")
+	}
+	var a Agg
+	a.Add(1)
+	bad := []LeafSpec{
+		{Lo: 0, Hi: 1, ILo: 0, IHi: 1, Agg: a},
+		{Lo: 2, Hi: 3, ILo: 5, IHi: 6, Agg: a}, // gap in index ranges
+	}
+	if _, err := FromLeaves(bad); err == nil {
+		t.Error("non-abutting leaves accepted")
+	}
+	empty := []LeafSpec{{Lo: 0, Hi: 1, ILo: 0, IHi: 0}}
+	if _, err := FromLeaves(empty); err == nil {
+		t.Error("empty leaf accepted")
+	}
+}

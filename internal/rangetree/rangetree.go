@@ -1,0 +1,202 @@
+// Package rangetree implements the multi-dimensional orthogonal range
+// tree of Appendix A.3 of the PASS paper: after O(n log^{d-1} n)
+// preprocessing it returns, for any axis-aligned query rectangle, the
+// count, sum and sum of squares of the aggregate values of the points
+// inside, in O(log^d n) time.
+//
+// The paper uses it as the substrate for the d-dimensional max-variance
+// oracles; this repository additionally uses it to accelerate exact
+// ground-truth evaluation for two- and three-dimensional workloads.
+package rangetree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats is the aggregate payload of a range query.
+type Stats struct {
+	Count      int
+	Sum, SumSq float64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	s.SumSq += o.SumSq
+}
+
+// point is one input tuple: coordinates plus the aggregated value.
+type point struct {
+	coords []float64
+	value  float64
+}
+
+// Tree is a static d-dimensional range tree.
+type Tree struct {
+	dims int
+	root *node
+}
+
+// node is a balanced BST node over one dimension. Internal levels carry an
+// associated tree over the next dimension; the last dimension stores the
+// canonical subset as sorted arrays with prefix sums.
+type node struct {
+	key         float64 // split coordinate (median)
+	left, right *node
+	// assoc is the next-dimension tree over this node's canonical subset
+	// (nil at the last dimension).
+	assoc *Tree
+	// last-dimension payload: coordinates sorted ascending with prefix
+	// sums of count/sum/sumsq
+	coords []float64
+	preSum []float64
+	preSq  []float64
+	// total over the canonical subset, used when the node range is fully
+	// inside the query
+	total Stats
+	// min/max coordinate of the canonical subset in this dimension
+	lo, hi float64
+}
+
+// New builds a range tree over points given as coordinate rows and
+// values. All rows must have the same dimensionality d >= 1.
+func New(coords [][]float64, values []float64) (*Tree, error) {
+	if len(coords) != len(values) {
+		return nil, fmt.Errorf("rangetree: %d coordinate rows for %d values", len(coords), len(values))
+	}
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("rangetree: no points")
+	}
+	d := len(coords[0])
+	if d < 1 {
+		return nil, fmt.Errorf("rangetree: zero-dimensional points")
+	}
+	pts := make([]point, len(coords))
+	for i := range coords {
+		if len(coords[i]) != d {
+			return nil, fmt.Errorf("rangetree: row %d has %d coordinates, want %d", i, len(coords[i]), d)
+		}
+		pts[i] = point{coords: coords[i], value: values[i]}
+	}
+	return build(pts, 0, d), nil
+}
+
+// FromColumns builds a tree from column-major predicate data (the layout
+// of package dataset).
+func FromColumns(pred [][]float64, values []float64) (*Tree, error) {
+	n := len(values)
+	coords := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(pred))
+		for c := range pred {
+			row[c] = pred[c][i]
+		}
+		coords[i] = row
+	}
+	return New(coords, values)
+}
+
+func build(pts []point, dim, dims int) *Tree {
+	t := &Tree{dims: dims - dim}
+	sorted := make([]point, len(pts))
+	copy(sorted, pts)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		return sorted[a].coords[dim] < sorted[b].coords[dim]
+	})
+	t.root = buildNode(sorted, dim, dims)
+	return t
+}
+
+func buildNode(sorted []point, dim, dims int) *node {
+	if len(sorted) == 0 {
+		return nil
+	}
+	n := &node{
+		lo: sorted[0].coords[dim],
+		hi: sorted[len(sorted)-1].coords[dim],
+	}
+	for _, p := range sorted {
+		n.total.Count++
+		n.total.Sum += p.value
+		n.total.SumSq += p.value * p.value
+	}
+	if dim == dims-1 {
+		// last dimension: prefix-sum arrays over the sorted coords
+		n.coords = make([]float64, len(sorted))
+		n.preSum = make([]float64, len(sorted)+1)
+		n.preSq = make([]float64, len(sorted)+1)
+		for i, p := range sorted {
+			n.coords[i] = p.coords[dim]
+			n.preSum[i+1] = n.preSum[i] + p.value
+			n.preSq[i+1] = n.preSq[i] + p.value*p.value
+		}
+		return n
+	}
+	if len(sorted) > 1 {
+		mid := len(sorted) / 2
+		n.key = sorted[mid].coords[dim]
+		n.left = buildNode(sorted[:mid], dim, dims)
+		n.right = buildNode(sorted[mid:], dim, dims)
+	}
+	// associated structure over the canonical subset, next dimension
+	n.assoc = build(sorted, dim+1, dims)
+	return n
+}
+
+// Query returns the aggregate stats of points inside the inclusive
+// rectangle lo[i] <= x_i <= hi[i]. The rectangle must have the tree's
+// dimensionality.
+func (t *Tree) Query(lo, hi []float64) (Stats, error) {
+	if len(lo) != t.dims || len(hi) != t.dims {
+		return Stats{}, fmt.Errorf("rangetree: query has %d dims, tree has %d", len(lo), t.dims)
+	}
+	var out Stats
+	t.query(t.root, lo, hi, &out)
+	return out, nil
+}
+
+func (t *Tree) query(n *node, lo, hi []float64, out *Stats) {
+	if n == nil || n.total.Count == 0 {
+		return
+	}
+	qlo, qhi := lo[0], hi[0]
+	if n.hi < qlo || n.lo > qhi {
+		return
+	}
+	if qlo <= n.lo && n.hi <= qhi {
+		// canonical subset fully inside on this dimension
+		if len(lo) == 1 {
+			out.add(n.total)
+		} else {
+			n.assoc.query(n.assoc.root, lo[1:], hi[1:], out)
+		}
+		return
+	}
+	if n.coords != nil {
+		// last-dimension leaf-level node with partial overlap: prefix sums
+		i := sort.SearchFloat64s(n.coords, qlo)
+		j := sort.Search(len(n.coords), func(k int) bool { return n.coords[k] > qhi })
+		if j > i {
+			out.add(Stats{
+				Count: j - i,
+				Sum:   n.preSum[j] - n.preSum[i],
+				SumSq: n.preSq[j] - n.preSq[i],
+			})
+		}
+		return
+	}
+	if n.left == nil && n.right == nil {
+		// single-point internal node with partial overlap already handled
+		// by the range checks above; reaching here means no overlap
+		return
+	}
+	t.query(n.left, lo, hi, out)
+	t.query(n.right, lo, hi, out)
+}
+
+// Dims returns the tree's dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Total returns the aggregate over all points.
+func (t *Tree) Total() Stats { return t.root.total }

@@ -1,0 +1,192 @@
+package rangetree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func bruteStats(coords [][]float64, values []float64, lo, hi []float64) Stats {
+	var out Stats
+	for i, row := range coords {
+		in := true
+		for c := range lo {
+			if row[c] < lo[c] || row[c] > hi[c] {
+				in = false
+				break
+			}
+		}
+		if in {
+			out.Count++
+			out.Sum += values[i]
+			out.SumSq += values[i] * values[i]
+		}
+	}
+	return out
+}
+
+func randomPoints(rng *stats.RNG, n, d int) ([][]float64, []float64) {
+	coords := make([][]float64, n)
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for c := range row {
+			row[c] = rng.Float64() * 100
+		}
+		coords[i] = row
+		values[i] = rng.Float64() * 10
+	}
+	return coords, values
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := New([][]float64{{1}}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := New([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("zero-dim points accepted")
+	}
+	if _, err := New([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestMatchesBruteForce1D(t *testing.T) {
+	rng := stats.NewRNG(1)
+	coords, values := randomPoints(rng, 500, 1)
+	tr, err := New(coords, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Float64()*100, rng.Float64()*100
+		lo, hi := []float64{math.Min(a, b)}, []float64{math.Max(a, b)}
+		got, err := tr.Query(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteStats(coords, values, lo, hi)
+		if got.Count != want.Count || math.Abs(got.Sum-want.Sum) > 1e-9 {
+			t.Fatalf("trial %d: got %+v, want %+v", trial, got, want)
+		}
+	}
+}
+
+func TestMatchesBruteForce2D3D(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for _, d := range []int{2, 3} {
+		coords, values := randomPoints(rng, 400, d)
+		tr, err := New(coords, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 150; trial++ {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			for c := 0; c < d; c++ {
+				a, b := rng.Float64()*100, rng.Float64()*100
+				lo[c], hi[c] = math.Min(a, b), math.Max(a, b)
+			}
+			got, err := tr.Query(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteStats(coords, values, lo, hi)
+			if got.Count != want.Count ||
+				math.Abs(got.Sum-want.Sum) > 1e-9*(1+math.Abs(want.Sum)) ||
+				math.Abs(got.SumSq-want.SumSq) > 1e-9*(1+want.SumSq) {
+				t.Fatalf("d=%d trial %d: got %+v, want %+v", d, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	// many points sharing coordinates stress the boundary logic
+	coords := [][]float64{{1, 1}, {1, 1}, {1, 2}, {2, 1}, {2, 2}, {2, 2}}
+	values := []float64{1, 2, 3, 4, 5, 6}
+	tr, err := New(coords, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tr.Query([]float64{1, 1}, []float64{1, 1})
+	if got.Count != 2 || got.Sum != 3 {
+		t.Errorf("duplicate query = %+v, want count 2 sum 3", got)
+	}
+	got, _ = tr.Query([]float64{1, 1}, []float64{2, 2})
+	if got.Count != 6 || got.Sum != 21 {
+		t.Errorf("full query = %+v", got)
+	}
+}
+
+func TestTotalAndDims(t *testing.T) {
+	rng := stats.NewRNG(3)
+	coords, values := randomPoints(rng, 100, 2)
+	tr, _ := New(coords, values)
+	if tr.Dims() != 2 {
+		t.Errorf("Dims = %d", tr.Dims())
+	}
+	if tr.Total().Count != 100 {
+		t.Errorf("Total count = %d", tr.Total().Count)
+	}
+	if _, err := tr.Query([]float64{0}, []float64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestFromColumns(t *testing.T) {
+	d := dataset.GenNYCTaxi(800, 2, 4)
+	tr, err := FromColumns(d.Pred, d.Agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tr.Query([]float64{0, 0}, []float64{24, 31})
+	truth, _ := d.Exact(dataset.Sum, dataset.Rect{Lo: []float64{0, 0}, Hi: []float64{24, 31}})
+	if math.Abs(got.Sum-truth) > 1e-6*(1+math.Abs(truth)) {
+		t.Errorf("FromColumns sum %v != %v", got.Sum, truth)
+	}
+}
+
+// Property: tree answers equal brute force for arbitrary small inputs.
+func TestRangeTreeProperty(t *testing.T) {
+	f := func(raw []uint16, qa, qb uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		// build 2D points from pairs of raw values
+		var coords [][]float64
+		var values []float64
+		for i := 0; i+1 < len(raw); i += 2 {
+			coords = append(coords, []float64{float64(raw[i] % 50), float64(raw[i+1] % 50)})
+			values = append(values, float64(raw[i]%13))
+		}
+		if len(coords) == 0 {
+			return true
+		}
+		tr, err := New(coords, values)
+		if err != nil {
+			return false
+		}
+		a, b := float64(qa%50), float64(qb%50)
+		lo := []float64{math.Min(a, b), math.Min(a, b)}
+		hi := []float64{math.Max(a, b), math.Max(a, b)}
+		got, err := tr.Query(lo, hi)
+		if err != nil {
+			return false
+		}
+		want := bruteStats(coords, values, lo, hi)
+		return got.Count == want.Count && math.Abs(got.Sum-want.Sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

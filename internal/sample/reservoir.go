@@ -1,0 +1,90 @@
+package sample
+
+import "repro/internal/stats"
+
+// Reservoir maintains a uniform sample of size at most K over a stream of
+// items using Vitter's Algorithm R. It powers the dynamic-update path of
+// PASS (Section 4.5 "Dynamic updates"): each accepted insertion reports
+// which existing item was evicted so the owning leaf stratum can be
+// patched, keeping the per-leaf samples statistically consistent.
+type Reservoir struct {
+	k     int
+	seen  int
+	rng   *stats.RNG
+	items []Item
+}
+
+// Item is one reservoir entry: the tuple's predicate point and aggregate
+// value, plus the leaf-partition id it currently belongs to.
+type Item struct {
+	Point []float64
+	Value float64
+	Leaf  int
+}
+
+// NewReservoir creates a reservoir with capacity k.
+func NewReservoir(k int, rng *stats.RNG) *Reservoir {
+	if k <= 0 {
+		panic("sample: reservoir capacity must be positive")
+	}
+	return &Reservoir{k: k, rng: rng}
+}
+
+// Offer presents a new stream item. It returns (accepted, evicted): whether
+// the item entered the reservoir, and, when an existing entry was displaced,
+// that entry (otherwise the zero Item with Leaf == -1).
+func (r *Reservoir) Offer(it Item) (accepted bool, evicted Item) {
+	evicted.Leaf = -1
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, it)
+		return true, evicted
+	}
+	j := r.rng.Intn(r.seen)
+	if j >= r.k {
+		return false, evicted
+	}
+	evicted = r.items[j]
+	r.items[j] = it
+	return true, evicted
+}
+
+// Restore primes the reservoir with an existing uniform sample of a stream
+// of seen items. The reservoir invariant — items is a uniform sample of
+// everything seen — is exactly this state, so subsequent Offer calls
+// continue with the correct acceptance probability k/seen. It panics if
+// more than k items are supplied or seen < len(items).
+func (r *Reservoir) Restore(items []Item, seen int) {
+	if len(items) > r.k {
+		panic("sample: Restore with more items than capacity")
+	}
+	if seen < len(items) {
+		panic("sample: Restore with seen < len(items)")
+	}
+	r.items = append(r.items[:0], items...)
+	r.seen = seen
+}
+
+// Remove deletes the entry at index i (swap-with-last). Used when the
+// underlying tuple is deleted from the dataset.
+func (r *Reservoir) Remove(i int) {
+	last := len(r.items) - 1
+	r.items[i] = r.items[last]
+	r.items = r.items[:last]
+	if r.seen > 0 {
+		r.seen--
+	}
+}
+
+// Items returns the current reservoir contents (a view; do not mutate
+// entries while iterating Offer).
+func (r *Reservoir) Items() []Item { return r.items }
+
+// Len returns the current number of entries.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Seen returns how many items have been offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Cap returns the reservoir capacity K.
+func (r *Reservoir) Cap() int { return r.k }

@@ -1,0 +1,157 @@
+// Package sqlfe is a small SQL front-end for the PASS engine: it parses
+// the subpopulation-aggregate query class of the paper —
+//
+//	SELECT SUM|COUNT|AVG|MIN|MAX ( column | * )
+//	FROM   table
+//	WHERE  col >= x AND col <= y AND col BETWEEN a AND b AND col = v ...
+//	[GROUP BY col]
+//
+// — and compiles it against a table schema into a rectangular predicate
+// plan the synopsis can execute. Conjunctions only: PASS's query class is
+// rectangular (Section 3.1), so OR is rejected with a clear error.
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = < > <= >= <> !=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises the input; errors carry byte offsets for diagnostics.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case isIdentStart(rune(c)):
+			l.ident()
+		case unicode.IsDigit(rune(c)) || c == '.' ||
+			((c == '-' || c == '+') && l.pos+1 < len(l.src) && startsNumber(l.src[l.pos+1])):
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),*=", rune(c)):
+			l.emit(tokSymbol, string(c))
+			l.pos++
+		case c == '<' || c == '>' || c == '!':
+			op := string(c)
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				op += string(l.src[l.pos])
+				l.pos++
+			}
+			l.emit(tokSymbol, op)
+		default:
+			return nil, fmt.Errorf("sqlfe: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func startsNumber(c byte) bool { return c >= '0' && c <= '9' || c == '.' }
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	digits, dot, exp := false, false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			digits = true
+			l.pos++
+		case c == '.' && !dot && !exp:
+			dot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && digits && !exp:
+			exp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '-' || l.src[l.pos] == '+') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	if !digits {
+		return fmt.Errorf("sqlfe: malformed number at offset %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlfe: unterminated string at offset %d", start)
+}

@@ -1,0 +1,248 @@
+package sqlfe
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Stmt is the parsed form of a supported SELECT statement, before schema
+// resolution.
+type Stmt struct {
+	Agg dataset.AggKind
+	// AggColumn is the aggregated column name; "*" for COUNT(*).
+	AggColumn string
+	Table     string
+	// Conds are the conjunctive predicates of the WHERE clause.
+	Conds []Cond
+	// GroupBy is the grouping column, or "" if absent.
+	GroupBy string
+}
+
+// CondOp is a comparison operator.
+type CondOp int
+
+// Comparison operators recognised in WHERE clauses.
+const (
+	OpEq CondOp = iota
+	OpLe
+	OpGe
+	OpLt
+	OpGt
+	OpBetween
+)
+
+// Cond is one predicate: Column Op Value (or BETWEEN Lo AND Hi). String
+// literals carry Str for dictionary resolution.
+type Cond struct {
+	Column string
+	Op     CondOp
+	Lo, Hi float64
+	// StrLo/StrHi hold string literals (for dictionary-encoded columns);
+	// IsString reports their presence.
+	StrLo, StrHi string
+	IsString     bool
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one SELECT statement of the supported class.
+func Parse(sql string) (*Stmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlfe: unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) keyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlfe: expected %s near %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if p.cur().kind == tokSymbol && p.cur().text == sym {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("sqlfe: expected %q near %q", sym, p.cur().text)
+}
+
+func (p *parser) selectStmt() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{}
+	// aggregate function
+	fn := p.advance()
+	if fn.kind != tokIdent {
+		return nil, fmt.Errorf("sqlfe: expected aggregate function, got %q", fn.text)
+	}
+	kind, err := dataset.ParseAggKind(fn.text)
+	if err != nil {
+		return nil, fmt.Errorf("sqlfe: %q is not a supported aggregate (SUM/COUNT/AVG/MIN/MAX)", fn.text)
+	}
+	stmt.Agg = kind
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	arg := p.advance()
+	switch {
+	case arg.kind == tokSymbol && arg.text == "*":
+		if kind != dataset.Count {
+			return nil, fmt.Errorf("sqlfe: %s(*) is not supported; name a column", kind)
+		}
+		stmt.AggColumn = "*"
+	case arg.kind == tokIdent:
+		stmt.AggColumn = arg.text
+	default:
+		return nil, fmt.Errorf("sqlfe: expected column or * in aggregate, got %q", arg.text)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := p.advance()
+	if tbl.kind != tokIdent {
+		return nil, fmt.Errorf("sqlfe: expected table name, got %q", tbl.text)
+	}
+	stmt.Table = tbl.text
+	// optional WHERE
+	if p.keyword("WHERE") {
+		for {
+			c, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Conds = append(stmt.Conds, c)
+			if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "OR") {
+				return nil, fmt.Errorf("sqlfe: OR is not supported — PASS answers rectangular (conjunctive) predicates")
+			}
+			if !p.keyword("AND") {
+				break
+			}
+		}
+	}
+	// optional GROUP BY
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col := p.advance()
+		if col.kind != tokIdent {
+			return nil, fmt.Errorf("sqlfe: expected grouping column, got %q", col.text)
+		}
+		stmt.GroupBy = col.text
+	}
+	return stmt, nil
+}
+
+func (p *parser) cond() (Cond, error) {
+	col := p.advance()
+	if col.kind != tokIdent {
+		return Cond{}, fmt.Errorf("sqlfe: expected column name in WHERE, got %q", col.text)
+	}
+	c := Cond{Column: col.text}
+	// BETWEEN a AND b
+	if p.keyword("BETWEEN") {
+		lo, sLo, isStr, err := p.value()
+		if err != nil {
+			return Cond{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Cond{}, err
+		}
+		hi, sHi, isStr2, err := p.value()
+		if err != nil {
+			return Cond{}, err
+		}
+		if isStr != isStr2 {
+			return Cond{}, fmt.Errorf("sqlfe: BETWEEN bounds must both be numbers or both strings")
+		}
+		c.Op = OpBetween
+		c.Lo, c.Hi = lo, hi
+		c.StrLo, c.StrHi, c.IsString = sLo, sHi, isStr
+		return c, nil
+	}
+	op := p.advance()
+	if op.kind != tokSymbol {
+		return Cond{}, fmt.Errorf("sqlfe: expected comparison operator after %q, got %q", col.text, op.text)
+	}
+	switch op.text {
+	case "=":
+		c.Op = OpEq
+	case "<=":
+		c.Op = OpLe
+	case ">=":
+		c.Op = OpGe
+	case "<":
+		c.Op = OpLt
+	case ">":
+		c.Op = OpGt
+	case "<>", "!=":
+		return Cond{}, fmt.Errorf("sqlfe: != predicates are not rectangular and are not supported")
+	default:
+		return Cond{}, fmt.Errorf("sqlfe: unsupported operator %q", op.text)
+	}
+	v, s, isStr, err := p.value()
+	if err != nil {
+		return Cond{}, err
+	}
+	c.Lo, c.Hi = v, v
+	c.StrLo, c.StrHi, c.IsString = s, s, isStr
+	return c, nil
+}
+
+// value parses a numeric or string literal.
+func (p *parser) value() (float64, string, bool, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return 0, "", false, fmt.Errorf("sqlfe: bad number %q", t.text)
+		}
+		return v, "", false, nil
+	case tokString:
+		return math.NaN(), t.text, true, nil
+	}
+	return 0, "", false, fmt.Errorf("sqlfe: expected a literal, got %q", t.text)
+}

@@ -1,0 +1,146 @@
+package sqlfe
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Schema resolves column names for planning: predicate column names in
+// order, the aggregation column name, and optional dictionaries for
+// string-encoded predicate columns.
+type Schema struct {
+	// PredColumns are the predicate column names, in synopsis order.
+	PredColumns []string
+	// AggColumn is the aggregation column name.
+	AggColumn string
+	// Dicts maps a predicate column name to its dictionary, for columns
+	// that were dictionary-encoded from strings.
+	Dicts map[string]*dataset.Dict
+}
+
+// SchemaFromColNames builds a Schema from a dataset's ColNames layout
+// (predicate columns followed by the aggregate column).
+func SchemaFromColNames(colNames []string) Schema {
+	if len(colNames) == 0 {
+		return Schema{}
+	}
+	return Schema{
+		PredColumns: colNames[:len(colNames)-1],
+		AggColumn:   colNames[len(colNames)-1],
+	}
+}
+
+// Plan is an executable query: the aggregate, the rectangular predicate
+// over the synopsis's predicate columns, and the optional group-by column
+// index with its group keys.
+type Plan struct {
+	Agg  dataset.AggKind
+	Rect dataset.Rect
+	// GroupDim is the grouping column index, -1 when absent.
+	GroupDim int
+	// Groups are the group keys (dictionary codes) to evaluate.
+	Groups []float64
+	// GroupDict renders group keys back to strings (nil for numeric
+	// grouping columns).
+	GroupDict *dataset.Dict
+}
+
+// Compile resolves a parsed statement against a schema into a Plan,
+// intersecting repeated predicates on the same column.
+func Compile(stmt *Stmt, schema Schema) (*Plan, error) {
+	colIndex := make(map[string]int, len(schema.PredColumns))
+	for i, c := range schema.PredColumns {
+		colIndex[c] = i
+	}
+	if stmt.AggColumn != "*" && stmt.AggColumn != schema.AggColumn {
+		return nil, fmt.Errorf("sqlfe: aggregate column %q is not the synopsis's aggregation column %q",
+			stmt.AggColumn, schema.AggColumn)
+	}
+	dims := len(schema.PredColumns)
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for c := 0; c < dims; c++ {
+		lo[c], hi[c] = math.Inf(-1), math.Inf(1)
+	}
+	for _, cond := range stmt.Conds {
+		dim, ok := colIndex[cond.Column]
+		if !ok {
+			return nil, fmt.Errorf("sqlfe: unknown predicate column %q (have %v)", cond.Column, schema.PredColumns)
+		}
+		cLo, cHi, err := condBounds(cond, schema)
+		if err != nil {
+			return nil, err
+		}
+		if cLo > lo[dim] {
+			lo[dim] = cLo
+		}
+		if cHi < hi[dim] {
+			hi[dim] = cHi
+		}
+	}
+	p := &Plan{
+		Agg:      stmt.Agg,
+		Rect:     dataset.Rect{Lo: lo, Hi: hi},
+		GroupDim: -1,
+	}
+	if stmt.GroupBy != "" {
+		dim, ok := colIndex[stmt.GroupBy]
+		if !ok {
+			return nil, fmt.Errorf("sqlfe: unknown grouping column %q", stmt.GroupBy)
+		}
+		p.GroupDim = dim
+		if d := schema.Dicts[stmt.GroupBy]; d != nil {
+			p.Groups = d.Codes()
+			p.GroupDict = d
+		}
+		// numeric grouping columns need the caller to supply group keys
+		// (the synopsis does not store distinct values); leave Groups nil
+	}
+	return p, nil
+}
+
+// condBounds converts one condition to an inclusive [lo, hi] interval,
+// resolving string literals through the column's dictionary.
+func condBounds(c Cond, schema Schema) (float64, float64, error) {
+	lo, hi := c.Lo, c.Hi
+	if c.IsString {
+		d := schema.Dicts[c.Column]
+		if d == nil {
+			return 0, 0, fmt.Errorf("sqlfe: column %q compared to a string but has no dictionary", c.Column)
+		}
+		var ok bool
+		lo, ok = d.Code(c.StrLo)
+		if !ok {
+			return 0, 0, fmt.Errorf("sqlfe: %q is not a known category of column %q", c.StrLo, c.Column)
+		}
+		hi, ok = d.Code(c.StrHi)
+		if !ok {
+			return 0, 0, fmt.Errorf("sqlfe: %q is not a known category of column %q", c.StrHi, c.Column)
+		}
+	}
+	switch c.Op {
+	case OpEq, OpBetween:
+		return lo, hi, nil
+	case OpLe:
+		return math.Inf(-1), hi, nil
+	case OpGe:
+		return lo, math.Inf(1), nil
+	case OpLt:
+		// strict bounds are closed up to the previous representable value
+		return math.Inf(-1), math.Nextafter(hi, math.Inf(-1)), nil
+	case OpGt:
+		return math.Nextafter(lo, math.Inf(1)), math.Inf(1), nil
+	}
+	return 0, 0, fmt.Errorf("sqlfe: unknown operator %d", int(c.Op))
+}
+
+// ParseAndCompile is the one-call convenience wrapper.
+func ParseAndCompile(sql string, schema Schema) (*Plan, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(stmt, schema)
+}

@@ -1,0 +1,220 @@
+package sqlfe
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func taxiSchema() Schema {
+	return Schema{
+		PredColumns: []string{"pickup_time", "pickup_date", "pu_location"},
+		AggColumn:   "trip_distance",
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT SUM(x) FROM t WHERE a >= 1.5 AND b <= -2e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+	text := []string{}
+	for _, tk := range toks {
+		text = append(text, tk.text)
+	}
+	joined := strings.Join(text, " ")
+	for _, want := range []string{"SELECT", "SUM", "(", "x", ")", ">=", "1.5", "-2e3"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing token %q in %q", want, joined)
+		}
+	}
+}
+
+func TestLexStringsAndErrors(t *testing.T) {
+	toks, err := lex("WHERE name = 'O''Hare'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokString && tk.text == "O'Hare" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped string not lexed")
+	}
+	if _, err := lex("WHERE a = 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("WHERE a = #"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParseFullStatement(t *testing.T) {
+	stmt, err := Parse("SELECT AVG(trip_distance) FROM trips WHERE pickup_time BETWEEN 7 AND 10 AND pickup_date >= 5 GROUP BY pu_location")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Agg != dataset.Avg || stmt.AggColumn != "trip_distance" || stmt.Table != "trips" {
+		t.Errorf("head parsed wrong: %+v", stmt)
+	}
+	if len(stmt.Conds) != 2 {
+		t.Fatalf("conds = %d", len(stmt.Conds))
+	}
+	if stmt.Conds[0].Op != OpBetween || stmt.Conds[0].Lo != 7 || stmt.Conds[0].Hi != 10 {
+		t.Errorf("BETWEEN parsed wrong: %+v", stmt.Conds[0])
+	}
+	if stmt.Conds[1].Op != OpGe || stmt.Conds[1].Lo != 5 {
+		t.Errorf(">= parsed wrong: %+v", stmt.Conds[1])
+	}
+	if stmt.GroupBy != "pu_location" {
+		t.Errorf("group by = %q", stmt.GroupBy)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt, err := Parse("select count(*) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Agg != dataset.Count || stmt.AggColumn != "*" {
+		t.Errorf("%+v", stmt)
+	}
+	if _, err := Parse("SELECT SUM(*) FROM t"); err == nil {
+		t.Error("SUM(*) accepted")
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET x = 1",
+		"SELECT MEDIAN(x) FROM t",
+		"SELECT SUM(x) FROM t WHERE a = 1 OR b = 2",
+		"SELECT SUM(x) FROM t WHERE a != 3",
+		"SELECT SUM(x) FROM t WHERE a <> 3",
+		"SELECT SUM(x) FROM t trailing garbage",
+		"SELECT SUM(x) FROM t GROUP BY",
+		"SELECT SUM(x FROM t",
+		"SELECT SUM(x) FROM t WHERE BETWEEN 1 AND 2",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("accepted invalid SQL: %q", sql)
+		}
+	}
+}
+
+func TestCompileRect(t *testing.T) {
+	plan, err := ParseAndCompile(
+		"SELECT SUM(trip_distance) FROM trips WHERE pickup_time >= 7 AND pickup_time <= 10 AND pu_location = 42",
+		taxiSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Agg != dataset.Sum {
+		t.Errorf("agg = %v", plan.Agg)
+	}
+	r := plan.Rect
+	if r.Lo[0] != 7 || r.Hi[0] != 10 {
+		t.Errorf("time bounds = [%v, %v]", r.Lo[0], r.Hi[0])
+	}
+	if !math.IsInf(r.Lo[1], -1) || !math.IsInf(r.Hi[1], 1) {
+		t.Errorf("unconstrained date should be infinite: [%v, %v]", r.Lo[1], r.Hi[1])
+	}
+	if r.Lo[2] != 42 || r.Hi[2] != 42 {
+		t.Errorf("equality bounds = [%v, %v]", r.Lo[2], r.Hi[2])
+	}
+}
+
+func TestCompileIntersectsRepeatedColumns(t *testing.T) {
+	plan, err := ParseAndCompile(
+		"SELECT SUM(trip_distance) FROM t WHERE pickup_time >= 5 AND pickup_time >= 8 AND pickup_time <= 20 AND pickup_time <= 15",
+		taxiSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rect.Lo[0] != 8 || plan.Rect.Hi[0] != 15 {
+		t.Errorf("intersection = [%v, %v], want [8, 15]", plan.Rect.Lo[0], plan.Rect.Hi[0])
+	}
+}
+
+func TestCompileStrictOps(t *testing.T) {
+	plan, err := ParseAndCompile(
+		"SELECT SUM(trip_distance) FROM t WHERE pickup_time > 5 AND pickup_time < 10", taxiSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rect.Lo[0] <= 5 || plan.Rect.Hi[0] >= 10 {
+		t.Errorf("strict bounds not tightened: [%v, %v]", plan.Rect.Lo[0], plan.Rect.Hi[0])
+	}
+	if plan.Rect.Lo[0] > 5.000001 || plan.Rect.Hi[0] < 9.999999 {
+		t.Errorf("strict bounds over-tightened: [%v, %v]", plan.Rect.Lo[0], plan.Rect.Hi[0])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := ParseAndCompile("SELECT SUM(fare) FROM t", taxiSchema()); err == nil {
+		t.Error("wrong aggregate column accepted")
+	}
+	if _, err := ParseAndCompile("SELECT SUM(trip_distance) FROM t WHERE bogus = 1", taxiSchema()); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := ParseAndCompile("SELECT SUM(trip_distance) FROM t GROUP BY bogus", taxiSchema()); err == nil {
+		t.Error("unknown group column accepted")
+	}
+	if _, err := ParseAndCompile("SELECT SUM(trip_distance) FROM t WHERE pickup_time = 'x'", taxiSchema()); err == nil {
+		t.Error("string compared against dictionary-less column accepted")
+	}
+}
+
+func TestCompileWithDictionary(t *testing.T) {
+	codes, dict := dataset.Encode([]string{"bronx", "brooklyn", "manhattan", "queens"})
+	_ = codes
+	schema := Schema{
+		PredColumns: []string{"borough", "hour"},
+		AggColumn:   "fare",
+		Dicts:       map[string]*dataset.Dict{"borough": dict},
+	}
+	plan, err := ParseAndCompile(
+		"SELECT AVG(fare) FROM t WHERE borough = 'manhattan' AND hour BETWEEN 7 AND 9", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dict.Code("manhattan")
+	if plan.Rect.Lo[0] != want || plan.Rect.Hi[0] != want {
+		t.Errorf("dictionary equality = [%v, %v], want %v", plan.Rect.Lo[0], plan.Rect.Hi[0], want)
+	}
+	if _, err := ParseAndCompile("SELECT AVG(fare) FROM t WHERE borough = 'atlantis'", schema); err == nil {
+		t.Error("unknown category accepted")
+	}
+	// group by a dictionary column yields all codes
+	plan, err = ParseAndCompile("SELECT AVG(fare) FROM t GROUP BY borough", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.GroupDim != 0 || len(plan.Groups) != 4 || plan.GroupDict == nil {
+		t.Errorf("group plan = %+v", plan)
+	}
+}
+
+func TestSchemaFromColNames(t *testing.T) {
+	s := SchemaFromColNames([]string{"a", "b", "v"})
+	if len(s.PredColumns) != 2 || s.AggColumn != "v" {
+		t.Errorf("%+v", s)
+	}
+	if s2 := SchemaFromColNames(nil); len(s2.PredColumns) != 0 {
+		t.Errorf("empty schema: %+v", s2)
+	}
+}

@@ -1,0 +1,60 @@
+package stats
+
+import "math"
+
+// Lambda99 is the two-sided normal quantile for a 99% confidence interval,
+// the default used throughout the paper's experiments (λ = 2.576).
+const Lambda99 = 2.576
+
+// Lambda95 is the 95% two-sided normal quantile (λ = 1.96).
+const Lambda95 = 1.96
+
+// LambdaFor returns the two-sided normal quantile λ such that a ±λσ interval
+// has the requested coverage (e.g. 0.95 → 1.959964). Computed from the
+// inverse error function.
+func LambdaFor(confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		panic("stats: confidence must be in (0, 1)")
+	}
+	return math.Sqrt2 * math.Erfinv(confidence)
+}
+
+// Interval is a symmetric confidence interval around an estimate, plus
+// optional deterministic hard bounds when the synopsis can certify them.
+type Interval struct {
+	Estimate float64
+	// Half is the half-width of the CLT confidence interval (λ·σ̂).
+	Half float64
+	// HardLo and HardHi are deterministic bounds guaranteed to contain the
+	// exact answer (Section 2.3). HardValid reports whether they are set.
+	HardLo, HardHi float64
+	HardValid      bool
+}
+
+// Lo returns Estimate - Half.
+func (iv Interval) Lo() float64 { return iv.Estimate - iv.Half }
+
+// Hi returns Estimate + Half.
+func (iv Interval) Hi() float64 { return iv.Estimate + iv.Half }
+
+// Contains reports whether x lies inside the CLT interval.
+func (iv Interval) Contains(x float64) bool {
+	return x >= iv.Lo() && x <= iv.Hi()
+}
+
+// FPC returns the finite-population correction factor (N-K)/(N-1) applied to
+// sampling variance when drawing K of N without replacement. Returns 1 when
+// the correction is undefined or would exceed 1.
+func FPC(populationN, sampleK int) float64 {
+	if populationN <= 1 || sampleK <= 0 {
+		return 1
+	}
+	f := float64(populationN-sampleK) / float64(populationN-1)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,88 @@
+package stats
+
+import "math"
+
+// Moments is a mergeable streaming accumulator for count, mean and variance
+// using Welford's algorithm (with Chan et al.'s parallel merge rule). It
+// also tracks min and max, making it the natural per-partition aggregate
+// record of the PASS tree: SUM, COUNT, MIN, MAX all fall out of one pass.
+type Moments struct {
+	N    int
+	Mean float64
+	m2   float64
+	Min  float64
+	Max  float64
+}
+
+// NewMoments returns an empty accumulator.
+func NewMoments() *Moments {
+	return &Moments{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add folds one observation into the accumulator.
+func (m *Moments) Add(x float64) {
+	m.N++
+	delta := x - m.Mean
+	m.Mean += delta / float64(m.N)
+	m.m2 += delta * (x - m.Mean)
+	if x < m.Min {
+		m.Min = x
+	}
+	if x > m.Max {
+		m.Max = x
+	}
+}
+
+// Merge folds other into m, as if every observation of other had been Added.
+func (m *Moments) Merge(other *Moments) {
+	if other.N == 0 {
+		return
+	}
+	if m.N == 0 {
+		*m = *other
+		return
+	}
+	n1, n2 := float64(m.N), float64(other.N)
+	delta := other.Mean - m.Mean
+	total := n1 + n2
+	m.Mean += delta * n2 / total
+	m.m2 += other.m2 + delta*delta*n1*n2/total
+	m.N += other.N
+	if other.Min < m.Min {
+		m.Min = other.Min
+	}
+	if other.Max > m.Max {
+		m.Max = other.Max
+	}
+}
+
+// Sum returns N·Mean.
+func (m *Moments) Sum() float64 { return m.Mean * float64(m.N) }
+
+// Var returns the population variance; 0 when fewer than two observations.
+func (m *Moments) Var() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.N)
+}
+
+// SampleVar returns the unbiased (n-1) sample variance.
+func (m *Moments) SampleVar() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.N-1)
+}
+
+// Std returns the population standard deviation.
+func (m *Moments) Std() float64 { return math.Sqrt(m.Var()) }
+
+// MeanVar computes the population mean and variance of values in one pass.
+func MeanVar(values []float64) (mean, variance float64) {
+	m := NewMoments()
+	for _, v := range values {
+		m.Add(v)
+	}
+	return m.Mean, m.Var()
+}

@@ -1,0 +1,75 @@
+package stats
+
+// Prefix holds prefix sums of a value sequence and of its squares, enabling
+// O(1) range sums, means and variances. This is the workhorse behind the
+// M-oracle of the partitioning dynamic programs (Section 4.3 of the paper):
+// the variance of any candidate query interval is evaluated from two
+// prefix-sum lookups instead of a scan.
+type Prefix struct {
+	sum   []float64 // sum[i] = Σ_{j<i} v[j]
+	sumSq []float64 // sumSq[i] = Σ_{j<i} v[j]²
+}
+
+// NewPrefix builds prefix sums over values. Construction is O(n).
+func NewPrefix(values []float64) *Prefix {
+	p := &Prefix{
+		sum:   make([]float64, len(values)+1),
+		sumSq: make([]float64, len(values)+1),
+	}
+	for i, v := range values {
+		p.sum[i+1] = p.sum[i] + v
+		p.sumSq[i+1] = p.sumSq[i] + v*v
+	}
+	return p
+}
+
+// Len returns the number of underlying values.
+func (p *Prefix) Len() int { return len(p.sum) - 1 }
+
+// RangeSum returns Σ v[i..j) for 0 <= i <= j <= Len().
+func (p *Prefix) RangeSum(i, j int) float64 { return p.sum[j] - p.sum[i] }
+
+// RangeSumSq returns Σ v²[i..j).
+func (p *Prefix) RangeSumSq(i, j int) float64 { return p.sumSq[j] - p.sumSq[i] }
+
+// RangeCount returns j - i, the number of values in [i, j).
+func (p *Prefix) RangeCount(i, j int) int { return j - i }
+
+// RangeMean returns the mean of v[i..j); 0 for an empty range.
+func (p *Prefix) RangeMean(i, j int) float64 {
+	n := j - i
+	if n <= 0 {
+		return 0
+	}
+	return p.RangeSum(i, j) / float64(n)
+}
+
+// RangeVar returns the population variance of v[i..j); 0 for ranges with
+// fewer than two elements. Computed as E[X²] - E[X]², clamped at zero to
+// guard against floating-point cancellation.
+func (p *Prefix) RangeVar(i, j int) float64 {
+	n := float64(j - i)
+	if n < 2 {
+		return 0
+	}
+	mean := p.RangeSum(i, j) / n
+	v := p.RangeSumSq(i, j)/n - mean*mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ScaledVar returns n·Σt² - (Σt)² over [i, j), the un-normalised spread
+// statistic V(q) that appears in the paper's variance formulas for SUM and
+// COUNT queries (Section 4.2.1), where n is the number of items in the
+// enclosing partition (not the query).
+func (p *Prefix) ScaledVar(i, j int, n int) float64 {
+	s := p.RangeSum(i, j)
+	ss := p.RangeSumSq(i, j)
+	v := float64(n)*ss - s*s
+	if v < 0 {
+		return 0
+	}
+	return v
+}

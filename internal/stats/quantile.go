@@ -1,0 +1,46 @@
+package stats
+
+import "sort"
+
+// Median returns the median of values (averaging the two central elements
+// for even lengths). The input is not modified. Returns 0 for empty input.
+func Median(values []float64) float64 {
+	return Quantile(values, 0.5)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using linear
+// interpolation between closest ranks. The input is not modified.
+func Quantile(values []float64, q float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// MeanOf returns the arithmetic mean of values; 0 for empty input.
+func MeanOf(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}

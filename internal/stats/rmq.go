@@ -1,0 +1,67 @@
+package stats
+
+import "math/bits"
+
+// SparseMax is a static sparse table answering range-maximum queries in
+// O(1) after O(n log n) construction. It backs the AVG-query max-variance
+// oracle (Appendix A.4): the variance of every δm-length window is
+// precomputed once and the window with the largest variance inside any
+// candidate partition is then a single RMQ.
+type SparseMax struct {
+	n     int
+	table [][]int // table[j][i] = argmax of v over [i, i+2^j)
+	v     []float64
+}
+
+// NewSparseMax builds the table over v. The slice is retained (not copied);
+// it must not be mutated afterwards.
+func NewSparseMax(v []float64) *SparseMax {
+	n := len(v)
+	s := &SparseMax{n: n, v: v}
+	if n == 0 {
+		return s
+	}
+	levels := bits.Len(uint(n))
+	s.table = make([][]int, levels)
+	s.table[0] = make([]int, n)
+	for i := range s.table[0] {
+		s.table[0][i] = i
+	}
+	for j := 1; j < levels; j++ {
+		width := 1 << j
+		if width > n {
+			break
+		}
+		prev := s.table[j-1]
+		cur := make([]int, n-width+1)
+		half := width / 2
+		for i := range cur {
+			a, b := prev[i], prev[i+half]
+			if s.v[a] >= s.v[b] {
+				cur[i] = a
+			} else {
+				cur[i] = b
+			}
+		}
+		s.table[j] = cur
+	}
+	return s
+}
+
+// ArgMax returns the index of the maximum value in [i, j). It panics on an
+// empty or out-of-range query.
+func (s *SparseMax) ArgMax(i, j int) int {
+	if i < 0 || j > s.n || i >= j {
+		panic("stats: SparseMax.ArgMax on empty or invalid range")
+	}
+	k := bits.Len(uint(j-i)) - 1
+	a := s.table[k][i]
+	b := s.table[k][j-(1<<k)]
+	if s.v[a] >= s.v[b] {
+		return a
+	}
+	return b
+}
+
+// Max returns the maximum value in [i, j).
+func (s *SparseMax) Max(i, j int) float64 { return s.v[s.ArgMax(i, j)] }

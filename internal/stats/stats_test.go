@@ -1,0 +1,358 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[int(r.Float64()*buckets)]++
+	}
+	expect := float64(n) / buckets
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Errorf("bucket %d count %d far from expected %.0f", i, c, expect)
+		}
+	}
+}
+
+func TestRNGNorm(t *testing.T) {
+	r := NewRNG(9)
+	m := NewMoments()
+	for i := 0; i < 200000; i++ {
+		m.Add(r.Norm())
+	}
+	if math.Abs(m.Mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", m.Mean)
+	}
+	if math.Abs(m.Var()-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", m.Var())
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("zipf not skewed: count[0]=%d count[50]=%d", counts[0], counts[50])
+	}
+	if counts[0] == 0 || counts[99] < 0 {
+		t.Errorf("zipf produced degenerate counts")
+	}
+}
+
+func TestPrefixBasics(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	p := NewPrefix(v)
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if got := p.RangeSum(0, 5); got != 15 {
+		t.Errorf("RangeSum(0,5) = %v", got)
+	}
+	if got := p.RangeSum(1, 4); got != 9 {
+		t.Errorf("RangeSum(1,4) = %v", got)
+	}
+	if got := p.RangeSumSq(0, 5); got != 55 {
+		t.Errorf("RangeSumSq(0,5) = %v", got)
+	}
+	if got := p.RangeMean(1, 4); got != 3 {
+		t.Errorf("RangeMean(1,4) = %v", got)
+	}
+	if got := p.RangeVar(0, 0); got != 0 {
+		t.Errorf("empty-range variance = %v", got)
+	}
+}
+
+// Property: prefix-sum range variance equals the directly computed variance.
+func TestPrefixVarianceProperty(t *testing.T) {
+	f := func(raw []int8, loSeed, hiSeed uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = float64(x)
+		}
+		lo := int(loSeed) % len(v)
+		hi := lo + 1 + int(hiSeed)%(len(v)-lo)
+		p := NewPrefix(v)
+		direct, _ := directMeanVar(v[lo:hi])
+		got := p.RangeVar(lo, hi)
+		return math.Abs(got-direct) < 1e-6*(1+math.Abs(direct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func directMeanVar(v []float64) (variance, mean float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(v))
+	return variance, mean
+}
+
+func TestMomentsMergeProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		m1, m2, all := NewMoments(), NewMoments(), NewMoments()
+		for _, x := range a {
+			m1.Add(float64(x))
+			all.Add(float64(x))
+		}
+		for _, x := range b {
+			m2.Add(float64(x))
+			all.Add(float64(x))
+		}
+		m1.Merge(m2)
+		if m1.N != all.N {
+			return false
+		}
+		if all.N == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean))
+		if math.Abs(m1.Mean-all.Mean) > tol {
+			return false
+		}
+		return math.Abs(m1.Var()-all.Var()) < 1e-6*(1+all.Var())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentsMinMax(t *testing.T) {
+	m := NewMoments()
+	for _, v := range []float64{3, -1, 4, 1, 5, -9, 2, 6} {
+		m.Add(v)
+	}
+	if m.Min != -9 || m.Max != 6 {
+		t.Errorf("min/max = %v/%v, want -9/6", m.Min, m.Max)
+	}
+	if m.N != 8 {
+		t.Errorf("N = %d, want 8", m.N)
+	}
+	if math.Abs(m.Sum()-11) > 1e-9 {
+		t.Errorf("Sum = %v, want 11", m.Sum())
+	}
+}
+
+func TestMomentsSampleVar(t *testing.T) {
+	m := NewMoments()
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(v)
+	}
+	if math.Abs(m.Var()-4) > 1e-9 {
+		t.Errorf("population variance = %v, want 4", m.Var())
+	}
+	if math.Abs(m.SampleVar()-32.0/7) > 1e-9 {
+		t.Errorf("sample variance = %v, want %v", m.SampleVar(), 32.0/7)
+	}
+}
+
+func TestLambdaFor(t *testing.T) {
+	cases := []struct {
+		conf, want float64
+	}{
+		{0.95, 1.959964},
+		{0.99, 2.575829},
+		{0.6826894921, 1.0},
+	}
+	for _, c := range cases {
+		got := LambdaFor(c.conf)
+		if math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("LambdaFor(%v) = %v, want %v", c.conf, got, c.want)
+		}
+	}
+}
+
+func TestLambdaForPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LambdaFor(0) should panic")
+		}
+	}()
+	LambdaFor(0)
+}
+
+func TestFPC(t *testing.T) {
+	if got := FPC(100, 100); got != 0 {
+		t.Errorf("full sample FPC = %v, want 0", got)
+	}
+	if got := FPC(100, 1); math.Abs(got-1) > 0.01 {
+		t.Errorf("tiny sample FPC = %v, want ~1", got)
+	}
+	if got := FPC(1, 1); got != 1 {
+		t.Errorf("degenerate FPC = %v, want 1", got)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{Estimate: 10, Half: 2}
+	if iv.Lo() != 8 || iv.Hi() != 12 {
+		t.Errorf("interval bounds = [%v, %v]", iv.Lo(), iv.Hi())
+	}
+	if !iv.Contains(9) || iv.Contains(13) {
+		t.Errorf("Contains misbehaves")
+	}
+}
+
+func TestSparseMax(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	s := NewSparseMax(v)
+	cases := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 10, 9}, {0, 5, 5}, {5, 6, 9}, {6, 10, 6}, {0, 1, 3}, {2, 5, 5},
+	}
+	for _, c := range cases {
+		if got := s.Max(c.i, c.j); got != c.want {
+			t.Errorf("Max(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestSparseMaxProperty(t *testing.T) {
+	f := func(raw []int8, loSeed, hiSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = float64(x)
+		}
+		lo := int(loSeed) % len(v)
+		hi := lo + 1 + int(hiSeed)%(len(v)-lo)
+		s := NewSparseMax(v)
+		want := math.Inf(-1)
+		for _, x := range v[lo:hi] {
+			if x > want {
+				want = x
+			}
+		}
+		return s.Max(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseMaxPanicsOnEmpty(t *testing.T) {
+	s := NewSparseMax([]float64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Error("ArgMax on empty range should panic")
+		}
+	}()
+	s.ArgMax(1, 1)
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(v, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(v, 1); got != 10 {
+		t.Errorf("q1 = %v", got)
+	}
+	// input must not be modified
+	orig := []float64{5, 1, 3}
+	Median(orig)
+	if orig[0] != 5 || orig[1] != 1 || orig[2] != 3 {
+		t.Errorf("Median mutated input: %v", orig)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if got := MeanOf([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("MeanOf = %v", got)
+	}
+	if got := MeanOf(nil); got != 0 {
+		t.Errorf("MeanOf(nil) = %v", got)
+	}
+}
+
+func TestScaledVar(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	p := NewPrefix(v)
+	// over full range with n = 4: 4·30 - 10² = 20
+	if got := p.ScaledVar(0, 4, 4); got != 20 {
+		t.Errorf("ScaledVar = %v, want 20", got)
+	}
+	// enclosing partition larger than the query range
+	// n·Σt² - (Σt)² for [0,2), n=4: 4·5 - 9 = 11
+	if got := p.ScaledVar(0, 2, 4); got != 11 {
+		t.Errorf("ScaledVar = %v, want 11", got)
+	}
+}

@@ -1,0 +1,101 @@
+package verdictdb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestValidation(t *testing.T) {
+	d := dataset.GenUniform(100, 1, 1, 1)
+	if _, err := New(dataset.New("e", 1), 0.5, 0, 1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := New(d, 0, 0, 1); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	if _, err := New(d, 1.5, 0, 1); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}
+
+func TestFullScrambleExact(t *testing.T) {
+	d := dataset.GenNYCTaxi(3000, 1, 2)
+	e, err := New(d, 1.0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	for trial := 0; trial < 40; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg, dataset.Min, dataset.Max} {
+			truth, err := d.Exact(kind, q)
+			r, qerr := e.Query(kind, q)
+			if qerr != nil {
+				t.Fatal(qerr)
+			}
+			if err != nil {
+				if !r.NoMatch {
+					t.Errorf("%v: want NoMatch", kind)
+				}
+				continue
+			}
+			if math.Abs(r.Estimate-truth) > 1e-6*(1+math.Abs(truth)) {
+				t.Errorf("%v: 100%% scramble gave %v, want %v", kind, r.Estimate, truth)
+			}
+			if !r.Exact {
+				t.Errorf("%v: 100%% scramble should report Exact", kind)
+			}
+		}
+	}
+}
+
+func TestScrambleRatioDrivesStorageAndAccuracy(t *testing.T) {
+	d := dataset.GenNYCTaxi(20000, 1, 5)
+	small, err := New(d, 0.05, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(d, 0.5, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.MemoryBytes() >= big.MemoryBytes() {
+		t.Errorf("storage should grow with ratio: %d >= %d", small.MemoryBytes(), big.MemoryBytes())
+	}
+	if small.ScrambleSize() != 1000 {
+		t.Errorf("scramble size = %d, want 1000", small.ScrambleSize())
+	}
+	rng := stats.NewRNG(7)
+	var errSmall, errBig []float64
+	for trial := 0; trial < 80; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		if math.Abs(a-b) < 2 {
+			continue
+		}
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		truth, err := d.Exact(dataset.Sum, q)
+		if err != nil || truth == 0 {
+			continue
+		}
+		rs, _ := small.Query(dataset.Sum, q)
+		rb, _ := big.Query(dataset.Sum, q)
+		errSmall = append(errSmall, rs.RelativeError(truth))
+		errBig = append(errBig, rb.RelativeError(truth))
+	}
+	if stats.Median(errBig) >= stats.Median(errSmall) {
+		t.Errorf("bigger scramble should be more accurate: %v >= %v",
+			stats.Median(errBig), stats.Median(errSmall))
+	}
+}
+
+func TestName(t *testing.T) {
+	d := dataset.GenUniform(100, 1, 1, 8)
+	e, _ := New(d, 0.1, 0, 9)
+	if e.Name() != "VerdictDB-10%" {
+		t.Errorf("name = %q", e.Name())
+	}
+}

@@ -1,0 +1,266 @@
+// Package workload generates the query workloads of the paper's evaluation
+// — random rectangular aggregates, "challenging" queries centred on the
+// maximum-variance window (Section 5.3), and the multi-dimensional
+// templates of Section 5.4 — together with efficient ground-truth
+// evaluation (prefix sums in 1D, scans otherwise).
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/rangetree"
+	"repro/internal/stats"
+)
+
+// Query is one benchmark query with its exact answer.
+type Query struct {
+	Kind  dataset.AggKind
+	Rect  dataset.Rect
+	Truth float64
+	// HasTruth is false when the aggregate is undefined (empty AVG etc.).
+	HasTruth bool
+}
+
+// Evaluator computes exact answers. For 1D datasets it sorts once and uses
+// prefix sums, answering each query in O(log N); for 2D/3D datasets of
+// moderate size it builds an orthogonal range tree (Appendix A.3),
+// answering in O(log^d N); otherwise it scans.
+type Evaluator struct {
+	d      *dataset.Dataset
+	sorted *dataset.Dataset
+	keys   []float64
+	sum    *stats.Prefix
+	oneD   bool
+	rtree  *rangetree.Tree
+}
+
+// rangeTreeRowLimits caps range-tree construction per dimensionality —
+// memory is O(N log^{d-1} N).
+var rangeTreeRowLimits = map[int]int{2: 300000, 3: 80000}
+
+// NewEvaluator prepares ground-truth evaluation over d.
+func NewEvaluator(d *dataset.Dataset) *Evaluator {
+	e := &Evaluator{d: d}
+	if d.Dims() == 1 {
+		e.oneD = true
+		e.sorted = d.Clone()
+		e.sorted.SortByPred(0)
+		e.keys = e.sorted.Pred[0]
+		e.sum = stats.NewPrefix(e.sorted.Agg)
+		return e
+	}
+	if limit, ok := rangeTreeRowLimits[d.Dims()]; ok && d.N() <= limit && d.N() > 0 {
+		if rt, err := rangetree.FromColumns(d.Pred, d.Agg); err == nil {
+			e.rtree = rt
+		}
+	}
+	return e
+}
+
+// Exact returns the ground-truth answer.
+func (e *Evaluator) Exact(kind dataset.AggKind, r dataset.Rect) (float64, bool) {
+	sumCountAvg := kind == dataset.Sum || kind == dataset.Count || kind == dataset.Avg
+	if e.oneD && r.Dims() == 1 && sumCountAvg {
+		lo := sort.SearchFloat64s(e.keys, r.Lo[0])
+		hi := sort.SearchFloat64s(e.keys, math.Nextafter(r.Hi[0], math.Inf(1)))
+		switch kind {
+		case dataset.Sum:
+			return e.sum.RangeSum(lo, hi), true
+		case dataset.Count:
+			return float64(hi - lo), true
+		case dataset.Avg:
+			if hi == lo {
+				return 0, false
+			}
+			return e.sum.RangeMean(lo, hi), true
+		}
+	}
+	if e.rtree != nil && r.Dims() == e.rtree.Dims() && sumCountAvg {
+		st, err := e.rtree.Query(r.Lo, r.Hi)
+		if err == nil {
+			switch kind {
+			case dataset.Sum:
+				return st.Sum, true
+			case dataset.Count:
+				return float64(st.Count), true
+			case dataset.Avg:
+				if st.Count == 0 {
+					return 0, false
+				}
+				return st.Sum / float64(st.Count), true
+			}
+		}
+	}
+	v, err := e.d.Exact(kind, r)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Options configures workload generation.
+type Options struct {
+	// N is the number of queries.
+	N int
+	// Kind is the aggregate.
+	Kind dataset.AggKind
+	// Dims restricts queries to the first Dims predicate columns
+	// (0 = all).
+	Dims int
+	// MinSelFrac rejects queries matching fewer than this fraction of
+	// tuples (the paper's δ assumption). Default 0.001.
+	MinSelFrac float64
+	// MaxTries bounds rejection sampling per query (default 50).
+	MaxTries int
+	Seed     uint64
+}
+
+func (o *Options) fill() {
+	if o.MinSelFrac <= 0 {
+		o.MinSelFrac = 0.001
+	}
+	if o.MaxTries <= 0 {
+		o.MaxTries = 50
+	}
+}
+
+// GenRandom draws random rectangular queries whose corner coordinates are
+// uniform over the data's bounding box, rejecting near-empty predicates.
+func GenRandom(d *dataset.Dataset, ev *Evaluator, opts Options) []Query {
+	opts.fill()
+	rng := stats.NewRNG(opts.Seed + 0x10ad)
+	bounds := d.Bounds()
+	dims := d.Dims()
+	if opts.Dims > 0 && opts.Dims < dims {
+		dims = opts.Dims
+	}
+	minCount := opts.MinSelFrac * float64(d.N())
+	out := make([]Query, 0, opts.N)
+	for len(out) < opts.N {
+		var q Query
+		ok := false
+		for try := 0; try < opts.MaxTries; try++ {
+			rect := randomRect(rng, bounds, dims)
+			cnt, _ := ev.Exact(dataset.Count, rect)
+			if cnt < minCount {
+				continue
+			}
+			truth, has := ev.Exact(opts.Kind, rect)
+			q = Query{Kind: opts.Kind, Rect: rect, Truth: truth, HasTruth: has}
+			ok = has
+			break
+		}
+		if !ok {
+			// fall back to the full range so generation always terminates
+			rect := dataset.Rect{
+				Lo: append([]float64(nil), bounds.Lo[:dims]...),
+				Hi: append([]float64(nil), bounds.Hi[:dims]...),
+			}
+			truth, has := ev.Exact(opts.Kind, rect)
+			q = Query{Kind: opts.Kind, Rect: rect, Truth: truth, HasTruth: has}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func randomRect(rng *stats.RNG, bounds dataset.Rect, dims int) dataset.Rect {
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for c := 0; c < dims; c++ {
+		span := bounds.Hi[c] - bounds.Lo[c]
+		a := bounds.Lo[c] + rng.Float64()*span
+		b := bounds.Lo[c] + rng.Float64()*span
+		lo[c], hi[c] = math.Min(a, b), math.Max(a, b)
+	}
+	return dataset.Rect{Lo: lo, Hi: hi}
+}
+
+// GenChallenging draws queries concentrated on the maximum-variance window
+// of the first predicate column, located with the fast discretization
+// oracles of Section 4.3.1 — the adversarial workload of Section 5.3.
+func GenChallenging(d *dataset.Dataset, ev *Evaluator, opts Options) []Query {
+	opts.fill()
+	rng := stats.NewRNG(opts.Seed + 0xc4a1)
+	sorted := d.Clone()
+	sorted.SortByPred(0)
+	lo, hi := MaxVarianceWindow(sorted, opts.Kind)
+	vlo, vhi := sorted.Pred[0][lo], sorted.Pred[0][hi-1]
+	span := vhi - vlo
+	if span <= 0 {
+		span = 1
+	}
+	// widen slightly so queries straddle the window boundary
+	vlo -= span / 2
+	vhi += span / 2
+	span = vhi - vlo
+	minCount := opts.MinSelFrac * float64(d.N())
+	out := make([]Query, 0, opts.N)
+	for len(out) < opts.N {
+		var q Query
+		ok := false
+		for try := 0; try < opts.MaxTries; try++ {
+			a := vlo + rng.Float64()*span
+			b := vlo + rng.Float64()*span
+			rect := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+			cnt, _ := ev.Exact(dataset.Count, rect)
+			if cnt < minCount {
+				continue
+			}
+			truth, has := ev.Exact(opts.Kind, rect)
+			q = Query{Kind: opts.Kind, Rect: rect, Truth: truth, HasTruth: has}
+			ok = has
+			break
+		}
+		if !ok {
+			rect := dataset.Rect1(vlo, vhi)
+			truth, has := ev.Exact(opts.Kind, rect)
+			q = Query{Kind: opts.Kind, Rect: rect, Truth: truth, HasTruth: has}
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// MaxVarianceWindow returns the index range (into the sorted-by-predicate
+// order) of the approximately maximum-variance query window, using the
+// discretized oracles of Section 4.3.1.
+func MaxVarianceWindow(sorted *dataset.Dataset, kind dataset.AggKind) (lo, hi int) {
+	n := sorted.N()
+	switch kind {
+	case dataset.Avg:
+		o := partition.NewAvgOracle(sorted.Agg, 0.02)
+		return o.MaxVarWindow(0, n)
+	default:
+		// the median-split window halves the range; iterate it to focus
+		// on the high-variance region, stopping at a ~2% window
+		o := partition.NewSumOracle(sorted.Agg)
+		lo, hi = 0, n
+		minLen := n / 50
+		if minLen < 8 {
+			minLen = 8
+		}
+		for hi-lo > 2*minLen {
+			nlo, nhi := o.MaxVarWindow(lo, hi)
+			if nlo == lo && nhi == hi {
+				break
+			}
+			lo, hi = nlo, nhi
+		}
+		return lo, hi
+	}
+}
+
+// Filter returns the queries with defined ground truth.
+func Filter(qs []Query) []Query {
+	out := qs[:0:0]
+	for _, q := range qs {
+		if q.HasTruth {
+			out = append(out, q)
+		}
+	}
+	return out
+}

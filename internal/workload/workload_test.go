@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestEvaluator1DMatchesScan(t *testing.T) {
+	d := dataset.GenNYCTaxi(5000, 1, 1)
+	ev := NewEvaluator(d)
+	rng := stats.NewRNG(2)
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg} {
+			fast, fastOK := ev.Exact(kind, q)
+			slow, err := d.Exact(kind, q)
+			slowOK := err == nil
+			if fastOK != slowOK {
+				t.Fatalf("%v: definedness mismatch (%v vs %v)", kind, fastOK, slowOK)
+			}
+			if fastOK && math.Abs(fast-slow) > 1e-6*(1+math.Abs(slow)) {
+				t.Fatalf("%v: prefix %v != scan %v", kind, fast, slow)
+			}
+		}
+	}
+}
+
+func TestEvaluatorMultiD(t *testing.T) {
+	d := dataset.GenNYCTaxi(2000, 3, 3)
+	ev := NewEvaluator(d)
+	q := dataset.Rect{Lo: []float64{0, 0, 0}, Hi: []float64{12, 15, 130}}
+	fast, ok := ev.Exact(dataset.Sum, q)
+	want, _ := d.Exact(dataset.Sum, q)
+	if !ok || math.Abs(fast-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("multi-d evaluator: %v (ok=%v), want %v", fast, ok, want)
+	}
+}
+
+func TestGenRandomRespectsSelectivityFloor(t *testing.T) {
+	d := dataset.GenNYCTaxi(10000, 1, 4)
+	ev := NewEvaluator(d)
+	qs := GenRandom(d, ev, Options{N: 200, Kind: dataset.Sum, MinSelFrac: 0.01, Seed: 5})
+	if len(qs) != 200 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	floorViolations := 0
+	for _, q := range qs {
+		cnt, _ := ev.Exact(dataset.Count, q.Rect)
+		if cnt < 0.01*float64(d.N()) {
+			floorViolations++
+		}
+		if !q.HasTruth {
+			t.Error("random SUM query without truth")
+		}
+	}
+	// fallback queries may rarely violate the floor, but most must hold
+	if floorViolations > 10 {
+		t.Errorf("%d of 200 queries below the selectivity floor", floorViolations)
+	}
+}
+
+func TestGenRandomTruthMatches(t *testing.T) {
+	d := dataset.GenIntelWireless(5000, 6)
+	ev := NewEvaluator(d)
+	qs := GenRandom(d, ev, Options{N: 50, Kind: dataset.Avg, Seed: 7})
+	for i, q := range qs {
+		if !q.HasTruth {
+			continue
+		}
+		want, err := d.Exact(dataset.Avg, q.Rect)
+		if err != nil {
+			t.Fatalf("query %d: truth flagged but exact fails", i)
+		}
+		if math.Abs(q.Truth-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("query %d: stored truth %v != %v", i, q.Truth, want)
+		}
+	}
+}
+
+func TestGenRandomMultiDims(t *testing.T) {
+	d := dataset.GenNYCTaxi(5000, 4, 8)
+	ev := NewEvaluator(d)
+	qs := GenRandom(d, ev, Options{N: 30, Kind: dataset.Count, Dims: 2, Seed: 9})
+	for _, q := range qs {
+		if q.Rect.Dims() != 2 {
+			t.Fatalf("Dims option ignored: rect has %d dims", q.Rect.Dims())
+		}
+	}
+}
+
+func TestGenChallengingConcentratesOnVariance(t *testing.T) {
+	d := dataset.GenAdversarial(20000, 10)
+	ev := NewEvaluator(d)
+	qs := GenChallenging(d, ev, Options{N: 100, Kind: dataset.Sum, Seed: 11})
+	// challenging queries must concentrate where the variance is: the
+	// normal tail occupying the last eighth of the key space
+	inTail := 0
+	for _, q := range qs {
+		if q.Rect.Hi[0] >= 17500 {
+			inTail++
+		}
+	}
+	if inTail < 80 {
+		t.Errorf("only %d of 100 challenging queries touch the high-variance tail", inTail)
+	}
+}
+
+func TestMaxVarianceWindowAdversarial(t *testing.T) {
+	d := dataset.GenAdversarial(8000, 12)
+	sorted := d.Clone()
+	sorted.SortByPred(0)
+	lo, hi := MaxVarianceWindow(sorted, dataset.Sum)
+	if lo < 3500 {
+		t.Errorf("SUM max-variance window [%d, %d) should lie in the noisy tail", lo, hi)
+	}
+	lo, hi = MaxVarianceWindow(sorted, dataset.Avg)
+	if hi <= lo {
+		t.Errorf("AVG window empty: [%d, %d)", lo, hi)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	qs := []Query{{HasTruth: true}, {HasTruth: false}, {HasTruth: true}}
+	if got := Filter(qs); len(got) != 2 {
+		t.Errorf("Filter kept %d, want 2", len(got))
+	}
+}

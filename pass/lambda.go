@@ -1,0 +1,9 @@
+package pass
+
+import "math"
+
+// lambdaFor converts a two-sided coverage probability into the normal
+// quantile multiplier (0.95 → 1.96, 0.99 → 2.576).
+func lambdaFor(confidence float64) float64 {
+	return math.Sqrt2 * math.Erfinv(confidence)
+}

@@ -1,0 +1,201 @@
+package pass
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func demoTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := Demo("nyctaxi", 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestAggString(t *testing.T) {
+	cases := map[Agg]string{Sum: "SUM", Count: "COUNT", Avg: "AVG", Min: "MIN", Max: "MAX"}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+	if Agg(99).String() != "Agg(99)" {
+		t.Errorf("unknown agg string = %q", Agg(99).String())
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable([]string{"x", "y"}, "v")
+	tbl.Append([]float64{1, 2}, 10)
+	tbl.Append([]float64{3, 4}, 20)
+	if tbl.Len() != 2 || tbl.Dims() != 2 {
+		t.Fatalf("Len=%d Dims=%d", tbl.Len(), tbl.Dims())
+	}
+	got, err := tbl.Exact(Sum, Range{0, 5}, Range{0, 5})
+	if err != nil || got != 30 {
+		t.Errorf("Exact = %v, %v", got, err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := NewTable([]string{"x"}, "v")
+	tbl.Append([]float64{1}, 2)
+	tbl.Append([]float64{3}, 4)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil || got.Len() != 2 {
+		t.Fatalf("ReadCSV: %v %v", got, err)
+	}
+}
+
+func TestDemoNames(t *testing.T) {
+	for _, name := range []string{"intel", "instacart", "nyctaxi", "adversarial", "uniform"} {
+		tbl, err := Demo(name, 500, 1)
+		if err != nil || tbl.Len() != 500 {
+			t.Errorf("Demo(%q): %v", name, err)
+		}
+	}
+	if _, err := Demo("bogus", 10, 1); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if got := DemoTaxi(100, 3, 1); got.Dims() != 3 {
+		t.Errorf("DemoTaxi dims = %d", got.Dims())
+	}
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	tbl := demoTable(t)
+	syn, err := Build(tbl, Options{Partitions: 32, SampleRate: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Leaves() < 2 || syn.Samples() == 0 || syn.MemoryBytes() <= 0 {
+		t.Fatalf("synopsis stats: leaves=%d samples=%d", syn.Leaves(), syn.Samples())
+	}
+	ans, err := syn.Sum(Range{6, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := tbl.Exact(Sum, Range{6, 18})
+	if math.Abs(ans.Estimate-truth)/truth > 0.2 {
+		t.Errorf("SUM estimate %v far from %v", ans.Estimate, truth)
+	}
+	if ans.HardBounds && (truth < ans.HardLo || truth > ans.HardHi) {
+		t.Errorf("hard bounds [%v, %v] miss truth %v", ans.HardLo, ans.HardHi, truth)
+	}
+	for _, f := range []func(...Range) (Answer, error){syn.Count, syn.Avg, syn.MinQ, syn.MaxQ} {
+		if _, err := f(Range{6, 18}); err != nil {
+			t.Errorf("query failed: %v", err)
+		}
+	}
+}
+
+func TestFullSpanExact(t *testing.T) {
+	tbl := demoTable(t)
+	syn, err := Build(tbl, Options{Partitions: 16, SampleRate: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := syn.Sum(Range{math.Inf(-1), math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Exact || ans.CIHalf != 0 {
+		t.Errorf("full-span query should be exact: %+v", ans)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	tbl := demoTable(t)
+	syn, _ := Build(tbl, Options{Partitions: 8, SampleRate: 0.02, Seed: 4})
+	if _, err := syn.Avg(Range{1000, 2000}); err != ErrNoMatch {
+		t.Errorf("want ErrNoMatch, got %v", err)
+	}
+}
+
+func TestBuildMulti(t *testing.T) {
+	tbl := DemoTaxi(6000, 3, 5)
+	syn, err := BuildMulti(tbl, Options{Partitions: 64, SampleRate: 0.05, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := syn.Sum(Range{0, 12}, Range{0, 15}, Range{0, 130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := tbl.Exact(Sum, Range{0, 12}, Range{0, 15}, Range{0, 130})
+	if truth > 0 && math.Abs(ans.Estimate-truth)/truth > 0.5 {
+		t.Errorf("multi-d SUM %v far from %v", ans.Estimate, truth)
+	}
+}
+
+func TestWorkloadShiftViaIndexDims(t *testing.T) {
+	tbl := DemoTaxi(6000, 5, 7)
+	syn, err := BuildMulti(tbl, Options{Partitions: 64, SampleRate: 0.1, Seed: 8, IndexDims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a 4D query against a 2D-indexed synopsis must still work
+	if _, err := syn.Sum(Range{0, 24}, Range{0, 31}, Range{0, 263}, Range{0, 31}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	tbl := demoTable(t)
+	syn, _ := Build(tbl, Options{Partitions: 8, SampleRate: 0.05, Seed: 9})
+	before, _ := syn.Count(Range{math.Inf(-1), math.Inf(1)})
+	if err := syn.Insert([]float64{12}, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := syn.Count(Range{math.Inf(-1), math.Inf(1)})
+	if after.Estimate != before.Estimate+1 {
+		t.Errorf("COUNT after insert = %v, want %v", after.Estimate, before.Estimate+1)
+	}
+	if err := syn.Delete([]float64{12}, 3.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tbl := demoTable(t)
+	if _, err := Build(tbl, Options{Partitions: 8, SampleRate: 0.05, Confidence: 2}); err == nil {
+		t.Error("bad confidence accepted")
+	}
+	if _, err := Build(tbl, Options{Partitions: 8, SampleRate: 0.05, Partitioner: Partitioner(9)}); err == nil {
+		t.Error("bad partitioner accepted")
+	}
+	if _, err := Build(tbl, Options{Partitions: 8, SampleRate: 0.05, OptimizeFor: Agg(9)}); err == nil {
+		t.Error("bad aggregate accepted")
+	}
+}
+
+func TestConfidenceAffectsCI(t *testing.T) {
+	tbl := demoTable(t)
+	narrow, _ := Build(tbl, Options{Partitions: 16, SampleRate: 0.02, Confidence: 0.5, Seed: 10})
+	wide, _ := Build(tbl, Options{Partitions: 16, SampleRate: 0.02, Confidence: 0.999, Seed: 10})
+	an, _ := narrow.Sum(Range{8, 9})
+	aw, _ := wide.Sum(Range{8, 9})
+	if an.CIHalf >= aw.CIHalf {
+		t.Errorf("99.9%% CI (%v) should be wider than 50%% CI (%v)", aw.CIHalf, an.CIHalf)
+	}
+}
+
+func TestPartitionerChoices(t *testing.T) {
+	tbl, _ := Demo("adversarial", 5000, 11)
+	for _, p := range []Partitioner{ADP, EqualDepth, HillClimb} {
+		syn, err := Build(tbl, Options{Partitions: 16, SampleRate: 0.02, Partitioner: p, Seed: 12})
+		if err != nil {
+			t.Fatalf("partitioner %d: %v", int(p), err)
+		}
+		if _, err := syn.Sum(Range{0, 2500}); err != nil {
+			t.Fatalf("partitioner %d query: %v", int(p), err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package pass
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPlanProducesBuildableOptions(t *testing.T) {
+	tbl := DemoTaxi(15000, 1, 81)
+	k, sampleK, err := Plan(tbl, time.Second, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 4 || sampleK < k {
+		t.Fatalf("plan: k=%d K=%d", k, sampleK)
+	}
+	syn, err := Build(tbl, Options{Partitions: k, SampleSize: sampleK, Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syn.Sum(Range{6, 18}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	tbl := DemoTaxi(15000, 1, 83)
+	if _, _, err := Plan(tbl, 0, time.Second); err == nil {
+		t.Error("zero construct budget accepted")
+	}
+}
+
+func TestDeriveTemplatesFromWorkload(t *testing.T) {
+	tbl := DemoTaxi(500, 3, 84)
+	inf := math.Inf(1)
+	unconstrained := Range{Lo: math.Inf(-1), Hi: inf}
+	workload := [][]Range{
+		{{7, 10}, {0, 15}}, // time+date ×3
+		{{8, 11}, {2, 20}},
+		{{9, 12}, {5, 25}},
+		{unconstrained, unconstrained, {0, 99}}, // location ×1
+	}
+	specs := DeriveTemplates(tbl, workload, 4)
+	if len(specs) != 2 {
+		t.Fatalf("specs = %+v", specs)
+	}
+	if specs[0].Columns[0] != "pickup_time" || specs[0].Columns[1] != "pickup_date" {
+		t.Errorf("dominant template columns = %v", specs[0].Columns)
+	}
+	if specs[0].Weight != 3 || specs[1].Weight != 1 {
+		t.Errorf("weights = %v / %v", specs[0].Weight, specs[1].Weight)
+	}
+	// derived specs feed straight into BuildTemplates
+	big := DemoTaxi(8000, 3, 85)
+	ts, err := BuildTemplates(big, Options{Partitions: 64, SampleRate: 0.05, Seed: 86}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Templates() != 2 {
+		t.Errorf("built %d templates", ts.Templates())
+	}
+}

@@ -1,0 +1,185 @@
+package pass
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/sqlfe"
+)
+
+// Dict is a dictionary encoding of a categorical (string) column: the
+// bridge between SQL string predicates and PASS's numeric rectangles
+// (Section 4.5 of the paper).
+type Dict struct {
+	inner *dataset.Dict
+}
+
+// EncodeStrings dictionary-encodes a string column: it returns the
+// numeric codes (to Append as a predicate column) and the dictionary (to
+// attach to the table with SetDict so SQL queries can use the strings).
+func EncodeStrings(column []string) ([]float64, *Dict) {
+	codes, d := dataset.Encode(column)
+	return codes, &Dict{inner: d}
+}
+
+// Code returns the numeric code of a category.
+func (d *Dict) Code(v string) (float64, bool) { return d.inner.Code(v) }
+
+// Value returns the category of a code.
+func (d *Dict) Value(code float64) (string, error) { return d.inner.Value(code) }
+
+// Categories returns the number of distinct categories.
+func (d *Dict) Categories() int { return d.inner.Len() }
+
+// SetDict attaches a dictionary to a predicate column (by name), enabling
+// string predicates and GROUP BY on it in SQL queries.
+func (t *Table) SetDict(column string, d *Dict) error {
+	for i := 0; i < t.inner.Dims(); i++ {
+		if t.inner.ColNames[i] == column {
+			if t.dicts == nil {
+				t.dicts = map[string]*dataset.Dict{}
+			}
+			t.dicts[column] = d.inner
+			return nil
+		}
+	}
+	return fmt.Errorf("pass: %q is not a predicate column", column)
+}
+
+// GroupAnswer is one group's result in a GROUP BY query.
+type GroupAnswer struct {
+	// Group is the numeric group key.
+	Group float64
+	// Label is the dictionary category when the grouping column has one.
+	Label string
+	// Answer is the group's approximate aggregate; NoMatch reports groups
+	// with no (estimable) matching tuples.
+	Answer  Answer
+	NoMatch bool
+}
+
+// GroupBy answers agg(...) WHERE pred GROUP BY column dim, one equality
+// predicate per group key (Section 4.5).
+func (s *Synopsis) GroupBy(agg Agg, dim int, groups []float64, pred ...Range) ([]GroupAnswer, error) {
+	kind, err := agg.internal()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.inner.GroupBy(kind, toRect(pred), dim, groups)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupAnswer, len(res))
+	for i, gr := range res {
+		out[i] = GroupAnswer{Group: gr.Group, NoMatch: gr.Result.NoMatch}
+		if !gr.Result.NoMatch {
+			out[i].Answer = Answer{
+				Estimate:   gr.Result.Estimate,
+				CIHalf:     gr.Result.CIHalf,
+				HardLo:     gr.Result.HardLo,
+				HardHi:     gr.Result.HardHi,
+				HardBounds: gr.Result.HardValid,
+				Exact:      gr.Result.Exact,
+				TuplesRead: gr.Result.TuplesRead,
+				SkipRate:   gr.Result.SkipRate(s.inner.N()),
+			}
+		}
+	}
+	return out, nil
+}
+
+// SQLResult is the answer of one SQL statement: a scalar for plain
+// aggregates, or per-group answers for GROUP BY.
+type SQLResult struct {
+	// Scalar holds the answer of a non-grouped query.
+	Scalar Answer
+	// Groups holds the per-group answers of a GROUP BY query (nil
+	// otherwise).
+	Groups []GroupAnswer
+}
+
+// SQL parses and executes one statement of the supported class:
+//
+//	SELECT SUM|COUNT|AVG|MIN|MAX(column|*) FROM t
+//	 WHERE col >= x AND col BETWEEN a AND b AND col = 'category' ...
+//	 [GROUP BY col]
+//
+// Column names resolve against the table the synopsis was built from;
+// string literals resolve through dictionaries attached with SetDict.
+// GROUP BY requires a dictionary on the grouping column (the synopsis
+// does not store distinct numeric values — use GroupBy directly for
+// numeric group keys).
+func (s *Synopsis) SQL(query string) (SQLResult, error) {
+	if len(s.schema.PredColumns) == 0 {
+		return SQLResult{}, fmt.Errorf("pass: synopsis has no schema (loaded from disk?) — call SetSchema first")
+	}
+	plan, err := sqlfe.ParseAndCompile(query, s.schema)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	if plan.GroupDim < 0 {
+		r, err := s.inner.Query(plan.Agg, plan.Rect)
+		if err != nil {
+			return SQLResult{}, err
+		}
+		if r.NoMatch {
+			return SQLResult{}, ErrNoMatch
+		}
+		return SQLResult{Scalar: Answer{
+			Estimate:   r.Estimate,
+			CIHalf:     r.CIHalf,
+			HardLo:     r.HardLo,
+			HardHi:     r.HardHi,
+			HardBounds: r.HardValid,
+			Exact:      r.Exact,
+			TuplesRead: r.TuplesRead,
+			SkipRate:   r.SkipRate(s.inner.N()),
+		}}, nil
+	}
+	if len(plan.Groups) == 0 {
+		return SQLResult{}, fmt.Errorf("pass: GROUP BY on a numeric column needs explicit group keys — use Synopsis.GroupBy")
+	}
+	res, err := s.inner.GroupBy(plan.Agg, plan.Rect, plan.GroupDim, plan.Groups)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	out := SQLResult{Groups: make([]GroupAnswer, len(res))}
+	for i, gr := range res {
+		ga := GroupAnswer{Group: gr.Group, NoMatch: gr.Result.NoMatch}
+		if plan.GroupDict != nil {
+			if label, err := plan.GroupDict.Value(gr.Group); err == nil {
+				ga.Label = label
+			}
+		}
+		if !gr.Result.NoMatch {
+			ga.Answer = Answer{
+				Estimate:   gr.Result.Estimate,
+				CIHalf:     gr.Result.CIHalf,
+				HardLo:     gr.Result.HardLo,
+				HardHi:     gr.Result.HardHi,
+				HardBounds: gr.Result.HardValid,
+				Exact:      gr.Result.Exact,
+				TuplesRead: gr.Result.TuplesRead,
+				SkipRate:   gr.Result.SkipRate(s.inner.N()),
+			}
+		}
+		out.Groups[i] = ga
+	}
+	return out, nil
+}
+
+// SetSchema attaches column names (and optional dictionaries) to a
+// synopsis, enabling SQL queries — needed after LoadSynopsis, which does
+// not persist names.
+func (s *Synopsis) SetSchema(predCols []string, aggCol string, dicts map[string]*Dict) {
+	s.schema = sqlfe.Schema{
+		PredColumns: append([]string(nil), predCols...),
+		AggColumn:   aggCol,
+	}
+	if len(dicts) > 0 {
+		s.schema.Dicts = make(map[string]*dataset.Dict, len(dicts))
+		for k, v := range dicts {
+			s.schema.Dicts[k] = v.inner
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package pass
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+type coreRect = dataset.Rect
+
+// Plan converts the paper's user-facing time limits — a construction
+// budget τ_c and a per-query latency budget τ_q (Section 3.1) — into
+// concrete Partitions and SampleSize values for Options, using a cost
+// model calibrated on the caller's machine against the actual table.
+func Plan(t *Table, construct, query time.Duration) (partitions, sampleSize int, err error) {
+	b, err := core.PlanBudget(t.inner, construct, query)
+	if err != nil {
+		return 0, 0, err
+	}
+	return b.Partitions, b.SampleSize, nil
+}
+
+// DeriveTemplates inspects a past workload's predicates and returns the
+// distinct constrained-column sets as TemplateSpecs weighted by
+// frequency, most frequent first (at most maxTemplates). Feed the result
+// to BuildTemplates.
+func DeriveTemplates(t *Table, workload [][]Range, maxTemplates int) []TemplateSpec {
+	rects := make([]coreRect, 0, len(workload))
+	for _, pred := range workload {
+		rects = append(rects, toRect(pred))
+	}
+	derived := core.DeriveTemplates(rects, maxTemplates)
+	out := make([]TemplateSpec, len(derived))
+	for i, d := range derived {
+		cols := make([]string, len(d.Columns))
+		for j, c := range d.Columns {
+			cols[j] = t.inner.ColNames[c]
+		}
+		out[i] = TemplateSpec{Columns: cols, Weight: d.Weight}
+	}
+	return out
+}
+
+// TemplateSpec declares one anticipated query template by predicate
+// column names and its workload share.
+type TemplateSpec struct {
+	Columns []string
+	Weight  float64
+}
+
+// TemplateSet holds one synopsis per workload template with a router
+// (Section 4.5 of the paper): each query is answered by the synopsis
+// whose indexed columns best match its predicate.
+type TemplateSet struct {
+	inner *core.TemplateSet
+	n     int
+}
+
+// BuildTemplates builds per-template synopses over the table, splitting
+// the partition and sample budgets by template weight.
+func BuildTemplates(t *Table, opt Options, specs []TemplateSpec) (*TemplateSet, error) {
+	iopt, err := opt.internal()
+	if err != nil {
+		return nil, err
+	}
+	colIndex := map[string]int{}
+	for i := 0; i < t.inner.Dims(); i++ {
+		colIndex[t.inner.ColNames[i]] = i
+	}
+	templates := make([]core.Template, len(specs))
+	for i, sp := range specs {
+		cols := make([]int, len(sp.Columns))
+		for j, name := range sp.Columns {
+			idx, ok := colIndex[name]
+			if !ok {
+				return nil, fmt.Errorf("pass: template %d references unknown column %q", i, name)
+			}
+			cols[j] = idx
+		}
+		templates[i] = core.Template{Columns: cols, Weight: sp.Weight}
+	}
+	ts, err := core.BuildTemplates(t.inner, iopt, templates)
+	if err != nil {
+		return nil, err
+	}
+	return &TemplateSet{inner: ts, n: t.Len()}, nil
+}
+
+// Query routes the predicate to the best-matching template's synopsis and
+// answers it; the second return value is the chosen template index.
+func (ts *TemplateSet) Query(agg Agg, pred ...Range) (Answer, int, error) {
+	kind, err := agg.internal()
+	if err != nil {
+		return Answer{}, 0, err
+	}
+	r, idx, err := ts.inner.Query(kind, toRect(pred))
+	if err != nil {
+		return Answer{}, idx, err
+	}
+	if r.NoMatch {
+		return Answer{}, idx, ErrNoMatch
+	}
+	return Answer{
+		Estimate:   r.Estimate,
+		CIHalf:     r.CIHalf,
+		HardLo:     r.HardLo,
+		HardHi:     r.HardHi,
+		HardBounds: r.HardValid,
+		Exact:      r.Exact,
+		TuplesRead: r.TuplesRead,
+		SkipRate:   r.SkipRate(ts.n),
+	}, idx, nil
+}
+
+// Templates returns the number of member synopses.
+func (ts *TemplateSet) Templates() int { return ts.inner.Len() }
+
+// MemoryBytes sums storage across member synopses.
+func (ts *TemplateSet) MemoryBytes() int { return ts.inner.MemoryBytes() }

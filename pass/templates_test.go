@@ -1,0 +1,83 @@
+package pass
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBuildTemplatesAndRoute(t *testing.T) {
+	tbl := DemoTaxi(10000, 5, 61)
+	ts, err := BuildTemplates(tbl, Options{Partitions: 128, SampleRate: 0.05, Seed: 62},
+		[]TemplateSpec{
+			{Columns: []string{"pickup_time", "pickup_date"}, Weight: 2},
+			{Columns: []string{"pu_location"}, Weight: 1},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Templates() != 2 || ts.MemoryBytes() <= 0 {
+		t.Fatalf("templates=%d", ts.Templates())
+	}
+	ans, idx, err := ts.Query(Sum, Range{7, 10}, Range{0, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Errorf("time+date query routed to %d", idx)
+	}
+	truth, _ := tbl.Exact(Sum, Range{7, 10}, Range{0, 15})
+	if truth > 0 && math.Abs(ans.Estimate-truth)/truth > 0.5 {
+		t.Errorf("estimate %v far from %v", ans.Estimate, truth)
+	}
+	// location-only query routes to the second template
+	_, idx, err = ts.Query(Count,
+		Range{math.Inf(-1), math.Inf(1)},
+		Range{math.Inf(-1), math.Inf(1)},
+		Range{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("location query routed to %d", idx)
+	}
+}
+
+func TestBuildTemplatesUnknownColumn(t *testing.T) {
+	tbl := DemoTaxi(500, 2, 63)
+	_, err := BuildTemplates(tbl, Options{Partitions: 8, SampleRate: 0.1},
+		[]TemplateSpec{{Columns: []string{"bogus"}}})
+	if err == nil {
+		t.Error("unknown template column accepted")
+	}
+}
+
+// TestConcurrentQueries verifies that a built synopsis is safe for
+// concurrent readers (run with -race to check).
+func TestConcurrentQueries(t *testing.T) {
+	tbl := DemoTaxi(20000, 1, 64)
+	syn, err := Build(tbl, Options{Partitions: 64, SampleRate: 0.02, Seed: 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lo := float64((g*37+i)%20) + 0.5
+				if _, err := syn.Sum(Range{lo, lo + 3}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
