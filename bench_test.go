@@ -97,8 +97,10 @@ func buildSyn(b *testing.B, n int) (*dataset.Dataset, *core.Synopsis) {
 	return d, s
 }
 
-// BenchmarkBuild1D measures synopsis construction (ADP + tree + samples).
-func BenchmarkBuild1D(b *testing.B) {
+// BenchmarkBuild measures 1D synopsis construction (ADP + tree + samples):
+// the two-pointer monotone DP, the pair-sorted predicate ordering, the
+// parallel leaf aggregation and the parallel columnar sample fill.
+func BenchmarkBuild(b *testing.B) {
 	d := dataset.GenNYCTaxi(100000, 1, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,6 +143,25 @@ func BenchmarkQueryAvg(b *testing.B) {
 		a := rng.Float64() * 20
 		if _, err := s.Query(dataset.Avg, dataset.Rect1(a, a+2)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryBatch measures a 256-query workload through the batched
+// parallel execution path (per-op time is for the whole batch).
+func BenchmarkQueryBatch(b *testing.B) {
+	_, s := buildSyn(b, 100000)
+	rng := stats.NewRNG(5)
+	qs := make([]core.BatchQuery, 256)
+	for i := range qs {
+		a := rng.Float64() * 20
+		qs[i] = core.BatchQuery{Kind: dataset.Sum, Rect: dataset.Rect1(a, a+2)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := s.QueryBatch(qs)
+		if len(res) != len(qs) {
+			b.Fatal("short batch result")
 		}
 	}
 }

@@ -7,9 +7,11 @@
 //	passbench -exp table1            # one experiment
 //	passbench -exp all               # everything, in paper order
 //	passbench -exp fig8 -rows 200000 -queries 1000
+//	passbench -exp table1 -json      # machine-readable output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,31 @@ import (
 	"repro/internal/bench"
 )
 
+// jsonTable mirrors bench.Table for machine-readable output.
+type jsonTable struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Note   string     `json:"note,omitempty"`
+}
+
+// jsonExperiment is one experiment's rendered artifacts plus timing.
+type jsonExperiment struct {
+	Experiment     string      `json:"experiment"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Tables         []jsonTable `json:"tables"`
+}
+
+// jsonReport is the top-level -json document, versioned so future PRs can
+// accumulate a BENCH_*.json trajectory with a stable schema.
+type jsonReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Rows          int              `json:"rows"`
+	Queries       int              `json:"queries"`
+	Seed          uint64           `json:"seed"`
+	Experiments   []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(bench.ExperimentOrder, ", ")+")")
@@ -27,6 +54,7 @@ func main() {
 		queries = flag.Int("queries", 200, "queries per workload (paper: 2000)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut = flag.Bool("json", false, "emit results as JSON instead of plain-text tables")
 	)
 	flag.Parse()
 
@@ -57,12 +85,32 @@ func main() {
 		}
 	}
 
+	report := jsonReport{SchemaVersion: 1, Rows: *rows, Queries: *queries, Seed: *seed}
 	for _, id := range ids {
 		start := time.Now()
 		tables := bench.Experiments[id](cfg)
+		elapsed := time.Since(start)
+		if *jsonOut {
+			je := jsonExperiment{Experiment: id, ElapsedSeconds: elapsed.Seconds()}
+			for _, t := range tables {
+				je.Tables = append(je.Tables, jsonTable{
+					Title: t.Title, Header: t.Header, Rows: t.Rows, Note: t.Note,
+				})
+			}
+			report.Experiments = append(report.Experiments, je)
+			continue
+		}
 		for _, t := range tables {
 			t.Render(os.Stdout)
 		}
-		fmt.Printf("[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+		fmt.Printf("[%s completed in %.1fs]\n", id, elapsed.Seconds())
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "passbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

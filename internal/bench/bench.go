@@ -112,11 +112,35 @@ type Metrics struct {
 	Answered      int
 }
 
+// BatchEngine is implemented by engines whose synopsis can execute a whole
+// workload as one parallel batch (see core.Synopsis.QueryBatch). Batched
+// answers must be identical to sequential ones; the harness relies on that
+// to keep accuracy metrics comparable across execution modes.
+type BatchEngine interface {
+	baselines.Engine
+	QueryBatch(qs []core.BatchQuery) []core.BatchResult
+}
+
 // RunWorkload evaluates an engine over a query set with known truths.
+// Engines implementing BatchEngine execute the workload as one parallel
+// batch; per-query latencies are then measured inside the workers, so
+// they stay per-query but include cross-worker contention on multicore
+// machines. Accuracy metrics are identical in both modes. Tables whose
+// latency columns compare engines with and without batch support should
+// use RunWorkloadSequential instead, so every engine is timed the same
+// way.
 func RunWorkload(e baselines.Engine, qs []workload.Query, n int) Metrics {
-	var relErrs, ciRatios, skips, reads []float64
-	var totalLat, maxLat time.Duration
-	answered := 0
+	if be, ok := e.(BatchEngine); ok {
+		return runWorkloadBatch(be, qs, n)
+	}
+	return RunWorkloadSequential(e, qs, n)
+}
+
+// RunWorkloadSequential evaluates the engine one query at a time even when
+// it supports batching, keeping latency metrics directly comparable across
+// engines.
+func RunWorkloadSequential(e baselines.Engine, qs []workload.Query, n int) Metrics {
+	var acc metricsAcc
 	for _, q := range qs {
 		if !q.HasTruth {
 			continue
@@ -127,26 +151,62 @@ func RunWorkload(e baselines.Engine, qs []workload.Query, n int) Metrics {
 		if err != nil || r.NoMatch {
 			continue
 		}
-		answered++
-		totalLat += lat
-		if lat > maxLat {
-			maxLat = lat
+		acc.add(r, q.Truth, n, lat)
+	}
+	return acc.metrics()
+}
+
+func runWorkloadBatch(e BatchEngine, qs []workload.Query, n int) Metrics {
+	batch := make([]core.BatchQuery, 0, len(qs))
+	kept := make([]workload.Query, 0, len(qs))
+	for _, q := range qs {
+		if !q.HasTruth {
+			continue
 		}
-		relErrs = append(relErrs, r.RelativeError(q.Truth))
-		ciRatios = append(ciRatios, r.CIRatio(q.Truth))
-		skips = append(skips, r.SkipRate(n))
-		reads = append(reads, float64(r.TuplesRead))
+		batch = append(batch, core.BatchQuery{Kind: q.Kind, Rect: q.Rect})
+		kept = append(kept, q)
 	}
+	var acc metricsAcc
+	for i, br := range e.QueryBatch(batch) {
+		if br.Err != nil || br.Result.NoMatch {
+			continue
+		}
+		acc.add(br.Result, kept[i].Truth, n, br.Elapsed)
+	}
+	return acc.metrics()
+}
+
+// metricsAcc accumulates per-query outcomes into workload Metrics,
+// identically for the sequential and batched paths.
+type metricsAcc struct {
+	relErrs, ciRatios, skips, reads []float64
+	totalLat, maxLat                time.Duration
+	answered                        int
+}
+
+func (a *metricsAcc) add(r core.Result, truth float64, n int, lat time.Duration) {
+	a.answered++
+	a.totalLat += lat
+	if lat > a.maxLat {
+		a.maxLat = lat
+	}
+	a.relErrs = append(a.relErrs, r.RelativeError(truth))
+	a.ciRatios = append(a.ciRatios, r.CIRatio(truth))
+	a.skips = append(a.skips, r.SkipRate(n))
+	a.reads = append(a.reads, float64(r.TuplesRead))
+}
+
+func (a *metricsAcc) metrics() Metrics {
 	m := Metrics{
-		MedianRelErr:  stats.Median(relErrs),
-		MedianCIRatio: stats.Median(ciRatios),
-		MeanSkipRate:  stats.MeanOf(skips),
-		MeanRead:      stats.MeanOf(reads),
-		MaxLatency:    maxLat,
-		Answered:      answered,
+		MedianRelErr:  stats.Median(a.relErrs),
+		MedianCIRatio: stats.Median(a.ciRatios),
+		MeanSkipRate:  stats.MeanOf(a.skips),
+		MeanRead:      stats.MeanOf(a.reads),
+		MaxLatency:    a.maxLat,
+		Answered:      a.answered,
 	}
-	if answered > 0 {
-		m.MeanLatency = totalLat / time.Duration(answered)
+	if a.answered > 0 {
+		m.MeanLatency = a.totalLat / time.Duration(a.answered)
 	}
 	return m
 }
@@ -168,6 +228,12 @@ func (p *passEngine) MemoryBytes() int { return p.s.MemoryBytes() }
 
 func (p *passEngine) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
 	return p.s.Query(kind, q)
+}
+
+// QueryBatch implements BatchEngine: PASS synopses are immutable under
+// queries, so the harness fans the workload across the worker pool.
+func (p *passEngine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	return p.s.QueryBatch(qs)
 }
 
 // Datasets returns the three simulated real-world datasets at the config's

@@ -125,7 +125,9 @@ func Table2(cfg Config) []Table {
 				N: cfg.Queries / 2, Kind: dataset.Sum, Dims: sp.dims,
 				MinSelFrac: 0.005, Seed: cfg.Seed + 40,
 			})
-			m := RunWorkload(e, qs, sp.d.N())
+			// sequential for every engine: the Latency column compares
+			// engines, so all of them must be timed the same way
+			m := RunWorkloadSequential(e, qs, sp.d.N())
 			lat += m.MeanLatency
 			nLat++
 			errs = append(errs, pct(m.MedianRelErr))

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// BatchQuery is one query of a batched workload.
+type BatchQuery struct {
+	Kind dataset.AggKind
+	Rect dataset.Rect
+}
+
+// BatchResult is the answer to one BatchQuery.
+type BatchResult struct {
+	Result Result
+	Err    error
+	// Elapsed is the wall-clock time the query spent executing inside its
+	// worker, for per-query latency accounting under batched execution.
+	Elapsed time.Duration
+}
+
+// QueryBatch answers a workload of queries, fanning them across a bounded
+// worker pool (one worker per CPU, see package parallel). Results are
+// returned in input order and are identical to issuing the same queries
+// sequentially through Query.
+//
+// Concurrency: a built Synopsis is immutable under Query, so QueryBatch —
+// and any number of concurrent Query/QueryBatch calls from different
+// goroutines — are safe, provided they do not overlap with Insert or
+// Delete, which mutate the synopsis and require exclusive access.
+func (s *Synopsis) QueryBatch(qs []BatchQuery) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	parallel.For(len(qs), func(i int) {
+		o := &out[i]
+		start := time.Now()
+		o.Result, o.Err = s.Query(qs[i].Kind, qs[i].Rect)
+		o.Elapsed = time.Since(start)
+	})
+	return out
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func batchWorkload(n int, seed uint64) []BatchQuery {
+	rng := stats.NewRNG(seed)
+	kinds := []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg, dataset.Min, dataset.Max}
+	qs := make([]BatchQuery, n)
+	for i := range qs {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		qs[i] = BatchQuery{
+			Kind: kinds[i%len(kinds)],
+			Rect: dataset.Rect1(math.Min(a, b), math.Max(a, b)),
+		}
+	}
+	return qs
+}
+
+// TestQueryBatchMatchesSequential verifies the core acceptance contract of
+// batched execution: identical estimates, CIs and diagnostics to the
+// sequential engine, in input order.
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	d := dataset.GenNYCTaxi(10000, 1, 21)
+	s := build1D(t, d, 16, 0.05)
+	qs := batchWorkload(200, 22)
+	got := s.QueryBatch(qs)
+	if len(got) != len(qs) {
+		t.Fatalf("got %d results for %d queries", len(got), len(qs))
+	}
+	for i, q := range qs {
+		want, wantErr := s.Query(q.Kind, q.Rect)
+		if (got[i].Err == nil) != (wantErr == nil) {
+			t.Fatalf("query %d: error mismatch %v vs %v", i, got[i].Err, wantErr)
+		}
+		if got[i].Err != nil {
+			continue
+		}
+		r := got[i].Result
+		if r.Estimate != want.Estimate || r.CIHalf != want.CIHalf {
+			t.Fatalf("query %d: estimate/CI (%v, %v) != sequential (%v, %v)",
+				i, r.Estimate, r.CIHalf, want.Estimate, want.CIHalf)
+		}
+		if r.TuplesRead != want.TuplesRead || r.NoMatch != want.NoMatch || r.Exact != want.Exact {
+			t.Fatalf("query %d: diagnostics diverge from sequential", i)
+		}
+	}
+}
+
+// TestConcurrentBuildAndBatchQuery is the -race exercise for the parallel
+// paths: several goroutines build synopses over the same dataset (each
+// build runs its own parallel sampling workers) while others batch-query
+// and point-query a shared pre-built synopsis.
+func TestConcurrentBuildAndBatchQuery(t *testing.T) {
+	d := dataset.GenNYCTaxi(8000, 1, 23)
+	shared := build1D(t, d, 16, 0.05)
+	ref := shared.QueryBatch(batchWorkload(50, 24))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed uint64) {
+			defer wg.Done()
+			s, err := Build(d, Options{Partitions: 16, SampleRate: 0.05, Kind: dataset.Sum, Seed: seed})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if s.TotalSamples() == 0 {
+				errs <- errNoSamples
+			}
+		}(uint64(g + 1))
+		go func() {
+			defer wg.Done()
+			got := shared.QueryBatch(batchWorkload(50, 24))
+			for i := range got {
+				if (got[i].Err == nil) != (ref[i].Err == nil) {
+					errs <- errDiverged
+					return
+				}
+				if got[i].Err == nil && got[i].Result.Estimate != ref[i].Result.Estimate {
+					errs <- errDiverged
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentKDBatchQuery covers the multi-dimensional read path under
+// concurrency.
+func TestConcurrentKDBatchQuery(t *testing.T) {
+	d := dataset.GenNYCTaxi(8000, 3, 25)
+	s, err := BuildKD(d, Options{Partitions: 32, SampleRate: 0.05, Kind: dataset.Sum, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(27)
+	qs := make([]BatchQuery, 60)
+	for i := range qs {
+		lo := make([]float64, 3)
+		hi := make([]float64, 3)
+		for c := range lo {
+			a, b := rng.Float64()*30, rng.Float64()*30
+			lo[c], hi[c] = math.Min(a, b), math.Max(a, b)
+		}
+		qs[i] = BatchQuery{Kind: dataset.Sum, Rect: dataset.Rect{Lo: lo, Hi: hi}}
+	}
+	ref := s.QueryBatch(qs)
+	var wg sync.WaitGroup
+	fail := make(chan struct{}, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := s.QueryBatch(qs)
+			for i := range got {
+				if got[i].Result.Estimate != ref[i].Result.Estimate {
+					fail <- struct{}{}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-fail:
+		t.Fatal("concurrent batch answers diverged")
+	default:
+	}
+}
+
+var (
+	errNoSamples = &constErr{"concurrent build produced no samples"}
+	errDiverged  = &constErr{"concurrent batch answers diverged from reference"}
+)
+
+type constErr struct{ s string }
+
+func (e *constErr) Error() string { return e.s }

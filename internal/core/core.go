@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/kdtree"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/ptree"
 	"repro/internal/sample"
@@ -158,12 +159,14 @@ type Synopsis struct {
 	// tree indexes a column subset; nil when the tree indexes a prefix or
 	// all columns.
 	idxCols []int
-	samples [][]SampleTuple
-	totalK  int
-	n       int
-	dims    int
-	rng     *stats.RNG
-	res     *sample.Reservoir
+	// store holds the stratified leaf samples in a columnar layout with
+	// per-leaf prefix aggregates (see leafStore).
+	store  *leafStore
+	totalK int
+	n      int
+	dims   int
+	rng    *stats.RNG
+	res    *sample.Reservoir
 	// BuildTime records wall-clock construction cost.
 	BuildTime time.Duration
 	// Partitioning is the chosen 1D leaf partitioning (1D synopses only).
@@ -288,50 +291,85 @@ func BuildKD(d *dataset.Dataset, opts Options) (*Synopsis, error) {
 	return s, nil
 }
 
+// leafRNG derives the deterministic per-leaf generator used by the
+// parallel sampling workers: every leaf draws from its own stream, so the
+// samples are identical regardless of worker scheduling.
+func (s *Synopsis) leafRNG(leaf int) *stats.RNG {
+	return stats.NewRNG(s.opts.Seed + 0x9e37 + uint64(leaf+1)*0x9e3779b97f4a7c15)
+}
+
 func (s *Synopsis) drawSamples1D(sorted *dataset.Dataset, tr *ptree.Tree) {
 	b := tr.NumLeaves()
 	sizes := make([]int, b)
+	los := make([]int, b)
 	for i := 0; i < b; i++ {
 		lo, hi := tr.LeafIndexRange(i)
+		los[i] = lo
 		sizes[i] = hi - lo
 	}
 	alloc := sample.Allocate(s.opts.SampleSize, sizes, s.opts.Proportional)
-	s.samples = make([][]SampleTuple, b)
-	for i := 0; i < b; i++ {
-		lo, _ := tr.LeafIndexRange(i)
-		idx := sample.UniformIndices(s.rng, sizes[i], alloc[i])
-		leafSamples := make([]SampleTuple, len(idx))
+	st := newLeafStore(1, alloc)
+	pred, agg := sorted.Pred[0], sorted.Agg
+	parallel.For(b, func(i int) {
+		rng := s.leafRNG(i)
+		idx := sample.UniformIndices(rng, sizes[i], alloc[i])
+		base := st.offsets[i]
 		for j, off := range idx {
-			gi := lo + off
-			leafSamples[j] = SampleTuple{
-				Point: []float64{sorted.Pred[0][gi]},
-				Value: sorted.Agg[gi],
-			}
+			gi := los[i] + off
+			st.coords[base+j] = pred[gi]
+			st.values[base+j] = agg[gi]
 		}
-		s.samples[i] = leafSamples
-		s.totalK += len(leafSamples)
-	}
+		// ascending indices over data sorted by the predicate column, so
+		// the leaf is already ordered along dimension 0
+		st.finishLeaf(i, 0)
+	})
+	s.store = st
+	s.totalK = st.totalLen()
 }
 
 func (s *Synopsis) drawSamplesKD(d *dataset.Dataset, tr *kdtree.Tree) {
 	b := tr.NumLeaves()
+	dims := d.Dims()
 	sizes := make([]int, b)
 	for i := 0; i < b; i++ {
 		sizes[i] = len(tr.LeafItems(i))
 	}
 	alloc := sample.Allocate(s.opts.SampleSize, sizes, s.opts.Proportional)
-	s.samples = make([][]SampleTuple, b)
-	for i := 0; i < b; i++ {
+	st := newLeafStore(dims, alloc)
+	parallel.For(b, func(i int) {
+		rng := s.leafRNG(i)
 		items := tr.LeafItems(i)
-		idx := sample.UniformIndices(s.rng, len(items), alloc[i])
-		leafSamples := make([]SampleTuple, len(idx))
+		idx := sample.UniformIndices(rng, len(items), alloc[i])
+		base := st.offsets[i]
 		for j, off := range idx {
 			gi := items[off]
-			leafSamples[j] = SampleTuple{Point: d.Point(gi), Value: d.Agg[gi]}
+			for c := 0; c < dims; c++ {
+				st.coords[(base+j)*dims+c] = d.Pred[c][gi]
+			}
+			st.values[base+j] = d.Agg[gi]
 		}
-		s.samples[i] = leafSamples
-		s.totalK += len(leafSamples)
+		st.finishLeaf(i, s.kdSortDim(tr, i))
+	})
+	s.store = st
+	s.totalK = st.totalLen()
+}
+
+// kdSortDim picks the sample dimension a k-d leaf's columnar segment is
+// sorted along: the widest-spread indexed dimension of the leaf's
+// rectangle — the axis the k-d splits discriminate on — mapped back to
+// sample coordinates when the tree indexes a column subset.
+func (s *Synopsis) kdSortDim(tr *kdtree.Tree, leaf int) int {
+	r := tr.LeafRect(leaf)
+	best, bestW := 0, -1.0
+	for c := 0; c < len(r.Lo); c++ {
+		if w := r.Hi[c] - r.Lo[c]; w > bestW {
+			best, bestW = c, w
+		}
 	}
+	if s.idxCols != nil {
+		return s.idxCols[best]
+	}
+	return best
 }
 
 // NumLeaves returns the number of leaf strata.
@@ -346,17 +384,16 @@ func (s *Synopsis) N() int { return s.n }
 // Dims returns the predicate dimensionality.
 func (s *Synopsis) Dims() int { return s.dims }
 
-// LeafSamples returns the stratified sample of one leaf (a view).
-func (s *Synopsis) LeafSamples(leaf int) []SampleTuple { return s.samples[leaf] }
+// LeafSamples returns the stratified sample of one leaf (a copy; the
+// synopsis stores samples columnarly, see leafStore).
+func (s *Synopsis) LeafSamples(leaf int) []SampleTuple { return s.store.leafTuples(leaf) }
 
 // MemoryBytes estimates total synopsis storage: tree aggregates plus
-// samples (8 bytes per float64: point coordinates + value).
+// samples (8 bytes per float64: point coordinates + value). The per-leaf
+// prefix acceleration arrays are derivable from the samples and excluded,
+// matching the paper's synopsis-size accounting.
 func (s *Synopsis) MemoryBytes() int {
-	bytes := s.tr.MemoryBytes()
-	for _, ls := range s.samples {
-		bytes += len(ls) * (s.dims + 1) * 8
-	}
-	return bytes
+	return s.tr.MemoryBytes() + s.store.totalLen()*(s.dims+1)*8
 }
 
 func maxInt(a, b int) int {

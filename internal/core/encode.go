@@ -75,16 +75,13 @@ func DecodeLeafSamples(buf []byte) ([]float64, error) {
 // the delta-encoding ablation. Points are counted uncompressed.
 func (s *Synopsis) EncodedSampleBytes(precision float64) (int, error) {
 	total := 0
-	for leaf, ls := range s.samples {
-		values := make([]float64, len(ls))
-		for i, t := range ls {
-			values[i] = t.Value
-		}
+	for leaf := 0; leaf < s.store.numLeaves(); leaf++ {
+		values := s.store.leafValues(leaf)
 		buf, err := EncodeLeafSamples(values, s.tr.LeafAgg(leaf).Avg(), precision)
 		if err != nil {
 			return 0, err
 		}
-		total += len(buf) + len(ls)*s.dims*8
+		total += len(buf) + len(values)*s.dims*8
 	}
 	return total, nil
 }

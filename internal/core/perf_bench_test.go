@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+var benchScanSink float64
+
+// BenchmarkScanLeaf measures partial-leaf resolution for a SUM query whose
+// interval half-covers one leaf — the inner loop of every partially
+// covered frontier entry. With the columnar store the aligned 1D predicate
+// resolves via binary search over the leaf's sorted samples plus two
+// prefix lookups, instead of scanning every sample tuple.
+func BenchmarkScanLeaf(b *testing.B) {
+	d := dataset.GenNYCTaxi(100000, 1, 1)
+	s, err := Build(d, Options{Partitions: 64, SampleSize: 16384, Kind: dataset.Sum, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaf := s.NumLeaves() / 2
+	lo, hi := s.oneD.LeafValueRange(leaf)
+	q := dataset.Rect1((lo+hi)/2, hi)
+	sc := s.scanLeaf(leaf, q)
+	if sc.kPred == 0 || sc.kPred == sc.k {
+		b.Fatalf("query does not half-cover the leaf: %d of %d match", sc.kPred, sc.k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := s.scanLeaf(leaf, q)
+		benchScanSink += sc.sum
+	}
+}
+
+// BenchmarkScanLeafUnaligned measures the same leaf resolution when the
+// predicate constrains a dimension other than the leaf's sort dimension
+// (3-dimensional synopsis), which still runs through the branch-light
+// columnar row scan.
+func BenchmarkScanLeafUnaligned(b *testing.B) {
+	d := dataset.GenNYCTaxi(100000, 3, 1)
+	s, err := BuildKD(d, Options{Partitions: 64, SampleSize: 16384, Kind: dataset.Sum, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// constrain every dimension so no pure-prefix shortcut applies
+	q := dataset.Rect{
+		Lo: []float64{0, 0, 0},
+		Hi: []float64{12, 15, math.Inf(1)},
+	}
+	leaf := 0
+	for l := 0; l < s.NumLeaves(); l++ {
+		if sc := s.scanLeaf(l, q); sc.kPred > 0 && sc.kPred < sc.k {
+			leaf = l
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := s.scanLeaf(leaf, q)
+		benchScanSink += sc.sum
+	}
+}

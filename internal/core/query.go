@@ -119,35 +119,123 @@ func (s *Synopsis) frontier(q dataset.Rect, zeroVar bool) ptree.Frontier {
 	return s.kd.FrontierProjected(dataset.Rect{Lo: lo, Hi: hi}, force, zeroVar)
 }
 
-// leafScan summarises one pass over a partial leaf's sample against the
-// query predicate.
+// leafScan summarises the resolution of a partial leaf's sample against
+// the query predicate. k is always the full stratum sample size K_i (the
+// estimator's denominator), even when the prefix fast path avoided
+// touching most samples.
 type leafScan struct {
 	k     int     // sample size K_i
 	kPred int     // matching samples
 	sum   float64 // Σ matching values
 	sumSq float64 // Σ matching values²
-	min   float64 // min matching value
-	max   float64 // max matching value
 }
 
+// scanLeaf resolves a partial leaf for SUM/COUNT/AVG estimation. The leaf's
+// samples are sorted along its primary split dimension, so a predicate on
+// that dimension reduces to a binary-searched contiguous range; when no
+// other dimension is constrained, count/sum/sumSq come from two prefix
+// lookups (O(log k) total). Otherwise the remaining dimensions are checked
+// with a branch-light loop over the flat columnar arrays.
 func (s *Synopsis) scanLeaf(leaf int, q dataset.Rect) leafScan {
-	sc := leafScan{min: math.Inf(1), max: math.Inf(-1)}
-	for _, t := range s.samples[leaf] {
-		sc.k++
-		if !q.Contains(t.Point) {
-			continue
+	st := s.store
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	sc := leafScan{k: e - o}
+	if sc.k == 0 {
+		return sc
+	}
+	if sd := st.sortDim[leaf]; sd < q.Dims() {
+		a, b := st.searchRange(leaf, q.Lo[sd], q.Hi[sd])
+		if a >= b {
+			return sc
 		}
-		sc.kPred++
-		sc.sum += t.Value
-		sc.sumSq += t.Value * t.Value
-		if t.Value < sc.min {
-			sc.min = t.Value
+		if soleConstraint(q, sd) {
+			sc.kPred, sc.sum, sc.sumSq = st.rangeAgg(leaf, a, b)
+			return sc
 		}
-		if t.Value > sc.max {
-			sc.max = t.Value
-		}
+		sc.scanRows(st, q, sd, a, b)
+	} else {
+		sc.scanRows(st, q, -1, o, e)
 	}
 	return sc
+}
+
+// matchRow reports whether global sample j satisfies q, skipping dimension
+// skip, which the caller already certified (-1 checks every constrained
+// dimension).
+func matchRow(st *leafStore, q dataset.Rect, skip, j int) bool {
+	row := st.coords[j*st.dims : j*st.dims+st.dims]
+	for c := range q.Lo {
+		if c == skip {
+			continue
+		}
+		if row[c] < q.Lo[c] || row[c] > q.Hi[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// scanRows accumulates matching samples in the global range [a, b).
+func (sc *leafScan) scanRows(st *leafStore, q dataset.Rect, skip, a, b int) {
+	for j := a; j < b; j++ {
+		if !matchRow(st, q, skip, j) {
+			continue
+		}
+		v := st.values[j]
+		sc.kPred++
+		sc.sum += v
+		sc.sumSq += v * v
+	}
+}
+
+// soleConstraint reports whether dim is the only dimension q constrains.
+func soleConstraint(q dataset.Rect, dim int) bool {
+	for c := range q.Lo {
+		if c == dim {
+			continue
+		}
+		if !math.IsInf(q.Lo[c], -1) || !math.IsInf(q.Hi[c], 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// leafMinMax is the MIN/MAX counterpart of leafScan.
+type leafMinMax struct {
+	k, kPred int
+	min, max float64
+}
+
+// scanLeafMinMax resolves a partial leaf for MIN/MAX estimation: extrema
+// require visiting the matching values, but the sort-dimension binary
+// search still narrows the scan to the candidate range.
+func (s *Synopsis) scanLeafMinMax(leaf int, q dataset.Rect) leafMinMax {
+	st := s.store
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	m := leafMinMax{k: e - o, min: math.Inf(1), max: math.Inf(-1)}
+	if m.k == 0 {
+		return m
+	}
+	a, b, skip := o, e, -1
+	if sd := st.sortDim[leaf]; sd < q.Dims() {
+		a, b = st.searchRange(leaf, q.Lo[sd], q.Hi[sd])
+		skip = sd
+	}
+	for j := a; j < b; j++ {
+		if !matchRow(st, q, skip, j) {
+			continue
+		}
+		v := st.values[j]
+		m.kPred++
+		if v < m.min {
+			m.min = v
+		}
+		if v > m.max {
+			m.max = v
+		}
+	}
+	return m
 }
 
 func (s *Synopsis) diag(f ptree.Frontier, read int) Result {
@@ -340,7 +428,7 @@ func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier
 	partialLo, partialHi := math.Inf(1), math.Inf(-1)
 	anyPartial := false
 	for _, p := range f.Partial {
-		sc := s.scanLeaf(p.Leaf, q)
+		sc := s.scanLeafMinMax(p.Leaf, q)
 		read += sc.k
 		if p.Agg.N > 0 {
 			anyPartial = true

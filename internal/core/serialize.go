@@ -123,15 +123,18 @@ func (s *Synopsis) Save(w io.Writer) error {
 		sw.f64(ls.Agg.Max)
 	}
 	// samples: per leaf, points raw + values delta-encoded vs leaf avg
-	if len(s.samples) != len(leaves) {
-		return fmt.Errorf("core: internal: %d sample strata for %d leaves", len(s.samples), len(leaves))
+	// (written in columnar store order, i.e. sorted by predicate point)
+	st := s.store
+	if st.numLeaves() != len(leaves) {
+		return fmt.Errorf("core: internal: %d sample strata for %d leaves", st.numLeaves(), len(leaves))
 	}
-	for leaf, ls := range s.samples {
-		sw.u64(uint64(len(ls)))
+	for leaf := 0; leaf < st.numLeaves(); leaf++ {
+		o, e := st.offsets[leaf], st.offsets[leaf+1]
+		sw.u64(uint64(e - o))
 		avg := leaves[leaf].Agg.Avg()
-		for _, t := range ls {
-			sw.f64(t.Point[0])
-			q := math.Round((t.Value - avg) / defaultSerPrecision)
+		for j := o; j < e; j++ {
+			sw.f64(st.coords[j])
+			q := math.Round((st.values[j] - avg) / defaultSerPrecision)
 			sw.i64(int64(q))
 		}
 	}
@@ -201,8 +204,12 @@ func Load(r io.Reader) (*Synopsis, error) {
 		rng:          stats.NewRNG(opts.Seed + 0x9e37),
 		Partitioning: partition.Partitioning{Cuts: cuts},
 	}
-	s.samples = make([][]SampleTuple, nLeaves)
-	for leaf := range s.samples {
+	st := &leafStore{
+		dims:    1,
+		offsets: make([]int, 1, nLeaves+1),
+		sortDim: make([]int, nLeaves),
+	}
+	for leaf := 0; leaf < nLeaves; leaf++ {
 		k := int(sr.u64())
 		if sr.err != nil {
 			return nil, sr.err
@@ -211,21 +218,26 @@ func Load(r io.Reader) (*Synopsis, error) {
 			return nil, fmt.Errorf("core: corrupt synopsis: leaf %d claims %d samples", leaf, k)
 		}
 		avg := leaves[leaf].Agg.Avg()
-		ls := make([]SampleTuple, k)
-		for j := range ls {
+		for j := 0; j < k; j++ {
 			pt := sr.f64()
 			q := sr.i64()
-			ls[j] = SampleTuple{
-				Point: []float64{pt},
-				Value: avg + float64(q)*defaultSerPrecision,
-			}
+			st.coords = append(st.coords, pt)
+			st.values = append(st.values, avg+float64(q)*defaultSerPrecision)
 		}
-		s.samples[leaf] = ls
-		s.totalK += k
+		st.offsets = append(st.offsets, len(st.values))
 	}
 	if sr.err != nil {
 		return nil, sr.err
 	}
+	st.prefSum = make([]float64, len(st.values))
+	st.prefSumSq = make([]float64, len(st.values))
+	// sortLeaf inside finishLeaf tolerates both store order (already
+	// sorted) and the unsorted order of pre-columnar writers
+	for leaf := 0; leaf < nLeaves; leaf++ {
+		st.finishLeaf(leaf, 0)
+	}
+	s.store = st
+	s.totalK = st.totalLen()
 	s.res = sample.NewReservoir(maxInt(s.totalK, 1), stats.NewRNG(opts.Seed+0x51ed))
 	s.seedReservoir()
 	return s, nil

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// leafStore is the columnar (structure-of-arrays) backing store for the
+// stratified leaf samples. Instead of one []SampleTuple slice per leaf —
+// a pointer chase per sample point — every sample lives in two contiguous
+// flat arrays: values, and coords with stride dims. Leaf i owns the global
+// sample range [offsets[i], offsets[i+1]).
+//
+// Within each leaf, samples are kept sorted along the leaf's primary split
+// dimension (sortDim), and per-leaf prefix (sum, sumSq) arrays are
+// maintained over that order. A range predicate on the sort dimension then
+// resolves to a contiguous sample range by binary search, and — when no
+// other dimension is constrained — its count/sum/sumSq come from two
+// prefix lookups instead of an O(k) scan.
+//
+// The store supports single-sample insertion and removal (the reservoir
+// maintenance path of Section 4.5): both keep the sort order, offsets and
+// prefix aggregates consistent. A mutation shifts the flat arrays and
+// rebuilds the touched leaf's prefixes, which is O(K) worst case — fine
+// for the reservoir path, where acceptances arrive at rate K/N.
+type leafStore struct {
+	dims    int
+	offsets []int     // len numLeaves+1; leaf i owns [offsets[i], offsets[i+1])
+	coords  []float64 // len total*dims; sample j's point is coords[j*dims:(j+1)*dims]
+	values  []float64 // len total
+	sortDim []int     // per leaf: the dimension its samples are sorted along
+	// per-leaf inclusive prefix aggregates, aligned with the sample order:
+	// for leaf base o, prefSum[o+j] = Σ values[o..o+j] (within the leaf).
+	prefSum   []float64
+	prefSumSq []float64
+}
+
+// newLeafStore allocates a store for the given per-leaf sample counts. The
+// per-leaf layout is fixed up-front, so build workers can fill disjoint
+// leaf ranges concurrently without synchronisation.
+func newLeafStore(dims int, counts []int) *leafStore {
+	offsets := make([]int, len(counts)+1)
+	for i, c := range counts {
+		offsets[i+1] = offsets[i] + c
+	}
+	total := offsets[len(counts)]
+	return &leafStore{
+		dims:      dims,
+		offsets:   offsets,
+		coords:    make([]float64, total*dims),
+		values:    make([]float64, total),
+		sortDim:   make([]int, len(counts)),
+		prefSum:   make([]float64, total),
+		prefSumSq: make([]float64, total),
+	}
+}
+
+func (st *leafStore) numLeaves() int       { return len(st.offsets) - 1 }
+func (st *leafStore) totalLen() int        { return len(st.values) }
+func (st *leafStore) leafLen(leaf int) int { return st.offsets[leaf+1] - st.offsets[leaf] }
+
+// point returns a view of global sample j's coordinates.
+func (st *leafStore) point(j int) []float64 { return st.coords[j*st.dims : (j+1)*st.dims] }
+
+// leafValues returns a view of leaf's sample values in store order.
+func (st *leafStore) leafValues(leaf int) []float64 {
+	return st.values[st.offsets[leaf]:st.offsets[leaf+1]]
+}
+
+// leafTuples materialises leaf's samples as SampleTuples (copies).
+func (st *leafStore) leafTuples(leaf int) []SampleTuple {
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	out := make([]SampleTuple, 0, e-o)
+	for j := o; j < e; j++ {
+		out = append(out, SampleTuple{
+			Point: append([]float64(nil), st.point(j)...),
+			Value: st.values[j],
+		})
+	}
+	return out
+}
+
+// finishLeaf sorts leaf's samples along dim and rebuilds its prefix
+// aggregates. Call once per leaf after its samples are written; safe to
+// call concurrently for distinct leaves.
+func (st *leafStore) finishLeaf(leaf, dim int) {
+	st.sortDim[leaf] = dim
+	st.sortLeaf(leaf, dim)
+	st.rebuildPrefix(leaf)
+}
+
+// sortLeaf orders leaf's samples by coordinate dim, ties broken by prior
+// position (stable, so the layout is deterministic). The 1D build path
+// draws samples in ascending predicate order, which the fast pre-check
+// detects, skipping the sort entirely.
+func (st *leafStore) sortLeaf(leaf, dim int) {
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	n := e - o
+	if n < 2 {
+		return
+	}
+	d := st.dims
+	sorted := true
+	for j := o + 1; j < e; j++ {
+		if st.coords[j*d+dim] < st.coords[(j-1)*d+dim] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		return st.coords[(o+ord[a])*d+dim] < st.coords[(o+ord[b])*d+dim]
+	})
+	cs := append([]float64(nil), st.coords[o*d:e*d]...)
+	vs := append([]float64(nil), st.values[o:e]...)
+	for i, from := range ord {
+		copy(st.coords[(o+i)*d:(o+i+1)*d], cs[from*d:(from+1)*d])
+		st.values[o+i] = vs[from]
+	}
+}
+
+// rebuildPrefix recomputes leaf's prefix aggregates from its values.
+func (st *leafStore) rebuildPrefix(leaf int) {
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	sum, sumSq := 0.0, 0.0
+	for j := o; j < e; j++ {
+		v := st.values[j]
+		sum += v
+		sumSq += v * v
+		st.prefSum[j] = sum
+		st.prefSumSq[j] = sumSq
+	}
+}
+
+// searchRange returns the global index range [a, b) of leaf's samples whose
+// sort-dimension coordinate lies in [lo, hi], by binary search over the
+// leaf's sorted order.
+func (st *leafStore) searchRange(leaf int, lo, hi float64) (a, b int) {
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	d, sd := st.dims, st.sortDim[leaf]
+	a = o + sort.Search(e-o, func(j int) bool { return st.coords[(o+j)*d+sd] >= lo })
+	b = o + sort.Search(e-o, func(j int) bool { return st.coords[(o+j)*d+sd] > hi })
+	return a, b
+}
+
+// rangeAgg returns the count, sum and sum of squares of leaf's sample
+// values in the global range [a, b), from two prefix lookups.
+func (st *leafStore) rangeAgg(leaf, a, b int) (n int, sum, sumSq float64) {
+	if a >= b {
+		return 0, 0, 0
+	}
+	sum, sumSq = st.prefSum[b-1], st.prefSumSq[b-1]
+	if o := st.offsets[leaf]; a > o {
+		sum -= st.prefSum[a-1]
+		sumSq -= st.prefSumSq[a-1]
+	}
+	return b - a, sum, sumSq
+}
+
+// insert adds one sample to leaf at its sorted position, keeping offsets
+// and the leaf's prefix aggregates consistent. Coordinates beyond
+// len(point) are stored as zero (1D synopses always pass at least one).
+func (st *leafStore) insert(leaf int, point []float64, value float64) {
+	d := st.dims
+	sd := st.sortDim[leaf]
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	key := 0.0
+	if sd < len(point) {
+		key = point[sd]
+	}
+	pos := o + sort.Search(e-o, func(j int) bool { return st.coords[(o+j)*d+sd] > key })
+
+	st.values = slices.Insert(st.values, pos, value)
+	st.prefSum = slices.Insert(st.prefSum, pos, 0)
+	st.prefSumSq = slices.Insert(st.prefSumSq, pos, 0)
+	row := make([]float64, d)
+	copy(row, point)
+	st.coords = slices.Insert(st.coords, pos*d, row...)
+	for i := leaf + 1; i < len(st.offsets); i++ {
+		st.offsets[i]++
+	}
+	st.rebuildPrefix(leaf)
+}
+
+// remove deletes the first sample in leaf whose value equals value,
+// reporting whether one was found.
+func (st *leafStore) remove(leaf int, value float64) bool {
+	o, e := st.offsets[leaf], st.offsets[leaf+1]
+	for j := o; j < e; j++ {
+		if st.values[j] == value {
+			st.removeAt(leaf, j)
+			return true
+		}
+	}
+	return false
+}
+
+// removeAt deletes the sample at global position pos inside leaf.
+func (st *leafStore) removeAt(leaf, pos int) {
+	d := st.dims
+	st.values = slices.Delete(st.values, pos, pos+1)
+	st.prefSum = slices.Delete(st.prefSum, pos, pos+1)
+	st.prefSumSq = slices.Delete(st.prefSumSq, pos, pos+1)
+	st.coords = slices.Delete(st.coords, pos*d, (pos+1)*d)
+	for i := leaf + 1; i < len(st.offsets); i++ {
+		st.offsets[i]--
+	}
+	st.rebuildPrefix(leaf)
+}
+
+// checkInvariants verifies the columnar layout: consistent array lengths,
+// monotone offsets, per-leaf sort order along sortDim, and prefix
+// aggregates matching the values. Used by tests.
+func (st *leafStore) checkInvariants() error {
+	total := len(st.values)
+	if len(st.coords) != total*st.dims {
+		return fmt.Errorf("core: store coords length %d != %d samples × %d dims", len(st.coords), total, st.dims)
+	}
+	if len(st.prefSum) != total || len(st.prefSumSq) != total {
+		return fmt.Errorf("core: store prefix length mismatch")
+	}
+	if st.offsets[0] != 0 || st.offsets[st.numLeaves()] != total {
+		return fmt.Errorf("core: store offsets do not span [0, %d]", total)
+	}
+	for leaf := 0; leaf < st.numLeaves(); leaf++ {
+		o, e := st.offsets[leaf], st.offsets[leaf+1]
+		if e < o {
+			return fmt.Errorf("core: store offsets not monotone at leaf %d", leaf)
+		}
+		sd := st.sortDim[leaf]
+		if sd < 0 || sd >= st.dims {
+			return fmt.Errorf("core: leaf %d sort dimension %d out of range", leaf, sd)
+		}
+		sum, sumSq := 0.0, 0.0
+		for j := o; j < e; j++ {
+			if j > o && st.coords[j*st.dims+sd] < st.coords[(j-1)*st.dims+sd] {
+				return fmt.Errorf("core: leaf %d not sorted along dim %d at %d", leaf, sd, j)
+			}
+			v := st.values[j]
+			sum += v
+			sumSq += v * v
+			if !closeTo(st.prefSum[j], sum) {
+				return fmt.Errorf("core: leaf %d prefix sum mismatch at %d", leaf, j)
+			}
+			if !closeTo(st.prefSumSq[j], sumSq) {
+				return fmt.Errorf("core: leaf %d prefix sumSq mismatch at %d", leaf, j)
+			}
+		}
+	}
+	return nil
+}
+
+func closeTo(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	mag := b
+	if mag < 0 {
+		mag = -mag
+	}
+	return diff <= 1e-9*(1+mag)
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// TestStoreInvariantsAfterBuild verifies the columnar layout straight out
+// of both build paths: offsets spanning, per-leaf sort order along the
+// sort dimension, and prefix aggregates consistent with the values.
+func TestStoreInvariantsAfterBuild(t *testing.T) {
+	d1 := dataset.GenNYCTaxi(5000, 1, 1)
+	s1 := build1D(t, d1, 16, 0.05)
+	if err := s1.store.checkInvariants(); err != nil {
+		t.Fatalf("1D build: %v", err)
+	}
+	d3 := dataset.GenNYCTaxi(5000, 3, 2)
+	s3, err := BuildKD(d3, Options{Partitions: 32, SampleRate: 0.05, Kind: dataset.Sum, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.store.checkInvariants(); err != nil {
+		t.Fatalf("KD build: %v", err)
+	}
+	if s3.store.dims != 3 {
+		t.Fatalf("KD store dims = %d, want 3", s3.store.dims)
+	}
+}
+
+// TestStoreInvariantsUnderUpdates drives the reservoir maintenance path:
+// the columnar layout must stay sorted and prefix-consistent through a
+// long randomized insert/delete sequence.
+func TestStoreInvariantsUnderUpdates(t *testing.T) {
+	d := dataset.GenUniform(3000, 1, 100, 4)
+	s := build1D(t, d, 16, 0.05)
+	rng := stats.NewRNG(9)
+	for i := 0; i < 2000; i++ {
+		if err := s.Insert([]float64{rng.Float64()}, rng.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			j := rng.Intn(d.N())
+			_ = s.Delete([]float64{d.Pred[0][j]}, d.Agg[j])
+		}
+	}
+	if err := s.store.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.totalK != s.store.totalLen() {
+		t.Fatalf("totalK %d != store length %d", s.totalK, s.store.totalLen())
+	}
+}
+
+// TestScanLeafMatchesReference compares the prefix/binary-search scanLeaf
+// against a straightforward reference scan over LeafSamples, for 1D and
+// multi-dimensional synopses and a spread of predicate shapes.
+func TestScanLeafMatchesReference(t *testing.T) {
+	check := func(t *testing.T, s *Synopsis, q dataset.Rect) {
+		t.Helper()
+		for leaf := 0; leaf < s.NumLeaves(); leaf++ {
+			got := s.scanLeaf(leaf, q)
+			var want leafScan
+			for _, tp := range s.LeafSamples(leaf) {
+				want.k++
+				if !q.Contains(tp.Point) {
+					continue
+				}
+				want.kPred++
+				want.sum += tp.Value
+				want.sumSq += tp.Value * tp.Value
+			}
+			if got.k != want.k || got.kPred != want.kPred {
+				t.Fatalf("leaf %d: counts (%d,%d), want (%d,%d)", leaf, got.k, got.kPred, want.k, want.kPred)
+			}
+			if math.Abs(got.sum-want.sum) > 1e-9*(1+math.Abs(want.sum)) {
+				t.Fatalf("leaf %d: sum %v, want %v", leaf, got.sum, want.sum)
+			}
+			if math.Abs(got.sumSq-want.sumSq) > 1e-9*(1+want.sumSq) {
+				t.Fatalf("leaf %d: sumSq %v, want %v", leaf, got.sumSq, want.sumSq)
+			}
+			gotMM := s.scanLeafMinMax(leaf, q)
+			if gotMM.kPred != want.kPred {
+				t.Fatalf("leaf %d: minmax kPred %d, want %d", leaf, gotMM.kPred, want.kPred)
+			}
+		}
+	}
+	d1 := dataset.GenNYCTaxi(8000, 1, 5)
+	s1 := build1D(t, d1, 16, 0.1)
+	rng := stats.NewRNG(11)
+	for i := 0; i < 25; i++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		check(t, s1, dataset.Rect1(math.Min(a, b), math.Max(a, b)))
+	}
+	check(t, s1, dataset.Rect1(math.Inf(-1), math.Inf(1)))
+
+	d3 := dataset.GenNYCTaxi(8000, 3, 6)
+	s3, err := BuildKD(d3, Options{Partitions: 32, SampleRate: 0.1, Kind: dataset.Sum, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		lo := make([]float64, 3)
+		hi := make([]float64, 3)
+		for c := range lo {
+			a, b := rng.Float64()*30, rng.Float64()*30
+			lo[c], hi[c] = math.Min(a, b), math.Max(a, b)
+		}
+		// exercise the sort-dimension-only fast path too: unconstrain all
+		// but one dimension on alternating trials
+		if i%2 == 0 {
+			for c := 1; c < 3; c++ {
+				lo[c], hi[c] = math.Inf(-1), math.Inf(1)
+			}
+		}
+		check(t, s3, dataset.Rect{Lo: lo, Hi: hi})
+	}
+}
+
+// TestColumnarSerializeRoundTrip saves and reloads a synopsis and verifies
+// the restored columnar layout: invariants hold, leaf sample multisets
+// match up to delta-encoding precision, and query answers agree.
+func TestColumnarSerializeRoundTrip(t *testing.T) {
+	d := dataset.GenNYCTaxi(6000, 1, 8)
+	s := build1D(t, d, 16, 0.05)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.store.checkInvariants(); err != nil {
+		t.Fatalf("restored store: %v", err)
+	}
+	if r.store.totalLen() != s.store.totalLen() {
+		t.Fatalf("restored %d samples, want %d", r.store.totalLen(), s.store.totalLen())
+	}
+	if r.store.numLeaves() != s.store.numLeaves() {
+		t.Fatalf("restored %d leaves, want %d", r.store.numLeaves(), s.store.numLeaves())
+	}
+	for leaf := 0; leaf < s.store.numLeaves(); leaf++ {
+		a, b := s.LeafSamples(leaf), r.LeafSamples(leaf)
+		if len(a) != len(b) {
+			t.Fatalf("leaf %d: %d samples restored, want %d", leaf, len(b), len(a))
+		}
+		// store order is sorted by the predicate point, so entries are
+		// directly comparable
+		for j := range a {
+			if a[j].Point[0] != b[j].Point[0] {
+				t.Fatalf("leaf %d sample %d: point %v, want %v", leaf, j, b[j].Point[0], a[j].Point[0])
+			}
+			if math.Abs(a[j].Value-b[j].Value) > defaultSerPrecision {
+				t.Fatalf("leaf %d sample %d: value %v, want %v", leaf, j, b[j].Value, a[j].Value)
+			}
+		}
+	}
+	rng := stats.NewRNG(13)
+	for i := 0; i < 30; i++ {
+		a, b := rng.Float64()*24, rng.Float64()*24
+		q := dataset.Rect1(math.Min(a, b), math.Max(a, b))
+		for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg} {
+			r1, err1 := s.Query(kind, q)
+			r2, err2 := r.Query(kind, q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%v %v: error mismatch %v vs %v", kind, q, err1, err2)
+			}
+			if math.Abs(r1.Estimate-r2.Estimate) > 1e-3*(1+math.Abs(r1.Estimate)) {
+				t.Fatalf("%v %v: estimate %v vs %v", kind, q, r1.Estimate, r2.Estimate)
+			}
+		}
+	}
+}
+
+// TestRoundTripAfterUpdates exercises serialize → deserialize on a synopsis
+// whose columnar store was reshaped by reservoir updates.
+func TestRoundTripAfterUpdates(t *testing.T) {
+	d := dataset.GenUniform(2000, 1, 100, 14)
+	s := build1D(t, d, 8, 0.05)
+	rng := stats.NewRNG(15)
+	for i := 0; i < 1000; i++ {
+		if err := s.Insert([]float64{rng.Float64()}, rng.Float64()*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.store.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	full := dataset.Rect1(math.Inf(-1), math.Inf(1))
+	a, _ := s.Query(dataset.Count, full)
+	b, _ := r.Query(dataset.Count, full)
+	if a.Estimate != b.Estimate {
+		t.Fatalf("COUNT after round-trip = %v, want %v", b.Estimate, a.Estimate)
+	}
+}

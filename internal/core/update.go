@@ -11,10 +11,16 @@ import (
 // exactly the reservoir invariant, so subsequent Offer calls continue the
 // stream with the correct acceptance probability K/N.
 func (s *Synopsis) seedReservoir() {
+	st := s.store
 	items := make([]sample.Item, 0, s.totalK)
-	for leaf, ls := range s.samples {
-		for _, t := range ls {
-			items = append(items, sample.Item{Point: t.Point, Value: t.Value, Leaf: leaf})
+	for leaf := 0; leaf < st.numLeaves(); leaf++ {
+		o, e := st.offsets[leaf], st.offsets[leaf+1]
+		for j := o; j < e; j++ {
+			items = append(items, sample.Item{
+				Point: append([]float64(nil), st.point(j)...),
+				Value: st.values[j],
+				Leaf:  leaf,
+			})
 		}
 	}
 	s.res.Restore(items, s.n)
@@ -38,10 +44,10 @@ func (s *Synopsis) Insert(point []float64, value float64) error {
 		return nil
 	}
 	if evicted.Leaf >= 0 {
-		s.removeLeafSample(evicted.Leaf, evicted.Value)
+		s.store.remove(evicted.Leaf, evicted.Value)
 	}
-	s.samples[leaf] = append(s.samples[leaf], SampleTuple{Point: point, Value: value})
-	s.recountSamples()
+	s.store.insert(leaf, point, value)
+	s.totalK = s.store.totalLen()
 	return nil
 }
 
@@ -57,7 +63,7 @@ func (s *Synopsis) Delete(point []float64, value float64) error {
 		return err
 	}
 	s.n--
-	s.removeLeafSample(leaf, value)
+	s.store.remove(leaf, value)
 	// keep the reservoir's view consistent
 	items := s.res.Items()
 	for i := range items {
@@ -66,25 +72,6 @@ func (s *Synopsis) Delete(point []float64, value float64) error {
 			break
 		}
 	}
-	s.recountSamples()
+	s.totalK = s.store.totalLen()
 	return nil
-}
-
-func (s *Synopsis) removeLeafSample(leaf int, value float64) {
-	ls := s.samples[leaf]
-	for i := range ls {
-		if ls[i].Value == value {
-			ls[i] = ls[len(ls)-1]
-			s.samples[leaf] = ls[:len(ls)-1]
-			return
-		}
-	}
-}
-
-func (s *Synopsis) recountSamples() {
-	k := 0
-	for _, ls := range s.samples {
-		k += len(ls)
-	}
-	s.totalK = k
 }

@@ -226,8 +226,8 @@ func (t *Tree) split(id int) []int {
 		for i, it := range items {
 			tmp[i] = col[it]
 		}
-		sort.Float64s(tmp)
-		med[c] = tmp[len(tmp)/2]
+		// only the median is needed, so quickselect replaces the full sort
+		med[c] = selectKth(tmp, len(tmp)/2)
 	}
 	cells := make(map[int][]int)
 	for _, it := range items {
@@ -255,6 +255,49 @@ func (t *Tree) split(id int) []int {
 	t.nodes[id].children = children
 	t.nodes[id].items = nil
 	return children
+}
+
+// selectKth returns the k-th smallest element (0-based) of a, partially
+// reordering it — deterministic Hoare quickselect with median-of-three
+// pivots, O(n) expected. Equivalent to sorting a and reading a[k].
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		// median-of-three pivot, moved to a[lo]
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return a[k]
+		}
+	}
+	return a[k]
 }
 
 // nodeScore approximates the maximum query variance inside node id,

@@ -1,0 +1,56 @@
+// Package parallel provides the bounded worker pool used by the synopsis
+// build and batched-query hot paths. The pool is sized by GOMAXPROCS, so a
+// single-CPU machine degrades gracefully to the sequential loop with no
+// goroutine overhead, while multicore machines fan independent work items
+// across every core.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the worker-pool size used by For: GOMAXPROCS at the time
+// of the call.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0, n), fanning the iterations across
+// min(Workers(), n) goroutines, and returns when every call has completed.
+// Iterations are claimed from a shared atomic counter, so uneven per-item
+// cost balances automatically.
+//
+// Iterations must be independent: fn may write only state owned by
+// iteration i (e.g. disjoint sub-slices of a shared array) unless it
+// synchronises on its own.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -137,8 +137,11 @@ func NaiveDP(n, k int, o Oracle) Partitioning {
 
 // MonotoneDP computes the same partitioning as NaiveDP but exploits the
 // monotonicity of both DP terms (Appendix A.5): A[h, j-1] is non-decreasing
-// in h while M([h, i]) is non-increasing, so the minimising split point is
-// found by binary search. Runtime is O(k·n·log n) oracle calls.
+// in h while M([h, i]) is non-increasing in h and non-decreasing in i. The
+// crossing point of the two curves is therefore non-decreasing in i, so one
+// forward-moving pointer per row finds every minimising split point in O(n)
+// amortised oracle calls — O(k·n) total, versus O(k·n·log n) for the
+// per-cell binary search this replaces.
 func MonotoneDP(n, k int, o Oracle) Partitioning {
 	if k <= 0 {
 		panic("partition: k must be positive")
@@ -156,28 +159,27 @@ func MonotoneDP(n, k int, o Oracle) Partitioning {
 		a[0][i] = o.MaxVar(0, i)
 	}
 	for j := 1; j < k; j++ {
+		prev := a[j-1]
+		// h chases the crossing point of the non-decreasing prev row and
+		// the non-increasing tail variance; it only ever moves forward
+		h := 0
 		for i := 1; i <= n; i++ {
-			// binary search for the crossing point of the non-decreasing
-			// prev row and the non-increasing tail variance
-			lo, hi := 0, i-1
-			for lo < hi {
-				mid := (lo + hi) / 2
-				if a[j-1][mid] < o.MaxVar(mid, i) {
-					lo = mid + 1
-				} else {
-					hi = mid
+			if h > i-1 {
+				h = i - 1
+			}
+			for h < i-1 && prev[h] < o.MaxVar(h, i) {
+				h++
+			}
+			best, bestH := maxF(prev[h], o.MaxVar(h, i)), h
+			// the true optimum is at the crossing point or adjacent to it
+			if h > 0 {
+				if v := maxF(prev[h-1], o.MaxVar(h-1, i)); v < best {
+					best, bestH = v, h-1
 				}
 			}
-			best, bestH := maxF(a[j-1][lo], o.MaxVar(lo, i)), lo
-			// the true optimum is at the crossing point or one before it
-			if lo > 0 {
-				if v := maxF(a[j-1][lo-1], o.MaxVar(lo-1, i)); v < best {
-					best, bestH = v, lo-1
-				}
-			}
-			if lo < i-1 {
-				if v := maxF(a[j-1][lo+1], o.MaxVar(lo+1, i)); v < best {
-					best, bestH = v, lo+1
+			if h < i-1 {
+				if v := maxF(prev[h+1], o.MaxVar(h+1, i)); v < best {
+					best, bestH = v, h+1
 				}
 			}
 			a[j][i] = best

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
@@ -169,22 +170,32 @@ func BuildFanout(d *dataset.Dataset, p partition.Partitioning, fanout int) (*Tre
 	}
 	t := &Tree{}
 	col := d.Pred[0]
-	// leaf layer
-	var layer []int
+	// leaf layer: partition aggregates are independent, so they are
+	// computed by the worker pool before the nodes are assembled in order
+	type span struct{ lo, hi int }
+	spans := make([]span, 0, p.K())
 	for i := 0; i < p.K(); i++ {
 		lo, hi := p.Bounds(i)
 		if lo == hi {
 			continue
 		}
+		spans = append(spans, span{lo, hi})
+	}
+	aggs := make([]Agg, len(spans))
+	parallel.For(len(spans), func(i int) {
 		var a Agg
-		for j := lo; j < hi; j++ {
+		for j := spans[i].lo; j < spans[i].hi; j++ {
 			a.Add(d.Agg[j])
 		}
+		aggs[i] = a
+	})
+	var layer []int
+	for i, sp := range spans {
 		id := len(t.nodes)
 		t.nodes = append(t.nodes, node{
-			lo: col[lo], hi: col[hi-1],
-			iLo: lo, iHi: hi,
-			agg:    a,
+			lo: col[sp.lo], hi: col[sp.hi-1],
+			iLo: sp.lo, iHi: sp.hi,
+			agg:    aggs[i],
 			leaf:   len(t.leaves),
 			parent: -1,
 		})

@@ -11,9 +11,15 @@ import (
 )
 
 // UniformIndices draws k distinct indices uniformly from [0, n) using a
-// partial Fisher-Yates shuffle, in O(k) extra space via a sparse swap map.
-// The result is returned in ascending order (convenient for sequential
-// scans over columnar data). If k >= n all indices are returned.
+// partial Fisher-Yates shuffle. The result is returned in ascending order
+// (convenient for sequential scans over columnar data). If k >= n all
+// indices are returned.
+//
+// Dense draws (k > n/8) use a plain swap slice; sparse draws use a map of
+// displaced entries in O(k) extra space. Both consume identical RNG
+// streams and produce identical results — the cutover is purely a
+// performance trade: the map's hashing and growth dominate build profiles
+// once a meaningful fraction of [0, n) is touched.
 func UniformIndices(rng *stats.RNG, n, k int) []int {
 	if k >= n {
 		all := make([]int, n)
@@ -21,6 +27,19 @@ func UniformIndices(rng *stats.RNG, n, k int) []int {
 			all[i] = i
 		}
 		return all
+	}
+	if k > n/8 {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(n-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		out := perm[:k:k]
+		sort.Ints(out)
+		return out
 	}
 	swaps := make(map[int]int, k)
 	out := make([]int, 0, k)

@@ -1,0 +1,88 @@
+package pass
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func buildBatchSyn(t *testing.T) (*Table, *Synopsis) {
+	t.Helper()
+	tbl, err := Demo("nyctaxi", 8000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Build(tbl, Options{Partitions: 16, SampleRate: 0.05, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, syn
+}
+
+// TestQueryBatchMatchesQuery checks the public batched API against the
+// sequential helpers, including per-request error propagation.
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	_, syn := buildBatchSyn(t)
+	reqs := []Request{
+		{Agg: Sum, Pred: []Range{{Lo: 0, Hi: 12}}},
+		{Agg: Count, Pred: []Range{{Lo: 6, Hi: 18}}},
+		{Agg: Avg, Pred: []Range{{Lo: 3, Hi: 9}}},
+		{Agg: Avg, Pred: []Range{{Lo: 1e9, Hi: 2e9}}}, // matches nothing
+		{Agg: Agg(99), Pred: []Range{{Lo: 0, Hi: 1}}}, // invalid aggregate
+	}
+	answers := syn.QueryBatch(reqs)
+	if len(answers) != len(reqs) {
+		t.Fatalf("got %d answers for %d requests", len(answers), len(reqs))
+	}
+	for i := 0; i < 3; i++ {
+		want, err := syn.Query(reqs[i].Agg, reqs[i].Pred...)
+		if err != nil {
+			t.Fatalf("request %d: sequential query failed: %v", i, err)
+		}
+		if answers[i].Err != nil {
+			t.Fatalf("request %d: unexpected error %v", i, answers[i].Err)
+		}
+		if answers[i].Answer != want {
+			t.Fatalf("request %d: batched answer %+v != sequential %+v", i, answers[i].Answer, want)
+		}
+	}
+	if !errors.Is(answers[3].Err, ErrNoMatch) {
+		t.Fatalf("no-match request: err = %v, want ErrNoMatch", answers[3].Err)
+	}
+	if answers[4].Err == nil {
+		t.Fatal("invalid aggregate accepted")
+	}
+}
+
+// TestQueryBatchConcurrent issues overlapping batches from several
+// goroutines; run under -race this validates the documented concurrency
+// guarantee of the public API.
+func TestQueryBatchConcurrent(t *testing.T) {
+	_, syn := buildBatchSyn(t)
+	reqs := make([]Request, 40)
+	for i := range reqs {
+		reqs[i] = Request{Agg: Sum, Pred: []Range{{Lo: float64(i) / 2, Hi: float64(i)/2 + 4}}}
+	}
+	ref := syn.QueryBatch(reqs)
+	var wg sync.WaitGroup
+	diverged := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := syn.QueryBatch(reqs)
+			for i := range got {
+				if got[i].Answer.Estimate != ref[i].Answer.Estimate {
+					diverged <- i
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case i := <-diverged:
+		t.Fatalf("concurrent batch diverged at request %d", i)
+	default:
+	}
+}

@@ -17,6 +17,24 @@
 // Queries whose predicates align with the optimised partitioning are
 // answered exactly; partial overlaps are estimated from the stratified
 // samples with CLT confidence intervals and deterministic hard bounds.
+//
+// # Batched queries and concurrency
+//
+// A built Synopsis is immutable under queries: any number of goroutines
+// may call Query (and the Sum/Count/... helpers) concurrently. QueryBatch
+// exploits this, fanning a whole workload across a worker pool sized by
+// GOMAXPROCS and returning per-query answers in input order:
+//
+//	answers := syn.QueryBatch([]pass.Request{
+//	    {Agg: pass.Sum, Pred: []pass.Range{{Lo: 100, Hi: 500}}},
+//	    {Agg: pass.Avg, Pred: []pass.Range{{Lo: 0, Hi: 50}}},
+//	})
+//
+// Batched answers are identical to issuing the same queries sequentially.
+// The only exclusions are Insert and Delete, which mutate the synopsis:
+// they must not overlap with queries (batched or not) and require external
+// synchronisation if updates and queries share a synopsis across
+// goroutines.
 package pass
 
 import (
@@ -328,6 +346,63 @@ func (s *Synopsis) Query(agg Agg, pred ...Range) (Answer, error) {
 		TuplesRead: r.TuplesRead,
 		SkipRate:   r.SkipRate(s.inner.N()),
 	}, nil
+}
+
+// Request is one query of a batched workload: an aggregate plus per-column
+// range predicates (missing trailing ranges are unconstrained).
+type Request struct {
+	Agg  Agg
+	Pred []Range
+}
+
+// BatchAnswer is the outcome of one batched Request.
+type BatchAnswer struct {
+	Answer Answer
+	// Err carries the per-query failure, if any (ErrNoMatch included);
+	// other queries in the batch are unaffected.
+	Err error
+}
+
+// QueryBatch answers a workload of queries, fanning them across a bounded
+// worker pool (one worker per CPU). Answers are returned in input order
+// and are identical to issuing the same queries sequentially via Query.
+// See the package documentation for the concurrency guarantees.
+func (s *Synopsis) QueryBatch(reqs []Request) []BatchAnswer {
+	out := make([]BatchAnswer, len(reqs))
+	qs := make([]core.BatchQuery, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
+	for i, req := range reqs {
+		kind, err := req.Agg.internal()
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		qs = append(qs, core.BatchQuery{Kind: kind, Rect: toRect(req.Pred)})
+		idx = append(idx, i)
+	}
+	for j, br := range s.inner.QueryBatch(qs) {
+		i := idx[j]
+		if br.Err != nil {
+			out[i].Err = br.Err
+			continue
+		}
+		if br.Result.NoMatch {
+			out[i].Err = ErrNoMatch
+			continue
+		}
+		r := br.Result
+		out[i].Answer = Answer{
+			Estimate:   r.Estimate,
+			CIHalf:     r.CIHalf,
+			HardLo:     r.HardLo,
+			HardHi:     r.HardHi,
+			HardBounds: r.HardValid,
+			Exact:      r.Exact,
+			TuplesRead: r.TuplesRead,
+			SkipRate:   r.SkipRate(s.inner.N()),
+		}
+	}
+	return out
 }
 
 // Sum answers SUM(agg) WHERE pred.
