@@ -1,0 +1,74 @@
+// Command passd serves approximate SQL over HTTP: a pass.Session catalog
+// of named tables (each a PASS synopsis), a JSON query endpoint with
+// batched multi-statement execution, and CSV table loading — the serving
+// layer of the repository's architecture:
+//
+//	sqlfe (SQL) → pass.Session / catalog → engine → synopsis
+//
+// Endpoints:
+//
+//	POST   /query          {"sql": "SELECT AVG(light) FROM sensors WHERE time >= 6"}
+//	                       multi-statement scripts are batched: "SELECT ...; SELECT ..."
+//	GET    /tables         list registered tables
+//	POST   /tables         {"name": "sensors", "csv": "time,light\n1,0.5\n...", "partitions": 64}
+//	DELETE /tables/{name}  drop a table
+//
+// Quickstart:
+//
+//	passd -listen :8080 &
+//	curl -s localhost:8080/tables -d '{"name":"demo","csv":"'"$(passgen -name intel -n 10000 | tr '\n' ';' | sed 's/;/\\n/g')"'"}'
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM demo"}'
+//
+// A demo table can be preloaded at startup with -demo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/pass"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "listen address")
+		demo       = flag.String("demo", "", "preload a demo dataset as table 'demo' (intel, instacart, nyctaxi, uniform, adversarial)")
+		demoRows   = flag.Int("demo-rows", 60000, "demo dataset size")
+		partitions = flag.Int("partitions", 64, "default leaf partitions for loaded tables")
+		rate       = flag.Float64("rate", 0.005, "default sample rate for loaded tables")
+		seed       = flag.Uint64("seed", 1, "default build seed")
+	)
+	flag.Parse()
+
+	sess := pass.NewSession()
+	srv := newServer(sess)
+	srv.buildDefaults = buildOptions{Partitions: *partitions, SampleRate: *rate, Seed: *seed}
+
+	if *demo != "" {
+		tbl, err := pass.Demo(*demo, *demoRows, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		syn, err := pass.BuildAuto(tbl, pass.Options{Partitions: *partitions, SampleRate: *rate, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if err := sess.Register("demo", syn); err != nil {
+			fatal(err)
+		}
+		log.Printf("passd: loaded demo table %q (%d rows)", *demo, tbl.Len())
+	}
+
+	log.Printf("passd: listening on %s", *listen)
+	if err := http.ListenAndServe(*listen, srv.handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "passd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/pass"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(pass.NewSession()).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// sensorCSV builds a deterministic CSV table: hour (0-23) predicting a
+// light level.
+func sensorCSV(rows int) string {
+	var sb strings.Builder
+	sb.WriteString("hour,light\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,%0.1f\n", i%24, float64(i%100)/10)
+	}
+	return sb.String()
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("decode %s response: %v", url, err)
+	}
+	return resp, out
+}
+
+// TestServeSQLEndToEnd loads a CSV over HTTP and queries it back through
+// the catalog: the acceptance path of the layered architecture.
+func TestServeSQLEndToEnd(t *testing.T) {
+	ts := testServer(t)
+
+	// load a table
+	resp, created := postJSON(t, ts.URL+"/tables", map[string]any{
+		"name": "sensors", "csv": sensorCSV(4800), "partitions": 16, "sample_rate": 0.05,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create table: HTTP %d (%v)", resp.StatusCode, created)
+	}
+	if created["name"] != "sensors" || created["rows"].(float64) != 4800 {
+		t.Errorf("created = %v", created)
+	}
+
+	// list it
+	lresp, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Tables []pass.TableInfo `json:"tables"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Tables) != 1 || listing.Tables[0].Name != "sensors" ||
+		listing.Tables[0].Engine != "PASS" || listing.Tables[0].MemoryBytes <= 0 {
+		t.Errorf("tables = %+v", listing.Tables)
+	}
+
+	// query it: COUNT(*) with no predicate is exact
+	resp, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"sql": "SELECT COUNT(*) FROM sensors",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: HTTP %d (%v)", resp.StatusCode, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	scalar := results[0].(map[string]any)["scalar"].(map[string]any)
+	if got := scalar["estimate"].(float64); got != 4800 {
+		t.Errorf("COUNT(*) = %v, want 4800", got)
+	}
+
+	// batched multi-statement script: answers arrive per statement
+	resp, body = postJSON(t, ts.URL+"/query", map[string]any{
+		"sql": "SELECT SUM(light) FROM sensors WHERE hour BETWEEN 6 AND 18; SELECT AVG(light) FROM sensors",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch query: HTTP %d", resp.StatusCode)
+	}
+	results = body["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("batch results = %v", results)
+	}
+	for i, r := range results {
+		rm := r.(map[string]any)
+		if rm["error"] != nil || rm["scalar"] == nil {
+			t.Errorf("statement %d: %v", i, rm)
+		}
+	}
+
+	// drop it
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/tables/sensors", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Errorf("drop: HTTP %d", dresp.StatusCode)
+	}
+}
+
+func TestServeUnknownTableAndErrors(t *testing.T) {
+	ts := testServer(t)
+	if _, created := postJSON(t, ts.URL+"/tables", map[string]any{
+		"name": "sensors", "csv": sensorCSV(1200), "partitions": 8, "sample_rate": 0.05,
+	}); created["error"] != nil {
+		t.Fatalf("create: %v", created["error"])
+	}
+
+	// unknown FROM table is a per-statement error naming the catalog
+	resp, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"sql": "SELECT COUNT(*) FROM nope",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	rm := body["results"].([]any)[0].(map[string]any)
+	errMsg, _ := rm["error"].(string)
+	if !strings.Contains(errMsg, "nope") || !strings.Contains(errMsg, "sensors") {
+		t.Errorf("unknown-table error = %q, want it to name both tables", errMsg)
+	}
+
+	// duplicate registration → 409
+	resp, _ = postJSON(t, ts.URL+"/tables", map[string]any{
+		"name": "sensors", "csv": sensorCSV(10),
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create: HTTP %d, want 409", resp.StatusCode)
+	}
+
+	// malformed requests → 400
+	resp, _ = postJSON(t, ts.URL+"/query", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/tables", map[string]any{"name": "x", "csv": "not,a\nvalid"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad csv: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// dropping an unknown table → 404
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/tables/ghost", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("drop ghost: HTTP %d, want 404", dresp.StatusCode)
+	}
+}
+
+func TestServeStatementsArray(t *testing.T) {
+	ts := testServer(t)
+	if _, created := postJSON(t, ts.URL+"/tables", map[string]any{
+		"name": "t", "csv": sensorCSV(600), "partitions": 8, "sample_rate": 0.1,
+	}); created["error"] != nil {
+		t.Fatalf("create: %v", created["error"])
+	}
+	_, body := postJSON(t, ts.URL+"/query", map[string]any{
+		"statements": []string{
+			"SELECT COUNT(*) FROM t",
+			"SELECT SUM(light) FROM t WHERE hour <= 12",
+		},
+	})
+	results := body["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	for i, r := range results {
+		if rm := r.(map[string]any); rm["scalar"] == nil {
+			t.Errorf("statement %d missing scalar: %v", i, rm)
+		}
+	}
+}

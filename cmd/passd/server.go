@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/jsonout"
+	"repro/pass"
+)
+
+// server wraps a pass.Session as an HTTP JSON API. All table state lives
+// in the session's catalog; the server itself is stateless and safe for
+// concurrent requests.
+type server struct {
+	sess *pass.Session
+	// buildDefaults are applied to POST /tables requests that omit them.
+	buildDefaults buildOptions
+}
+
+// buildOptions mirrors the synopsis-construction knobs exposed over HTTP.
+type buildOptions struct {
+	Partitions int     `json:"partitions,omitempty"`
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	SampleSize int     `json:"sample_size,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+}
+
+func newServer(sess *pass.Session) *server {
+	return &server{
+		sess:          sess,
+		buildDefaults: buildOptions{Partitions: 64, SampleRate: 0.005, Seed: 1},
+	}
+}
+
+// handler routes the API:
+//
+//	POST   /query          {"sql": "SELECT ...; SELECT ..."} → per-statement results
+//	GET    /tables         → registered tables
+//	POST   /tables         {"name": ..., "csv": ..., opts} → build + register
+//	DELETE /tables/{name}  → drop
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /tables", s.handleListTables)
+	mux.HandleFunc("POST /tables", s.handleCreateTable)
+	mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
+	return mux
+}
+
+// jsonStmtResult is one statement's outcome in a /query response.
+type jsonStmtResult struct {
+	SQL     string          `json:"sql"`
+	Error   string          `json:"error,omitempty"`
+	NoMatch bool            `json:"no_match,omitempty"`
+	Scalar  *jsonout.Answer `json:"scalar,omitempty"`
+	Groups  []jsonout.Group `json:"groups,omitempty"`
+}
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Statements is an alternative to SQL for pre-split batches.
+	Statements []string `json:"statements,omitempty"`
+}
+
+type queryResponse struct {
+	Results []jsonStmtResult `json:"results"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	var results []pass.StmtResult
+	switch {
+	case len(req.Statements) > 0:
+		results = s.sess.ExecBatch(req.Statements)
+	case strings.TrimSpace(req.SQL) != "":
+		results = s.sess.ExecScript(req.SQL)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"sql" (or "statements") is required`))
+		return
+	}
+	resp := queryResponse{Results: make([]jsonStmtResult, len(results))}
+	for i, sr := range results {
+		out := jsonStmtResult{SQL: sr.SQL}
+		switch {
+		case errors.Is(sr.Err, pass.ErrNoMatch):
+			out.NoMatch = true
+		case sr.Err != nil:
+			out.Error = sr.Err.Error()
+		case sr.Result.Groups != nil:
+			out.Groups = jsonout.FromGroups(sr.Result.Groups)
+		default:
+			out.Scalar = jsonout.FromAnswer(sr.Result.Scalar)
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	tables := s.sess.Tables()
+	if tables == nil {
+		tables = []pass.TableInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": tables})
+}
+
+type createTableRequest struct {
+	Name string `json:"name"`
+	// CSV is the table data: a header row, numeric rows, last column the
+	// aggregate.
+	CSV string `json:"csv"`
+	buildOptions
+}
+
+func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	req := createTableRequest{buildOptions: s.buildDefaults}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Name) == "" || strings.TrimSpace(req.CSV) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"name" and "csv" are required`))
+		return
+	}
+	tbl, err := pass.ReadCSV(strings.NewReader(req.CSV))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := pass.Options{
+		Partitions: req.Partitions,
+		SampleRate: req.SampleRate,
+		SampleSize: req.SampleSize,
+		Seed:       req.Seed,
+	}
+	syn, err := pass.BuildAuto(tbl, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.sess.Register(req.Name, syn); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	for _, ti := range s.sess.Tables() {
+		if strings.EqualFold(ti.Name, req.Name) {
+			writeJSON(w, http.StatusCreated, ti)
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.sess.Drop(name); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,5 +1,6 @@
-// Command passquery builds a PASS synopsis from a CSV file and answers
-// one aggregate query with a confidence interval and hard bounds.
+// Command passquery builds an AQP engine from a CSV file and answers
+// one aggregate query with a confidence interval (and, for PASS, hard
+// bounds).
 //
 // The CSV must have a header row; all columns but the last are predicate
 // columns, the last is the aggregation column. Ranges are given as
@@ -12,9 +13,12 @@
 //	passquery -in taxi5d.csv -agg avg -where 6:18,0:15 -partitions 256
 //	passquery -in taxi.csv -agg count -where 6:18 -exact   # also print truth
 //	passquery -in taxi.csv -sql "SELECT AVG(trip_distance) FROM t WHERE pickup_time BETWEEN 6 AND 18"
+//	passquery -in taxi.csv -agg sum -where 6:18 -engine aqpp   # a comparator engine
+//	passquery -in taxi.csv -agg sum -where 6:18 -json          # machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -22,8 +26,37 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/dataset"
+	"repro/internal/engine/factory"
+	"repro/internal/jsonout"
+	"repro/internal/stats"
 	"repro/pass"
 )
+
+// jsonOutput is the machine-readable result document, mirroring
+// passbench -json in spirit: one stable schema the CI artifact tooling
+// and scripts can consume.
+type jsonOutput struct {
+	Engine      string          `json:"engine"`
+	Rows        int             `json:"rows"`
+	Leaves      int             `json:"leaves,omitempty"`
+	Samples     int             `json:"samples,omitempty"`
+	MemoryBytes int             `json:"memory_bytes"`
+	BuildSecs   float64         `json:"build_seconds,omitempty"`
+	Aggregate   string          `json:"aggregate,omitempty"`
+	SQL         string          `json:"sql,omitempty"`
+	NoMatch     bool            `json:"no_match,omitempty"`
+	Answer      *jsonout.Answer `json:"answer,omitempty"`
+	Groups      []jsonout.Group `json:"groups,omitempty"`
+	Exact       *jsonTruth      `json:"exact,omitempty"`
+	// ExactError reports why -exact could not produce a ground truth.
+	ExactError string `json:"exact_error,omitempty"`
+}
+
+type jsonTruth struct {
+	Value       float64 `json:"value"`
+	RelativeErr float64 `json:"relative_error"`
+}
 
 func main() {
 	var (
@@ -36,21 +69,14 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		exact      = flag.Bool("exact", false, "also compute the exact answer by full scan")
 		sqlQuery   = flag.String("sql", "", "SQL statement (overrides -agg/-where); column names come from the CSV header")
+		engineName = flag.String("engine", "pass", "engine: "+strings.Join(factory.Kinds(), ", "))
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON (machine-readable)")
 	)
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "passquery: -in is required")
 		os.Exit(2)
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	tbl, err := pass.ReadCSV(f)
-	if err != nil {
-		fatal(err)
 	}
 
 	agg, err := parseAgg(*aggName)
@@ -65,38 +91,82 @@ func main() {
 		ranges = []pass.Range{{Lo: math.Inf(-1), Hi: math.Inf(1)}}
 	}
 
+	if !strings.EqualFold(*engineName, "pass") {
+		if *sqlQuery != "" {
+			fatal(fmt.Errorf("-sql is only supported with -engine pass (comparators have no SQL frontend)"))
+		}
+		runComparator(*in, *engineName, agg, ranges, factory.Spec{
+			Partitions: *partitions, SampleRate: *rate, Seed: *seed,
+			Lambda: stats.LambdaFor(*confidence),
+		}, *exact, *jsonOut)
+		return
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tbl, err := pass.ReadCSV(f)
+	if err != nil {
+		fatal(err)
+	}
+
 	opt := pass.Options{
 		Partitions: *partitions,
 		SampleRate: *rate,
 		Confidence: *confidence,
 		Seed:       *seed,
 	}
-	var syn *pass.Synopsis
-	if tbl.Dims() == 1 {
-		syn, err = pass.Build(tbl, opt)
-	} else {
-		syn, err = pass.BuildMulti(tbl, opt)
-	}
+	syn, err := pass.BuildAuto(tbl, opt)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("synopsis: %d rows, %d leaves, %d samples, %.1f KiB, built in %.3fs\n",
-		tbl.Len(), syn.Leaves(), syn.Samples(), float64(syn.MemoryBytes())/1024, syn.BuildSeconds())
+	out := jsonOutput{
+		Engine:      "PASS",
+		Rows:        tbl.Len(),
+		Leaves:      syn.Leaves(),
+		Samples:     syn.Samples(),
+		MemoryBytes: syn.MemoryBytes(),
+		BuildSecs:   syn.BuildSeconds(),
+	}
+	if !*jsonOut {
+		fmt.Printf("synopsis: %d rows, %d leaves, %d samples, %.1f KiB, built in %.3fs\n",
+			tbl.Len(), syn.Leaves(), syn.Samples(), float64(syn.MemoryBytes())/1024, syn.BuildSeconds())
+	}
 
 	if *sqlQuery != "" {
-		runSQL(syn, *sqlQuery)
+		runSQL(syn, *sqlQuery, out, *jsonOut)
 		return
 	}
 
+	out.Aggregate = strings.ToUpper(*aggName)
 	ans, err := syn.Query(agg, ranges...)
 	if err == pass.ErrNoMatch {
-		fmt.Println("no tuples match the predicate")
+		out.NoMatch = true
+		if *jsonOut {
+			emitJSON(out)
+		} else {
+			fmt.Println("no tuples match the predicate")
+		}
 		return
 	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s ≈ %.6g ± %.6g (%.0f%% CI)\n", strings.ToUpper(*aggName), ans.Estimate, ans.CIHalf, *confidence*100)
+	out.Answer = jsonout.FromAnswer(ans)
+	if *exact {
+		if truth, err := tbl.Exact(agg, ranges...); err == nil {
+			out.Exact = &jsonTruth{Value: truth, RelativeErr: relErr(ans.Estimate, truth)}
+		} else {
+			out.ExactError = err.Error()
+		}
+	}
+	if *jsonOut {
+		emitJSON(out)
+		return
+	}
+	fmt.Printf("%s ≈ %.6g ± %.6g (%.0f%% CI)\n", out.Aggregate, ans.Estimate, ans.CIHalf, *confidence*100)
 	if ans.HardBounds {
 		fmt.Printf("hard bounds: [%.6g, %.6g]\n", ans.HardLo, ans.HardHi)
 	}
@@ -104,37 +174,116 @@ func main() {
 		fmt.Println("answer is exact (predicate aligned with partitioning)")
 	}
 	fmt.Printf("tuples read: %d   skip rate: %.1f%%\n", ans.TuplesRead, ans.SkipRate*100)
-
-	if *exact {
-		truth, err := tbl.Exact(agg, ranges...)
-		if err != nil {
-			fmt.Printf("exact: undefined (%v)\n", err)
-			return
-		}
-		rel := 0.0
-		if truth != 0 {
-			rel = math.Abs(ans.Estimate-truth) / math.Abs(truth)
-		}
-		fmt.Printf("exact: %.6g   relative error: %.4f%%\n", truth, rel*100)
+	if out.Exact != nil {
+		fmt.Printf("exact: %.6g   relative error: %.4f%%\n", out.Exact.Value, out.Exact.RelativeErr*100)
+	} else if *exact {
+		fmt.Printf("exact: undefined (%s)\n", out.ExactError)
 	}
 }
 
-func runSQL(syn *pass.Synopsis, query string) {
+// runComparator answers the query with one of the non-PASS engines,
+// constructed by name through the engine factory.
+func runComparator(in, name string, agg pass.Agg, ranges []pass.Range, spec factory.Spec, exact, jsonOut bool) {
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f, "table")
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := factory.Build(name, d, spec)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := dataset.ParseAggKind(agg.String())
+	if err != nil {
+		fatal(err)
+	}
+	rect := dataset.Rect{Lo: make([]float64, len(ranges)), Hi: make([]float64, len(ranges))}
+	for i, r := range ranges {
+		rect.Lo[i], rect.Hi[i] = r.Lo, r.Hi
+	}
+	out := jsonOutput{
+		Engine:      eng.Name(),
+		Rows:        d.N(),
+		MemoryBytes: eng.MemoryBytes(),
+		Aggregate:   kind.String(),
+	}
+	r, err := eng.Query(kind, rect)
+	if err != nil {
+		fatal(err)
+	}
+	if r.NoMatch {
+		out.NoMatch = true
+		if jsonOut {
+			emitJSON(out)
+		} else {
+			fmt.Println("no tuples match the predicate")
+		}
+		return
+	}
+	out.Answer = &jsonout.Answer{
+		Estimate:   r.Estimate,
+		CIHalf:     r.CIHalf,
+		Exact:      r.Exact,
+		TuplesRead: r.TuplesRead,
+		SkipRate:   r.SkipRate(d.N()),
+	}
+	if exact {
+		if truth, err := d.Exact(kind, rect); err == nil {
+			out.Exact = &jsonTruth{Value: truth, RelativeErr: relErr(r.Estimate, truth)}
+		} else {
+			out.ExactError = err.Error()
+		}
+	}
+	if jsonOut {
+		emitJSON(out)
+		return
+	}
+	fmt.Printf("engine: %s, %d rows, %.1f KiB synopsis\n", eng.Name(), d.N(), float64(eng.MemoryBytes())/1024)
+	fmt.Printf("%s ≈ %.6g ± %.6g\n", out.Aggregate, r.Estimate, r.CIHalf)
+	fmt.Printf("tuples read: %d\n", r.TuplesRead)
+	if out.Exact != nil {
+		fmt.Printf("exact: %.6g   relative error: %.4f%%\n", out.Exact.Value, out.Exact.RelativeErr*100)
+	} else if exact {
+		fmt.Printf("exact: undefined (%s)\n", out.ExactError)
+	}
+}
+
+func runSQL(syn *pass.Synopsis, query string, out jsonOutput, jsonOut bool) {
+	out.SQL = query
 	res, err := syn.SQL(query)
 	if err == pass.ErrNoMatch {
-		fmt.Println("no tuples match the predicate")
+		out.NoMatch = true
+		if jsonOut {
+			emitJSON(out)
+		} else {
+			fmt.Println("no tuples match the predicate")
+		}
 		return
 	}
 	if err != nil {
 		fatal(err)
 	}
 	if res.Groups == nil {
+		out.Answer = jsonout.FromAnswer(res.Scalar)
+		if jsonOut {
+			emitJSON(out)
+			return
+		}
 		a := res.Scalar
 		fmt.Printf("result ≈ %.6g ± %.6g\n", a.Estimate, a.CIHalf)
 		if a.HardBounds {
 			fmt.Printf("hard bounds: [%.6g, %.6g]\n", a.HardLo, a.HardHi)
 		}
 		fmt.Printf("tuples read: %d   skip rate: %.1f%%\n", a.TuplesRead, a.SkipRate*100)
+		return
+	}
+	out.Groups = jsonout.FromGroups(res.Groups)
+	if jsonOut {
+		emitJSON(out)
 		return
 	}
 	for _, g := range res.Groups {
@@ -148,6 +297,21 @@ func runSQL(syn *pass.Synopsis, query string) {
 		}
 		fmt.Printf("%-20s  %.6g ± %.6g\n", label, g.Answer.Estimate, g.Answer.CIHalf)
 	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func relErr(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
 }
 
 func parseAgg(s string) (pass.Agg, error) {

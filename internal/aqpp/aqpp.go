@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/kdtree"
 	"repro/internal/partition"
 	"repro/internal/ptree"
@@ -135,8 +136,16 @@ func (e *Engine) drawUniform(d *dataset.Dataset, opts Options) {
 	}
 }
 
-// Name implements the Engine interface of package baselines.
+// The AQP++ comparator implements the shared engine interface.
+var _ engine.Engine = (*Engine)(nil)
+
+// Name implements the shared engine.Engine interface.
 func (e *Engine) Name() string { return e.name }
+
+// QueryBatch implements engine.Engine via the shared sequential adapter.
+func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	return engine.SequentialBatch(e, qs)
+}
 
 // MemoryBytes reports aggregate-tree plus sample storage.
 func (e *Engine) MemoryBytes() int {

@@ -1,9 +1,9 @@
 // Package baselines implements the sampling-only AQP comparators of the
 // paper's evaluation: US (uniform sampling, Section 2.1) and ST
 // (equal-depth stratified sampling, Section 2.2). Both answer
-// SUM/COUNT/AVG queries with CLT confidence intervals and expose the same
-// Result type as the PASS engine, so the benchmark harness treats every
-// system uniformly.
+// SUM/COUNT/AVG queries with CLT confidence intervals and implement the
+// shared engine.Engine interface, so the benchmark harness and the
+// catalog treat every system uniformly.
 package baselines
 
 import (
@@ -12,20 +12,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/partition"
 	"repro/internal/sample"
 	"repro/internal/stats"
 )
 
-// Engine is the common query interface implemented by every AQP system in
-// this repository (PASS, US, ST, AQP++, the VerdictDB and DeepDB
-// simulators).
-type Engine interface {
-	Name() string
-	Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error)
-	// MemoryBytes is the synopsis storage footprint.
-	MemoryBytes() int
-}
+// Both baselines implement the shared engine interface.
+var (
+	_ engine.Engine = (*Uniform)(nil)
+	_ engine.Engine = (*Stratified)(nil)
+)
 
 // Uniform is the US baseline: a single uniform sample of K tuples.
 type Uniform struct {
@@ -49,10 +46,16 @@ func NewUniform(d *dataset.Dataset, k int, lambda float64, seed uint64) *Uniform
 	return s
 }
 
-// Name implements Engine.
+// Name implements engine.Engine.
 func (u *Uniform) Name() string { return "US" }
 
-// MemoryBytes implements Engine.
+// QueryBatch implements engine.Engine by executing the workload
+// sequentially (US has no precomputed index to parallelise against).
+func (u *Uniform) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	return engine.SequentialBatch(u, qs)
+}
+
+// MemoryBytes implements engine.Engine.
 func (u *Uniform) MemoryBytes() int {
 	if len(u.samples) == 0 {
 		return 0
@@ -60,7 +63,7 @@ func (u *Uniform) MemoryBytes() int {
 	return len(u.samples) * (len(u.samples[0].Point) + 1) * 8
 }
 
-// Query implements Engine using the φ-transform estimators of Section 2.1.
+// Query implements engine.Engine using the φ-transform estimators of Section 2.1.
 func (u *Uniform) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
 	k := len(u.samples)
 	r := core.Result{TuplesRead: k}
@@ -185,10 +188,15 @@ func NewStratified(d *dataset.Dataset, b, k int, lambda float64, seed uint64) *S
 	return s
 }
 
-// Name implements Engine.
+// Name implements engine.Engine.
 func (s *Stratified) Name() string { return "ST" }
 
-// MemoryBytes implements Engine.
+// QueryBatch implements engine.Engine via the shared sequential adapter.
+func (s *Stratified) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	return engine.SequentialBatch(s, qs)
+}
+
+// MemoryBytes implements engine.Engine.
 func (s *Stratified) MemoryBytes() int {
 	total := 0
 	for _, st := range s.strata {
@@ -200,7 +208,7 @@ func (s *Stratified) MemoryBytes() int {
 	return total
 }
 
-// Query implements Engine with the weighted stratified estimators of
+// Query implements engine.Engine with the weighted stratified estimators of
 // Section 2.2. Strata whose value range is disjoint from the predicate's
 // first dimension are skipped.
 func (s *Stratified) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {

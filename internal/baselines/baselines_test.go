@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -177,7 +178,7 @@ func TestStratifiedUnsupportedKind(t *testing.T) {
 
 func TestEngineInterfaces(t *testing.T) {
 	d := dataset.GenUniform(100, 1, 1, 19)
-	var engines []Engine = []Engine{
+	engines := []engine.Engine{
 		NewUniform(d, 20, 0, 1),
 		NewStratified(d, 4, 20, 0, 1),
 	}

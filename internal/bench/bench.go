@@ -11,9 +11,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -112,34 +112,24 @@ type Metrics struct {
 	Answered      int
 }
 
-// BatchEngine is implemented by engines whose synopsis can execute a whole
-// workload as one parallel batch (see core.Synopsis.QueryBatch). Batched
-// answers must be identical to sequential ones; the harness relies on that
-// to keep accuracy metrics comparable across execution modes.
-type BatchEngine interface {
-	baselines.Engine
-	QueryBatch(qs []core.BatchQuery) []core.BatchResult
-}
-
-// RunWorkload evaluates an engine over a query set with known truths.
-// Engines implementing BatchEngine execute the workload as one parallel
-// batch; per-query latencies are then measured inside the workers, so
-// they stay per-query but include cross-worker contention on multicore
-// machines. Accuracy metrics are identical in both modes. Tables whose
-// latency columns compare engines with and without batch support should
-// use RunWorkloadSequential instead, so every engine is timed the same
-// way.
-func RunWorkload(e baselines.Engine, qs []workload.Query, n int) Metrics {
-	if be, ok := e.(BatchEngine); ok {
-		return runWorkloadBatch(be, qs, n)
-	}
-	return RunWorkloadSequential(e, qs, n)
+// RunWorkload evaluates an engine over a query set with known truths by
+// executing the workload as one batch through the engine's QueryBatch.
+// Engines with a parallel synopsis (PASS) fan the batch across the worker
+// pool and per-query latencies are measured inside the workers, so they
+// stay per-query but include cross-worker contention on multicore
+// machines; the sampling baselines execute sequentially. Accuracy metrics
+// are identical in both modes (QueryBatch answers are guaranteed to match
+// sequential Query). Tables whose latency columns compare engines across
+// that split should use RunWorkloadSequential instead, so every engine is
+// timed the same way.
+func RunWorkload(e engine.Engine, qs []workload.Query, n int) Metrics {
+	return runWorkloadBatch(e, qs, n)
 }
 
 // RunWorkloadSequential evaluates the engine one query at a time even when
-// it supports batching, keeping latency metrics directly comparable across
-// engines.
-func RunWorkloadSequential(e baselines.Engine, qs []workload.Query, n int) Metrics {
+// it supports parallel batching, keeping latency metrics directly
+// comparable across engines.
+func RunWorkloadSequential(e engine.Engine, qs []workload.Query, n int) Metrics {
 	var acc metricsAcc
 	for _, q := range qs {
 		if !q.HasTruth {
@@ -156,7 +146,7 @@ func RunWorkloadSequential(e baselines.Engine, qs []workload.Query, n int) Metri
 	return acc.metrics()
 }
 
-func runWorkloadBatch(e BatchEngine, qs []workload.Query, n int) Metrics {
+func runWorkloadBatch(e engine.Engine, qs []workload.Query, n int) Metrics {
 	batch := make([]core.BatchQuery, 0, len(qs))
 	kept := make([]workload.Query, 0, len(qs))
 	for _, q := range qs {
@@ -211,29 +201,11 @@ func (a *metricsAcc) metrics() Metrics {
 	return m
 }
 
-// passEngine adapts a PASS synopsis to the Engine interface.
-type passEngine struct {
-	s    *core.Synopsis
-	name string
-}
-
-// PassEngine wraps a built synopsis for the harness.
-func PassEngine(s *core.Synopsis, name string) baselines.Engine {
-	return &passEngine{s: s, name: name}
-}
-
-func (p *passEngine) Name() string { return p.name }
-
-func (p *passEngine) MemoryBytes() int { return p.s.MemoryBytes() }
-
-func (p *passEngine) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
-	return p.s.Query(kind, q)
-}
-
-// QueryBatch implements BatchEngine: PASS synopses are immutable under
-// queries, so the harness fans the workload across the worker pool.
-func (p *passEngine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
-	return p.s.QueryBatch(qs)
+// PassEngine presents a built synopsis to the harness under a
+// configuration-specific display name (a Synopsis is already an
+// engine.Engine in its own right).
+func PassEngine(s *core.Synopsis, name string) engine.Engine {
+	return engine.Rename(s, name)
 }
 
 // Datasets returns the three simulated real-world datasets at the config's

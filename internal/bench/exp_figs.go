@@ -7,6 +7,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
@@ -92,8 +93,8 @@ func rateSweep(cfg Config, ciRatio bool) []Table {
 // sweepEngines builds the four comparators of Figures 3-5 at the given
 // partition count and sample budget, in presentation order
 // (PASS, US, ST, AQP++).
-func sweepEngines(d *dataset.Dataset, parts, k int, cfg Config) []baselines.Engine {
-	var engines []baselines.Engine
+func sweepEngines(d *dataset.Dataset, parts, k int, cfg Config) []engine.Engine {
+	var engines []engine.Engine
 	s, err := core.Build(d, core.Options{
 		Partitions: parts, SampleSize: k, Kind: dataset.Sum, Seed: cfg.Seed + 20,
 	})

@@ -8,6 +8,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
@@ -72,8 +73,8 @@ func Table1(cfg Config) []Table {
 	return []Table{out}
 }
 
-func buildTable1Engines(d *dataset.Dataset, parts, k int, cfg Config, costs map[string]time.Duration) []baselines.Engine {
-	var engines []baselines.Engine
+func buildTable1Engines(d *dataset.Dataset, parts, k int, cfg Config, costs map[string]time.Duration) []engine.Engine {
+	var engines []engine.Engine
 
 	start := time.Now()
 	us := baselines.NewUniform(d, k, 0, cfg.Seed+10)

@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/deepdb"
+	"repro/internal/engine"
 	"repro/internal/verdictdb"
 	"repro/internal/workload"
 )
@@ -41,10 +41,10 @@ func Table2(cfg Config) []Table {
 	}
 	type engineSpec struct {
 		name  string
-		build func(d *dataset.Dataset, dims int) (baselines.Engine, time.Duration, int)
+		build func(d *dataset.Dataset, dims int) (engine.Engine, time.Duration, int)
 	}
-	passBuilder := func(mult int) func(d *dataset.Dataset, dims int) (baselines.Engine, time.Duration, int) {
-		return func(d *dataset.Dataset, dims int) (baselines.Engine, time.Duration, int) {
+	passBuilder := func(mult int) func(d *dataset.Dataset, dims int) (engine.Engine, time.Duration, int) {
+		return func(d *dataset.Dataset, dims int) (engine.Engine, time.Duration, int) {
 			opts := core.Options{
 				Partitions: 64, SampleSize: mult * baseK, Kind: dataset.Sum,
 				Seed: cfg.Seed + uint64(mult),
@@ -69,28 +69,28 @@ func Table2(cfg Config) []Table {
 		{"PASS-BSS1x", passBuilder(1)},
 		{"PASS-BSS2x", passBuilder(2)},
 		{"PASS-BSS10x", passBuilder(10)},
-		{"VerdictDB-10%", func(d *dataset.Dataset, dims int) (baselines.Engine, time.Duration, int) {
+		{"VerdictDB-10%", func(d *dataset.Dataset, dims int) (engine.Engine, time.Duration, int) {
 			e, err := verdictdb.New(d, 0.10, 0, cfg.Seed+30)
 			if err != nil {
 				return nil, 0, 0
 			}
 			return e, e.BuildTime, e.MemoryBytes()
 		}},
-		{"VerdictDB-100%", func(d *dataset.Dataset, dims int) (baselines.Engine, time.Duration, int) {
+		{"VerdictDB-100%", func(d *dataset.Dataset, dims int) (engine.Engine, time.Duration, int) {
 			e, err := verdictdb.New(d, 1.0, 0, cfg.Seed+31)
 			if err != nil {
 				return nil, 0, 0
 			}
 			return e, e.BuildTime, e.MemoryBytes()
 		}},
-		{"DeepDB-10%", func(d *dataset.Dataset, dims int) (baselines.Engine, time.Duration, int) {
+		{"DeepDB-10%", func(d *dataset.Dataset, dims int) (engine.Engine, time.Duration, int) {
 			e, err := deepdb.New(d, deepdb.Options{TrainRatio: 0.10, Seed: cfg.Seed + 32})
 			if err != nil {
 				return nil, 0, 0
 			}
 			return e, e.BuildTime, e.MemoryBytes()
 		}},
-		{"DeepDB-100%", func(d *dataset.Dataset, dims int) (baselines.Engine, time.Duration, int) {
+		{"DeepDB-100%", func(d *dataset.Dataset, dims int) (engine.Engine, time.Duration, int) {
 			e, err := deepdb.New(d, deepdb.Options{TrainRatio: 1.0, Seed: cfg.Seed + 33})
 			if err != nil {
 				return nil, 0, 0

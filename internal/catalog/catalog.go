@@ -1,0 +1,232 @@
+// Package catalog is the multi-table registry between the SQL frontend
+// and the engine layer: a concurrency-safe map from table names to a
+// serving engine plus the schema (column names and dictionaries) that SQL
+// statements resolve against.
+//
+// Concurrency model: the catalog itself is guarded by one RWMutex for
+// registration lookups, and every table carries its own RWMutex. Queries
+// — single or batched — take the table's read lock, so any number of them
+// run concurrently and a batched workload still fans out across the
+// worker pool inside the engine; Insert/Delete take the write lock, so
+// updates serialise against each other and against in-flight queries
+// without blocking other tables.
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/sqlfe"
+)
+
+// Table is one registered table: an engine, its schema, and the lock that
+// orders queries and updates.
+type Table struct {
+	name   string
+	mu     sync.RWMutex
+	eng    engine.Engine
+	schema sqlfe.Schema
+	rows   int
+}
+
+// Name returns the registered table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the SQL-resolution schema. The returned value is shared
+// and must be treated as read-only.
+func (t *Table) Schema() sqlfe.Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.schema
+}
+
+// EngineName reports the serving engine's display name.
+func (t *Table) EngineName() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.Name()
+}
+
+// MemoryBytes reports the serving engine's synopsis footprint.
+func (t *Table) MemoryBytes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.MemoryBytes()
+}
+
+// Rows reports the base-table cardinality the engine was built over, or 0
+// when the engine does not expose it.
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Query answers one aggregate under the table's read lock.
+func (t *Table) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.Query(kind, q)
+}
+
+// QueryBatch answers a whole workload under one read-lock acquisition;
+// engines with a parallel synopsis fan it across the worker pool.
+func (t *Table) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.eng.QueryBatch(qs)
+}
+
+// GroupBy answers one aggregate per group key, when the engine supports
+// grouping (engine.Grouper).
+func (t *Table) GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []float64) ([]core.GroupResult, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	g, ok := engine.Underlying(t.eng).(engine.Grouper)
+	if !ok {
+		return nil, fmt.Errorf("catalog: engine %s of table %q does not support GROUP BY", t.eng.Name(), t.name)
+	}
+	return g.GroupBy(kind, q, dim, groups)
+}
+
+// Insert adds one tuple under the table's write lock, when the engine is
+// updatable (engine.Updatable).
+func (t *Table) Insert(point []float64, value float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u, ok := engine.Underlying(t.eng).(engine.Updatable)
+	if !ok {
+		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
+	}
+	if err := u.Insert(point, value); err != nil {
+		return err
+	}
+	t.resyncRows(1)
+	return nil
+}
+
+// Delete removes one tuple under the table's write lock, when the engine
+// is updatable.
+func (t *Table) Delete(point []float64, value float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u, ok := engine.Underlying(t.eng).(engine.Updatable)
+	if !ok {
+		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
+	}
+	if err := u.Delete(point, value); err != nil {
+		return err
+	}
+	t.resyncRows(-1)
+	return nil
+}
+
+// resyncRows refreshes the cached cardinality after an update: engines
+// that track their own size are authoritative, others get the delta.
+// Callers hold the write lock.
+func (t *Table) resyncRows(delta int) {
+	if sz, ok := engine.Underlying(t.eng).(engine.Sized); ok {
+		t.rows = sz.N()
+		return
+	}
+	if t.rows+delta >= 0 {
+		t.rows += delta
+	}
+}
+
+// Save persists the table's synopsis under the read lock, when the engine
+// is serializable (engine.Serializable).
+func (t *Table) Save(w io.Writer) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	s, ok := engine.Underlying(t.eng).(engine.Serializable)
+	if !ok {
+		return fmt.Errorf("catalog: engine %s of table %q does not support serialization", t.eng.Name(), t.name)
+	}
+	return s.Save(w)
+}
+
+// Catalog is a named-table registry safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Register adds a table under name. Names are case-insensitive and must
+// be unique; Drop an existing table to replace it.
+func (c *Catalog) Register(name string, e engine.Engine, schema sqlfe.Schema) (*Table, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("catalog: table name must not be empty")
+	}
+	if e == nil {
+		return nil, fmt.Errorf("catalog: table %q needs an engine", name)
+	}
+	t := &Table{name: name, eng: e, schema: schema}
+	if sz, ok := engine.Underlying(e).(engine.Sized); ok {
+		t.rows = sz.N()
+	}
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[key]; dup {
+		return nil, fmt.Errorf("catalog: table %q is already registered", name)
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Lookup resolves a table name (case-insensitively). Unknown names return
+// an error listing the registered tables, so a typo in a FROM clause is
+// diagnosable rather than silently accepted.
+func (c *Catalog) Lookup(name string) (*Table, error) {
+	c.mu.RLock()
+	t, ok := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
+	if !ok {
+		known := c.List()
+		names := make([]string, len(known))
+		for i, kt := range known {
+			names[i] = kt.Name()
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("catalog: unknown table %q (no tables registered)", name)
+		}
+		return nil, fmt.Errorf("catalog: unknown table %q (have %s)", name, strings.Join(names, ", "))
+	}
+	return t, nil
+}
+
+// Drop removes a table by name.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: unknown table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// List returns the registered tables sorted by name.
+func (c *Catalog) List() []*Table {
+	c.mu.RLock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,194 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sqlfe"
+)
+
+func buildPass(t *testing.T, n int) (*dataset.Dataset, *core.Synopsis) {
+	t.Helper()
+	d := dataset.GenIntelWireless(n, 1)
+	s, err := core.Build(d, core.Options{Partitions: 16, SampleSize: 200, Kind: dataset.Sum, Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d, s
+}
+
+func TestRegisterLookupDropList(t *testing.T) {
+	_, s := buildPass(t, 2000)
+	c := New()
+	tbl, err := c.Register("Sensors", s, sqlfe.SchemaFromColNames([]string{"time", "light"}))
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if tbl.Rows() != 2000 {
+		t.Errorf("Rows = %d, want 2000", tbl.Rows())
+	}
+	if tbl.EngineName() != "PASS" {
+		t.Errorf("EngineName = %q", tbl.EngineName())
+	}
+	if tbl.MemoryBytes() <= 0 {
+		t.Errorf("MemoryBytes = %d", tbl.MemoryBytes())
+	}
+
+	// case-insensitive lookup
+	got, err := c.Lookup("sensors")
+	if err != nil || got != tbl {
+		t.Fatalf("Lookup(sensors) = %v, %v", got, err)
+	}
+
+	// duplicate registration rejected
+	if _, err := c.Register("SENSORS", s, sqlfe.Schema{}); err == nil {
+		t.Error("duplicate Register should fail")
+	}
+	// empty name rejected
+	if _, err := c.Register("  ", s, sqlfe.Schema{}); err == nil {
+		t.Error("empty-name Register should fail")
+	}
+
+	// unknown lookup names the known tables
+	if _, err := c.Lookup("nope"); err == nil || !strings.Contains(err.Error(), "Sensors") {
+		t.Errorf("Lookup(nope) error = %v, want it to list known tables", err)
+	}
+
+	if names := c.List(); len(names) != 1 || names[0].Name() != "Sensors" {
+		t.Errorf("List = %v", names)
+	}
+	if err := c.Drop("sensors"); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if err := c.Drop("sensors"); err == nil {
+		t.Error("double Drop should fail")
+	}
+	if _, err := c.Lookup("sensors"); err == nil || !strings.Contains(err.Error(), "no tables registered") {
+		t.Errorf("Lookup after drop = %v", err)
+	}
+}
+
+func TestTableQueryAndBatchMatch(t *testing.T) {
+	d, s := buildPass(t, 3000)
+	c := New()
+	tbl, err := c.Register("t", s, sqlfe.SchemaFromColNames(d.ColNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []core.BatchQuery{
+		{Kind: dataset.Sum, Rect: dataset.Rect1(5, 15)},
+		{Kind: dataset.Avg, Rect: dataset.Rect1(0, 10)},
+		{Kind: dataset.Count, Rect: dataset.Rect1(2, 20)},
+	}
+	batch := tbl.QueryBatch(qs)
+	for i, q := range qs {
+		seq, err := tbl.Query(q.Kind, q.Rect)
+		if err != nil {
+			t.Fatalf("Query %d: %v", i, err)
+		}
+		if batch[i].Err != nil {
+			t.Fatalf("batch %d: %v", i, batch[i].Err)
+		}
+		if seq.Estimate != batch[i].Result.Estimate || seq.CIHalf != batch[i].Result.CIHalf {
+			t.Errorf("query %d: batch (%v ± %v) != sequential (%v ± %v)",
+				i, batch[i].Result.Estimate, batch[i].Result.CIHalf, seq.Estimate, seq.CIHalf)
+		}
+	}
+}
+
+func TestCapabilitiesByEngine(t *testing.T) {
+	d, s := buildPass(t, 1500)
+	c := New()
+	passT, err := c.Register("p", s, sqlfe.SchemaFromColNames(d.ColNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	usT, err := c.Register("u", baselines.NewUniform(d, 100, 0, 7), sqlfe.SchemaFromColNames(d.ColNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// PASS is updatable and serializable; US is neither.
+	before := passT.Rows()
+	if err := passT.Insert([]float64{10}, 3.5); err != nil {
+		t.Fatalf("PASS Insert: %v", err)
+	}
+	if passT.Rows() != before+1 {
+		t.Errorf("Rows after insert = %d, want %d", passT.Rows(), before+1)
+	}
+	if err := passT.Delete([]float64{10}, 3.5); err != nil {
+		t.Fatalf("PASS Delete: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := passT.Save(&buf); err != nil || buf.Len() == 0 {
+		t.Fatalf("PASS Save: %v (%d bytes)", err, buf.Len())
+	}
+
+	if err := usT.Insert([]float64{1}, 1); err == nil {
+		t.Error("US Insert should report the missing capability")
+	}
+	if err := usT.Save(&buf); err == nil {
+		t.Error("US Save should report the missing capability")
+	}
+	// US has no row-count capability: Rows falls back to 0.
+	if usT.Rows() != 0 {
+		t.Errorf("US Rows = %d, want 0", usT.Rows())
+	}
+
+	// PASS groups; US does not.
+	if _, err := passT.GroupBy(dataset.Sum, dataset.Rect1(0, 25), 0, []float64{1, 2}); err != nil {
+		t.Errorf("PASS GroupBy: %v", err)
+	}
+	if _, err := usT.GroupBy(dataset.Sum, dataset.Rect1(0, 25), 0, []float64{1}); err == nil {
+		t.Error("US GroupBy should report the missing capability")
+	}
+}
+
+// TestConcurrentQueriesAndUpdates exercises the per-table RWMutex: batched
+// queries fan out concurrently while inserts serialise, with the race
+// detector watching in CI.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	d, s := buildPass(t, 2000)
+	c := New()
+	tbl, err := c.Register("t", s, sqlfe.SchemaFromColNames(d.ColNames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []core.BatchQuery{
+		{Kind: dataset.Sum, Rect: dataset.Rect1(5, 15)},
+		{Kind: dataset.Count, Rect: dataset.Rect1(0, 20)},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, br := range tbl.QueryBatch(qs) {
+					if br.Err != nil {
+						t.Errorf("batch query: %v", br.Err)
+						return
+					}
+				}
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := tbl.Insert([]float64{float64(g + i)}, 1.0); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tbl.Rows() != 2000+4*20 {
+		t.Errorf("Rows = %d, want %d", tbl.Rows(), 2000+4*20)
+	}
+}

@@ -375,6 +375,13 @@ func (s *Synopsis) kdSortDim(tr *kdtree.Tree, leaf int) int {
 // NumLeaves returns the number of leaf strata.
 func (s *Synopsis) NumLeaves() int { return s.tr.NumLeaves() }
 
+// Name identifies the engine in benchmark tables and catalog listings;
+// with Query, QueryBatch and MemoryBytes it makes a built Synopsis
+// satisfy the shared engine interface (internal/engine) directly, and
+// Insert/Delete and Save provide the Updatable and Serializable
+// capabilities.
+func (s *Synopsis) Name() string { return "PASS" }
+
 // TotalSamples returns the total stored sample count K.
 func (s *Synopsis) TotalSamples() int { return s.totalK }
 

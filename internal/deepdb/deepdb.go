@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/sample"
 	"repro/internal/stats"
 )
@@ -150,8 +151,16 @@ func (cm columnModel) marginal(lo, hi float64) (frac, condMean float64) {
 	return cnt / float64(cm.trainN), sum / cnt
 }
 
-// Name implements the baselines.Engine interface.
+// The DeepDB simulator implements the shared engine interface.
+var _ engine.Engine = (*Engine)(nil)
+
+// Name implements the shared engine.Engine interface.
 func (e *Engine) Name() string { return e.name }
+
+// QueryBatch implements engine.Engine via the shared sequential adapter.
+func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	return engine.SequentialBatch(e, qs)
+}
 
 // MemoryBytes reports the model size (buckets × 5 floats per column).
 func (e *Engine) MemoryBytes() int {

@@ -1,0 +1,233 @@
+// Engine conformance suite: every AQP system in the repository — PASS and
+// the five comparators — must satisfy the same contract beyond the type
+// signature of engine.Engine:
+//
+//   - QueryBatch answers are identical to sequential Query answers;
+//   - MemoryBytes is positive after a build;
+//   - unsupported aggregates return errors, never panic;
+//   - concurrent batched queries are race-free (run under -race in CI).
+//
+// The suite constructs engines through the factory, so adding an engine
+// kind there automatically enrols it here.
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/engine/factory"
+)
+
+const confRows = 3000
+
+func confDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	return dataset.GenIntelWireless(confRows, 7)
+}
+
+// buildAll constructs one engine of every kind over the same dataset.
+func buildAll(t testing.TB, d *dataset.Dataset) map[string]engine.Engine {
+	t.Helper()
+	out := make(map[string]engine.Engine, len(factory.Kinds()))
+	for _, kind := range factory.Kinds() {
+		e, err := factory.Build(kind, d, factory.Spec{Partitions: 16, SampleRate: 0.02, Seed: 11})
+		if err != nil {
+			t.Fatalf("factory.Build(%s): %v", kind, err)
+		}
+		out[kind] = e
+	}
+	return out
+}
+
+func confWorkload() []core.BatchQuery {
+	var qs []core.BatchQuery
+	for _, kind := range []dataset.AggKind{dataset.Count, dataset.Sum, dataset.Avg} {
+		for i := 0; i < 8; i++ {
+			lo := float64(i * 3)
+			qs = append(qs, core.BatchQuery{Kind: kind, Rect: dataset.Rect1(lo, lo+10)})
+		}
+	}
+	return qs
+}
+
+func TestFactoryCoversAllSixEngines(t *testing.T) {
+	kinds := factory.Kinds()
+	if len(kinds) != 6 {
+		t.Fatalf("factory kinds = %v, want the six engines of the paper's evaluation", kinds)
+	}
+	if _, err := factory.Build("no-such-engine", confDataset(t), factory.Spec{}); err == nil {
+		t.Error("unknown engine kind should fail")
+	}
+}
+
+func TestConformanceBatchMatchesSequential(t *testing.T) {
+	d := confDataset(t)
+	qs := confWorkload()
+	for kind, e := range buildAll(t, d) {
+		t.Run(kind, func(t *testing.T) {
+			batch := e.QueryBatch(qs)
+			if len(batch) != len(qs) {
+				t.Fatalf("QueryBatch returned %d results for %d queries", len(batch), len(qs))
+			}
+			for i, q := range qs {
+				seq, seqErr := e.Query(q.Kind, q.Rect)
+				br := batch[i]
+				if (seqErr == nil) != (br.Err == nil) {
+					t.Fatalf("query %d: batch err %v vs sequential err %v", i, br.Err, seqErr)
+				}
+				if seqErr != nil {
+					continue
+				}
+				if br.Result.Estimate != seq.Estimate || br.Result.CIHalf != seq.CIHalf ||
+					br.Result.NoMatch != seq.NoMatch || br.Result.Exact != seq.Exact {
+					t.Errorf("query %d: batch (%v ± %v) != sequential (%v ± %v)",
+						i, br.Result.Estimate, br.Result.CIHalf, seq.Estimate, seq.CIHalf)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceMemoryBytesPositive(t *testing.T) {
+	d := confDataset(t)
+	for kind, e := range buildAll(t, d) {
+		if e.MemoryBytes() <= 0 {
+			t.Errorf("%s: MemoryBytes = %d after build, want > 0", kind, e.MemoryBytes())
+		}
+		if e.Name() == "" {
+			t.Errorf("%s: empty engine name", kind)
+		}
+	}
+}
+
+// TestConformanceUnsupportedAggregates drives every aggregate kind —
+// including ones an engine does not implement — through Query and asserts
+// errors come back as errors, not panics.
+func TestConformanceUnsupportedAggregates(t *testing.T) {
+	d := confDataset(t)
+	kinds := []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg, dataset.Min, dataset.Max}
+	for name, e := range buildAll(t, d) {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range kinds {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Errorf("%s panicked on %v: %v", name, k, r)
+						}
+					}()
+					_, _ = e.Query(k, dataset.Rect1(0, 25))
+				}()
+			}
+			// engines without MIN/MAX support must say so explicitly
+			switch name {
+			case "st", "aqpp", "deepdb":
+				if _, err := e.Query(dataset.Min, dataset.Rect1(0, 25)); err == nil {
+					t.Errorf("%s: MIN should return an unsupported-aggregate error", name)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceConcurrentBatches hammers each engine with concurrent
+// batched workloads; under -race (CI) this verifies queries are
+// shared-state safe.
+func TestConformanceConcurrentBatches(t *testing.T) {
+	d := confDataset(t)
+	qs := confWorkload()
+	for kind, e := range buildAll(t, d) {
+		t.Run(kind, func(t *testing.T) {
+			want := e.QueryBatch(qs)
+			var wg sync.WaitGroup
+			errs := make(chan error, 4)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for rep := 0; rep < 3; rep++ {
+						got := e.QueryBatch(qs)
+						for i := range got {
+							if (got[i].Err == nil) != (want[i].Err == nil) {
+								errs <- fmt.Errorf("query %d: err mismatch across concurrent batches", i)
+								return
+							}
+							if got[i].Err == nil && got[i].Result.Estimate != want[i].Result.Estimate {
+								errs <- fmt.Errorf("query %d: %v != %v under concurrency",
+									i, got[i].Result.Estimate, want[i].Result.Estimate)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCapabilitySplit documents which engines expose the optional
+// capability interfaces: PASS is Updatable, Serializable, Grouper and
+// Sized; the comparators are query-only.
+func TestCapabilitySplit(t *testing.T) {
+	d := confDataset(t)
+	engines := buildAll(t, d)
+	for kind, e := range engines {
+		_, upd := e.(engine.Updatable)
+		_, ser := e.(engine.Serializable)
+		_, grp := e.(engine.Grouper)
+		isPass := kind == "pass"
+		if upd != isPass || ser != isPass || grp != isPass {
+			t.Errorf("%s: capabilities updatable=%v serializable=%v grouper=%v, want all %v",
+				kind, upd, ser, grp, isPass)
+		}
+	}
+}
+
+func TestSequentialBatchAdapter(t *testing.T) {
+	d := confDataset(t)
+	e, err := factory.Build("us", d, factory.Spec{SampleSize: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := engine.SequentialBatch(e, nil)
+	if len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+	qs := []core.BatchQuery{{Kind: dataset.Sum, Rect: dataset.Rect1(0, 25)}}
+	got := engine.SequentialBatch(e, qs)
+	if len(got) != 1 || got[0].Err != nil || got[0].Elapsed < 0 {
+		t.Errorf("SequentialBatch = %+v", got)
+	}
+}
+
+func TestRenameForwardsAndUnwraps(t *testing.T) {
+	d := confDataset(t)
+	e, err := factory.Build("pass", d, factory.Spec{Partitions: 8, SampleSize: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := engine.Rename(e, "PASS-XL")
+	if r.Name() != "PASS-XL" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if r.MemoryBytes() != e.MemoryBytes() {
+		t.Error("Rename must forward MemoryBytes")
+	}
+	if engine.Underlying(r) != e {
+		t.Error("Underlying should unwrap Rename")
+	}
+	if engine.Underlying(e) != e {
+		t.Error("Underlying of an unwrapped engine is itself")
+	}
+	if _, ok := engine.Underlying(r).(engine.Updatable); !ok {
+		t.Error("capabilities reachable through Underlying")
+	}
+}

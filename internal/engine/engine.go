@@ -1,0 +1,124 @@
+// Package engine defines the common interface implemented by every AQP
+// system in this repository — the PASS synopsis (internal/core) and the
+// comparators US, ST (internal/baselines), AQP++ (internal/aqpp),
+// VerdictDB (internal/verdictdb) and DeepDB (internal/deepdb) — plus the
+// optional capability interfaces that expose mutation and persistence
+// where an engine supports them.
+//
+// The package is the middle layer of the repository's architecture:
+//
+//	sqlfe (SQL frontend) → pass.Session / internal/catalog → engine → implementations
+//
+// Everything above this layer (the SQL session, the catalog, the
+// benchmark harness, the serving binaries) is written against Engine and
+// the capability interfaces, never against a concrete implementation, so
+// new backends plug in without touching the upper layers.
+package engine
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Queryer is the minimal single-query surface of an AQP engine.
+type Queryer interface {
+	// Name identifies the engine in benchmark tables and catalog listings.
+	Name() string
+	// Query answers one aggregate over a rectangular predicate.
+	Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error)
+	// MemoryBytes is the synopsis storage footprint.
+	MemoryBytes() int
+}
+
+// Engine is the interface every AQP system implements: single queries
+// plus whole-workload batched execution. Engines with an internally
+// parallel synopsis (PASS) fan batches across the worker pool; the
+// sampling baselines satisfy the contract with SequentialBatch. In both
+// cases batched answers must be identical to issuing the same queries
+// sequentially through Query.
+type Engine interface {
+	Queryer
+	// QueryBatch answers a workload of queries, returning results in
+	// input order.
+	QueryBatch(qs []core.BatchQuery) []core.BatchResult
+}
+
+// Updatable is the optional mutation capability: engines whose synopsis
+// can absorb inserts and deletes without a rebuild. Updates require
+// exclusive access — they must not overlap with queries (the catalog
+// layer serialises them behind a per-table RWMutex).
+type Updatable interface {
+	Insert(point []float64, value float64) error
+	Delete(point []float64, value float64) error
+}
+
+// Serializable is the optional persistence capability: engines whose
+// synopsis persists to a compact binary format. Loading is
+// constructor-shaped (it yields a new engine) and therefore lives with
+// each implementation — core.Load for PASS — rather than on the
+// interface; a Loader value adapts any of them to a uniform signature.
+type Serializable interface {
+	Save(w io.Writer) error
+}
+
+// Loader restores an engine written by a Serializable implementation's
+// Save.
+type Loader func(r io.Reader) (Engine, error)
+
+// Grouper is the optional GROUP BY capability: one aggregate per group
+// key over a shared predicate (PASS Section 4.5).
+type Grouper interface {
+	GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []float64) ([]core.GroupResult, error)
+}
+
+// Sized is the optional row-count capability, used by the catalog for
+// table listings and skip-rate accounting.
+type Sized interface {
+	N() int
+}
+
+// SequentialBatch is the shared QueryBatch adapter for engines without a
+// natively parallel synopsis: it executes the workload one query at a
+// time in input order, recording per-query wall-clock latency. Engines
+// embed it as a one-line method:
+//
+//	func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+//	    return engine.SequentialBatch(e, qs)
+//	}
+func SequentialBatch(e Queryer, qs []core.BatchQuery) []core.BatchResult {
+	out := make([]core.BatchResult, len(qs))
+	for i, q := range qs {
+		o := &out[i]
+		start := time.Now()
+		o.Result, o.Err = e.Query(q.Kind, q.Rect)
+		o.Elapsed = time.Since(start)
+	}
+	return out
+}
+
+// renamed overrides an engine's display name, forwarding everything else.
+type renamed struct {
+	Engine
+	name string
+}
+
+func (r renamed) Name() string { return r.name }
+
+// Rename returns e presented under a different display name — used by the
+// benchmark harness to distinguish configurations of the same engine
+// (e.g. "PASS-BSS2x" vs "PASS-BSS10x"). Capability interfaces of the
+// underlying engine are not forwarded; unwrap with Underlying if needed.
+func Rename(e Engine, name string) Engine {
+	return renamed{Engine: e, name: name}
+}
+
+// Underlying returns the engine wrapped by Rename, or e itself.
+func Underlying(e Engine) Engine {
+	if r, ok := e.(renamed); ok {
+		return r.Engine
+	}
+	return e
+}

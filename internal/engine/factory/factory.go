@@ -1,0 +1,124 @@
+// Package factory constructs any of the repository's AQP engines from a
+// uniform specification, by name. It is the one place that knows every
+// concrete implementation; layers above it (cmd/passquery, the
+// conformance suite, serving code) pick engines with a string and program
+// against engine.Engine only.
+//
+// The factory lives in a subpackage of internal/engine because the
+// implementations themselves import internal/engine (for the shared
+// sequential-batch adapter), so the interface package cannot import them
+// back.
+package factory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/aqpp"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/deepdb"
+	"repro/internal/engine"
+	"repro/internal/verdictdb"
+)
+
+// Spec is an engine-agnostic construction budget. Zero fields take
+// per-engine defaults.
+type Spec struct {
+	// Partitions is the precomputation budget (PASS leaves, ST strata,
+	// AQP++ partitions, DeepDB buckets). Default 64.
+	Partitions int
+	// SampleRate is the sample budget as a fraction of the data (default
+	// 0.005). Ignored when SampleSize is set.
+	SampleRate float64
+	// SampleSize is the absolute sample budget; overrides SampleRate.
+	SampleSize int
+	// Ratio is the VerdictDB scramble / DeepDB training ratio (default
+	// 0.1).
+	Ratio float64
+	// Lambda is the CI multiplier (default 2.576, a 99% interval).
+	Lambda float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (sp Spec) defaults(n int) Spec {
+	if sp.Partitions <= 0 {
+		sp.Partitions = 64
+	}
+	if sp.SampleSize <= 0 {
+		rate := sp.SampleRate
+		if rate <= 0 {
+			rate = 0.005
+		}
+		sp.SampleSize = int(rate * float64(n))
+		if sp.SampleSize < 1 {
+			sp.SampleSize = 1
+		}
+	}
+	if sp.Ratio <= 0 {
+		sp.Ratio = 0.1
+	}
+	return sp
+}
+
+// builders maps an engine kind to its constructor. PASS picks the 1D or
+// k-d build by the dataset's dimensionality; AQP++ likewise.
+var builders = map[string]func(d *dataset.Dataset, sp Spec) (engine.Engine, error){
+	"pass": func(d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+		opts := core.Options{
+			Partitions: sp.Partitions, SampleSize: sp.SampleSize,
+			Kind: dataset.Sum, Lambda: sp.Lambda, Seed: sp.Seed,
+		}
+		if d.Dims() > 1 {
+			return core.BuildKD(d, opts)
+		}
+		return core.Build(d, opts)
+	},
+	"us": func(d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+		return baselines.NewUniform(d, sp.SampleSize, sp.Lambda, sp.Seed), nil
+	},
+	"st": func(d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+		return baselines.NewStratified(d, sp.Partitions, sp.SampleSize, sp.Lambda, sp.Seed), nil
+	},
+	"aqpp": func(d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+		opts := aqpp.Options{
+			Partitions: sp.Partitions, SampleSize: sp.SampleSize,
+			Lambda: sp.Lambda, Seed: sp.Seed,
+		}
+		if d.Dims() > 1 {
+			return aqpp.NewKD(d, opts)
+		}
+		return aqpp.New(d, opts)
+	},
+	"verdictdb": func(d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+		return verdictdb.New(d, sp.Ratio, sp.Lambda, sp.Seed)
+	},
+	"deepdb": func(d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+		return deepdb.New(d, deepdb.Options{
+			TrainRatio: sp.Ratio, Buckets: sp.Partitions, Seed: sp.Seed,
+		})
+	},
+}
+
+// Build constructs the named engine over d. Kind is case-insensitive; see
+// Kinds for the available names.
+func Build(kind string, d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+	b, ok := builders[strings.ToLower(kind)]
+	if !ok {
+		return nil, fmt.Errorf("factory: unknown engine %q (have %s)", kind, strings.Join(Kinds(), ", "))
+	}
+	return b(d, sp.defaults(d.N()))
+}
+
+// Kinds lists the available engine names, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(builders))
+	for k := range builders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,58 @@
+// Package jsonout defines the machine-readable wire form of approximate
+// answers, shared by every JSON-emitting surface (cmd/passquery -json,
+// the cmd/passd HTTP API) so the schema cannot silently fork between
+// them.
+package jsonout
+
+import "repro/pass"
+
+// Answer is the wire form of one approximate answer.
+type Answer struct {
+	Estimate   float64 `json:"estimate"`
+	CIHalf     float64 `json:"ci_half"`
+	HardLo     float64 `json:"hard_lo,omitempty"`
+	HardHi     float64 `json:"hard_hi,omitempty"`
+	HardBounds bool    `json:"hard_bounds,omitempty"`
+	Exact      bool    `json:"exact,omitempty"`
+	TuplesRead int     `json:"tuples_read"`
+	SkipRate   float64 `json:"skip_rate"`
+}
+
+// Group is one group's answer in a GROUP BY result.
+type Group struct {
+	Group   float64 `json:"group"`
+	Label   string  `json:"label,omitempty"`
+	NoMatch bool    `json:"no_match,omitempty"`
+	Answer  *Answer `json:"answer,omitempty"`
+}
+
+// FromAnswer converts a public answer to its wire form. Hard bounds are
+// emitted only when valid — they are meaningless otherwise, and the JSON
+// encoder rejects the non-finite values they may hold.
+func FromAnswer(a pass.Answer) *Answer {
+	out := &Answer{
+		Estimate:   a.Estimate,
+		CIHalf:     a.CIHalf,
+		HardBounds: a.HardBounds,
+		Exact:      a.Exact,
+		TuplesRead: a.TuplesRead,
+		SkipRate:   a.SkipRate,
+	}
+	if a.HardBounds {
+		out.HardLo, out.HardHi = a.HardLo, a.HardHi
+	}
+	return out
+}
+
+// FromGroups converts per-group answers to their wire form.
+func FromGroups(groups []pass.GroupAnswer) []Group {
+	out := make([]Group, len(groups))
+	for i, g := range groups {
+		jg := Group{Group: g.Group, Label: g.Label, NoMatch: g.NoMatch}
+		if !g.NoMatch {
+			jg.Answer = FromAnswer(g.Answer)
+		}
+		out[i] = jg
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package sqlfe
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/dataset"
 )
@@ -11,6 +12,11 @@ import (
 // order, the aggregation column name, and optional dictionaries for
 // string-encoded predicate columns.
 type Schema struct {
+	// Table, when non-empty, is the table name this schema serves; Compile
+	// rejects statements whose FROM clause names anything else. When empty
+	// (a schema detached from any catalog, e.g. a lone synopsis) the FROM
+	// table is accepted unchecked, as it historically was.
+	Table string
 	// PredColumns are the predicate column names, in synopsis order.
 	PredColumns []string
 	// AggColumn is the aggregation column name.
@@ -50,6 +56,9 @@ type Plan struct {
 // Compile resolves a parsed statement against a schema into a Plan,
 // intersecting repeated predicates on the same column.
 func Compile(stmt *Stmt, schema Schema) (*Plan, error) {
+	if schema.Table != "" && !strings.EqualFold(stmt.Table, schema.Table) {
+		return nil, fmt.Errorf("sqlfe: unknown table %q (schema serves %q)", stmt.Table, schema.Table)
+	}
 	colIndex := make(map[string]int, len(schema.PredColumns))
 	for i, c := range schema.PredColumns {
 		colIndex[c] = i

@@ -1,0 +1,36 @@
+package sqlfe
+
+import "strings"
+
+// SplitStatements splits a script into individual SQL statements on
+// semicolons, respecting single-quoted string literals (” escapes a
+// quote, matching the lexer). Empty statements — leading, trailing or
+// doubled separators — are dropped, so "a;; b;" yields ["a", "b"].
+func SplitStatements(script string) []string {
+	var out []string
+	start := 0
+	inStr := false
+	for i := 0; i < len(script); i++ {
+		switch script[i] {
+		case '\'':
+			// inside a literal, '' is an escaped quote, not a boundary
+			if inStr && i+1 < len(script) && script[i+1] == '\'' {
+				i++
+				continue
+			}
+			inStr = !inStr
+		case ';':
+			if inStr {
+				continue
+			}
+			if s := strings.TrimSpace(script[start:i]); s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	if s := strings.TrimSpace(script[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

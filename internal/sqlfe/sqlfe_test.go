@@ -218,3 +218,49 @@ func TestSchemaFromColNames(t *testing.T) {
 		t.Errorf("empty schema: %+v", s2)
 	}
 }
+
+func TestCompileTableCheck(t *testing.T) {
+	schema := taxiSchema()
+	// a detached schema (no table name) accepts any FROM table — the
+	// historical single-synopsis behavior.
+	if _, err := ParseAndCompile("SELECT SUM(trip_distance) FROM whatever", schema); err != nil {
+		t.Errorf("detached schema should accept any table: %v", err)
+	}
+	// a named schema rejects mismatches, case-insensitively.
+	schema.Table = "trips"
+	if _, err := ParseAndCompile("SELECT SUM(trip_distance) FROM TRIPS", schema); err != nil {
+		t.Errorf("case-insensitive table match failed: %v", err)
+	}
+	_, err := ParseAndCompile("SELECT SUM(trip_distance) FROM rides", schema)
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("mismatched table error = %v", err)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT SUM(x) FROM t", []string{"SELECT SUM(x) FROM t"}},
+		{"a; b ;; c;", []string{"a", "b", "c"}},
+		{"", nil},
+		{" ;; ", nil},
+		{"SELECT SUM(x) FROM t WHERE c = 'a;b'; SELECT COUNT(*) FROM t",
+			[]string{"SELECT SUM(x) FROM t WHERE c = 'a;b'", "SELECT COUNT(*) FROM t"}},
+		{"SELECT SUM(x) FROM t WHERE c = 'it''s;fine'",
+			[]string{"SELECT SUM(x) FROM t WHERE c = 'it''s;fine'"}},
+	}
+	for _, c := range cases {
+		got := SplitStatements(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitStatements(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitStatements(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/sample"
 	"repro/internal/stats"
 )
@@ -64,8 +65,16 @@ func New(d *dataset.Dataset, ratio float64, lambda float64, seed uint64) (*Engin
 	return e, nil
 }
 
-// Name implements the baselines.Engine interface.
+// The VerdictDB simulator implements the shared engine interface.
+var _ engine.Engine = (*Engine)(nil)
+
+// Name implements the shared engine.Engine interface.
 func (e *Engine) Name() string { return e.name }
+
+// QueryBatch implements engine.Engine via the shared sequential adapter.
+func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	return engine.SequentialBatch(e, qs)
+}
 
 // MemoryBytes reports the scramble size (the dominant storage cost).
 func (e *Engine) MemoryBytes() int {

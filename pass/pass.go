@@ -35,6 +35,23 @@
 // they must not overlap with queries (batched or not) and require external
 // synchronisation if updates and queries share a synopsis across
 // goroutines.
+//
+// # Sessions and the capability split
+//
+// Session serves SQL over many named tables at once: Register a synopsis
+// under a table name and Exec statements whose FROM clause resolves
+// against the catalog (unknown tables are an error). Sessions batch
+// multi-statement scripts per table and serialise updates behind a
+// per-table RWMutex, so no external synchronisation is needed.
+//
+// Underneath, every AQP system in this repository implements the shared
+// engine interface (internal/engine): Name, Query, QueryBatch and
+// MemoryBytes. Mutation (Insert/Delete) and persistence (Save) are
+// deliberately *not* part of that interface — they are optional
+// capabilities (engine.Updatable, engine.Serializable) that only some
+// engines provide. The PASS synopsis implements both; the sampling
+// comparators are query-only, and a Session reports a clear error when a
+// table's engine lacks the capability a request needs.
 package pass
 
 import (
@@ -279,6 +296,16 @@ func Build(t *Table, opt Options) (*Synopsis, error) {
 	return &Synopsis{inner: s, schema: t.schema()}, nil
 }
 
+// BuildAuto constructs the synopsis matching the table's dimensionality:
+// Build for one predicate column, BuildMulti otherwise. It is the
+// loading path the CLIs and the passd server share.
+func BuildAuto(t *Table, opt Options) (*Synopsis, error) {
+	if t.Dims() == 1 {
+		return Build(t, opt)
+	}
+	return BuildMulti(t, opt)
+}
+
 // BuildMulti constructs a multi-dimensional synopsis (k-d partition tree,
 // Section 4.4 of the paper).
 func BuildMulti(t *Table, opt Options) (*Synopsis, error) {
@@ -336,16 +363,7 @@ func (s *Synopsis) Query(agg Agg, pred ...Range) (Answer, error) {
 	if r.NoMatch {
 		return Answer{}, ErrNoMatch
 	}
-	return Answer{
-		Estimate:   r.Estimate,
-		CIHalf:     r.CIHalf,
-		HardLo:     r.HardLo,
-		HardHi:     r.HardHi,
-		HardBounds: r.HardValid,
-		Exact:      r.Exact,
-		TuplesRead: r.TuplesRead,
-		SkipRate:   r.SkipRate(s.inner.N()),
-	}, nil
+	return answerFromResult(r, s.inner.N()), nil
 }
 
 // Request is one query of a batched workload: an aggregate plus per-column
@@ -390,17 +408,7 @@ func (s *Synopsis) QueryBatch(reqs []Request) []BatchAnswer {
 			out[i].Err = ErrNoMatch
 			continue
 		}
-		r := br.Result
-		out[i].Answer = Answer{
-			Estimate:   r.Estimate,
-			CIHalf:     r.CIHalf,
-			HardLo:     r.HardLo,
-			HardHi:     r.HardHi,
-			HardBounds: r.HardValid,
-			Exact:      r.Exact,
-			TuplesRead: r.TuplesRead,
-			SkipRate:   r.SkipRate(s.inner.N()),
-		}
+		out[i].Answer = answerFromResult(br.Result, s.inner.N())
 	}
 	return out
 }
@@ -443,6 +451,40 @@ func (s *Synopsis) MemoryBytes() int { return s.inner.MemoryBytes() }
 
 // BuildSeconds reports the construction wall-clock time.
 func (s *Synopsis) BuildSeconds() float64 { return s.inner.BuildTime.Seconds() }
+
+// answerFromResult converts an internal query result to the public Answer
+// shape; n is the base-table cardinality for skip-rate accounting.
+func answerFromResult(r core.Result, n int) Answer {
+	return Answer{
+		Estimate:   r.Estimate,
+		CIHalf:     r.CIHalf,
+		HardLo:     r.HardLo,
+		HardHi:     r.HardHi,
+		HardBounds: r.HardValid,
+		Exact:      r.Exact,
+		TuplesRead: r.TuplesRead,
+		SkipRate:   r.SkipRate(n),
+	}
+}
+
+// groupAnswers converts per-group internal results, rendering labels
+// through the grouping column's dictionary when present.
+func groupAnswers(res []core.GroupResult, dict *dataset.Dict, n int) []GroupAnswer {
+	out := make([]GroupAnswer, len(res))
+	for i, gr := range res {
+		ga := GroupAnswer{Group: gr.Group, NoMatch: gr.Result.NoMatch}
+		if dict != nil {
+			if label, err := dict.Value(gr.Group); err == nil {
+				ga.Label = label
+			}
+		}
+		if !gr.Result.NoMatch {
+			ga.Answer = answerFromResult(gr.Result, n)
+		}
+		out[i] = ga
+	}
+	return out
+}
 
 func toRect(pred []Range) dataset.Rect {
 	lo := make([]float64, len(pred))

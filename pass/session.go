@@ -1,0 +1,232 @@
+package pass
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/sqlfe"
+)
+
+// Session is a multi-table SQL serving context: a catalog of named tables
+// (each a built synopsis plus its schema) against which SQL statements
+// resolve their FROM clause. It is the layer cmd/passd serves over, and
+// the entry point for any client that speaks table names rather than
+// synopsis handles:
+//
+//	sess := pass.NewSession()
+//	sess.Register("sensors", syn)
+//	res, err := sess.Exec("SELECT AVG(light) FROM sensors WHERE time BETWEEN 100 AND 500")
+//
+// A Session is safe for concurrent use: queries against one table run
+// concurrently (batches fan out across the worker pool), while
+// Insert/Delete serialise behind the table's write lock.
+type Session struct {
+	cat *catalog.Catalog
+}
+
+// NewSession returns a session with an empty catalog.
+func NewSession() *Session {
+	return &Session{cat: catalog.New()}
+}
+
+// Register adds a synopsis under a table name (case-insensitive, unique).
+// The synopsis must carry a schema — built from a Table, or attached via
+// SetSchema after LoadSynopsis.
+func (s *Session) Register(name string, syn *Synopsis) error {
+	if syn == nil {
+		return fmt.Errorf("pass: nil synopsis")
+	}
+	if len(syn.schema.PredColumns) == 0 {
+		return fmt.Errorf("pass: synopsis has no schema (loaded from disk?) — call SetSchema first")
+	}
+	schema := syn.schema
+	schema.Table = name
+	_, err := s.cat.Register(name, syn.inner, schema)
+	return err
+}
+
+// Drop removes a table from the session.
+func (s *Session) Drop(name string) error { return s.cat.Drop(name) }
+
+// TableInfo describes one registered table.
+type TableInfo struct {
+	// Name is the registered (FROM-resolvable) table name.
+	Name string `json:"name"`
+	// Engine is the serving engine's display name.
+	Engine string `json:"engine"`
+	// Rows is the base-table cardinality the synopsis was built over.
+	Rows int `json:"rows"`
+	// MemoryBytes is the synopsis storage footprint.
+	MemoryBytes int `json:"memory_bytes"`
+	// PredColumns and AggColumn are the queryable schema.
+	PredColumns []string `json:"pred_columns"`
+	AggColumn   string   `json:"agg_column"`
+}
+
+// Tables lists the registered tables, sorted by name.
+func (s *Session) Tables() []TableInfo {
+	tabs := s.cat.List()
+	out := make([]TableInfo, len(tabs))
+	for i, t := range tabs {
+		schema := t.Schema()
+		out[i] = TableInfo{
+			Name:        t.Name(),
+			Engine:      t.EngineName(),
+			Rows:        t.Rows(),
+			MemoryBytes: t.MemoryBytes(),
+			PredColumns: schema.PredColumns,
+			AggColumn:   schema.AggColumn,
+		}
+	}
+	return out
+}
+
+// Exec parses, plans and executes one SQL statement, resolving the FROM
+// clause against the session catalog. Unknown table names are an error
+// (they name the registered tables); see Synopsis.SQL for the legacy
+// single-synopsis path that ignores the FROM table.
+func (s *Session) Exec(sql string) (SQLResult, error) {
+	tbl, plan, err := s.compile(sql)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	return s.execPlan(tbl, plan)
+}
+
+// StmtResult is the outcome of one statement in a batched execution.
+type StmtResult struct {
+	// SQL is the statement as executed.
+	SQL string
+	// Result holds the answer when Err is nil.
+	Result SQLResult
+	// Err carries the per-statement failure (ErrNoMatch included); other
+	// statements in the batch are unaffected.
+	Err error
+}
+
+// ExecBatch executes a workload of SQL statements, batching per table:
+// scalar statements against the same table are dispatched as one
+// QueryBatch (fanning across the worker pool on engines that support it),
+// GROUP BY statements execute individually. Results are returned in input
+// order and are identical to calling Exec per statement.
+func (s *Session) ExecBatch(stmts []string) []StmtResult {
+	out := make([]StmtResult, len(stmts))
+
+	// compile everything first; failures don't block the rest of the batch
+	type compiled struct {
+		tbl  *catalog.Table
+		plan *sqlfe.Plan
+	}
+	plans := make([]compiled, len(stmts))
+	// per-table scalar sub-batches, keyed by the table pointer
+	batches := make(map[*catalog.Table][]int)
+	for i, sql := range stmts {
+		out[i].SQL = sql
+		tbl, plan, err := s.compile(sql)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		plans[i] = compiled{tbl: tbl, plan: plan}
+		if plan.GroupDim < 0 {
+			batches[tbl] = append(batches[tbl], i)
+		}
+	}
+
+	// scalar statements: one engine-level batch per table
+	for tbl, idx := range batches {
+		qs := make([]core.BatchQuery, len(idx))
+		for j, i := range idx {
+			qs[j] = core.BatchQuery{Kind: plans[i].plan.Agg, Rect: plans[i].plan.Rect}
+		}
+		n := tbl.Rows()
+		for j, br := range tbl.QueryBatch(qs) {
+			i := idx[j]
+			switch {
+			case br.Err != nil:
+				out[i].Err = br.Err
+			case br.Result.NoMatch:
+				out[i].Err = ErrNoMatch
+			default:
+				out[i].Result = SQLResult{Scalar: answerFromResult(br.Result, n)}
+			}
+		}
+	}
+
+	// GROUP BY statements execute individually
+	for i := range stmts {
+		if out[i].Err != nil || plans[i].plan == nil || plans[i].plan.GroupDim < 0 {
+			continue
+		}
+		out[i].Result, out[i].Err = s.execPlan(plans[i].tbl, plans[i].plan)
+	}
+	return out
+}
+
+// ExecScript splits a semicolon-separated script into statements and
+// executes them as one batch.
+func (s *Session) ExecScript(script string) []StmtResult {
+	return s.ExecBatch(sqlfe.SplitStatements(script))
+}
+
+// Insert adds one tuple to a named table (engines with the Updatable
+// capability only). The update takes the table's write lock, serialising
+// against in-flight queries.
+func (s *Session) Insert(table string, pred []float64, agg float64) error {
+	tbl, err := s.cat.Lookup(table)
+	if err != nil {
+		return err
+	}
+	return tbl.Insert(pred, agg)
+}
+
+// Delete removes one tuple from a named table (Updatable engines only).
+func (s *Session) Delete(table string, pred []float64, agg float64) error {
+	tbl, err := s.cat.Lookup(table)
+	if err != nil {
+		return err
+	}
+	return tbl.Delete(pred, agg)
+}
+
+// compile parses one statement, resolves its FROM table against the
+// catalog and plans it against that table's schema.
+func (s *Session) compile(sql string) (*catalog.Table, *sqlfe.Plan, error) {
+	stmt, err := sqlfe.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := s.cat.Lookup(stmt.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := sqlfe.Compile(stmt, tbl.Schema())
+	if err != nil {
+		return nil, nil, err
+	}
+	return tbl, plan, nil
+}
+
+// execPlan dispatches a compiled plan to a table's engine.
+func (s *Session) execPlan(tbl *catalog.Table, plan *sqlfe.Plan) (SQLResult, error) {
+	n := tbl.Rows()
+	if plan.GroupDim < 0 {
+		r, err := tbl.Query(plan.Agg, plan.Rect)
+		if err != nil {
+			return SQLResult{}, err
+		}
+		if r.NoMatch {
+			return SQLResult{}, ErrNoMatch
+		}
+		return SQLResult{Scalar: answerFromResult(r, n)}, nil
+	}
+	if len(plan.Groups) == 0 {
+		return SQLResult{}, fmt.Errorf("pass: GROUP BY on a numeric column needs explicit group keys — use Synopsis.GroupBy")
+	}
+	res, err := tbl.GroupBy(plan.Agg, plan.Rect, plan.GroupDim, plan.Groups)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	return SQLResult{Groups: groupAnswers(res, plan.GroupDict, n)}, nil
+}

@@ -1,0 +1,199 @@
+package pass
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sessionFixture(t *testing.T) (*Session, *Table) {
+	t.Helper()
+	tbl := NewTable([]string{"time"}, "light")
+	for i := 0; i < 4000; i++ {
+		tbl.Append([]float64{float64(i % 24)}, float64(i%100)/10)
+	}
+	syn, err := Build(tbl, Options{Partitions: 16, SampleRate: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession()
+	if err := sess.Register("sensors", syn); err != nil {
+		t.Fatal(err)
+	}
+	return sess, tbl
+}
+
+func TestSessionExec(t *testing.T) {
+	sess, tbl := sessionFixture(t)
+	res, err := sess.Exec("SELECT SUM(light) FROM sensors WHERE time BETWEEN 6 AND 18")
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	truth, err := tbl.Exact(Sum, Range{Lo: 6, Hi: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Scalar.Estimate-truth) / truth; rel > 0.05 {
+		t.Errorf("estimate %v vs truth %v (rel %v)", res.Scalar.Estimate, truth, rel)
+	}
+	// case-insensitive FROM resolution
+	if _, err := sess.Exec("SELECT COUNT(*) FROM SENSORS"); err != nil {
+		t.Errorf("case-insensitive table: %v", err)
+	}
+}
+
+// TestSessionUnknownTable is the regression test for the pre-catalog
+// behavior: the SQL frontend used to parse the FROM table and silently
+// discard it, so any table name was accepted. Through a Session, unknown
+// names must fail with a diagnostic that lists the registered tables.
+func TestSessionUnknownTable(t *testing.T) {
+	sess, _ := sessionFixture(t)
+	_, err := sess.Exec("SELECT SUM(light) FROM nonexistent WHERE time >= 6")
+	if err == nil {
+		t.Fatal("unknown FROM table must be an error, not silently accepted")
+	}
+	if !strings.Contains(err.Error(), "nonexistent") || !strings.Contains(err.Error(), "sensors") {
+		t.Errorf("error should name the unknown and the known tables: %v", err)
+	}
+}
+
+func TestSessionRegisterDropTables(t *testing.T) {
+	sess, _ := sessionFixture(t)
+	infos := sess.Tables()
+	if len(infos) != 1 {
+		t.Fatalf("Tables = %+v", infos)
+	}
+	ti := infos[0]
+	if ti.Name != "sensors" || ti.Engine != "PASS" || ti.Rows != 4000 || ti.MemoryBytes <= 0 {
+		t.Errorf("TableInfo = %+v", ti)
+	}
+	if len(ti.PredColumns) != 1 || ti.PredColumns[0] != "time" || ti.AggColumn != "light" {
+		t.Errorf("schema in TableInfo = %+v", ti)
+	}
+
+	// duplicate names rejected; schema-less synopses rejected
+	tbl2 := NewTable([]string{"x"}, "v")
+	tbl2.Append([]float64{1}, 1)
+	tbl2.Append([]float64{2}, 2)
+	syn2, err := Build(tbl2, Options{Partitions: 1, SampleSize: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Register("SENSORS", syn2); err == nil {
+		t.Error("duplicate Register should fail")
+	}
+	if err := sess.Register("other", &Synopsis{inner: syn2.inner}); err == nil {
+		t.Error("schema-less Register should fail")
+	}
+
+	if err := sess.Drop("sensors"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Tables()) != 0 {
+		t.Error("Tables after Drop should be empty")
+	}
+}
+
+func TestSessionExecBatchMatchesExec(t *testing.T) {
+	sess, _ := sessionFixture(t)
+	stmts := []string{
+		"SELECT SUM(light) FROM sensors WHERE time BETWEEN 6 AND 18",
+		"SELECT COUNT(*) FROM sensors WHERE time <= 12",
+		"SELECT AVG(light) FROM sensors WHERE time >= 20",
+		"SELECT SUM(light) FROM missing",               // unknown table: per-statement error
+		"SELECT SUM(light) FROM sensors GROUP BY time", // numeric group-by: error
+	}
+	batch := sess.ExecBatch(stmts)
+	if len(batch) != len(stmts) {
+		t.Fatalf("len = %d", len(batch))
+	}
+	for i, sr := range batch[:3] {
+		if sr.Err != nil {
+			t.Fatalf("stmt %d: %v", i, sr.Err)
+		}
+		single, err := sess.Exec(stmts[i])
+		if err != nil {
+			t.Fatalf("Exec %d: %v", i, err)
+		}
+		if sr.Result.Scalar != single.Scalar {
+			t.Errorf("stmt %d: batch %+v != exec %+v", i, sr.Result.Scalar, single.Scalar)
+		}
+	}
+	if batch[3].Err == nil || !strings.Contains(batch[3].Err.Error(), "missing") {
+		t.Errorf("unknown table in batch: %v", batch[3].Err)
+	}
+	if batch[4].Err == nil {
+		t.Error("numeric GROUP BY in batch should error")
+	}
+}
+
+func TestSessionExecScript(t *testing.T) {
+	sess, _ := sessionFixture(t)
+	res := sess.ExecScript(`
+		SELECT SUM(light) FROM sensors WHERE time BETWEEN 6 AND 18;
+		SELECT COUNT(*) FROM sensors;
+	`)
+	if len(res) != 2 {
+		t.Fatalf("script split into %d statements", len(res))
+	}
+	for i, sr := range res {
+		if sr.Err != nil {
+			t.Errorf("stmt %d (%q): %v", i, sr.SQL, sr.Err)
+		}
+	}
+	if res[1].Result.Scalar.Estimate != 4000 {
+		t.Errorf("COUNT(*) = %v, want 4000 (exact)", res[1].Result.Scalar.Estimate)
+	}
+}
+
+func TestSessionInsertDelete(t *testing.T) {
+	sess, _ := sessionFixture(t)
+	if err := sess.Insert("sensors", []float64{5}, 2.5); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if got := sess.Tables()[0].Rows; got != 4001 {
+		t.Errorf("Rows after insert = %d", got)
+	}
+	if err := sess.Delete("sensors", []float64{5}, 2.5); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := sess.Insert("nope", []float64{1}, 1); err == nil {
+		t.Error("Insert into unknown table should fail")
+	}
+}
+
+// TestSessionConcurrent drives batched queries and updates from many
+// goroutines; the per-table RWMutex must keep them race-free (verified
+// under -race in CI).
+func TestSessionConcurrent(t *testing.T) {
+	sess, _ := sessionFixture(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for _, sr := range sess.ExecBatch([]string{
+					"SELECT SUM(light) FROM sensors WHERE time BETWEEN 6 AND 18",
+					"SELECT COUNT(*) FROM sensors",
+				}) {
+					if sr.Err != nil {
+						t.Errorf("query: %v", sr.Err)
+						return
+					}
+				}
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := sess.Insert("sensors", []float64{float64(i % 24)}, 1.0); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

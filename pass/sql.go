@@ -69,23 +69,7 @@ func (s *Synopsis) GroupBy(agg Agg, dim int, groups []float64, pred ...Range) ([
 	if err != nil {
 		return nil, err
 	}
-	out := make([]GroupAnswer, len(res))
-	for i, gr := range res {
-		out[i] = GroupAnswer{Group: gr.Group, NoMatch: gr.Result.NoMatch}
-		if !gr.Result.NoMatch {
-			out[i].Answer = Answer{
-				Estimate:   gr.Result.Estimate,
-				CIHalf:     gr.Result.CIHalf,
-				HardLo:     gr.Result.HardLo,
-				HardHi:     gr.Result.HardHi,
-				HardBounds: gr.Result.HardValid,
-				Exact:      gr.Result.Exact,
-				TuplesRead: gr.Result.TuplesRead,
-				SkipRate:   gr.Result.SkipRate(s.inner.N()),
-			}
-		}
-	}
-	return out, nil
+	return groupAnswers(res, nil, s.inner.N()), nil
 }
 
 // SQLResult is the answer of one SQL statement: a scalar for plain
@@ -125,16 +109,7 @@ func (s *Synopsis) SQL(query string) (SQLResult, error) {
 		if r.NoMatch {
 			return SQLResult{}, ErrNoMatch
 		}
-		return SQLResult{Scalar: Answer{
-			Estimate:   r.Estimate,
-			CIHalf:     r.CIHalf,
-			HardLo:     r.HardLo,
-			HardHi:     r.HardHi,
-			HardBounds: r.HardValid,
-			Exact:      r.Exact,
-			TuplesRead: r.TuplesRead,
-			SkipRate:   r.SkipRate(s.inner.N()),
-		}}, nil
+		return SQLResult{Scalar: answerFromResult(r, s.inner.N())}, nil
 	}
 	if len(plan.Groups) == 0 {
 		return SQLResult{}, fmt.Errorf("pass: GROUP BY on a numeric column needs explicit group keys — use Synopsis.GroupBy")
@@ -143,29 +118,7 @@ func (s *Synopsis) SQL(query string) (SQLResult, error) {
 	if err != nil {
 		return SQLResult{}, err
 	}
-	out := SQLResult{Groups: make([]GroupAnswer, len(res))}
-	for i, gr := range res {
-		ga := GroupAnswer{Group: gr.Group, NoMatch: gr.Result.NoMatch}
-		if plan.GroupDict != nil {
-			if label, err := plan.GroupDict.Value(gr.Group); err == nil {
-				ga.Label = label
-			}
-		}
-		if !gr.Result.NoMatch {
-			ga.Answer = Answer{
-				Estimate:   gr.Result.Estimate,
-				CIHalf:     gr.Result.CIHalf,
-				HardLo:     gr.Result.HardLo,
-				HardHi:     gr.Result.HardHi,
-				HardBounds: gr.Result.HardValid,
-				Exact:      gr.Result.Exact,
-				TuplesRead: gr.Result.TuplesRead,
-				SkipRate:   gr.Result.SkipRate(s.inner.N()),
-			}
-		}
-		out.Groups[i] = ga
-	}
-	return out, nil
+	return SQLResult{Groups: groupAnswers(res, plan.GroupDict, s.inner.N())}, nil
 }
 
 // SetSchema attaches column names (and optional dictionaries) to a

@@ -180,3 +180,27 @@ func TestSetDictValidation(t *testing.T) {
 		t.Error("SetDict on the aggregate column accepted")
 	}
 }
+
+// TestSynopsisSQLIgnoresTableName pins the legacy single-synopsis
+// behavior the catalog fixed: a Synopsis detached from any session has no
+// table identity, so its SQL method accepts any FROM name. Multi-table
+// resolution — and the unknown-table error — lives in pass.Session (see
+// TestSessionUnknownTable).
+func TestSynopsisSQLIgnoresTableName(t *testing.T) {
+	tbl, _ := boroughTable(t)
+	syn, err := BuildMulti(tbl, Options{Partitions: 32, SampleRate: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := syn.SQL("SELECT COUNT(*) FROM anything_at_all")
+	if err != nil {
+		t.Fatalf("detached synopsis must accept any FROM table: %v", err)
+	}
+	b, err := syn.SQL("SELECT COUNT(*) FROM some_other_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scalar != b.Scalar {
+		t.Errorf("same query, different answers: %+v vs %+v", a.Scalar, b.Scalar)
+	}
+}
