@@ -4,18 +4,29 @@
 // layer of the repository's architecture:
 //
 //	sqlfe (SQL) → pass.Session / catalog → engine → synopsis
+//	                       ↓
+//	          internal/store (snapshots + WAL)
 //
 // Endpoints:
 //
-//	POST   /query          {"sql": "SELECT AVG(light) FROM sensors WHERE time >= 6"}
-//	                       multi-statement scripts are batched: "SELECT ...; SELECT ..."
-//	GET    /tables         list registered tables
-//	POST   /tables         {"name": "sensors", "csv": "time,light\n1,0.5\n...", "partitions": 64}
-//	DELETE /tables/{name}  drop a table
+//	POST   /query              {"sql": "SELECT AVG(light) FROM sensors WHERE time >= 6"}
+//	                           multi-statement scripts are batched: "SELECT ...; SELECT ..."
+//	GET    /tables             list registered tables
+//	POST   /tables             {"name": "sensors", "csv": "time,light\n1,0.5\n...", "partitions": 64}
+//	POST   /tables/{name}/rows {"rows": [{"point": [13], "value": 0.7}]} insert tuples
+//	DELETE /tables/{name}      drop a table (and its persisted files)
+//
+// With -data-dir the catalog is durable: tables are snapshotted into the
+// directory, inserts and deletes are write-ahead journaled, a background
+// checkpointer folds grown logs back into snapshots, and a restart against
+// the same directory restores every table — synopsis bytes, schema and
+// journaled updates — without rebuilding anything. SIGINT/SIGTERM trigger
+// a graceful shutdown: in-flight requests drain, a final checkpoint runs,
+// and the process exits 0.
 //
 // Quickstart:
 //
-//	passd -listen :8080 &
+//	passd -listen :8080 -data-dir ./passd-data &
 //	curl -s localhost:8080/tables -d '{"name":"demo","csv":"'"$(passgen -name intel -n 10000 | tr '\n' ';' | sed 's/;/\\n/g')"'"}'
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM demo"}'
 //
@@ -23,12 +34,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"repro/internal/engine"
+	"repro/internal/store"
 	"repro/pass"
 )
 
@@ -40,32 +58,102 @@ func main() {
 		partitions = flag.Int("partitions", 64, "default leaf partitions for loaded tables")
 		rate       = flag.Float64("rate", 0.005, "default sample rate for loaded tables")
 		seed       = flag.Uint64("seed", 1, "default build seed")
+		dataDir    = flag.String("data-dir", "", "durable storage directory: snapshots + write-ahead logs (empty = in-memory only)")
+		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "background checkpointer scan interval")
+		walMax     = flag.Int("wal-threshold", 4096, "journaled updates per table before a background checkpoint")
+		noSync     = flag.Bool("no-sync", false, "skip the per-update WAL fsync (faster, loses the journal tail on machine crash)")
 	)
 	flag.Parse()
 
 	sess := pass.NewSession()
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir, store.Options{
+			WALThreshold:       *walMax,
+			CheckpointInterval: *ckptEvery,
+			NoSync:             *noSync,
+			Logf:               log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		n, err := sess.AttachStore(st)
+		if err != nil {
+			fatal(fmt.Errorf("warm start from %s: %w", *dataDir, err))
+		}
+		log.Printf("passd: warm start: restored %d table(s) from %s", n, *dataDir)
+	}
+
 	srv := newServer(sess)
 	srv.buildDefaults = buildOptions{Partitions: *partitions, SampleRate: *rate, Seed: *seed}
 
 	if *demo != "" {
-		tbl, err := pass.Demo(*demo, *demoRows, *seed)
-		if err != nil {
+		if err := loadDemo(sess, *demo, *demoRows, *partitions, *rate, *seed); err != nil {
 			fatal(err)
 		}
-		syn, err := pass.BuildAuto(tbl, pass.Options{Partitions: *partitions, SampleRate: *rate, Seed: *seed})
-		if err != nil {
-			fatal(err)
-		}
-		if err := sess.Register("demo", syn); err != nil {
-			fatal(err)
-		}
-		log.Printf("passd: loaded demo table %q (%d rows)", *demo, tbl.Len())
 	}
 
-	log.Printf("passd: listening on %s", *listen)
-	if err := http.ListenAndServe(*listen, srv.handler()); err != nil {
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("passd: listening on %s", *listen)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case sig := <-sigCh:
+		log.Printf("passd: received %s, shutting down", sig)
 	}
+
+	// graceful shutdown: stop accepting requests and drain in-flight ones,
+	// then flush every journaled update into its snapshot
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("passd: HTTP shutdown: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		fatal(fmt.Errorf("final checkpoint: %w", err))
+	}
+	if sess.Persistent() {
+		log.Printf("passd: state checkpointed; clean exit")
+	}
+}
+
+// loadDemo builds and registers the -demo table. A demo whose synopsis
+// cannot be persisted (multi-dimensional) is served ephemerally rather
+// than aborting startup.
+func loadDemo(sess *pass.Session, name string, rows, partitions int, rate float64, seed uint64) error {
+	if existing := sess.Tables(); len(existing) > 0 {
+		for _, t := range existing {
+			if t.Name == "demo" {
+				log.Printf("passd: demo table already restored from the data dir; skipping rebuild")
+				return nil
+			}
+		}
+	}
+	tbl, err := pass.Demo(name, rows, seed)
+	if err != nil {
+		return err
+	}
+	syn, err := pass.BuildAuto(tbl, pass.Options{Partitions: partitions, SampleRate: rate, Seed: seed})
+	if err != nil {
+		return err
+	}
+	err = sess.Register("demo", syn)
+	if errors.Is(err, engine.ErrNotSerializable) {
+		log.Printf("passd: demo table %q is not serializable; serving without persistence", name)
+		err = sess.RegisterEphemeral("demo", syn)
+	}
+	if err != nil {
+		return err
+	}
+	log.Printf("passd: loaded demo table %q (%d rows)", name, tbl.Len())
+	return nil
 }
 
 func fatal(err error) {

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/store"
 	"repro/pass"
 )
 
@@ -199,5 +201,165 @@ func TestServeStatementsArray(t *testing.T) {
 		if rm := r.(map[string]any); rm["scalar"] == nil {
 			t.Errorf("statement %d missing scalar: %v", i, rm)
 		}
+	}
+}
+
+// newPersistentServer builds a server over a durable session rooted at
+// dir, returning the store handle so tests can simulate a crash (closing
+// the store without a checkpoint).
+func newPersistentServer(t *testing.T, dir string) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{CheckpointInterval: -1, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := pass.NewSession()
+	if _, err := sess.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(sess).handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { st.Close() })
+	return ts, st
+}
+
+func queryScalars(t *testing.T, url string, sql string) []map[string]any {
+	t.Helper()
+	resp, body := postJSON(t, url+"/query", map[string]any{"sql": sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %q: HTTP %d (%v)", sql, resp.StatusCode, body)
+	}
+	results := body["results"].([]any)
+	out := make([]map[string]any, len(results))
+	for i, r := range results {
+		rm := r.(map[string]any)
+		if rm["error"] != nil {
+			t.Fatalf("query %q stmt %d: %v", sql, i, rm["error"])
+		}
+		out[i] = rm["scalar"].(map[string]any)
+	}
+	return out
+}
+
+// TestPersistenceAcrossRestart is the acceptance path of the durable
+// store: load a table over HTTP, insert rows that reach only the WAL,
+// crash, restart against the same data dir — the table list and every
+// answer must survive, with no synopsis rebuilt.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const script = "SELECT COUNT(*) FROM sensors; SELECT SUM(light) FROM sensors; SELECT AVG(light) FROM sensors WHERE hour BETWEEN 6 AND 18"
+
+	ts1, st1 := newPersistentServer(t, dir)
+	resp, created := postJSON(t, ts1.URL+"/tables", map[string]any{
+		"name": "sensors", "csv": sensorCSV(2400), "partitions": 16, "sample_rate": 0.05,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: HTTP %d (%v)", resp.StatusCode, created)
+	}
+	if created["persisted"] != true {
+		t.Errorf("created = %v, want persisted=true", created)
+	}
+
+	// rows inserted AFTER the registration snapshot: they live only in the WAL
+	rows := make([]map[string]any, 60)
+	for i := range rows {
+		rows[i] = map[string]any{"point": []float64{float64(i % 24)}, "value": float64(i) / 4}
+	}
+	resp, ins := postJSON(t, ts1.URL+"/tables/sensors/rows", map[string]any{"rows": rows})
+	if resp.StatusCode != http.StatusOK || ins["inserted"].(float64) != 60 {
+		t.Fatalf("insert rows: HTTP %d (%v)", resp.StatusCode, ins)
+	}
+
+	before := queryScalars(t, ts1.URL, script)
+
+	// crash: no graceful shutdown, no final checkpoint
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, _ := newPersistentServer(t, dir)
+	lresp, err := http.Get(ts2.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Tables []pass.TableInfo `json:"tables"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Tables) != 1 || listing.Tables[0].Name != "sensors" ||
+		listing.Tables[0].Engine != "PASS" || listing.Tables[0].Rows != 2400+60 {
+		t.Fatalf("restarted tables = %+v, want sensors/PASS/%d rows", listing.Tables, 2400+60)
+	}
+
+	after := queryScalars(t, ts2.URL, script)
+	for i := range before {
+		b := before[i]["estimate"].(float64)
+		a := after[i]["estimate"].(float64)
+		diff := math.Abs(a - b)
+		if diff > 1e-5*math.Max(math.Abs(b), 1) {
+			t.Errorf("statement %d: answer drifted across restart: %v → %v", i, b, a)
+		}
+	}
+	// COUNT(*) is exact on both sides: bit-for-bit equality required
+	if before[0]["estimate"] != after[0]["estimate"] {
+		t.Errorf("COUNT(*) = %v before, %v after", before[0]["estimate"], after[0]["estimate"])
+	}
+}
+
+// TestDropRemovesPersistedTable: DELETE /tables/{name} must delete the
+// snapshot+WAL so the table stays gone after a restart.
+func TestDropRemovesPersistedTable(t *testing.T) {
+	dir := t.TempDir()
+	ts1, st1 := newPersistentServer(t, dir)
+	if resp, created := postJSON(t, ts1.URL+"/tables", map[string]any{
+		"name": "sensors", "csv": sensorCSV(600), "partitions": 8, "sample_rate": 0.1,
+	}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %v", created)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts1.URL+"/tables/sensors", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("drop: HTTP %d", dresp.StatusCode)
+	}
+	ts1.Close()
+	st1.Close()
+
+	ts2, _ := newPersistentServer(t, dir)
+	lresp, err := http.Get(ts2.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var listing struct {
+		Tables []pass.TableInfo `json:"tables"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Tables) != 0 {
+		t.Errorf("dropped table resurrected after restart: %+v", listing.Tables)
+	}
+}
+
+// TestInsertRowsValidation: unknown tables and empty bodies are rejected.
+func TestInsertRowsValidation(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := postJSON(t, ts.URL+"/tables/ghost/rows", map[string]any{
+		"rows": []map[string]any{{"point": []float64{1}, "value": 1}},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("insert into ghost: HTTP %d, want 422", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/tables/ghost/rows", map[string]any{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty insert: HTTP %d, want 400", resp.StatusCode)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 
+	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/jsonout"
 	"repro/pass"
 )
@@ -37,15 +39,17 @@ func newServer(sess *pass.Session) *server {
 
 // handler routes the API:
 //
-//	POST   /query          {"sql": "SELECT ...; SELECT ..."} → per-statement results
-//	GET    /tables         → registered tables
-//	POST   /tables         {"name": ..., "csv": ..., opts} → build + register
-//	DELETE /tables/{name}  → drop
+//	POST   /query              {"sql": "SELECT ...; SELECT ..."} → per-statement results
+//	GET    /tables             → registered tables
+//	POST   /tables             {"name": ..., "csv": ..., opts} → build + register
+//	POST   /tables/{name}/rows {"rows": [{"point": [...], "value": ...}]} → insert (journaled when durable)
+//	DELETE /tables/{name}      → drop (persisted files removed too)
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /tables", s.handleListTables)
 	mux.HandleFunc("POST /tables", s.handleCreateTable)
+	mux.HandleFunc("POST /tables/{name}/rows", s.handleInsertRows)
 	mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
 	return mux
 }
@@ -145,17 +149,80 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.sess.Register(req.Name, syn); err != nil {
-		httpError(w, http.StatusConflict, err)
+	persisted := s.sess.Persistent()
+	err = s.sess.Register(req.Name, syn)
+	if errors.Is(err, engine.ErrNotSerializable) {
+		// the synopsis cannot be snapshotted (e.g. multi-dimensional):
+		// serve it without durability and say so, rather than failing the
+		// load or skipping persistence silently
+		persisted = false
+		err = s.sess.RegisterEphemeral(req.Name, syn)
+	}
+	if err != nil {
+		// only a name collision is a conflict; persistence failures (disk
+		// full, I/O errors) are server-side faults, not client mistakes
+		status := http.StatusInternalServerError
+		if errors.Is(err, catalog.ErrExists) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
 		return
 	}
 	for _, ti := range s.sess.Tables() {
 		if strings.EqualFold(ti.Name, req.Name) {
-			writeJSON(w, http.StatusCreated, ti)
+			writeJSON(w, http.StatusCreated, createTableResponse{TableInfo: ti, Persisted: persisted})
 			return
 		}
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+// createTableResponse is a TableInfo plus the durability outcome.
+type createTableResponse struct {
+	pass.TableInfo
+	// Persisted reports whether the table was snapshotted into the data
+	// directory (false when the server is ephemeral or the engine is not
+	// serializable).
+	Persisted bool `json:"persisted"`
+}
+
+// insertRowsRequest carries tuples for POST /tables/{name}/rows.
+type insertRowsRequest struct {
+	Rows []struct {
+		// Point holds the predicate column values, in schema order.
+		Point []float64 `json:"point"`
+		// Value is the aggregate column value.
+		Value float64 `json:"value"`
+	} `json:"rows"`
+}
+
+func (s *server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req insertRowsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"rows" is required`))
+		return
+	}
+	points := make([][]float64, len(req.Rows))
+	values := make([]float64, len(req.Rows))
+	for i, row := range req.Rows {
+		points[i], values[i] = row.Point, row.Value
+	}
+	// one lock acquisition and one group-committed journal write for the
+	// whole batch, not one fsync per row
+	n, err := s.sess.InsertMany(name, points, values)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":    err.Error(),
+			"inserted": n,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"inserted": n})
 }
 
 func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {

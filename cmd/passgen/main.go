@@ -1,28 +1,41 @@
 // Command passgen generates the simulated evaluation datasets to CSV so
-// they can be inspected, loaded into other tools, or fed to passquery.
+// they can be inspected, loaded into other tools, or fed to passquery —
+// and, with -snap, builds a PASS synopsis over the generated data and
+// writes it as a store snapshot file that passd serves directly from a
+// data directory (build once, serve forever).
 //
 // Usage:
 //
 //	passgen -dataset nyctaxi -rows 100000 -out taxi.csv
 //	passgen -dataset nyctaxi -dims 5 -rows 100000 -out taxi5d.csv
 //	passgen -dataset adversarial -rows 1000000 -out adv.csv
+//	passgen -dataset intel -rows 100000 -snap data/intel.snap -table intel
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/engine/factory"
+	"repro/internal/sqlfe"
+	"repro/internal/store"
 )
 
 func main() {
 	var (
-		name = flag.String("dataset", "nyctaxi", "dataset: intel, instacart, nyctaxi, adversarial, uniform")
-		rows = flag.Int("rows", 100000, "row count")
-		dims = flag.Int("dims", 1, "predicate columns (nyctaxi only, 1-5)")
-		seed = flag.Uint64("seed", 1, "random seed")
-		out  = flag.String("out", "", "output file (default stdout)")
+		name       = flag.String("dataset", "nyctaxi", "dataset: intel, instacart, nyctaxi, adversarial, uniform")
+		rows       = flag.Int("rows", 100000, "row count")
+		dims       = flag.Int("dims", 1, "predicate columns (nyctaxi only, 1-5)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("out", "", "output file (default stdout)")
+		snap       = flag.String("snap", "", "also build a PASS synopsis and write it as a store snapshot file")
+		table      = flag.String("table", "", "table name recorded in the snapshot (default: the dataset name)")
+		partitions = flag.Int("partitions", 64, "leaf partitions for -snap")
+		rate       = flag.Float64("rate", 0.005, "sample rate for -snap")
 	)
 	flag.Parse()
 
@@ -38,21 +51,71 @@ func main() {
 		}
 	}
 
+	if *snap != "" {
+		if err := writeSnapshot(d, *snap, *table, *name, *partitions, *rate, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "passgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote synopsis snapshot (%d rows) to %s\n", d.N(), *snap)
+		if *out == "" {
+			return // -snap without -out: don't dump CSV to the terminal
+		}
+	}
+
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "passgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := d.WriteCSV(w); err != nil {
 		fmt.Fprintf(os.Stderr, "passgen: %v\n", err)
 		os.Exit(1)
 	}
-	if *out != "" {
+	// Close errors matter: on a full disk the final buffered flush is what
+	// fails, and ignoring it would report success for a truncated file.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "passgen: close %s: %v\n", *out, err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "wrote %d rows x %d predicate columns to %s\n", d.N(), d.Dims(), *out)
 	}
+}
+
+// writeSnapshot builds a PASS engine over the dataset and persists it
+// through the same snapshot codec passd's data directories use, so the
+// output file can be dropped straight into a -data-dir.
+func writeSnapshot(d *dataset.Dataset, path, table, datasetName string, partitions int, rate float64, seed uint64) error {
+	eng, err := factory.Build("pass", d, factory.Spec{
+		Partitions: partitions, SampleRate: rate, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	ser, ok := eng.(engine.Serializable)
+	if !ok {
+		return fmt.Errorf("engine %s: %w", eng.Name(), engine.ErrNotSerializable)
+	}
+	var payload bytes.Buffer
+	if err := ser.Save(&payload); err != nil {
+		return fmt.Errorf("serialize synopsis: %w", err)
+	}
+	if table == "" {
+		table = datasetName
+	}
+	schema := sqlfe.SchemaFromColNames(d.ColNames)
+	schema.Table = table
+	return store.WriteSnapshotFile(path, &store.Snapshot{
+		Name:    table,
+		Engine:  eng.Name(),
+		Rows:    d.N(),
+		Schema:  schema,
+		Payload: payload.Bytes(),
+	})
 }

@@ -15,21 +15,33 @@
 //	passquery -in taxi.csv -sql "SELECT AVG(trip_distance) FROM t WHERE pickup_time BETWEEN 6 AND 18"
 //	passquery -in taxi.csv -agg sum -where 6:18 -engine aqpp   # a comparator engine
 //	passquery -in taxi.csv -agg sum -where 6:18 -json          # machine-readable
+//
+// A synopsis built once can be persisted and served forever through the
+// store snapshot codec (the same format passd data directories use):
+//
+//	passquery -in taxi.csv -save taxi.snap -table taxi        # build + persist
+//	passquery -load taxi.snap -agg sum -where 6:18            # answer without rebuilding
+//	passquery -load taxi.snap -sql "SELECT SUM(trip_distance) FROM taxi WHERE pickup_time BETWEEN 6 AND 18"
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/engine/factory"
 	"repro/internal/jsonout"
+	"repro/internal/sqlfe"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/pass"
 )
 
@@ -71,11 +83,14 @@ func main() {
 		sqlQuery   = flag.String("sql", "", "SQL statement (overrides -agg/-where); column names come from the CSV header")
 		engineName = flag.String("engine", "pass", "engine: "+strings.Join(factory.Kinds(), ", "))
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON (machine-readable)")
+		saveFile   = flag.String("save", "", "persist the built synopsis as a store snapshot file")
+		loadFile   = flag.String("load", "", "serve from a store snapshot file instead of building from -in")
+		tableName  = flag.String("table", "", "table name recorded with -save (default: the CSV basename)")
 	)
 	flag.Parse()
 
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "passquery: -in is required")
+	if *in == "" && *loadFile == "" {
+		fmt.Fprintln(os.Stderr, "passquery: -in (or -load) is required")
 		os.Exit(2)
 	}
 
@@ -89,6 +104,19 @@ func main() {
 	}
 	if len(ranges) == 0 {
 		ranges = []pass.Range{{Lo: math.Inf(-1), Hi: math.Inf(1)}}
+	}
+
+	if *saveFile != "" || *loadFile != "" {
+		runStoreMode(storeModeArgs{
+			in: *in, save: *saveFile, load: *loadFile, table: *tableName,
+			engine: *engineName, sql: *sqlQuery, agg: agg, ranges: ranges,
+			spec: factory.Spec{
+				Partitions: *partitions, SampleRate: *rate, Seed: *seed,
+				Lambda: stats.LambdaFor(*confidence),
+			},
+			exact: *exact, jsonOut: *jsonOut,
+		})
+		return
 	}
 
 	if !strings.EqualFold(*engineName, "pass") {
@@ -177,6 +205,175 @@ func main() {
 	if out.Exact != nil {
 		fmt.Printf("exact: %.6g   relative error: %.4f%%\n", out.Exact.Value, out.Exact.RelativeErr*100)
 	} else if *exact {
+		fmt.Printf("exact: undefined (%s)\n", out.ExactError)
+	}
+}
+
+// storeModeArgs collects the inputs of the -save/-load snapshot paths.
+type storeModeArgs struct {
+	in, save, load, table string
+	engine, sql           string
+	agg                   pass.Agg
+	ranges                []pass.Range
+	spec                  factory.Spec
+	exact                 bool
+	jsonOut               bool
+}
+
+// runStoreMode persists or restores a synopsis through the store snapshot
+// codec — the same format passd data directories use, so a file written
+// here can be dropped into a -data-dir and served immediately.
+func runStoreMode(a storeModeArgs) {
+	var (
+		eng    engine.Engine
+		schema sqlfe.Schema
+		name   string
+		base   *dataset.Dataset // only on the -save path, for -exact
+	)
+	switch {
+	case a.load != "":
+		snap, err := store.ReadSnapshotFile(a.load)
+		if err != nil {
+			fatal(err)
+		}
+		loader, ok := factory.Loader(snap.Engine)
+		if !ok {
+			fatal(fmt.Errorf("no loader for engine %q (have %s)", snap.Engine, strings.Join(factory.LoaderKinds(), ", ")))
+		}
+		eng, err = loader(bytes.NewReader(snap.Payload))
+		if err != nil {
+			fatal(err)
+		}
+		schema, name = snap.Schema, snap.Name
+		if !a.jsonOut {
+			fmt.Printf("loaded table %q (engine %s, %d rows at snapshot) from %s — no rebuild\n",
+				name, snap.Engine, snap.Rows, a.load)
+		}
+	default: // -save
+		f, err := os.Open(a.in)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = dataset.ReadCSV(f, "table")
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		eng, err = factory.Build(a.engine, base, a.spec)
+		if err != nil {
+			fatal(err)
+		}
+		ser, ok := engine.Underlying(eng).(engine.Serializable)
+		if !ok {
+			fatal(fmt.Errorf("engine %s: %w", eng.Name(), engine.ErrNotSerializable))
+		}
+		var payload bytes.Buffer
+		if err := ser.Save(&payload); err != nil {
+			fatal(err)
+		}
+		name = a.table
+		if name == "" {
+			name = strings.TrimSuffix(filepath.Base(a.in), filepath.Ext(a.in))
+		}
+		schema = sqlfe.SchemaFromColNames(base.ColNames)
+		schema.Table = name
+		if err := store.WriteSnapshotFile(a.save, &store.Snapshot{
+			Name: name, Engine: engine.Underlying(eng).Name(), Rows: base.N(),
+			Schema: schema, Payload: payload.Bytes(),
+		}); err != nil {
+			fatal(err)
+		}
+		if !a.jsonOut {
+			fmt.Printf("saved table %q (engine %s, %d rows) to %s\n", name, eng.Name(), base.N(), a.save)
+		}
+	}
+
+	if a.sql != "" {
+		sess := pass.NewSession()
+		if err := sess.RegisterEngine(name, eng, schema); err != nil {
+			fatal(err)
+		}
+		res, err := sess.Exec(a.sql)
+		out := jsonOutput{Engine: eng.Name(), MemoryBytes: eng.MemoryBytes(), SQL: a.sql}
+		switch {
+		case err == pass.ErrNoMatch:
+			out.NoMatch = true
+		case err != nil:
+			fatal(err)
+		case res.Groups != nil:
+			out.Groups = jsonout.FromGroups(res.Groups)
+		default:
+			out.Answer = jsonout.FromAnswer(res.Scalar)
+		}
+		if a.jsonOut {
+			emitJSON(out)
+			return
+		}
+		switch {
+		case out.NoMatch:
+			fmt.Println("no tuples match the predicate")
+		case out.Groups != nil:
+			for _, g := range out.Groups {
+				label := g.Label
+				if label == "" {
+					label = fmt.Sprintf("%g", g.Group)
+				}
+				if g.NoMatch || g.Answer == nil {
+					fmt.Printf("%-20s  (no matching tuples)\n", label)
+					continue
+				}
+				fmt.Printf("%-20s  %.6g ± %.6g\n", label, g.Answer.Estimate, g.Answer.CIHalf)
+			}
+		default:
+			fmt.Printf("result ≈ %.6g ± %.6g\n", out.Answer.Estimate, out.Answer.CIHalf)
+		}
+		return
+	}
+
+	// -agg/-where path: query the engine directly
+	kind, err := dataset.ParseAggKind(a.agg.String())
+	if err != nil {
+		fatal(err)
+	}
+	rect := dataset.Rect{Lo: make([]float64, len(a.ranges)), Hi: make([]float64, len(a.ranges))}
+	for i, rg := range a.ranges {
+		rect.Lo[i], rect.Hi[i] = rg.Lo, rg.Hi
+	}
+	r, err := eng.Query(kind, rect)
+	if err != nil {
+		fatal(err)
+	}
+	out := jsonOutput{Engine: eng.Name(), MemoryBytes: eng.MemoryBytes(), Aggregate: kind.String()}
+	if r.NoMatch {
+		out.NoMatch = true
+		if a.jsonOut {
+			emitJSON(out)
+		} else {
+			fmt.Println("no tuples match the predicate")
+		}
+		return
+	}
+	out.Answer = &jsonout.Answer{
+		Estimate: r.Estimate, CIHalf: r.CIHalf, Exact: r.Exact, TuplesRead: r.TuplesRead,
+	}
+	if a.exact && base != nil {
+		if truth, err := base.Exact(kind, rect); err == nil {
+			out.Exact = &jsonTruth{Value: truth, RelativeErr: relErr(r.Estimate, truth)}
+		} else {
+			out.ExactError = err.Error()
+		}
+	} else if a.exact {
+		out.ExactError = "-exact needs the base data; a loaded snapshot has only the synopsis"
+	}
+	if a.jsonOut {
+		emitJSON(out)
+		return
+	}
+	fmt.Printf("%s ≈ %.6g ± %.6g\n", out.Aggregate, r.Estimate, r.CIHalf)
+	fmt.Printf("tuples read: %d\n", r.TuplesRead)
+	if out.Exact != nil {
+		fmt.Printf("exact: %.6g   relative error: %.4f%%\n", out.Exact.Value, out.Exact.RelativeErr*100)
+	} else if out.ExactError != "" {
 		fmt.Printf("exact: undefined (%s)\n", out.ExactError)
 	}
 }

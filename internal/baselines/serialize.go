@@ -1,0 +1,176 @@
+package baselines
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/binenc"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Serialization for the sampling baselines: both engines are plain sample
+// arrays plus a couple of scalars, so the format is a direct dump — no
+// delta encoding needed at these sizes. It makes US and ST tables survive
+// a passd restart exactly like PASS tables (engine.Serializable +
+// factory-registered loaders), instead of being silently rebuilt-or-lost.
+//
+//	magic   u64 varint ("PBL1")
+//	version u64 varint
+//	kind    u64 varint (1 = US, 2 = ST)
+//	body    engine-specific (see Save methods)
+const (
+	blMagic   = 0x50424C31 // "PBL1"
+	blVersion = 1
+
+	blKindUniform    = 1
+	blKindStratified = 2
+)
+
+// Both baselines are persistable engines.
+var (
+	_ engine.Serializable = (*Uniform)(nil)
+	_ engine.Serializable = (*Stratified)(nil)
+)
+
+// Save implements engine.Serializable: population size, CI multiplier and
+// the raw sample array.
+func (u *Uniform) Save(w io.Writer) error {
+	bw := binenc.NewWriter(w)
+	bw.U64(blMagic)
+	bw.U64(blVersion)
+	bw.U64(blKindUniform)
+	bw.U64(uint64(u.n))
+	bw.F64(u.lambda)
+	writeSamples(bw, u.samples)
+	return bw.Flush()
+}
+
+// Save implements engine.Serializable: population size, CI multiplier and
+// the per-stratum bounds, sizes and sample arrays.
+func (s *Stratified) Save(w io.Writer) error {
+	bw := binenc.NewWriter(w)
+	bw.U64(blMagic)
+	bw.U64(blVersion)
+	bw.U64(blKindStratified)
+	bw.U64(uint64(s.n))
+	bw.F64(s.lambda)
+	bw.U64(uint64(len(s.strata)))
+	for _, st := range s.strata {
+		bw.F64(st.lo)
+		bw.F64(st.hi)
+		bw.U64(uint64(st.n))
+		writeSamples(bw, st.samples)
+	}
+	return bw.Flush()
+}
+
+func writeSamples(bw *binenc.Writer, samples []core.SampleTuple) {
+	bw.U64(uint64(len(samples)))
+	dims := 0
+	if len(samples) > 0 {
+		dims = len(samples[0].Point)
+	}
+	bw.U64(uint64(dims))
+	for _, t := range samples {
+		for _, c := range t.Point {
+			bw.F64(c)
+		}
+		bw.F64(t.Value)
+	}
+}
+
+func readSamples(br *binenc.Reader) ([]core.SampleTuple, error) {
+	k := int(br.U64())
+	dims := int(br.U64())
+	if br.Err() != nil {
+		return nil, br.Err()
+	}
+	if k < 0 || k > 1<<28 || dims < 0 || dims > 1<<10 {
+		return nil, fmt.Errorf("baselines: corrupt sample block (%d samples × %d dims)", k, dims)
+	}
+	out := make([]core.SampleTuple, k)
+	for i := range out {
+		pt := make([]float64, dims)
+		for j := range pt {
+			pt[j] = br.F64()
+		}
+		out[i] = core.SampleTuple{Point: pt, Value: br.F64()}
+	}
+	return out, br.Err()
+}
+
+// readHeader validates the magic/version and returns the engine kind.
+func readHeader(br *binenc.Reader) (uint64, error) {
+	if m := br.U64(); br.Err() != nil || m != blMagic {
+		return 0, fmt.Errorf("baselines: not a baseline engine snapshot (bad magic)")
+	}
+	if v := br.U64(); br.Err() != nil || v != blVersion {
+		return 0, fmt.Errorf("baselines: unsupported snapshot version")
+	}
+	kind := br.U64()
+	return kind, br.Err()
+}
+
+// LoadUniform restores a US engine written by (*Uniform).Save. It is an
+// engine.Loader, registered in the engine factory under "US".
+func LoadUniform(r io.Reader) (engine.Engine, error) {
+	br := binenc.NewReader(r)
+	kind, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != blKindUniform {
+		return nil, fmt.Errorf("baselines: snapshot holds engine kind %d, not US", kind)
+	}
+	u := &Uniform{n: int(br.U64()), lambda: br.F64()}
+	u.samples, err = readSamples(br)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: corrupt US snapshot: %w", err)
+	}
+	if u.n < 0 {
+		return nil, fmt.Errorf("baselines: corrupt US snapshot: negative population")
+	}
+	return u, nil
+}
+
+// LoadStratified restores an ST engine written by (*Stratified).Save. It
+// is an engine.Loader, registered in the engine factory under "ST".
+func LoadStratified(r io.Reader) (engine.Engine, error) {
+	br := binenc.NewReader(r)
+	kind, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != blKindStratified {
+		return nil, fmt.Errorf("baselines: snapshot holds engine kind %d, not ST", kind)
+	}
+	s := &Stratified{n: int(br.U64()), lambda: br.F64()}
+	nStrata := int(br.U64())
+	if br.Err() != nil || nStrata < 0 || nStrata > 1<<24 || s.n < 0 {
+		return nil, fmt.Errorf("baselines: corrupt ST snapshot header")
+	}
+	s.strata = make([]stratum, nStrata)
+	for i := range s.strata {
+		st := &s.strata[i]
+		st.lo = br.F64()
+		st.hi = br.F64()
+		st.n = int(br.U64())
+		var err error
+		st.samples, err = readSamples(br)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: corrupt ST snapshot (stratum %d): %w", i, err)
+		}
+	}
+	if br.Err() != nil {
+		return nil, fmt.Errorf("baselines: corrupt ST snapshot: %w", br.Err())
+	}
+	return s, nil
+}
+
+// N implements engine.Sized, so the catalog reports a restored table's
+// cardinality without rescanning anything.
+func (u *Uniform) N() int { return u.n }
+
+// N implements engine.Sized.
+func (s *Stratified) N() int { return s.n }

@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// roundTrip serializes an engine and restores it through the given loader.
+func roundTrip(t *testing.T, e engine.Serializable, load engine.Loader) engine.Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// assertIdentical checks two engines answer a workload bit-for-bit
+// identically — the baseline formats store raw float64s, so there is no
+// encoding tolerance to allow.
+func assertIdentical(t *testing.T, want, got engine.Engine) {
+	t.Helper()
+	for lo := 0.0; lo < 24; lo += 5 {
+		q := dataset.Rect1(lo, lo+8)
+		for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg} {
+			w, err1 := want.Query(kind, q)
+			g, err2 := got.Query(kind, q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%v [%g,%g]: errors diverge: %v vs %v", kind, lo, lo+8, err1, err2)
+			}
+			if w.Estimate != g.Estimate || w.CIHalf != g.CIHalf || w.NoMatch != g.NoMatch {
+				t.Errorf("%v [%g,%g]: got %v±%v (nomatch=%v), want %v±%v (nomatch=%v)",
+					kind, lo, lo+8, g.Estimate, g.CIHalf, g.NoMatch, w.Estimate, w.CIHalf, w.NoMatch)
+			}
+		}
+	}
+}
+
+func TestUniformSaveLoadRoundTrip(t *testing.T) {
+	d := dataset.GenIntelWireless(4000, 11)
+	u := NewUniform(d, 150, 0, 11)
+	got := roundTrip(t, u, LoadUniform)
+	if got.Name() != "US" {
+		t.Errorf("Name = %q", got.Name())
+	}
+	assertIdentical(t, u, got)
+	if got.MemoryBytes() != u.MemoryBytes() {
+		t.Errorf("MemoryBytes = %d, want %d", got.MemoryBytes(), u.MemoryBytes())
+	}
+	if sz, ok := got.(engine.Sized); !ok || sz.N() != 4000 {
+		t.Errorf("restored US lost its cardinality")
+	}
+}
+
+func TestStratifiedSaveLoadRoundTrip(t *testing.T) {
+	d := dataset.GenIntelWireless(4000, 13)
+	s := NewStratified(d, 12, 180, 0, 13)
+	got := roundTrip(t, s, LoadStratified)
+	if got.Name() != "ST" {
+		t.Errorf("Name = %q", got.Name())
+	}
+	assertIdentical(t, s, got)
+	if sz, ok := got.(engine.Sized); !ok || sz.N() != 4000 {
+		t.Errorf("restored ST lost its cardinality")
+	}
+}
+
+func TestLoadersRejectKindMismatchAndGarbage(t *testing.T) {
+	d := dataset.GenIntelWireless(500, 3)
+	var usBuf, stBuf bytes.Buffer
+	if err := NewUniform(d, 20, 0, 3).Save(&usBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewStratified(d, 4, 20, 0, 3).Save(&stBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadStratified(bytes.NewReader(usBuf.Bytes())); err == nil {
+		t.Error("LoadStratified accepted a US snapshot")
+	}
+	if _, err := LoadUniform(bytes.NewReader(stBuf.Bytes())); err == nil {
+		t.Error("LoadUniform accepted an ST snapshot")
+	}
+	if _, err := LoadUniform(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("LoadUniform accepted garbage")
+	}
+	// truncation at every prefix must error, never panic
+	raw := stBuf.Bytes()
+	for cut := 0; cut < len(raw); cut += 7 {
+		if _, err := LoadStratified(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("LoadStratified accepted a snapshot truncated to %d bytes", cut)
+		}
+	}
+}

@@ -13,6 +13,8 @@
 package catalog
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -25,14 +27,31 @@ import (
 	"repro/internal/sqlfe"
 )
 
+// Journal is the write-ahead hook a durable store attaches to a table:
+// Insert/Delete are called BEFORE the in-memory apply (classic WAL
+// ordering — the update must be on disk before it is acknowledged), and
+// Rollback undoes the most recent append if that apply then fails, so log
+// and engine never diverge. All three run under the table's write lock.
+// It is satisfied by store.TableLog; defining it here keeps the catalog
+// free of store imports.
+type Journal interface {
+	Insert(point []float64, value float64) error
+	Delete(point []float64, value float64) error
+	// InsertMany journals a batch as one group commit (single write +
+	// fsync); a following Rollback undoes the whole group.
+	InsertMany(points [][]float64, values []float64) error
+	Rollback() error
+}
+
 // Table is one registered table: an engine, its schema, and the lock that
 // orders queries and updates.
 type Table struct {
-	name   string
-	mu     sync.RWMutex
-	eng    engine.Engine
-	schema sqlfe.Schema
-	rows   int
+	name    string
+	mu      sync.RWMutex
+	eng     engine.Engine
+	schema  sqlfe.Schema
+	rows    int
+	journal Journal
 }
 
 // Name returns the registered table name.
@@ -95,8 +114,18 @@ func (t *Table) GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []
 	return g.GroupBy(kind, q, dim, groups)
 }
 
+// AttachJournal wires a write-ahead journal under the table: every
+// subsequent Insert/Delete is logged before the in-memory apply, making
+// updates crash-recoverable. Pass nil to detach.
+func (t *Table) AttachJournal(j Journal) {
+	t.mu.Lock()
+	t.journal = j
+	t.mu.Unlock()
+}
+
 // Insert adds one tuple under the table's write lock, when the engine is
-// updatable (engine.Updatable).
+// updatable (engine.Updatable). With a journal attached the tuple is
+// logged first; a failed in-memory apply rolls the log entry back.
 func (t *Table) Insert(point []float64, value float64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -104,15 +133,20 @@ func (t *Table) Insert(point []float64, value float64) error {
 	if !ok {
 		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
 	}
+	if t.journal != nil {
+		if err := t.journal.Insert(point, value); err != nil {
+			return fmt.Errorf("catalog: journal insert into %q: %w", t.name, err)
+		}
+	}
 	if err := u.Insert(point, value); err != nil {
-		return err
+		return t.unjournal(err)
 	}
 	t.resyncRows(1)
 	return nil
 }
 
 // Delete removes one tuple under the table's write lock, when the engine
-// is updatable.
+// is updatable. Journaling mirrors Insert.
 func (t *Table) Delete(point []float64, value float64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -120,11 +154,74 @@ func (t *Table) Delete(point []float64, value float64) error {
 	if !ok {
 		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
 	}
+	if t.journal != nil {
+		if err := t.journal.Delete(point, value); err != nil {
+			return fmt.Errorf("catalog: journal delete from %q: %w", t.name, err)
+		}
+	}
 	if err := u.Delete(point, value); err != nil {
-		return err
+		return t.unjournal(err)
 	}
 	t.resyncRows(-1)
 	return nil
+}
+
+// InsertMany adds a batch of tuples under one write-lock acquisition with
+// one group-committed journal append (single fsync instead of one per
+// row). It returns how many tuples were applied; on a mid-batch engine
+// failure the journal is rewound to exactly the applied prefix, so log
+// and engine stay in step.
+func (t *Table) InsertMany(points [][]float64, values []float64) (int, error) {
+	if len(points) != len(values) {
+		return 0, fmt.Errorf("catalog: InsertMany got %d points for %d values", len(points), len(values))
+	}
+	if len(points) == 0 {
+		return 0, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u, ok := engine.Underlying(t.eng).(engine.Updatable)
+	if !ok {
+		return 0, fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
+	}
+	if t.journal != nil {
+		if err := t.journal.InsertMany(points, values); err != nil {
+			return 0, fmt.Errorf("catalog: journal batch insert into %q: %w", t.name, err)
+		}
+	}
+	for i := range points {
+		if err := u.Insert(points[i], values[i]); err != nil {
+			// rewind the whole group, then re-journal the applied prefix so
+			// the log matches the in-memory state exactly
+			if t.journal != nil {
+				if rerr := t.journal.Rollback(); rerr != nil {
+					return i, fmt.Errorf("catalog: apply failed at row %d (%v) and journal rollback failed for %q: %w", i, err, t.name, rerr)
+				}
+				if i > 0 {
+					if rerr := t.journal.InsertMany(points[:i], values[:i]); rerr != nil {
+						return i, fmt.Errorf("catalog: apply failed at row %d (%v) and re-journaling the applied prefix failed for %q: %w", i, err, t.name, rerr)
+					}
+				}
+			}
+			t.resyncRows(i)
+			return i, fmt.Errorf("catalog: insert row %d into %q: %w", i, t.name, err)
+		}
+	}
+	t.resyncRows(len(points))
+	return len(points), nil
+}
+
+// unjournal rolls back the last journal append after a failed in-memory
+// apply, combining both errors if the rollback itself fails. Callers hold
+// the write lock.
+func (t *Table) unjournal(applyErr error) error {
+	if t.journal == nil {
+		return applyErr
+	}
+	if rerr := t.journal.Rollback(); rerr != nil {
+		return fmt.Errorf("catalog: apply failed (%v) and journal rollback failed for %q: %w", applyErr, t.name, rerr)
+	}
+	return applyErr
 }
 
 // resyncRows refreshes the cached cardinality after an update: engines
@@ -141,16 +238,42 @@ func (t *Table) resyncRows(delta int) {
 }
 
 // Save persists the table's synopsis under the read lock, when the engine
-// is serializable (engine.Serializable).
+// is serializable (engine.Serializable). Non-serializable engines return
+// an error wrapping engine.ErrNotSerializable.
 func (t *Table) Save(w io.Writer) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	s, ok := engine.Underlying(t.eng).(engine.Serializable)
 	if !ok {
-		return fmt.Errorf("catalog: engine %s of table %q does not support serialization", t.eng.Name(), t.name)
+		return fmt.Errorf("catalog: table %q (engine %s): %w", t.name, t.eng.Name(), engine.ErrNotSerializable)
 	}
 	return s.Save(w)
 }
+
+// Checkpoint captures a consistent snapshot of the table under the WRITE
+// lock and hands it to flush: because journal appends also run under the
+// write lock, no update can slip between the engine serialization and
+// whatever flush does with it (write the snapshot, truncate the WAL). This
+// is the atomicity anchor of the durable-store checkpoint protocol.
+func (t *Table) Checkpoint(flush func(engineName string, schema sqlfe.Schema, payload []byte, rows int) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	under := engine.Underlying(t.eng)
+	s, ok := under.(engine.Serializable)
+	if !ok {
+		return fmt.Errorf("catalog: table %q (engine %s): %w", t.name, t.eng.Name(), engine.ErrNotSerializable)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return fmt.Errorf("catalog: serialize table %q: %w", t.name, err)
+	}
+	return flush(under.Name(), t.schema, buf.Bytes(), t.rows)
+}
+
+// ErrExists tags a Register call that lost to an earlier registration of
+// the same name — the one catalog failure that genuinely is a conflict,
+// so serving layers can map it to 409 and everything else to 5xx.
+var ErrExists = errors.New("table already registered")
 
 // Catalog is a named-table registry safe for concurrent use.
 type Catalog struct {
@@ -180,7 +303,7 @@ func (c *Catalog) Register(name string, e engine.Engine, schema sqlfe.Schema) (*
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.tables[key]; dup {
-		return nil, fmt.Errorf("catalog: table %q is already registered", name)
+		return nil, fmt.Errorf("catalog: table %q: %w", name, ErrExists)
 	}
 	c.tables[key] = t
 	return t, nil

@@ -1,12 +1,15 @@
 package core
 
 import (
-	"bufio"
 	"io"
+
+	"repro/internal/binenc"
 )
 
 // test helpers shared by serialize_test.go
 
-func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriter(w) }
+func newSerWriter(w io.Writer) serWriter {
+	return serWriter{Writer: binenc.NewWriter(w)}
+}
 
-func flushWriter(sw *serWriter) { _ = sw.w.Flush() }
+func flushWriter(sw serWriter) { _ = sw.Flush() }

@@ -1,12 +1,12 @@
 package core
 
 import (
-	"bufio"
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
+	"repro/internal/binenc"
 	"repro/internal/partition"
 	"repro/internal/ptree"
 	"repro/internal/sample"
@@ -26,72 +26,45 @@ const (
 	serVersion = 1
 )
 
+// ErrNotSerializable reports a synopsis that cannot be persisted — today,
+// any multi-dimensional (k-d) synopsis. engine.ErrNotSerializable aliases
+// it so persistence layers can errors.Is against one sentinel.
+var ErrNotSerializable = errors.New("synopsis is not serializable")
+
 // defaultSerPrecision is the fixed-point precision for delta-encoded
 // sample values; the relative error it introduces (≤ 5e-7 of a typical
 // value unit) is far below sampling error.
 const defaultSerPrecision = 1e-6
 
-type serWriter struct {
-	w   *bufio.Writer
-	err error
-}
+// The wire encoding (sticky-error varint/float writer and reader) is the
+// shared one in internal/binenc; thin aliases keep the Save/Load bodies
+// in the format's own vocabulary.
+type serWriter struct{ *binenc.Writer }
 
-func (sw *serWriter) u64(v uint64) {
-	if sw.err != nil {
-		return
+func (sw serWriter) u64(v uint64)  { sw.U64(v) }
+func (sw serWriter) i64(v int64)   { sw.I64(v) }
+func (sw serWriter) f64(v float64) { sw.F64(v) }
+
+type serReader struct{ *binenc.Reader }
+
+func (sr serReader) u64() uint64  { return sr.U64() }
+func (sr serReader) i64() int64   { return sr.I64() }
+func (sr serReader) f64() float64 { return sr.F64() }
+
+func (sr serReader) err() error {
+	if e := sr.Err(); e != nil {
+		return fmt.Errorf("core: corrupt synopsis: %w", e)
 	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	_, sw.err = sw.w.Write(buf[:n])
+	return nil
 }
-
-func (sw *serWriter) i64(v int64) {
-	if sw.err != nil {
-		return
-	}
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], v)
-	_, sw.err = sw.w.Write(buf[:n])
-}
-
-func (sw *serWriter) f64(v float64) { sw.u64(math.Float64bits(v)) }
-
-type serReader struct {
-	r   *bufio.Reader
-	err error
-}
-
-func (sr *serReader) u64() uint64 {
-	if sr.err != nil {
-		return 0
-	}
-	v, err := binary.ReadUvarint(sr.r)
-	if err != nil {
-		sr.err = fmt.Errorf("core: corrupt synopsis: %w", err)
-	}
-	return v
-}
-
-func (sr *serReader) i64() int64 {
-	if sr.err != nil {
-		return 0
-	}
-	v, err := binary.ReadVarint(sr.r)
-	if err != nil {
-		sr.err = fmt.Errorf("core: corrupt synopsis: %w", err)
-	}
-	return v
-}
-
-func (sr *serReader) f64() float64 { return math.Float64frombits(sr.u64()) }
 
 // Save writes the synopsis in the binary format. Only 1D synopses are
 // supported.
 func (s *Synopsis) Save(w io.Writer) error {
 	if s.oneD == nil {
-		return fmt.Errorf("core: only 1D synopses can be serialized")
+		return fmt.Errorf("core: only 1D synopses can be serialized: %w", ErrNotSerializable)
 	}
-	sw := &serWriter{w: bufio.NewWriter(w)}
+	sw := serWriter{Writer: binenc.NewWriter(w)}
 	sw.u64(serMagic)
 	sw.u64(serVersion)
 	// options needed to answer queries
@@ -138,17 +111,14 @@ func (s *Synopsis) Save(w io.Writer) error {
 			sw.i64(int64(q))
 		}
 	}
-	if sw.err != nil {
-		return sw.err
-	}
-	return sw.w.Flush()
+	return sw.Flush()
 }
 
 // Load reads a synopsis written by Save. The restored synopsis answers
 // queries identically (up to the delta-encoding precision of sample
 // values) and supports further dynamic updates.
 func Load(r io.Reader) (*Synopsis, error) {
-	sr := &serReader{r: bufio.NewReader(r)}
+	sr := serReader{Reader: binenc.NewReader(r)}
 	if sr.u64() != serMagic {
 		return nil, fmt.Errorf("core: not a PASS synopsis (bad magic)")
 	}
@@ -162,8 +132,8 @@ func Load(r io.Reader) (*Synopsis, error) {
 	n := int(sr.u64())
 	opts.Seed = sr.u64()
 	nCuts := int(sr.u64())
-	if sr.err != nil {
-		return nil, sr.err
+	if err := sr.err(); err != nil {
+		return nil, err
 	}
 	if nCuts < 2 || nCuts > n+1 {
 		return nil, fmt.Errorf("core: corrupt synopsis: %d cuts for %d rows", nCuts, n)
@@ -173,8 +143,8 @@ func Load(r io.Reader) (*Synopsis, error) {
 		cuts[i] = int(sr.u64())
 	}
 	nLeaves := int(sr.u64())
-	if sr.err != nil {
-		return nil, sr.err
+	if err := sr.err(); err != nil {
+		return nil, err
 	}
 	if nLeaves <= 0 || nLeaves > n {
 		return nil, fmt.Errorf("core: corrupt synopsis: %d leaves", nLeaves)
@@ -191,8 +161,8 @@ func Load(r io.Reader) (*Synopsis, error) {
 		leaves[i].Agg.Min = sr.f64()
 		leaves[i].Agg.Max = sr.f64()
 	}
-	if sr.err != nil {
-		return nil, sr.err
+	if err := sr.err(); err != nil {
+		return nil, err
 	}
 	tr, err := ptree.FromLeaves(leaves)
 	if err != nil {
@@ -211,8 +181,8 @@ func Load(r io.Reader) (*Synopsis, error) {
 	}
 	for leaf := 0; leaf < nLeaves; leaf++ {
 		k := int(sr.u64())
-		if sr.err != nil {
-			return nil, sr.err
+		if err := sr.err(); err != nil {
+			return nil, err
 		}
 		if k < 0 || k > n {
 			return nil, fmt.Errorf("core: corrupt synopsis: leaf %d claims %d samples", leaf, k)
@@ -226,8 +196,8 @@ func Load(r io.Reader) (*Synopsis, error) {
 		}
 		st.offsets = append(st.offsets, len(st.values))
 	}
-	if sr.err != nil {
-		return nil, sr.err
+	if err := sr.err(); err != nil {
+		return nil, err
 	}
 	st.prefSum = make([]float64, len(st.values))
 	st.prefSumSq = make([]float64, len(st.values))

@@ -102,7 +102,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	// right magic, wrong version
 	var buf bytes.Buffer
-	sw := &serWriter{w: newBufWriter(&buf)}
+	sw := newSerWriter(&buf)
 	sw.u64(serMagic)
 	sw.u64(99)
 	flushWriter(sw)

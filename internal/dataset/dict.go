@@ -53,6 +53,27 @@ func (d *Dict) Value(code float64) (string, error) {
 	return d.values[i], nil
 }
 
+// Values returns the categories in code order — code i is values[i]. The
+// returned slice is a copy; together with DictFromValues it round-trips a
+// dictionary through persistence.
+func (d *Dict) Values() []string {
+	return append([]string(nil), d.values...)
+}
+
+// DictFromValues rebuilds a dictionary from a code-ordered category list,
+// preserving the original code assignment (unlike BuildDict, which sorts).
+// It is the restore path for persisted schemas.
+func DictFromValues(values []string) *Dict {
+	d := &Dict{
+		values: append([]string(nil), values...),
+		index:  make(map[string]int, len(values)),
+	}
+	for i, v := range d.values {
+		d.index[v] = i
+	}
+	return d
+}
+
 // Codes returns all codes in order — the group list for GROUP BY.
 func (d *Dict) Codes() []float64 {
 	out := make([]float64, len(d.values))

@@ -175,7 +175,9 @@ func TestConformanceConcurrentBatches(t *testing.T) {
 
 // TestCapabilitySplit documents which engines expose the optional
 // capability interfaces: PASS is Updatable, Serializable, Grouper and
-// Sized; the comparators are query-only.
+// Sized; the sampling baselines US and ST are Serializable and Sized
+// (plain sample arrays persist trivially) but query-only otherwise; the
+// model-based comparators have no optional capability at all.
 func TestCapabilitySplit(t *testing.T) {
 	d := confDataset(t)
 	engines := buildAll(t, d)
@@ -184,9 +186,22 @@ func TestCapabilitySplit(t *testing.T) {
 		_, ser := e.(engine.Serializable)
 		_, grp := e.(engine.Grouper)
 		isPass := kind == "pass"
-		if upd != isPass || ser != isPass || grp != isPass {
-			t.Errorf("%s: capabilities updatable=%v serializable=%v grouper=%v, want all %v",
-				kind, upd, ser, grp, isPass)
+		isSampling := isPass || kind == "us" || kind == "st"
+		if upd != isPass || grp != isPass {
+			t.Errorf("%s: capabilities updatable=%v grouper=%v, want both %v", kind, upd, grp, isPass)
+		}
+		if ser != isSampling {
+			t.Errorf("%s: serializable=%v, want %v", kind, ser, isSampling)
+		}
+	}
+	// every serializable engine must have a registered loader, or a
+	// snapshot written today is unreadable tomorrow
+	for kind, e := range engines {
+		if _, ok := e.(engine.Serializable); !ok {
+			continue
+		}
+		if _, ok := factory.Loader(e.Name()); !ok {
+			t.Errorf("%s: engine %q is Serializable but has no factory loader", kind, e.Name())
 		}
 	}
 }

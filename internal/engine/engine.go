@@ -23,6 +23,15 @@ import (
 	"repro/internal/dataset"
 )
 
+// ErrNotSerializable is returned (wrapped, with engine and table context)
+// when persistence is requested of an engine that cannot provide it —
+// one without the Serializable capability, or a multi-dimensional PASS
+// synopsis whose Save fails at runtime (it aliases core.ErrNotSerializable
+// so both cases match one sentinel). Callers that can degrade gracefully
+// (serve the table without durability) detect it with errors.Is;
+// everything else should surface it, never skip it silently.
+var ErrNotSerializable = core.ErrNotSerializable
+
 // Queryer is the minimal single-query surface of an AQP engine.
 type Queryer interface {
 	// Name identifies the engine in benchmark tables and catalog listings.

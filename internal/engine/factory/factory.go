@@ -12,6 +12,7 @@ package factory
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -101,6 +102,34 @@ var builders = map[string]func(d *dataset.Dataset, sp Spec) (engine.Engine, erro
 			TrainRatio: sp.Ratio, Buckets: sp.Partitions, Seed: sp.Seed,
 		})
 	},
+}
+
+// loaders maps an engine's display name (what Engine.Name returns and
+// what store snapshots record) to the function restoring it from its
+// serialized bytes. Only engines with an engine.Serializable Save have a
+// loader; the model-based comparators rebuild from data instead.
+var loaders = map[string]engine.Loader{
+	"PASS": func(r io.Reader) (engine.Engine, error) { return core.Load(r) },
+	"US":   baselines.LoadUniform,
+	"ST":   baselines.LoadStratified,
+}
+
+// Loader returns the restore function for a serialized engine by its
+// display name (case-sensitive, as recorded in snapshot files).
+func Loader(name string) (engine.Loader, bool) {
+	l, ok := loaders[name]
+	return l, ok
+}
+
+// LoaderKinds lists the engine names that can be restored from a
+// snapshot, sorted.
+func LoaderKinds() []string {
+	out := make([]string, 0, len(loaders))
+	for k := range loaders {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Build constructs the named engine over d. Kind is case-insensitive; see

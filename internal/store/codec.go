@@ -1,0 +1,273 @@
+// Package store is the durable table-storage subsystem: versioned,
+// CRC-checked snapshot files for whole catalog tables (engine bytes plus
+// the schema needed to serve SQL after a restart), a per-table write-ahead
+// log for the updates that arrive between snapshots, and a Store manager
+// that loads everything back on boot and checkpoints in the background.
+//
+// On-disk layout inside a data directory:
+//
+//	<table>.snap   snapshot: engine name, schema (+dicts), engine payload
+//	<table>.wal    write-ahead log: Insert/Delete tuples since the snapshot
+//
+// Recovery is snapshot + WAL replay: the snapshot restores the synopsis a
+// checkpoint captured, and replaying the log re-applies every journaled
+// update, so a restarted server answers exactly what the pre-crash catalog
+// answered — without rebuilding any synopsis.
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/binenc"
+	"repro/internal/dataset"
+	"repro/internal/sqlfe"
+)
+
+// Snapshot file format:
+//
+//	magic   u64 varint  ("PSS1")
+//	version u64 varint
+//	frame(meta)     — name, engine name, rows, schema, dicts
+//	frame(payload)  — engine bytes written by engine.Serializable.Save
+//
+// where frame(x) = [len uvarint][x bytes][crc32(x) uvarint], crc32 being
+// IEEE. Both frames are independently checksummed so a truncated or
+// bit-flipped file is rejected with a clear error instead of being
+// half-loaded.
+const (
+	snapMagic   = 0x50535331 // "PSS1"
+	snapVersion = 1
+)
+
+// ErrCorrupt tags snapshot and WAL decoding failures caused by damaged
+// files (bad magic, CRC mismatch, truncated frames). Callers can
+// errors.Is against it to distinguish corruption from I/O errors.
+var ErrCorrupt = errors.New("corrupt file")
+
+// Snapshot is one persisted table: everything needed to re-register it in
+// a catalog after a restart.
+type Snapshot struct {
+	// Name is the catalog table name.
+	Name string
+	// Engine is the engine display name ("PASS", "US", "ST") used to
+	// dispatch the matching factory loader.
+	Engine string
+	// Gen is the checkpoint generation. The table's WAL carries the same
+	// number; a WAL with a lower generation predates this snapshot (a
+	// crash hit between snapshot publish and log truncation) and its
+	// records are already folded in — replaying them would double-apply.
+	Gen uint64
+	// Rows is the base-table cardinality at snapshot time (informational;
+	// engines that track their own size are authoritative after load).
+	Rows int
+	// Schema is the SQL-resolution schema, dictionaries included.
+	Schema sqlfe.Schema
+	// Payload is the engine's own serialized bytes.
+	Payload []byte
+}
+
+// WriteSnapshot encodes a snapshot onto w.
+func WriteSnapshot(w io.Writer, snap *Snapshot) error {
+	bw := binenc.NewWriter(w)
+	bw.U64(snapMagic)
+	bw.U64(snapVersion)
+
+	meta := encodeMeta(snap)
+	frame(bw, meta)
+	frame(bw, snap.Payload)
+	return bw.Flush()
+}
+
+// frame writes [len][bytes][crc32].
+func frame(bw *binenc.Writer, payload []byte) {
+	bw.Bytes(payload)
+	bw.U64(uint64(crc32.ChecksumIEEE(payload)))
+}
+
+// encodeMeta serializes the snapshot header section.
+func encodeMeta(snap *Snapshot) []byte {
+	var buf bytes.Buffer
+	mw := binenc.NewWriter(&buf)
+	mw.Str(snap.Name)
+	mw.Str(snap.Engine)
+	mw.U64(snap.Gen)
+	mw.U64(uint64(snap.Rows))
+	mw.Str(snap.Schema.Table)
+	mw.U64(uint64(len(snap.Schema.PredColumns)))
+	for _, c := range snap.Schema.PredColumns {
+		mw.Str(c)
+	}
+	mw.Str(snap.Schema.AggColumn)
+	// dictionaries, sorted by column for deterministic bytes
+	cols := make([]string, 0, len(snap.Schema.Dicts))
+	for c := range snap.Schema.Dicts {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	mw.U64(uint64(len(cols)))
+	for _, c := range cols {
+		mw.Str(c)
+		vals := snap.Schema.Dicts[c].Values()
+		mw.U64(uint64(len(vals)))
+		for _, v := range vals {
+			mw.Str(v)
+		}
+	}
+	_ = mw.Flush()
+	return buf.Bytes()
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot, verifying both
+// frame checksums.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := binenc.NewReader(r)
+	if m := br.U64(); br.Err() != nil || m != snapMagic {
+		return nil, fmt.Errorf("store: not a snapshot file (bad magic): %w", ErrCorrupt)
+	}
+	if v := br.U64(); v != snapVersion {
+		if br.Err() != nil {
+			return nil, fmt.Errorf("store: truncated snapshot header: %w", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("store: unsupported snapshot version %d", v)
+	}
+	meta, err := readFrame(br, "meta")
+	if err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(br, "engine payload")
+	if err != nil {
+		return nil, err
+	}
+	snap, err := decodeMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	snap.Payload = payload
+	return snap, nil
+}
+
+// readFrame reads and verifies one CRC-framed section.
+func readFrame(br *binenc.Reader, what string) ([]byte, error) {
+	payload := br.Bytes()
+	crc := br.U64()
+	if br.Err() != nil {
+		return nil, fmt.Errorf("store: truncated snapshot (%s frame): %w", what, ErrCorrupt)
+	}
+	if got := uint64(crc32.ChecksumIEEE(payload)); got != crc {
+		return nil, fmt.Errorf("store: snapshot %s frame CRC mismatch (file damaged): %w", what, ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// decodeMeta parses the snapshot header section.
+func decodeMeta(meta []byte) (*Snapshot, error) {
+	mr := binenc.NewReader(bytes.NewReader(meta))
+	snap := &Snapshot{}
+	snap.Name = mr.Str()
+	snap.Engine = mr.Str()
+	snap.Gen = mr.U64()
+	snap.Rows = int(mr.U64())
+	snap.Schema.Table = mr.Str()
+	nPred := int(mr.U64())
+	if mr.Err() != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot meta: %w", ErrCorrupt)
+	}
+	if nPred < 0 || nPred > 1<<16 {
+		return nil, fmt.Errorf("store: corrupt snapshot meta (%d predicate columns): %w", nPred, ErrCorrupt)
+	}
+	snap.Schema.PredColumns = make([]string, nPred)
+	for i := range snap.Schema.PredColumns {
+		snap.Schema.PredColumns[i] = mr.Str()
+	}
+	snap.Schema.AggColumn = mr.Str()
+	nDicts := int(mr.U64())
+	if mr.Err() != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot meta: %w", ErrCorrupt)
+	}
+	if nDicts > 0 {
+		snap.Schema.Dicts = make(map[string]*dataset.Dict, nDicts)
+		for i := 0; i < nDicts; i++ {
+			col := mr.Str()
+			nVals := int(mr.U64())
+			if mr.Err() != nil || nVals < 0 || nVals > 1<<24 {
+				return nil, fmt.Errorf("store: corrupt snapshot dictionary: %w", ErrCorrupt)
+			}
+			vals := make([]string, nVals)
+			for j := range vals {
+				vals[j] = mr.Str()
+			}
+			snap.Schema.Dicts[col] = dataset.DictFromValues(vals)
+		}
+	}
+	if mr.Err() != nil {
+		return nil, fmt.Errorf("store: corrupt snapshot meta: %w", ErrCorrupt)
+	}
+	return snap, nil
+}
+
+// WriteSnapshotFile writes a snapshot atomically: the bytes land in a
+// temporary file that is fsynced and renamed over the target, so a crash
+// mid-checkpoint leaves the previous snapshot intact.
+func WriteSnapshotFile(path string, snap *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot: %w", err)
+	}
+	if err := WriteSnapshot(f, snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// fsync the directory so the rename itself survives a machine crash:
+	// without it the WAL could be durably truncated against a snapshot
+	// whose directory entry was lost, stranding the folded updates
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making recent renames and unlinks durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile reads and verifies a snapshot file.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open snapshot: %w", err)
+	}
+	defer f.Close()
+	snap, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	return snap, nil
+}

@@ -1,0 +1,468 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/engine/factory"
+	"repro/internal/sqlfe"
+)
+
+// Checkpointable is the view of a live catalog table the store needs to
+// snapshot it: a name plus a Checkpoint method that, under the table's
+// exclusive lock, hands the store a consistent engine payload. It is
+// satisfied structurally by *catalog.Table, keeping the catalog free of
+// store imports.
+type Checkpointable interface {
+	Name() string
+	Checkpoint(flush func(engineName string, schema sqlfe.Schema, payload []byte, rows int) error) error
+}
+
+// Options configures a Store.
+type Options struct {
+	// WALThreshold is the journaled-record count past which the background
+	// checkpointer snapshots a table and truncates its log. Default 4096.
+	WALThreshold int
+	// CheckpointInterval is how often the background checkpointer scans
+	// attached tables. Default 5s; negative disables the goroutine
+	// (Checkpoint/CheckpointAll remain available).
+	CheckpointInterval time.Duration
+	// NoSync disables the per-append WAL fsync. Faster, but a machine
+	// crash (not just a process crash) can lose the tail of the journal.
+	NoSync bool
+	// Logf receives diagnostics (checkpoints, recovery notes). Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.WALThreshold <= 0 {
+		o.WALThreshold = 4096
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = 5 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// tableState is the store's per-table bookkeeping: the open WAL and, once
+// the table is attached, the live source to checkpoint from. opMu orders
+// checkpoints against Remove so a background checkpoint racing a drop
+// cannot recreate the files of a removed table; removed marks the state
+// dead once Remove has won.
+type tableState struct {
+	name string
+	wal  *WAL
+
+	opMu    sync.Mutex
+	src     Checkpointable // nil until Attach
+	removed bool
+}
+
+// Store manages a data directory of table snapshots and write-ahead logs:
+// Open → LoadAll (warm start) → Attach/SaveTable per table → background
+// checkpoints → Close. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	tables map[string]*tableState // key: lower-cased table name
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open prepares a data directory (creating it if needed) and starts the
+// background checkpointer.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		opts:   opts.withDefaults(),
+		tables: make(map[string]*tableState),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if s.opts.CheckpointInterval > 0 {
+		go s.run()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// fileKey maps a table name to its on-disk basename: lower-cased (table
+// names are case-insensitive) and path-escaped so arbitrary HTTP-supplied
+// names cannot traverse out of the data directory.
+func fileKey(name string) string {
+	return url.PathEscape(strings.ToLower(name))
+}
+
+func (s *Store) snapPath(name string) string { return filepath.Join(s.dir, fileKey(name)+".snap") }
+func (s *Store) walPath(name string) string  { return filepath.Join(s.dir, fileKey(name)+".wal") }
+
+// LoadedTable is one table restored from disk: the rebuilt engine, its
+// schema, and how many journaled updates were replayed on top of the
+// snapshot.
+type LoadedTable struct {
+	Name     string
+	Engine   engine.Engine
+	Schema   sqlfe.Schema
+	Replayed int
+}
+
+// LoadAll restores every table in the data directory: each snapshot is
+// decoded, its engine rebuilt through the factory loader registry, and its
+// WAL replayed on top. Corrupt snapshots or logs fail the whole load with
+// a clear error — a durable store must never silently serve partial state.
+// Results are sorted by table name.
+func (s *Store) LoadAll() ([]LoadedTable, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read data dir: %w", err)
+	}
+	var out []LoadedTable
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		lt, err := s.loadOne(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lt)
+		seen[fileKey(lt.Name)] = true
+	}
+	// orphan WALs (snapshot missing, e.g. a crash mid-Remove) are
+	// unreconstructible — surface them but do not fail the warm start
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wal") {
+			continue
+		}
+		if key := strings.TrimSuffix(e.Name(), ".wal"); !seen[key] {
+			s.opts.Logf("store: ignoring orphan WAL %s (no matching snapshot)", e.Name())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// loadOne restores a single table from its snapshot + WAL pair.
+func (s *Store) loadOne(snapPath string) (LoadedTable, error) {
+	snap, err := ReadSnapshotFile(snapPath)
+	if err != nil {
+		return LoadedTable{}, err
+	}
+	if snap.Name == "" {
+		return LoadedTable{}, fmt.Errorf("store: snapshot %s carries no table name: %w", snapPath, ErrCorrupt)
+	}
+	load, ok := factory.Loader(snap.Engine)
+	if !ok {
+		return LoadedTable{}, fmt.Errorf("store: snapshot %s: no loader for engine %q (have %s)",
+			snapPath, snap.Engine, strings.Join(factory.LoaderKinds(), ", "))
+	}
+	eng, err := load(bytes.NewReader(snap.Payload))
+	if err != nil {
+		return LoadedTable{}, fmt.Errorf("store: restore engine %s for table %q: %w", snap.Engine, snap.Name, err)
+	}
+	wal, recs, err := OpenWAL(s.walPath(snap.Name), !s.opts.NoSync)
+	if err != nil {
+		return LoadedTable{}, err
+	}
+	switch {
+	case wal.Gen() == snap.Gen:
+		// the normal pairing: replay the journal on top of the snapshot
+	case wal.Gen() < snap.Gen:
+		// a crash hit between snapshot publish and WAL truncation: every
+		// journaled record is already folded into the snapshot
+		s.opts.Logf("store: table %q: WAL generation %d predates snapshot generation %d; discarding %d already-folded record(s)",
+			snap.Name, wal.Gen(), snap.Gen, len(recs))
+		if err := wal.Truncate(snap.Gen); err != nil {
+			wal.Close()
+			return LoadedTable{}, err
+		}
+		recs = nil
+	default:
+		wal.Close()
+		return LoadedTable{}, fmt.Errorf("store: table %q: WAL generation %d is ahead of snapshot generation %d (snapshot file replaced?): %w",
+			snap.Name, wal.Gen(), snap.Gen, ErrCorrupt)
+	}
+	if len(recs) > 0 {
+		u, ok := engine.Underlying(eng).(engine.Updatable)
+		if !ok {
+			wal.Close()
+			return LoadedTable{}, fmt.Errorf("store: table %q has %d journaled updates but engine %s is not updatable",
+				snap.Name, len(recs), snap.Engine)
+		}
+		for i, rec := range recs {
+			var aerr error
+			switch rec.Op {
+			case OpInsert:
+				aerr = u.Insert(rec.Point, rec.Value)
+			case OpDelete:
+				aerr = u.Delete(rec.Point, rec.Value)
+			}
+			if aerr != nil {
+				wal.Close()
+				return LoadedTable{}, fmt.Errorf("store: table %q: replay WAL record %d/%d: %w",
+					snap.Name, i+1, len(recs), aerr)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.tables[strings.ToLower(snap.Name)] = &tableState{name: snap.Name, wal: wal}
+	s.mu.Unlock()
+	return LoadedTable{Name: snap.Name, Engine: eng, Schema: snap.Schema, Replayed: len(recs)}, nil
+}
+
+// state returns (creating if needed) the per-table bookkeeping, opening
+// the table's WAL on first use.
+func (s *Store) state(name string) (*tableState, error) {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	if ts, ok := s.tables[key]; ok {
+		return ts, nil
+	}
+	wal, recs, err := OpenWAL(s.walPath(name), !s.opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 {
+		// a pre-existing log for a table being created anew is stale state
+		if err := wal.Truncate(wal.Gen()); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	ts := &tableState{name: name, wal: wal}
+	s.tables[key] = ts
+	return ts, nil
+}
+
+// Attach connects a live table to its journal: the returned TableLog
+// implements the catalog's Journal interface, so every Insert/Delete on
+// the table is appended to the WAL before the in-memory apply. The store
+// also remembers the table as a checkpoint source.
+func (s *Store) Attach(t Checkpointable) (*TableLog, error) {
+	ts, err := s.state(t.Name())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ts.src = t
+	s.mu.Unlock()
+	return &TableLog{ts: ts}, nil
+}
+
+// SaveTable snapshots a table now: the engine payload is captured under
+// the table's exclusive lock and written atomically, then the WAL is
+// truncated — the journaled updates are folded into the snapshot.
+//
+// The snapshot is stamped with the WAL's generation + 1 and the truncated
+// WAL inherits that number, so a crash between the two steps is detected
+// at load time (the folded records are discarded, not replayed twice).
+// Holding the table lock across the snapshot write trades some query tail
+// latency during checkpoints for a protocol with no lost-update windows;
+// the WAL threshold keeps checkpoints infrequent.
+func (s *Store) SaveTable(t Checkpointable) error {
+	ts, err := s.state(t.Name())
+	if err != nil {
+		return err
+	}
+	return s.saveTableState(ts, t)
+}
+
+// saveTableState checkpoints through an existing tableState. Taking opMu
+// for the duration excludes Remove, so a concurrent drop cannot interleave
+// with the file writes; a state Remove already won on is left untouched.
+func (s *Store) saveTableState(ts *tableState, t Checkpointable) error {
+	ts.opMu.Lock()
+	defer ts.opMu.Unlock()
+	if ts.removed {
+		return nil
+	}
+	return t.Checkpoint(func(engineName string, schema sqlfe.Schema, payload []byte, rows int) error {
+		gen := ts.wal.Gen() + 1
+		snap := &Snapshot{
+			Name:    ts.name,
+			Engine:  engineName,
+			Gen:     gen,
+			Rows:    rows,
+			Schema:  schema,
+			Payload: payload,
+		}
+		if err := WriteSnapshotFile(s.snapPath(ts.name), snap); err != nil {
+			return err
+		}
+		return ts.wal.Truncate(gen)
+	})
+}
+
+// Checkpoint snapshots every attached table whose WAL has grown past the
+// threshold. The background checkpointer calls it on a timer; it is also
+// safe to call directly.
+func (s *Store) Checkpoint() error {
+	return s.checkpointWhere(func(pending int) bool { return pending >= s.opts.WALThreshold })
+}
+
+// CheckpointAll snapshots every attached table with any journaled updates
+// — the final flush on graceful shutdown.
+func (s *Store) CheckpointAll() error {
+	return s.checkpointWhere(func(pending int) bool { return pending > 0 })
+}
+
+func (s *Store) checkpointWhere(needed func(pending int) bool) error {
+	type due struct {
+		ts  *tableState
+		src Checkpointable
+	}
+	s.mu.Lock()
+	var work []due
+	for _, ts := range s.tables {
+		if ts.src != nil && needed(ts.wal.Records()) {
+			work = append(work, due{ts: ts, src: ts.src})
+		}
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, d := range work {
+		// checkpoint through the captured state, never through state():
+		// a table dropped since the scan must not have its files recreated
+		if err := s.saveTableState(d.ts, d.src); err != nil {
+			s.opts.Logf("store: checkpoint %s: %v", d.src.Name(), err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.opts.Logf("store: checkpointed table %s", d.src.Name())
+	}
+	return firstErr
+}
+
+// Remove deletes a table's snapshot and WAL — a dropped table must not
+// resurrect on the next boot. Taking the state's opMu waits out any
+// in-flight checkpoint of the table and marks the state removed, so a
+// later checkpoint attempt is a no-op instead of recreating the files.
+func (s *Store) Remove(name string) error {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	ts := s.tables[key]
+	delete(s.tables, key)
+	s.mu.Unlock()
+	if ts != nil {
+		ts.opMu.Lock()
+		ts.removed = true
+		ts.wal.Close()
+		ts.opMu.Unlock()
+	}
+	var firstErr error
+	for _, p := range []string{s.snapPath(name), s.walPath(name)} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	// make the unlinks durable, so a machine crash cannot resurrect the
+	// dropped table at the next boot
+	if err := syncDir(s.dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Close stops the background checkpointer and closes every WAL. It does
+// not checkpoint; call CheckpointAll first for a clean shutdown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.opts.CheckpointInterval > 0 {
+		close(s.stop)
+		<-s.done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, ts := range s.tables {
+		if err := ts.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.tables = make(map[string]*tableState)
+	return firstErr
+}
+
+// run is the background checkpointer loop.
+func (s *Store) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.opts.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if err := s.Checkpoint(); err != nil {
+				s.opts.Logf("store: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// TableLog is one table's journaling handle, satisfying the catalog's
+// Journal interface: appends happen before the in-memory apply, and
+// Rollback undoes the last append when that apply fails. The catalog
+// serializes all three behind the table's write lock.
+type TableLog struct {
+	ts *tableState
+}
+
+// Insert journals an insert.
+func (l *TableLog) Insert(point []float64, value float64) error {
+	return l.ts.wal.Append(Record{Op: OpInsert, Point: point, Value: value})
+}
+
+// Delete journals a delete.
+func (l *TableLog) Delete(point []float64, value float64) error {
+	return l.ts.wal.Append(Record{Op: OpDelete, Point: point, Value: value})
+}
+
+// InsertMany journals a batch of inserts as one group commit.
+func (l *TableLog) InsertMany(points [][]float64, values []float64) error {
+	recs := make([]Record, len(points))
+	for i := range points {
+		recs[i] = Record{Op: OpInsert, Point: points[i], Value: values[i]}
+	}
+	return l.ts.wal.AppendGroup(recs)
+}
+
+// Rollback undoes the most recent append.
+func (l *TableLog) Rollback() error { return l.ts.wal.Rollback() }

@@ -1,0 +1,115 @@
+package pass
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sqlfe"
+	"repro/internal/store"
+)
+
+// Durable sessions: a Session with a store.Store attached persists its
+// catalog — every registered table is snapshotted to the store's data
+// directory, every Insert/Delete is journaled to a per-table write-ahead
+// log before the in-memory apply, and dropping a table removes its files.
+// Reattaching a store to a fresh session (a passd restart) restores the
+// whole catalog from snapshots + WAL replay, with no synopsis rebuilt.
+
+// AttachStore wires a durable store under the session: every table
+// already persisted in the store's data directory is loaded into the
+// catalog (snapshot decode + WAL replay — the warm-start path), and all
+// subsequent Register/Insert/Delete/Drop calls are persisted. It returns
+// the number of tables restored.
+func (s *Session) AttachStore(st *store.Store) (int, error) {
+	if s.store != nil {
+		return 0, fmt.Errorf("pass: session already has a store attached")
+	}
+	loaded, err := st.LoadAll()
+	if err != nil {
+		return 0, err
+	}
+	for _, lt := range loaded {
+		tbl, err := s.cat.Register(lt.Name, lt.Engine, lt.Schema)
+		if err != nil {
+			return 0, fmt.Errorf("pass: warm start table %q: %w", lt.Name, err)
+		}
+		j, err := st.Attach(tbl)
+		if err != nil {
+			return 0, err
+		}
+		tbl.AttachJournal(j)
+	}
+	s.store = st
+	return len(loaded), nil
+}
+
+// Persistent reports whether the session has a durable store attached.
+func (s *Session) Persistent() bool { return s.store != nil }
+
+// RegisterEngine registers an arbitrary engine under a table name with an
+// explicit schema — the path for engines restored from snapshot files
+// (passquery -load) or built outside the pass API. With a store attached
+// it persists like Register.
+func (s *Session) RegisterEngine(name string, eng engine.Engine, schema sqlfe.Schema) error {
+	if eng == nil {
+		return fmt.Errorf("pass: nil engine")
+	}
+	schema.Table = name
+	return s.register(name, eng, schema, s.store != nil)
+}
+
+// register adds the engine to the catalog and, on the persist path,
+// attaches its journal and snapshots it — in that order: any insert that
+// sneaks in between registration and the snapshot is either journaled (and
+// truncated when the snapshot folds it in) or captured by the snapshot
+// itself, so no acknowledged update can miss both. A table that was
+// promised durability but cannot be persisted (engine.ErrNotSerializable,
+// disk errors) is rolled back out of the catalog and the store — callers
+// choose explicitly between failing and RegisterEphemeral, never a silent
+// skip.
+func (s *Session) register(name string, eng engine.Engine, schema sqlfe.Schema, persist bool) error {
+	tbl, err := s.cat.Register(name, eng, schema)
+	if err != nil {
+		return err
+	}
+	if !persist {
+		return nil
+	}
+	rollback := func() {
+		_ = s.cat.Drop(name)
+		_ = s.store.Remove(name)
+	}
+	j, err := s.store.Attach(tbl)
+	if err != nil {
+		rollback()
+		return fmt.Errorf("pass: attach journal for table %q: %w", name, err)
+	}
+	tbl.AttachJournal(j)
+	if err := s.store.SaveTable(tbl); err != nil {
+		rollback()
+		return fmt.Errorf("pass: persist table %q: %w", name, err)
+	}
+	return nil
+}
+
+// Checkpoint snapshots every table with journaled updates and truncates
+// the corresponding logs. No-op without a store.
+func (s *Session) Checkpoint() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.CheckpointAll()
+}
+
+// Close performs a final checkpoint and releases the attached store's
+// files. No-op without a store; the session itself needs no cleanup.
+func (s *Session) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.store.CheckpointAll()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

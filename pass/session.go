@@ -6,6 +6,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/sqlfe"
+	"repro/internal/store"
 )
 
 // Session is a multi-table SQL serving context: a catalog of named tables
@@ -21,8 +22,13 @@ import (
 // A Session is safe for concurrent use: queries against one table run
 // concurrently (batches fan out across the worker pool), while
 // Insert/Delete serialise behind the table's write lock.
+//
+// A session can be made durable with AttachStore: tables are then
+// snapshotted to disk, updates are write-ahead journaled, and a restart
+// restores the catalog without rebuilding anything (see persist.go).
 type Session struct {
-	cat *catalog.Catalog
+	cat   *catalog.Catalog
+	store *store.Store
 }
 
 // NewSession returns a session with an empty catalog.
@@ -32,8 +38,23 @@ func NewSession() *Session {
 
 // Register adds a synopsis under a table name (case-insensitive, unique).
 // The synopsis must carry a schema — built from a Table, or attached via
-// SetSchema after LoadSynopsis.
+// SetSchema after LoadSynopsis. With a store attached (AttachStore) the
+// table is also snapshotted and its updates journaled; a synopsis that
+// cannot be persisted fails with engine.ErrNotSerializable — use
+// RegisterEphemeral to serve it without durability.
 func (s *Session) Register(name string, syn *Synopsis) error {
+	return s.registerSynopsis(name, syn, s.store != nil)
+}
+
+// RegisterEphemeral registers a synopsis that is intentionally NOT
+// persisted, even when the session has a store attached — for tables the
+// operator accepts rebuilding after a restart (e.g. multi-dimensional
+// synopses, which have no serialization yet).
+func (s *Session) RegisterEphemeral(name string, syn *Synopsis) error {
+	return s.registerSynopsis(name, syn, false)
+}
+
+func (s *Session) registerSynopsis(name string, syn *Synopsis, persist bool) error {
 	if syn == nil {
 		return fmt.Errorf("pass: nil synopsis")
 	}
@@ -42,12 +63,23 @@ func (s *Session) Register(name string, syn *Synopsis) error {
 	}
 	schema := syn.schema
 	schema.Table = name
-	_, err := s.cat.Register(name, syn.inner, schema)
-	return err
+	return s.register(name, syn.inner, schema, persist)
 }
 
-// Drop removes a table from the session.
-func (s *Session) Drop(name string) error { return s.cat.Drop(name) }
+// Drop removes a table from the session and, with a store attached,
+// deletes its snapshot and write-ahead log — a dropped table must not
+// resurrect on the next boot.
+func (s *Session) Drop(name string) error {
+	if err := s.cat.Drop(name); err != nil {
+		return err
+	}
+	if s.store != nil {
+		if err := s.store.Remove(name); err != nil {
+			return fmt.Errorf("pass: remove persisted files for %q: %w", name, err)
+		}
+	}
+	return nil
+}
 
 // TableInfo describes one registered table.
 type TableInfo struct {
@@ -179,6 +211,17 @@ func (s *Session) Insert(table string, pred []float64, agg float64) error {
 		return err
 	}
 	return tbl.Insert(pred, agg)
+}
+
+// InsertMany adds a batch of tuples to a named table under one write-lock
+// acquisition; with a store attached the whole batch is journaled as one
+// group commit (a single fsync). It returns how many tuples were applied.
+func (s *Session) InsertMany(table string, points [][]float64, values []float64) (int, error) {
+	tbl, err := s.cat.Lookup(table)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.InsertMany(points, values)
 }
 
 // Delete removes one tuple from a named table (Updatable engines only).
