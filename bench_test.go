@@ -6,15 +6,18 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/baselines"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine/factory"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -202,5 +205,64 @@ func BenchmarkGroundTruth1D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a, c := rng.Float64()*24, rng.Float64()*24
 		ev.Exact(dataset.Sum, dataset.Rect1(math.Min(a, c), math.Max(a, c)))
+	}
+}
+
+// shardCounts are the configurations the sharded benchmarks compare: a
+// single shard (the scatter-gather machinery with no parallelism to win)
+// against one shard per core.
+func shardCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	} else {
+		counts = append(counts, 4) // still exercise the multi-shard path
+	}
+	return counts
+}
+
+// BenchmarkShardedBuild measures sharded synopsis construction: N shards
+// build concurrently on the worker pool with the total budget divided
+// among them.
+func BenchmarkShardedBuild(b *testing.B) {
+	d := dataset.GenIntelWireless(100000, 1)
+	sp := factory.Spec{Partitions: 64, SampleRate: 0.005, Seed: 1}
+	for _, n := range shardCounts() {
+		spec := fmt.Sprintf("sharded:pass:%d", n)
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := factory.Build(spec, d, sp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedQueryBatch measures batched scatter-gather execution:
+// the workload fans shard-first across the pool and per-query partials
+// merge on the way back.
+func BenchmarkShardedQueryBatch(b *testing.B) {
+	d := dataset.GenIntelWireless(100000, 1)
+	sp := factory.Spec{Partitions: 64, SampleRate: 0.005, Seed: 1}
+	rng := stats.NewRNG(9)
+	qs := make([]core.BatchQuery, 256)
+	for i := range qs {
+		lo := rng.Float64() * 20
+		qs[i] = core.BatchQuery{Kind: dataset.Sum, Rect: dataset.Rect1(lo, lo+4)}
+	}
+	for _, n := range shardCounts() {
+		e, err := factory.Build(fmt.Sprintf("sharded:pass:%d", n), d, sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := e.QueryBatch(qs)
+				if len(out) != len(qs) {
+					b.Fatal("short batch")
+				}
+			}
+		})
 	}
 }

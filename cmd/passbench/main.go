@@ -53,6 +53,7 @@ func main() {
 		rows    = flag.Int("rows", 60000, "rows per dataset (paper: 1.4M-7.7M)")
 		queries = flag.Int("queries", 200, "queries per workload (paper: 2000)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		shards  = flag.Int("shards", 0, "shard count for the 'sharded' experiment (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut = flag.Bool("json", false, "emit results as JSON instead of plain-text tables")
 	)
@@ -70,7 +71,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Rows: *rows, Queries: *queries, Seed: *seed}
+	cfg := bench.Config{Rows: *rows, Queries: *queries, Seed: *seed, Shards: *shards}
 	var ids []string
 	if *exp == "all" {
 		ids = bench.ExperimentOrder

@@ -58,6 +58,7 @@ func main() {
 		partitions = flag.Int("partitions", 64, "default leaf partitions for loaded tables")
 		rate       = flag.Float64("rate", 0.005, "default sample rate for loaded tables")
 		seed       = flag.Uint64("seed", 1, "default build seed")
+		shards     = flag.Int("shards", 1, "default shard count for created tables (>1 = sharded scatter-gather engine)")
 		dataDir    = flag.String("data-dir", "", "durable storage directory: snapshots + write-ahead logs (empty = in-memory only)")
 		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "background checkpointer scan interval")
 		walMax     = flag.Int("wal-threshold", 4096, "journaled updates per table before a background checkpoint")
@@ -84,10 +85,10 @@ func main() {
 	}
 
 	srv := newServer(sess)
-	srv.buildDefaults = buildOptions{Partitions: *partitions, SampleRate: *rate, Seed: *seed}
+	srv.buildDefaults = buildOptions{Partitions: *partitions, SampleRate: *rate, Seed: *seed, Shards: *shards}
 
 	if *demo != "" {
-		if err := loadDemo(sess, *demo, *demoRows, *partitions, *rate, *seed); err != nil {
+		if err := loadDemo(sess, *demo, *demoRows, *partitions, *rate, *seed, *shards); err != nil {
 			fatal(err)
 		}
 	}
@@ -124,10 +125,10 @@ func main() {
 	}
 }
 
-// loadDemo builds and registers the -demo table. A demo whose synopsis
-// cannot be persisted (multi-dimensional) is served ephemerally rather
-// than aborting startup.
-func loadDemo(sess *pass.Session, name string, rows, partitions int, rate float64, seed uint64) error {
+// loadDemo builds and registers the -demo table, sharded when -shards > 1.
+// A demo whose synopsis cannot be persisted (multi-dimensional) is served
+// ephemerally rather than aborting startup.
+func loadDemo(sess *pass.Session, name string, rows, partitions int, rate float64, seed uint64, shards int) error {
 	if existing := sess.Tables(); len(existing) > 0 {
 		for _, t := range existing {
 			if t.Name == "demo" {
@@ -140,7 +141,24 @@ func loadDemo(sess *pass.Session, name string, rows, partitions int, rate float6
 	if err != nil {
 		return err
 	}
-	syn, err := pass.BuildAuto(tbl, pass.Options{Partitions: partitions, SampleRate: rate, Seed: seed})
+	opt := pass.Options{Partitions: partitions, SampleRate: rate, Seed: seed}
+	if shards > 1 {
+		eng, schema, err := pass.BuildShardedEngine(tbl, opt, shards)
+		if err != nil {
+			return err
+		}
+		err = sess.RegisterEngine("demo", eng, schema)
+		if errors.Is(err, engine.ErrNotSerializable) {
+			log.Printf("passd: demo table %q is not serializable; serving without persistence", name)
+			err = sess.RegisterEngineEphemeral("demo", eng, schema)
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("passd: loaded demo table %q (%d rows, %d shards)", name, tbl.Len(), shards)
+		return nil
+	}
+	syn, err := pass.BuildAuto(tbl, opt)
 	if err != nil {
 		return err
 	}

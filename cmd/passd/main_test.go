@@ -363,3 +363,93 @@ func TestInsertRowsValidation(t *testing.T) {
 		t.Errorf("empty insert: HTTP %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestShardedTableOverHTTP: creating a table with "shards" builds a
+// sharded scatter-gather engine, GET /tables surfaces the shard stats,
+// and a kill + warm start restores the router from the manifest with
+// answers intact.
+func TestShardedTableOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	const script = "SELECT COUNT(*) FROM sensors; SELECT SUM(light) FROM sensors; SELECT AVG(light) FROM sensors WHERE hour BETWEEN 6 AND 18"
+
+	ts, st := newPersistentServer(t, dir)
+	resp, body := postJSON(t, ts.URL+"/tables", map[string]any{
+		"name": "sensors", "csv": sensorCSV(3000), "partitions": 16, "shards": 4,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create sharded table: HTTP %d (%v)", resp.StatusCode, body)
+	}
+	if body["persisted"] != true {
+		t.Errorf("sharded table not persisted: %v", body)
+	}
+	if got, want := body["shards"], float64(4); got != want {
+		t.Errorf("create response shards = %v, want %v", got, want)
+	}
+	if body["shard_policy"] != "range" {
+		t.Errorf("shard_policy = %v, want range", body["shard_policy"])
+	}
+
+	// shard stats in the listing
+	lresp, err := http.Get(ts.URL + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Tables []pass.TableInfo `json:"tables"`
+	}
+	err = json.NewDecoder(lresp.Body).Decode(&listing)
+	lresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Tables) != 1 || listing.Tables[0].Shards != 4 || len(listing.Tables[0].ShardRows) != 4 {
+		t.Fatalf("listing = %+v, want one 4-shard table with per-shard rows", listing.Tables)
+	}
+	rowSum := 0
+	for _, r := range listing.Tables[0].ShardRows {
+		rowSum += r
+	}
+	if rowSum != 3000 {
+		t.Errorf("shard rows sum to %d, want 3000", rowSum)
+	}
+
+	// journaled insert, then crash without checkpoint
+	resp, body = postJSON(t, ts.URL+"/tables/sensors/rows", map[string]any{
+		"rows": []map[string]any{
+			{"point": []float64{3}, "value": 2.5},
+			{"point": []float64{21}, "value": 7.5},
+		},
+	})
+	if resp.StatusCode != http.StatusOK || body["inserted"] != float64(2) {
+		t.Fatalf("insert rows: HTTP %d (%v)", resp.StatusCode, body)
+	}
+	before := queryScalars(t, ts.URL, script)
+	ts.Close()
+	st.Close()
+
+	ts2, _ := newPersistentServer(t, dir)
+	after := queryScalars(t, ts2.URL, script)
+	for i := range before {
+		wantEst := before[i]["estimate"].(float64)
+		gotEst := after[i]["estimate"].(float64)
+		if math.Abs(gotEst-wantEst) > 1e-6*math.Max(1, math.Abs(wantEst)) {
+			t.Errorf("statement %d: estimate %v after restart, want %v", i, gotEst, wantEst)
+		}
+	}
+	if before[0]["estimate"].(float64) != 3002 {
+		t.Errorf("COUNT before crash = %v, want 3002", before[0]["estimate"])
+	}
+}
+
+// TestCreateTableReservedNameRejectedUpfront: on a durable server a name
+// colliding with per-shard file naming is a client error, caught before
+// the synopsis build.
+func TestCreateTableReservedNameRejectedUpfront(t *testing.T) {
+	ts, _ := newPersistentServer(t, t.TempDir())
+	resp, body := postJSON(t, ts.URL+"/tables", map[string]any{
+		"name": "logs.s0", "csv": sensorCSV(100),
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reserved name: HTTP %d (%v), want 400", resp.StatusCode, body)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/jsonout"
+	"repro/internal/store"
 	"repro/pass"
 )
 
@@ -28,6 +29,10 @@ type buildOptions struct {
 	SampleRate float64 `json:"sample_rate,omitempty"`
 	SampleSize int     `json:"sample_size,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
+	// Shards > 1 builds a sharded scatter-gather engine: the table is
+	// range-partitioned on its first predicate column, one synopsis per
+	// shard, with per-shard persistence and update routing.
+	Shards int `json:"shards,omitempty"`
 }
 
 func newServer(sess *pass.Session) *server {
@@ -133,6 +138,14 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf(`"name" and "csv" are required`))
 		return
 	}
+	// names colliding with per-shard file naming would fail persistence
+	// after the expensive build; reject the client mistake upfront
+	if s.sess.Persistent() {
+		if err := store.ValidateTableName(req.Name); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	tbl, err := pass.ReadCSV(strings.NewReader(req.CSV))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -144,12 +157,26 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		SampleSize: req.SampleSize,
 		Seed:       req.Seed,
 	}
+	persisted := s.sess.Persistent()
+	if req.Shards > 1 {
+		eng, schema, err := pass.BuildShardedEngine(tbl, opt, req.Shards)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		err = s.sess.RegisterEngine(req.Name, eng, schema)
+		if errors.Is(err, engine.ErrNotSerializable) {
+			persisted = false
+			err = s.sess.RegisterEngineEphemeral(req.Name, eng, schema)
+		}
+		s.respondCreated(w, req.Name, err, persisted)
+		return
+	}
 	syn, err := pass.BuildAuto(tbl, opt)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	persisted := s.sess.Persistent()
 	err = s.sess.Register(req.Name, syn)
 	if errors.Is(err, engine.ErrNotSerializable) {
 		// the synopsis cannot be snapshotted (e.g. multi-dimensional):
@@ -158,6 +185,13 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		persisted = false
 		err = s.sess.RegisterEphemeral(req.Name, syn)
 	}
+	s.respondCreated(w, req.Name, err, persisted)
+}
+
+// respondCreated maps a registration outcome to the create-table response:
+// name collisions are conflicts, persistence failures are server faults,
+// and success returns the registered table's info (shard stats included).
+func (s *server) respondCreated(w http.ResponseWriter, name string, err error, persisted bool) {
 	if err != nil {
 		// only a name collision is a conflict; persistence failures (disk
 		// full, I/O errors) are server-side faults, not client mistakes
@@ -169,12 +203,12 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, ti := range s.sess.Tables() {
-		if strings.EqualFold(ti.Name, req.Name) {
+		if strings.EqualFold(ti.Name, name) {
 			writeJSON(w, http.StatusCreated, createTableResponse{TableInfo: ti, Persisted: persisted})
 			return
 		}
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
 }
 
 // createTableResponse is a TableInfo plus the durability outcome.

@@ -10,6 +10,12 @@
 //	passgen -dataset nyctaxi -dims 5 -rows 100000 -out taxi5d.csv
 //	passgen -dataset adversarial -rows 1000000 -out adv.csv
 //	passgen -dataset intel -rows 100000 -snap data/intel.snap -table intel
+//	passgen -dataset intel -rows 100000 -shards 4 -snap data -table intel
+//
+// With -shards > 1 the synopsis is built sharded (range partitioning on
+// the first predicate column, one synopsis per shard built concurrently)
+// and -snap names the data DIRECTORY receiving the per-shard snapshots
+// plus the shard manifest.
 package main
 
 import (
@@ -32,10 +38,11 @@ func main() {
 		dims       = flag.Int("dims", 1, "predicate columns (nyctaxi only, 1-5)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		out        = flag.String("out", "", "output file (default stdout)")
-		snap       = flag.String("snap", "", "also build a PASS synopsis and write it as a store snapshot file")
+		snap       = flag.String("snap", "", "also build a PASS synopsis and write it as a store snapshot file (a data directory when -shards > 1)")
 		table      = flag.String("table", "", "table name recorded in the snapshot (default: the dataset name)")
 		partitions = flag.Int("partitions", 64, "leaf partitions for -snap")
 		rate       = flag.Float64("rate", 0.005, "sample rate for -snap")
+		shards     = flag.Int("shards", 1, "build a sharded synopsis with this many shards (-snap then writes per-shard snapshots + manifest into a directory)")
 	)
 	flag.Parse()
 
@@ -52,11 +59,17 @@ func main() {
 	}
 
 	if *snap != "" {
-		if err := writeSnapshot(d, *snap, *table, *name, *partitions, *rate, *seed); err != nil {
+		var err error
+		if *shards > 1 {
+			err = writeShardedSnapshot(d, *snap, *table, *name, *partitions, *rate, *seed, *shards)
+		} else {
+			err = writeSnapshot(d, *snap, *table, *name, *partitions, *rate, *seed)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "passgen: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote synopsis snapshot (%d rows) to %s\n", d.N(), *snap)
+		fmt.Fprintf(os.Stderr, "wrote synopsis snapshot (%d rows, %d shard(s)) to %s\n", d.N(), *shards, *snap)
 		if *out == "" {
 			return // -snap without -out: don't dump CSV to the terminal
 		}
@@ -109,6 +122,9 @@ func writeSnapshot(d *dataset.Dataset, path, table, datasetName string, partitio
 	if table == "" {
 		table = datasetName
 	}
+	if err := store.ValidateTableName(table); err != nil {
+		return err
+	}
 	schema := sqlfe.SchemaFromColNames(d.ColNames)
 	schema.Table = table
 	return store.WriteSnapshotFile(path, &store.Snapshot{
@@ -118,4 +134,29 @@ func writeSnapshot(d *dataset.Dataset, path, table, datasetName string, partitio
 		Schema:  schema,
 		Payload: payload.Bytes(),
 	})
+}
+
+// writeShardedSnapshot builds a sharded PASS engine and persists it as a
+// manifest plus per-shard snapshots into the data directory dir, ready
+// for a passd -data-dir warm start.
+func writeShardedSnapshot(d *dataset.Dataset, dir, table, datasetName string, partitions int, rate float64, seed uint64, shards int) error {
+	eng, err := factory.Build(fmt.Sprintf("sharded:pass:%d", shards), d, factory.Spec{
+		Partitions: partitions, SampleRate: rate, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	sh, ok := eng.(engine.Sharded)
+	if !ok {
+		return fmt.Errorf("engine %s is not sharded", eng.Name())
+	}
+	if table == "" {
+		table = datasetName
+	}
+	schema := sqlfe.SchemaFromColNames(d.ColNames)
+	schema.Table = table
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create data dir: %w", err)
+	}
+	return store.WriteShardedTableFiles(dir, table, sh, schema)
 }

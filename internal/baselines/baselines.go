@@ -91,6 +91,11 @@ func (u *Uniform) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, erro
 	n := float64(u.n)
 	kf := float64(k)
 	fpc := stats.FPC(u.n, k)
+	// matching-cardinality estimate and direct-evidence flag: the shard
+	// merge layer (internal/merge) weights AVG partials by MatchEst and
+	// composes MIN/MAX bounds only from MatchCertain shards
+	r.MatchEst = n * float64(kPred) / kf
+	r.MatchCertain = kPred > 0
 	switch kind {
 	case dataset.Sum, dataset.Count:
 		var phiMean, phiSq float64
@@ -240,6 +245,12 @@ func (s *Stratified) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, e
 		ni := float64(st.n)
 		kf := float64(k)
 		fpc := stats.FPC(st.n, k)
+		// per-stratum evidence feeds the shard merge layer's AVG weights
+		// and MIN/MAX bound composition (internal/merge)
+		r.MatchEst += ni * float64(kPred) / kf
+		if kPred > 0 {
+			r.MatchCertain = true
+		}
 		switch kind {
 		case dataset.Sum, dataset.Count:
 			var phiMean, phiSq float64

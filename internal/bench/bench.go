@@ -28,6 +28,9 @@ type Config struct {
 	Queries int
 	// Seed drives all randomness.
 	Seed uint64
+	// Shards is the shard count for the sharded scatter-gather experiment
+	// (0 = GOMAXPROCS).
+	Shards int
 }
 
 // Defaults fills zero fields.

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine/factory"
+	"repro/internal/workload"
+)
+
+// ShardedExp measures what sharded scatter-gather execution buys:
+// construction wall-clock (N shards build concurrently on the worker
+// pool) and batched-query throughput (the workload fans shard-first) for
+// 1 shard vs cfg.Shards shards over the same data and the same total
+// budget, with accuracy columns confirming the merged answers hold up.
+func ShardedExp(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	shards := cfg.Shards
+	if shards <= 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 2 {
+		shards = 2
+	}
+	const parts = 64
+	const rate = 0.005
+	d := dataset.GenIntelWireless(cfg.Rows, cfg.Seed)
+	ev := workload.NewEvaluator(d)
+	qs := workload.GenRandom(d, ev, workload.Options{
+		N: cfg.Queries, Kind: dataset.Sum, Seed: cfg.Seed + 77,
+	})
+	sp := factory.Spec{Partitions: parts, SampleRate: rate, Seed: cfg.Seed}
+
+	out := Table{
+		Title:  fmt.Sprintf("Sharded scatter-gather: 1 vs %d shards (%d rows, %d queries)", shards, d.N(), cfg.Queries),
+		Header: []string{"Engine", "Shards", "Build", "BatchWall", "QPS", "MedianRelErr", "MeanLatency"},
+	}
+	var builds, walls []time.Duration
+	for _, n := range []int{1, shards} {
+		spec := fmt.Sprintf("sharded:pass:%d", n)
+		start := time.Now()
+		e, err := factory.Build(spec, d, sp)
+		if err != nil {
+			out.AddRow(spec, fmt.Sprint(n), "build failed: "+err.Error(), "", "", "", "")
+			continue
+		}
+		build := time.Since(start)
+		start = time.Now()
+		m := RunWorkload(e, qs, d.N())
+		wall := time.Since(start)
+		builds, walls = append(builds, build), append(walls, wall)
+		qps := float64(m.Answered) / wall.Seconds()
+		out.AddRow(e.Name(), fmt.Sprint(n), ms(build), ms(wall),
+			fmt.Sprintf("%.0f", qps), pct(m.MedianRelErr), ms(m.MeanLatency))
+	}
+	if len(builds) == 2 && builds[1] > 0 && walls[1] > 0 {
+		out.Note = fmt.Sprintf("speedup vs 1 shard: build %.2fx, batch wall %.2fx (GOMAXPROCS=%d)",
+			float64(builds[0])/float64(builds[1]), float64(walls[0])/float64(walls[1]),
+			runtime.GOMAXPROCS(0))
+	}
+	return []Table{out}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -44,13 +45,15 @@ type Journal interface {
 }
 
 // Table is one registered table: an engine, its schema, and the lock that
-// orders queries and updates.
+// orders queries and updates. rows is atomic so the shared-lock update
+// path of internally synchronised engines (engine.ConcurrentUpdatable)
+// can maintain it without the exclusive lock.
 type Table struct {
 	name    string
 	mu      sync.RWMutex
 	eng     engine.Engine
 	schema  sqlfe.Schema
-	rows    int
+	rows    atomic.Int64
 	journal Journal
 }
 
@@ -82,9 +85,7 @@ func (t *Table) MemoryBytes() int {
 // Rows reports the base-table cardinality the engine was built over, or 0
 // when the engine does not expose it.
 func (t *Table) Rows() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
+	return int(t.rows.Load())
 }
 
 // Query answers one aggregate under the table's read lock.
@@ -123,12 +124,35 @@ func (t *Table) AttachJournal(j Journal) {
 	t.mu.Unlock()
 }
 
-// Insert adds one tuple under the table's write lock, when the engine is
-// updatable (engine.Updatable). With a journal attached the tuple is
-// logged first; a failed in-memory apply rolls the log entry back.
-func (t *Table) Insert(point []float64, value float64) error {
+// lockForUpdate acquires the lock an update needs and returns its
+// release. The default is the exclusive lock: updates serialise against
+// each other and against queries. Engines that synchronise updates
+// internally (engine.ConcurrentUpdatable — e.g. a sharded engine with
+// per-shard locks) run under the shared lock instead, so an update to one
+// shard proceeds concurrently with queries on others — but only while no
+// journal is attached: write-ahead logging requires a total order of
+// updates, which only the exclusive lock provides. The journal check and
+// the lock acquisition are atomic: AttachJournal needs the exclusive
+// lock, so a journal cannot appear while a shared-lock update is in
+// flight.
+func (t *Table) lockForUpdate() func() {
+	t.mu.RLock()
+	if t.journal == nil {
+		if _, ok := engine.Underlying(t.eng).(engine.ConcurrentUpdatable); ok {
+			return t.mu.RUnlock
+		}
+	}
+	t.mu.RUnlock()
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	return t.mu.Unlock
+}
+
+// Insert adds one tuple under the table's update lock (see
+// lockForUpdate), when the engine is updatable (engine.Updatable). With a
+// journal attached the tuple is logged first; a failed in-memory apply
+// rolls the log entry back.
+func (t *Table) Insert(point []float64, value float64) error {
+	defer t.lockForUpdate()()
 	u, ok := engine.Underlying(t.eng).(engine.Updatable)
 	if !ok {
 		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
@@ -145,11 +169,10 @@ func (t *Table) Insert(point []float64, value float64) error {
 	return nil
 }
 
-// Delete removes one tuple under the table's write lock, when the engine
+// Delete removes one tuple under the table's update lock, when the engine
 // is updatable. Journaling mirrors Insert.
 func (t *Table) Delete(point []float64, value float64) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	defer t.lockForUpdate()()
 	u, ok := engine.Underlying(t.eng).(engine.Updatable)
 	if !ok {
 		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
@@ -178,8 +201,7 @@ func (t *Table) InsertMany(points [][]float64, values []float64) (int, error) {
 	if len(points) == 0 {
 		return 0, nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	defer t.lockForUpdate()()
 	u, ok := engine.Underlying(t.eng).(engine.Updatable)
 	if !ok {
 		return 0, fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
@@ -224,16 +246,25 @@ func (t *Table) unjournal(applyErr error) error {
 	return applyErr
 }
 
-// resyncRows refreshes the cached cardinality after an update: engines
-// that track their own size are authoritative, others get the delta.
-// Callers hold the write lock.
+// resyncRows refreshes the cached cardinality after an update. Callers
+// hold the update lock (shared or exclusive). Engines on the shared-lock
+// path apply the atomic delta — re-reading Sized.N() there could store a
+// snapshot taken before a concurrent update's apply, losing its count;
+// the delta is exact for every applied update. Exclusive-lock engines
+// that track their own size are authoritative; others get the guarded
+// delta.
 func (t *Table) resyncRows(delta int) {
-	if sz, ok := engine.Underlying(t.eng).(engine.Sized); ok {
-		t.rows = sz.N()
+	under := engine.Underlying(t.eng)
+	if _, ok := under.(engine.ConcurrentUpdatable); ok {
+		t.rows.Add(int64(delta))
 		return
 	}
-	if t.rows+delta >= 0 {
-		t.rows += delta
+	if sz, ok := under.(engine.Sized); ok {
+		t.rows.Store(int64(sz.N()))
+		return
+	}
+	if int(t.rows.Load())+delta >= 0 {
+		t.rows.Add(int64(delta))
 	}
 }
 
@@ -267,7 +298,58 @@ func (t *Table) Checkpoint(flush func(engineName string, schema sqlfe.Schema, pa
 	if err := s.Save(&buf); err != nil {
 		return fmt.Errorf("catalog: serialize table %q: %w", t.name, err)
 	}
-	return flush(under.Name(), t.schema, buf.Bytes(), t.rows)
+	return flush(under.Name(), t.schema, buf.Bytes(), int(t.rows.Load()))
+}
+
+// CheckpointShards is the sharded counterpart of Checkpoint: under the
+// exclusive lock it serializes every shard of a sharded engine
+// (engine.Sharded whose inner engines are engine.Serializable) and hands
+// the store the payloads together with the routing topology for the
+// manifest. The exclusive lock excludes both journaled updates and the
+// shared-lock update path, so the per-shard payloads are a consistent cut
+// of the whole table.
+func (t *Table) CheckpointShards(flush func(info engine.ShardInfo, innerEngine string, schema sqlfe.Schema, payloads [][]byte, shardRows []int, rows int) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sh, ok := engine.Underlying(t.eng).(engine.Sharded)
+	if !ok {
+		return fmt.Errorf("catalog: table %q (engine %s) is not sharded", t.name, t.eng.Name())
+	}
+	info := sh.ShardInfo()
+	payloads := make([][]byte, info.Shards)
+	shardRows := make([]int, info.Shards)
+	innerName := ""
+	for i := 0; i < info.Shards; i++ {
+		in := engine.Underlying(sh.Shard(i))
+		ser, ok := in.(engine.Serializable)
+		if !ok {
+			return fmt.Errorf("catalog: table %q shard %d (engine %s): %w", t.name, i, in.Name(), engine.ErrNotSerializable)
+		}
+		var buf bytes.Buffer
+		if err := ser.Save(&buf); err != nil {
+			return fmt.Errorf("catalog: serialize shard %d of table %q: %w", i, t.name, err)
+		}
+		payloads[i] = buf.Bytes()
+		if sz, ok := in.(engine.Sized); ok {
+			shardRows[i] = sz.N()
+		}
+		innerName = in.Name()
+	}
+	return flush(info, innerName, t.schema, payloads, shardRows, int(t.rows.Load()))
+}
+
+// ShardStats reports a sharded table's partitioning and per-shard
+// cardinalities, or ok=false for unsharded tables.
+func (t *Table) ShardStats() (info engine.ShardInfo, shardRows []int, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sh, isSharded := engine.Underlying(t.eng).(engine.Sharded)
+	if !isSharded {
+		return engine.ShardInfo{}, nil, false
+	}
+	// ShardRows (not Shard(i).N()) — the accessor takes the per-shard
+	// locks, so stats never race with shared-lock updates in flight
+	return sh.ShardInfo(), sh.ShardRows(), true
 }
 
 // ErrExists tags a Register call that lost to an earlier registration of
@@ -297,7 +379,7 @@ func (c *Catalog) Register(name string, e engine.Engine, schema sqlfe.Schema) (*
 	}
 	t := &Table{name: name, eng: e, schema: schema}
 	if sz, ok := engine.Underlying(e).(engine.Sized); ok {
-		t.rows = sz.N()
+		t.rows.Store(int64(sz.N()))
 	}
 	key := strings.ToLower(name)
 	c.mu.Lock()
@@ -342,7 +424,10 @@ func (c *Catalog) Drop(name string) error {
 	return nil
 }
 
-// List returns the registered tables sorted by name.
+// List returns the registered tables in deterministic order: sorted
+// case-insensitively (names are case-insensitive everywhere else in the
+// catalog), so listings and unknown-table error messages are stable
+// across runs regardless of registration order or name casing.
 func (c *Catalog) List() []*Table {
 	c.mu.RLock()
 	out := make([]*Table, 0, len(c.tables))
@@ -350,6 +435,8 @@ func (c *Catalog) List() []*Table {
 		out = append(out, t)
 	}
 	c.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].name) < strings.ToLower(out[j].name)
+	})
 	return out
 }

@@ -26,6 +26,19 @@ type Result struct {
 	// NoMatch reports that the synopsis believes no tuple satisfies the
 	// predicate (AVG/MIN/MAX undefined).
 	NoMatch bool
+	// MatchEst is the estimated number of tuples satisfying the predicate
+	// (the n̂_q of Section 3.3): covered-partition cardinality plus the
+	// scaled matching-sample counts of partial leaves. Scatter-gather
+	// execution uses it as the weight when combining per-shard AVG
+	// partials.
+	MatchEst float64
+	// MatchCertain reports that at least one matching tuple was directly
+	// observed — a non-empty covered partition or a matching sample — so
+	// the estimate rests on actual evidence rather than a partial-leaf
+	// envelope. Scatter-gather merging needs the distinction to compose
+	// MIN/MAX hard bounds soundly: only a shard that certainly contains a
+	// match may tighten the global extremum's bound.
+	MatchCertain bool
 
 	// Diagnostics
 	// TuplesRead counts sample tuples scanned: the effective IO of the
@@ -265,11 +278,17 @@ func (s *Synopsis) sumCount(kind dataset.AggKind, q dataset.Rect, f ptree.Fronti
 	varTotal := 0.0
 	read := 0
 	hardLo, hardHi := agg, agg
+	matchEst := float64(cover.N)
+	certain := cover.N > 0
 	for _, p := range f.Partial {
 		sc := s.scanLeaf(p.Leaf, q)
 		read += sc.k
 		ni := float64(p.Agg.N)
 		if sc.k > 0 {
+			matchEst += ni * float64(sc.kPred) / float64(sc.k)
+			if sc.kPred > 0 {
+				certain = true
+			}
 			var phiMean, phiSq float64
 			if kind == dataset.Sum {
 				phiMean = ni * sc.sum / float64(sc.k)
@@ -294,6 +313,8 @@ func (s *Synopsis) sumCount(kind dataset.AggKind, q dataset.Rect, f ptree.Fronti
 	r.CIHalf = s.opts.Lambda * math.Sqrt(varTotal)
 	r.HardLo, r.HardHi, r.HardValid = hardLo, hardHi, true
 	r.Exact = len(f.Partial) == 0
+	r.MatchEst = matchEst
+	r.MatchCertain = certain
 	return r
 }
 
@@ -365,6 +386,10 @@ func (s *Synopsis) avg(q dataset.Rect, f ptree.Frontier) Result {
 	for _, st := range strata {
 		nq += st.nHat
 	}
+	// strata exist only on direct evidence (a covered partition or a
+	// matching sample), so a positive weight doubles as certainty
+	r.MatchEst = nq
+	r.MatchCertain = nq > 0
 	if nq == 0 {
 		r.NoMatch = true
 		return r
@@ -427,6 +452,7 @@ func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier
 	// could take
 	partialLo, partialHi := math.Inf(1), math.Inf(-1)
 	anyPartial := false
+	matchEst := float64(cover.N)
 	for _, p := range f.Partial {
 		sc := s.scanLeafMinMax(p.Leaf, q)
 		read += sc.k
@@ -434,6 +460,9 @@ func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier
 			anyPartial = true
 			partialLo = math.Min(partialLo, p.Agg.Min)
 			partialHi = math.Max(partialHi, p.Agg.Max)
+		}
+		if sc.k > 0 {
+			matchEst += float64(p.Agg.N) * float64(sc.kPred) / float64(sc.k)
 		}
 		if sc.kPred > 0 {
 			observed = true
@@ -445,6 +474,8 @@ func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier
 		}
 	}
 	r := s.diag(f, read)
+	r.MatchEst = matchEst
+	r.MatchCertain = observed
 	if !observed && !anyPartial {
 		r.NoMatch = true
 		return r

@@ -13,6 +13,7 @@ package engine_test
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -29,11 +30,19 @@ func confDataset(t testing.TB) *dataset.Dataset {
 	return dataset.GenIntelWireless(confRows, 7)
 }
 
-// buildAll constructs one engine of every kind over the same dataset.
+// shardedSpecs are the sharded scatter-gather configurations enrolled in
+// the conformance suite alongside the six base engines: the sharded
+// engine must honour the same contract regardless of its inner kind or
+// partitioning policy.
+var shardedSpecs = []string{"sharded:pass:4", "sharded:pass:3:hash", "sharded:us:2"}
+
+// buildAll constructs one engine of every kind over the same dataset —
+// the six base engines plus the sharded configurations.
 func buildAll(t testing.TB, d *dataset.Dataset) map[string]engine.Engine {
 	t.Helper()
-	out := make(map[string]engine.Engine, len(factory.Kinds()))
-	for _, kind := range factory.Kinds() {
+	kinds := append(append([]string{}, factory.Kinds()...), shardedSpecs...)
+	out := make(map[string]engine.Engine, len(kinds))
+	for _, kind := range kinds {
 		e, err := factory.Build(kind, d, factory.Spec{Partitions: 16, SampleRate: 0.02, Seed: 11})
 		if err != nil {
 			t.Fatalf("factory.Build(%s): %v", kind, err)
@@ -177,7 +186,11 @@ func TestConformanceConcurrentBatches(t *testing.T) {
 // capability interfaces: PASS is Updatable, Serializable, Grouper and
 // Sized; the sampling baselines US and ST are Serializable and Sized
 // (plain sample arrays persist trivially) but query-only otherwise; the
-// model-based comparators have no optional capability at all.
+// model-based comparators have no optional capability at all. Sharded
+// engines carry the update/grouping/sharding surfaces (erroring at call
+// time when an inner engine lacks the ability) but deliberately not the
+// single-stream Serializable — they persist per shard through the store's
+// manifest path.
 func TestCapabilitySplit(t *testing.T) {
 	d := confDataset(t)
 	engines := buildAll(t, d)
@@ -185,6 +198,15 @@ func TestCapabilitySplit(t *testing.T) {
 		_, upd := e.(engine.Updatable)
 		_, ser := e.(engine.Serializable)
 		_, grp := e.(engine.Grouper)
+		_, shr := e.(engine.Sharded)
+		_, cup := e.(engine.ConcurrentUpdatable)
+		if isSharded := strings.HasPrefix(kind, "sharded:"); isSharded {
+			if !upd || !grp || !shr || !cup || ser {
+				t.Errorf("%s: capabilities updatable=%v grouper=%v sharded=%v concurrent=%v serializable=%v, want t/t/t/t/f",
+					kind, upd, grp, shr, cup, ser)
+			}
+			continue
+		}
 		isPass := kind == "pass"
 		isSampling := isPass || kind == "us" || kind == "st"
 		if upd != isPass || grp != isPass {
@@ -192,6 +214,9 @@ func TestCapabilitySplit(t *testing.T) {
 		}
 		if ser != isSampling {
 			t.Errorf("%s: serializable=%v, want %v", kind, ser, isSampling)
+		}
+		if shr || cup {
+			t.Errorf("%s: unsharded engine claims sharded=%v concurrent=%v", kind, shr, cup)
 		}
 	}
 	// every serializable engine must have a registered loader, or a
@@ -203,6 +228,67 @@ func TestCapabilitySplit(t *testing.T) {
 		if _, ok := factory.Loader(e.Name()); !ok {
 			t.Errorf("%s: engine %q is Serializable but has no factory loader", kind, e.Name())
 		}
+	}
+}
+
+// TestConformanceGroupBy drives every Grouper engine through the GROUP BY
+// contract: each group's result must be consistent with a per-group Query
+// over the group-equality rectangle (how Section 4.5 defines grouping),
+// bad dimensions and empty group lists must error rather than panic, and
+// engines whose inner layers cannot group must say so with an error.
+func TestConformanceGroupBy(t *testing.T) {
+	d := confDataset(t)
+	q := dataset.Rect1(0, 30)
+	groups := []float64{3, 9, 21}
+	for kind, e := range buildAll(t, d) {
+		g, ok := engine.Underlying(e).(engine.Grouper)
+		if !ok {
+			continue
+		}
+		t.Run(kind, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("%s panicked in GroupBy: %v", kind, r)
+				}
+			}()
+			res, err := g.GroupBy(dataset.Sum, q, 0, groups)
+			mustGroup := kind == "pass" || strings.HasPrefix(kind, "sharded:pass")
+			if err != nil {
+				if mustGroup {
+					t.Fatalf("GroupBy failed on a grouping engine: %v", err)
+				}
+				return // inner engine cannot group; erroring is the contract
+			}
+			if len(res) != len(groups) {
+				t.Fatalf("%d group results for %d groups", len(res), len(groups))
+			}
+			for i, gr := range res {
+				if gr.Group != groups[i] {
+					t.Fatalf("group key %v at position %d, want %v", gr.Group, i, groups[i])
+				}
+				want, qerr := e.Query(dataset.Sum, dataset.Rect1(groups[i], groups[i]))
+				if qerr != nil {
+					t.Fatalf("per-group query: %v", qerr)
+				}
+				if gr.Result.NoMatch != want.NoMatch {
+					t.Errorf("group %v: NoMatch %v but per-group query says %v", gr.Group, gr.Result.NoMatch, want.NoMatch)
+					continue
+				}
+				if diff := gr.Result.Estimate - want.Estimate; diff > 1e-9 || diff < -1e-9 {
+					t.Errorf("group %v: estimate %v != per-group query %v", gr.Group, gr.Result.Estimate, want.Estimate)
+				}
+			}
+			// bad inputs error, never panic
+			if _, err := g.GroupBy(dataset.Sum, q, -1, groups); err == nil {
+				t.Error("negative group dimension should error")
+			}
+			if _, err := g.GroupBy(dataset.Sum, q, 99, groups); err == nil {
+				t.Error("out-of-range group dimension should error")
+			}
+			if _, err := g.GroupBy(dataset.Sum, q, 0, nil); err == nil {
+				t.Error("empty group list should error")
+			}
+		})
 	}
 }
 

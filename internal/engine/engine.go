@@ -77,10 +77,65 @@ type Serializable interface {
 // Save.
 type Loader func(r io.Reader) (Engine, error)
 
+// ConcurrentUpdatable is the capability of engines whose Insert/Delete are
+// internally synchronised against concurrent queries — a sharded engine
+// with per-shard locks, for example — so the serving layer may run updates
+// under a shared (read) table lock instead of the exclusive one, and an
+// update to one shard no longer blocks queries on the others. The catalog
+// still takes the exclusive lock when a write-ahead journal is attached:
+// journal ordering requires updates to serialise.
+type ConcurrentUpdatable interface {
+	Updatable
+	// ConcurrentUpdates is a marker asserting the internal
+	// synchronisation; it performs no work.
+	ConcurrentUpdates()
+}
+
 // Grouper is the optional GROUP BY capability: one aggregate per group
 // key over a shared predicate (PASS Section 4.5).
 type Grouper interface {
 	GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []float64) ([]core.GroupResult, error)
+}
+
+// ShardInfo describes how a sharded engine partitions its data: the
+// policy, the dimension it partitions on, the range cut points (range
+// policy only), the per-shard bounding rectangles used for scatter
+// pruning, and the shard count. It is everything a store manifest needs to
+// rebuild the router at warm start.
+type ShardInfo struct {
+	// Policy is the partitioning policy name: "range" or "hash".
+	Policy string
+	// Dim is the predicate column the partitioner operates on.
+	Dim int
+	// Cuts are the range policy's ascending cut points: shard i owns keys
+	// in [Cuts[i-1], Cuts[i]) with open ends at the extremes. Empty for
+	// hash partitioning.
+	Cuts []float64
+	// Bounds[i] is shard i's bounding rectangle over all predicate
+	// columns: a query rectangle disjoint from it cannot match any tuple
+	// of the shard, so the scatter skips it.
+	Bounds []dataset.Rect
+	// Shards is the shard count.
+	Shards int
+}
+
+// Sharded is the capability of engines that execute by scatter-gather over
+// data partitions: the serving and storage layers use it to surface
+// per-shard statistics, route updates, and persist each shard separately.
+type Sharded interface {
+	// ShardInfo describes the partitioning.
+	ShardInfo() ShardInfo
+	// Shard returns the inner engine serving shard i. Callers must not
+	// query or mutate it while the sharded engine serves concurrent
+	// traffic — it bypasses the per-shard locks; the serving layer uses
+	// it only under the table's exclusive lock (checkpoints).
+	Shard(i int) Engine
+	// ShardRows reports each shard's base cardinality (0 where unknown),
+	// internally synchronised against concurrent updates.
+	ShardRows() []int
+	// Route returns the shard that owns an update with the given
+	// predicate point.
+	Route(point []float64) (int, error)
 }
 
 // Sized is the optional row-count capability, used by the catalog for

@@ -13,7 +13,9 @@ package factory
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/aqpp"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/deepdb"
 	"repro/internal/engine"
+	"repro/internal/shard"
 	"repro/internal/verdictdb"
 )
 
@@ -133,13 +136,68 @@ func LoaderKinds() []string {
 }
 
 // Build constructs the named engine over d. Kind is case-insensitive; see
-// Kinds for the available names.
+// Kinds for the available names. The spec "sharded:<inner>[:<n>[:<policy>]]"
+// builds a sharded scatter-gather engine over n inner engines of the given
+// kind (n defaults to GOMAXPROCS, policy to "range"), e.g. "sharded:pass:4".
 func Build(kind string, d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+	if inner, ok := strings.CutPrefix(strings.ToLower(kind), "sharded:"); ok {
+		return buildSharded(inner, d, sp)
+	}
 	b, ok := builders[strings.ToLower(kind)]
 	if !ok {
-		return nil, fmt.Errorf("factory: unknown engine %q (have %s)", kind, strings.Join(Kinds(), ", "))
+		return nil, fmt.Errorf("factory: unknown engine %q (have %s, or sharded:<inner>:<n>)", kind, strings.Join(Kinds(), ", "))
 	}
 	return b(d, sp.defaults(d.N()))
+}
+
+// buildSharded parses "<inner>[:<n>[:<policy>]]" and constructs a sharded
+// engine: the dataset is split on predicate column 0, one inner engine is
+// built per shard concurrently on the worker pool, and the total
+// Partitions/SampleSize budget is divided across the shards in proportion
+// to their cardinality — a sharded table costs what its unsharded twin
+// costs.
+func buildSharded(spec string, d *dataset.Dataset, sp Spec) (engine.Engine, error) {
+	inner := spec
+	n := runtime.GOMAXPROCS(0)
+	policy := shard.Range
+	if name, rest, ok := strings.Cut(spec, ":"); ok {
+		inner = name
+		count, polName, _ := strings.Cut(rest, ":")
+		v, err := strconv.Atoi(count)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("factory: bad shard count %q in %q (want sharded:<inner>:<n>)", count, "sharded:"+spec)
+		}
+		n = v
+		if polName != "" {
+			if policy, err = shard.ParsePolicy(polName); err != nil {
+				return nil, fmt.Errorf("factory: %w (want sharded:<inner>:<n>:<range|hash>)", err)
+			}
+		}
+	}
+	b, ok := builders[inner]
+	if !ok {
+		return nil, fmt.Errorf("factory: unknown inner engine %q in %q (have %s)", inner, "sharded:"+spec, strings.Join(Kinds(), ", "))
+	}
+	sp = sp.defaults(d.N())
+	total := d.N()
+	return shard.Build(d, policy, 0, n, func(i int, sd *dataset.Dataset) (engine.Engine, error) {
+		per := sp
+		per.Partitions = scaleBudget(sp.Partitions, sd.N(), total)
+		per.SampleSize = scaleBudget(sp.SampleSize, sd.N(), total)
+		per.SampleRate = 0 // SampleSize is always resolved by defaults()
+		per.Seed = sp.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		return b(sd, per)
+	})
+}
+
+// scaleBudget apportions a whole-table budget to one shard by its share
+// of the rows, never below 1.
+func scaleBudget(budget, shardRows, totalRows int) int {
+	v := int(float64(budget) * float64(shardRows) / float64(totalRows))
+	if v < 1 {
+		v = 1
+	}
+	return v
 }
 
 // Kinds lists the available engine names, sorted.

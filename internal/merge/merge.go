@@ -1,0 +1,212 @@
+// Package merge combines per-shard partial aggregates into one answer —
+// the gather half of sharded scatter-gather execution (internal/shard).
+//
+// PASS's stratified estimators compose across disjoint data partitions
+// exactly the way they compose across strata inside one synopsis:
+// SUM/COUNT partials are additive (estimates, variances and deterministic
+// hard bounds all add), AVG partials combine by estimated-cardinality
+// weighting, and MIN/MAX take extrema — with the caveat that only a shard
+// that certainly contains a matching tuple (core.Result.MatchCertain) may
+// tighten the global extremum's hard bound, since an uncertain shard's
+// envelope is conditional on a match existing there at all.
+//
+// Confidence intervals compose deterministically because shard samples are
+// independent: Var(Σ X_i) = Σ Var(X_i), and every engine in a sharded
+// table shares one CI multiplier λ, so the λ factor distributes over the
+// root-sum-of-squares of the per-shard half-widths.
+package merge
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Results combines partial results for one query, one entry per shard
+// that was scattered to. Shards reporting NoMatch contribute only
+// diagnostics; if every shard reports NoMatch (or parts is empty) the
+// merged result is NoMatch. The merge is deterministic and independent of
+// shard order up to floating-point associativity.
+func Results(kind dataset.AggKind, parts []core.Result) core.Result {
+	var out core.Result
+	live := make([]core.Result, 0, len(parts))
+	for _, p := range parts {
+		// diagnostics aggregate over every scattered shard, matches or not
+		out.TuplesRead += p.TuplesRead
+		out.SkippedTuples += p.SkippedTuples
+		out.VisitedNodes += p.VisitedNodes
+		out.CoveredParts += p.CoveredParts
+		out.PartialParts += p.PartialParts
+		if p.NoMatch {
+			continue
+		}
+		live = append(live, p)
+		out.MatchEst += p.MatchEst
+		out.MatchCertain = out.MatchCertain || p.MatchCertain
+	}
+	if len(live) == 0 {
+		out.NoMatch = true
+		return out
+	}
+	switch kind {
+	case dataset.Sum, dataset.Count:
+		mergeAdditive(&out, live)
+	case dataset.Avg:
+		mergeWeighted(&out, live)
+	case dataset.Min:
+		mergeExtremum(&out, live, true)
+	case dataset.Max:
+		mergeExtremum(&out, live, false)
+	}
+	return out
+}
+
+// mergeAdditive combines SUM/COUNT partials: everything adds.
+func mergeAdditive(out *core.Result, live []core.Result) {
+	varSum := 0.0
+	out.Exact, out.HardValid = true, true
+	for _, p := range live {
+		out.Estimate += p.Estimate
+		varSum += p.CIHalf * p.CIHalf
+		out.HardLo += p.HardLo
+		out.HardHi += p.HardHi
+		out.Exact = out.Exact && p.Exact
+		out.HardValid = out.HardValid && p.HardValid
+	}
+	out.CIHalf = math.Sqrt(varSum)
+	if !out.HardValid {
+		out.HardLo, out.HardHi = 0, 0
+	}
+}
+
+// mergeWeighted combines AVG partials with weights proportional to each
+// shard's estimated matching cardinality n̂_q (Section 3.3 applied across
+// shards): the global average is Σ (n̂_i/N̂) avg_i, and treating the
+// weights as constants the variance is Σ (n̂_i/N̂)² Var_i.
+func mergeWeighted(out *core.Result, live []core.Result) {
+	total := 0.0
+	weight := func(p core.Result) float64 { return p.MatchEst }
+	for _, p := range live {
+		total += p.MatchEst
+	}
+	if total <= 0 {
+		// the inner engines report no cardinality evidence (MatchEst is
+		// populated by PASS and the sampling baselines, not by every
+		// comparator); a live AVG partial still means matches were seen,
+		// so degrade to equal weights rather than inventing a NoMatch
+		total = float64(len(live))
+		weight = func(core.Result) float64 { return 1 }
+	}
+	varSum := 0.0
+	out.Exact, out.HardValid = true, true
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range live {
+		w := weight(p) / total
+		out.Estimate += w * p.Estimate
+		varSum += w * w * p.CIHalf * p.CIHalf
+		out.Exact = out.Exact && p.Exact
+		out.HardValid = out.HardValid && p.HardValid
+		lo = math.Min(lo, p.HardLo)
+		hi = math.Max(hi, p.HardHi)
+	}
+	out.CIHalf = math.Sqrt(varSum)
+	if out.HardValid {
+		// the global average lies between the smallest and largest
+		// per-shard value bound
+		out.HardLo, out.HardHi = lo, hi
+	}
+}
+
+// mergeExtremum combines MIN (isMin) or MAX partials. Estimates come from
+// shards with observed matches; hard bounds compose so the certain side is
+// tightened only by certain shards:
+//
+//   - MIN: the global minimum is at most every certain shard's HardHi (a
+//     shard that surely holds a match surely holds a value ≤ its HardHi),
+//     and at least the smallest HardLo across all candidate shards.
+//   - MAX is symmetric.
+//
+// When no shard observed a match, the merge degrades to the envelope
+// midpoint, mirroring core's own unobserved-partial behaviour.
+func mergeExtremum(out *core.Result, live []core.Result, isMin bool) {
+	certEst, certBound := math.Inf(1), math.Inf(1)
+	envLo, envHi := math.Inf(1), math.Inf(-1)
+	if !isMin {
+		certEst, certBound = math.Inf(-1), math.Inf(-1)
+	}
+	anyCertain := false
+	out.Exact, out.HardValid = true, true
+	for _, p := range live {
+		out.Exact = out.Exact && p.Exact
+		out.HardValid = out.HardValid && p.HardValid
+		envLo = math.Min(envLo, p.HardLo)
+		envHi = math.Max(envHi, p.HardHi)
+		if !p.MatchCertain {
+			continue
+		}
+		anyCertain = true
+		if isMin {
+			certEst = math.Min(certEst, p.Estimate)
+			certBound = math.Min(certBound, p.HardHi)
+		} else {
+			certEst = math.Max(certEst, p.Estimate)
+			certBound = math.Max(certBound, p.HardLo)
+		}
+	}
+	if !anyCertain {
+		if out.HardValid {
+			// PASS semantics: every shard reported only an envelope, so
+			// the merged answer is the union envelope's midpoint
+			out.Estimate = (envLo + envHi) / 2
+			out.HardLo, out.HardHi = envLo, envHi
+			return
+		}
+		// no certainty AND no envelopes: the inner engines report neither
+		// (comparators outside internal/core); take the extremum of their
+		// point estimates
+		ext := math.Inf(1)
+		if !isMin {
+			ext = math.Inf(-1)
+		}
+		for _, p := range live {
+			if isMin {
+				ext = math.Min(ext, p.Estimate)
+			} else {
+				ext = math.Max(ext, p.Estimate)
+			}
+		}
+		out.Estimate = ext
+		return
+	}
+	out.Estimate = certEst
+	if !out.HardValid {
+		return
+	}
+	if isMin {
+		out.HardLo, out.HardHi = envLo, certBound
+	} else {
+		out.HardLo, out.HardHi = certBound, envHi
+	}
+}
+
+// Groups combines per-shard GROUP BY outputs: parts[i] is shard i's
+// GroupResult slice, all aligned on the same group-key list. Each group
+// key merges independently with the Results rules; a group NoMatch on one
+// shard simply contributes nothing there.
+func Groups(kind dataset.AggKind, parts [][]core.GroupResult) []core.GroupResult {
+	if len(parts) == 0 {
+		return nil
+	}
+	n := len(parts[0])
+	out := make([]core.GroupResult, n)
+	scratch := make([]core.Result, 0, len(parts))
+	for j := 0; j < n; j++ {
+		scratch = scratch[:0]
+		for _, shard := range parts {
+			scratch = append(scratch, shard[j].Result)
+		}
+		out[j] = core.GroupResult{Group: parts[0][j].Group, Result: Results(kind, scratch)}
+	}
+	return out
+}

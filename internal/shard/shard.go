@@ -1,0 +1,444 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/merge"
+	"repro/internal/parallel"
+)
+
+// Engine is a sharded engine.Engine: N inner engines, one per data shard,
+// queried by scatter-gather. Queries prune shards whose bounding
+// rectangle is disjoint from the predicate, fan the remainder across the
+// worker pool, and combine the partial results with internal/merge;
+// updates route to the single owning shard under that shard's write lock,
+// so they serialise only against queries touching the same shard.
+//
+// Engine implements the Updatable, ConcurrentUpdatable, Grouper, Sized
+// and Sharded capabilities (update capabilities surface errors at call
+// time when the inner engines lack them). It deliberately does not
+// implement the single-stream Serializable: a sharded table persists as
+// one snapshot+WAL pair per shard plus a manifest (internal/store).
+type Engine struct {
+	inner []engine.Engine
+	// locks[i] orders shard i's updates against queries scattered to it.
+	locks []sync.RWMutex
+	// boundsMu guards info.Bounds: inserts routed outside a shard's
+	// current bounding rectangle expand it (otherwise the scatter would
+	// wrongly prune the shard for the inserted key), while every query
+	// reads the bounds to prune.
+	boundsMu sync.RWMutex
+	info     engine.ShardInfo
+	name     string
+	// scattered[i] counts queries executed on shard i — the executor's
+	// instrumentation: tests assert pruned shards stay at zero, and the
+	// serving layer surfaces the counters as shard stats.
+	scattered []atomic.Int64
+	pruned    atomic.Int64
+}
+
+// BuildFunc constructs the inner engine of one shard.
+type BuildFunc func(shard int, d *dataset.Dataset) (engine.Engine, error)
+
+// Build splits d with the given policy and constructs one inner engine
+// per shard, concurrently on the worker pool.
+func Build(d *dataset.Dataset, policy Policy, dim, n int, build BuildFunc) (*Engine, error) {
+	parts, info, err := Split(d, policy, dim, n)
+	if err != nil {
+		return nil, err
+	}
+	inners := make([]engine.Engine, len(parts))
+	errs := make([]error, len(parts))
+	parallel.For(len(parts), func(i int) {
+		inners[i], errs[i] = build(i, parts[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: build shard %d/%d: %w", i, len(parts), err)
+		}
+	}
+	return New(inners, info)
+}
+
+// New assembles a sharded engine from prebuilt inner engines and routing
+// metadata — the warm-start path, where each inner engine was restored
+// from its own snapshot and the info comes from the shard manifest.
+func New(inners []engine.Engine, info engine.ShardInfo) (*Engine, error) {
+	if len(inners) == 0 {
+		return nil, fmt.Errorf("shard: no inner engines")
+	}
+	if info.Shards != len(inners) {
+		return nil, fmt.Errorf("shard: %d inner engines but ShardInfo.Shards = %d", len(inners), info.Shards)
+	}
+	if info.Dim < 0 {
+		return nil, fmt.Errorf("shard: negative partition dimension %d", info.Dim)
+	}
+	if len(info.Bounds) != len(inners) {
+		return nil, fmt.Errorf("shard: %d inner engines but %d bounding rectangles", len(inners), len(info.Bounds))
+	}
+	if p, err := ParsePolicy(info.Policy); err != nil {
+		return nil, err
+	} else if p == Range && len(info.Cuts) != len(inners)-1 {
+		return nil, fmt.Errorf("shard: %d inner engines need %d range cuts, have %d", len(inners), len(inners)-1, len(info.Cuts))
+	}
+	for i := 1; i < len(info.Cuts); i++ {
+		if info.Cuts[i] <= info.Cuts[i-1] {
+			return nil, fmt.Errorf("shard: range cuts must be strictly ascending")
+		}
+	}
+	return &Engine{
+		inner:     inners,
+		locks:     make([]sync.RWMutex, len(inners)),
+		info:      info,
+		name:      fmt.Sprintf("SHARDED[%s x%d]", inners[0].Name(), len(inners)),
+		scattered: make([]atomic.Int64, len(inners)),
+	}, nil
+}
+
+// Name identifies the engine in catalog listings, e.g. "SHARDED[PASS x4]".
+func (e *Engine) Name() string { return e.name }
+
+// ShardInfo describes the partitioning (engine.Sharded). The bounding
+// rectangles are deep-copied: they may grow as inserts land outside them.
+func (e *Engine) ShardInfo() engine.ShardInfo {
+	e.boundsMu.RLock()
+	defer e.boundsMu.RUnlock()
+	info := e.info
+	info.Bounds = make([]dataset.Rect, len(e.info.Bounds))
+	for i, b := range e.info.Bounds {
+		info.Bounds[i] = dataset.Rect{
+			Lo: append([]float64(nil), b.Lo...),
+			Hi: append([]float64(nil), b.Hi...),
+		}
+	}
+	return info
+}
+
+// Shard returns the inner engine serving shard i (engine.Sharded).
+func (e *Engine) Shard(i int) engine.Engine { return e.inner[i] }
+
+// Route returns the shard owning an update with the given predicate point
+// (engine.Sharded).
+func (e *Engine) Route(point []float64) (int, error) {
+	if e.info.Dim >= len(point) {
+		return 0, fmt.Errorf("shard: update point has %d coordinates but the table is partitioned on column %d", len(point), e.info.Dim)
+	}
+	v := point[e.info.Dim]
+	if e.info.Policy == "hash" {
+		return hashKey(v, len(e.inner)), nil
+	}
+	return routeRange(e.info.Cuts, v), nil
+}
+
+// ScatterCounts reports how many queries each shard has executed since
+// construction — the executor instrumentation behind shard stats and the
+// pruning tests.
+func (e *Engine) ScatterCounts() []int64 {
+	out := make([]int64, len(e.scattered))
+	for i := range e.scattered {
+		out[i] = e.scattered[i].Load()
+	}
+	return out
+}
+
+// PrunedCount reports how many (query, shard) pairs the executor skipped
+// because the shard's key range was disjoint from the predicate.
+func (e *Engine) PrunedCount() int64 { return e.pruned.Load() }
+
+// ShardRows reports each shard's base cardinality (0 where the inner
+// engine does not expose it).
+func (e *Engine) ShardRows() []int {
+	out := make([]int, len(e.inner))
+	for i, in := range e.inner {
+		e.locks[i].RLock()
+		if sz, ok := engine.Underlying(in).(engine.Sized); ok {
+			out[i] = sz.N()
+		}
+		e.locks[i].RUnlock()
+	}
+	return out
+}
+
+// N sums the shard cardinalities (engine.Sized).
+func (e *Engine) N() int {
+	total := 0
+	for _, r := range e.ShardRows() {
+		total += r
+	}
+	return total
+}
+
+// MemoryBytes sums the shard synopsis footprints.
+func (e *Engine) MemoryBytes() int {
+	total := 0
+	for i, in := range e.inner {
+		e.locks[i].RLock()
+		total += in.MemoryBytes()
+		e.locks[i].RUnlock()
+	}
+	return total
+}
+
+// relevant lists the shards whose bounding rectangle intersects q —
+// comparing only the dimensions both constrain — and counts the rest as
+// pruned. An unconstrained dimension never disqualifies a shard.
+func (e *Engine) relevant(q dataset.Rect) []int {
+	out := make([]int, 0, len(e.inner))
+	e.boundsMu.RLock()
+	defer e.boundsMu.RUnlock()
+	for i, b := range e.info.Bounds {
+		if disjoint(q, b) {
+			e.pruned.Add(1)
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// disjoint reports whether q excludes every point of bounds.
+func disjoint(q, bounds dataset.Rect) bool {
+	n := q.Dims()
+	if bn := bounds.Dims(); bn < n {
+		n = bn
+	}
+	for c := 0; c < n; c++ {
+		if q.Hi[c] < bounds.Lo[c] || q.Lo[c] > bounds.Hi[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// emptyResult answers a query that scattered to zero shards: the
+// predicate provably excludes the whole table (all n rows skipped).
+// SUM/COUNT of an empty selection are exactly zero; AVG/MIN/MAX are
+// undefined (NoMatch). Callers supply n so a batch of pruned queries
+// computes the table cardinality once, not once per query.
+func emptyResult(kind dataset.AggKind, q dataset.Rect, n int) (core.Result, error) {
+	if q.Dims() == 0 {
+		return core.Result{}, fmt.Errorf("shard: query rectangle has no dimensions")
+	}
+	switch kind {
+	case dataset.Sum, dataset.Count:
+		return core.Result{Exact: true, HardValid: true, SkippedTuples: n}, nil
+	case dataset.Avg, dataset.Min, dataset.Max:
+		return core.Result{NoMatch: true, SkippedTuples: n}, nil
+	}
+	return core.Result{}, fmt.Errorf("shard: unsupported aggregate %v", kind)
+}
+
+// queryShard executes one query on one shard under that shard's read lock.
+func (e *Engine) queryShard(i int, kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	e.scattered[i].Add(1)
+	e.locks[i].RLock()
+	defer e.locks[i].RUnlock()
+	return e.inner[i].Query(kind, q)
+}
+
+// Query answers one aggregate by scatter-gather: prune, fan the relevant
+// shards across the worker pool, merge the partials.
+func (e *Engine) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	rel := e.relevant(q)
+	if len(rel) == 0 {
+		return emptyResult(kind, q, e.N())
+	}
+	parts := make([]core.Result, len(rel))
+	errs := make([]error, len(rel))
+	if len(rel) == 1 {
+		parts[0], errs[0] = e.queryShard(rel[0], kind, q)
+	} else {
+		parallel.For(len(rel), func(j int) {
+			parts[j], errs[j] = e.queryShard(rel[j], kind, q)
+		})
+	}
+	for _, err := range errs {
+		if err != nil {
+			return core.Result{}, err
+		}
+	}
+	return merge.Results(kind, parts), nil
+}
+
+// QueryBatch answers a workload shard-first: each relevant shard executes
+// its whole sub-batch in one pass (cache locality — the shard's synopsis
+// stays hot while it answers every query routed to it), shards run
+// concurrently on the worker pool, and per-query partials are merged in
+// input order. Per-query Elapsed is the slowest shard's execution time,
+// the critical path of the scatter.
+func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	out := make([]core.BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	// route first: which shards does each query touch?
+	subs := make([][]int, len(e.inner)) // shard → query indices
+	touched := make([][]int, len(qs))   // query → shards, in shard order
+	for qi := range qs {
+		rel := e.relevant(qs[qi].Rect)
+		touched[qi] = rel
+		for _, si := range rel {
+			subs[si] = append(subs[si], qi)
+		}
+	}
+	// scatter: every shard with work runs its sub-batch concurrently
+	partial := make([][]core.BatchResult, len(e.inner))
+	active := make([]int, 0, len(e.inner))
+	for si, sub := range subs {
+		if len(sub) > 0 {
+			active = append(active, si)
+		}
+	}
+	parallel.For(len(active), func(k int) {
+		si := active[k]
+		sub := make([]core.BatchQuery, len(subs[si]))
+		for j, qi := range subs[si] {
+			sub[j] = qs[qi]
+		}
+		e.scattered[si].Add(int64(len(sub)))
+		e.locks[si].RLock()
+		partial[si] = e.inner[si].QueryBatch(sub)
+		e.locks[si].RUnlock()
+	})
+	// gather: merge each query's partials in input order
+	cursor := make([]int, len(e.inner))
+	scratch := make([]core.Result, 0, len(e.inner))
+	totalRows := -1 // computed once, only if some query was fully pruned
+	for qi := range qs {
+		rel := touched[qi]
+		if len(rel) == 0 {
+			if totalRows < 0 {
+				totalRows = e.N()
+			}
+			out[qi].Result, out[qi].Err = emptyResult(qs[qi].Kind, qs[qi].Rect, totalRows)
+			continue
+		}
+		scratch = scratch[:0]
+		var elapsed time.Duration
+		for _, si := range rel {
+			br := partial[si][cursor[si]]
+			cursor[si]++
+			if br.Err != nil && out[qi].Err == nil {
+				out[qi].Err = br.Err
+			}
+			if br.Elapsed > elapsed {
+				elapsed = br.Elapsed
+			}
+			scratch = append(scratch, br.Result)
+		}
+		out[qi].Elapsed = elapsed
+		if out[qi].Err == nil {
+			out[qi].Result = merge.Results(qs[qi].Kind, scratch)
+		}
+	}
+	return out
+}
+
+// GroupBy scatters a grouped aggregate to the shards relevant to the base
+// predicate and merges each group's partials (engine.Grouper). Every
+// inner engine must support grouping.
+func (e *Engine) GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []float64) ([]core.GroupResult, error) {
+	rel := e.relevant(q)
+	if len(rel) == 0 {
+		if len(groups) == 0 {
+			return nil, fmt.Errorf("shard: GroupBy requires a non-empty group list")
+		}
+		out := make([]core.GroupResult, len(groups))
+		for i, g := range groups {
+			out[i] = core.GroupResult{Group: g, Result: core.Result{NoMatch: true}}
+		}
+		return out, nil
+	}
+	parts := make([][]core.GroupResult, len(rel))
+	errs := make([]error, len(rel))
+	parallel.For(len(rel), func(j int) {
+		si := rel[j]
+		g, ok := engine.Underlying(e.inner[si]).(engine.Grouper)
+		if !ok {
+			errs[j] = fmt.Errorf("shard: inner engine %s of shard %d does not support GROUP BY", e.inner[si].Name(), si)
+			return
+		}
+		e.scattered[si].Add(1)
+		e.locks[si].RLock()
+		parts[j], errs[j] = g.GroupBy(kind, q, dim, groups)
+		e.locks[si].RUnlock()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return merge.Groups(kind, parts), nil
+}
+
+// Insert routes one tuple to its owning shard and applies it under that
+// shard's write lock (engine.Updatable): queries and updates on other
+// shards proceed concurrently.
+func (e *Engine) Insert(point []float64, value float64) error {
+	return e.update(point, func(u engine.Updatable) error { return u.Insert(point, value) })
+}
+
+// Delete routes one tuple removal to its owning shard (engine.Updatable).
+func (e *Engine) Delete(point []float64, value float64) error {
+	return e.update(point, func(u engine.Updatable) error { return u.Delete(point, value) })
+}
+
+func (e *Engine) update(point []float64, apply func(engine.Updatable) error) error {
+	i, err := e.Route(point)
+	if err != nil {
+		return err
+	}
+	u, ok := engine.Underlying(e.inner[i]).(engine.Updatable)
+	if !ok {
+		return fmt.Errorf("shard: inner engine %s of shard %d does not support updates", e.inner[i].Name(), i)
+	}
+	e.locks[i].Lock()
+	defer e.locks[i].Unlock()
+	if err := apply(u); err != nil {
+		return err
+	}
+	e.growBounds(i, point)
+	return nil
+}
+
+// growBounds widens shard i's bounding rectangle to include an inserted
+// point, so the scatter never prunes the shard for keys it now owns.
+// Deletes leave the bounds conservative (possibly wider than the data).
+func (e *Engine) growBounds(i int, point []float64) {
+	e.boundsMu.RLock()
+	b := e.info.Bounds[i]
+	inside := true
+	for c := 0; c < b.Dims() && c < len(point); c++ {
+		if point[c] < b.Lo[c] || point[c] > b.Hi[c] {
+			inside = false
+			break
+		}
+	}
+	e.boundsMu.RUnlock()
+	if inside {
+		return
+	}
+	e.boundsMu.Lock()
+	b = e.info.Bounds[i]
+	for c := 0; c < b.Dims() && c < len(point); c++ {
+		if point[c] < b.Lo[c] {
+			b.Lo[c] = point[c]
+		}
+		if point[c] > b.Hi[c] {
+			b.Hi[c] = point[c]
+		}
+	}
+	e.boundsMu.Unlock()
+}
+
+// ConcurrentUpdates marks the engine as internally synchronised
+// (engine.ConcurrentUpdatable): the per-shard locks order each update
+// against the queries scattered to its shard, so the serving layer may
+// admit updates under a shared table lock.
+func (e *Engine) ConcurrentUpdates() {}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func splitData(n int) *dataset.Dataset {
+	d := dataset.New("t", 1)
+	for i := 0; i < n; i++ {
+		d.Append([]float64{float64(i % 97)}, float64(i))
+	}
+	return d
+}
+
+func TestSplitRangeCutsRouteEveryTupleHome(t *testing.T) {
+	d := splitData(1000)
+	parts, info, err := Split(d, Range, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Policy != "range" || info.Shards != len(parts) {
+		t.Fatalf("info = %+v for %d parts", info, len(parts))
+	}
+	if len(info.Cuts) != len(parts)-1 {
+		t.Fatalf("%d parts with %d cuts", len(parts), len(info.Cuts))
+	}
+	total := 0
+	for i, p := range parts {
+		total += p.N()
+		for j := 0; j < p.N(); j++ {
+			v := p.Pred[0][j]
+			if got := routeRange(info.Cuts, v); got != i {
+				t.Fatalf("tuple with key %v lives in shard %d but routes to %d", v, i, got)
+			}
+			if v < info.Bounds[i].Lo[0] || v > info.Bounds[i].Hi[0] {
+				t.Fatalf("key %v outside shard %d bounds %v", v, i, info.Bounds[i])
+			}
+		}
+	}
+	if total != d.N() {
+		t.Errorf("shards hold %d tuples, want %d", total, d.N())
+	}
+	for i := 1; i < len(info.Cuts); i++ {
+		if info.Cuts[i] <= info.Cuts[i-1] {
+			t.Errorf("cuts not strictly ascending: %v", info.Cuts)
+		}
+	}
+}
+
+func TestSplitRangeNeverSeparatesEqualKeys(t *testing.T) {
+	d := dataset.New("dup", 1)
+	for i := 0; i < 400; i++ {
+		d.Append([]float64{float64(i / 100)}, 1) // only 4 distinct keys
+	}
+	parts, info, err := Split(d, Range, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) > 4 {
+		t.Fatalf("4 distinct keys split into %d shards", len(parts))
+	}
+	seen := map[float64]int{}
+	for i, p := range parts {
+		for j := 0; j < p.N(); j++ {
+			k := p.Pred[0][j]
+			if prev, ok := seen[k]; ok && prev != i {
+				t.Fatalf("key %v split across shards %d and %d", k, prev, i)
+			}
+			seen[k] = i
+		}
+	}
+	if info.Shards != len(parts) {
+		t.Errorf("info.Shards = %d, want %d", info.Shards, len(parts))
+	}
+}
+
+func TestSplitHashBalancedAndConsistent(t *testing.T) {
+	d := splitData(3000)
+	parts, info, err := Split(d, Hash, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Policy != "hash" || len(info.Cuts) != 0 {
+		t.Fatalf("hash info = %+v", info)
+	}
+	for i, p := range parts {
+		if p.N() == 0 {
+			t.Fatalf("hash shard %d empty", i)
+		}
+		for j := 0; j < p.N(); j++ {
+			if got := hashKey(p.Pred[0][j], len(parts)); got != i {
+				t.Fatalf("key %v in shard %d hashes to %d", p.Pred[0][j], i, got)
+			}
+		}
+	}
+}
+
+func TestHashKeyNormalisesNegativeZero(t *testing.T) {
+	neg := math.Copysign(0, -1)
+	if hashKey(neg, 7) != hashKey(0, 7) {
+		t.Error("-0.0 and +0.0 must route to the same shard")
+	}
+}
+
+func TestSplitRejectsBadInput(t *testing.T) {
+	if _, _, err := Split(dataset.New("e", 1), Range, 0, 2); err == nil {
+		t.Error("empty dataset must fail")
+	}
+	d := splitData(10)
+	if _, _, err := Split(d, Range, 3, 2); err == nil {
+		t.Error("out-of-range dimension must fail")
+	}
+	if _, _, err := Split(d, Range, 0, 0); err == nil {
+		t.Error("zero shards must fail")
+	}
+	if _, _, err := Split(d, Policy(99), 0, 2); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}
+
+func TestParsePolicyRoundTrips(t *testing.T) {
+	for _, p := range []Policy{Range, Hash} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("mod"); err == nil {
+		t.Error("unknown policy name must fail")
+	}
+}

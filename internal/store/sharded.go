@@ -1,0 +1,413 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/engine/factory"
+	"repro/internal/shard"
+	"repro/internal/sqlfe"
+)
+
+// Sharded tables persist as a manifest plus one snapshot+WAL pair per
+// shard. The checkpoint protocol per shard is the unsharded one — stamp
+// the snapshot with the shard WAL's generation + 1, publish it
+// atomically, then truncate the log. A checkpoint first rewrites the
+// manifest (new generations, current routing bounds), then publishes the
+// shard snapshots, then truncates the logs. Ordering the manifest FIRST
+// matters for the routing bounds: an insert outside a shard's bounding
+// rectangle grows the bounds in memory, and the grown bounds must be on
+// disk before any snapshot folds that insert in — otherwise a crash
+// between snapshot and manifest would restore stale-narrow bounds while
+// discarding the WAL record that grew them, and the warm-started router
+// would prune the shard that owns the key. Manifest bounds are
+// conservative (only ever widen), and the manifest's generation list is
+// informational, so a crash at any point leaves every shard either
+// cleanly paired or in the detectable snapshot-ahead state the loader
+// resolves by discarding folded records.
+
+// ShardCheckpointable is the view of a live sharded catalog table the
+// store snapshots: per-shard engine payloads captured consistently under
+// the table's exclusive lock, plus the routing topology for the manifest.
+// It is satisfied structurally by *catalog.Table.
+type ShardCheckpointable interface {
+	Name() string
+	CheckpointShards(flush func(info engine.ShardInfo, innerEngine string, schema sqlfe.Schema, payloads [][]byte, shardRows []int, rows int) error) error
+}
+
+// ShardRouter maps an update's predicate point to its owning shard — the
+// journaling side of scatter-gather: each shard's WAL records exactly the
+// updates its snapshot will fold in. Satisfied by *shard.Engine.
+type ShardRouter interface {
+	Route(point []float64) (int, error)
+}
+
+func (s *Store) manifestPath(name string) string {
+	return filepath.Join(s.dir, fileKey(name)+".manifest")
+}
+
+func (s *Store) shardSnapPath(name string, i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.s%d.snap", fileKey(name), i))
+}
+
+func (s *Store) shardWALPath(name string, i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.s%d.wal", fileKey(name), i))
+}
+
+// shardedState creates (or returns) the per-table bookkeeping of a
+// sharded table, opening one WAL per shard on first use.
+func (s *Store) shardedState(name string, shards int) (*tableState, error) {
+	if err := ValidateTableName(name); err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	if ts, ok := s.tables[key]; ok {
+		if len(ts.shardWALs) != shards {
+			return nil, fmt.Errorf("store: table %q has %d shard logs open, want %d", name, len(ts.shardWALs), shards)
+		}
+		return ts, nil
+	}
+	ts := &tableState{name: name, shardWALs: make([]*WAL, 0, shards)}
+	for i := 0; i < shards; i++ {
+		wal, recs, err := OpenWAL(s.shardWALPath(name, i), !s.opts.NoSync)
+		if err != nil {
+			ts.closeWALs()
+			return nil, err
+		}
+		if len(recs) > 0 {
+			// a pre-existing log for a table being created anew is stale
+			if err := wal.Truncate(wal.Gen()); err != nil {
+				wal.Close()
+				ts.closeWALs()
+				return nil, err
+			}
+		}
+		ts.shardWALs = append(ts.shardWALs, wal)
+	}
+	s.tables[key] = ts
+	return ts, nil
+}
+
+// AttachSharded connects a live sharded table to its per-shard journals:
+// the returned log implements the catalog's Journal interface, routing
+// every update to the WAL of its owning shard. The store also remembers
+// the table as a checkpoint source.
+func (s *Store) AttachSharded(t ShardCheckpointable, router ShardRouter, shards int) (*ShardedTableLog, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("store: table %q: shard count must be positive", t.Name())
+	}
+	ts, err := s.shardedState(t.Name(), shards)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ts.shardSrc = t
+	s.mu.Unlock()
+	return &ShardedTableLog{ts: ts, router: router}, nil
+}
+
+// SaveSharded checkpoints a sharded table now: per-shard snapshots, the
+// refreshed manifest, then the per-shard log truncations.
+func (s *Store) SaveSharded(t ShardCheckpointable) error {
+	s.mu.Lock()
+	ts := s.tables[strings.ToLower(t.Name())]
+	s.mu.Unlock()
+	if ts == nil {
+		return fmt.Errorf("store: table %q has no shard logs attached (AttachSharded first)", t.Name())
+	}
+	return s.saveShardedState(ts, t)
+}
+
+// saveShardedState checkpoints through an existing tableState, excluding
+// Remove via opMu like the unsharded path.
+func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
+	ts.opMu.Lock()
+	defer ts.opMu.Unlock()
+	if ts.removed {
+		return nil
+	}
+	return t.CheckpointShards(func(info engine.ShardInfo, innerEngine string, schema sqlfe.Schema, payloads [][]byte, shardRows []int, rows int) error {
+		if len(payloads) != len(ts.shardWALs) {
+			return fmt.Errorf("store: table %q: %d shard payloads for %d shard logs", ts.name, len(payloads), len(ts.shardWALs))
+		}
+		gens := make([]uint64, len(payloads))
+		for i := range payloads {
+			gens[i] = ts.shardWALs[i].Gen() + 1
+		}
+		// manifest first: the current (possibly insert-grown) routing
+		// bounds must be durable before any snapshot folds those inserts
+		m := &ShardManifest{
+			Name:   ts.name,
+			Engine: innerEngine,
+			Policy: info.Policy,
+			Dim:    info.Dim,
+			Cuts:   info.Cuts,
+			Bounds: info.Bounds,
+			Shards: info.Shards,
+			Rows:   rows,
+			Gens:   gens,
+		}
+		if err := WriteManifestFile(s.manifestPath(ts.name), m); err != nil {
+			return err
+		}
+		for i, payload := range payloads {
+			snap := &Snapshot{
+				Name:    ts.name,
+				Engine:  innerEngine,
+				Gen:     gens[i],
+				Rows:    shardRows[i],
+				Schema:  schema,
+				Payload: payload,
+			}
+			if err := WriteSnapshotFile(s.shardSnapPath(ts.name, i), snap); err != nil {
+				return err
+			}
+		}
+		for i := range payloads {
+			if err := ts.shardWALs[i].Truncate(gens[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// loadSharded restores one sharded table: manifest → per-shard snapshot +
+// WAL pairing → router reassembly → WAL replay routed through the
+// assembled engine (so the routing bounds grow exactly as they did before
+// the crash).
+func (s *Store) loadSharded(manifestPath string) (LoadedTable, error) {
+	m, err := ReadManifestFile(manifestPath)
+	if err != nil {
+		return LoadedTable{}, err
+	}
+	if m.Name == "" {
+		return LoadedTable{}, fmt.Errorf("store: manifest %s carries no table name: %w", manifestPath, ErrCorrupt)
+	}
+	load, ok := factory.Loader(m.Engine)
+	if !ok {
+		return LoadedTable{}, fmt.Errorf("store: manifest %s: no loader for engine %q (have %s)",
+			manifestPath, m.Engine, strings.Join(factory.LoaderKinds(), ", "))
+	}
+	inners := make([]engine.Engine, m.Shards)
+	wals := make([]*WAL, m.Shards)
+	recss := make([][]Record, m.Shards)
+	var schema sqlfe.Schema
+	cleanup := func() {
+		for _, w := range wals {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	for i := 0; i < m.Shards; i++ {
+		snap, err := ReadSnapshotFile(s.shardSnapPath(m.Name, i))
+		if err != nil {
+			cleanup()
+			return LoadedTable{}, fmt.Errorf("store: sharded table %q shard %d: %w", m.Name, i, err)
+		}
+		if snap.Engine != m.Engine {
+			cleanup()
+			return LoadedTable{}, fmt.Errorf("store: sharded table %q shard %d: snapshot engine %q != manifest engine %q: %w",
+				m.Name, i, snap.Engine, m.Engine, ErrCorrupt)
+		}
+		if i == 0 {
+			schema = snap.Schema
+		}
+		inners[i], err = load(bytes.NewReader(snap.Payload))
+		if err != nil {
+			cleanup()
+			return LoadedTable{}, fmt.Errorf("store: restore shard %d of table %q: %w", i, m.Name, err)
+		}
+		wal, recs, err := OpenWAL(s.shardWALPath(m.Name, i), !s.opts.NoSync)
+		if err != nil {
+			cleanup()
+			return LoadedTable{}, err
+		}
+		wals[i] = wal
+		recs, err = pairWAL(wal, recs, snap.Gen, fmt.Sprintf("%s (shard %d)", m.Name, i), s.opts.Logf)
+		if err != nil {
+			cleanup()
+			return LoadedTable{}, err
+		}
+		recss[i] = recs
+	}
+	eng, err := shard.New(inners, m.Info())
+	if err != nil {
+		cleanup()
+		return LoadedTable{}, fmt.Errorf("store: reassemble sharded table %q: %w", m.Name, err)
+	}
+	replayed := 0
+	for i, recs := range recss {
+		for j, rec := range recs {
+			var aerr error
+			switch rec.Op {
+			case OpInsert:
+				aerr = eng.Insert(rec.Point, rec.Value)
+			case OpDelete:
+				aerr = eng.Delete(rec.Point, rec.Value)
+			}
+			if aerr != nil {
+				cleanup()
+				return LoadedTable{}, fmt.Errorf("store: table %q shard %d: replay WAL record %d/%d: %w",
+					m.Name, i, j+1, len(recs), aerr)
+			}
+			replayed++
+		}
+	}
+	s.mu.Lock()
+	s.tables[strings.ToLower(m.Name)] = &tableState{name: m.Name, shardWALs: wals}
+	s.mu.Unlock()
+	return LoadedTable{Name: m.Name, Engine: eng, Schema: schema, Replayed: replayed}, nil
+}
+
+// WriteShardedTableFiles writes the complete persisted fileset of a
+// freshly built sharded table into dir — per-shard snapshots at
+// generation 0 (pairing with the WALs a serving store will open fresh)
+// plus the manifest. It is the build-once-serve-forever path of
+// passgen -snap -shards: the directory can be handed straight to a passd
+// -data-dir.
+func WriteShardedTableFiles(dir, table string, sh engine.Sharded, schema sqlfe.Schema) error {
+	if table == "" {
+		return fmt.Errorf("store: sharded table files need a table name")
+	}
+	if err := ValidateTableName(table); err != nil {
+		return err
+	}
+	info := sh.ShardInfo()
+	key := fileKey(table)
+	rows := 0
+	for i := 0; i < info.Shards; i++ {
+		inner := engine.Underlying(sh.Shard(i))
+		ser, ok := inner.(engine.Serializable)
+		if !ok {
+			return fmt.Errorf("store: shard %d engine %s: %w", i, inner.Name(), engine.ErrNotSerializable)
+		}
+		var payload bytes.Buffer
+		if err := ser.Save(&payload); err != nil {
+			return fmt.Errorf("store: serialize shard %d: %w", i, err)
+		}
+		shardRows := 0
+		if sz, ok := inner.(engine.Sized); ok {
+			shardRows = sz.N()
+		}
+		rows += shardRows
+		snap := &Snapshot{
+			Name:    table,
+			Engine:  inner.Name(),
+			Rows:    shardRows,
+			Schema:  schema,
+			Payload: payload.Bytes(),
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s.s%d.snap", key, i))
+		if err := WriteSnapshotFile(path, snap); err != nil {
+			return err
+		}
+	}
+	m := &ShardManifest{
+		Name:   table,
+		Engine: engine.Underlying(sh.Shard(0)).Name(),
+		Policy: info.Policy,
+		Dim:    info.Dim,
+		Cuts:   info.Cuts,
+		Bounds: info.Bounds,
+		Shards: info.Shards,
+		Rows:   rows,
+		Gens:   make([]uint64, info.Shards),
+	}
+	return WriteManifestFile(filepath.Join(dir, key+".manifest"), m)
+}
+
+// ShardedTableLog is a sharded table's journaling handle: the catalog
+// Journal interface with per-shard routing. The catalog serialises all
+// calls behind the table's write lock, so the touched-WAL bookkeeping
+// needs no further synchronisation.
+type ShardedTableLog struct {
+	ts     *tableState
+	router ShardRouter
+	// last lists the WALs the most recent append touched, for Rollback.
+	last []int
+}
+
+// Insert journals an insert to the owning shard's WAL.
+func (l *ShardedTableLog) Insert(point []float64, value float64) error {
+	return l.append(point, Record{Op: OpInsert, Point: point, Value: value})
+}
+
+// Delete journals a delete to the owning shard's WAL.
+func (l *ShardedTableLog) Delete(point []float64, value float64) error {
+	return l.append(point, Record{Op: OpDelete, Point: point, Value: value})
+}
+
+func (l *ShardedTableLog) append(point []float64, rec Record) error {
+	i, err := l.router.Route(point)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= len(l.ts.shardWALs) {
+		return fmt.Errorf("store: router sent update to shard %d of %d", i, len(l.ts.shardWALs))
+	}
+	if err := l.ts.shardWALs[i].Append(rec); err != nil {
+		return err
+	}
+	l.last = []int{i}
+	return nil
+}
+
+// InsertMany journals a batch as one group commit per touched shard;
+// Rollback afterwards undoes every per-shard group.
+func (l *ShardedTableLog) InsertMany(points [][]float64, values []float64) error {
+	groups := make(map[int][]Record)
+	order := make([]int, 0, 4)
+	for i := range points {
+		si, err := l.router.Route(points[i])
+		if err != nil {
+			return err
+		}
+		if si < 0 || si >= len(l.ts.shardWALs) {
+			return fmt.Errorf("store: router sent update to shard %d of %d", si, len(l.ts.shardWALs))
+		}
+		if _, seen := groups[si]; !seen {
+			order = append(order, si)
+		}
+		groups[si] = append(groups[si], Record{Op: OpInsert, Point: points[i], Value: values[i]})
+	}
+	done := make([]int, 0, len(order))
+	for _, si := range order {
+		if err := l.ts.shardWALs[si].AppendGroup(groups[si]); err != nil {
+			// undo the shards already appended so the failed batch leaves
+			// no journal trace
+			for _, u := range done {
+				_ = l.ts.shardWALs[u].Rollback()
+			}
+			l.last = nil
+			return err
+		}
+		done = append(done, si)
+	}
+	l.last = done
+	return nil
+}
+
+// Rollback undoes the most recent append across every WAL it touched.
+func (l *ShardedTableLog) Rollback() error {
+	if len(l.last) == 0 {
+		return fmt.Errorf("store: sharded rollback without a preceding append")
+	}
+	var firstErr error
+	for _, i := range l.last {
+		if err := l.ts.shardWALs[i].Rollback(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	l.last = nil
+	return firstErr
+}

@@ -1,0 +1,410 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/engine/factory"
+	"repro/internal/shard"
+	"repro/internal/sqlfe"
+)
+
+// buildShardedTable registers a freshly built sharded PASS engine in a
+// catalog, returning the table (the ShardCheckpointable) and its engine.
+func buildShardedTable(t *testing.T, name string, rows, shards int, seed uint64) (*catalog.Table, *shard.Engine, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.GenIntelWireless(rows, seed)
+	e, err := factory.Build(fmt.Sprintf("sharded:pass:%d", shards), d, factory.Spec{
+		Partitions: 16, SampleSize: rows / 10, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := sqlfe.SchemaFromColNames(d.ColNames)
+	schema.Table = name
+	tbl, err := catalog.New().Register(name, e, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, e.(*shard.Engine), d
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &ShardManifest{
+		Name:   "trips",
+		Engine: "PASS",
+		Policy: "range",
+		Dim:    0,
+		Cuts:   []float64{10, 20.5},
+		Bounds: []dataset.Rect{
+			{Lo: []float64{0}, Hi: []float64{9}},
+			{Lo: []float64{10}, Hi: []float64{20}},
+			{Lo: []float64{20.5}, Hi: []float64{31}},
+		},
+		Shards: 3,
+		Rows:   1234,
+		Gens:   []uint64{4, 5, 6},
+	}
+	path := filepath.Join(t.TempDir(), "t.manifest")
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.Engine != m.Engine || got.Policy != m.Policy ||
+		got.Dim != m.Dim || got.Shards != m.Shards || got.Rows != m.Rows {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	for i := range m.Cuts {
+		if got.Cuts[i] != m.Cuts[i] {
+			t.Errorf("cut %d: %v != %v", i, got.Cuts[i], m.Cuts[i])
+		}
+	}
+	for i := range m.Gens {
+		if got.Gens[i] != m.Gens[i] {
+			t.Errorf("gen %d: %v != %v", i, got.Gens[i], m.Gens[i])
+		}
+	}
+	for i, b := range m.Bounds {
+		if got.Bounds[i].Lo[0] != b.Lo[0] || got.Bounds[i].Hi[0] != b.Hi[0] {
+			t.Errorf("bounds %d: %v != %v", i, got.Bounds[i], b)
+		}
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	m := &ShardManifest{
+		Name: "t", Engine: "PASS", Policy: "range", Shards: 1, Rows: 1,
+		Bounds: []dataset.Rect{{Lo: []float64{0}, Hi: []float64{1}}},
+		Gens:   []uint64{1},
+	}
+	path := filepath.Join(t.TempDir(), "t.manifest")
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifestFile(path); err == nil {
+		t.Fatal("bit-flipped manifest must be rejected")
+	}
+	// truncated tail
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifestFile(path); err == nil {
+		t.Fatal("truncated manifest must be rejected")
+	}
+}
+
+// TestShardedSaveAndWarmStart is the crash-recovery twin test of the
+// manifest path: a sharded table is persisted, journaled updates land in
+// per-shard WALs, the process "crashes" (the store is abandoned without a
+// checkpoint), and a fresh store warm-starts the table — router, bounds
+// and all — answering exactly what the live table answered.
+func TestShardedSaveAndWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	tbl, live, _ := buildShardedTable(t, "trips", 3000, 3, 7)
+
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.AttachSharded(tbl, live, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+	if err := st.SaveSharded(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// journaled updates on top of the snapshot, spread across shards
+	info := live.ShardInfo()
+	for i := 0; i < info.Shards; i++ {
+		key := info.Bounds[i].Lo[0]
+		if err := tbl.Insert([]float64{key}, float64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// the WALs must carry the updates, routed per shard
+	ts := st.tables["trips"]
+	total := 0
+	for _, w := range ts.shardWALs {
+		total += w.Records()
+	}
+	if total != info.Shards {
+		t.Fatalf("%d journaled records across shard WALs, want %d", total, info.Shards)
+	}
+	// crash: close WALs without checkpointing
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Name != "trips" {
+		t.Fatalf("loaded %+v, want the one sharded table", loaded)
+	}
+	if loaded[0].Replayed != info.Shards {
+		t.Errorf("replayed %d records, want %d", loaded[0].Replayed, info.Shards)
+	}
+	restored, ok := loaded[0].Engine.(*shard.Engine)
+	if !ok {
+		t.Fatalf("restored engine is %T, want *shard.Engine", loaded[0].Engine)
+	}
+	ri := restored.ShardInfo()
+	if ri.Shards != info.Shards || ri.Policy != info.Policy {
+		t.Fatalf("restored shard info %+v, want %+v", ri, info)
+	}
+	for i, c := range info.Cuts {
+		if ri.Cuts[i] != c {
+			t.Errorf("restored cut %d = %v, want %v", i, ri.Cuts[i], c)
+		}
+	}
+	sameAnswers(t, engine.Engine(live), loaded[0].Engine, "sharded warm start")
+}
+
+// TestShardedCrashBetweenSnapshotsAndManifest simulates the torn
+// checkpoint: shard snapshots published at generation g+1 while the WALs
+// still carry the folded records at generation g. The loader must discard
+// the folded records per shard instead of double-applying them.
+func TestShardedCrashBetweenSnapshotsAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	tbl, live, _ := buildShardedTable(t, "trips", 2000, 2, 3)
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.AttachSharded(tbl, live, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+	if err := st.SaveSharded(tbl); err != nil {
+		t.Fatal(err)
+	}
+	info := live.ShardInfo()
+	for i := 0; i < info.Shards; i++ {
+		if err := tbl.Insert([]float64{info.Bounds[i].Lo[0]}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// checkpoint again: snapshots + manifest move to generation 2 and the
+	// WALs truncate...
+	if err := st.SaveSharded(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...then un-truncate shard 0's WAL to replay the crash window: a log
+	// at the old generation whose records the snapshot already folded in
+	wal, _, err := OpenWAL(filepath.Join(dir, "trips.s0.wal"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Truncate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Append(Record{Op: OpInsert, Point: []float64{info.Bounds[0].Lo[0]}, Value: 5}); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("loaded %d tables", len(loaded))
+	}
+	if loaded[0].Replayed != 0 {
+		t.Errorf("replayed %d stale records, want 0 (already folded into the snapshot)", loaded[0].Replayed)
+	}
+	sameAnswers(t, engine.Engine(live), loaded[0].Engine, "torn sharded checkpoint")
+}
+
+func TestShardedRemoveDeletesAllFiles(t *testing.T) {
+	dir := t.TempDir()
+	tbl, live, _ := buildShardedTable(t, "trips", 2000, 3, 9)
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.AttachSharded(tbl, live, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSharded(tbl); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) == 0 {
+		t.Fatal("no files persisted")
+	}
+	if err := st.Remove("trips"); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	for _, e := range entries {
+		t.Errorf("file %s survived Remove", e.Name())
+	}
+}
+
+// TestWriteShardedTableFiles exercises the passgen path: a fileset
+// written with no store open must warm-start cleanly.
+func TestWriteShardedTableFiles(t *testing.T) {
+	dir := t.TempDir()
+	_, live, _ := buildShardedTable(t, "gen", 2000, 2, 11)
+	schema := sqlfe.SchemaFromColNames([]string{"time", "light"})
+	schema.Table = "gen"
+	if err := WriteShardedTableFiles(dir, "gen", live, schema); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	loaded, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Name != "gen" {
+		t.Fatalf("loaded %+v", loaded)
+	}
+	if loaded[0].Schema.PredColumns[0] != "time" {
+		t.Errorf("schema lost: %+v", loaded[0].Schema)
+	}
+	sameAnswers(t, engine.Engine(live), loaded[0].Engine, "passgen fileset")
+}
+
+// TestValidateTableNameRejectsShardCollisions: a table named like a
+// per-shard file ("logs.s0") would vanish at warm start and be deleted
+// by the prefix table's Remove, so the store refuses to persist it.
+func TestValidateTableNameRejectsShardCollisions(t *testing.T) {
+	for _, bad := range []string{"logs.s0", "Trips.S12", "x.s007"} {
+		if err := ValidateTableName(bad); err == nil {
+			t.Errorf("ValidateTableName(%q) accepted a colliding name", bad)
+		}
+	}
+	for _, ok := range []string{"logs", "s0", "logs.snap", "a.sx", "metrics.2024"} {
+		if err := ValidateTableName(ok); err != nil {
+			t.Errorf("ValidateTableName(%q) = %v, want nil", ok, err)
+		}
+	}
+	dir := t.TempDir()
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tbl, _ := buildTable(t, "logs.s0", 1000, 1)
+	if _, err := st.Attach(tbl); err == nil {
+		t.Error("Attach accepted a shard-colliding table name")
+	}
+	stbl, live, _ := buildShardedTable(t, "logs.s1", 1000, 2, 1)
+	if _, err := st.AttachSharded(stbl, live, 2); err == nil {
+		t.Error("AttachSharded accepted a shard-colliding table name")
+	}
+}
+
+// TestPlainAttachRejectsShardedState guards the API seam: once a table is
+// sharded in the store, the unsharded Attach/SaveTable must refuse it.
+func TestPlainAttachRejectsShardedState(t *testing.T) {
+	dir := t.TempDir()
+	tbl, live, _ := buildShardedTable(t, "trips", 2000, 2, 5)
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.AttachSharded(tbl, live, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Attach(tbl); err == nil || !strings.Contains(err.Error(), "sharded") {
+		t.Errorf("plain Attach on a sharded table = %v, want a sharded-table error", err)
+	}
+}
+
+// TestRemoveDoesNotTouchExtendedNameSiblings: dropping "logs" must not
+// delete the shard files of "logs.staging".
+func TestRemoveDoesNotTouchExtendedNameSiblings(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, name := range []string{"logs", "logs.staging"} {
+		tbl, live, _ := buildShardedTable(t, name, 1000, 2, 4)
+		if _, err := st.AttachSharded(tbl, live, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SaveSharded(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Remove("logs"); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	var left []string
+	for _, e := range entries {
+		left = append(left, e.Name())
+	}
+	want := map[string]bool{
+		"logs.staging.manifest": true,
+		"logs.staging.s0.snap":  true, "logs.staging.s0.wal": true,
+		"logs.staging.s1.snap": true, "logs.staging.s1.wal": true,
+	}
+	if len(left) != len(want) {
+		t.Fatalf("files after Remove(logs): %v, want exactly logs.staging's fileset", left)
+	}
+	for _, f := range left {
+		if !want[f] {
+			t.Errorf("unexpected survivor %s", f)
+		}
+	}
+	// and logs.staging still warm-starts
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Name != "logs.staging" {
+		t.Fatalf("loaded %+v, want logs.staging alone", loaded)
+	}
+}

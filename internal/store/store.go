@@ -6,6 +6,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -55,18 +56,49 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// tableState is the store's per-table bookkeeping: the open WAL and, once
-// the table is attached, the live source to checkpoint from. opMu orders
-// checkpoints against Remove so a background checkpoint racing a drop
-// cannot recreate the files of a removed table; removed marks the state
-// dead once Remove has won.
+// tableState is the store's per-table bookkeeping: the open WAL (or, for
+// a sharded table, one WAL per shard) and, once the table is attached,
+// the live source to checkpoint from. opMu orders checkpoints against
+// Remove so a background checkpoint racing a drop cannot recreate the
+// files of a removed table; removed marks the state dead once Remove has
+// won.
 type tableState struct {
 	name string
-	wal  *WAL
+	wal  *WAL // unsharded tables
+	// shardWALs holds one journal per shard for sharded tables (wal is
+	// then nil); index = shard id.
+	shardWALs []*WAL
 
-	opMu    sync.Mutex
-	src     Checkpointable // nil until Attach
-	removed bool
+	opMu     sync.Mutex
+	src      Checkpointable      // nil until Attach
+	shardSrc ShardCheckpointable // nil until AttachSharded
+	removed  bool
+}
+
+// pending counts journaled records across the table's WAL(s).
+func (ts *tableState) pending() int {
+	if ts.wal != nil {
+		return ts.wal.Records()
+	}
+	n := 0
+	for _, w := range ts.shardWALs {
+		n += w.Records()
+	}
+	return n
+}
+
+// closeWALs closes every open journal of the table.
+func (ts *tableState) closeWALs() error {
+	var firstErr error
+	if ts.wal != nil {
+		firstErr = ts.wal.Close()
+	}
+	for _, w := range ts.shardWALs {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Store manages a data directory of table snapshots and write-ahead logs:
@@ -110,9 +142,27 @@ func (s *Store) Dir() string { return s.dir }
 
 // fileKey maps a table name to its on-disk basename: lower-cased (table
 // names are case-insensitive) and path-escaped so arbitrary HTTP-supplied
-// names cannot traverse out of the data directory.
+// names cannot traverse out of the data directory. Names ending in
+// ".s<i>" are rejected by ValidateTableName before any file is created:
+// fileKey does not escape dots, so such a name would collide with the
+// per-shard files of a sharded table with the prefix name.
 func fileKey(name string) string {
 	return url.PathEscape(strings.ToLower(name))
+}
+
+// reservedSuffix matches table names that would collide with sharded
+// per-shard file naming.
+var reservedSuffix = regexp.MustCompile(`\.s\d+$`)
+
+// ValidateTableName rejects names whose on-disk files would collide with
+// the per-shard files of another table — "logs.s0" would be
+// indistinguishable from shard 0 of a sharded table "logs", making it
+// vanish at warm start and be deleted by the other table's Remove.
+func ValidateTableName(name string) error {
+	if reservedSuffix.MatchString(strings.ToLower(name)) {
+		return fmt.Errorf("store: table name %q collides with per-shard file naming (<table>.s<i>); choose another name", name)
+	}
+	return nil
 }
 
 func (s *Store) snapPath(name string) string { return filepath.Join(s.dir, fileKey(name)+".snap") }
@@ -128,11 +178,12 @@ type LoadedTable struct {
 	Replayed int
 }
 
-// LoadAll restores every table in the data directory: each snapshot is
-// decoded, its engine rebuilt through the factory loader registry, and its
-// WAL replayed on top. Corrupt snapshots or logs fail the whole load with
-// a clear error — a durable store must never silently serve partial state.
-// Results are sorted by table name.
+// LoadAll restores every table in the data directory: sharded tables from
+// their manifest + per-shard snapshot/WAL sets, everything else from its
+// single snapshot + WAL pair, with each engine rebuilt through the
+// factory loader registry. Corrupt snapshots, manifests or logs fail the
+// whole load with a clear error — a durable store must never silently
+// serve partial state. Results are sorted by table name.
 func (s *Store) LoadAll() ([]LoadedTable, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -140,8 +191,33 @@ func (s *Store) LoadAll() ([]LoadedTable, error) {
 	}
 	var out []LoadedTable
 	seen := make(map[string]bool)
+	claimed := make(map[string]bool) // shard files owned by a manifest
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".manifest") {
+			continue
+		}
+		lt, err := s.loadSharded(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lt)
+		seen[fileKey(lt.Name)] = true
+		if sh, ok := lt.Engine.(engine.Sharded); ok {
+			for i := 0; i < sh.ShardInfo().Shards; i++ {
+				claimed[filepath.Base(s.shardSnapPath(lt.Name, i))] = true
+				claimed[filepath.Base(s.shardWALPath(lt.Name, i))] = true
+			}
+		}
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") || claimed[e.Name()] {
+			continue
+		}
+		if shardFilePattern.MatchString(e.Name()) {
+			// a per-shard snapshot whose manifest is gone (crash
+			// mid-Remove) cannot be served alone: every shard of a table
+			// records the same table name
+			s.opts.Logf("store: ignoring orphan shard snapshot %s (no manifest)", e.Name())
 			continue
 		}
 		lt, err := s.loadOne(filepath.Join(s.dir, e.Name()))
@@ -154,16 +230,21 @@ func (s *Store) LoadAll() ([]LoadedTable, error) {
 	// orphan WALs (snapshot missing, e.g. a crash mid-Remove) are
 	// unreconstructible — surface them but do not fail the warm start
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wal") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".wal") || claimed[e.Name()] {
 			continue
 		}
-		if key := strings.TrimSuffix(e.Name(), ".wal"); !seen[key] {
+		key := strings.TrimSuffix(shardFilePattern.ReplaceAllString(e.Name(), ""), ".wal")
+		if !seen[key] {
 			s.opts.Logf("store: ignoring orphan WAL %s (no matching snapshot)", e.Name())
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }
+
+// shardFilePattern matches the per-shard suffix of sharded table files
+// ("<key>.s<i>.snap" / "<key>.s<i>.wal").
+var shardFilePattern = regexp.MustCompile(`\.s\d+\.(snap|wal)$`)
 
 // loadOne restores a single table from its snapshot + WAL pair.
 func (s *Store) loadOne(snapPath string) (LoadedTable, error) {
@@ -187,23 +268,10 @@ func (s *Store) loadOne(snapPath string) (LoadedTable, error) {
 	if err != nil {
 		return LoadedTable{}, err
 	}
-	switch {
-	case wal.Gen() == snap.Gen:
-		// the normal pairing: replay the journal on top of the snapshot
-	case wal.Gen() < snap.Gen:
-		// a crash hit between snapshot publish and WAL truncation: every
-		// journaled record is already folded into the snapshot
-		s.opts.Logf("store: table %q: WAL generation %d predates snapshot generation %d; discarding %d already-folded record(s)",
-			snap.Name, wal.Gen(), snap.Gen, len(recs))
-		if err := wal.Truncate(snap.Gen); err != nil {
-			wal.Close()
-			return LoadedTable{}, err
-		}
-		recs = nil
-	default:
+	recs, err = pairWAL(wal, recs, snap.Gen, snap.Name, s.opts.Logf)
+	if err != nil {
 		wal.Close()
-		return LoadedTable{}, fmt.Errorf("store: table %q: WAL generation %d is ahead of snapshot generation %d (snapshot file replaced?): %w",
-			snap.Name, wal.Gen(), snap.Gen, ErrCorrupt)
+		return LoadedTable{}, err
 	}
 	if len(recs) > 0 {
 		u, ok := engine.Underlying(eng).(engine.Updatable)
@@ -233,9 +301,34 @@ func (s *Store) loadOne(snapPath string) (LoadedTable, error) {
 	return LoadedTable{Name: snap.Name, Engine: eng, Schema: snap.Schema, Replayed: len(recs)}, nil
 }
 
+// pairWAL reconciles a WAL's generation against the snapshot it pairs
+// with: equal generations replay the journal on top of the snapshot, a
+// lagging WAL (crash between snapshot publish and truncation) has its
+// already-folded records discarded, and a WAL ahead of its snapshot is
+// corruption.
+func pairWAL(wal *WAL, recs []Record, snapGen uint64, name string, logf func(string, ...any)) ([]Record, error) {
+	switch {
+	case wal.Gen() == snapGen:
+		return recs, nil
+	case wal.Gen() < snapGen:
+		logf("store: table %q: WAL generation %d predates snapshot generation %d; discarding %d already-folded record(s)",
+			name, wal.Gen(), snapGen, len(recs))
+		if err := wal.Truncate(snapGen); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("store: table %q: WAL generation %d is ahead of snapshot generation %d (snapshot file replaced?): %w",
+			name, wal.Gen(), snapGen, ErrCorrupt)
+	}
+}
+
 // state returns (creating if needed) the per-table bookkeeping, opening
 // the table's WAL on first use.
 func (s *Store) state(name string) (*tableState, error) {
+	if err := ValidateTableName(name); err != nil {
+		return nil, err
+	}
 	key := strings.ToLower(name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -243,6 +336,9 @@ func (s *Store) state(name string) (*tableState, error) {
 		return nil, fmt.Errorf("store: closed")
 	}
 	if ts, ok := s.tables[key]; ok {
+		if ts.wal == nil {
+			return nil, fmt.Errorf("store: table %q is sharded (use AttachSharded/SaveSharded)", name)
+		}
 		return ts, nil
 	}
 	wal, recs, err := OpenWAL(s.walPath(name), !s.opts.NoSync)
@@ -335,14 +431,15 @@ func (s *Store) CheckpointAll() error {
 
 func (s *Store) checkpointWhere(needed func(pending int) bool) error {
 	type due struct {
-		ts  *tableState
-		src Checkpointable
+		ts       *tableState
+		src      Checkpointable
+		shardSrc ShardCheckpointable
 	}
 	s.mu.Lock()
 	var work []due
 	for _, ts := range s.tables {
-		if ts.src != nil && needed(ts.wal.Records()) {
-			work = append(work, due{ts: ts, src: ts.src})
+		if (ts.src != nil || ts.shardSrc != nil) && needed(ts.pending()) {
+			work = append(work, due{ts: ts, src: ts.src, shardSrc: ts.shardSrc})
 		}
 	}
 	s.mu.Unlock()
@@ -350,22 +447,31 @@ func (s *Store) checkpointWhere(needed func(pending int) bool) error {
 	for _, d := range work {
 		// checkpoint through the captured state, never through state():
 		// a table dropped since the scan must not have its files recreated
-		if err := s.saveTableState(d.ts, d.src); err != nil {
-			s.opts.Logf("store: checkpoint %s: %v", d.src.Name(), err)
+		var err error
+		name := d.ts.name
+		if d.shardSrc != nil {
+			err = s.saveShardedState(d.ts, d.shardSrc)
+		} else {
+			err = s.saveTableState(d.ts, d.src)
+		}
+		if err != nil {
+			s.opts.Logf("store: checkpoint %s: %v", name, err)
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		s.opts.Logf("store: checkpointed table %s", d.src.Name())
+		s.opts.Logf("store: checkpointed table %s", name)
 	}
 	return firstErr
 }
 
-// Remove deletes a table's snapshot and WAL — a dropped table must not
-// resurrect on the next boot. Taking the state's opMu waits out any
-// in-flight checkpoint of the table and marks the state removed, so a
-// later checkpoint attempt is a no-op instead of recreating the files.
+// Remove deletes a table's persisted files — snapshot and WAL, plus the
+// manifest and per-shard files when the table is (or once was) sharded —
+// so a dropped table cannot resurrect on the next boot. Taking the
+// state's opMu waits out any in-flight checkpoint of the table and marks
+// the state removed, so a later checkpoint attempt is a no-op instead of
+// recreating the files.
 func (s *Store) Remove(name string) error {
 	key := strings.ToLower(name)
 	s.mu.Lock()
@@ -375,11 +481,25 @@ func (s *Store) Remove(name string) error {
 	if ts != nil {
 		ts.opMu.Lock()
 		ts.removed = true
-		ts.wal.Close()
+		ts.closeWALs()
 		ts.opMu.Unlock()
 	}
+	doomed := []string{s.snapPath(name), s.walPath(name), s.manifestPath(name)}
+	// shard files are discovered from the directory rather than the open
+	// state: a crash may have left files for shards the state never
+	// opened. The match is anchored on the whole basename — a bare prefix
+	// test would also catch "<name>.staging.s0.snap", the shard files of
+	// a DIFFERENT table extending this name
+	ownShardFile := regexp.MustCompile(`^` + regexp.QuoteMeta(fileKey(name)) + `\.s\d+\.(snap|wal)$`)
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && ownShardFile.MatchString(e.Name()) {
+				doomed = append(doomed, filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
 	var firstErr error
-	for _, p := range []string{s.snapPath(name), s.walPath(name)} {
+	for _, p := range doomed {
 		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 			if firstErr == nil {
 				firstErr = err
@@ -412,7 +532,7 @@ func (s *Store) Close() error {
 	defer s.mu.Unlock()
 	var firstErr error
 	for _, ts := range s.tables {
-		if err := ts.wal.Close(); err != nil && firstErr == nil {
+		if err := ts.closeWALs(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

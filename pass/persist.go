@@ -33,6 +33,14 @@ func (s *Session) AttachStore(st *store.Store) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("pass: warm start table %q: %w", lt.Name, err)
 		}
+		if sh, ok := engine.Underlying(lt.Engine).(engine.Sharded); ok {
+			j, err := st.AttachSharded(tbl, sh, sh.ShardInfo().Shards)
+			if err != nil {
+				return 0, err
+			}
+			tbl.AttachJournal(j)
+			continue
+		}
 		j, err := st.Attach(tbl)
 		if err != nil {
 			return 0, err
@@ -48,8 +56,9 @@ func (s *Session) Persistent() bool { return s.store != nil }
 
 // RegisterEngine registers an arbitrary engine under a table name with an
 // explicit schema — the path for engines restored from snapshot files
-// (passquery -load) or built outside the pass API. With a store attached
-// it persists like Register.
+// (passquery -load) or built outside the pass API, sharded engines
+// (BuildShardedEngine) included. With a store attached it persists like
+// Register.
 func (s *Session) RegisterEngine(name string, eng engine.Engine, schema sqlfe.Schema) error {
 	if eng == nil {
 		return fmt.Errorf("pass: nil engine")
@@ -58,15 +67,27 @@ func (s *Session) RegisterEngine(name string, eng engine.Engine, schema sqlfe.Sc
 	return s.register(name, eng, schema, s.store != nil)
 }
 
+// RegisterEngineEphemeral registers an arbitrary engine that is
+// intentionally NOT persisted, even with a store attached — the
+// RegisterEphemeral counterpart of RegisterEngine.
+func (s *Session) RegisterEngineEphemeral(name string, eng engine.Engine, schema sqlfe.Schema) error {
+	if eng == nil {
+		return fmt.Errorf("pass: nil engine")
+	}
+	schema.Table = name
+	return s.register(name, eng, schema, false)
+}
+
 // register adds the engine to the catalog and, on the persist path,
 // attaches its journal and snapshots it — in that order: any insert that
 // sneaks in between registration and the snapshot is either journaled (and
 // truncated when the snapshot folds it in) or captured by the snapshot
-// itself, so no acknowledged update can miss both. A table that was
-// promised durability but cannot be persisted (engine.ErrNotSerializable,
-// disk errors) is rolled back out of the catalog and the store — callers
-// choose explicitly between failing and RegisterEphemeral, never a silent
-// skip.
+// itself, so no acknowledged update can miss both. Sharded engines take
+// the per-shard path: one routed journal and one snapshot per shard plus
+// the manifest. A table that was promised durability but cannot be
+// persisted (engine.ErrNotSerializable, disk errors) is rolled back out
+// of the catalog and the store — callers choose explicitly between
+// failing and RegisterEphemeral, never a silent skip.
 func (s *Session) register(name string, eng engine.Engine, schema sqlfe.Schema, persist bool) error {
 	tbl, err := s.cat.Register(name, eng, schema)
 	if err != nil {
@@ -78,6 +99,19 @@ func (s *Session) register(name string, eng engine.Engine, schema sqlfe.Schema, 
 	rollback := func() {
 		_ = s.cat.Drop(name)
 		_ = s.store.Remove(name)
+	}
+	if sh, ok := engine.Underlying(eng).(engine.Sharded); ok {
+		j, err := s.store.AttachSharded(tbl, sh, sh.ShardInfo().Shards)
+		if err != nil {
+			rollback()
+			return fmt.Errorf("pass: attach shard journals for table %q: %w", name, err)
+		}
+		tbl.AttachJournal(j)
+		if err := s.store.SaveSharded(tbl); err != nil {
+			rollback()
+			return fmt.Errorf("pass: persist sharded table %q: %w", name, err)
+		}
+		return nil
 	}
 	j, err := s.store.Attach(tbl)
 	if err != nil {

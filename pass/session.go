@@ -94,9 +94,17 @@ type TableInfo struct {
 	// PredColumns and AggColumn are the queryable schema.
 	PredColumns []string `json:"pred_columns"`
 	AggColumn   string   `json:"agg_column"`
+	// Shards is the shard count of a sharded table (0 when unsharded),
+	// ShardPolicy its partitioning policy ("range"/"hash") and ShardRows
+	// the per-shard cardinalities.
+	Shards      int    `json:"shards,omitempty"`
+	ShardPolicy string `json:"shard_policy,omitempty"`
+	ShardRows   []int  `json:"shard_rows,omitempty"`
 }
 
-// Tables lists the registered tables, sorted by name.
+// Tables lists the registered tables in deterministic (case-insensitively
+// sorted) order, so passd's GET /tables and error messages naming known
+// tables are stable across runs.
 func (s *Session) Tables() []TableInfo {
 	tabs := s.cat.List()
 	out := make([]TableInfo, len(tabs))
@@ -109,6 +117,11 @@ func (s *Session) Tables() []TableInfo {
 			MemoryBytes: t.MemoryBytes(),
 			PredColumns: schema.PredColumns,
 			AggColumn:   schema.AggColumn,
+		}
+		if info, shardRows, ok := t.ShardStats(); ok {
+			out[i].Shards = info.Shards
+			out[i].ShardPolicy = info.Policy
+			out[i].ShardRows = shardRows
 		}
 	}
 	return out
@@ -138,10 +151,15 @@ type StmtResult struct {
 }
 
 // ExecBatch executes a workload of SQL statements, batching per table:
-// scalar statements against the same table are dispatched as one
-// QueryBatch (fanning across the worker pool on engines that support it),
-// GROUP BY statements execute individually. Results are returned in input
-// order and are identical to calling Exec per statement.
+// scalar statements against the same table — consecutive or not — are
+// grouped before dispatch and issued as one QueryBatch (fanning across
+// the worker pool on engines that support it), so a multi-table script
+// that interleaves tables still gets per-table batched execution instead
+// of falling back to singles at every table switch. Per-table batches
+// dispatch in the order each table first appears, so execution is
+// deterministic. GROUP BY statements execute individually. Results are
+// returned in input order and are identical to calling Exec per
+// statement.
 func (s *Session) ExecBatch(stmts []string) []StmtResult {
 	out := make([]StmtResult, len(stmts))
 
@@ -151,8 +169,9 @@ func (s *Session) ExecBatch(stmts []string) []StmtResult {
 		plan *sqlfe.Plan
 	}
 	plans := make([]compiled, len(stmts))
-	// per-table scalar sub-batches, keyed by the table pointer
+	// per-table scalar sub-batches, dispatched in first-appearance order
 	batches := make(map[*catalog.Table][]int)
+	var order []*catalog.Table
 	for i, sql := range stmts {
 		out[i].SQL = sql
 		tbl, plan, err := s.compile(sql)
@@ -162,12 +181,16 @@ func (s *Session) ExecBatch(stmts []string) []StmtResult {
 		}
 		plans[i] = compiled{tbl: tbl, plan: plan}
 		if plan.GroupDim < 0 {
+			if _, seen := batches[tbl]; !seen {
+				order = append(order, tbl)
+			}
 			batches[tbl] = append(batches[tbl], i)
 		}
 	}
 
 	// scalar statements: one engine-level batch per table
-	for tbl, idx := range batches {
+	for _, tbl := range order {
+		idx := batches[tbl]
 		qs := make([]core.BatchQuery, len(idx))
 		for j, i := range idx {
 			qs[j] = core.BatchQuery{Kind: plans[i].plan.Agg, Rect: plans[i].plan.Rect}
