@@ -88,6 +88,11 @@ func BenchmarkDPVariants(b *testing.B) { runExperiment(b, "dpcost", true) }
 // BenchmarkAblation runs the design-choice ablations from DESIGN.md.
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation", true) }
 
+// BenchmarkAdaptive runs the workload-adaptive experiment: skewed-
+// workload accuracy before/after re-optimization plus the semantic
+// result cache's repeat-pass speedup.
+func BenchmarkAdaptive(b *testing.B) { runExperiment(b, "adaptive", true) }
+
 // --- micro-benchmarks -------------------------------------------------
 
 func buildSyn(b *testing.B, n int) (*dataset.Dataset, *core.Synopsis) {

@@ -9,12 +9,22 @@
 //
 // Endpoints:
 //
-//	POST   /query              {"sql": "SELECT AVG(light) FROM sensors WHERE time >= 6"}
-//	                           multi-statement scripts are batched: "SELECT ...; SELECT ..."
-//	GET    /tables             list registered tables
-//	POST   /tables             {"name": "sensors", "csv": "time,light\n1,0.5\n...", "partitions": 64}
-//	POST   /tables/{name}/rows {"rows": [{"point": [13], "value": 0.7}]} insert tuples
-//	DELETE /tables/{name}      drop a table (and its persisted files)
+//	POST   /query                    {"sql": "SELECT AVG(light) FROM sensors WHERE time >= 6"}
+//	                                 multi-statement scripts are batched: "SELECT ...; SELECT ..."
+//	GET    /tables                   list registered tables (+ adaptive/cache stats with -adaptive)
+//	POST   /tables                   {"name": "sensors", "csv": "time,light\n1,0.5\n...", "partitions": 64}
+//	POST   /tables/{name}/rows       {"rows": [{"point": [13], "value": 0.7}]} insert tuples
+//	POST   /tables/{name}/reoptimize force a workload-driven rebuild decision (with -adaptive)
+//	DELETE /tables/{name}            drop a table (and its persisted files)
+//
+// With -adaptive the server closes the loop between the query log and the
+// synopses: every query feeds a per-table sliding-window workload
+// statistic, repeated predicates are served from a semantic result cache
+// (-cache-mb, invalidated by writes through per-table generations), and a
+// background re-optimizer (-reopt-every) rebuilds tables whose observed
+// workload drifted from their partitioning, forcing partition boundaries
+// onto the hot query endpoints so repeated ranges are answered exactly.
+// See docs/OPERATIONS.md for the full flag and endpoint reference.
 //
 // With -data-dir the catalog is durable: tables are snapshotted into the
 // directory, inserts and deletes are write-ahead journaled, a background
@@ -63,10 +73,29 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-every", 5*time.Second, "background checkpointer scan interval")
 		walMax     = flag.Int("wal-threshold", 4096, "journaled updates per table before a background checkpoint")
 		noSync     = flag.Bool("no-sync", false, "skip the per-update WAL fsync (faster, loses the journal tail on machine crash)")
+		adaptive   = flag.Bool("adaptive", false, "workload-adaptive serving: query statistics, semantic result cache, background re-optimization of drifted tables")
+		cacheMB    = flag.Int("cache-mb", 64, "semantic result cache budget in MiB (with -adaptive; 0 disables the cache)")
+		reoptEvery = flag.Duration("reopt-every", 30*time.Second, "background re-optimization scan interval (with -adaptive; 0 = manual POST /tables/{name}/reoptimize only)")
 	)
 	flag.Parse()
 
 	sess := pass.NewSession()
+	if *adaptive {
+		cacheBytes := *cacheMB << 20
+		if *cacheMB <= 0 {
+			cacheBytes = -1
+		}
+		// enable before the store attaches so warm-started tables join the
+		// statistics and cache too
+		if err := sess.EnableAdaptive(pass.AdaptiveConfig{
+			ReoptInterval: *reoptEvery,
+			CacheBytes:    cacheBytes,
+			Logf:          log.Printf,
+		}); err != nil {
+			fatal(err)
+		}
+		log.Printf("passd: adaptive serving on (cache %d MiB, re-optimize every %s)", *cacheMB, *reoptEvery)
+	}
 	if *dataDir != "" {
 		st, err := store.Open(*dataDir, store.Options{
 			WALThreshold:       *walMax,
@@ -142,6 +171,15 @@ func loadDemo(sess *pass.Session, name string, rows, partitions int, rate float6
 		return err
 	}
 	opt := pass.Options{Partitions: partitions, SampleRate: rate, Seed: seed}
+	if sess.Adaptive() {
+		// retain the demo rows so the re-optimizer can rebuild the table
+		persisted, err := sess.RegisterAdaptive("demo", tbl, opt, shards)
+		if err != nil {
+			return err
+		}
+		log.Printf("passd: loaded demo table %q (%d rows, adaptive, persisted=%v)", name, tbl.Len(), persisted)
+		return nil
+	}
 	if shards > 1 {
 		eng, schema, err := pass.BuildShardedEngine(tbl, opt, shards)
 		if err != nil {

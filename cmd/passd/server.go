@@ -44,17 +44,19 @@ func newServer(sess *pass.Session) *server {
 
 // handler routes the API:
 //
-//	POST   /query              {"sql": "SELECT ...; SELECT ..."} → per-statement results
-//	GET    /tables             → registered tables
-//	POST   /tables             {"name": ..., "csv": ..., opts} → build + register
-//	POST   /tables/{name}/rows {"rows": [{"point": [...], "value": ...}]} → insert (journaled when durable)
-//	DELETE /tables/{name}      → drop (persisted files removed too)
+//	POST   /query                    {"sql": "SELECT ...; SELECT ..."} → per-statement results
+//	GET    /tables                   → registered tables (+ adaptive/cache stats when -adaptive)
+//	POST   /tables                   {"name": ..., "csv": ..., opts} → build + register
+//	POST   /tables/{name}/rows       {"rows": [{"point": [...], "value": ...}]} → insert (journaled when durable)
+//	POST   /tables/{name}/reoptimize → force a workload-driven rebuild decision (with -adaptive)
+//	DELETE /tables/{name}            → drop (persisted files removed too)
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /tables", s.handleListTables)
 	mux.HandleFunc("POST /tables", s.handleCreateTable)
 	mux.HandleFunc("POST /tables/{name}/rows", s.handleInsertRows)
+	mux.HandleFunc("POST /tables/{name}/reoptimize", s.handleReoptimize)
 	mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
 	return mux
 }
@@ -117,7 +119,41 @@ func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {
 	if tables == nil {
 		tables = []pass.TableInfo{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tables": tables})
+	out := map[string]any{"tables": tables}
+	// session-wide semantic-cache counters, when adaptive serving is on
+	if cs, ok := s.sess.CacheStats(); ok {
+		out["cache"] = map[string]any{
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"hit_rate":  cs.HitRate(),
+			"evicted":   cs.Evicted,
+			"entries":   cs.Entries,
+			"bytes":     cs.Bytes,
+			"max_bytes": cs.MaxBytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReoptimize forces a re-optimization decision for one table: the
+// manual counterpart of the background loop. The response carries the
+// adaptive.Outcome — rebuilt or not, and why.
+func (s *server) handleReoptimize(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.sess.Adaptive() {
+		httpError(w, http.StatusConflict, fmt.Errorf("adaptive serving is off (start passd with -adaptive)"))
+		return
+	}
+	out, err := s.sess.Reoptimize(name)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "unknown table") {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 type createTableRequest struct {
@@ -158,6 +194,17 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		Seed:       req.Seed,
 	}
 	persisted := s.sess.Persistent()
+	if s.sess.Adaptive() {
+		// the adaptive path retains the rows so the re-optimizer can
+		// rebuild the table against the observed workload
+		shards := req.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		persisted, err := s.sess.RegisterAdaptive(req.Name, tbl, opt, shards)
+		s.respondCreated(w, req.Name, err, persisted)
+		return
+	}
 	if req.Shards > 1 {
 		eng, schema, err := pass.BuildShardedEngine(tbl, opt, req.Shards)
 		if err != nil {

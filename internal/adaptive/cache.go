@@ -1,0 +1,279 @@
+package adaptive
+
+import (
+	"container/list"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Cache is a bounded-memory semantic result cache for scalar aggregate
+// answers, keyed by (table, generation, aggregate kind, predicate
+// rectangle) with least-recently-used eviction.
+//
+// Reuse happens two ways:
+//
+//   - Exact hit: the same aggregate over the bit-identical predicate
+//     rectangle returns the stored result without touching the engine.
+//
+//   - Contained-range reuse: a result that reported NoMatch (the
+//     synopsis is certain no tuple satisfies the predicate) also answers
+//     any AVG/MIN/MAX query whose rectangle is contained in the empty
+//     one — emptiness is monotone under range containment. General
+//     aggregates do not decompose by containment (SUM over a sub-range
+//     is not derivable from SUM over a super-range), so containment
+//     reuse is deliberately restricted to the provably-empty case; that
+//     keeps every cache answer bit-for-bit equal in estimate to what the
+//     engine would return.
+//
+// Soundness under writes rests on the generation in the key: the serving
+// layer (catalog.Table) bumps a table's generation before and after every
+// update and reads it under the same lock the query executes under, so a
+// lookup after a write computes a different key than anything cached
+// before or during the write — stale answers are unreachable, not merely
+// evicted. Dropped entries age out by LRU. Diagnostics fields
+// (TuplesRead, SkippedTuples, node counts) are returned as cached and may
+// differ from a fresh execution; estimates, intervals, hard bounds and
+// flags never do.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int
+	bytes    int
+	ll       *list.List
+	idx      map[string]*list.Element
+	// empties holds per-table NoMatch rectangles for containment reuse,
+	// newest first, capped at emptiesPerTable.
+	empties map[string][]emptyRect
+	hits    int64
+	misses  int64
+	evicted int64
+	tables  map[string]*tableCounters
+}
+
+type tableCounters struct {
+	hits, misses int64
+}
+
+type entry struct {
+	key   string
+	table string
+	res   core.Result
+	size  int
+}
+
+type emptyRect struct {
+	gen  uint64
+	rect dataset.Rect
+}
+
+// emptiesPerTable caps the per-table list of known-empty rectangles.
+const emptiesPerTable = 32
+
+// entryOverhead approximates the bookkeeping bytes per cached entry on
+// top of its key.
+const entryOverhead = 192
+
+// NewCache returns a cache bounded to roughly maxBytes of entry storage
+// (keys + results). A non-positive bound gets a 1 MiB floor.
+func NewCache(maxBytes int) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		idx:      make(map[string]*list.Element),
+		empties:  make(map[string][]emptyRect),
+		tables:   make(map[string]*tableCounters),
+	}
+}
+
+// cacheKey renders the lookup key. Float coordinates are encoded by their
+// exact bit patterns, so two predicates hit the same entry iff they are
+// bit-identical — no tolerance, no false sharing.
+func cacheKey(table string, gen uint64, kind dataset.AggKind, q dataset.Rect) string {
+	var b strings.Builder
+	b.Grow(len(table) + 16 + 18*q.Dims())
+	b.WriteString(table)
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(gen, 36))
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(int(kind)))
+	for c := 0; c < q.Dims(); c++ {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatUint(math.Float64bits(q.Lo[c]), 36))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(math.Float64bits(q.Hi[c]), 36))
+	}
+	return b.String()
+}
+
+// Lookup returns a cached result for the query, consulting exact entries
+// first and the table's known-empty rectangles second. It satisfies the
+// catalog's ResultCache interface.
+func (c *Cache) Lookup(table string, gen uint64, kind dataset.AggKind, q dataset.Rect) (core.Result, bool) {
+	k := cacheKey(table, gen, kind, q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hit(table)
+		return el.Value.(*entry).res, true
+	}
+	// contained-range reuse: only for aggregates that surface NoMatch
+	if kind == dataset.Avg || kind == dataset.Min || kind == dataset.Max {
+		for _, er := range c.empties[table] {
+			if er.gen == gen && rectContains(er.rect, q) {
+				c.hit(table)
+				return core.Result{NoMatch: true}, true
+			}
+		}
+	}
+	c.misses++
+	c.counters(table).misses++
+	return core.Result{}, false
+}
+
+// Store caches one engine-produced result under the generation the query
+// executed at. NoMatch results additionally join the table's known-empty
+// rectangles for containment reuse.
+func (c *Cache) Store(table string, gen uint64, kind dataset.AggKind, q dataset.Rect, r core.Result) {
+	k := cacheKey(table, gen, kind, q)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).res = r
+		return
+	}
+	e := &entry{key: k, table: table, res: r, size: len(k) + entryOverhead}
+	c.idx[k] = c.ll.PushFront(e)
+	c.bytes += e.size
+	if r.NoMatch {
+		rect := dataset.Rect{
+			Lo: append([]float64(nil), q.Lo...),
+			Hi: append([]float64(nil), q.Hi...),
+		}
+		list := c.empties[table]
+		list = append([]emptyRect{{gen: gen, rect: rect}}, list...)
+		if len(list) > emptiesPerTable {
+			list = list[:emptiesPerTable]
+		}
+		c.empties[table] = list
+	}
+	// keep at least the entry just stored: a budget smaller than one
+	// entry should degrade to a one-slot cache, not to none at all
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		c.evict()
+	}
+}
+
+// evict drops the least-recently-used entry. Callers hold the mutex.
+func (c *Cache) evict() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.idx, e.key)
+	c.bytes -= e.size
+	c.evicted++
+}
+
+// Forget drops every entry and empty rectangle of a table (dropped or
+// swapped-away tables; generation keys already make them unreachable,
+// this reclaims the bytes immediately).
+func (c *Cache) Forget(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*entry); e.table == table {
+			c.ll.Remove(el)
+			delete(c.idx, e.key)
+			c.bytes -= e.size
+		}
+		el = next
+	}
+	delete(c.empties, table)
+}
+
+func (c *Cache) hit(table string) {
+	c.hits++
+	c.counters(table).hits++
+}
+
+func (c *Cache) counters(table string) *tableCounters {
+	tc, ok := c.tables[table]
+	if !ok {
+		tc = &tableCounters{}
+		c.tables[table] = tc
+	}
+	return tc
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	// Hits and Misses count lookups; Evicted counts LRU evictions.
+	Hits, Misses, Evicted int64
+	// Entries and Bytes describe current occupancy against MaxBytes.
+	Entries, Bytes, MaxBytes int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats snapshots global cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evicted: c.evicted,
+		Entries: c.ll.Len(), Bytes: c.bytes, MaxBytes: c.maxBytes,
+	}
+}
+
+// TableStats reports one table's hit/miss counters.
+func (c *Cache) TableStats(table string) (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tc, ok := c.tables[table]; ok {
+		return tc.hits, tc.misses
+	}
+	return 0, 0
+}
+
+// rectContains reports whether every point satisfying q also satisfies
+// outer — i.e. q's point set is contained in outer's. Dimensions a
+// rectangle does not constrain are unbounded on both sides.
+func rectContains(outer, q dataset.Rect) bool {
+	dims := outer.Dims()
+	if qd := q.Dims(); qd > dims {
+		dims = qd
+	}
+	for c := 0; c < dims; c++ {
+		olo, ohi := math.Inf(-1), math.Inf(1)
+		if c < outer.Dims() {
+			olo, ohi = outer.Lo[c], outer.Hi[c]
+		}
+		qlo, qhi := math.Inf(-1), math.Inf(1)
+		if c < q.Dims() {
+			qlo, qhi = q.Lo[c], q.Hi[c]
+		}
+		if qlo < olo || qhi > ohi {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func TestCacheExactHit(t *testing.T) {
+	c := NewCache(1 << 20)
+	q := dataset.Rect1(10, 20)
+	r := core.Result{Estimate: 42, CIHalf: 1.5}
+	if _, ok := c.Lookup("t", 1, dataset.Sum, q); ok {
+		t.Fatal("lookup before store must miss")
+	}
+	c.Store("t", 1, dataset.Sum, q, r)
+	got, ok := c.Lookup("t", 1, dataset.Sum, q)
+	if !ok || got.Estimate != 42 || got.CIHalf != 1.5 {
+		t.Fatalf("hit = %+v ok=%v", got, ok)
+	}
+	// a different kind, table, generation or rect misses
+	if _, ok := c.Lookup("t", 1, dataset.Count, q); ok {
+		t.Fatal("different kind must miss")
+	}
+	if _, ok := c.Lookup("u", 1, dataset.Sum, q); ok {
+		t.Fatal("different table must miss")
+	}
+	if _, ok := c.Lookup("t", 2, dataset.Sum, q); ok {
+		t.Fatal("different generation must miss — that is the invalidation")
+	}
+	if _, ok := c.Lookup("t", 1, dataset.Sum, dataset.Rect1(10, 21)); ok {
+		t.Fatal("different rect must miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 5 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if h, m := c.TableStats("t"); h != 1 || m != 4 {
+		t.Fatalf("table stats = %d/%d", h, m)
+	}
+}
+
+func TestCacheContainedEmptyReuse(t *testing.T) {
+	c := NewCache(1 << 20)
+	outer := dataset.Rect1(100, 200)
+	c.Store("t", 3, dataset.Avg, outer, core.Result{NoMatch: true})
+
+	// an AVG/MIN/MAX query contained in the empty range is answered
+	inner := dataset.Rect1(120, 150)
+	for _, kind := range []dataset.AggKind{dataset.Avg, dataset.Min, dataset.Max} {
+		got, ok := c.Lookup("t", 3, kind, inner)
+		if !ok || !got.NoMatch {
+			t.Fatalf("kind %v: contained-empty lookup = %+v ok=%v", kind, got, ok)
+		}
+	}
+	// SUM/COUNT are not served by containment (their empty answer carries
+	// exactness flags and hard bounds a fresh execution would compute)
+	if _, ok := c.Lookup("t", 3, dataset.Sum, inner); ok {
+		t.Fatal("SUM must not be served from an empty rect")
+	}
+	// not contained: overlaps the boundary
+	if _, ok := c.Lookup("t", 3, dataset.Avg, dataset.Rect1(90, 150)); ok {
+		t.Fatal("partially overlapping rect must miss")
+	}
+	// a later generation must not reuse the old emptiness
+	if _, ok := c.Lookup("t", 4, dataset.Avg, inner); ok {
+		t.Fatal("stale-generation empty rect must miss")
+	}
+	// a 2D query contained in the 1D empty range on dim 0 but
+	// unconstrained... actually constrained further is still contained
+	q2 := dataset.Rect{Lo: []float64{120, 5}, Hi: []float64{150, 6}}
+	if got, ok := c.Lookup("t", 3, dataset.Avg, q2); !ok || !got.NoMatch {
+		t.Fatal("tighter 2D query inside the empty range should hit")
+	}
+	// a 2D empty rect does NOT answer a query unconstrained on dim 1
+	// (fresh table so the wider 1D empty rect above cannot interfere)
+	c.Store("t2", 3, dataset.Avg, q2, core.Result{NoMatch: true})
+	if _, ok := c.Lookup("t2", 3, dataset.Min, dataset.Rect1(120, 150)); ok {
+		t.Fatal("wider query than the empty rect must miss")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(1) // absurdly small: every store evicts the previous
+	for i := 0; i < 10; i++ {
+		c.Store("t", 1, dataset.Sum, dataset.Rect1(float64(i), float64(i+1)), core.Result{Estimate: float64(i)})
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 under a 1-byte budget", st.Entries)
+	}
+	if st.Evicted != 9 {
+		t.Fatalf("evicted = %d, want 9", st.Evicted)
+	}
+	if st.Bytes > 0 && st.Bytes <= st.MaxBytes {
+		t.Fatalf("bytes %d should exceed the degenerate budget (one entry always fits)", st.Bytes)
+	}
+}
+
+func TestCacheForget(t *testing.T) {
+	c := NewCache(1 << 20)
+	q := dataset.Rect1(0, 1)
+	c.Store("a", 1, dataset.Sum, q, core.Result{Estimate: 1})
+	c.Store("b", 1, dataset.Sum, q, core.Result{Estimate: 2})
+	c.Store("a", 1, dataset.Avg, q, core.Result{NoMatch: true})
+	c.Forget("a")
+	if _, ok := c.Lookup("a", 1, dataset.Sum, q); ok {
+		t.Fatal("forgotten table must miss")
+	}
+	if _, ok := c.Lookup("a", 1, dataset.Avg, dataset.Rect1(0.2, 0.3)); ok {
+		t.Fatal("forgotten empty rects must miss")
+	}
+	if got, ok := c.Lookup("b", 1, dataset.Sum, q); !ok || got.Estimate != 2 {
+		t.Fatal("other tables must survive Forget")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q := dataset.Rect1(float64(i%32), float64(i%32+1))
+				table := fmt.Sprintf("t%d", g%3)
+				if _, ok := c.Lookup(table, uint64(i%4), dataset.Sum, q); !ok {
+					c.Store(table, uint64(i%4), dataset.Sum, q, core.Result{Estimate: float64(i)})
+				}
+				if i%100 == 0 {
+					c.Forget(table)
+				}
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/pass"
+)
+
+// AdaptiveExp measures what the workload-adaptive layer buys on a skewed
+// repeated-range workload, in two independent comparisons:
+//
+//  1. Re-optimization: the same hot-range workload is replayed against
+//     one session before and after Session.Reoptimize. The rebuild
+//     forces partition boundaries onto the observed query endpoints, so
+//     the hot ranges flip from sampled estimates to exact answers —
+//     higher exact-hit fraction, lower mean CI width.
+//
+//  2. Semantic result cache: a repeated workload is timed against a
+//     cache-off and a cache-on session over identical synopses; the
+//     cache-on run answers repeats without touching the engine. The
+//     cache comparison uses a two-dimensional table: 1D sole-constraint
+//     queries resolve partial leaves from two O(log k) prefix lookups
+//     and are already parse-dominated, so caching them saves little —
+//     the cache pays off where the engine works hardest, on
+//     multi-column predicates that scan their partial-leaf samples.
+//
+// Paired sessions see identical statement streams, and the experiment
+// asserts nothing — it reports; the twin guarantees live in the pass and
+// passd test suites.
+func AdaptiveExp(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	const parts = 64
+	const rate = 0.005
+
+	// a skewed workload: 80% of statements draw from a handful of hot
+	// ranges, 20% are one-off random ranges
+	tbl := pass.DemoTaxi(cfg.Rows, 1, cfg.Seed)
+	hot := [][2]float64{{1.5, 7.25}, {9.1, 12.6}, {15.3, 19.8}, {4.4, 21.7}}
+	rng := newSplitMix(cfg.Seed + 0xada)
+	stmts := make([]string, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		var lo, hi float64
+		if rng.next()%10 < 8 {
+			r := hot[int(rng.next()%uint64(len(hot)))]
+			lo, hi = r[0], r[1]
+		} else {
+			a := 24 * rng.float64()
+			b := 24 * rng.float64()
+			lo, hi = math.Min(a, b), math.Max(a, b)
+		}
+		stmts = append(stmts, fmt.Sprintf("SELECT SUM(trip_distance) FROM taxi WHERE pickup_time BETWEEN %g AND %g", lo, hi))
+	}
+
+	opt := pass.Options{Partitions: parts, SampleRate: rate, Seed: cfg.Seed}
+	newSess := func(cacheBytes int, t *pass.Table, opt pass.Options) *pass.Session {
+		s := pass.NewSession()
+		if err := s.EnableAdaptive(pass.AdaptiveConfig{CacheBytes: cacheBytes}); err != nil {
+			panic(err)
+		}
+		if _, err := s.RegisterAdaptive("taxi", t, opt, 1); err != nil {
+			panic(err)
+		}
+		return s
+	}
+
+	type phase struct {
+		name      string
+		exactFrac float64
+		meanCI    float64
+		wall      time.Duration
+		qps       float64
+	}
+	run := func(s *pass.Session, stmts []string) phase {
+		// min-of-3 timing: single sub-millisecond passes jitter
+		var wall time.Duration
+		var res []pass.StmtResult
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			res = s.ExecBatch(stmts)
+			if w := time.Since(start); rep == 0 || w < wall {
+				wall = w
+			}
+		}
+		var exact int
+		var ci float64
+		for _, sr := range res {
+			if sr.Err != nil {
+				continue
+			}
+			if sr.Result.Scalar.Exact {
+				exact++
+			}
+			ci += sr.Result.Scalar.CIHalf
+		}
+		return phase{
+			exactFrac: float64(exact) / float64(len(stmts)),
+			meanCI:    ci / float64(len(stmts)),
+			wall:      wall,
+			qps:       float64(len(stmts)) / wall.Seconds(),
+		}
+	}
+
+	// comparison 1: before/after re-optimization, cache off so the
+	// synopsis itself is measured
+	reopt := newSess(-1, tbl, opt)
+	before := run(reopt, stmts)
+	before.name = "before reoptimize"
+	out1, err := reopt.Reoptimize("taxi")
+	if err != nil {
+		panic(err)
+	}
+	after := run(reopt, stmts)
+	after.name = "after reoptimize"
+
+	// comparison 2: cache off vs on over a 2D table, where partial-leaf
+	// resolution scans samples instead of two prefix lookups; the same
+	// workload runs twice per session so the cache-on second pass is all
+	// hits
+	tbl2 := pass.DemoTaxi(cfg.Rows, 2, cfg.Seed)
+	opt2 := pass.Options{Partitions: parts, SampleRate: 0.05, Seed: cfg.Seed}
+	stmts2 := make([]string, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		r := hot[int(rng.next()%uint64(len(hot)))]
+		day := float64(rng.next() % 20)
+		stmts2 = append(stmts2, fmt.Sprintf(
+			"SELECT SUM(trip_distance) FROM taxi WHERE pickup_time BETWEEN %g AND %g AND pickup_date BETWEEN %g AND %g",
+			r[0], r[1], day, day+7))
+	}
+	cold, warm := newSess(-1, tbl2, opt2), newSess(64<<20, tbl2, opt2)
+	run(cold, stmts2)
+	offPhase := run(cold, stmts2)
+	offPhase.name = "cache off (repeat pass)"
+	run(warm, stmts2)
+	onPhase := run(warm, stmts2)
+	onPhase.name = "cache on (repeat pass)"
+
+	t := Table{
+		Title: fmt.Sprintf("Workload-adaptive serving: skewed workload (%d rows, %d queries, 80%% hot ranges)",
+			tbl.Len(), cfg.Queries),
+		Header: []string{"Phase", "ExactFrac", "MeanCIHalf", "Wall", "QPS"},
+	}
+	for _, p := range []phase{before, after, offPhase, onPhase} {
+		t.AddRow(p.name, fmt.Sprintf("%.3f", p.exactFrac), fmt.Sprintf("%.3f", p.meanCI),
+			ms(p.wall), fmt.Sprintf("%.0f", p.qps))
+	}
+	note := fmt.Sprintf("reoptimize: %s; ", out1.Reason)
+	if before.meanCI > 0 {
+		note += fmt.Sprintf("CI width %.2fx tighter; ", before.meanCI/math.Max(after.meanCI, 1e-12))
+	}
+	if offPhase.wall > 0 && onPhase.wall > 0 {
+		note += fmt.Sprintf("cache speedup %.2fx on repeats", float64(offPhase.wall)/float64(onPhase.wall))
+	}
+	t.Note = note
+	return []Table{t}
+}
+
+// splitMix is a tiny deterministic PRNG for workload synthesis, so the
+// experiment does not depend on internal/stats seeding details.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitMix) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

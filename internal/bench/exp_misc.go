@@ -202,10 +202,11 @@ var Experiments = map[string]func(Config) []Table{
 	"dpcost":   DPVariants,
 	"ablation": Ablation,
 	"sharded":  ShardedExp,
+	"adaptive": AdaptiveExp,
 }
 
 // ExperimentOrder is the canonical presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-	"table2", "table3", "dpcost", "ablation", "sharded",
+	"table2", "table3", "dpcost", "ablation", "sharded", "adaptive",
 }

@@ -1,0 +1,263 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/sqlfe"
+)
+
+func buildTestSynopsis(t *testing.T, n int) *core.Synopsis {
+	t.Helper()
+	d := dataset.New("t", 1)
+	for i := 0; i < n; i++ {
+		d.Append([]float64{float64(i)}, float64(i%10))
+	}
+	s, err := core.Build(d, core.Options{Partitions: 16, SampleRate: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func registerAdaptiveTable(t *testing.T, n int) (*Table, *adaptive.Collector, *adaptive.Cache) {
+	t.Helper()
+	cat := New()
+	tbl, err := cat.Register("t", buildTestSynopsis(t, n), sqlfe.SchemaFromColNames([]string{"x", "v"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := adaptive.NewCollector(256)
+	cache := adaptive.NewCache(1 << 20)
+	tbl.AttachAdaptive(col, cache)
+	return tbl, col, cache
+}
+
+func TestTableCacheHitAndRecord(t *testing.T) {
+	tbl, col, cache := registerAdaptiveTable(t, 1000)
+	q := dataset.Rect1(100, 500)
+
+	r1, err := tbl.Query(dataset.Sum, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tbl.Query(dataset.Sum, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Estimate != r2.Estimate || r1.CIHalf != r2.CIHalf {
+		t.Fatalf("cached result differs: %+v vs %+v", r1, r2)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss", st)
+	}
+	cs, ok := col.Stats("t")
+	if !ok || cs.Window != 2 {
+		t.Fatalf("collector stats = %+v ok=%v, want 2 observations", cs, ok)
+	}
+	if cs.CacheHitFrac != 0.5 {
+		t.Fatalf("cache hit frac = %v, want 0.5", cs.CacheHitFrac)
+	}
+}
+
+func TestTableCacheInvalidatedByWrite(t *testing.T) {
+	tbl, _, _ := registerAdaptiveTable(t, 1000)
+	q := dataset.Rect1(-1, 2000) // full range: COUNT is exact
+
+	before, err := tbl.Query(dataset.Count, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Estimate != 1000 {
+		t.Fatalf("count = %v, want 1000", before.Estimate)
+	}
+	gen := tbl.Gen()
+	if err := tbl.Insert([]float64{500}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Gen() != gen+2 {
+		t.Fatalf("generation advanced by %d, want 2", tbl.Gen()-gen)
+	}
+	after, err := tbl.Query(dataset.Count, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimate != 1001 {
+		t.Fatalf("post-insert count = %v, want 1001 (stale cache served?)", after.Estimate)
+	}
+}
+
+func TestTableBatchUsesCache(t *testing.T) {
+	tbl, _, cache := registerAdaptiveTable(t, 1000)
+	qs := []core.BatchQuery{
+		{Kind: dataset.Sum, Rect: dataset.Rect1(0, 100)},
+		{Kind: dataset.Count, Rect: dataset.Rect1(200, 300)},
+		{Kind: dataset.Sum, Rect: dataset.Rect1(0, 100)}, // repeat of #0
+	}
+	out := tbl.QueryBatch(qs)
+	for i, br := range out {
+		if br.Err != nil {
+			t.Fatalf("query %d: %v", i, br.Err)
+		}
+	}
+	if out[0].Result.Estimate != out[2].Result.Estimate {
+		t.Fatalf("repeat in one batch answered differently: %v vs %v",
+			out[0].Result.Estimate, out[2].Result.Estimate)
+	}
+	// the repeated batch is served entirely from cache
+	st0 := cache.Stats()
+	out2 := tbl.QueryBatch(qs)
+	st1 := cache.Stats()
+	if st1.Hits-st0.Hits != 3 {
+		t.Fatalf("second batch hits = %d, want 3", st1.Hits-st0.Hits)
+	}
+	for i := range out {
+		if out[i].Result.Estimate != out2[i].Result.Estimate {
+			t.Fatalf("batch replay differs at %d", i)
+		}
+	}
+}
+
+// TestCacheInvalidationRace is the catalog-level stale-read hunt: one
+// writer streams inserts into the queried range while readers hammer the
+// same cached COUNT. Counts observed by any single reader must never
+// decrease (a decrease means a cached pre-insert answer was served after
+// the insert), and the final drained answer must be exact. Run under
+// -race this also exercises every lock/generation interleaving.
+func TestCacheInvalidationRace(t *testing.T) {
+	tbl, _, _ := registerAdaptiveTable(t, 2000)
+	q := dataset.Rect1(-1, 1e9)
+
+	const inserts = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r, err := tbl.Query(dataset.Count, q)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if r.Estimate < last {
+					t.Errorf("stale cached count: %v after having seen %v", r.Estimate, last)
+					return
+				}
+				last = r.Estimate
+			}
+		}()
+	}
+	for i := 0; i < inserts; i++ {
+		if err := tbl.Insert([]float64{float64(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	r, err := tbl.Query(dataset.Count, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Estimate != 2000+inserts {
+		t.Fatalf("final count = %v, want %d", r.Estimate, 2000+inserts)
+	}
+}
+
+// countingObserver records the updates the catalog reports, for the
+// observer and swap tests.
+type countingObserver struct {
+	mu      sync.Mutex
+	inserts [][]float64
+	deletes int
+}
+
+func (o *countingObserver) ObserveInsert(p []float64, v float64) {
+	o.mu.Lock()
+	o.inserts = append(o.inserts, append([]float64(nil), p...))
+	o.mu.Unlock()
+}
+
+func (o *countingObserver) ObserveDelete(p []float64, v float64) {
+	o.mu.Lock()
+	o.deletes++
+	o.mu.Unlock()
+}
+
+func TestObserverTracksUpdates(t *testing.T) {
+	cat := New()
+	tbl, err := cat.Register("t", buildTestSynopsis(t, 100), sqlfe.SchemaFromColNames([]string{"x", "v"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &countingObserver{}
+	tbl.AttachObserver(obs)
+	if err := tbl.Insert([]float64{5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.InsertMany([][]float64{{6}, {7}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete([]float64{5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.inserts) != 3 || obs.deletes != 1 {
+		t.Fatalf("observer saw %d inserts / %d deletes, want 3/1", len(obs.inserts), obs.deletes)
+	}
+}
+
+func TestSwapEngine(t *testing.T) {
+	tbl, _, _ := registerAdaptiveTable(t, 1000)
+	q := dataset.Rect1(-1, 1e9)
+	if _, err := tbl.Query(dataset.Count, q); err != nil {
+		t.Fatal(err)
+	}
+	gen := tbl.Gen()
+	bigger := buildTestSynopsis(t, 1500)
+	err := tbl.SwapEngine(func(old engine.Engine) (engine.Engine, error) {
+		if old == nil {
+			t.Error("prep received nil old engine")
+		}
+		return bigger, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Gen() != gen+2 {
+		t.Fatalf("swap advanced generation by %d, want 2", tbl.Gen()-gen)
+	}
+	if tbl.Rows() != 1500 {
+		t.Fatalf("rows = %d, want resynced 1500", tbl.Rows())
+	}
+	r, err := tbl.Query(dataset.Count, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Estimate != 1500 {
+		t.Fatalf("post-swap count = %v, want 1500 (cached pre-swap answer served?)", r.Estimate)
+	}
+	// a failing prep leaves the old engine serving
+	if err := tbl.SwapEngine(func(engine.Engine) (engine.Engine, error) {
+		return nil, nil
+	}); err == nil {
+		t.Fatal("nil successor must be an error")
+	}
+	if tbl.Rows() != 1500 {
+		t.Fatal("failed swap must leave the table untouched")
+	}
+}

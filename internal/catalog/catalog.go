@@ -10,6 +10,16 @@
 // worker pool inside the engine; Insert/Delete take the write lock, so
 // updates serialise against each other and against in-flight queries
 // without blocking other tables.
+//
+// Two subsystems attach to a table through interfaces defined here, so
+// the catalog imports neither: a durable store journals updates through
+// Journal (write-ahead, under the update lock), and the
+// workload-adaptive layer observes queries and serves cached answers
+// through QueryRecorder/ResultCache, with soundness anchored on the
+// table's update-generation counter (see adaptive.go). SwapEngine
+// hot-swaps a table's serving engine under the exclusive lock — the
+// re-optimizer's path for replacing a synopsis with a workload-aligned
+// rebuild.
 package catalog
 
 import (
@@ -21,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -55,6 +66,15 @@ type Table struct {
 	schema  sqlfe.Schema
 	rows    atomic.Int64
 	journal Journal
+	// gen is the update generation: bumped before and after every update
+	// and engine swap, read by queries under the read lock. It keys the
+	// result cache so stale answers are unreachable (see adaptive.go).
+	gen atomic.Uint64
+	// recorder and cache are the optional workload-adaptive hooks
+	// (AttachAdaptive); observer tracks applied updates (AttachObserver).
+	recorder QueryRecorder
+	cache    ResultCache
+	observer UpdateObserver
 }
 
 // Name returns the registered table name.
@@ -88,19 +108,88 @@ func (t *Table) Rows() int {
 	return int(t.rows.Load())
 }
 
-// Query answers one aggregate under the table's read lock.
+// Query answers one aggregate under the table's read lock, consulting
+// the result cache first when one is attached (AttachAdaptive) and
+// recording the served query with the workload collector.
 func (t *Table) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.eng.Query(kind, q)
+	rec, cache := t.recorder, t.cache
+	if rec == nil && cache == nil {
+		return t.eng.Query(kind, q)
+	}
+	gen := t.gen.Load()
+	if cache != nil {
+		if r, ok := cache.Lookup(t.name, gen, kind, q); ok {
+			if rec != nil {
+				rec.ObserveQuery(t.name, kind, q, r, t.Rows(), 0, true)
+			}
+			return r, nil
+		}
+	}
+	start := time.Now()
+	r, err := t.eng.Query(kind, q)
+	if err != nil {
+		return r, err
+	}
+	elapsed := time.Since(start)
+	if cache != nil {
+		cache.Store(t.name, gen, kind, q, r)
+	}
+	if rec != nil {
+		rec.ObserveQuery(t.name, kind, q, r, t.Rows(), elapsed, false)
+	}
+	return r, nil
 }
 
 // QueryBatch answers a whole workload under one read-lock acquisition;
-// engines with a parallel synopsis fan it across the worker pool.
+// engines with a parallel synopsis fan it across the worker pool. With a
+// result cache attached, hits are filled directly and only the misses go
+// to the engine (as one smaller batch); every served query is recorded
+// with the workload collector.
 func (t *Table) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.eng.QueryBatch(qs)
+	rec, cache := t.recorder, t.cache
+	if rec == nil && cache == nil {
+		return t.eng.QueryBatch(qs)
+	}
+	gen := t.gen.Load()
+	out := make([]core.BatchResult, len(qs))
+	hit := make([]bool, len(qs))
+	misses := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if cache != nil {
+			if r, ok := cache.Lookup(t.name, gen, q.Kind, q.Rect); ok {
+				out[i] = core.BatchResult{Result: r}
+				hit[i] = true
+				continue
+			}
+		}
+		misses = append(misses, i)
+	}
+	if len(misses) > 0 {
+		sub := make([]core.BatchQuery, len(misses))
+		for j, i := range misses {
+			sub[j] = qs[i]
+		}
+		for j, br := range t.eng.QueryBatch(sub) {
+			i := misses[j]
+			out[i] = br
+			if br.Err == nil && cache != nil {
+				cache.Store(t.name, gen, qs[i].Kind, qs[i].Rect, br.Result)
+			}
+		}
+	}
+	if rec != nil {
+		n := t.Rows()
+		for i := range qs {
+			if out[i].Err == nil {
+				rec.ObserveQuery(t.name, qs[i].Kind, qs[i].Rect, out[i].Result, n, out[i].Elapsed, hit[i])
+			}
+		}
+	}
+	return out
 }
 
 // GroupBy answers one aggregate per group key, when the engine supports
@@ -153,6 +242,10 @@ func (t *Table) lockForUpdate() func() {
 // rolls the log entry back.
 func (t *Table) Insert(point []float64, value float64) error {
 	defer t.lockForUpdate()()
+	// generation discipline: bump before journaling/applying and again
+	// after, so cached results can never outlive this write (adaptive.go)
+	t.gen.Add(1)
+	defer t.gen.Add(1)
 	u, ok := engine.Underlying(t.eng).(engine.Updatable)
 	if !ok {
 		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
@@ -165,6 +258,9 @@ func (t *Table) Insert(point []float64, value float64) error {
 	if err := u.Insert(point, value); err != nil {
 		return t.unjournal(err)
 	}
+	if t.observer != nil {
+		t.observer.ObserveInsert(point, value)
+	}
 	t.resyncRows(1)
 	return nil
 }
@@ -173,6 +269,8 @@ func (t *Table) Insert(point []float64, value float64) error {
 // is updatable. Journaling mirrors Insert.
 func (t *Table) Delete(point []float64, value float64) error {
 	defer t.lockForUpdate()()
+	t.gen.Add(1)
+	defer t.gen.Add(1)
 	u, ok := engine.Underlying(t.eng).(engine.Updatable)
 	if !ok {
 		return fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
@@ -184,6 +282,9 @@ func (t *Table) Delete(point []float64, value float64) error {
 	}
 	if err := u.Delete(point, value); err != nil {
 		return t.unjournal(err)
+	}
+	if t.observer != nil {
+		t.observer.ObserveDelete(point, value)
 	}
 	t.resyncRows(-1)
 	return nil
@@ -202,6 +303,8 @@ func (t *Table) InsertMany(points [][]float64, values []float64) (int, error) {
 		return 0, nil
 	}
 	defer t.lockForUpdate()()
+	t.gen.Add(1)
+	defer t.gen.Add(1)
 	u, ok := engine.Underlying(t.eng).(engine.Updatable)
 	if !ok {
 		return 0, fmt.Errorf("catalog: engine %s of table %q does not support updates", t.eng.Name(), t.name)
@@ -227,6 +330,9 @@ func (t *Table) InsertMany(points [][]float64, values []float64) (int, error) {
 			}
 			t.resyncRows(i)
 			return i, fmt.Errorf("catalog: insert row %d into %q: %w", i, t.name, err)
+		}
+		if t.observer != nil {
+			t.observer.ObserveInsert(points[i], values[i])
 		}
 	}
 	t.resyncRows(len(points))

@@ -97,6 +97,14 @@ type Options struct {
 	// Fanout is the 1D partition-tree fanout (default 2). Per Section 4.1
 	// it affects only construction time and query latency, never accuracy.
 	Fanout int
+	// ForceBoundaries, when non-empty, overrides the Partitioner: the 1D
+	// partitioning places a leaf boundary at every listed predicate value
+	// and spends the rest of the Partitions budget on equal-depth
+	// refinement between them (partition.Forced). It is the
+	// workload-driven rebuild path: forcing boundaries at observed query
+	// endpoints turns repeated query ranges into exactly-covered partition
+	// unions, answered with zero sampling error. Ignored by BuildKD.
+	ForceBoundaries []partition.Boundary
 }
 
 func (o *Options) fill(n int) error {
@@ -191,6 +199,10 @@ func Build(d *dataset.Dataset, opts Options) (*Synopsis, error) {
 	rng := stats.NewRNG(opts.Seed + 0x9e37)
 
 	var p partition.Partitioning
+	if len(opts.ForceBoundaries) > 0 {
+		p = partition.Forced(sorted, opts.Partitions, opts.ForceBoundaries)
+		return buildFromPartitioning(sorted, opts, p, rng, start)
+	}
 	switch opts.Partitioner {
 	case PartitionEqualDepth:
 		p = partition.EqualDepth(sorted.N(), opts.Partitions)
@@ -203,6 +215,12 @@ func Build(d *dataset.Dataset, opts Options) (*Synopsis, error) {
 		res := partition.ADP(sorted, opts.Partitions, opts.OptSamples, opts.Kind, opts.Delta, rng)
 		p = res.Partitioning
 	}
+	return buildFromPartitioning(sorted, opts, p, rng, start)
+}
+
+// buildFromPartitioning finishes 1D construction from a chosen leaf
+// partitioning: partition tree, stratified samples, update reservoir.
+func buildFromPartitioning(sorted *dataset.Dataset, opts Options, p partition.Partitioning, rng *stats.RNG, start time.Time) (*Synopsis, error) {
 	fanout := opts.Fanout
 	if fanout <= 0 {
 		fanout = 2

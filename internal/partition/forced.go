@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Boundary is one partition boundary a caller wants the partitioning to
+// respect, expressed as a predicate value rather than a sorted index. It
+// is how workload-driven re-optimization (internal/adaptive) communicates
+// observed query endpoints to the builder: a query whose predicate range
+// starts and ends exactly on partition boundaries is covered by whole
+// partitions and answered exactly from precomputed aggregates.
+type Boundary struct {
+	// Value is the predicate value the boundary aligns to.
+	Value float64
+	// After selects which side of ties the cut falls on: false places the
+	// cut before the first tuple with predicate >= Value (aligning a query
+	// lower bound), true places it after the last tuple with predicate
+	// <= Value (aligning a query upper bound).
+	After bool
+}
+
+// Forced builds a partitioning of the sorted dataset that respects the
+// given boundaries and spends the remaining budget on equal-depth
+// refinement: the boundary cut points split the data into segments, and
+// the leftover partition budget is apportioned to the segments in
+// proportion to their size (largest remainders first), subdividing each
+// segment into equal-size pieces.
+//
+// Equal-depth refinement inside the segments keeps the construction cheap
+// and is COUNT-optimal (Lemma A.1 of the paper); the workload alignment
+// comes from the forced cuts, which turn repeated query ranges into
+// exactly-covered partition unions. Boundaries that fall outside the data
+// or collide with each other are dropped; if more boundaries than the
+// budget allows survive, the excess is trimmed evenly. The result always
+// satisfies Validate(n) with at most k partitions.
+func Forced(sorted *dataset.Dataset, k int, bounds []Boundary) Partitioning {
+	n := sorted.N()
+	if k <= 0 {
+		k = 1
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	pred := sorted.Pred[0]
+	// translate boundary values into interior cut indices
+	cutSet := make(map[int]bool)
+	for _, b := range bounds {
+		var c int
+		if b.After {
+			c = sort.SearchFloat64s(pred, math.Nextafter(b.Value, math.Inf(1)))
+		} else {
+			c = sort.SearchFloat64s(pred, b.Value)
+		}
+		if c > 0 && c < n {
+			cutSet[c] = true
+		}
+	}
+	forced := make([]int, 0, len(cutSet))
+	for c := range cutSet {
+		forced = append(forced, c)
+	}
+	sort.Ints(forced)
+	// more forced cuts than the budget can host: keep an evenly spaced
+	// subset so the trimmed set still spans the workload's range
+	if len(forced) > k-1 {
+		kept := make([]int, 0, k-1)
+		for i := 0; i < k-1; i++ {
+			kept = append(kept, forced[i*len(forced)/(k-1)])
+		}
+		forced = kept
+	}
+	// segments between consecutive forced cuts (including the data ends)
+	segs := append(append([]int{0}, forced...), n)
+	spare := k - (len(segs) - 1)
+	extra := apportion(segs, spare)
+	cuts := make([]int, 0, k+1)
+	for i := 0; i+1 < len(segs); i++ {
+		lo, hi := segs[i], segs[i+1]
+		pieces := extra[i] + 1
+		for j := 0; j < pieces; j++ {
+			c := lo + j*(hi-lo)/pieces
+			if len(cuts) == 0 || c > cuts[len(cuts)-1] {
+				cuts = append(cuts, c)
+			}
+		}
+	}
+	if len(cuts) == 0 || cuts[len(cuts)-1] != n {
+		cuts = append(cuts, n)
+	}
+	if cuts[0] != 0 {
+		cuts = append([]int{0}, cuts...)
+	}
+	return Partitioning{Cuts: cuts}
+}
+
+// apportion distributes spare extra cuts to the segments proportionally
+// to their sizes, largest remainders first. segs has len(segs)-1 segments.
+func apportion(segs []int, spare int) []int {
+	m := len(segs) - 1
+	extra := make([]int, m)
+	if spare <= 0 {
+		return extra
+	}
+	total := segs[m] - segs[0]
+	if total <= 0 {
+		return extra
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, m)
+	used := 0
+	for i := 0; i < m; i++ {
+		size := segs[i+1] - segs[i]
+		share := float64(spare) * float64(size) / float64(total)
+		extra[i] = int(share)
+		used += extra[i]
+		rems[i] = rem{i: i, frac: share - float64(extra[i])}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].i < rems[b].i
+	})
+	for j := 0; used < spare && j < m; j++ {
+		extra[rems[j].i]++
+		used++
+	}
+	return extra
+}

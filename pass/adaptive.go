@@ -1,0 +1,483 @@
+package pass
+
+// Workload-adaptive serving: a Session with EnableAdaptive on collects
+// per-table query statistics (internal/adaptive.Collector), serves
+// repeated predicates from a semantic result cache (adaptive.Cache), and
+// re-optimizes drifted tables in the background — rebuilding the synopsis
+// with partition boundaries forced onto the workload's hot query
+// endpoints and hot-swapping it under the catalog's table lock, then
+// persisting the new synopsis through the attached store.
+//
+// Rebuilds need the base rows, which a built synopsis does not retain:
+// RegisterAdaptive keeps a private copy of the table data, held in
+// lockstep with the serving engine via the catalog's update observer, so
+// a rebuild always starts from exactly the rows the engine summarises.
+// Tables registered through the plain Register paths (and tables
+// warm-started from snapshots, whose rows exist only inside the synopsis)
+// still get statistics and caching, but skip re-optimization.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/shard"
+)
+
+// AdaptiveConfig tunes the session's workload-adaptive layer. The zero
+// value enables statistics and a 64 MiB cache with manual-only
+// re-optimization; set ReoptInterval for the background loop.
+type AdaptiveConfig struct {
+	// ReoptInterval is the background re-optimization scan period;
+	// non-positive means manual triggering only (Session.Reoptimize).
+	ReoptInterval time.Duration
+	// Window is the per-table sliding-window size (default 2048).
+	Window int
+	// MinWindow gates automatic rebuilds until enough queries were
+	// observed (default 64).
+	MinWindow int
+	// DriftThreshold triggers a rebuild when the fraction of recent
+	// traffic hitting repeated-but-inexact ranges crosses it (default 0.25).
+	DriftThreshold float64
+	// MaxBoundaries caps forced boundaries per rebuild (default 16).
+	MaxBoundaries int
+	// CacheBytes bounds the semantic result cache; 0 defaults to 64 MiB,
+	// negative disables caching entirely (statistics still collected).
+	CacheBytes int
+	// Logf receives re-optimization diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// adaptiveRuntime is the session's adaptive state.
+type adaptiveRuntime struct {
+	col   *adaptive.Collector
+	cache *adaptive.Cache // nil when disabled
+	reopt *adaptive.Reoptimizer
+
+	mu      sync.Mutex
+	sources map[string]*tableSource // key: lower-cased table name
+}
+
+// resultCache returns the cache as the catalog interface, or a true nil
+// when caching is disabled (a typed nil would still be a non-nil
+// interface and trip the catalog's nil checks).
+func (rt *adaptiveRuntime) resultCache() catalog.ResultCache {
+	if rt.cache == nil {
+		return nil
+	}
+	return rt.cache
+}
+
+// tableSource is the retained base data of one adaptive table, kept in
+// lockstep with the serving engine through the catalog update observer.
+type tableSource struct {
+	mu   sync.Mutex
+	data *dataset.Dataset
+	opt  Options
+	// shards is the shard count the table serves with (1 = unsharded).
+	shards int
+	// persisted records whether the table is in the durable store, so a
+	// rebuilt engine is re-snapshotted the same way.
+	persisted bool
+	// capturing/deltas buffer updates that land while a rebuild is in
+	// flight, applied to the new engine inside the swap (under the
+	// table's exclusive lock) so no acknowledged update is lost.
+	capturing bool
+	deltas    []deltaOp
+}
+
+type deltaOp struct {
+	point []float64
+	value float64
+	del   bool
+}
+
+// ObserveInsert keeps the retained rows in lockstep with the engine; it
+// runs under the table's update lock (catalog.UpdateObserver).
+func (src *tableSource) ObserveInsert(point []float64, value float64) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	src.data.Append(point, value)
+	if src.capturing {
+		src.deltas = append(src.deltas, deltaOp{point: append([]float64(nil), point...), value: value})
+	}
+}
+
+// ObserveDelete removes the first retained row matching the tuple.
+func (src *tableSource) ObserveDelete(point []float64, value float64) {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	removeRow(src.data, point, value)
+	if src.capturing {
+		src.deltas = append(src.deltas, deltaOp{point: append([]float64(nil), point...), value: value, del: true})
+	}
+}
+
+// removeRow deletes the first tuple equal to (point, value) by swapping
+// the last row in — order is irrelevant, every build sorts.
+func removeRow(d *dataset.Dataset, point []float64, value float64) {
+	n := d.N()
+search:
+	for i := 0; i < n; i++ {
+		if d.Agg[i] != value {
+			continue
+		}
+		for c := 0; c < d.Dims() && c < len(point); c++ {
+			if d.Pred[c][i] != point[c] {
+				continue search
+			}
+		}
+		last := n - 1
+		for c := 0; c < d.Dims(); c++ {
+			d.Pred[c][i] = d.Pred[c][last]
+			d.Pred[c] = d.Pred[c][:last]
+		}
+		d.Agg[i] = d.Agg[last]
+		d.Agg = d.Agg[:last]
+		return
+	}
+}
+
+// EnableAdaptive turns on the workload-adaptive layer: statistics
+// collection and result caching for every current and future table, and
+// (with a positive ReoptInterval) background re-optimization of tables
+// registered through RegisterAdaptive. Enable before registering tables
+// or attaching a store; it cannot be enabled twice.
+func (s *Session) EnableAdaptive(cfg AdaptiveConfig) error {
+	if s.adaptive != nil {
+		return fmt.Errorf("pass: session already has the adaptive layer enabled")
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	rt := &adaptiveRuntime{
+		col:     adaptive.NewCollector(cfg.Window),
+		sources: make(map[string]*tableSource),
+	}
+	if cfg.CacheBytes > 0 {
+		rt.cache = adaptive.NewCache(cfg.CacheBytes)
+	}
+	rt.reopt = adaptive.NewReoptimizer(rt.col, adaptive.ReoptConfig{
+		Interval:       cfg.ReoptInterval,
+		MinWindow:      cfg.MinWindow,
+		DriftThreshold: cfg.DriftThreshold,
+		MaxBoundaries:  cfg.MaxBoundaries,
+		Logf:           cfg.Logf,
+	}, s.rebuildTable)
+	s.adaptive = rt
+	for _, tbl := range s.cat.List() {
+		tbl.AttachAdaptive(rt.col, rt.resultCache())
+	}
+	rt.reopt.Start()
+	return nil
+}
+
+// Adaptive reports whether the adaptive layer is enabled.
+func (s *Session) Adaptive() bool { return s.adaptive != nil }
+
+// adaptiveAttach wires the collector and cache under a newly registered
+// table. No-op when the adaptive layer is off.
+func (s *Session) adaptiveAttach(tbl *catalog.Table) {
+	if s.adaptive != nil {
+		tbl.AttachAdaptive(s.adaptive.col, s.adaptive.resultCache())
+	}
+}
+
+// RegisterAdaptive builds a synopsis over the table (sharded when
+// shards > 1), registers it like Register/RegisterEngine, and — for
+// one-predicate-column tables — retains a copy of the rows so the
+// background re-optimizer can rebuild the synopsis with workload-aligned
+// partition boundaries. Multi-dimensional tables are registered and
+// observed but not rebuildable (the k-d tree has no 1D boundaries to
+// force); they behave exactly like plain registration.
+//
+// With a store attached the table persists like Register; engines that
+// cannot be serialized fall back to ephemeral serving, reported by the
+// persisted return.
+func (s *Session) RegisterAdaptive(name string, t *Table, opt Options, shards int) (persisted bool, err error) {
+	if s.adaptive == nil {
+		return false, fmt.Errorf("pass: RegisterAdaptive requires EnableAdaptive first")
+	}
+	if t == nil || t.Len() == 0 {
+		return false, fmt.Errorf("pass: RegisterAdaptive needs a non-empty table")
+	}
+	persisted = s.store != nil
+	if shards > 1 {
+		eng, schema, berr := BuildShardedEngine(t, opt, shards)
+		if berr != nil {
+			return false, berr
+		}
+		err = s.RegisterEngine(name, eng, schema)
+		if isNotSerializable(err) {
+			persisted = false
+			err = s.RegisterEngineEphemeral(name, eng, schema)
+		}
+	} else {
+		syn, berr := BuildAuto(t, opt)
+		if berr != nil {
+			return false, berr
+		}
+		err = s.Register(name, syn)
+		if isNotSerializable(err) {
+			persisted = false
+			err = s.RegisterEphemeral(name, syn)
+		}
+	}
+	if err != nil {
+		return false, err
+	}
+	if t.Dims() != 1 {
+		return persisted, nil
+	}
+	tbl, err := s.cat.Lookup(name)
+	if err != nil {
+		return persisted, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	src := &tableSource{data: t.inner.Clone(), opt: opt, shards: shards, persisted: persisted}
+	rt := s.adaptive
+	rt.mu.Lock()
+	rt.sources[strings.ToLower(name)] = src
+	rt.mu.Unlock()
+	tbl.AttachObserver(src)
+	return persisted, nil
+}
+
+func isNotSerializable(err error) bool {
+	return errors.Is(err, engine.ErrNotSerializable)
+}
+
+// Reoptimize forces a re-optimization decision for one table now,
+// bypassing the drift threshold: if the observed window yields workload
+// boundaries that differ from the last rebuild, the synopsis is rebuilt
+// and hot-swapped. The outcome reports what happened either way.
+func (s *Session) Reoptimize(table string) (adaptive.Outcome, error) {
+	if s.adaptive == nil {
+		return adaptive.Outcome{}, fmt.Errorf("pass: session has no adaptive layer (EnableAdaptive)")
+	}
+	tbl, err := s.cat.Lookup(table)
+	if err != nil {
+		return adaptive.Outcome{}, err
+	}
+	return s.adaptive.reopt.ReoptimizeNow(tbl.Name())
+}
+
+// rebuildTable is the Reoptimizer's rebuild hook: construct a new
+// synopsis over the retained rows with the forced boundaries, apply any
+// updates that landed during construction, hot-swap it under the table's
+// exclusive lock, and re-persist.
+func (s *Session) rebuildTable(table string, bs []partition.Boundary) error {
+	rt := s.adaptive
+	rt.mu.Lock()
+	src := rt.sources[strings.ToLower(table)]
+	rt.mu.Unlock()
+	if src == nil {
+		return adaptive.ErrNoSource
+	}
+	tbl, err := s.cat.Lookup(table)
+	if err != nil {
+		return err
+	}
+
+	// snapshot the rows and start capturing concurrent updates; the
+	// observer keeps data in lockstep under the table's update lock, so
+	// every update is either in the clone or in the delta buffer
+	src.mu.Lock()
+	data := src.data.Clone()
+	src.capturing = true
+	src.deltas = nil
+	opt, shards := src.opt, src.shards
+	src.mu.Unlock()
+	stopCapture := func() {
+		src.mu.Lock()
+		src.capturing = false
+		src.deltas = nil
+		src.mu.Unlock()
+	}
+
+	newEng, err := buildAligned(data, opt, shards, bs)
+	if err != nil {
+		stopCapture()
+		return err
+	}
+
+	// swap under the exclusive lock: no update can interleave, so after
+	// the captured deltas are replayed the new engine holds exactly the
+	// rows the old one did
+	err = tbl.SwapEngine(func(engine.Engine) (engine.Engine, error) {
+		src.mu.Lock()
+		defer src.mu.Unlock()
+		defer func() { src.capturing = false; src.deltas = nil }()
+		if len(src.deltas) > 0 {
+			u, ok := engine.Underlying(newEng).(engine.Updatable)
+			if !ok {
+				return nil, fmt.Errorf("pass: %d updates landed during rebuild but engine %s is not updatable", len(src.deltas), newEng.Name())
+			}
+			for _, d := range src.deltas {
+				var aerr error
+				if d.del {
+					aerr = u.Delete(d.point, d.value)
+				} else {
+					aerr = u.Insert(d.point, d.value)
+				}
+				if aerr != nil {
+					return nil, fmt.Errorf("pass: replay update captured during rebuild: %w", aerr)
+				}
+			}
+		}
+		return newEng, nil
+	})
+	if err != nil {
+		stopCapture()
+		return err
+	}
+
+	// persist the rebuilt synopsis through the store. A crash before this
+	// completes recovers the pre-rebuild snapshot + WAL — a consistent
+	// (merely unoptimized) state; the re-optimizer will fire again.
+	if s.store != nil && src.persisted {
+		if sh, ok := engine.Underlying(newEng).(engine.Sharded); ok {
+			// refresh the journal router: the rebuilt cuts may differ
+			j, err := s.store.AttachSharded(tbl, sh, sh.ShardInfo().Shards)
+			if err != nil {
+				return fmt.Errorf("pass: reattach shard journals after rebuild of %q: %w", table, err)
+			}
+			tbl.AttachJournal(j)
+			if err := s.store.SaveSharded(tbl); err != nil {
+				return fmt.Errorf("pass: persist rebuilt sharded table %q: %w", table, err)
+			}
+		} else if err := s.store.SaveTable(tbl); err != nil {
+			return fmt.Errorf("pass: persist rebuilt table %q: %w", table, err)
+		}
+	}
+	return nil
+}
+
+// buildAligned constructs the replacement engine: a 1D PASS synopsis
+// with the forced boundaries, or a range-sharded set of them with the
+// whole-table budget divided by shard cardinality (each shard keeps the
+// boundaries that fall inside its key range).
+func buildAligned(data *dataset.Dataset, opt Options, shards int, bs []partition.Boundary) (engine.Engine, error) {
+	iopt, err := opt.internal()
+	if err != nil {
+		return nil, err
+	}
+	iopt.ForceBoundaries = bs
+	if shards <= 1 {
+		return core.Build(data, iopt)
+	}
+	total := data.N()
+	return shard.Build(data, shard.Range, 0, shards, func(i int, sd *dataset.Dataset) (engine.Engine, error) {
+		per := iopt
+		per.Partitions = scaleShardBudget(iopt.Partitions, sd.N(), total)
+		if iopt.SampleSize > 0 {
+			per.SampleSize = scaleShardBudget(iopt.SampleSize, sd.N(), total)
+		}
+		per.Seed = iopt.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		return core.Build(sd, per)
+	})
+}
+
+// scaleShardBudget apportions a whole-table budget to one shard by its
+// row share, never below 1 (mirrors the engine factory's policy).
+func scaleShardBudget(budget, shardRows, totalRows int) int {
+	v := int(float64(budget) * float64(shardRows) / float64(totalRows))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// AdaptiveInfo is the per-table adaptive state surfaced by Tables and
+// passd's GET /tables.
+type AdaptiveInfo struct {
+	// WindowQueries and TotalQueries count observed queries (sliding
+	// window / lifetime).
+	WindowQueries int   `json:"window_queries"`
+	TotalQueries  int64 `json:"total_queries"`
+	// ExactFrac is the fraction of window queries answered exactly;
+	// MeanRelCI the mean relative CI half-width of the inexact ones.
+	ExactFrac float64 `json:"exact_frac"`
+	MeanRelCI float64 `json:"mean_rel_ci"`
+	// CacheHits/CacheMisses/CacheHitRate report semantic-cache traffic
+	// for this table (absent when caching is disabled).
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Rebuildable reports whether the table retains base data for
+	// workload-driven rebuilds (RegisterAdaptive, 1D only).
+	Rebuildable bool `json:"rebuildable"`
+	// Rebuilds, LastReopt, LastDrift and LastOutcome summarise
+	// re-optimization history.
+	Rebuilds    int       `json:"rebuilds"`
+	LastReopt   time.Time `json:"last_reopt,omitzero"`
+	LastDrift   float64   `json:"last_drift"`
+	LastOutcome string    `json:"last_outcome,omitempty"`
+}
+
+// adaptiveInfo assembles one table's AdaptiveInfo (nil when the layer is
+// off).
+func (s *Session) adaptiveInfo(name string) *AdaptiveInfo {
+	rt := s.adaptive
+	if rt == nil {
+		return nil
+	}
+	info := &AdaptiveInfo{}
+	if st, ok := rt.col.Stats(name); ok {
+		info.WindowQueries = st.Window
+		info.TotalQueries = st.Total
+		info.ExactFrac = st.ExactFrac
+		info.MeanRelCI = st.MeanRelCI
+	}
+	if rt.cache != nil {
+		h, m := rt.cache.TableStats(name)
+		info.CacheHits, info.CacheMisses = h, m
+		if h+m > 0 {
+			info.CacheHitRate = float64(h) / float64(h+m)
+		}
+	}
+	rt.mu.Lock()
+	_, info.Rebuildable = rt.sources[strings.ToLower(name)]
+	rt.mu.Unlock()
+	st := rt.reopt.Status(name)
+	info.Rebuilds = st.Rebuilds
+	info.LastReopt = st.LastReopt
+	info.LastDrift = st.LastDrift
+	info.LastOutcome = st.LastOutcome
+	return info
+}
+
+// CacheStats reports the session-wide semantic-cache counters, ok=false
+// when the adaptive layer or its cache is off.
+func (s *Session) CacheStats() (adaptive.CacheStats, bool) {
+	if s.adaptive == nil || s.adaptive.cache == nil {
+		return adaptive.CacheStats{}, false
+	}
+	return s.adaptive.cache.Stats(), true
+}
+
+// adaptiveForget clears all adaptive state of a dropped table.
+func (s *Session) adaptiveForget(name string) {
+	rt := s.adaptive
+	if rt == nil {
+		return
+	}
+	rt.col.Forget(name)
+	if rt.cache != nil {
+		rt.cache.Forget(name)
+	}
+	rt.reopt.Forget(name)
+	rt.mu.Lock()
+	delete(rt.sources, strings.ToLower(name))
+	rt.mu.Unlock()
+}

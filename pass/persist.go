@@ -33,6 +33,9 @@ func (s *Session) AttachStore(st *store.Store) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("pass: warm start table %q: %w", lt.Name, err)
 		}
+		// warm-started tables join the adaptive layer too (statistics +
+		// cache; no rebuilds — the base rows live only in the synopsis)
+		s.adaptiveAttach(tbl)
 		if sh, ok := engine.Underlying(lt.Engine).(engine.Sharded); ok {
 			j, err := st.AttachSharded(tbl, sh, sh.ShardInfo().Shards)
 			if err != nil {
@@ -93,6 +96,7 @@ func (s *Session) register(name string, eng engine.Engine, schema sqlfe.Schema, 
 	if err != nil {
 		return err
 	}
+	s.adaptiveAttach(tbl)
 	if !persist {
 		return nil
 	}
@@ -135,9 +139,13 @@ func (s *Session) Checkpoint() error {
 	return s.store.CheckpointAll()
 }
 
-// Close performs a final checkpoint and releases the attached store's
-// files. No-op without a store; the session itself needs no cleanup.
+// Close stops the background re-optimizer (if the adaptive layer is on),
+// performs a final checkpoint, and releases the attached store's files.
+// Without a store only the re-optimizer shutdown remains.
 func (s *Session) Close() error {
+	if s.adaptive != nil {
+		s.adaptive.reopt.Stop()
+	}
 	if s.store == nil {
 		return nil
 	}

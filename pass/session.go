@@ -26,9 +26,16 @@ import (
 // A session can be made durable with AttachStore: tables are then
 // snapshotted to disk, updates are write-ahead journaled, and a restart
 // restores the catalog without rebuilding anything (see persist.go).
+// A session can further be made workload-adaptive with EnableAdaptive:
+// queries are then recorded into per-table sliding windows, repeated
+// predicates are served from a semantic result cache, and tables
+// registered through RegisterAdaptive are re-optimized in the background
+// when the observed workload drifts from the partitioning (see
+// adaptive.go).
 type Session struct {
-	cat   *catalog.Catalog
-	store *store.Store
+	cat      *catalog.Catalog
+	store    *store.Store
+	adaptive *adaptiveRuntime
 }
 
 // NewSession returns a session with an empty catalog.
@@ -70,9 +77,18 @@ func (s *Session) registerSynopsis(name string, syn *Synopsis, persist bool) err
 // deletes its snapshot and write-ahead log — a dropped table must not
 // resurrect on the next boot.
 func (s *Session) Drop(name string) error {
+	// resolve the canonical registered name first: adaptive state is
+	// keyed by it, not by whatever casing the caller used
+	canonical := name
+	if s.adaptive != nil {
+		if tbl, err := s.cat.Lookup(name); err == nil {
+			canonical = tbl.Name()
+		}
+	}
 	if err := s.cat.Drop(name); err != nil {
 		return err
 	}
+	s.adaptiveForget(canonical)
 	if s.store != nil {
 		if err := s.store.Remove(name); err != nil {
 			return fmt.Errorf("pass: remove persisted files for %q: %w", name, err)
@@ -100,6 +116,14 @@ type TableInfo struct {
 	Shards      int    `json:"shards,omitempty"`
 	ShardPolicy string `json:"shard_policy,omitempty"`
 	ShardRows   []int  `json:"shard_rows,omitempty"`
+	// ShardScatter counts queries executed per shard and ShardPruned the
+	// (query, shard) pairs skipped by scatter pruning — the scatter-path
+	// instrumentation (sharded tables only).
+	ShardScatter []int64 `json:"shard_scatter,omitempty"`
+	ShardPruned  int64   `json:"shard_pruned,omitempty"`
+	// Adaptive carries workload statistics, cache effectiveness and
+	// re-optimization history when the session's adaptive layer is on.
+	Adaptive *AdaptiveInfo `json:"adaptive,omitempty"`
 }
 
 // Tables lists the registered tables in deterministic (case-insensitively
@@ -122,7 +146,12 @@ func (s *Session) Tables() []TableInfo {
 			out[i].Shards = info.Shards
 			out[i].ShardPolicy = info.Policy
 			out[i].ShardRows = shardRows
+			if scattered, pruned, ok := t.ScatterStats(); ok {
+				out[i].ShardScatter = scattered
+				out[i].ShardPruned = pruned
+			}
 		}
+		out[i].Adaptive = s.adaptiveInfo(t.Name())
 	}
 	return out
 }
