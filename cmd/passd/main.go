@@ -16,6 +16,20 @@
 //	POST   /tables/{name}/rows       {"rows": [{"point": [13], "value": 0.7}]} insert tuples
 //	POST   /tables/{name}/reoptimize force a workload-driven rebuild decision (with -adaptive)
 //	DELETE /tables/{name}            drop a table (and its persisted files)
+//	GET    /healthz                  liveness probe (always 200 while serving)
+//	GET    /readyz                   readiness probe (503 until warm start completes / during shutdown)
+//
+// The serving path is hardened for operation under failure: request
+// bodies are capped (-max-body-mb → 413), concurrency is bounded
+// (-max-inflight → immediate 503 load shedding), every /query runs under
+// a server-side deadline (-query-timeout) that sharded tables propagate
+// per shard — a shard that misses the deadline is dropped from the merge
+// and the answer comes back marked degraded with widened error bounds
+// (or fails outright with -strict-scatter). Storage faults (failed WAL
+// fsyncs, checkpoint write errors) flip the affected table into read-only
+// degraded mode: queries keep serving, writes return the cause, and a
+// successful checkpoint or restart recovers. -fault-schedule injects such
+// faults deterministically for drills (see internal/vfs).
 //
 // With -adaptive the server closes the loop between the query log and the
 // synopses: every query feeds a per-table sliding-window workload
@@ -57,6 +71,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/store"
+	"repro/internal/vfs"
 	"repro/pass"
 )
 
@@ -76,10 +91,20 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "workload-adaptive serving: query statistics, semantic result cache, background re-optimization of drifted tables")
 		cacheMB    = flag.Int("cache-mb", 64, "semantic result cache budget in MiB (with -adaptive; 0 disables the cache)")
 		reoptEvery = flag.Duration("reopt-every", 30*time.Second, "background re-optimization scan interval (with -adaptive; 0 = manual POST /tables/{name}/reoptimize only)")
+
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "server-side deadline per /query request; sharded tables drop shards that miss it and answer degraded (0 = none)")
+		maxInflight  = flag.Int("max-inflight", 0, "concurrent request cap: excess requests get 503 immediately instead of queueing (0 = unlimited)")
+		maxBodyMB    = flag.Int("max-body-mb", 32, "request body cap in MiB; oversized bodies get 413")
+		httpTimeout  = flag.Duration("http-timeout", 2*time.Minute, "HTTP read/write timeouts on the listener (slow-client defense; 0 = none)")
+		strictMode   = flag.Bool("strict-scatter", false, "fail sharded queries that lose any shard instead of returning degraded partial answers")
+		faultSpec    = flag.String("fault-schedule", "", "inject storage faults for testing, e.g. 'op=sync,path=.wal,after=10,count=1,err=eio' (see internal/vfs)")
 	)
 	flag.Parse()
 
 	sess := pass.NewSession()
+	// strict mode must be set before any table registers or warm-starts so
+	// every sharded engine picks it up
+	sess.SetStrictScatter(*strictMode)
 	if *adaptive {
 		cacheBytes := *cacheMB << 20
 		if *cacheMB <= 0 {
@@ -97,12 +122,21 @@ func main() {
 		log.Printf("passd: adaptive serving on (cache %d MiB, re-optimize every %s)", *cacheMB, *reoptEvery)
 	}
 	if *dataDir != "" {
-		st, err := store.Open(*dataDir, store.Options{
+		opts := store.Options{
 			WALThreshold:       *walMax,
 			CheckpointInterval: *ckptEvery,
 			NoSync:             *noSync,
 			Logf:               log.Printf,
-		})
+		}
+		if *faultSpec != "" {
+			rules, err := vfs.ParseSchedule(*faultSpec)
+			if err != nil {
+				fatal(fmt.Errorf("-fault-schedule: %w", err))
+			}
+			opts.FS = vfs.NewFaultFS(vfs.OS(), rules...)
+			log.Printf("passd: FAULT INJECTION ON: %d rule(s) armed (%s)", len(rules), *faultSpec)
+		}
+		st, err := store.Open(*dataDir, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -115,6 +149,11 @@ func main() {
 
 	srv := newServer(sess)
 	srv.buildDefaults = buildOptions{Partitions: *partitions, SampleRate: *rate, Seed: *seed, Shards: *shards}
+	srv.queryTimeout = *queryTimeout
+	if *maxBodyMB > 0 {
+		srv.maxBody = int64(*maxBodyMB) << 20
+	}
+	srv.setMaxInflight(*maxInflight)
 
 	if *demo != "" {
 		if err := loadDemo(sess, *demo, *demoRows, *partitions, *rate, *seed, *shards); err != nil {
@@ -122,7 +161,23 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.handler()}
+	// slow-client defense: bound how long a peer may dribble headers and
+	// bodies, and how long a response write may hang on a stalled reader.
+	// The write timeout must cover -query-timeout or the server would cut
+	// off responses for queries it promised to run that long.
+	writeTimeout := *httpTimeout
+	if *queryTimeout > 0 && writeTimeout > 0 && writeTimeout < *queryTimeout+10*time.Second {
+		writeTimeout = *queryTimeout + 10*time.Second
+	}
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *httpTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	srv.ready.Store(true)
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("passd: listening on %s", *listen)
@@ -138,6 +193,9 @@ func main() {
 	case sig := <-sigCh:
 		log.Printf("passd: received %s, shutting down", sig)
 	}
+	// flip readiness first so load balancers drain us while in-flight
+	// requests finish under Shutdown below
+	srv.ready.Store(false)
 
 	// graceful shutdown: stop accepting requests and drain in-flight ones,
 	// then flush every journaled update into its snapshot

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -21,6 +24,18 @@ type server struct {
 	sess *pass.Session
 	// buildDefaults are applied to POST /tables requests that omit them.
 	buildDefaults buildOptions
+	// queryTimeout bounds each /query request's execution; 0 means the
+	// request runs until the client disconnects.
+	queryTimeout time.Duration
+	// maxBody caps request body size; oversized bodies get 413.
+	maxBody int64
+	// inflight is the admission semaphore: nil means unlimited, otherwise
+	// a request that cannot acquire a slot immediately is rejected with
+	// 503 rather than queued (load shedding, not buffering).
+	inflight chan struct{}
+	// ready flips true once warm start and demo loading complete, and back
+	// to false when shutdown begins; /readyz reports it.
+	ready atomic.Bool
 }
 
 // buildOptions mirrors the synopsis-construction knobs exposed over HTTP.
@@ -39,6 +54,19 @@ func newServer(sess *pass.Session) *server {
 	return &server{
 		sess:          sess,
 		buildDefaults: buildOptions{Partitions: 64, SampleRate: 0.005, Seed: 1},
+		maxBody:       defaultMaxBody,
+	}
+}
+
+// defaultMaxBody caps request bodies at 32 MiB unless -max-body-mb says
+// otherwise — large enough for bulk CSV loads, small enough that a single
+// request cannot exhaust memory.
+const defaultMaxBody = 32 << 20
+
+// setMaxInflight installs the admission semaphore; n <= 0 disables it.
+func (s *server) setMaxInflight(n int) {
+	if n > 0 {
+		s.inflight = make(chan struct{}, n)
 	}
 }
 
@@ -50,6 +78,8 @@ func newServer(sess *pass.Session) *server {
 //	POST   /tables/{name}/rows       {"rows": [{"point": [...], "value": ...}]} → insert (journaled when durable)
 //	POST   /tables/{name}/reoptimize → force a workload-driven rebuild decision (with -adaptive)
 //	DELETE /tables/{name}            → drop (persisted files removed too)
+//	GET    /healthz                  → liveness (200 while the process serves)
+//	GET    /readyz                   → readiness (503 until warm start completes / during shutdown)
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -58,7 +88,85 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /tables/{name}/rows", s.handleInsertRows)
 	mux.HandleFunc("POST /tables/{name}/reoptimize", s.handleReoptimize)
 	mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
-	return mux
+	// health endpoints bypass admission control: an overloaded server is
+	// still alive, and the probes must say so rather than be shed
+	healthz := http.HandlerFunc(s.handleHealthz)
+	readyz := http.HandlerFunc(s.handleReadyz)
+	limited := s.admit(mux)
+	outer := http.NewServeMux()
+	outer.Handle("GET /healthz", healthz)
+	outer.Handle("GET /readyz", readyz)
+	outer.Handle("/", limited)
+	return outer
+}
+
+// admit is the load-shedding middleware: with -max-inflight set, a
+// request that cannot take a slot immediately is answered 503 with a
+// Retry-After hint instead of queueing behind the backlog.
+func (s *server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity (%d requests in flight)", cap(s.inflight)))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz is the liveness probe: the process is up and the HTTP
+// stack works. It says nothing about data or readiness.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 once warm start (and the demo
+// preload) finished and until shutdown begins. The body also lists tables
+// currently in read-only degraded mode — degraded tables still serve
+// queries, so they do not flip readiness, but operators and load
+// balancers can see them.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "not ready"})
+		return
+	}
+	resp := map[string]any{"status": "ready"}
+	if deg := s.sess.DegradedTables(); len(deg) > 0 {
+		resp["degraded_tables"] = deg
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeJSON reads and decodes a JSON request body under the body-size
+// cap, mapping failures to the right client error: 413 when the cap was
+// exceeded, 400 for malformed JSON or trailing garbage. A false return
+// means the response has been written.
+func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
+	err := dec.Decode(v)
+	if err == nil {
+		// reject trailing garbage after the JSON document: the request is
+		// malformed even though a prefix parsed
+		if dec.More() {
+			err = fmt.Errorf("unexpected data after JSON body")
+		} else {
+			return true
+		}
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+		return false
+	}
+	httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	return false
 }
 
 // jsonStmtResult is one statement's outcome in a /query response.
@@ -82,16 +190,24 @@ type queryResponse struct {
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
+	}
+	// the request context already ends on client disconnect or server
+	// shutdown; -query-timeout adds the server-side execution deadline,
+	// which scatter-gather tables propagate per shard
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
 	}
 	var results []pass.StmtResult
 	switch {
 	case len(req.Statements) > 0:
-		results = s.sess.ExecBatch(req.Statements)
+		results = s.sess.ExecBatchCtx(ctx, req.Statements)
 	case strings.TrimSpace(req.SQL) != "":
-		results = s.sess.ExecScript(req.SQL)
+		results = s.sess.ExecScriptCtx(ctx, req.SQL)
 	default:
 		httpError(w, http.StatusBadRequest, fmt.Errorf(`"sql" (or "statements") is required`))
 		return
@@ -166,8 +282,7 @@ type createTableRequest struct {
 
 func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	req := createTableRequest{buildOptions: s.buildDefaults}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Name) == "" || strings.TrimSpace(req.CSV) == "" {
@@ -280,8 +395,7 @@ type insertRowsRequest struct {
 func (s *server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req insertRowsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Rows) == 0 {
@@ -297,7 +411,13 @@ func (s *server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 	// whole batch, not one fsync per row
 	n, err := s.sess.InsertMany(name, points, values)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+		// a degraded table rejects writes while reads keep serving: that is
+		// a (possibly transient) server-side storage fault, not a bad request
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, store.ErrDegraded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
 			"error":    err.Error(),
 			"inserted": n,
 		})

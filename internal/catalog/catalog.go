@@ -24,6 +24,7 @@ package catalog
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -112,11 +113,21 @@ func (t *Table) Rows() int {
 // the result cache first when one is attached (AttachAdaptive) and
 // recording the served query with the workload collector.
 func (t *Table) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	return t.QueryCtx(context.Background(), kind, q)
+}
+
+// QueryCtx is Query with deadline propagation: a deadline-aware engine
+// (engine.ContextQuerier — the scatter-gather executor) observes ctx
+// mid-query and may return a partial Degraded answer; other engines get a
+// fail-fast admission check. Degraded answers are never stored in the
+// result cache — they are artifacts of this request's deadline, not facts
+// about the table.
+func (t *Table) QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	rec, cache := t.recorder, t.cache
 	if rec == nil && cache == nil {
-		return t.eng.Query(kind, q)
+		return engine.QueryCtx(ctx, t.eng, kind, q)
 	}
 	gen := t.gen.Load()
 	if cache != nil {
@@ -128,12 +139,12 @@ func (t *Table) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error)
 		}
 	}
 	start := time.Now()
-	r, err := t.eng.Query(kind, q)
+	r, err := engine.QueryCtx(ctx, t.eng, kind, q)
 	if err != nil {
 		return r, err
 	}
 	elapsed := time.Since(start)
-	if cache != nil {
+	if cache != nil && !r.Degraded {
 		cache.Store(t.name, gen, kind, q, r)
 	}
 	if rec != nil {
@@ -148,11 +159,26 @@ func (t *Table) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error)
 // to the engine (as one smaller batch); every served query is recorded
 // with the workload collector.
 func (t *Table) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
+	return t.QueryBatchCtx(context.Background(), qs)
+}
+
+// QueryBatchCtx is QueryBatch with deadline propagation, mirroring
+// QueryCtx: deadline-aware engines may mark individual results Degraded;
+// degraded results never enter the cache. An already-expired ctx fails
+// every query without touching the engine.
+func (t *Table) QueryBatchCtx(ctx context.Context, qs []core.BatchQuery) []core.BatchResult {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	rec, cache := t.recorder, t.cache
 	if rec == nil && cache == nil {
-		return t.eng.QueryBatch(qs)
+		out, err := engine.QueryBatchCtx(ctx, t.eng, qs)
+		if err != nil {
+			out = make([]core.BatchResult, len(qs))
+			for i := range out {
+				out[i].Err = err
+			}
+		}
+		return out
 	}
 	gen := t.gen.Load()
 	out := make([]core.BatchResult, len(qs))
@@ -173,11 +199,18 @@ func (t *Table) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
 		for j, i := range misses {
 			sub[j] = qs[i]
 		}
-		for j, br := range t.eng.QueryBatch(sub) {
-			i := misses[j]
-			out[i] = br
-			if br.Err == nil && cache != nil {
-				cache.Store(t.name, gen, qs[i].Kind, qs[i].Rect, br.Result)
+		res, err := engine.QueryBatchCtx(ctx, t.eng, sub)
+		if err != nil {
+			for _, i := range misses {
+				out[i].Err = err
+			}
+		} else {
+			for j, br := range res {
+				i := misses[j]
+				out[i] = br
+				if br.Err == nil && cache != nil && !br.Result.Degraded {
+					cache.Store(t.name, gen, qs[i].Kind, qs[i].Rect, br.Result)
+				}
 			}
 		}
 	}

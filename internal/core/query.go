@@ -51,6 +51,19 @@ type Result struct {
 	VisitedNodes int
 	// CoveredParts and PartialParts count frontier entries.
 	CoveredParts, PartialParts int
+
+	// Degradation accounting (scatter-gather execution). A single-node
+	// synopsis always answers completely and leaves these zero.
+	//
+	// Degraded marks a partial answer: one or more shards errored or
+	// missed the query deadline and were dropped from the merge. The
+	// estimate remains an unbiased answer over the shards that responded,
+	// with the CI widened by the merge layer's compensation rules.
+	Degraded bool
+	// ShardsTotal and ShardsAnswered count the scatter fan-out and how
+	// many shards contributed to the merged answer (equal when not
+	// degraded; both zero for non-scatter execution).
+	ShardsTotal, ShardsAnswered int
 }
 
 // SkipRate returns the fraction of dataset tuples not needed to answer the

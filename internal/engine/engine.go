@@ -16,6 +16,7 @@
 package engine
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -95,6 +96,52 @@ type ConcurrentUpdatable interface {
 // key over a shared predicate (PASS Section 4.5).
 type Grouper interface {
 	GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []float64) ([]core.GroupResult, error)
+}
+
+// ContextQuerier is the optional deadline-aware query capability: engines
+// that can observe a context's deadline/cancellation mid-query — today the
+// scatter-gather shard engine, which drops shards that exceed the deadline
+// and merges the rest into a degraded partial answer. Engines without the
+// capability run to completion; the QueryCtx adapter still honours an
+// already-expired context before starting.
+type ContextQuerier interface {
+	// QueryCtx answers one aggregate, observing ctx. Implementations may
+	// return a partial (Result.Degraded) answer when ctx expires mid-query,
+	// or ctx.Err() when nothing useful was computed.
+	QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.Rect) (core.Result, error)
+}
+
+// ContextBatcher is the batched companion of ContextQuerier.
+type ContextBatcher interface {
+	QueryBatchCtx(ctx context.Context, qs []core.BatchQuery) []core.BatchResult
+}
+
+// QueryCtx runs one query with deadline awareness when the engine has the
+// ContextQuerier capability, and falls back to a plain Query otherwise.
+// The fallback still refuses to start work on an already-done context, so
+// every engine gets fail-fast admission even if it cannot be interrupted
+// mid-flight.
+func QueryCtx(ctx context.Context, e Engine, kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	if cq, ok := Underlying(e).(ContextQuerier); ok {
+		return cq.QueryCtx(ctx, kind, q)
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	return e.Query(kind, q)
+}
+
+// QueryBatchCtx is the batched companion of QueryCtx: deadline-aware
+// engines observe ctx per sub-query; others get the fail-fast admission
+// check and then run the batch to completion.
+func QueryBatchCtx(ctx context.Context, e Engine, qs []core.BatchQuery) ([]core.BatchResult, error) {
+	if cb, ok := Underlying(e).(ContextBatcher); ok {
+		return cb.QueryBatchCtx(ctx, qs), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.QueryBatch(qs), nil
 }
 
 // ShardInfo describes how a sharded engine partitions its data: the
@@ -179,10 +226,31 @@ func Rename(e Engine, name string) Engine {
 	return renamed{Engine: e, name: name}
 }
 
-// Underlying returns the engine wrapped by Rename, or e itself.
+// Wrapper is implemented by engines that decorate another engine
+// (Rename, test fault/latency wrappers): Underlying returns the wrapped
+// engine so capability checks reach it.
+type Wrapper interface {
+	Underlying() Engine
+}
+
+// Underlying follows the wrapper chain (Rename and any Wrapper) down to
+// the base engine, so capability type-assertions (Updatable, Sized,
+// ContextQuerier, ...) see the engine that actually implements them.
 func Underlying(e Engine) Engine {
-	if r, ok := e.(renamed); ok {
-		return r.Engine
+	// depth-bounded in case a wrapper cycles back to itself
+	for i := 0; i < 32; i++ {
+		switch w := e.(type) {
+		case renamed:
+			e = w.Engine
+		case Wrapper:
+			u := w.Underlying()
+			if u == nil {
+				return e
+			}
+			e = u
+		default:
+			return e
+		}
 	}
 	return e
 }

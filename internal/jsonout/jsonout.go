@@ -16,6 +16,13 @@ type Answer struct {
 	Exact      bool    `json:"exact,omitempty"`
 	TuplesRead int     `json:"tuples_read"`
 	SkipRate   float64 `json:"skip_rate"`
+
+	// Degraded marks answers merged from fewer shards than the scatter
+	// touched (errored or past-deadline shards dropped); the shard counts
+	// quantify how much of the table actually answered.
+	Degraded       bool `json:"degraded,omitempty"`
+	ShardsTotal    int  `json:"shards_total,omitempty"`
+	ShardsAnswered int  `json:"shards_answered,omitempty"`
 }
 
 // Group is one group's answer in a GROUP BY result.
@@ -37,6 +44,10 @@ func FromAnswer(a pass.Answer) *Answer {
 		Exact:      a.Exact,
 		TuplesRead: a.TuplesRead,
 		SkipRate:   a.SkipRate,
+	}
+	if a.Degraded {
+		out.Degraded = true
+		out.ShardsTotal, out.ShardsAnswered = a.ShardsTotal, a.ShardsAnswered
 	}
 	if a.HardBounds {
 		out.HardLo, out.HardHi = a.HardLo, a.HardHi

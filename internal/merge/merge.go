@@ -190,6 +190,51 @@ func mergeExtremum(out *core.Result, live []core.Result, isMin bool) {
 	}
 }
 
+// Degrade widens a merged result to account for shards that were dropped
+// from the scatter (error or deadline): droppedRows[i] is one dropped
+// shard's base cardinality (0 where unknown). The result is marked
+// Degraded and its uncertainty grows by kind-specific compensation:
+//
+//   - COUNT: a dropped shard with n rows contributes an unknown count in
+//     [0, n]. The estimate shifts by the midpoint Σn/2 and both the CI
+//     half-width and the deterministic upper bound absorb the full slack
+//     (CIHalf += Σn/2, HardHi += Σn), so the true count stays inside both
+//     envelopes no matter what the dropped shards held.
+//   - SUM/AVG/MIN/MAX: unseen tuples have unbounded values, so no finite
+//     compensation exists. The estimate remains the answer over the
+//     responding shards; Exact and the hard bounds are invalidated.
+//
+// A NoMatch result stays NoMatch only for the value aggregates; for COUNT
+// the dropped shards may still hold matches, so the slack applies to an
+// estimate of zero.
+func Degrade(kind dataset.AggKind, out *core.Result, droppedRows []int) {
+	if len(droppedRows) == 0 {
+		return
+	}
+	out.Degraded = true
+	if kind == dataset.Count {
+		slack := 0.0
+		for _, n := range droppedRows {
+			slack += float64(n)
+		}
+		if out.NoMatch && slack > 0 {
+			out.NoMatch = false
+			out.HardValid = true
+		}
+		out.Estimate += slack / 2
+		out.CIHalf += slack / 2
+		out.HardHi += slack
+		out.Exact = out.Exact && slack == 0
+		return
+	}
+	if out.NoMatch {
+		return
+	}
+	out.Exact = false
+	out.HardValid = false
+	out.HardLo, out.HardHi = 0, 0
+}
+
 // Groups combines per-shard GROUP BY outputs: parts[i] is shard i's
 // GroupResult slice, all aligned on the same group-key list. Each group
 // key merges independently with the Results rules; a group NoMatch on one

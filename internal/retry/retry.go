@@ -1,0 +1,82 @@
+// Package retry is a minimal bounded-exponential-backoff helper for
+// transient I/O faults: a fixed number of attempts with multiplicatively
+// growing, capped delays, early exit on context cancellation, and a
+// caller-supplied predicate separating transient failures (worth another
+// attempt) from permanent ones (corruption, validation errors) that must
+// surface immediately.
+//
+// The delays are deterministic — no jitter — so fault-injection tests can
+// assert exact attempt counts.
+package retry
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Policy bounds a retry loop.
+type Policy struct {
+	// Attempts is the total number of tries, the first included.
+	// Default 3; values < 1 behave as 1 (no retry).
+	Attempts int
+	// Base is the delay before the second attempt. Default 5ms.
+	Base time.Duration
+	// Max caps the per-attempt delay. Default 250ms.
+	Max time.Duration
+	// Factor multiplies the delay after each attempt. Default 2.
+	Factor float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts == 0 {
+		p.Attempts = 3
+	}
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.Base <= 0 {
+		p.Base = 5 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 250 * time.Millisecond
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	return p
+}
+
+// Do runs op until it succeeds, the attempts are exhausted, the error is
+// not transient, or ctx is done. transient == nil treats every error as
+// transient. The returned error is the last attempt's, annotated with the
+// attempt count when more than one attempt ran.
+func Do(ctx context.Context, p Policy, transient func(error) bool, op func() error) error {
+	p = p.withDefaults()
+	delay := p.Base
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		if transient != nil && !transient(err) {
+			return err
+		}
+		if attempt >= p.Attempts {
+			if attempt > 1 {
+				return fmt.Errorf("after %d attempts: %w", attempt, err)
+			}
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("retry aborted after %d attempt(s) (%w): last error: %w", attempt, ctx.Err(), err)
+		case <-time.After(delay):
+		}
+		delay = time.Duration(float64(delay) * p.Factor)
+		if delay > p.Max {
+			delay = p.Max
+		}
+	}
+}

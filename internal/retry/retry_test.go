@@ -1,0 +1,84 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var errTransient = errors.New("transient")
+
+func isTransient(err error) bool { return errors.Is(err, errTransient) }
+
+func fastPolicy() Policy {
+	return Policy{Attempts: 3, Base: time.Millisecond, Max: 4 * time.Millisecond, Factor: 2}
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), isTransient, func() error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want nil and 1", err, calls)
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), isTransient, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("attempt %d: %w", calls, errTransient)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil and 3", err, calls)
+	}
+}
+
+func TestDoGivesUpAfterAttempts(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), isTransient, func() error {
+		calls++
+		return errTransient
+	})
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want errTransient", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoPermanentErrorNoRetry(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), isTransient, func() error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the permanent error after 1 call", err, calls)
+	}
+}
+
+func TestDoHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 5, Base: time.Hour}, isTransient, func() error {
+		calls++
+		cancel() // cancel during the first backoff wait
+		return errTransient
+	})
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("err = %v, want the last op error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (backoff aborted by cancellation)", calls)
+	}
+}

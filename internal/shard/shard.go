@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,10 @@ type Engine struct {
 	// serving layer surfaces the counters as shard stats.
 	scattered []atomic.Int64
 	pruned    atomic.Int64
+	// strict makes deadline-bounded queries fail outright instead of
+	// degrading to a partial merge when a shard errors or misses the
+	// deadline.
+	strict atomic.Bool
 }
 
 // BuildFunc constructs the inner engine of one shard.
@@ -263,7 +268,102 @@ func (e *Engine) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error
 			return core.Result{}, err
 		}
 	}
-	return merge.Results(kind, parts), nil
+	out := merge.Results(kind, parts)
+	out.ShardsTotal, out.ShardsAnswered = len(rel), len(rel)
+	return out, nil
+}
+
+// SetStrict switches deadline-bounded execution between graceful
+// degradation (default: shards that error or miss the deadline are
+// dropped from the merge and the result is marked Degraded) and strict
+// mode (any dropped shard fails the query).
+func (e *Engine) SetStrict(strict bool) { e.strict.Store(strict) }
+
+// Strict reports the strict-scatter setting.
+func (e *Engine) Strict() bool { return e.strict.Load() }
+
+// shardAnswer is one shard's contribution to a deadline-bounded scatter.
+type shardAnswer struct {
+	idx int // index into the relevant-shard list
+	res core.Result
+	err error
+}
+
+// QueryCtx answers one aggregate under a deadline (engine.ContextQuerier).
+// Without a deadline it is exactly Query. With one, each relevant shard
+// runs in its own goroutine; shards still running when ctx expires are
+// abandoned (they finish in the background and their results are
+// discarded) and the merge proceeds over the shards that answered, widened
+// by merge.Degrade so the reported uncertainty still covers the dropped
+// data. In strict mode a dropped shard fails the query instead.
+func (e *Engine) QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
+	if ctx.Done() == nil {
+		return e.Query(kind, q)
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	rel := e.relevant(q)
+	if len(rel) == 0 {
+		return emptyResult(kind, q, e.N())
+	}
+	// buffered so abandoned stragglers can always deliver and exit
+	ch := make(chan shardAnswer, len(rel))
+	for j, si := range rel {
+		go func(j, si int) {
+			var a shardAnswer
+			a.idx = j
+			a.res, a.err = e.queryShard(si, kind, q)
+			ch <- a
+		}(j, si)
+	}
+	parts := make([]core.Result, len(rel))
+	ok := make([]bool, len(rel))
+	var firstErr error
+	pending := len(rel)
+collect:
+	for pending > 0 {
+		select {
+		case a := <-ch:
+			pending--
+			if a.err != nil {
+				if firstErr == nil {
+					firstErr = a.err
+				}
+				continue
+			}
+			parts[a.idx] = a.res
+			ok[a.idx] = true
+		case <-ctx.Done():
+			break collect
+		}
+	}
+	answered := make([]core.Result, 0, len(rel))
+	var droppedRows []int
+	rows := e.ShardRows()
+	for j, si := range rel {
+		if ok[j] {
+			answered = append(answered, parts[j])
+		} else {
+			droppedRows = append(droppedRows, rows[si])
+		}
+	}
+	if len(droppedRows) > 0 {
+		cause := firstErr
+		if cause == nil {
+			cause = ctx.Err()
+		}
+		if e.strict.Load() {
+			return core.Result{}, fmt.Errorf("shard: strict scatter: %d/%d shard(s) dropped: %w", len(droppedRows), len(rel), cause)
+		}
+		if len(answered) == 0 {
+			return core.Result{}, fmt.Errorf("shard: no shard answered before the deadline: %w", cause)
+		}
+	}
+	out := merge.Results(kind, answered)
+	out.ShardsTotal, out.ShardsAnswered = len(rel), len(answered)
+	merge.Degrade(kind, &out, droppedRows)
+	return out, nil
 }
 
 // QueryBatch answers a workload shard-first: each relevant shard executes
@@ -335,7 +435,132 @@ func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
 		out[qi].Elapsed = elapsed
 		if out[qi].Err == nil {
 			out[qi].Result = merge.Results(qs[qi].Kind, scratch)
+			out[qi].Result.ShardsTotal = len(rel)
+			out[qi].Result.ShardsAnswered = len(rel)
 		}
+	}
+	return out
+}
+
+// QueryBatchCtx answers a workload under a deadline
+// (engine.ContextBatcher): the shard-first scatter of QueryBatch, but each
+// shard's sub-batch runs in its own goroutine and shards still running at
+// the deadline are abandoned. Every query touched by a dropped shard
+// merges the remaining partials and is marked Degraded (strict mode fails
+// those queries instead); queries fully answered stay exact.
+func (e *Engine) QueryBatchCtx(ctx context.Context, qs []core.BatchQuery) []core.BatchResult {
+	if ctx.Done() == nil {
+		return e.QueryBatch(qs)
+	}
+	out := make([]core.BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	// route first: which shards does each query touch?
+	subs := make([][]int, len(e.inner)) // shard → query indices
+	touched := make([][]int, len(qs))   // query → shards, in shard order
+	for qi := range qs {
+		rel := e.relevant(qs[qi].Rect)
+		touched[qi] = rel
+		for _, si := range rel {
+			subs[si] = append(subs[si], qi)
+		}
+	}
+	active := make([]int, 0, len(e.inner))
+	for si, sub := range subs {
+		if len(sub) > 0 {
+			active = append(active, si)
+		}
+	}
+	// scatter: one goroutine per shard with work; buffered channel so
+	// abandoned stragglers deliver and exit
+	type shardBatch struct {
+		si  int
+		res []core.BatchResult
+	}
+	ch := make(chan shardBatch, len(active))
+	for _, si := range active {
+		go func(si int) {
+			sub := make([]core.BatchQuery, len(subs[si]))
+			for j, qi := range subs[si] {
+				sub[j] = qs[qi]
+			}
+			e.scattered[si].Add(int64(len(sub)))
+			e.locks[si].RLock()
+			res := e.inner[si].QueryBatch(sub)
+			e.locks[si].RUnlock()
+			ch <- shardBatch{si: si, res: res}
+		}(si)
+	}
+	partial := make([][]core.BatchResult, len(e.inner))
+	answered := make([]bool, len(e.inner))
+	pending := len(active)
+collect:
+	for pending > 0 {
+		select {
+		case sb := <-ch:
+			pending--
+			partial[sb.si] = sb.res
+			answered[sb.si] = true
+		case <-ctx.Done():
+			break collect
+		}
+	}
+	strict := e.strict.Load()
+	var rows []int // shard cardinalities, fetched once if any shard dropped
+	if pending > 0 {
+		rows = e.ShardRows()
+	}
+	// gather: merge each query's partials in input order
+	cursor := make([]int, len(e.inner))
+	scratch := make([]core.Result, 0, len(e.inner))
+	totalRows := -1
+	for qi := range qs {
+		rel := touched[qi]
+		if len(rel) == 0 {
+			if totalRows < 0 {
+				totalRows = e.N()
+			}
+			out[qi].Result, out[qi].Err = emptyResult(qs[qi].Kind, qs[qi].Rect, totalRows)
+			continue
+		}
+		scratch = scratch[:0]
+		var droppedRows []int
+		var elapsed time.Duration
+		for _, si := range rel {
+			pos := cursor[si]
+			cursor[si]++
+			if !answered[si] {
+				droppedRows = append(droppedRows, rows[si])
+				continue
+			}
+			br := partial[si][pos]
+			if br.Err != nil && out[qi].Err == nil {
+				out[qi].Err = br.Err
+			}
+			if br.Elapsed > elapsed {
+				elapsed = br.Elapsed
+			}
+			scratch = append(scratch, br.Result)
+		}
+		out[qi].Elapsed = elapsed
+		if out[qi].Err != nil {
+			continue
+		}
+		if len(droppedRows) > 0 && (strict || len(scratch) == 0) {
+			out[qi].Err = fmt.Errorf("shard: %d/%d shard(s) dropped: %w", len(droppedRows), len(rel), ctx.Err())
+			continue
+		}
+		out[qi].Result = merge.Results(qs[qi].Kind, scratch)
+		out[qi].Result.ShardsTotal = len(rel)
+		out[qi].Result.ShardsAnswered = len(scratch)
+		merge.Degrade(qs[qi].Kind, &out[qi].Result, droppedRows)
 	}
 	return out
 }

@@ -1,0 +1,360 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/retry"
+	"repro/internal/vfs"
+)
+
+// fastRetry keeps chaos tests quick: three attempts, microsecond backoff.
+func fastRetry() retry.Policy {
+	return retry.Policy{Attempts: 3, Base: 100 * time.Microsecond, Max: time.Millisecond, Factor: 2}
+}
+
+// TestWALSyncFailureDegradesAndRecoversOnRestart is the headline chaos
+// scenario: a WAL fsync starts failing mid-stream. The table must flip to
+// read-only degraded mode (writes rejected with the cause, reads still
+// serving), and a restart against the same directory must recover every
+// ACKNOWLEDGED update — the twin-parity invariant — with the table
+// healthy again.
+func TestWALSyncFailureDegradesAndRecoversOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(vfs.OS())
+	st, err := Open(dir, Options{CheckpointInterval: -1, FS: fsys, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := buildTable(t, "sensors", 2500, 11)
+	if err := st.SaveTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.Attach(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+
+	// the twin starts from the same snapshot bytes the recovery will read,
+	// so the comparison is exact (delta-encoded samples included)
+	snap, err := ReadSnapshotFile(st.snapPath("sensors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := core.Load(strings.NewReader(string(snap.Payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 40 inserts succeed, then the WAL's disk goes bad: every later fsync
+	// on the journal fails
+	const acked = 40
+	for i := 0; i < acked; i++ {
+		pt := []float64{float64(i%24) + 0.25}
+		v := float64(i) / 3
+		if err := tbl.Insert(pt, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Insert(pt, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsys.Inject(&vfs.Fault{Op: vfs.OpSync, Path: ".wal"})
+
+	err = tbl.Insert([]float64{5}, 1)
+	if err == nil {
+		t.Fatal("insert with failing WAL fsync should error")
+	}
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("first failure = %v, want ErrIO-tagged", err)
+	}
+
+	// the table is now degraded: writes rejected with the original cause...
+	deg, cause := st.Degraded("sensors")
+	if !deg {
+		t.Fatal("table should be degraded after a WAL append failure")
+	}
+	if !errors.Is(cause, ErrDegraded) || !errors.Is(cause, ErrIO) {
+		t.Fatalf("degraded cause = %v, want ErrDegraded wrapping the ErrIO failure", cause)
+	}
+	if got := st.DegradedTables(); len(got) != 1 || got[0] != "sensors" {
+		t.Fatalf("DegradedTables = %v, want [sensors]", got)
+	}
+	err = tbl.Insert([]float64{6}, 1)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert on degraded table = %v, want ErrDegraded", err)
+	}
+
+	// ...but reads keep serving, and match the twin (which holds exactly
+	// the acknowledged updates — the two rejected inserts never applied)
+	sameAnswers(t, twin, twinEngine(t, tbl), "degraded reads")
+
+	// the degraded table's WAL syncs fail persistently; the background
+	// checkpointer must leave it alone rather than hammer the disk
+	if err := st.CheckpointAll(); err != nil {
+		t.Fatalf("CheckpointAll must skip the degraded table, got %v", err)
+	}
+
+	// restart: the disk is healthy again, recovery replays the WAL
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Replayed != acked {
+		t.Fatalf("loaded = %+v, want 1 table with %d replayed updates", loaded, acked)
+	}
+	sameAnswers(t, twin, loaded[0].Engine, "after restart recovery")
+	if deg, _ := st2.Degraded("sensors"); deg {
+		t.Fatal("restarted table should be healthy")
+	}
+}
+
+// TestCheckpointFailureRetriesThenDegrades drives the snapshot write
+// path: transient ErrIO failures are retried with backoff; when all
+// attempts are exhausted the table degrades, and a later successful
+// explicit save recovers it without a restart.
+func TestCheckpointFailureRetriesThenDegrades(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(vfs.OS())
+	st, err := Open(dir, Options{CheckpointInterval: -1, NoSync: true, FS: fsys, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tbl, _ := buildTable(t, "sensors", 1500, 7)
+	if err := st.SaveTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.Attach(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+	for i := 0; i < 5; i++ {
+		if err := tbl.Insert([]float64{float64(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// a transient failure (2 fsync errors on the snapshot temp file) is
+	// absorbed by the retry loop: the checkpoint succeeds on attempt 3
+	fsys.Inject(&vfs.Fault{Op: vfs.OpSync, Path: ".snap", Count: 2})
+	syncsBefore := fsys.OpCount(vfs.OpSync)
+	if err := st.CheckpointAll(); err != nil {
+		t.Fatalf("checkpoint with 2 transient faults should succeed via retry: %v", err)
+	}
+	if deg, _ := st.Degraded("sensors"); deg {
+		t.Fatal("table must not degrade when retries succeed")
+	}
+	if got := fsys.OpCount(vfs.OpSync) - syncsBefore; got < 3 {
+		t.Fatalf("observed %d snapshot sync attempts, want >= 3 (2 failed + 1 ok)", got)
+	}
+
+	// a persistent failure (3 fsync errors = every retry attempt) is not:
+	// the save fails and the table degrades
+	for i := 0; i < 5; i++ {
+		if err := tbl.Insert([]float64{float64(i) + 6}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fsys.Inject(&vfs.Fault{Op: vfs.OpSync, Path: ".snap", Count: 3})
+	err = st.CheckpointAll()
+	if err == nil {
+		t.Fatal("checkpoint with persistent faults should fail")
+	}
+	if !errors.Is(err, ErrIO) || !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("exhausted-retry error = %v, want ErrIO-tagged with attempt count", err)
+	}
+	if deg, _ := st.Degraded("sensors"); !deg {
+		t.Fatal("table should degrade after retry exhaustion")
+	}
+	if err := tbl.Insert([]float64{9}, 1); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert on degraded table = %v, want ErrDegraded", err)
+	}
+
+	// the disk heals (the rules are spent); an explicit save re-establishes
+	// durability and clears degraded mode — writes flow again
+	if err := st.SaveTable(tbl); err != nil {
+		t.Fatalf("recovery save: %v", err)
+	}
+	if deg, _ := st.Degraded("sensors"); deg {
+		t.Fatal("table should recover after a successful save")
+	}
+	if err := tbl.Insert([]float64{10}, 1); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
+// TestENOSPCDuringCheckpointDegrades drives the disk-full case: every
+// snapshot write fails with ENOSPC through every retry attempt, the
+// table degrades with the errno preserved in the cause chain, and
+// writes are rejected while the journal stays untouched.
+func TestENOSPCDuringCheckpointDegrades(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(vfs.OS())
+	st, err := Open(dir, Options{CheckpointInterval: -1, NoSync: true, FS: fsys, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tbl, _ := buildTable(t, "sensors", 1000, 9)
+	if err := st.SaveTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.Attach(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+	for i := 0; i < 4; i++ {
+		if err := tbl.Insert([]float64{float64(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// the disk is full: every snapshot write fails until the rule is
+	// removed (no Count, so it never spends)
+	fsys.Inject(&vfs.Fault{Op: vfs.OpWrite, Path: ".snap",
+		Err: fmt.Errorf("%w: %w", vfs.ErrInjected, syscall.ENOSPC)})
+	err = st.CheckpointAll()
+	if err == nil {
+		t.Fatal("checkpoint on a full disk should fail")
+	}
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrIO) {
+		t.Fatalf("checkpoint error = %v, want ErrIO wrapping ENOSPC", err)
+	}
+	deg, cause := st.Degraded("sensors")
+	if !deg || !errors.Is(cause, syscall.ENOSPC) {
+		t.Fatalf("degraded=%v cause=%v, want degraded with ENOSPC in the chain", deg, cause)
+	}
+	if err := tbl.Insert([]float64{5}, 1); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert on full disk = %v, want ErrDegraded", err)
+	}
+}
+
+// TestTornWALWriteDegradesWithoutPhantom checks the torn-write case: a
+// WAL append that lands only partially on disk must degrade the table,
+// and recovery must NOT replay the torn record — the insert was never
+// acknowledged, so the recovered table holds exactly the acked updates.
+func TestTornWALWriteDegradesWithoutPhantom(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(vfs.OS())
+	st, err := Open(dir, Options{CheckpointInterval: -1, FS: fsys, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := buildTable(t, "sensors", 1200, 3)
+	if err := st.SaveTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.Attach(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+	for i := 0; i < 7; i++ {
+		if err := tbl.Insert([]float64{float64(i)}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// the next WAL write tears after 5 bytes
+	fsys.Inject(&vfs.Fault{Op: vfs.OpWrite, Path: ".wal", ShortWrite: 5, Count: 1})
+	if err := tbl.Insert([]float64{8}, 2); err == nil {
+		t.Fatal("torn WAL write should error")
+	}
+	if deg, _ := st.Degraded("sensors"); !deg {
+		t.Fatal("table should degrade after a torn WAL write")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Replayed != 7 {
+		t.Fatalf("loaded = %+v, want 7 replayed updates and no phantom from the torn tail", loaded)
+	}
+}
+
+// TestCrashDuringCheckpointRecovers simulates the machine dying mid-
+// checkpoint: the filesystem crashes on the snapshot temp-file sync, so
+// the new snapshot never lands and the WAL is never truncated. A restart
+// must recover from the OLD snapshot + full WAL.
+func TestCrashDuringCheckpointRecovers(t *testing.T) {
+	dir := t.TempDir()
+	fsys := vfs.NewFaultFS(vfs.OS())
+	st, err := Open(dir, Options{CheckpointInterval: -1, NoSync: true, FS: fsys, Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := buildTable(t, "sensors", 1800, 5)
+	if err := st.SaveTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.Attach(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+
+	snap, err := ReadSnapshotFile(st.snapPath("sensors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := core.Load(strings.NewReader(string(snap.Payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 23
+	for i := 0; i < n; i++ {
+		pt := []float64{float64(i%24) + 0.75}
+		if err := tbl.Insert(pt, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Insert(pt, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fsys.Inject(&vfs.Fault{Op: vfs.OpSync, Path: ".snap", Crash: true})
+	if err := st.CheckpointAll(); err == nil {
+		t.Fatal("checkpoint through a crashing filesystem should fail")
+	}
+	// the process is gone; do not Close (a dead FS cannot flush anyway)
+
+	st2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	loaded, err := st2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Replayed != n {
+		t.Fatalf("loaded = %+v, want %d replayed updates from the surviving WAL", loaded, n)
+	}
+	sameAnswers(t, twin, loaded[0].Engine, "after mid-checkpoint crash")
+}

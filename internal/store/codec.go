@@ -28,6 +28,7 @@ import (
 	"repro/internal/binenc"
 	"repro/internal/dataset"
 	"repro/internal/sqlfe"
+	"repro/internal/vfs"
 )
 
 // Snapshot file format:
@@ -50,6 +51,18 @@ const (
 // files (bad magic, CRC mismatch, truncated frames). Callers can
 // errors.Is against it to distinguish corruption from I/O errors.
 var ErrCorrupt = errors.New("corrupt file")
+
+// ErrIO tags write-path failures caused by the underlying filesystem —
+// failed writes, fsyncs, renames, truncations — as opposed to validation
+// or corruption errors. It is the transience signal: an ErrIO failure may
+// succeed on retry (and the checkpoint path retries it with bounded
+// backoff), while ErrCorrupt and validation failures never will.
+var ErrIO = errors.New("storage I/O failure")
+
+// ioErr tags one I/O failure with ErrIO, keeping the cause in the chain.
+func ioErr(op string, err error) error {
+	return fmt.Errorf("store: %s: %w (%w)", op, err, ErrIO)
+}
 
 // Snapshot is one persisted table: everything needed to re-register it in
 // a catalog after a restart.
@@ -212,55 +225,67 @@ func decodeMeta(meta []byte) (*Snapshot, error) {
 	return snap, nil
 }
 
-// WriteSnapshotFile writes a snapshot atomically: the bytes land in a
-// temporary file that is fsynced and renamed over the target, so a crash
-// mid-checkpoint leaves the previous snapshot intact.
+// WriteSnapshotFile writes a snapshot atomically on the real filesystem.
 func WriteSnapshotFile(path string, snap *Snapshot) error {
+	return WriteSnapshotFileFS(vfs.OS(), path, snap)
+}
+
+// WriteSnapshotFileFS writes a snapshot atomically: the bytes land in a
+// temporary file that is fsynced and renamed over the target, so a crash
+// mid-checkpoint leaves the previous snapshot intact. Write-path failures
+// are tagged ErrIO (transient, retryable).
+func WriteSnapshotFileFS(fsys vfs.FS, path string, snap *Snapshot) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := vfs.Create(fsys, tmp)
 	if err != nil {
-		return fmt.Errorf("store: create snapshot: %w", err)
+		return ioErr("create snapshot", err)
 	}
 	if err := WriteSnapshot(f, snap); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("store: write snapshot: %w", err)
+		fsys.Remove(tmp)
+		return ioErr("write snapshot", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("store: sync snapshot: %w", err)
+		fsys.Remove(tmp)
+		return ioErr("sync snapshot", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: close snapshot: %w", err)
+		fsys.Remove(tmp)
+		return ioErr("close snapshot", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: publish snapshot: %w", err)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return ioErr("publish snapshot", err)
 	}
 	// fsync the directory so the rename itself survives a machine crash:
 	// without it the WAL could be durably truncated against a snapshot
 	// whose directory entry was lost, stranding the folded updates
-	return syncDir(filepath.Dir(path))
+	return syncDir(fsys, filepath.Dir(path))
 }
 
 // syncDir fsyncs a directory, making recent renames and unlinks durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys vfs.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
-		return fmt.Errorf("store: open dir for sync: %w", err)
+		return ioErr("open dir for sync", err)
 	}
 	defer d.Close()
 	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: sync dir: %w", err)
+		return ioErr("sync dir", err)
 	}
 	return nil
 }
 
-// ReadSnapshotFile reads and verifies a snapshot file.
+// ReadSnapshotFile reads and verifies a snapshot file on the real
+// filesystem.
 func ReadSnapshotFile(path string) (*Snapshot, error) {
-	f, err := os.Open(path)
+	return ReadSnapshotFileFS(vfs.OS(), path)
+}
+
+// ReadSnapshotFileFS reads and verifies a snapshot file.
+func ReadSnapshotFileFS(fsys vfs.FS, path string) (*Snapshot, error) {
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("store: open snapshot: %w", err)
 	}

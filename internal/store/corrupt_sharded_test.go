@@ -1,0 +1,146 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/engine/factory"
+)
+
+// setupShardedDir persists a 3-shard table with journaled updates into a
+// fresh directory and closes the store, returning the directory and a
+// throwaway store handle for path computation only.
+func setupShardedDir(t *testing.T) (string, *Store) {
+	t.Helper()
+	dir := t.TempDir()
+	tbl, live, _ := buildShardedTable(t, "trips", 3000, 3, 13)
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := st.AttachSharded(tbl, live, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.AttachJournal(j)
+	if err := st.SaveSharded(tbl); err != nil {
+		t.Fatal(err)
+	}
+	info := live.ShardInfo()
+	for i := 0; i < info.Shards; i++ {
+		if err := tbl.Insert([]float64{info.Bounds[i].Lo[0]}, float64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, st
+}
+
+// expectLoadCorrupt asserts that a warm start of dir fails with a typed
+// ErrCorrupt — never a silent partial load, never an untyped error.
+func expectLoadCorrupt(t *testing.T, dir, context string) {
+	t.Helper()
+	st, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.LoadAll()
+	if err == nil {
+		t.Fatalf("%s: LoadAll should fail", context)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("%s: LoadAll error %v does not wrap ErrCorrupt", context, err)
+	}
+}
+
+// expectShardLoadable asserts one per-shard snapshot still decodes into a
+// working engine — corruption elsewhere must not damage siblings.
+func expectShardLoadable(t *testing.T, st *Store, shard int) {
+	t.Helper()
+	snap, err := ReadSnapshotFile(st.shardSnapPath("trips", shard))
+	if err != nil {
+		t.Fatalf("sibling shard %d snapshot unreadable: %v", shard, err)
+	}
+	load, ok := factory.Loader(snap.Engine)
+	if !ok {
+		t.Fatalf("no loader for %q", snap.Engine)
+	}
+	if _, err := load(bytes.NewReader(snap.Payload)); err != nil {
+		t.Fatalf("sibling shard %d engine does not decode: %v", shard, err)
+	}
+}
+
+func TestShardedTruncatedManifest(t *testing.T) {
+	dir, st := setupShardedDir(t)
+	path := st.manifestPath("trips")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectLoadCorrupt(t, dir, "truncated manifest")
+	// the manifest is gone but every shard's data survives intact
+	for i := 0; i < 3; i++ {
+		expectShardLoadable(t, st, i)
+	}
+}
+
+func TestShardedBitFlippedShardSnapshot(t *testing.T) {
+	dir, st := setupShardedDir(t)
+	path := st.shardSnapPath("trips", 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)*2/3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// the CRC-framed codec catches the flip and types it
+	if _, err := ReadSnapshotFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped shard snapshot read = %v, want ErrCorrupt", err)
+	}
+	expectLoadCorrupt(t, dir, "bit-flipped shard snapshot")
+	// the damage is confined to shard 1: its siblings stay loadable
+	expectShardLoadable(t, st, 0)
+	expectShardLoadable(t, st, 2)
+}
+
+func TestShardedTornWALTail(t *testing.T) {
+	dir, st := setupShardedDir(t)
+	path := st.shardWALPath("trips", 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 4 {
+		t.Fatalf("shard 2 WAL has only %d bytes; setup should have journaled a record", len(raw))
+	}
+	// cut inside the final record — a crash mid-append
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path, false); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn shard WAL open = %v, want ErrCorrupt", err)
+	}
+	expectLoadCorrupt(t, dir, "torn shard WAL tail")
+	// sibling shards' journals still open and replay cleanly
+	for _, i := range []int{0, 1} {
+		w, recs, err := OpenWAL(st.shardWALPath("trips", i), false)
+		if err != nil {
+			t.Fatalf("sibling shard %d WAL unreadable: %v", i, err)
+		}
+		if len(recs) != 1 {
+			t.Errorf("sibling shard %d WAL has %d records, want 1", i, len(recs))
+		}
+		w.Close()
+		expectShardLoadable(t, st, i)
+	}
+}

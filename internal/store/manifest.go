@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 
 	"repro/internal/binenc"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/vfs"
 )
 
 // Shard manifest file format:
@@ -164,38 +164,49 @@ func ReadManifest(r io.Reader) (*ShardManifest, error) {
 	return m, nil
 }
 
-// WriteManifestFile writes a manifest atomically (temp file + fsync +
-// rename), like snapshots.
+// WriteManifestFile writes a manifest atomically on the real filesystem.
 func WriteManifestFile(path string, m *ShardManifest) error {
+	return WriteManifestFileFS(vfs.OS(), path, m)
+}
+
+// WriteManifestFileFS writes a manifest atomically (temp file + fsync +
+// rename), like snapshots. Write-path failures are tagged ErrIO.
+func WriteManifestFileFS(fsys vfs.FS, path string, m *ShardManifest) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := vfs.Create(fsys, tmp)
 	if err != nil {
-		return fmt.Errorf("store: create manifest: %w", err)
+		return ioErr("create manifest", err)
 	}
 	if err := WriteManifest(f, m); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("store: write manifest: %w", err)
+		fsys.Remove(tmp)
+		return ioErr("write manifest", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("store: sync manifest: %w", err)
+		fsys.Remove(tmp)
+		return ioErr("sync manifest", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: close manifest: %w", err)
+		fsys.Remove(tmp)
+		return ioErr("close manifest", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: publish manifest: %w", err)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return ioErr("publish manifest", err)
 	}
-	return syncDir(filepath.Dir(path))
+	return syncDir(fsys, filepath.Dir(path))
 }
 
-// ReadManifestFile reads and verifies a manifest file.
+// ReadManifestFile reads and verifies a manifest file on the real
+// filesystem.
 func ReadManifestFile(path string) (*ShardManifest, error) {
-	f, err := os.Open(path)
+	return ReadManifestFileFS(vfs.OS(), path)
+}
+
+// ReadManifestFileFS reads and verifies a manifest file.
+func ReadManifestFileFS(fsys vfs.FS, path string) (*ShardManifest, error) {
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("store: open manifest: %w", err)
 	}

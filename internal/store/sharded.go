@@ -2,12 +2,14 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/engine/factory"
+	"repro/internal/retry"
 	"repro/internal/shard"
 	"repro/internal/sqlfe"
 )
@@ -77,7 +79,7 @@ func (s *Store) shardedState(name string, shards int) (*tableState, error) {
 	}
 	ts := &tableState{name: name, shardWALs: make([]*WAL, 0, shards)}
 	for i := 0; i < shards; i++ {
-		wal, recs, err := OpenWAL(s.shardWALPath(name, i), !s.opts.NoSync)
+		wal, recs, err := OpenWALFS(s.fs, s.shardWALPath(name, i), !s.opts.NoSync)
 		if err != nil {
 			ts.closeWALs()
 			return nil, err
@@ -127,14 +129,16 @@ func (s *Store) SaveSharded(t ShardCheckpointable) error {
 }
 
 // saveShardedState checkpoints through an existing tableState, excluding
-// Remove via opMu like the unsharded path.
+// Remove via opMu like the unsharded path. Like saveTableState, transient
+// I/O failures retry with bounded backoff, exhausted retries degrade the
+// table to read-only mode, and a later successful save recovers it.
 func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
 	ts.opMu.Lock()
 	defer ts.opMu.Unlock()
 	if ts.removed {
 		return nil
 	}
-	return t.CheckpointShards(func(info engine.ShardInfo, innerEngine string, schema sqlfe.Schema, payloads [][]byte, shardRows []int, rows int) error {
+	err := t.CheckpointShards(func(info engine.ShardInfo, innerEngine string, schema sqlfe.Schema, payloads [][]byte, shardRows []int, rows int) error {
 		if len(payloads) != len(ts.shardWALs) {
 			return fmt.Errorf("store: table %q: %d shard payloads for %d shard logs", ts.name, len(payloads), len(ts.shardWALs))
 		}
@@ -155,7 +159,9 @@ func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
 			Rows:   rows,
 			Gens:   gens,
 		}
-		if err := WriteManifestFile(s.manifestPath(ts.name), m); err != nil {
+		if err := retry.Do(context.Background(), s.opts.Retry, transientIO, func() error {
+			return WriteManifestFileFS(s.fs, s.manifestPath(ts.name), m)
+		}); err != nil {
 			return err
 		}
 		for i, payload := range payloads {
@@ -167,7 +173,9 @@ func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
 				Schema:  schema,
 				Payload: payload,
 			}
-			if err := WriteSnapshotFile(s.shardSnapPath(ts.name, i), snap); err != nil {
+			if err := retry.Do(context.Background(), s.opts.Retry, transientIO, func() error {
+				return WriteSnapshotFileFS(s.fs, s.shardSnapPath(ts.name, i), snap)
+			}); err != nil {
 				return err
 			}
 		}
@@ -178,6 +186,13 @@ func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
 		}
 		return nil
 	})
+	switch {
+	case err == nil:
+		ts.recover()
+	case transientIO(err):
+		ts.degrade(err)
+	}
+	return err
 }
 
 // loadSharded restores one sharded table: manifest → per-shard snapshot +
@@ -185,7 +200,7 @@ func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
 // assembled engine (so the routing bounds grow exactly as they did before
 // the crash).
 func (s *Store) loadSharded(manifestPath string) (LoadedTable, error) {
-	m, err := ReadManifestFile(manifestPath)
+	m, err := ReadManifestFileFS(s.fs, manifestPath)
 	if err != nil {
 		return LoadedTable{}, err
 	}
@@ -209,7 +224,7 @@ func (s *Store) loadSharded(manifestPath string) (LoadedTable, error) {
 		}
 	}
 	for i := 0; i < m.Shards; i++ {
-		snap, err := ReadSnapshotFile(s.shardSnapPath(m.Name, i))
+		snap, err := ReadSnapshotFileFS(s.fs, s.shardSnapPath(m.Name, i))
 		if err != nil {
 			cleanup()
 			return LoadedTable{}, fmt.Errorf("store: sharded table %q shard %d: %w", m.Name, i, err)
@@ -227,7 +242,7 @@ func (s *Store) loadSharded(manifestPath string) (LoadedTable, error) {
 			cleanup()
 			return LoadedTable{}, fmt.Errorf("store: restore shard %d of table %q: %w", i, m.Name, err)
 		}
-		wal, recs, err := OpenWAL(s.shardWALPath(m.Name, i), !s.opts.NoSync)
+		wal, recs, err := OpenWALFS(s.fs, s.shardWALPath(m.Name, i), !s.opts.NoSync)
 		if err != nil {
 			cleanup()
 			return LoadedTable{}, err
@@ -348,6 +363,9 @@ func (l *ShardedTableLog) Delete(point []float64, value float64) error {
 }
 
 func (l *ShardedTableLog) append(point []float64, rec Record) error {
+	if err := l.ts.degradedErr(); err != nil {
+		return err
+	}
 	i, err := l.router.Route(point)
 	if err != nil {
 		return err
@@ -356,6 +374,9 @@ func (l *ShardedTableLog) append(point []float64, rec Record) error {
 		return fmt.Errorf("store: router sent update to shard %d of %d", i, len(l.ts.shardWALs))
 	}
 	if err := l.ts.shardWALs[i].Append(rec); err != nil {
+		if transientIO(err) {
+			l.ts.degrade(err)
+		}
 		return err
 	}
 	l.last = []int{i}
@@ -365,6 +386,9 @@ func (l *ShardedTableLog) append(point []float64, rec Record) error {
 // InsertMany journals a batch as one group commit per touched shard;
 // Rollback afterwards undoes every per-shard group.
 func (l *ShardedTableLog) InsertMany(points [][]float64, values []float64) error {
+	if err := l.ts.degradedErr(); err != nil {
+		return err
+	}
 	groups := make(map[int][]Record)
 	order := make([]int, 0, 4)
 	for i := range points {
@@ -389,6 +413,9 @@ func (l *ShardedTableLog) InsertMany(points [][]float64, values []float64) error
 				_ = l.ts.shardWALs[u].Rollback()
 			}
 			l.last = nil
+			if transientIO(err) {
+				l.ts.degrade(err)
+			}
 			return err
 		}
 		done = append(done, si)

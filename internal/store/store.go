@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"net/url"
 	"os"
@@ -14,8 +16,18 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/engine/factory"
+	"repro/internal/retry"
 	"repro/internal/sqlfe"
+	"repro/internal/vfs"
 )
+
+// ErrDegraded tags writes rejected because the table is in read-only
+// degraded mode: a WAL append or checkpoint hit an I/O failure, so the
+// store can no longer promise durability for new updates. Queries keep
+// serving from the in-memory synopsis; writes fail with this sentinel
+// (the original I/O cause stays in the chain). The table recovers on a
+// successful explicit checkpoint (SaveTable/SaveSharded) or on restart.
+var ErrDegraded = errors.New("table is in read-only degraded mode")
 
 // Checkpointable is the view of a live catalog table the store needs to
 // snapshot it: a name plus a Checkpoint method that, under the table's
@@ -41,6 +53,13 @@ type Options struct {
 	NoSync bool
 	// Logf receives diagnostics (checkpoints, recovery notes). Default: discard.
 	Logf func(format string, args ...any)
+	// FS is the filesystem the store runs on. Default vfs.OS(); tests and
+	// chaos runs substitute a vfs.FaultFS to inject I/O failures.
+	FS vfs.FS
+	// Retry bounds the backoff loop wrapped around checkpoint file writes
+	// when they fail with a transient (ErrIO) error. Zero value = retry
+	// defaults (3 attempts, 5ms base).
+	Retry retry.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -53,7 +72,16 @@ func (o Options) withDefaults() Options {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.FS == nil {
+		o.FS = vfs.OS()
+	}
 	return o
+}
+
+// transientIO is the retry classifier: only failures tagged ErrIO are
+// worth another attempt — corruption and validation errors never are.
+func transientIO(err error) bool {
+	return errors.Is(err, ErrIO) && !errors.Is(err, ErrCorrupt)
 }
 
 // tableState is the store's per-table bookkeeping: the open WAL (or, for
@@ -73,6 +101,40 @@ type tableState struct {
 	src      Checkpointable      // nil until Attach
 	shardSrc ShardCheckpointable // nil until AttachSharded
 	removed  bool
+
+	// degMu guards degraded — the read-only-mode cause, nil when healthy.
+	// It is its own (tiny) lock because the journal hot path checks it on
+	// every write while checkpoints hold opMu for whole file writes.
+	degMu    sync.Mutex
+	degraded error
+}
+
+// degrade moves the table into read-only degraded mode, keeping the first
+// cause (later failures do not overwrite it).
+func (ts *tableState) degrade(cause error) {
+	ts.degMu.Lock()
+	defer ts.degMu.Unlock()
+	if ts.degraded == nil {
+		ts.degraded = cause
+	}
+}
+
+// recover clears degraded mode after durability has been re-established.
+func (ts *tableState) recover() {
+	ts.degMu.Lock()
+	defer ts.degMu.Unlock()
+	ts.degraded = nil
+}
+
+// degradedErr returns nil when the table is healthy, or an ErrDegraded-
+// tagged error carrying the original I/O cause when it is not.
+func (ts *tableState) degradedErr() error {
+	ts.degMu.Lock()
+	defer ts.degMu.Unlock()
+	if ts.degraded == nil {
+		return nil
+	}
+	return fmt.Errorf("store: table %q: %w: %w", ts.name, ErrDegraded, ts.degraded)
 }
 
 // pending counts journaled records across the table's WAL(s).
@@ -107,6 +169,7 @@ func (ts *tableState) closeWALs() error {
 type Store struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu     sync.Mutex
 	tables map[string]*tableState // key: lower-cased table name
@@ -119,12 +182,14 @@ type Store struct {
 // Open prepares a data directory (creating it if needed) and starts the
 // background checkpointer.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create data dir: %w", err)
 	}
 	s := &Store{
 		dir:    dir,
-		opts:   opts.withDefaults(),
+		opts:   opts,
+		fs:     opts.FS,
 		tables: make(map[string]*tableState),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
@@ -185,7 +250,7 @@ type LoadedTable struct {
 // whole load with a clear error — a durable store must never silently
 // serve partial state. Results are sorted by table name.
 func (s *Store) LoadAll() ([]LoadedTable, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: read data dir: %w", err)
 	}
@@ -248,7 +313,7 @@ var shardFilePattern = regexp.MustCompile(`\.s\d+\.(snap|wal)$`)
 
 // loadOne restores a single table from its snapshot + WAL pair.
 func (s *Store) loadOne(snapPath string) (LoadedTable, error) {
-	snap, err := ReadSnapshotFile(snapPath)
+	snap, err := ReadSnapshotFileFS(s.fs, snapPath)
 	if err != nil {
 		return LoadedTable{}, err
 	}
@@ -264,7 +329,7 @@ func (s *Store) loadOne(snapPath string) (LoadedTable, error) {
 	if err != nil {
 		return LoadedTable{}, fmt.Errorf("store: restore engine %s for table %q: %w", snap.Engine, snap.Name, err)
 	}
-	wal, recs, err := OpenWAL(s.walPath(snap.Name), !s.opts.NoSync)
+	wal, recs, err := OpenWALFS(s.fs, s.walPath(snap.Name), !s.opts.NoSync)
 	if err != nil {
 		return LoadedTable{}, err
 	}
@@ -341,7 +406,7 @@ func (s *Store) state(name string) (*tableState, error) {
 		}
 		return ts, nil
 	}
-	wal, recs, err := OpenWAL(s.walPath(name), !s.opts.NoSync)
+	wal, recs, err := OpenWALFS(s.fs, s.walPath(name), !s.opts.NoSync)
 	if err != nil {
 		return nil, err
 	}
@@ -393,13 +458,17 @@ func (s *Store) SaveTable(t Checkpointable) error {
 // saveTableState checkpoints through an existing tableState. Taking opMu
 // for the duration excludes Remove, so a concurrent drop cannot interleave
 // with the file writes; a state Remove already won on is left untouched.
+//
+// Transient (ErrIO) write failures are retried with bounded backoff; if
+// the retries are exhausted the table degrades to read-only mode, and a
+// later successful save — durability re-established — recovers it.
 func (s *Store) saveTableState(ts *tableState, t Checkpointable) error {
 	ts.opMu.Lock()
 	defer ts.opMu.Unlock()
 	if ts.removed {
 		return nil
 	}
-	return t.Checkpoint(func(engineName string, schema sqlfe.Schema, payload []byte, rows int) error {
+	err := t.Checkpoint(func(engineName string, schema sqlfe.Schema, payload []byte, rows int) error {
 		gen := ts.wal.Gen() + 1
 		snap := &Snapshot{
 			Name:    ts.name,
@@ -409,11 +478,20 @@ func (s *Store) saveTableState(ts *tableState, t Checkpointable) error {
 			Schema:  schema,
 			Payload: payload,
 		}
-		if err := WriteSnapshotFile(s.snapPath(ts.name), snap); err != nil {
+		if err := retry.Do(context.Background(), s.opts.Retry, transientIO, func() error {
+			return WriteSnapshotFileFS(s.fs, s.snapPath(ts.name), snap)
+		}); err != nil {
 			return err
 		}
 		return ts.wal.Truncate(gen)
 	})
+	switch {
+	case err == nil:
+		ts.recover()
+	case transientIO(err):
+		ts.degrade(err)
+	}
+	return err
 }
 
 // Checkpoint snapshots every attached table whose WAL has grown past the
@@ -438,6 +516,12 @@ func (s *Store) checkpointWhere(needed func(pending int) bool) error {
 	s.mu.Lock()
 	var work []due
 	for _, ts := range s.tables {
+		if ts.degradedErr() != nil {
+			// a degraded table's storage is already known-bad: the periodic
+			// checkpointer leaves it alone instead of hammering a failing
+			// disk; recovery is an explicit SaveTable/SaveSharded or restart
+			continue
+		}
 		if (ts.src != nil || ts.shardSrc != nil) && needed(ts.pending()) {
 			work = append(work, due{ts: ts, src: ts.src, shardSrc: ts.shardSrc})
 		}
@@ -491,7 +575,7 @@ func (s *Store) Remove(name string) error {
 	// test would also catch "<name>.staging.s0.snap", the shard files of
 	// a DIFFERENT table extending this name
 	ownShardFile := regexp.MustCompile(`^` + regexp.QuoteMeta(fileKey(name)) + `\.s\d+\.(snap|wal)$`)
-	if entries, err := os.ReadDir(s.dir); err == nil {
+	if entries, err := s.fs.ReadDir(s.dir); err == nil {
 		for _, e := range entries {
 			if !e.IsDir() && ownShardFile.MatchString(e.Name()) {
 				doomed = append(doomed, filepath.Join(s.dir, e.Name()))
@@ -500,7 +584,7 @@ func (s *Store) Remove(name string) error {
 	}
 	var firstErr error
 	for _, p := range doomed {
-		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -508,10 +592,39 @@ func (s *Store) Remove(name string) error {
 	}
 	// make the unlinks durable, so a machine crash cannot resurrect the
 	// dropped table at the next boot
-	if err := syncDir(s.dir); err != nil && firstErr == nil {
+	if err := syncDir(s.fs, s.dir); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// Degraded reports whether a table is in read-only degraded mode, and if
+// so, the ErrDegraded-tagged cause.
+func (s *Store) Degraded(name string) (bool, error) {
+	s.mu.Lock()
+	ts := s.tables[strings.ToLower(name)]
+	s.mu.Unlock()
+	if ts == nil {
+		return false, nil
+	}
+	if err := ts.degradedErr(); err != nil {
+		return true, err
+	}
+	return false, nil
+}
+
+// DegradedTables lists the tables currently in degraded mode, sorted.
+func (s *Store) DegradedTables() []string {
+	s.mu.Lock()
+	var out []string
+	for _, ts := range s.tables {
+		if ts.degradedErr() != nil {
+			out = append(out, ts.name)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Close stops the background checkpointer and closes every WAL. It does
@@ -561,18 +674,36 @@ func (s *Store) run() {
 // Journal interface: appends happen before the in-memory apply, and
 // Rollback undoes the last append when that apply fails. The catalog
 // serializes all three behind the table's write lock.
+//
+// An append that fails with an I/O error (as opposed to a validation
+// error) degrades the table to read-only mode — the WAL could not be
+// extended, so accepting more writes would silently drop durability.
+// Every later write is rejected with ErrDegraded until the table
+// recovers (explicit checkpoint or restart).
 type TableLog struct {
 	ts *tableState
 }
 
+// append journals records through the degraded-mode gate.
+func (l *TableLog) append(recs []Record) error {
+	if err := l.ts.degradedErr(); err != nil {
+		return err
+	}
+	err := l.ts.wal.AppendGroup(recs)
+	if err != nil && transientIO(err) {
+		l.ts.degrade(err)
+	}
+	return err
+}
+
 // Insert journals an insert.
 func (l *TableLog) Insert(point []float64, value float64) error {
-	return l.ts.wal.Append(Record{Op: OpInsert, Point: point, Value: value})
+	return l.append([]Record{{Op: OpInsert, Point: point, Value: value}})
 }
 
 // Delete journals a delete.
 func (l *TableLog) Delete(point []float64, value float64) error {
-	return l.ts.wal.Append(Record{Op: OpDelete, Point: point, Value: value})
+	return l.append([]Record{{Op: OpDelete, Point: point, Value: value}})
 }
 
 // InsertMany journals a batch of inserts as one group commit.
@@ -581,7 +712,7 @@ func (l *TableLog) InsertMany(points [][]float64, values []float64) error {
 	for i := range points {
 		recs[i] = Record{Op: OpInsert, Point: points[i], Value: values[i]}
 	}
-	return l.ts.wal.AppendGroup(recs)
+	return l.append(recs)
 }
 
 // Rollback undoes the most recent append.

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/binenc"
+	"repro/internal/vfs"
 )
 
 // Write-ahead log format:
@@ -60,7 +61,7 @@ type Record struct {
 type WAL struct {
 	mu   sync.Mutex
 	path string
-	f    *os.File
+	f    vfs.File
 	// size is the current valid end offset; prevSize is the offset before
 	// the most recent append (single or group), enabling rollback after a
 	// failed in-memory apply.
@@ -96,12 +97,18 @@ func encodeHeader(gen uint64) []byte {
 	return append(buf.Bytes(), g[:]...)
 }
 
-// OpenWAL opens (or creates) a table's write-ahead log, scans and returns
-// the journaled records, and positions the file for appending. A torn or
-// corrupt record makes the open fail with an error wrapping ErrCorrupt —
-// recovery must be explicit, never silent.
+// OpenWAL opens (or creates) a table's write-ahead log on the real
+// filesystem.
 func OpenWAL(path string, syncAppends bool) (*WAL, []Record, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenWALFS(vfs.OS(), path, syncAppends)
+}
+
+// OpenWALFS opens (or creates) a table's write-ahead log, scans and
+// returns the journaled records, and positions the file for appending. A
+// torn or corrupt record makes the open fail with an error wrapping
+// ErrCorrupt — recovery must be explicit, never silent.
+func OpenWALFS(fsys vfs.FS, path string, syncAppends bool) (*WAL, []Record, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: open WAL: %w", err)
 	}
@@ -141,7 +148,7 @@ const maxRecordBytes = 1 << 20
 
 // scanWAL validates the header and every record, returning the records,
 // the generation, and the end offset of the last valid record.
-func scanWAL(f *os.File, fileSize int64) ([]Record, uint64, int64, error) {
+func scanWAL(f vfs.File, fileSize int64) ([]Record, uint64, int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, 0, err
 	}
@@ -276,12 +283,12 @@ func (w *WAL) AppendGroup(recs []Record) error {
 	n, err := w.f.Write(framed)
 	if err != nil {
 		undo()
-		return fmt.Errorf("store: WAL append: %w", err)
+		return ioErr("WAL append", err)
 	}
 	if w.sync {
 		if err := w.f.Sync(); err != nil {
 			undo()
-			return fmt.Errorf("store: WAL sync: %w", err)
+			return ioErr("WAL sync", err)
 		}
 	}
 	w.prevSize, w.prevRecords = w.size, w.records
@@ -316,19 +323,21 @@ func (w *WAL) Truncate(gen uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.f.Truncate(0); err != nil {
-		return fmt.Errorf("store: WAL truncate: %w", err)
+		return ioErr("WAL truncate", err)
 	}
 	if _, err := w.f.WriteAt(encodeHeader(gen), 0); err != nil {
-		return fmt.Errorf("store: WAL truncate header: %w", err)
+		return ioErr("WAL truncate header", err)
 	}
 	if _, err := w.f.Seek(headerLen, io.SeekStart); err != nil {
-		return fmt.Errorf("store: WAL truncate seek: %w", err)
+		return ioErr("WAL truncate seek", err)
 	}
 	w.size, w.prevSize = headerLen, headerLen
 	w.records, w.prevRecords = 0, 0
 	w.gen = gen
 	if w.sync {
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			return ioErr("WAL truncate sync", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,393 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the default error a fault rule returns — tests and
+// operators can errors.Is against it to distinguish injected failures
+// from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// ErrCrashed is returned by every operation after a Crash fault fired (or
+// CrashNow was called): the simulated process/machine has died, and no
+// further I/O reaches the disk. The files written before the crash are
+// exactly what a recovery sees.
+var ErrCrashed = errors.New("filesystem crashed (fault injection)")
+
+// Op names one filesystem operation class a fault rule can match.
+type Op string
+
+// Operation classes.
+const (
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpAny      Op = "any"
+)
+
+// Fault is one deterministic fault rule: when an operation of kind Op
+// whose path contains Path is executed, the rule's trigger window (After,
+// Count) decides whether it fires. A firing rule injects, in order:
+// Delay (latency), then ShortWrite (a torn write of that many bytes,
+// write ops only), then Err (the failure), then Crash (all later
+// operations fail with ErrCrashed). A rule with only Delay set slows the
+// operation down without failing it.
+type Fault struct {
+	// Op selects the operation class (OpAny matches everything).
+	Op Op
+	// Path is a substring match on the operation's path ("" matches all).
+	Path string
+	// After skips the first After matching operations before firing.
+	After int
+	// Count limits how many times the rule fires (0 = every match).
+	Count int
+	// Delay is injected latency before the operation proceeds (or fails).
+	Delay time.Duration
+	// ShortWrite, when > 0 on a write operation, writes only that many
+	// bytes of the payload before returning the error — a torn write.
+	ShortWrite int
+	// Err is the injected error. Defaults to ErrInjected when the rule is
+	// a failure rule (Crash or ShortWrite set, or Delay unset).
+	Err error
+	// Crash kills the filesystem after this rule fires: every subsequent
+	// operation returns ErrCrashed.
+	Crash bool
+
+	// matched counts operations this rule has matched; fired counts
+	// injections. Guarded by the owning FaultFS's mutex.
+	matched, fired int
+}
+
+// failure reports whether the rule injects an error (as opposed to being
+// latency-only).
+func (f *Fault) failure() bool {
+	return f.Err != nil || f.Crash || f.ShortWrite > 0 || f.Delay == 0
+}
+
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// FaultFS wraps an inner FS with a deterministic fault schedule. Rules
+// are evaluated in insertion order; the first rule that fires for an
+// operation decides its fate. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	rules   []*Fault
+	crashed bool
+	ops     map[Op]int
+}
+
+// NewFaultFS wraps inner with a fault schedule.
+func NewFaultFS(inner FS, rules ...*Fault) *FaultFS {
+	return &FaultFS{inner: inner, rules: rules, ops: make(map[Op]int)}
+}
+
+// Inject appends a rule to the schedule.
+func (f *FaultFS) Inject(rules ...*Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, rules...)
+}
+
+// CrashNow kills the filesystem immediately: every subsequent operation
+// returns ErrCrashed until Revive.
+func (f *FaultFS) CrashNow() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+}
+
+// Revive clears the crashed state and the rule schedule — the "restart
+// against the same directory" step of a crash test.
+func (f *FaultFS) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.rules = nil
+}
+
+// Crashed reports whether a crash fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// OpCount reports how many operations of one class have been issued
+// (matching or not), for test assertions on retry behaviour.
+func (f *FaultFS) OpCount(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops[op]
+}
+
+// Fired reports the total number of injections so far.
+func (f *FaultFS) Fired() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.rules {
+		n += r.fired
+	}
+	return n
+}
+
+// check consults the schedule for one operation. It returns the injected
+// latency, the number of bytes to write before failing (-1 = no
+// truncation of the payload), and the injected error (nil = proceed).
+func (f *FaultFS) check(op Op, path string) (delay time.Duration, short int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops[op]++
+	if f.crashed {
+		return 0, -1, ErrCrashed
+	}
+	for _, r := range f.rules {
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if r.Path != "" && !strings.Contains(path, r.Path) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		if r.Crash {
+			f.crashed = true
+		}
+		if !r.failure() {
+			return r.Delay, -1, nil // latency-only rule
+		}
+		if r.ShortWrite > 0 {
+			return r.Delay, r.ShortWrite, r.err()
+		}
+		return r.Delay, -1, r.err()
+	}
+	return 0, -1, nil
+}
+
+// run gates one non-write operation through the schedule.
+func (f *FaultFS) run(op Op, path string, fn func() error) error {
+	delay, _, err := f.check(op, path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return err
+	}
+	return fn()
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	var inner File
+	err := f.run(OpOpen, name, func() (e error) {
+		inner, e = f.inner.OpenFile(name, flag, perm)
+		return
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	return f.run(OpRename, newpath, func() error { return f.inner.Rename(oldpath, newpath) })
+}
+
+func (f *FaultFS) Remove(name string) error {
+	return f.run(OpRemove, name, func() error { return f.inner.Remove(name) })
+}
+
+func (f *FaultFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	var out []fs.DirEntry
+	err := f.run(OpRead, name, func() (e error) {
+		out, e = f.inner.ReadDir(name)
+		return
+	})
+	return out, err
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.run(OpOpen, path, func() error { return f.inner.MkdirAll(path, perm) })
+}
+
+// faultFile routes every file operation back through the schedule.
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.fs.run(OpRead, ff.path, func() error { return nil }); err != nil {
+		return 0, err
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	delay, short, err := ff.fs.check(OpWrite, ff.path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		if short > 0 && short < len(p) {
+			// torn write: part of the payload reaches the file before the
+			// failure is reported
+			n, _ := ff.inner.Write(p[:short])
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	delay, short, err := ff.fs.check(OpWrite, ff.path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		if short > 0 && short < len(p) {
+			n, _ := ff.inner.WriteAt(p[:short], off)
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.inner.WriteAt(p, off)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	// seeks are positioning-only; they fail only once the FS has crashed
+	if ff.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultFile) Sync() error {
+	return ff.fs.run(OpSync, ff.path, ff.inner.Sync)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	return ff.fs.run(OpTruncate, ff.path, func() error { return ff.inner.Truncate(size) })
+}
+
+func (ff *faultFile) Stat() (os.FileInfo, error) {
+	return ff.inner.Stat()
+}
+
+func (ff *faultFile) Close() error {
+	// closing must always work, crashed or not — a dead FS still releases
+	// its descriptors
+	return ff.inner.Close()
+}
+
+// ParseSchedule parses a textual fault schedule — the -fault-schedule
+// surface of passd's chaos testing. Rules are semicolon-separated;
+// each rule is a comma-separated list of key[=value] fields:
+//
+//	op=sync|write|open|read|truncate|rename|remove|any
+//	path=<substring>        match only paths containing the substring
+//	after=<n>               skip the first n matching operations
+//	count=<n>               fire at most n times
+//	delay=<duration>        injected latency (latency-only if no err/crash/short)
+//	err=injected|enospc|eio injected error (default injected when failing)
+//	short=<bytes>           torn write: write only this many bytes, then fail
+//	crash                   kill the filesystem after firing
+//
+// Example: "op=sync,path=.wal,after=10,count=1,err=eio;op=write,path=.snap,delay=250ms"
+func ParseSchedule(spec string) ([]*Fault, error) {
+	var rules []*Fault
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		rule := &Fault{Op: OpAny}
+		failing := false
+		for _, field := range strings.Split(rs, ",") {
+			key, val, _ := strings.Cut(strings.TrimSpace(field), "=")
+			switch key {
+			case "op":
+				switch Op(val) {
+				case OpOpen, OpRead, OpWrite, OpSync, OpTruncate, OpRename, OpRemove, OpAny:
+					rule.Op = Op(val)
+				default:
+					return nil, fmt.Errorf("vfs: unknown op %q in fault rule %q", val, rs)
+				}
+			case "path":
+				rule.Path = val
+			case "after", "count", "short":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("vfs: bad %s=%q in fault rule %q", key, val, rs)
+				}
+				switch key {
+				case "after":
+					rule.After = n
+				case "count":
+					rule.Count = n
+				case "short":
+					rule.ShortWrite = n
+					failing = true
+				}
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("vfs: bad delay %q in fault rule %q", val, rs)
+				}
+				rule.Delay = d
+			case "err":
+				failing = true
+				switch val {
+				case "injected", "":
+					rule.Err = ErrInjected
+				case "enospc":
+					rule.Err = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+				case "eio":
+					rule.Err = fmt.Errorf("%w: %w", ErrInjected, syscall.EIO)
+				default:
+					return nil, fmt.Errorf("vfs: unknown err %q in fault rule %q (want injected, enospc, eio)", val, rs)
+				}
+			case "crash":
+				rule.Crash = true
+				failing = true
+			default:
+				return nil, fmt.Errorf("vfs: unknown field %q in fault rule %q", key, rs)
+			}
+		}
+		if !failing && rule.Delay == 0 {
+			return nil, fmt.Errorf("vfs: fault rule %q injects neither a failure nor latency", rs)
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("vfs: empty fault schedule")
+	}
+	return rules, nil
+}

@@ -1,0 +1,171 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	fsys := OS()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := Create(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+func TestFaultFSSyncErrorAfterN(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS(), &Fault{Op: OpSync, Path: ".wal", After: 2, Count: 1})
+	f, err := Create(fsys, filepath.Join(dir, "t.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %d should pass: %v", i, err)
+		}
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 3 = %v, want ErrInjected", err)
+	}
+	// count=1: the rule is spent, later syncs succeed again
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 4 should pass after count exhausted: %v", err)
+	}
+	if got := fsys.Fired(); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS(), &Fault{Op: OpWrite, ShortWrite: 3})
+	path := filepath.Join(dir, "t.snap")
+	f, err := Create(fsys, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write wrote %d bytes, want 3", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "012" {
+		t.Fatalf("file holds %q after torn write, want %q", got, "012")
+	}
+}
+
+func TestFaultFSCrash(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS(), &Fault{Op: OpSync, Crash: true})
+	f, err := Create(fsys, filepath.Join(dir, "t.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+	if !fsys.Crashed() {
+		t.Fatal("FS should be crashed after the crash rule fired")
+	}
+	if _, err := Create(fsys, filepath.Join(dir, "u.wal")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash = %v, want ErrCrashed", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close must work even crashed: %v", err)
+	}
+	fsys.Revive()
+	f2, err := Create(fsys, filepath.Join(dir, "v.wal"))
+	if err != nil {
+		t.Fatalf("open after revive: %v", err)
+	}
+	f2.Close()
+}
+
+func TestFaultFSLatencyOnly(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaultFS(OS(), &Fault{Op: OpWrite, Delay: 30 * time.Millisecond})
+	f, err := Create(fsys, filepath.Join(dir, "t.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("latency-only rule must not fail the write: %v", err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("write took %s, want >= 30ms of injected latency", el)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	rules, err := ParseSchedule("op=sync,path=.wal,after=10,count=1,err=eio;op=write,path=.snap,delay=250ms;op=any,crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	r := rules[0]
+	if r.Op != OpSync || r.Path != ".wal" || r.After != 10 || r.Count != 1 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if !errors.Is(r.Err, syscall.EIO) || !errors.Is(r.Err, ErrInjected) {
+		t.Fatalf("rule 0 err = %v, want EIO wrapped in ErrInjected", r.Err)
+	}
+	if rules[1].Delay != 250*time.Millisecond || rules[1].failure() {
+		t.Fatalf("rule 1 should be latency-only: %+v", rules[1])
+	}
+	if !rules[2].Crash {
+		t.Fatalf("rule 2 should crash: %+v", rules[2])
+	}
+
+	for _, bad := range []string{
+		"",
+		"op=sync",               // no failure, no latency
+		"op=frobnicate,err=eio", // unknown op
+		"op=sync,err=wat",       // unknown error
+		"op=sync,after=x,crash", // bad int
+		"op=sync,delay=oops",    // bad duration
+		"op=sync,bogus=1,crash", // unknown field
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package vfs is a minimal filesystem abstraction for the durable storage
+// subsystem: the handful of operations internal/store performs (open,
+// write, fsync, truncate, rename, remove, read-dir) behind an interface
+// with two implementations — a passthrough to the real OS, and a
+// deterministic fault-injection wrapper (fault.go) that makes I/O failure
+// modes (failed fsyncs, short/torn writes, ENOSPC, injected latency,
+// crash-after-N-operations) reproducible in tests.
+//
+// The interface deliberately stays close to the os package so the
+// passthrough adds no behaviour: correctness of the store under vfs.OS()
+// is exactly its correctness under os.* calls.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the per-file surface the store uses: sequential reads and
+// writes, positioned writes (WAL header rewrites), fsync, truncation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	io.WriterAt
+	// Sync flushes the file's data (and metadata) to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Stat reports file metadata.
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem surface the store uses. Implementations must be
+// safe for concurrent use — the store journals and checkpoints from
+// multiple goroutines.
+type FS interface {
+	// OpenFile is the general open (os.OpenFile semantics). Directories
+	// may be opened read-only to fsync them after renames and unlinks.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory path.
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// Open opens a file read-only.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// Create creates or truncates a file for writing (os.Create semantics).
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// osFS is the passthrough implementation.
+type osFS struct{}
+
+// OS returns the real-filesystem implementation: every method forwards to
+// the corresponding os call.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return os.ReadDir(name)
+}
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }

@@ -310,6 +310,7 @@ func (s *Session) rebuildTable(table string, bs []partition.Boundary) error {
 		stopCapture()
 		return err
 	}
+	s.applyScatterMode(newEng)
 
 	// swap under the exclusive lock: no update can interleave, so after
 	// the captured deltas are replayed the new engine holds exactly the

@@ -271,6 +271,13 @@ type Answer struct {
 	TuplesRead int
 	// SkipRate is the fraction of the dataset not needed for the answer.
 	SkipRate float64
+	// Degraded marks a partial scatter answer: one or more shards of a
+	// sharded table errored or missed the query deadline and were dropped
+	// from the merge, with the uncertainty widened to compensate.
+	// ShardsTotal/ShardsAnswered report the scatter fan-out (both zero for
+	// unsharded execution).
+	Degraded                    bool
+	ShardsTotal, ShardsAnswered int
 }
 
 // ErrNoMatch is returned for AVG/MIN/MAX queries whose predicate matches
@@ -456,14 +463,17 @@ func (s *Synopsis) BuildSeconds() float64 { return s.inner.BuildTime.Seconds() }
 // shape; n is the base-table cardinality for skip-rate accounting.
 func answerFromResult(r core.Result, n int) Answer {
 	return Answer{
-		Estimate:   r.Estimate,
-		CIHalf:     r.CIHalf,
-		HardLo:     r.HardLo,
-		HardHi:     r.HardHi,
-		HardBounds: r.HardValid,
-		Exact:      r.Exact,
-		TuplesRead: r.TuplesRead,
-		SkipRate:   r.SkipRate(n),
+		Estimate:       r.Estimate,
+		CIHalf:         r.CIHalf,
+		HardLo:         r.HardLo,
+		HardHi:         r.HardHi,
+		HardBounds:     r.HardValid,
+		Exact:          r.Exact,
+		TuplesRead:     r.TuplesRead,
+		SkipRate:       r.SkipRate(n),
+		Degraded:       r.Degraded,
+		ShardsTotal:    r.ShardsTotal,
+		ShardsAnswered: r.ShardsAnswered,
 	}
 }
 

@@ -29,6 +29,7 @@ func (s *Session) AttachStore(st *store.Store) (int, error) {
 		return 0, err
 	}
 	for _, lt := range loaded {
+		s.applyScatterMode(lt.Engine)
 		tbl, err := s.cat.Register(lt.Name, lt.Engine, lt.Schema)
 		if err != nil {
 			return 0, fmt.Errorf("pass: warm start table %q: %w", lt.Name, err)
@@ -92,6 +93,7 @@ func (s *Session) RegisterEngineEphemeral(name string, eng engine.Engine, schema
 // of the catalog and the store — callers choose explicitly between
 // failing and RegisterEphemeral, never a silent skip.
 func (s *Session) register(name string, eng engine.Engine, schema sqlfe.Schema, persist bool) error {
+	s.applyScatterMode(eng)
 	tbl, err := s.cat.Register(name, eng, schema)
 	if err != nil {
 		return err

@@ -1,10 +1,12 @@
 package pass
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sqlfe"
 	"repro/internal/store"
 )
@@ -36,6 +38,32 @@ type Session struct {
 	cat      *catalog.Catalog
 	store    *store.Store
 	adaptive *adaptiveRuntime
+	// strictScatter makes deadline-bounded queries on sharded tables fail
+	// outright instead of returning Degraded partial merges. Applied to
+	// engines as they are registered (SetStrictScatter).
+	strictScatter bool
+}
+
+// strictable is the strict-mode surface of the scatter executor
+// (*shard.Engine), matched structurally to keep pass free of a direct
+// dependency on the executor's concrete type.
+type strictable interface{ SetStrict(bool) }
+
+// SetStrictScatter switches sharded tables between graceful degradation
+// (default: a shard that errors or misses the query deadline is dropped
+// from the merge and the answer is marked Degraded) and strict mode (such
+// queries fail). Call it before registering tables or attaching a store;
+// it applies to engines as they enter the catalog.
+func (s *Session) SetStrictScatter(strict bool) {
+	s.strictScatter = strict
+}
+
+// applyScatterMode pushes the session's strict-scatter setting onto an
+// engine that supports it.
+func (s *Session) applyScatterMode(eng engine.Engine) {
+	if sc, ok := engine.Underlying(eng).(strictable); ok {
+		sc.SetStrict(s.strictScatter)
+	}
 }
 
 // NewSession returns a session with an empty catalog.
@@ -124,6 +152,11 @@ type TableInfo struct {
 	// Adaptive carries workload statistics, cache effectiveness and
 	// re-optimization history when the session's adaptive layer is on.
 	Adaptive *AdaptiveInfo `json:"adaptive,omitempty"`
+	// Degraded marks a table in read-only degraded mode: its write-ahead
+	// journal or checkpoint hit an I/O failure, so writes are rejected
+	// while queries keep serving. DegradedCause carries the failure.
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 // Tables lists the registered tables in deterministic (case-insensitively
@@ -152,8 +185,24 @@ func (s *Session) Tables() []TableInfo {
 			}
 		}
 		out[i].Adaptive = s.adaptiveInfo(t.Name())
+		if s.store != nil {
+			if deg, cause := s.store.Degraded(t.Name()); deg {
+				out[i].Degraded = true
+				out[i].DegradedCause = cause.Error()
+			}
+		}
 	}
 	return out
+}
+
+// DegradedTables lists the names of tables currently in read-only
+// degraded mode (sorted). Nil without a store attached — degraded mode
+// only exists on the durable path.
+func (s *Session) DegradedTables() []string {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.DegradedTables()
 }
 
 // Exec parses, plans and executes one SQL statement, resolving the FROM
@@ -161,11 +210,20 @@ func (s *Session) Tables() []TableInfo {
 // (they name the registered tables); see Synopsis.SQL for the legacy
 // single-synopsis path that ignores the FROM table.
 func (s *Session) Exec(sql string) (SQLResult, error) {
+	return s.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx is Exec with deadline propagation: ctx flows through the
+// catalog to the engine, so a deadline-aware engine (the scatter-gather
+// executor of sharded tables) can drop shards that miss the deadline and
+// return a Degraded partial answer (or fail, in strict-scatter mode).
+// Engines without the capability get a fail-fast admission check.
+func (s *Session) ExecCtx(ctx context.Context, sql string) (SQLResult, error) {
 	tbl, plan, err := s.compile(sql)
 	if err != nil {
 		return SQLResult{}, err
 	}
-	return s.execPlan(tbl, plan)
+	return s.execPlanCtx(ctx, tbl, plan)
 }
 
 // StmtResult is the outcome of one statement in a batched execution.
@@ -190,6 +248,11 @@ type StmtResult struct {
 // returned in input order and are identical to calling Exec per
 // statement.
 func (s *Session) ExecBatch(stmts []string) []StmtResult {
+	return s.ExecBatchCtx(context.Background(), stmts)
+}
+
+// ExecBatchCtx is ExecBatch with deadline propagation (see ExecCtx).
+func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult {
 	out := make([]StmtResult, len(stmts))
 
 	// compile everything first; failures don't block the rest of the batch
@@ -225,7 +288,7 @@ func (s *Session) ExecBatch(stmts []string) []StmtResult {
 			qs[j] = core.BatchQuery{Kind: plans[i].plan.Agg, Rect: plans[i].plan.Rect}
 		}
 		n := tbl.Rows()
-		for j, br := range tbl.QueryBatch(qs) {
+		for j, br := range tbl.QueryBatchCtx(ctx, qs) {
 			i := idx[j]
 			switch {
 			case br.Err != nil:
@@ -243,7 +306,7 @@ func (s *Session) ExecBatch(stmts []string) []StmtResult {
 		if out[i].Err != nil || plans[i].plan == nil || plans[i].plan.GroupDim < 0 {
 			continue
 		}
-		out[i].Result, out[i].Err = s.execPlan(plans[i].tbl, plans[i].plan)
+		out[i].Result, out[i].Err = s.execPlanCtx(ctx, plans[i].tbl, plans[i].plan)
 	}
 	return out
 }
@@ -252,6 +315,11 @@ func (s *Session) ExecBatch(stmts []string) []StmtResult {
 // executes them as one batch.
 func (s *Session) ExecScript(script string) []StmtResult {
 	return s.ExecBatch(sqlfe.SplitStatements(script))
+}
+
+// ExecScriptCtx is ExecScript with deadline propagation (see ExecCtx).
+func (s *Session) ExecScriptCtx(ctx context.Context, script string) []StmtResult {
+	return s.ExecBatchCtx(ctx, sqlfe.SplitStatements(script))
 }
 
 // Insert adds one tuple to a named table (engines with the Updatable
@@ -303,11 +371,13 @@ func (s *Session) compile(sql string) (*catalog.Table, *sqlfe.Plan, error) {
 	return tbl, plan, nil
 }
 
-// execPlan dispatches a compiled plan to a table's engine.
-func (s *Session) execPlan(tbl *catalog.Table, plan *sqlfe.Plan) (SQLResult, error) {
+// execPlanCtx dispatches a compiled plan to a table's engine, observing
+// ctx. GROUP BY execution is not deadline-interruptible mid-flight; it
+// gets a fail-fast admission check instead.
+func (s *Session) execPlanCtx(ctx context.Context, tbl *catalog.Table, plan *sqlfe.Plan) (SQLResult, error) {
 	n := tbl.Rows()
 	if plan.GroupDim < 0 {
-		r, err := tbl.Query(plan.Agg, plan.Rect)
+		r, err := tbl.QueryCtx(ctx, plan.Agg, plan.Rect)
 		if err != nil {
 			return SQLResult{}, err
 		}
@@ -318,6 +388,9 @@ func (s *Session) execPlan(tbl *catalog.Table, plan *sqlfe.Plan) (SQLResult, err
 	}
 	if len(plan.Groups) == 0 {
 		return SQLResult{}, fmt.Errorf("pass: GROUP BY on a numeric column needs explicit group keys — use Synopsis.GroupBy")
+	}
+	if err := ctx.Err(); err != nil {
+		return SQLResult{}, err
 	}
 	res, err := tbl.GroupBy(plan.Agg, plan.Rect, plan.GroupDim, plan.Groups)
 	if err != nil {
