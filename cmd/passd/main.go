@@ -98,10 +98,14 @@ func main() {
 		httpTimeout  = flag.Duration("http-timeout", 2*time.Minute, "HTTP read/write timeouts on the listener (slow-client defense; 0 = none)")
 		strictMode   = flag.Bool("strict-scatter", false, "fail sharded queries that lose any shard instead of returning degraded partial answers")
 		faultSpec    = flag.String("fault-schedule", "", "inject storage faults for testing, e.g. 'op=sync,path=.wal,after=10,count=1,err=eio' (see internal/vfs)")
+		planCache    = flag.Int("plan-cache-size", pass.DefaultPlanCacheSize, "prepared-plan cache capacity in distinct query shapes (0 disables plan caching)")
 	)
 	flag.Parse()
 
 	sess := pass.NewSession()
+	if *planCache != pass.DefaultPlanCacheSize {
+		sess.SetPlanCacheSize(*planCache)
+	}
 	// strict mode must be set before any table registers or warm-starts so
 	// every sharded engine picks it up
 	sess.SetStrictScatter(*strictMode)

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"testing"
+)
+
+// TestPreparedOverHTTP drives the prepared-statement lifecycle through
+// the HTTP surface: prepare, execute with params, execute with the
+// original literals, replace, and drop.
+func TestPreparedOverHTTP(t *testing.T) {
+	ts := testServer(t)
+	resp, _ := postJSON(t, ts.URL+"/tables", map[string]any{
+		"name": "sensors", "csv": sensorCSV(4800), "partitions": 16, "sample_rate": 0.05,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create table: %d", resp.StatusCode)
+	}
+
+	resp, created := postJSON(t, ts.URL+"/prepare", map[string]any{
+		"name": "daylight",
+		"sql":  "SELECT SUM(light) FROM sensors WHERE hour BETWEEN 6 AND 18",
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("prepare: %d %v", resp.StatusCode, created)
+	}
+	if created["num_params"].(float64) != 2 {
+		t.Fatalf("BETWEEN carries 2 params, got %v", created["num_params"])
+	}
+
+	scalar := func(out map[string]any) map[string]any {
+		t.Helper()
+		results := out["results"].([]any)
+		r := results[0].(map[string]any)
+		if e, ok := r["error"]; ok && e != "" {
+			t.Fatalf("statement error: %v", e)
+		}
+		return r["scalar"].(map[string]any)
+	}
+
+	// bound params must twin the equivalent inline SQL
+	resp, prepOut := postJSON(t, ts.URL+"/query", map[string]any{
+		"prepared": "daylight", "params": []any{8, 16},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepared query: %d", resp.StatusCode)
+	}
+	_, sqlOut := postJSON(t, ts.URL+"/query", map[string]any{
+		"sql": "SELECT SUM(light) FROM sensors WHERE hour BETWEEN 8 AND 16",
+	})
+	g := scalar(prepOut)["estimate"].(float64)
+	w := scalar(sqlOut)["estimate"].(float64)
+	if math.Abs(g-w) > 1e-12 {
+		t.Fatalf("prepared %v vs inline %v", g, w)
+	}
+
+	// no params: the literals it was prepared with
+	_, defOut := postJSON(t, ts.URL+"/query", map[string]any{"prepared": "daylight"})
+	_, wantOut := postJSON(t, ts.URL+"/query", map[string]any{
+		"sql": "SELECT SUM(light) FROM sensors WHERE hour BETWEEN 6 AND 18",
+	})
+	if g, w := scalar(defOut)["estimate"].(float64), scalar(wantOut)["estimate"].(float64); math.Abs(g-w) > 1e-12 {
+		t.Fatalf("no-param exec %v vs original literals %v", g, w)
+	}
+
+	// unknown name → 404; compile error → 400
+	resp, _ = postJSON(t, ts.URL+"/query", map[string]any{"prepared": "nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown prepared name: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/prepare", map[string]any{
+		"name": "bad", "sql": "SELECT SUM(light) FROM missing WHERE hour >= 1",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("prepare against unknown table: %d", resp.StatusCode)
+	}
+
+	// drop, then the name is gone; double-drop → 404
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/prepare/daylight", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del.Body.Close()
+	if del.StatusCode != http.StatusNoContent {
+		t.Fatalf("drop prepared: %d", del.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/query", map[string]any{"prepared": "daylight"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("dropped prepared name must 404, got %d", resp.StatusCode)
+	}
+
+	// /tables exposes the plan-cache and merge-pool counters
+	tables := getJSON(t, ts.URL+"/tables")
+	pc, ok := tables["plan_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing plan_cache in /tables: %v", tables)
+	}
+	if pc["hits"].(float64) < 1 {
+		t.Fatalf("expected plan-cache hits after repeated shapes, got %v", pc)
+	}
+	if _, ok := tables["merge_pool"].(map[string]any); !ok {
+		t.Fatalf("missing merge_pool in /tables: %v", tables)
+	}
+}

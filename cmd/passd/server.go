@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,10 @@ type server struct {
 	// ready flips true once warm start and demo loading complete, and back
 	// to false when shutdown begins; /readyz reports it.
 	ready atomic.Bool
+	// prepared holds named server-side prepared statements (POST /prepare),
+	// executed through POST /query with {"prepared": name, "params": [...]}.
+	preparedMu sync.Mutex
+	prepared   map[string]*pass.PreparedStmt
 }
 
 // buildOptions mirrors the synopsis-construction knobs exposed over HTTP.
@@ -55,6 +60,7 @@ func newServer(sess *pass.Session) *server {
 		sess:          sess,
 		buildDefaults: buildOptions{Partitions: 64, SampleRate: 0.005, Seed: 1},
 		maxBody:       defaultMaxBody,
+		prepared:      make(map[string]*pass.PreparedStmt),
 	}
 }
 
@@ -73,7 +79,10 @@ func (s *server) setMaxInflight(n int) {
 // handler routes the API:
 //
 //	POST   /query                    {"sql": "SELECT ...; SELECT ..."} → per-statement results
-//	GET    /tables                   → registered tables (+ adaptive/cache stats when -adaptive)
+//	                                 {"prepared": name, "params": [...]} → execute a prepared statement
+//	POST   /prepare                  {"name": ..., "sql": ...} → register a named prepared statement
+//	DELETE /prepare/{name}           → forget a prepared statement
+//	GET    /tables                   → registered tables (+ plan-cache/merge stats; adaptive stats when -adaptive)
 //	POST   /tables                   {"name": ..., "csv": ..., opts} → build + register
 //	POST   /tables/{name}/rows       {"rows": [{"point": [...], "value": ...}]} → insert (journaled when durable)
 //	POST   /tables/{name}/reoptimize → force a workload-driven rebuild decision (with -adaptive)
@@ -83,6 +92,8 @@ func (s *server) setMaxInflight(n int) {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("DELETE /prepare/{name}", s.handleDropPrepared)
 	mux.HandleFunc("GET /tables", s.handleListTables)
 	mux.HandleFunc("POST /tables", s.handleCreateTable)
 	mux.HandleFunc("POST /tables/{name}/rows", s.handleInsertRows)
@@ -182,6 +193,11 @@ type queryRequest struct {
 	SQL string `json:"sql"`
 	// Statements is an alternative to SQL for pre-split batches.
 	Statements []string `json:"statements,omitempty"`
+	// Prepared names a statement registered via POST /prepare; Params are
+	// its positional arguments (numbers and strings), one per placeholder.
+	// Omitting Params executes with the literals it was prepared with.
+	Prepared string `json:"prepared,omitempty"`
+	Params   []any  `json:"params,omitempty"`
 }
 
 type queryResponse struct {
@@ -204,12 +220,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var results []pass.StmtResult
 	switch {
+	case req.Prepared != "":
+		s.preparedMu.Lock()
+		ps, ok := s.prepared[req.Prepared]
+		s.preparedMu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown prepared statement %q", req.Prepared))
+			return
+		}
+		res, err := ps.ExecCtx(ctx, req.Params...)
+		results = []pass.StmtResult{{SQL: ps.Text(), Result: res, Err: err}}
 	case len(req.Statements) > 0:
 		results = s.sess.ExecBatchCtx(ctx, req.Statements)
 	case strings.TrimSpace(req.SQL) != "":
 		results = s.sess.ExecScriptCtx(ctx, req.SQL)
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf(`"sql" (or "statements") is required`))
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"sql" (or "statements", or "prepared") is required`))
 		return
 	}
 	resp := queryResponse{Results: make([]jsonStmtResult, len(results))}
@@ -230,12 +256,69 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handlePrepare registers a named prepared statement: normalized and
+// compiled once, then executable through POST /query with
+// {"prepared": name, "params": [...]}. Re-preparing a name replaces it.
+func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		SQL  string `json:"sql"`
+	}
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Name) == "" || strings.TrimSpace(req.SQL) == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf(`"name" and "sql" are required`))
+		return
+	}
+	ps, err := s.sess.Prepare(req.SQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.preparedMu.Lock()
+	s.prepared[req.Name] = ps
+	s.preparedMu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":       req.Name,
+		"template":   ps.Text(),
+		"num_params": ps.NumParams(),
+	})
+}
+
+func (s *server) handleDropPrepared(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.preparedMu.Lock()
+	_, ok := s.prepared[name]
+	delete(s.prepared, name)
+	s.preparedMu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown prepared statement %q", name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {
 	tables := s.sess.Tables()
 	if tables == nil {
 		tables = []pass.TableInfo{}
 	}
 	out := map[string]any{"tables": tables}
+	pcs := s.sess.PlanCacheStats()
+	out["plan_cache"] = map[string]any{
+		"hits":      pcs.Hits,
+		"misses":    pcs.Misses,
+		"evictions": pcs.Evictions,
+		"entries":   pcs.Entries,
+		"capacity":  pcs.Capacity,
+	}
+	acquires, allocated := s.sess.MergePoolStats()
+	out["merge_pool"] = map[string]any{
+		"acquires":            acquires,
+		"allocated":           allocated,
+		"allocations_avoided": acquires - allocated,
+	}
 	// session-wide semantic-cache counters, when adaptive serving is on
 	if cs, ok := s.sess.CacheStats(); ok {
 		out["cache"] = map[string]any{

@@ -189,24 +189,26 @@ func meanVisited(s *core.Synopsis, qs []workload.Query) float64 {
 
 // Experiments maps experiment ids to runners, for the CLI and benches.
 var Experiments = map[string]func(Config) []Table{
-	"table1":   Table1,
-	"fig3":     Figure3,
-	"fig4":     Figure4,
-	"fig5":     Figure5,
-	"fig6":     Figure6,
-	"fig7":     Figure7,
-	"fig8":     Figure8,
-	"fig9":     Figure9,
-	"table2":   Table2,
-	"table3":   Table3,
-	"dpcost":   DPVariants,
-	"ablation": Ablation,
-	"sharded":  ShardedExp,
-	"adaptive": AdaptiveExp,
+	"table1":    Table1,
+	"fig3":      Figure3,
+	"fig4":      Figure4,
+	"fig5":      Figure5,
+	"fig6":      Figure6,
+	"fig7":      Figure7,
+	"fig8":      Figure8,
+	"fig9":      Figure9,
+	"table2":    Table2,
+	"table3":    Table3,
+	"dpcost":    DPVariants,
+	"ablation":  Ablation,
+	"sharded":   ShardedExp,
+	"adaptive":  AdaptiveExp,
+	"plancache": PlanCacheExp,
 }
 
 // ExperimentOrder is the canonical presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"table2", "table3", "dpcost", "ablation", "sharded", "adaptive",
+	"plancache",
 }

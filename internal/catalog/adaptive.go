@@ -107,18 +107,39 @@ func (t *Table) ScatterStats() (scattered []int64, pruned int64, ok bool) {
 	return sc.ScatterCounts(), sc.PrunedCount(), true
 }
 
+// streamCounter is the streaming-merge instrumentation surface of
+// scatter-gather engines (satisfied by *shard.Engine): how many per-shard
+// partial results were folded into answers as they arrived instead of
+// being materialized first.
+type streamCounter interface{ StreamedCount() int64 }
+
+// StreamStats reports how many shard partials the table's engine folded
+// in streaming fashion, or ok=false when the engine does not expose it.
+func (t *Table) StreamStats() (streamed int64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sc, isCounter := engine.Underlying(t.eng).(streamCounter)
+	if !isCounter {
+		return 0, false
+	}
+	return sc.StreamedCount(), true
+}
+
 // SwapEngine replaces the table's serving engine under the exclusive
 // lock: prep receives the engine being replaced and returns its
 // successor (typically a freshly rebuilt synopsis, plus any delta
 // updates applied inside prep — no update can interleave, the lock is
 // held). The generation is bumped on both sides of the swap, so cached
-// results for the old engine become unreachable. The schema is retained;
-// the row count resyncs from the new engine.
+// results for the old engine become unreachable, and the plan generation
+// is bumped so cached prepared statements recompile against the new
+// engine. The schema is retained; the row count resyncs from the new
+// engine.
 func (t *Table) SwapEngine(prep func(old engine.Engine) (engine.Engine, error)) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.gen.Add(1)
 	defer t.gen.Add(1)
+	t.planGen.Add(1)
 	e, err := prep(t.eng)
 	if err != nil {
 		return fmt.Errorf("catalog: swap engine of table %q: %w", t.name, err)

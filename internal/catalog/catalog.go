@@ -71,6 +71,13 @@ type Table struct {
 	// and engine swap, read by queries under the read lock. It keys the
 	// result cache so stale answers are unreachable (see adaptive.go).
 	gen atomic.Uint64
+	// planGen is the plan generation: bumped only when the serving engine
+	// is swapped (SwapEngine), not on row updates — compiled plans resolve
+	// column names and dictionaries against the schema, which updates never
+	// change. It is half of the plan cache's validity pair (the other half
+	// is the table's identity), so prepared statements survive inserts and
+	// deletes but never outlive an engine swap.
+	planGen atomic.Uint64
 	// recorder and cache are the optional workload-adaptive hooks
 	// (AttachAdaptive); observer tracks applied updates (AttachObserver).
 	recorder QueryRecorder
@@ -80,6 +87,10 @@ type Table struct {
 
 // Name returns the registered table name.
 func (t *Table) Name() string { return t.name }
+
+// PlanGen returns the table's plan generation (see planGen). Plan-cache
+// entries stored under an older generation are stale.
+func (t *Table) PlanGen() uint64 { return t.planGen.Load() }
 
 // Schema returns the SQL-resolution schema. The returned value is shared
 // and must be treated as read-only.

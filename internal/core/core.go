@@ -154,6 +154,7 @@ type tree interface {
 	LeafAgg(leaf int) ptree.Agg
 	Root() ptree.Agg
 	Frontier(q dataset.Rect, zeroVarAsCovered bool) ptree.Frontier
+	Walk(q dataset.Rect, zeroVarAsCovered bool, cover func(ptree.Agg), partial func(leaf int, a ptree.Agg)) int
 	MemoryBytes() int
 }
 

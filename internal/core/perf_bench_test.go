@@ -23,13 +23,13 @@ func BenchmarkScanLeaf(b *testing.B) {
 	leaf := s.NumLeaves() / 2
 	lo, hi := s.oneD.LeafValueRange(leaf)
 	q := dataset.Rect1((lo+hi)/2, hi)
-	sc := s.scanLeaf(leaf, q)
+	sc := s.scanLeaf(leaf, q, constrainedDims(q))
 	if sc.kPred == 0 || sc.kPred == sc.k {
 		b.Fatalf("query does not half-cover the leaf: %d of %d match", sc.kPred, sc.k)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc := s.scanLeaf(leaf, q)
+		sc := s.scanLeaf(leaf, q, constrainedDims(q))
 		benchScanSink += sc.sum
 	}
 }
@@ -51,14 +51,14 @@ func BenchmarkScanLeafUnaligned(b *testing.B) {
 	}
 	leaf := 0
 	for l := 0; l < s.NumLeaves(); l++ {
-		if sc := s.scanLeaf(l, q); sc.kPred > 0 && sc.kPred < sc.k {
+		if sc := s.scanLeaf(l, q, constrainedDims(q)); sc.kPred > 0 && sc.kPred < sc.k {
 			leaf = l
 			break
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc := s.scanLeaf(leaf, q)
+		sc := s.scanLeaf(leaf, q, constrainedDims(q))
 		benchScanSink += sc.sum
 	}
 }

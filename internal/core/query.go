@@ -104,25 +104,28 @@ func (s *Synopsis) Query(kind dataset.AggKind, q dataset.Rect) (Result, error) {
 		return Result{}, fmt.Errorf("core: query constrains %d dimensions but samples carry %d (build with the full predicate vector and IndexDims for workload shift)", q.Dims(), s.dims)
 	}
 	zeroVar := kind == dataset.Avg && !s.opts.DisableZeroVariance
-	f := s.frontier(q, zeroVar)
+	cd := constrainedDims(q)
 	switch kind {
 	case dataset.Sum, dataset.Count:
-		return s.sumCount(kind, q, f), nil
+		return s.sumCount(kind, q, cd, zeroVar), nil
 	case dataset.Avg:
-		return s.avg(q, f), nil
+		return s.avg(q, cd, zeroVar), nil
 	case dataset.Min, dataset.Max:
-		return s.minMax(kind, q, f), nil
+		return s.minMax(kind, q, cd, zeroVar), nil
 	}
 	return Result{}, fmt.Errorf("core: unsupported aggregate %v", kind)
 }
 
-// frontier dispatches the MCF, projecting the query onto the indexed
-// column subset when the tree indexes one (multi-template sets,
-// Section 4.5). If the query constrains a column the tree does not index,
-// coverage cannot be certified and every intersecting leaf is partial.
-func (s *Synopsis) frontier(q dataset.Rect, zeroVar bool) ptree.Frontier {
+// walkFrontier dispatches the streaming MCF walk, projecting the query
+// onto the indexed column subset when the tree indexes one (multi-template
+// sets, Section 4.5). If the query constrains a column the tree does not
+// index, coverage cannot be certified and every intersecting leaf is
+// partial. Frontier entries are streamed to the callbacks in depth-first
+// order rather than materialized; the return value is the number of tree
+// nodes visited.
+func (s *Synopsis) walkFrontier(q dataset.Rect, zeroVar bool, cover func(ptree.Agg), partial func(leaf int, a ptree.Agg)) int {
 	if s.idxCols == nil || s.kd == nil {
-		return s.tr.Frontier(q, zeroVar)
+		return s.tr.Walk(q, zeroVar, cover, partial)
 	}
 	lo := make([]float64, len(s.idxCols))
 	hi := make([]float64, len(s.idxCols))
@@ -142,7 +145,34 @@ func (s *Synopsis) frontier(q dataset.Rect, zeroVar bool) ptree.Frontier {
 			break
 		}
 	}
-	return s.kd.FrontierProjected(dataset.Rect{Lo: lo, Hi: hi}, force, zeroVar)
+	return s.kd.WalkProjected(dataset.Rect{Lo: lo, Hi: hi}, force, zeroVar, cover, partial)
+}
+
+// constrainedDims lists the dimensions q actually bounds. Row filtering
+// touches only these dimensions instead of comparing every coordinate
+// against ±Inf — the leaf-level half of predicate pushdown. A nil result
+// means the predicate is vacuous.
+func constrainedDims(q dataset.Rect) []int {
+	var cd []int
+	for c := range q.Lo {
+		if !math.IsInf(q.Lo[c], -1) || !math.IsInf(q.Hi[c], 1) {
+			cd = append(cd, c)
+		}
+	}
+	return cd
+}
+
+// onlyDim reports whether every constrained dimension is dim — the
+// generalized sole-constraint test: once the sort-dimension binary search
+// has narrowed the range, no other dimension needs checking and the prefix
+// fast path applies.
+func onlyDim(cd []int, dim int) bool {
+	for _, c := range cd {
+		if c != dim {
+			return false
+		}
+	}
+	return true
 }
 
 // leafScan summarises the resolution of a partial leaf's sample against
@@ -160,9 +190,10 @@ type leafScan struct {
 // samples are sorted along its primary split dimension, so a predicate on
 // that dimension reduces to a binary-searched contiguous range; when no
 // other dimension is constrained, count/sum/sumSq come from two prefix
-// lookups (O(log k) total). Otherwise the remaining dimensions are checked
-// with a branch-light loop over the flat columnar arrays.
-func (s *Synopsis) scanLeaf(leaf int, q dataset.Rect) leafScan {
+// lookups (O(log k) total). Otherwise only the remaining constrained
+// dimensions (cd) are checked with a branch-light loop over the flat
+// columnar arrays — unconstrained columns are never touched.
+func (s *Synopsis) scanLeaf(leaf int, q dataset.Rect, cd []int) leafScan {
 	st := s.store
 	o, e := st.offsets[leaf], st.offsets[leaf+1]
 	sc := leafScan{k: e - o}
@@ -174,23 +205,29 @@ func (s *Synopsis) scanLeaf(leaf int, q dataset.Rect) leafScan {
 		if a >= b {
 			return sc
 		}
-		if soleConstraint(q, sd) {
+		if onlyDim(cd, sd) {
 			sc.kPred, sc.sum, sc.sumSq = st.rangeAgg(leaf, a, b)
 			return sc
 		}
-		sc.scanRows(st, q, sd, a, b)
+		sc.scanRows(st, q, cd, sd, a, b)
 	} else {
-		sc.scanRows(st, q, -1, o, e)
+		if len(cd) == 0 {
+			// vacuous predicate: the whole leaf matches, answered from the
+			// prefix aggregates without touching a row
+			sc.kPred, sc.sum, sc.sumSq = st.rangeAgg(leaf, o, e)
+			return sc
+		}
+		sc.scanRows(st, q, cd, -1, o, e)
 	}
 	return sc
 }
 
-// matchRow reports whether global sample j satisfies q, skipping dimension
-// skip, which the caller already certified (-1 checks every constrained
-// dimension).
-func matchRow(st *leafStore, q dataset.Rect, skip, j int) bool {
+// matchRow reports whether global sample j satisfies q on the constrained
+// dimensions cd, skipping dimension skip, which the caller already
+// certified via binary search (-1 checks every constrained dimension).
+func matchRow(st *leafStore, q dataset.Rect, cd []int, skip, j int) bool {
 	row := st.coords[j*st.dims : j*st.dims+st.dims]
-	for c := range q.Lo {
+	for _, c := range cd {
 		if c == skip {
 			continue
 		}
@@ -202,9 +239,9 @@ func matchRow(st *leafStore, q dataset.Rect, skip, j int) bool {
 }
 
 // scanRows accumulates matching samples in the global range [a, b).
-func (sc *leafScan) scanRows(st *leafStore, q dataset.Rect, skip, a, b int) {
+func (sc *leafScan) scanRows(st *leafStore, q dataset.Rect, cd []int, skip, a, b int) {
 	for j := a; j < b; j++ {
-		if !matchRow(st, q, skip, j) {
+		if !matchRow(st, q, cd, skip, j) {
 			continue
 		}
 		v := st.values[j]
@@ -212,19 +249,6 @@ func (sc *leafScan) scanRows(st *leafStore, q dataset.Rect, skip, a, b int) {
 		sc.sum += v
 		sc.sumSq += v * v
 	}
-}
-
-// soleConstraint reports whether dim is the only dimension q constrains.
-func soleConstraint(q dataset.Rect, dim int) bool {
-	for c := range q.Lo {
-		if c == dim {
-			continue
-		}
-		if !math.IsInf(q.Lo[c], -1) || !math.IsInf(q.Hi[c], 1) {
-			return false
-		}
-	}
-	return true
 }
 
 // leafMinMax is the MIN/MAX counterpart of leafScan.
@@ -235,8 +259,9 @@ type leafMinMax struct {
 
 // scanLeafMinMax resolves a partial leaf for MIN/MAX estimation: extrema
 // require visiting the matching values, but the sort-dimension binary
-// search still narrows the scan to the candidate range.
-func (s *Synopsis) scanLeafMinMax(leaf int, q dataset.Rect) leafMinMax {
+// search still narrows the scan to the candidate range, and only the
+// remaining constrained dimensions are compared per row.
+func (s *Synopsis) scanLeafMinMax(leaf int, q dataset.Rect, cd []int) leafMinMax {
 	st := s.store
 	o, e := st.offsets[leaf], st.offsets[leaf+1]
 	m := leafMinMax{k: e - o, min: math.Inf(1), max: math.Inf(-1)}
@@ -249,7 +274,7 @@ func (s *Synopsis) scanLeafMinMax(leaf int, q dataset.Rect) leafMinMax {
 		skip = sd
 	}
 	for j := a; j < b; j++ {
-		if !matchRow(st, q, skip, j) {
+		if !matchRow(st, q, cd, skip, j) {
 			continue
 		}
 		v := st.values[j]
@@ -264,70 +289,83 @@ func (s *Synopsis) scanLeafMinMax(leaf int, q dataset.Rect) leafMinMax {
 	return m
 }
 
-func (s *Synopsis) diag(f ptree.Frontier, read int) Result {
-	partialN := 0
-	for _, p := range f.Partial {
-		partialN += p.Agg.N
-	}
+// walkDiag accumulates the frontier-shape diagnostics of a streaming MCF
+// walk: entry counts and the dataset cardinality under partial leaves.
+type walkDiag struct {
+	read, partialN   int
+	nCover, nPartial int
+}
+
+func (s *Synopsis) diag(d walkDiag, visited int) Result {
 	return Result{
-		TuplesRead:    read,
-		SkippedTuples: s.n - partialN,
-		VisitedNodes:  f.Visited,
-		CoveredParts:  len(f.Cover),
-		PartialParts:  len(f.Partial),
+		TuplesRead:    d.read,
+		SkippedTuples: s.n - d.partialN,
+		VisitedNodes:  visited,
+		CoveredParts:  d.nCover,
+		PartialParts:  d.nPartial,
 	}
 }
 
 // sumCount answers SUM and COUNT queries: exact partial aggregates over
 // covered partitions plus per-stratum sample estimates over partial leaves
-// (Section 3.3), with strata weights w_i = 1.
-func (s *Synopsis) sumCount(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier) Result {
-	cover := f.CoverAgg()
+// (Section 3.3), with strata weights w_i = 1. The MCF streams entries to
+// the fold below — per-query state is O(1) regardless of frontier size.
+func (s *Synopsis) sumCount(kind dataset.AggKind, q dataset.Rect, cd []int, zeroVar bool) Result {
+	var (
+		d              walkDiag
+		cover          ptree.Agg
+		estP, varTotal float64
+		hardLoP        float64
+		hardHiP        float64
+		matchEstP      float64
+		certain        bool
+	)
+	visited := s.walkFrontier(q, zeroVar,
+		func(a ptree.Agg) {
+			d.nCover++
+			cover.Merge(a)
+		},
+		func(leaf int, pa ptree.Agg) {
+			d.nPartial++
+			d.partialN += pa.N
+			sc := s.scanLeaf(leaf, q, cd)
+			d.read += sc.k
+			ni := float64(pa.N)
+			if sc.k > 0 {
+				matchEstP += ni * float64(sc.kPred) / float64(sc.k)
+				if sc.kPred > 0 {
+					certain = true
+				}
+				var phiMean, phiSq float64
+				if kind == dataset.Sum {
+					phiMean = ni * sc.sum / float64(sc.k)
+					phiSq = ni * ni * sc.sumSq / float64(sc.k)
+				} else {
+					phiMean = ni * float64(sc.kPred) / float64(sc.k)
+					phiSq = ni * ni * float64(sc.kPred) / float64(sc.k)
+				}
+				estP += phiMean
+				phiVar := phiSq - phiMean*phiMean
+				if phiVar < 0 {
+					phiVar = 0
+				}
+				varTotal += phiVar / float64(sc.k) * stats.FPC(pa.N, sc.k)
+			}
+			lo, hi := partialSumBounds(kind, pa)
+			hardLoP += lo
+			hardHiP += hi
+		})
 	agg := cover.Sum
 	if kind == dataset.Count {
 		agg = float64(cover.N)
 	}
-	est := agg
-	varTotal := 0.0
-	read := 0
-	hardLo, hardHi := agg, agg
-	matchEst := float64(cover.N)
-	certain := cover.N > 0
-	for _, p := range f.Partial {
-		sc := s.scanLeaf(p.Leaf, q)
-		read += sc.k
-		ni := float64(p.Agg.N)
-		if sc.k > 0 {
-			matchEst += ni * float64(sc.kPred) / float64(sc.k)
-			if sc.kPred > 0 {
-				certain = true
-			}
-			var phiMean, phiSq float64
-			if kind == dataset.Sum {
-				phiMean = ni * sc.sum / float64(sc.k)
-				phiSq = ni * ni * sc.sumSq / float64(sc.k)
-			} else {
-				phiMean = ni * float64(sc.kPred) / float64(sc.k)
-				phiSq = ni * ni * float64(sc.kPred) / float64(sc.k)
-			}
-			est += phiMean
-			phiVar := phiSq - phiMean*phiMean
-			if phiVar < 0 {
-				phiVar = 0
-			}
-			varTotal += phiVar / float64(sc.k) * stats.FPC(p.Agg.N, sc.k)
-		}
-		lo, hi := partialSumBounds(kind, p.Agg)
-		hardLo += lo
-		hardHi += hi
-	}
-	r := s.diag(f, read)
-	r.Estimate = est
+	r := s.diag(d, visited)
+	r.Estimate = agg + estP
 	r.CIHalf = s.opts.Lambda * math.Sqrt(varTotal)
-	r.HardLo, r.HardHi, r.HardValid = hardLo, hardHi, true
-	r.Exact = len(f.Partial) == 0
-	r.MatchEst = matchEst
-	r.MatchCertain = certain
+	r.HardLo, r.HardHi, r.HardValid = agg+hardLoP, agg+hardHiP, true
+	r.Exact = d.nPartial == 0
+	r.MatchEst = float64(cover.N) + matchEstP
+	r.MatchCertain = cover.N > 0 || certain
 	return r
 }
 
@@ -360,43 +398,61 @@ func partialSumBounds(kind dataset.AggKind, a ptree.Agg) (lo, hi float64) {
 // avg answers AVG queries via the weighted stratified combination of
 // Sections 2.2/3.3: covered strata contribute their exact averages with
 // exact weights; partial strata contribute sample means with weights
-// estimated from the sample predicate fraction.
-func (s *Synopsis) avg(q dataset.Rect, f ptree.Frontier) Result {
+// estimated from the sample predicate fraction. Covered partitions fold
+// into a single O(1) stratum during the walk; only partial strata with
+// evidence are buffered (the combination weights need the total n̂_q).
+func (s *Synopsis) avg(q dataset.Rect, cd []int, zeroVar bool) Result {
 	type stratum struct {
-		est   float64
-		nHat  float64
-		vi    float64 // V_i(q), zero for covered strata
-		exact bool
+		est  float64
+		nHat float64
+		vi   float64 // V_i(q), zero for covered strata
 	}
-	var strata []stratum
-	cover := f.CoverAgg()
-	if cover.N > 0 {
-		strata = append(strata, stratum{est: cover.Avg(), nHat: float64(cover.N), exact: true})
-	}
-	read := 0
-	for _, p := range f.Partial {
-		sc := s.scanLeaf(p.Leaf, q)
-		read += sc.k
-		if sc.k == 0 || sc.kPred == 0 {
-			continue // stratum contributes nothing we can estimate
-		}
-		ni := float64(p.Agg.N)
-		nHat := ni * float64(sc.kPred) / float64(sc.k)
-		est := sc.sum / float64(sc.kPred)
-		// φ(t) = pred·(K/K_pred)·a; var over the whole leaf sample
-		ratio := float64(sc.k) / float64(sc.kPred)
-		phiMean := est
-		phiSq := ratio * ratio * sc.sumSq / float64(sc.k)
-		phiVar := phiSq - phiMean*phiMean
-		if phiVar < 0 {
-			phiVar = 0
-		}
-		vi := phiVar / float64(sc.k) * stats.FPC(p.Agg.N, sc.k)
-		strata = append(strata, stratum{est: est, nHat: nHat, vi: vi})
-	}
-	r := s.diag(f, read)
-	nq := 0.0
-	for _, st := range strata {
+	var (
+		d        walkDiag
+		cover    ptree.Agg
+		partials []stratum
+		// hard-bound envelope over partial partitions (Section 2.3)
+		partialLo = math.Inf(1)
+		partialHi = math.Inf(-1)
+	)
+	visited := s.walkFrontier(q, zeroVar,
+		func(a ptree.Agg) {
+			d.nCover++
+			cover.Merge(a)
+		},
+		func(leaf int, pa ptree.Agg) {
+			d.nPartial++
+			d.partialN += pa.N
+			sc := s.scanLeaf(leaf, q, cd)
+			d.read += sc.k
+			if pa.N > 0 {
+				if pa.Min < partialLo {
+					partialLo = pa.Min
+				}
+				if pa.Max > partialHi {
+					partialHi = pa.Max
+				}
+			}
+			if sc.k == 0 || sc.kPred == 0 {
+				return // stratum contributes nothing we can estimate
+			}
+			ni := float64(pa.N)
+			nHat := ni * float64(sc.kPred) / float64(sc.k)
+			est := sc.sum / float64(sc.kPred)
+			// φ(t) = pred·(K/K_pred)·a; var over the whole leaf sample
+			ratio := float64(sc.k) / float64(sc.kPred)
+			phiMean := est
+			phiSq := ratio * ratio * sc.sumSq / float64(sc.k)
+			phiVar := phiSq - phiMean*phiMean
+			if phiVar < 0 {
+				phiVar = 0
+			}
+			vi := phiVar / float64(sc.k) * stats.FPC(pa.N, sc.k)
+			partials = append(partials, stratum{est: est, nHat: nHat, vi: vi})
+		})
+	r := s.diag(d, visited)
+	nq := float64(cover.N)
+	for _, st := range partials {
 		nq += st.nHat
 	}
 	// strata exist only on direct evidence (a covered partition or a
@@ -408,32 +464,25 @@ func (s *Synopsis) avg(q dataset.Rect, f ptree.Frontier) Result {
 		return r
 	}
 	est, varTotal := 0.0, 0.0
-	allExact := true
-	for _, st := range strata {
+	if cover.N > 0 {
+		est += float64(cover.N) / nq * cover.Avg()
+	}
+	for _, st := range partials {
 		w := st.nHat / nq
 		est += w * st.est
 		varTotal += w * w * st.vi
-		if !st.exact {
-			allExact = false
-		}
 	}
 	r.Estimate = est
 	r.CIHalf = s.opts.Lambda * math.Sqrt(varTotal)
-	r.Exact = allExact
+	r.Exact = len(partials) == 0
 	// hard bounds (Section 2.3)
-	lo, hi := math.Inf(1), math.Inf(-1)
+	lo, hi := partialLo, partialHi
 	if cover.N > 0 {
-		lo, hi = cover.Avg(), cover.Avg()
-	}
-	for _, p := range f.Partial {
-		if p.Agg.N == 0 {
-			continue
+		if a := cover.Avg(); a < lo {
+			lo = a
 		}
-		if p.Agg.Min < lo {
-			lo = p.Agg.Min
-		}
-		if p.Agg.Max > hi {
-			hi = p.Agg.Max
+		if a := cover.Avg(); a > hi {
+			hi = a
 		}
 	}
 	if !math.IsInf(lo, 1) {
@@ -444,50 +493,69 @@ func (s *Synopsis) avg(q dataset.Rect, f ptree.Frontier) Result {
 
 // minMax answers MIN and MAX queries: exact extrema over covered
 // partitions, sampled extrema over partial leaves, with hard bounds from
-// the partial partitions' stored extrema.
-func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier) Result {
-	cover := f.CoverAgg()
-	read := 0
-	best := math.Inf(1)
+// the partial partitions' stored extrema. Extrema folds are commutative,
+// so the streamed walk keeps O(1) state.
+func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, cd []int, zeroVar bool) Result {
+	var (
+		d          walkDiag
+		cover      ptree.Agg
+		sampled    = math.Inf(1) // extremum over matching samples
+		sampledAny bool
+		// partialLo/partialHi: the range any matching tuple in a partial
+		// leaf could take
+		partialLo  = math.Inf(1)
+		partialHi  = math.Inf(-1)
+		anyPartial bool
+		matchEstP  float64
+	)
 	if kind == dataset.Max {
-		best = math.Inf(-1)
+		sampled = math.Inf(-1)
 	}
-	observed := false
+	visited := s.walkFrontier(q, zeroVar,
+		func(a ptree.Agg) {
+			d.nCover++
+			cover.Merge(a)
+		},
+		func(leaf int, pa ptree.Agg) {
+			d.nPartial++
+			d.partialN += pa.N
+			sc := s.scanLeafMinMax(leaf, q, cd)
+			d.read += sc.k
+			if pa.N > 0 {
+				anyPartial = true
+				partialLo = math.Min(partialLo, pa.Min)
+				partialHi = math.Max(partialHi, pa.Max)
+			}
+			if sc.k > 0 {
+				matchEstP += float64(pa.N) * float64(sc.kPred) / float64(sc.k)
+			}
+			if sc.kPred > 0 {
+				sampledAny = true
+				if kind == dataset.Min {
+					sampled = math.Min(sampled, sc.min)
+				} else {
+					sampled = math.Max(sampled, sc.max)
+				}
+			}
+		})
+	best := sampled
+	observed := sampledAny
 	if cover.N > 0 {
 		observed = true
-		if kind == dataset.Min {
-			best = cover.Min
+		c := cover.Min
+		if kind == dataset.Max {
+			c = cover.Max
+		}
+		if !sampledAny {
+			best = c
+		} else if kind == dataset.Min {
+			best = math.Min(best, c)
 		} else {
-			best = cover.Max
+			best = math.Max(best, c)
 		}
 	}
-	// partialLo/partialHi: the range any matching tuple in a partial leaf
-	// could take
-	partialLo, partialHi := math.Inf(1), math.Inf(-1)
-	anyPartial := false
-	matchEst := float64(cover.N)
-	for _, p := range f.Partial {
-		sc := s.scanLeafMinMax(p.Leaf, q)
-		read += sc.k
-		if p.Agg.N > 0 {
-			anyPartial = true
-			partialLo = math.Min(partialLo, p.Agg.Min)
-			partialHi = math.Max(partialHi, p.Agg.Max)
-		}
-		if sc.k > 0 {
-			matchEst += float64(p.Agg.N) * float64(sc.kPred) / float64(sc.k)
-		}
-		if sc.kPred > 0 {
-			observed = true
-			if kind == dataset.Min {
-				best = math.Min(best, sc.min)
-			} else {
-				best = math.Max(best, sc.max)
-			}
-		}
-	}
-	r := s.diag(f, read)
-	r.MatchEst = matchEst
+	r := s.diag(d, visited)
+	r.MatchEst = float64(cover.N) + matchEstP
 	r.MatchCertain = observed
 	if !observed && !anyPartial {
 		r.NoMatch = true
@@ -516,6 +584,6 @@ func (s *Synopsis) minMax(kind dataset.AggKind, q dataset.Rect, f ptree.Frontier
 		}
 		r.HardLo, r.HardHi, r.HardValid = best, hi, true
 	}
-	r.Exact = len(f.Partial) == 0
+	r.Exact = d.nPartial == 0
 	return r
 }

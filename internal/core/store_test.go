@@ -62,7 +62,7 @@ func TestScanLeafMatchesReference(t *testing.T) {
 	check := func(t *testing.T, s *Synopsis, q dataset.Rect) {
 		t.Helper()
 		for leaf := 0; leaf < s.NumLeaves(); leaf++ {
-			got := s.scanLeaf(leaf, q)
+			got := s.scanLeaf(leaf, q, constrainedDims(q))
 			var want leafScan
 			for _, tp := range s.LeafSamples(leaf) {
 				want.k++
@@ -82,7 +82,7 @@ func TestScanLeafMatchesReference(t *testing.T) {
 			if math.Abs(got.sumSq-want.sumSq) > 1e-9*(1+want.sumSq) {
 				t.Fatalf("leaf %d: sumSq %v, want %v", leaf, got.sumSq, want.sumSq)
 			}
-			gotMM := s.scanLeafMinMax(leaf, q)
+			gotMM := s.scanLeafMinMax(leaf, q, constrainedDims(q))
 			if gotMM.kPred != want.kPred {
 				t.Fatalf("leaf %d: minmax kPred %d, want %d", leaf, gotMM.kPred, want.kPred)
 			}

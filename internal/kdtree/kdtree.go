@@ -526,6 +526,55 @@ func (t *Tree) mcf(id int, q dataset.Rect, extra, zeroVar bool, f *ptree.Frontie
 	}
 }
 
+// Walk is the streaming counterpart of Frontier: the same classification
+// rules, with entries delivered to callbacks instead of slices.
+func (t *Tree) Walk(q dataset.Rect, zeroVarAsCovered bool, cover func(ptree.Agg), partial func(leaf int, a ptree.Agg)) int {
+	return t.WalkProjected(q, q.Dims() > t.dims, zeroVarAsCovered, cover, partial)
+}
+
+// WalkProjected runs the MCF of FrontierProjected but streams each
+// classification to a callback instead of materializing entry slices:
+// cover fires once per fully covered node and partial once per partially
+// overlapped leaf, in the same depth-first order FrontierProjected appends
+// them. It returns the number of nodes visited.
+func (t *Tree) WalkProjected(q dataset.Rect, forcePartial, zeroVarAsCovered bool, cover func(ptree.Agg), partial func(leaf int, a ptree.Agg)) int {
+	return t.walk(t.root, q, forcePartial, zeroVarAsCovered, cover, partial)
+}
+
+func (t *Tree) walk(id int, q dataset.Rect, extra, zeroVar bool, cover func(ptree.Agg), partial func(int, ptree.Agg)) int {
+	visited := 1
+	n := &t.nodes[id]
+	shared := t.dims
+	if q.Dims() < shared {
+		shared = q.Dims()
+	}
+	disjoint, covered := false, true
+	for c := 0; c < shared; c++ {
+		if n.rect.Hi[c] < q.Lo[c] || n.rect.Lo[c] > q.Hi[c] {
+			disjoint = true
+			break
+		}
+		if n.rect.Lo[c] < q.Lo[c] || n.rect.Hi[c] > q.Hi[c] {
+			covered = false
+		}
+	}
+	if disjoint {
+		return visited
+	}
+	if !extra && (covered || (zeroVar && n.agg.ZeroVariance())) {
+		cover(n.agg)
+		return visited
+	}
+	if n.children == nil {
+		partial(n.leaf, n.agg)
+		return visited
+	}
+	for _, ch := range n.children {
+		visited += t.walk(ch, q, extra, zeroVar, cover, partial)
+	}
+	return visited
+}
+
 // CheckInvariants verifies that children partition their parent's items and
 // aggregates merge consistently.
 func (t *Tree) CheckInvariants() error {

@@ -14,14 +14,251 @@
 // independent: Var(Σ X_i) = Σ Var(X_i), and every engine in a sharded
 // table shares one CI multiplier λ, so the λ factor distributes over the
 // root-sum-of-squares of the per-shard half-widths.
+//
+// The package's primitive is the streaming Merger: it folds partials one
+// at a time in O(1) state per aggregate kind, so the scatter layer can
+// merge each shard's answer as it lands instead of materializing a slice
+// of all partials first. Results and Groups are thin wrappers over it, and
+// a sync.Pool recycles accumulators on the batched-query hot path.
 package merge
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
+
+// Merger is a streaming accumulator for one query's partial results. Add
+// folds one shard's partial in O(1) time and state; Result finalizes the
+// merged answer. The fold keeps the same lossless rules as a materialized
+// merge — additive estimates/variances/hard bounds for SUM/COUNT,
+// cardinality-weighted combination for AVG, MatchCertain-guarded bound
+// tightening for MIN/MAX — and the finalized answer is independent of
+// arrival order up to floating-point associativity.
+//
+// A Merger is not safe for concurrent use; the scatter layer serializes
+// Add calls. Reset re-arms an accumulator for a new query, which is how
+// pooled Mergers are recycled.
+type Merger struct {
+	kind dataset.AggKind
+	live int
+
+	// diagnostics aggregate over every partial, matches or not
+	tuplesRead, skippedTuples, visitedNodes, coveredParts, partialParts int
+
+	matchEst     float64
+	matchCertain bool
+	exact        bool
+	hardValid    bool
+
+	// additive state (SUM/COUNT)
+	est, varSum, hardLo, hardHi float64
+
+	// weighted state (AVG): Σn̂, Σn̂·est, Σ(n̂·ci)², and the unweighted
+	// Σest / Σci² twins for the equal-weight fallback when no shard
+	// reports cardinality evidence
+	total, wEst, wVar, sumEst, sumVar float64
+
+	// envelope (AVG hard bounds and MIN/MAX union envelope)
+	envLo, envHi float64
+
+	// extremum state (MIN/MAX)
+	certEst, certBound, extEst float64
+	anyCertain                 bool
+}
+
+// NewMerger returns a fresh accumulator for one query of the given kind.
+// Hot paths should prefer Get/Put, which recycle accumulators through a
+// pool.
+func NewMerger(kind dataset.AggKind) *Merger {
+	m := &Merger{}
+	m.Reset(kind)
+	return m
+}
+
+// Reset re-arms the accumulator for a new query of the given kind,
+// discarding all folded state.
+func (m *Merger) Reset(kind dataset.AggKind) {
+	*m = Merger{kind: kind, exact: true, hardValid: true}
+	m.envLo, m.envHi = math.Inf(1), math.Inf(-1)
+	if kind == dataset.Max {
+		m.certEst, m.certBound, m.extEst = math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	} else {
+		m.certEst, m.certBound, m.extEst = math.Inf(1), math.Inf(1), math.Inf(1)
+	}
+}
+
+// Kind reports the aggregate kind the accumulator was armed for.
+func (m *Merger) Kind() dataset.AggKind { return m.kind }
+
+// Add folds one shard's partial result into the accumulator. Partials
+// reporting NoMatch contribute only diagnostics.
+func (m *Merger) Add(p core.Result) {
+	m.tuplesRead += p.TuplesRead
+	m.skippedTuples += p.SkippedTuples
+	m.visitedNodes += p.VisitedNodes
+	m.coveredParts += p.CoveredParts
+	m.partialParts += p.PartialParts
+	if p.NoMatch {
+		return
+	}
+	m.live++
+	m.matchEst += p.MatchEst
+	m.matchCertain = m.matchCertain || p.MatchCertain
+	m.exact = m.exact && p.Exact
+	m.hardValid = m.hardValid && p.HardValid
+	switch m.kind {
+	case dataset.Sum, dataset.Count:
+		m.est += p.Estimate
+		m.varSum += p.CIHalf * p.CIHalf
+		m.hardLo += p.HardLo
+		m.hardHi += p.HardHi
+	case dataset.Avg:
+		m.total += p.MatchEst
+		m.wEst += p.MatchEst * p.Estimate
+		wc := p.MatchEst * p.CIHalf
+		m.wVar += wc * wc
+		m.sumEst += p.Estimate
+		m.sumVar += p.CIHalf * p.CIHalf
+		m.envLo = math.Min(m.envLo, p.HardLo)
+		m.envHi = math.Max(m.envHi, p.HardHi)
+	case dataset.Min:
+		m.envLo = math.Min(m.envLo, p.HardLo)
+		m.envHi = math.Max(m.envHi, p.HardHi)
+		m.extEst = math.Min(m.extEst, p.Estimate)
+		if p.MatchCertain {
+			m.anyCertain = true
+			m.certEst = math.Min(m.certEst, p.Estimate)
+			m.certBound = math.Min(m.certBound, p.HardHi)
+		}
+	case dataset.Max:
+		m.envLo = math.Min(m.envLo, p.HardLo)
+		m.envHi = math.Max(m.envHi, p.HardHi)
+		m.extEst = math.Max(m.extEst, p.Estimate)
+		if p.MatchCertain {
+			m.anyCertain = true
+			m.certEst = math.Max(m.certEst, p.Estimate)
+			m.certBound = math.Max(m.certBound, p.HardLo)
+		}
+	}
+}
+
+// Result finalizes the merged answer over everything folded so far. The
+// accumulator is left untouched, so more partials can still be folded and
+// a new Result taken (the shard layer uses this for nothing today, but
+// the property falls out of keeping all state in running form).
+func (m *Merger) Result() core.Result {
+	out := core.Result{
+		TuplesRead:    m.tuplesRead,
+		SkippedTuples: m.skippedTuples,
+		VisitedNodes:  m.visitedNodes,
+		CoveredParts:  m.coveredParts,
+		PartialParts:  m.partialParts,
+	}
+	if m.live == 0 {
+		out.NoMatch = true
+		return out
+	}
+	out.MatchEst = m.matchEst
+	out.MatchCertain = m.matchCertain
+	out.Exact, out.HardValid = m.exact, m.hardValid
+	switch m.kind {
+	case dataset.Sum, dataset.Count:
+		out.Estimate = m.est
+		out.CIHalf = math.Sqrt(m.varSum)
+		if m.hardValid {
+			out.HardLo, out.HardHi = m.hardLo, m.hardHi
+		}
+	case dataset.Avg:
+		if m.total > 0 {
+			// Σ (n̂_i/N̂) avg_i and Σ (n̂_i/N̂)² Var_i, kept in running
+			// numerator form so the fold is O(1)
+			out.Estimate = m.wEst / m.total
+			out.CIHalf = math.Sqrt(m.wVar) / m.total
+		} else {
+			// no cardinality evidence from the inner engines (MatchEst is
+			// populated by PASS and the sampling baselines, not by every
+			// comparator); a live AVG partial still means matches were
+			// seen, so degrade to equal weights rather than inventing a
+			// NoMatch
+			l := float64(m.live)
+			out.Estimate = m.sumEst / l
+			out.CIHalf = math.Sqrt(m.sumVar) / l
+		}
+		if m.hardValid {
+			// the global average lies between the smallest and largest
+			// per-shard value bound
+			out.HardLo, out.HardHi = m.envLo, m.envHi
+		}
+	case dataset.Min, dataset.Max:
+		if !m.anyCertain {
+			if m.hardValid {
+				// PASS semantics: every shard reported only an envelope,
+				// so the merged answer is the union envelope's midpoint
+				out.Estimate = (m.envLo + m.envHi) / 2
+				out.HardLo, out.HardHi = m.envLo, m.envHi
+				return out
+			}
+			// no certainty AND no envelopes: the inner engines report
+			// neither (comparators outside internal/core); take the
+			// extremum of their point estimates
+			out.Estimate = m.extEst
+			return out
+		}
+		// only a shard that surely holds a match may tighten the certain
+		// side: MIN is at most every certain shard's HardHi, at least the
+		// smallest HardLo across all candidates; MAX is symmetric
+		out.Estimate = m.certEst
+		if !m.hardValid {
+			return out
+		}
+		if m.kind == dataset.Min {
+			out.HardLo, out.HardHi = m.envLo, m.certBound
+		} else {
+			out.HardLo, out.HardHi = m.certBound, m.envHi
+		}
+	}
+	return out
+}
+
+// pool recycles Mergers on the batched-query hot path. poolGets counts
+// acquisitions, poolAllocs actual allocations; the difference is the
+// number of accumulator allocations the pool avoided.
+var (
+	pool = sync.Pool{New: func() any {
+		poolAllocs.Add(1)
+		return new(Merger)
+	}}
+	poolGets, poolAllocs atomic.Int64
+)
+
+// Get returns a pooled accumulator armed for one query of the given kind.
+// Return it with Put when the merged result has been taken.
+func Get(kind dataset.AggKind) *Merger {
+	poolGets.Add(1)
+	m := pool.Get().(*Merger)
+	m.Reset(kind)
+	return m
+}
+
+// Put recycles an accumulator obtained from Get. The caller must not use
+// it afterwards.
+func Put(m *Merger) {
+	if m != nil {
+		pool.Put(m)
+	}
+}
+
+// PoolStats reports the accumulator pool's lifetime effectiveness:
+// acquires is the number of Get calls, allocated the number of Mergers
+// actually allocated; acquires − allocated accumulator allocations were
+// avoided by reuse. Counters are process-wide.
+func PoolStats() (acquires, allocated int64) {
+	return poolGets.Load(), poolAllocs.Load()
+}
 
 // Results combines partial results for one query, one entry per shard
 // that was scattered to. Shards reporting NoMatch contribute only
@@ -29,165 +266,13 @@ import (
 // merged result is NoMatch. The merge is deterministic and independent of
 // shard order up to floating-point associativity.
 func Results(kind dataset.AggKind, parts []core.Result) core.Result {
-	var out core.Result
-	live := make([]core.Result, 0, len(parts))
+	m := Get(kind)
 	for _, p := range parts {
-		// diagnostics aggregate over every scattered shard, matches or not
-		out.TuplesRead += p.TuplesRead
-		out.SkippedTuples += p.SkippedTuples
-		out.VisitedNodes += p.VisitedNodes
-		out.CoveredParts += p.CoveredParts
-		out.PartialParts += p.PartialParts
-		if p.NoMatch {
-			continue
-		}
-		live = append(live, p)
-		out.MatchEst += p.MatchEst
-		out.MatchCertain = out.MatchCertain || p.MatchCertain
+		m.Add(p)
 	}
-	if len(live) == 0 {
-		out.NoMatch = true
-		return out
-	}
-	switch kind {
-	case dataset.Sum, dataset.Count:
-		mergeAdditive(&out, live)
-	case dataset.Avg:
-		mergeWeighted(&out, live)
-	case dataset.Min:
-		mergeExtremum(&out, live, true)
-	case dataset.Max:
-		mergeExtremum(&out, live, false)
-	}
+	out := m.Result()
+	Put(m)
 	return out
-}
-
-// mergeAdditive combines SUM/COUNT partials: everything adds.
-func mergeAdditive(out *core.Result, live []core.Result) {
-	varSum := 0.0
-	out.Exact, out.HardValid = true, true
-	for _, p := range live {
-		out.Estimate += p.Estimate
-		varSum += p.CIHalf * p.CIHalf
-		out.HardLo += p.HardLo
-		out.HardHi += p.HardHi
-		out.Exact = out.Exact && p.Exact
-		out.HardValid = out.HardValid && p.HardValid
-	}
-	out.CIHalf = math.Sqrt(varSum)
-	if !out.HardValid {
-		out.HardLo, out.HardHi = 0, 0
-	}
-}
-
-// mergeWeighted combines AVG partials with weights proportional to each
-// shard's estimated matching cardinality n̂_q (Section 3.3 applied across
-// shards): the global average is Σ (n̂_i/N̂) avg_i, and treating the
-// weights as constants the variance is Σ (n̂_i/N̂)² Var_i.
-func mergeWeighted(out *core.Result, live []core.Result) {
-	total := 0.0
-	weight := func(p core.Result) float64 { return p.MatchEst }
-	for _, p := range live {
-		total += p.MatchEst
-	}
-	if total <= 0 {
-		// the inner engines report no cardinality evidence (MatchEst is
-		// populated by PASS and the sampling baselines, not by every
-		// comparator); a live AVG partial still means matches were seen,
-		// so degrade to equal weights rather than inventing a NoMatch
-		total = float64(len(live))
-		weight = func(core.Result) float64 { return 1 }
-	}
-	varSum := 0.0
-	out.Exact, out.HardValid = true, true
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, p := range live {
-		w := weight(p) / total
-		out.Estimate += w * p.Estimate
-		varSum += w * w * p.CIHalf * p.CIHalf
-		out.Exact = out.Exact && p.Exact
-		out.HardValid = out.HardValid && p.HardValid
-		lo = math.Min(lo, p.HardLo)
-		hi = math.Max(hi, p.HardHi)
-	}
-	out.CIHalf = math.Sqrt(varSum)
-	if out.HardValid {
-		// the global average lies between the smallest and largest
-		// per-shard value bound
-		out.HardLo, out.HardHi = lo, hi
-	}
-}
-
-// mergeExtremum combines MIN (isMin) or MAX partials. Estimates come from
-// shards with observed matches; hard bounds compose so the certain side is
-// tightened only by certain shards:
-//
-//   - MIN: the global minimum is at most every certain shard's HardHi (a
-//     shard that surely holds a match surely holds a value ≤ its HardHi),
-//     and at least the smallest HardLo across all candidate shards.
-//   - MAX is symmetric.
-//
-// When no shard observed a match, the merge degrades to the envelope
-// midpoint, mirroring core's own unobserved-partial behaviour.
-func mergeExtremum(out *core.Result, live []core.Result, isMin bool) {
-	certEst, certBound := math.Inf(1), math.Inf(1)
-	envLo, envHi := math.Inf(1), math.Inf(-1)
-	if !isMin {
-		certEst, certBound = math.Inf(-1), math.Inf(-1)
-	}
-	anyCertain := false
-	out.Exact, out.HardValid = true, true
-	for _, p := range live {
-		out.Exact = out.Exact && p.Exact
-		out.HardValid = out.HardValid && p.HardValid
-		envLo = math.Min(envLo, p.HardLo)
-		envHi = math.Max(envHi, p.HardHi)
-		if !p.MatchCertain {
-			continue
-		}
-		anyCertain = true
-		if isMin {
-			certEst = math.Min(certEst, p.Estimate)
-			certBound = math.Min(certBound, p.HardHi)
-		} else {
-			certEst = math.Max(certEst, p.Estimate)
-			certBound = math.Max(certBound, p.HardLo)
-		}
-	}
-	if !anyCertain {
-		if out.HardValid {
-			// PASS semantics: every shard reported only an envelope, so
-			// the merged answer is the union envelope's midpoint
-			out.Estimate = (envLo + envHi) / 2
-			out.HardLo, out.HardHi = envLo, envHi
-			return
-		}
-		// no certainty AND no envelopes: the inner engines report neither
-		// (comparators outside internal/core); take the extremum of their
-		// point estimates
-		ext := math.Inf(1)
-		if !isMin {
-			ext = math.Inf(-1)
-		}
-		for _, p := range live {
-			if isMin {
-				ext = math.Min(ext, p.Estimate)
-			} else {
-				ext = math.Max(ext, p.Estimate)
-			}
-		}
-		out.Estimate = ext
-		return
-	}
-	out.Estimate = certEst
-	if !out.HardValid {
-		return
-	}
-	if isMin {
-		out.HardLo, out.HardHi = envLo, certBound
-	} else {
-		out.HardLo, out.HardHi = certBound, envHi
-	}
 }
 
 // Degrade widens a merged result to account for shards that were dropped
@@ -238,20 +323,22 @@ func Degrade(kind dataset.AggKind, out *core.Result, droppedRows []int) {
 // Groups combines per-shard GROUP BY outputs: parts[i] is shard i's
 // GroupResult slice, all aligned on the same group-key list. Each group
 // key merges independently with the Results rules; a group NoMatch on one
-// shard simply contributes nothing there.
+// shard simply contributes nothing there. One pooled accumulator is
+// recycled across all groups.
 func Groups(kind dataset.AggKind, parts [][]core.GroupResult) []core.GroupResult {
 	if len(parts) == 0 {
 		return nil
 	}
 	n := len(parts[0])
 	out := make([]core.GroupResult, n)
-	scratch := make([]core.Result, 0, len(parts))
+	m := Get(kind)
 	for j := 0; j < n; j++ {
-		scratch = scratch[:0]
+		m.Reset(kind)
 		for _, shard := range parts {
-			scratch = append(scratch, shard[j].Result)
+			m.Add(shard[j].Result)
 		}
-		out[j] = core.GroupResult{Group: parts[0][j].Group, Result: Results(kind, scratch)}
+		out[j] = core.GroupResult{Group: parts[0][j].Group, Result: m.Result()}
 	}
+	Put(m)
 	return out
 }

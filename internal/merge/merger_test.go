@@ -1,0 +1,165 @@
+package merge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// randParts builds a randomized slice of plausible partial results,
+// including NoMatch, inexact, invalid-bound and uncertain shards.
+func randParts(rng *rand.Rand, n int) []core.Result {
+	parts := make([]core.Result, n)
+	for i := range parts {
+		p := &parts[i]
+		p.TuplesRead = rng.Intn(1000)
+		p.SkippedTuples = rng.Intn(1000)
+		p.VisitedNodes = rng.Intn(100)
+		p.CoveredParts = rng.Intn(10)
+		p.PartialParts = rng.Intn(10)
+		if rng.Float64() < 0.2 {
+			p.NoMatch = true
+			continue
+		}
+		p.Estimate = rng.NormFloat64() * 100
+		p.CIHalf = rng.Float64() * 10
+		p.HardLo = p.Estimate - rng.Float64()*20
+		p.HardHi = p.Estimate + rng.Float64()*20
+		p.HardValid = rng.Float64() < 0.8
+		p.Exact = rng.Float64() < 0.3
+		p.MatchEst = rng.Float64() * 500
+		if rng.Float64() < 0.1 {
+			p.MatchEst = 0
+		}
+		p.MatchCertain = rng.Float64() < 0.6
+	}
+	return parts
+}
+
+func closeTo(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestMergerMatchesResults folds randomized partials one at a time and
+// checks the streamed answer equals the one-shot Results merge — the
+// streamed-vs-materialized twin at the merge layer.
+func TestMergerMatchesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kinds := []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg, dataset.Min, dataset.Max}
+	for trial := 0; trial < 200; trial++ {
+		kind := kinds[trial%len(kinds)]
+		parts := randParts(rng, 1+rng.Intn(8))
+		want := Results(kind, parts)
+		m := NewMerger(kind)
+		for _, p := range parts {
+			m.Add(p)
+		}
+		got := m.Result()
+		if got.NoMatch != want.NoMatch || got.Exact != want.Exact ||
+			got.HardValid != want.HardValid || got.MatchCertain != want.MatchCertain {
+			t.Fatalf("kind %v trial %d: flags differ\n got %+v\nwant %+v", kind, trial, got, want)
+		}
+		for _, pair := range [][2]float64{
+			{got.Estimate, want.Estimate},
+			{got.CIHalf, want.CIHalf},
+			{got.HardLo, want.HardLo},
+			{got.HardHi, want.HardHi},
+			{got.MatchEst, want.MatchEst},
+		} {
+			if !closeTo(pair[0], pair[1], 1e-12) {
+				t.Fatalf("kind %v trial %d: value differs (%v vs %v)\n got %+v\nwant %+v",
+					kind, trial, pair[0], pair[1], got, want)
+			}
+		}
+		if got.TuplesRead != want.TuplesRead || got.SkippedTuples != want.SkippedTuples ||
+			got.VisitedNodes != want.VisitedNodes || got.CoveredParts != want.CoveredParts ||
+			got.PartialParts != want.PartialParts {
+			t.Fatalf("kind %v trial %d: diagnostics differ\n got %+v\nwant %+v", kind, trial, got, want)
+		}
+	}
+}
+
+// TestMergerOrderIndependence shuffles fold order; answers must agree to
+// floating-point associativity tolerances.
+func TestMergerOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, kind := range []dataset.AggKind{dataset.Sum, dataset.Avg, dataset.Min, dataset.Max} {
+		parts := randParts(rng, 6)
+		base := Results(kind, parts)
+		for trial := 0; trial < 20; trial++ {
+			shuffled := append([]core.Result(nil), parts...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			got := Results(kind, shuffled)
+			if !closeTo(got.Estimate, base.Estimate, 1e-9) || !closeTo(got.CIHalf, base.CIHalf, 1e-9) {
+				t.Fatalf("kind %v: order-dependent merge: %+v vs %+v", kind, got, base)
+			}
+		}
+	}
+}
+
+// TestMergerDegradedTwin checks the streamed merge composes with Degrade
+// exactly as the materialized merge does when shards are dropped.
+func TestMergerDegradedTwin(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, kind := range []dataset.AggKind{dataset.Count, dataset.Sum, dataset.Avg, dataset.Min} {
+		parts := randParts(rng, 5)
+		dropped := []int{100, 0, 250}
+
+		want := Results(kind, parts)
+		Degrade(kind, &want, dropped)
+
+		m := NewMerger(kind)
+		for _, p := range parts {
+			m.Add(p)
+		}
+		got := m.Result()
+		Degrade(kind, &got, dropped)
+
+		if !got.Degraded || !want.Degraded {
+			t.Fatalf("kind %v: not degraded", kind)
+		}
+		if !closeTo(got.Estimate, want.Estimate, 1e-9) || !closeTo(got.CIHalf, want.CIHalf, 1e-9) ||
+			!closeTo(got.HardHi, want.HardHi, 1e-9) || got.NoMatch != want.NoMatch {
+			t.Fatalf("kind %v: degraded twin mismatch\n got %+v\nwant %+v", kind, got, want)
+		}
+	}
+}
+
+func TestMergerResetReuse(t *testing.T) {
+	m := NewMerger(dataset.Sum)
+	m.Add(core.Result{Estimate: 5, HardValid: true, Exact: true, MatchEst: 1})
+	_ = m.Result()
+	m.Reset(dataset.Min)
+	if m.Kind() != dataset.Min {
+		t.Fatal("kind not reset")
+	}
+	out := m.Result()
+	if !out.NoMatch || out.Estimate != 0 || out.TuplesRead != 0 {
+		t.Fatalf("reset merger leaked state: %+v", out)
+	}
+}
+
+func TestPoolStatsCountReuse(t *testing.T) {
+	g0, a0 := PoolStats()
+	for i := 0; i < 50; i++ {
+		m := Get(dataset.Sum)
+		m.Add(core.Result{Estimate: 1, HardValid: true, Exact: true})
+		_ = m.Result()
+		Put(m)
+	}
+	g1, a1 := PoolStats()
+	if g1-g0 != 50 {
+		t.Fatalf("acquires = %d, want 50", g1-g0)
+	}
+	// Serial Get/Put must reuse; the pool may shed entries under GC
+	// pressure, so only require that not every Get allocated.
+	if a1-a0 >= 50 {
+		t.Fatalf("no reuse: %d allocations for 50 acquires", a1-a0)
+	}
+}

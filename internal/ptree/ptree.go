@@ -329,6 +329,36 @@ func (t *Tree) mcf(id int, qlo, qhi float64, zeroVar bool, f *Frontier) {
 	}
 }
 
+// Walk runs the MCF search of Frontier but streams each classification to
+// a callback instead of materializing entry slices: cover is invoked once
+// per fully covered node (including 0-variance nodes when zeroVarAsCovered
+// is set) and partial once per partially overlapped leaf, both in the same
+// depth-first order Frontier appends them. It returns the number of nodes
+// visited.
+func (t *Tree) Walk(q dataset.Rect, zeroVarAsCovered bool, cover func(Agg), partial func(leaf int, a Agg)) int {
+	return t.walk(t.root, q.Lo[0], q.Hi[0], zeroVarAsCovered, cover, partial)
+}
+
+func (t *Tree) walk(id int, qlo, qhi float64, zeroVar bool, cover func(Agg), partial func(int, Agg)) int {
+	visited := 1
+	n := &t.nodes[id]
+	if n.hi < qlo || n.lo > qhi {
+		return visited // R_none
+	}
+	if (qlo <= n.lo && n.hi <= qhi) || (zeroVar && n.agg.ZeroVariance()) {
+		cover(n.agg)
+		return visited
+	}
+	if len(n.children) == 0 { // leaf with partial overlap
+		partial(n.leaf, n.agg)
+		return visited
+	}
+	for _, c := range n.children {
+		visited += t.walk(c, qlo, qhi, zeroVar, cover, partial)
+	}
+	return visited
+}
+
 // LocateLeaf returns the leaf whose value range contains v, or the nearest
 // leaf when v falls outside all ranges (for dynamic inserts).
 func (t *Tree) LocateLeaf(v float64) int {

@@ -1,0 +1,56 @@
+package shard_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine/factory"
+	"repro/internal/merge"
+)
+
+// BenchmarkShardedQueryBatch measures the scatter-gather batch path with
+// allocation reporting: the streaming merge folds shard partials into
+// pooled accumulators, so steady-state allocs/op should stay flat as the
+// workload grows (run with -benchmem; CI tracks the allocs/op figure).
+func BenchmarkShardedQueryBatch(b *testing.B) {
+	d := dataset.GenIntelWireless(20000, 13)
+	eng, err := factory.Build("sharded:pass:4", d, factory.Spec{Partitions: 32, SampleSize: d.N() / 10, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]core.BatchQuery, 0, 64)
+	kinds := []dataset.AggKind{dataset.Sum, dataset.Count, dataset.Avg, dataset.Min}
+	for i := 0; i < 64; i++ {
+		lo := float64(i % 16)
+		qs = append(qs, core.BatchQuery{Kind: kinds[i%len(kinds)], Rect: dataset.Rect1(lo, lo+9)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.QueryBatch(qs)
+		if len(res) != len(qs) {
+			b.Fatal("short batch result")
+		}
+	}
+	b.StopTimer()
+	acquires, allocated := merge.PoolStats()
+	b.ReportMetric(float64(acquires-allocated), "pool-reuses")
+}
+
+// BenchmarkShardedQuery measures the single-query streamed scatter.
+func BenchmarkShardedQuery(b *testing.B) {
+	d := dataset.GenIntelWireless(20000, 13)
+	eng, err := factory.Build("sharded:pass:4", d, factory.Spec{Partitions: 32, SampleSize: d.N() / 10, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64(i % 16)
+		if _, err := eng.Query(dataset.Sum, dataset.Rect1(lo, lo+9)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

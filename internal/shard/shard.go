@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,9 @@ type Engine struct {
 	// serving layer surfaces the counters as shard stats.
 	scattered []atomic.Int64
 	pruned    atomic.Int64
+	// streamed counts per-shard partials folded into a streaming merge as
+	// they arrived, instead of being materialized into a slice first.
+	streamed atomic.Int64
 	// strict makes deadline-bounded queries fail outright instead of
 	// degrading to a partial merge when a shard errors or misses the
 	// deadline.
@@ -156,6 +160,10 @@ func (e *Engine) ScatterCounts() []int64 {
 // because the shard's key range was disjoint from the predicate.
 func (e *Engine) PrunedCount() int64 { return e.pruned.Load() }
 
+// StreamedCount reports how many per-shard partial results were folded
+// into a streaming merge accumulator as they arrived.
+func (e *Engine) StreamedCount() int64 { return e.streamed.Load() }
+
 // ShardRows reports each shard's base cardinality (0 where the inner
 // engine does not expose it).
 func (e *Engine) ShardRows() []int {
@@ -239,36 +247,126 @@ func emptyResult(kind dataset.AggKind, q dataset.Rect, n int) (core.Result, erro
 	return core.Result{}, fmt.Errorf("shard: unsupported aggregate %v", kind)
 }
 
-// queryShard executes one query on one shard under that shard's read lock.
+// shardRect is the predicate pushdown at the routing layer: it narrows
+// the rectangle shard si actually scans to the intersection of the query
+// with the shard's bounding rectangle, and relaxes to unconstrained any
+// dimension on which the query covers the shard's whole extent — the
+// inner synopsis then takes its covered-node and prefix-sum fast paths
+// instead of filtering rows on a predicate every tuple of the shard
+// satisfies wholesale. Both rewrites preserve the matched tuple set
+// because every tuple of the shard lies inside its bounding rectangle
+// (growBounds maintains the invariant across inserts; deletes only leave
+// the bounds conservatively wide), and a shard is only scanned at all
+// when the intersection is non-empty (relevant pruned it otherwise).
+// Returns q itself when no dimension changes, so the common single-shard
+// and hash-sharded cases allocate nothing.
+func (e *Engine) shardRect(si int, q dataset.Rect) dataset.Rect {
+	e.boundsMu.RLock()
+	defer e.boundsMu.RUnlock()
+	b := e.info.Bounds[si]
+	n := q.Dims()
+	if bn := b.Dims(); bn < n {
+		n = bn
+	}
+	changed := false
+	for c := 0; c < n; c++ {
+		if q.Lo[c] <= b.Lo[c] && q.Hi[c] >= b.Hi[c] {
+			if !math.IsInf(q.Lo[c], -1) || !math.IsInf(q.Hi[c], 1) {
+				changed = true
+				break
+			}
+			continue
+		}
+		if q.Lo[c] < b.Lo[c] || q.Hi[c] > b.Hi[c] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return q
+	}
+	out := dataset.Rect{Lo: make([]float64, q.Dims()), Hi: make([]float64, q.Dims())}
+	copy(out.Lo, q.Lo)
+	copy(out.Hi, q.Hi)
+	for c := 0; c < n; c++ {
+		if q.Lo[c] <= b.Lo[c] && q.Hi[c] >= b.Hi[c] {
+			out.Lo[c], out.Hi[c] = math.Inf(-1), math.Inf(1)
+			continue
+		}
+		if q.Lo[c] < b.Lo[c] {
+			out.Lo[c] = b.Lo[c]
+		}
+		if q.Hi[c] > b.Hi[c] {
+			out.Hi[c] = b.Hi[c]
+		}
+	}
+	return out
+}
+
+// queryShard executes one query on one shard under that shard's read
+// lock, scanning only the intersection of the query with the shard's
+// bounding rectangle.
 func (e *Engine) queryShard(i int, kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
 	e.scattered[i].Add(1)
+	q = e.shardRect(i, q)
 	e.locks[i].RLock()
 	defer e.locks[i].RUnlock()
 	return e.inner[i].Query(kind, q)
 }
 
 // Query answers one aggregate by scatter-gather: prune, fan the relevant
-// shards across the worker pool, merge the partials.
+// shards across the worker pool, and stream each shard's partial into the
+// merge accumulator as it lands. To keep the answer bitwise identical
+// regardless of which shard finishes first, arrivals fold in
+// relevant-shard order: an out-of-order arrival parks in a reorder buffer
+// and folds as soon as every earlier shard has folded.
 func (e *Engine) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
 	rel := e.relevant(q)
 	if len(rel) == 0 {
 		return emptyResult(kind, q, e.N())
 	}
-	parts := make([]core.Result, len(rel))
-	errs := make([]error, len(rel))
+	m := merge.Get(kind)
+	defer merge.Put(m)
 	if len(rel) == 1 {
-		parts[0], errs[0] = e.queryShard(rel[0], kind, q)
-	} else {
-		parallel.For(len(rel), func(j int) {
-			parts[j], errs[j] = e.queryShard(rel[j], kind, q)
-		})
-	}
-	for _, err := range errs {
+		part, err := e.queryShard(rel[0], kind, q)
 		if err != nil {
 			return core.Result{}, err
 		}
+		m.Add(part)
+		e.streamed.Add(1)
+	} else {
+		// buffered so every worker can deliver even after an error
+		ch := make(chan shardAnswer, len(rel))
+		go parallel.For(len(rel), func(j int) {
+			var a shardAnswer
+			a.idx = j
+			a.res, a.err = e.queryShard(rel[j], kind, q)
+			ch <- a
+		})
+		buf := make([]core.Result, len(rel))
+		got := make([]bool, len(rel))
+		next := 0
+		var firstErr error
+		for received := 0; received < len(rel); received++ {
+			a := <-ch
+			if a.err != nil {
+				if firstErr == nil {
+					firstErr = a.err
+				}
+				continue
+			}
+			buf[a.idx], got[a.idx] = a.res, true
+			for next < len(rel) && got[next] {
+				m.Add(buf[next])
+				e.streamed.Add(1)
+				next++
+			}
+		}
+		if firstErr != nil {
+			return core.Result{}, firstErr
+		}
 	}
-	out := merge.Results(kind, parts)
+	out := m.Result()
 	out.ShardsTotal, out.ShardsAnswered = len(rel), len(rel)
 	return out, nil
 }
@@ -317,9 +415,23 @@ func (e *Engine) QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.R
 			ch <- a
 		}(j, si)
 	}
+	// Stream arrivals into the merge accumulator in relevant-shard order
+	// (reorder buffer, as in Query) so degraded and complete answers alike
+	// are bitwise independent of shard completion order.
+	m := merge.Get(kind)
+	defer merge.Put(m)
 	parts := make([]core.Result, len(rel))
 	ok := make([]bool, len(rel))
+	next := 0
+	fold := func() {
+		for next < len(rel) && ok[next] {
+			m.Add(parts[next])
+			e.streamed.Add(1)
+			next++
+		}
+	}
 	var firstErr error
+	answered := 0
 	pending := len(rel)
 collect:
 	for pending > 0 {
@@ -334,21 +446,20 @@ collect:
 			}
 			parts[a.idx] = a.res
 			ok[a.idx] = true
+			answered++
+			fold()
 		case <-ctx.Done():
 			break collect
 		}
 	}
-	answered := make([]core.Result, 0, len(rel))
 	var droppedRows []int
-	rows := e.ShardRows()
-	for j, si := range rel {
-		if ok[j] {
-			answered = append(answered, parts[j])
-		} else {
-			droppedRows = append(droppedRows, rows[si])
+	if answered < len(rel) {
+		rows := e.ShardRows()
+		for j, si := range rel {
+			if !ok[j] {
+				droppedRows = append(droppedRows, rows[si])
+			}
 		}
-	}
-	if len(droppedRows) > 0 {
 		cause := firstErr
 		if cause == nil {
 			cause = ctx.Err()
@@ -356,62 +467,126 @@ collect:
 		if e.strict.Load() {
 			return core.Result{}, fmt.Errorf("shard: strict scatter: %d/%d shard(s) dropped: %w", len(droppedRows), len(rel), cause)
 		}
-		if len(answered) == 0 {
+		if answered == 0 {
 			return core.Result{}, fmt.Errorf("shard: no shard answered before the deadline: %w", cause)
 		}
+		// shards that answered out of order behind a dropped one still
+		// need folding; order among the survivors is preserved
+		for j := next; j < len(rel); j++ {
+			if ok[j] {
+				m.Add(parts[j])
+				e.streamed.Add(1)
+			}
+		}
 	}
-	out := merge.Results(kind, answered)
-	out.ShardsTotal, out.ShardsAnswered = len(rel), len(answered)
+	out := m.Result()
+	out.ShardsTotal, out.ShardsAnswered = len(rel), answered
 	merge.Degrade(kind, &out, droppedRows)
 	return out, nil
+}
+
+// batchRouting is the scatter plan for one batch, routed under a single
+// bounds lock into two flat index arenas instead of one slice per query
+// and per shard — the routing step allocates O(1) slices regardless of
+// batch size.
+type batchRouting struct {
+	// touchFlat/touchOff: query qi touches shards
+	// touchFlat[touchOff[qi]:touchOff[qi+1]], in shard order.
+	touchFlat []int
+	touchOff  []int
+	// subFlat/subOff: shard si answers queries
+	// subFlat[subOff[si]:subOff[si+1]], in input order.
+	subFlat []int
+	subOff  []int
+	// active lists the shards with at least one query.
+	active []int
+}
+
+func (r *batchRouting) touched(qi int) []int { return r.touchFlat[r.touchOff[qi]:r.touchOff[qi+1]] }
+func (r *batchRouting) sub(si int) []int     { return r.subFlat[r.subOff[si]:r.subOff[si+1]] }
+
+// routeBatch prunes every (query, shard) pair under one bounds lock.
+func (e *Engine) routeBatch(qs []core.BatchQuery) batchRouting {
+	r := batchRouting{
+		touchFlat: make([]int, 0, 2*len(qs)),
+		touchOff:  make([]int, len(qs)+1),
+		subOff:    make([]int, len(e.inner)+1),
+	}
+	pruned := int64(0)
+	e.boundsMu.RLock()
+	for qi := range qs {
+		q := qs[qi].Rect
+		for si, b := range e.info.Bounds {
+			if disjoint(q, b) {
+				pruned++
+				continue
+			}
+			r.touchFlat = append(r.touchFlat, si)
+		}
+		r.touchOff[qi+1] = len(r.touchFlat)
+	}
+	e.boundsMu.RUnlock()
+	e.pruned.Add(pruned)
+	// invert: per-shard query lists, preserving input order
+	counts := make([]int, len(e.inner))
+	for _, si := range r.touchFlat {
+		counts[si]++
+	}
+	for si, c := range counts {
+		r.subOff[si+1] = r.subOff[si] + c
+		if c > 0 {
+			r.active = append(r.active, si)
+		}
+	}
+	r.subFlat = make([]int, len(r.touchFlat))
+	fill := counts // reuse as per-shard cursors
+	for si := range fill {
+		fill[si] = 0
+	}
+	for qi := range qs {
+		for _, si := range r.touched(qi) {
+			r.subFlat[r.subOff[si]+fill[si]] = qi
+			fill[si]++
+		}
+	}
+	return r
 }
 
 // QueryBatch answers a workload shard-first: each relevant shard executes
 // its whole sub-batch in one pass (cache locality — the shard's synopsis
 // stays hot while it answers every query routed to it), shards run
-// concurrently on the worker pool, and per-query partials are merged in
-// input order. Per-query Elapsed is the slowest shard's execution time,
-// the critical path of the scatter.
+// concurrently on the worker pool, and per-query partials stream through
+// a pooled merge accumulator in input order. Per-query Elapsed is the
+// slowest shard's execution time, the critical path of the scatter.
 func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
 	out := make([]core.BatchResult, len(qs))
 	if len(qs) == 0 {
 		return out
 	}
-	// route first: which shards does each query touch?
-	subs := make([][]int, len(e.inner)) // shard → query indices
-	touched := make([][]int, len(qs))   // query → shards, in shard order
-	for qi := range qs {
-		rel := e.relevant(qs[qi].Rect)
-		touched[qi] = rel
-		for _, si := range rel {
-			subs[si] = append(subs[si], qi)
-		}
-	}
-	// scatter: every shard with work runs its sub-batch concurrently
+	r := e.routeBatch(qs)
+	// scatter: every shard with work runs its sub-batch concurrently,
+	// each query clipped to the shard's bounding rectangle
 	partial := make([][]core.BatchResult, len(e.inner))
-	active := make([]int, 0, len(e.inner))
-	for si, sub := range subs {
-		if len(sub) > 0 {
-			active = append(active, si)
-		}
-	}
-	parallel.For(len(active), func(k int) {
-		si := active[k]
-		sub := make([]core.BatchQuery, len(subs[si]))
-		for j, qi := range subs[si] {
-			sub[j] = qs[qi]
+	parallel.For(len(r.active), func(k int) {
+		si := r.active[k]
+		qis := r.sub(si)
+		sub := make([]core.BatchQuery, len(qis))
+		for j, qi := range qis {
+			sub[j] = core.BatchQuery{Kind: qs[qi].Kind, Rect: e.shardRect(si, qs[qi].Rect)}
 		}
 		e.scattered[si].Add(int64(len(sub)))
 		e.locks[si].RLock()
 		partial[si] = e.inner[si].QueryBatch(sub)
 		e.locks[si].RUnlock()
 	})
-	// gather: merge each query's partials in input order
+	// gather: fold each query's partials in input order through one
+	// pooled accumulator
+	m := merge.Get(dataset.Count)
+	defer merge.Put(m)
 	cursor := make([]int, len(e.inner))
-	scratch := make([]core.Result, 0, len(e.inner))
 	totalRows := -1 // computed once, only if some query was fully pruned
 	for qi := range qs {
-		rel := touched[qi]
+		rel := r.touched(qi)
 		if len(rel) == 0 {
 			if totalRows < 0 {
 				totalRows = e.N()
@@ -419,7 +594,7 @@ func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
 			out[qi].Result, out[qi].Err = emptyResult(qs[qi].Kind, qs[qi].Rect, totalRows)
 			continue
 		}
-		scratch = scratch[:0]
+		m.Reset(qs[qi].Kind)
 		var elapsed time.Duration
 		for _, si := range rel {
 			br := partial[si][cursor[si]]
@@ -430,11 +605,12 @@ func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
 			if br.Elapsed > elapsed {
 				elapsed = br.Elapsed
 			}
-			scratch = append(scratch, br.Result)
+			m.Add(br.Result)
 		}
+		e.streamed.Add(int64(len(rel)))
 		out[qi].Elapsed = elapsed
 		if out[qi].Err == nil {
-			out[qi].Result = merge.Results(qs[qi].Kind, scratch)
+			out[qi].Result = m.Result()
 			out[qi].Result.ShardsTotal = len(rel)
 			out[qi].Result.ShardsAnswered = len(rel)
 		}
@@ -462,34 +638,20 @@ func (e *Engine) QueryBatchCtx(ctx context.Context, qs []core.BatchQuery) []core
 		}
 		return out
 	}
-	// route first: which shards does each query touch?
-	subs := make([][]int, len(e.inner)) // shard → query indices
-	touched := make([][]int, len(qs))   // query → shards, in shard order
-	for qi := range qs {
-		rel := e.relevant(qs[qi].Rect)
-		touched[qi] = rel
-		for _, si := range rel {
-			subs[si] = append(subs[si], qi)
-		}
-	}
-	active := make([]int, 0, len(e.inner))
-	for si, sub := range subs {
-		if len(sub) > 0 {
-			active = append(active, si)
-		}
-	}
+	r := e.routeBatch(qs)
 	// scatter: one goroutine per shard with work; buffered channel so
 	// abandoned stragglers deliver and exit
 	type shardBatch struct {
 		si  int
 		res []core.BatchResult
 	}
-	ch := make(chan shardBatch, len(active))
-	for _, si := range active {
+	ch := make(chan shardBatch, len(r.active))
+	for _, si := range r.active {
 		go func(si int) {
-			sub := make([]core.BatchQuery, len(subs[si]))
-			for j, qi := range subs[si] {
-				sub[j] = qs[qi]
+			qis := r.sub(si)
+			sub := make([]core.BatchQuery, len(qis))
+			for j, qi := range qis {
+				sub[j] = core.BatchQuery{Kind: qs[qi].Kind, Rect: e.shardRect(si, qs[qi].Rect)}
 			}
 			e.scattered[si].Add(int64(len(sub)))
 			e.locks[si].RLock()
@@ -500,7 +662,7 @@ func (e *Engine) QueryBatchCtx(ctx context.Context, qs []core.BatchQuery) []core
 	}
 	partial := make([][]core.BatchResult, len(e.inner))
 	answered := make([]bool, len(e.inner))
-	pending := len(active)
+	pending := len(r.active)
 collect:
 	for pending > 0 {
 		select {
@@ -517,12 +679,14 @@ collect:
 	if pending > 0 {
 		rows = e.ShardRows()
 	}
-	// gather: merge each query's partials in input order
+	// gather: fold each query's partials in input order through one
+	// pooled accumulator
+	m := merge.Get(dataset.Count)
+	defer merge.Put(m)
 	cursor := make([]int, len(e.inner))
-	scratch := make([]core.Result, 0, len(e.inner))
 	totalRows := -1
 	for qi := range qs {
-		rel := touched[qi]
+		rel := r.touched(qi)
 		if len(rel) == 0 {
 			if totalRows < 0 {
 				totalRows = e.N()
@@ -530,7 +694,8 @@ collect:
 			out[qi].Result, out[qi].Err = emptyResult(qs[qi].Kind, qs[qi].Rect, totalRows)
 			continue
 		}
-		scratch = scratch[:0]
+		m.Reset(qs[qi].Kind)
+		live := 0
 		var droppedRows []int
 		var elapsed time.Duration
 		for _, si := range rel {
@@ -547,19 +712,21 @@ collect:
 			if br.Elapsed > elapsed {
 				elapsed = br.Elapsed
 			}
-			scratch = append(scratch, br.Result)
+			m.Add(br.Result)
+			live++
 		}
+		e.streamed.Add(int64(live))
 		out[qi].Elapsed = elapsed
 		if out[qi].Err != nil {
 			continue
 		}
-		if len(droppedRows) > 0 && (strict || len(scratch) == 0) {
+		if len(droppedRows) > 0 && (strict || live == 0) {
 			out[qi].Err = fmt.Errorf("shard: %d/%d shard(s) dropped: %w", len(droppedRows), len(rel), ctx.Err())
 			continue
 		}
-		out[qi].Result = merge.Results(qs[qi].Kind, scratch)
+		out[qi].Result = m.Result()
 		out[qi].Result.ShardsTotal = len(rel)
-		out[qi].Result.ShardsAnswered = len(scratch)
+		out[qi].Result.ShardsAnswered = live
 		merge.Degrade(qs[qi].Kind, &out[qi].Result, droppedRows)
 	}
 	return out

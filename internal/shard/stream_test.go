@@ -1,0 +1,93 @@
+// Streamed-vs-materialized twin tests: the streaming scatter fold (with
+// per-shard rect clipping) must answer within 1e-9 of an explicitly
+// materialized merge over the same shards, including degraded results
+// where a shard missed the deadline.
+package shard_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/merge"
+	"repro/internal/shard"
+)
+
+func TestStreamedScatterMatchesMaterializedTwin(t *testing.T) {
+	d := twinData(t)
+	_, eng := buildTwins(t, d, "sharded:pass:4")
+	shrd := eng.(*shard.Engine)
+	info := shrd.ShardInfo()
+	streamedBefore := shrd.StreamedCount()
+
+	for _, q := range twinWorkload() {
+		got, err := shrd.Query(q.Kind, q.Rect)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// materialized twin: query every inner shard with the unclipped
+		// rect and merge the slice in one shot
+		var parts []core.Result
+		for i := 0; i < info.Shards; i++ {
+			p, err := shrd.Shard(i).Query(q.Kind, q.Rect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, p)
+		}
+		want := merge.Results(q.Kind, parts)
+		if got.NoMatch != want.NoMatch {
+			t.Fatalf("%v %v: NoMatch %v vs %v", q.Kind, q.Rect, got.NoMatch, want.NoMatch)
+		}
+		if want.NoMatch {
+			continue
+		}
+		if !close9(got.Estimate, want.Estimate) || !close9(got.CIHalf, want.CIHalf) ||
+			!close9(got.HardLo, want.HardLo) || !close9(got.HardHi, want.HardHi) {
+			t.Errorf("%v %v: streamed %+v != materialized %+v", q.Kind, q.Rect, got, want)
+		}
+	}
+	if shrd.StreamedCount() == streamedBefore {
+		t.Error("StreamedCount did not advance over a scattered workload")
+	}
+}
+
+func TestStreamedDegradedMatchesMaterializedTwin(t *testing.T) {
+	d := twinData(t)
+	e := buildWithSlowShard(t, d, 4, map[int]bool{1: true}, 500*time.Millisecond)
+	q := fullSpan(e)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	got, err := e.QueryCtx(ctx, dataset.Count, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded {
+		t.Skip("slow shard answered inside the deadline; nothing to compare")
+	}
+	if got.ShardsAnswered != 3 {
+		t.Skipf("%d/4 shards answered; twin assumes exactly the slow shard dropped", got.ShardsAnswered)
+	}
+
+	// materialized twin over the three fast shards, degraded by the slow
+	// shard's cardinality
+	rows := e.ShardRows()
+	var parts []core.Result
+	for _, si := range []int{0, 2, 3} {
+		p, err := e.Shard(si).Query(dataset.Count, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	want := merge.Results(dataset.Count, parts)
+	merge.Degrade(dataset.Count, &want, []int{rows[1]})
+
+	if !close9(got.Estimate, want.Estimate) || !close9(got.CIHalf, want.CIHalf) ||
+		!close9(got.HardHi, want.HardHi) || !close9(got.HardLo, want.HardLo) {
+		t.Errorf("degraded streamed %+v != materialized %+v", got, want)
+	}
+}

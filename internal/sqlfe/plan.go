@@ -129,7 +129,14 @@ func condBounds(c Cond, schema Schema) (float64, float64, error) {
 			return 0, 0, fmt.Errorf("sqlfe: %q is not a known category of column %q", c.StrHi, c.Column)
 		}
 	}
-	switch c.Op {
+	return opBounds(c.Op, lo, hi)
+}
+
+// opBounds converts an operator and its resolved operand value(s) to an
+// inclusive [lo, hi] interval. Shared between Compile (literal conditions)
+// and Prepared.Bind (parameterized conditions).
+func opBounds(op CondOp, lo, hi float64) (float64, float64, error) {
+	switch op {
 	case OpEq, OpBetween:
 		return lo, hi, nil
 	case OpLe:
@@ -142,7 +149,7 @@ func condBounds(c Cond, schema Schema) (float64, float64, error) {
 	case OpGt:
 		return math.Nextafter(lo, math.Inf(1)), math.Inf(1), nil
 	}
-	return 0, 0, fmt.Errorf("sqlfe: unknown operator %d", int(c.Op))
+	return 0, 0, fmt.Errorf("sqlfe: unknown operator %d", int(op))
 }
 
 // ParseAndCompile is the one-call convenience wrapper.

@@ -1,0 +1,119 @@
+package sqlfe
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PlanCache is a bounded, concurrency-safe LRU of prepared statements
+// keyed by normalized template text. Entries carry a validity pair —
+// an owner token (the table identity the plan was compiled against) and a
+// generation (the table's plan generation, bumped on schema/engine swap) —
+// and a lookup whose pair no longer matches behaves as a miss and drops
+// the stale entry, so plans can never outlive the schema they were
+// resolved with. A nil *PlanCache is valid and disables caching.
+type PlanCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	idx map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// planEntry is one cached prepared statement with its validity pair.
+type planEntry struct {
+	key   string
+	prep  *Prepared
+	owner any
+	gen   uint64
+}
+
+// NewPlanCache builds a plan cache holding at most capacity prepared
+// statements. capacity <= 0 returns nil (caching disabled).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &PlanCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Lookup returns the cached prepared statement for a template, provided it
+// was stored under the same owner and generation. A stale entry (owner or
+// generation mismatch — the table was swapped, dropped, or re-registered)
+// is evicted and reported as a miss.
+func (c *PlanCache) Lookup(template string, owner any, gen uint64) (*Prepared, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[template]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*planEntry)
+	if e.owner != owner || e.gen != gen {
+		c.ll.Remove(el)
+		delete(c.idx, template)
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.prep, true
+}
+
+// Store inserts (or refreshes) a prepared statement under its validity
+// pair, evicting the least recently used entry when over capacity.
+func (c *PlanCache) Store(template string, owner any, gen uint64, prep *Prepared) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[template]; ok {
+		e := el.Value.(*planEntry)
+		e.prep, e.owner, e.gen = prep, owner, gen
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&planEntry{key: template, prep: prep, owner: owner, gen: gen})
+	c.idx[template] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.idx, oldest.Value.(*planEntry).key)
+		c.evictions++
+	}
+}
+
+// PlanCacheStats is a point-in-time snapshot of cache effectiveness.
+type PlanCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Capacity  int
+}
+
+// Stats snapshots the cache counters. A nil cache reports zeros.
+func (c *PlanCache) Stats() PlanCacheStats {
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

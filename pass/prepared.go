@@ -1,0 +1,130 @@
+package pass
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlfe"
+)
+
+// PreparedStmt is a statement prepared once against a session: normalized
+// to a parameterized template and compiled to a plan skeleton, so each
+// execution only binds literals and dispatches — no lexing, parsing or
+// column resolution per call.
+//
+//	ps, _ := sess.Prepare("SELECT SUM(price) FROM sales WHERE qty >= 3")
+//	res, _ := ps.Exec(5.0)   // same shape, new literal
+//
+// The skeleton is revalidated against the table's plan generation on
+// every execution, so a prepared handle transparently recompiles after an
+// engine swap or a drop-and-re-register of its table. Safe for concurrent
+// use.
+type PreparedStmt struct {
+	sess *Session
+	tmpl *sqlfe.Template
+
+	mu   sync.Mutex
+	tbl  *catalog.Table
+	gen  uint64
+	prep *sqlfe.Prepared
+}
+
+// Prepare normalizes and compiles one statement against the session
+// catalog. Compilation errors (unknown table or column, type mismatches)
+// surface here rather than at execution time.
+func (s *Session) Prepare(sql string) (*PreparedStmt, error) {
+	tmpl, err := sqlfe.Normalize(sql)
+	if err != nil {
+		return nil, err
+	}
+	ps := &PreparedStmt{sess: s, tmpl: tmpl}
+	if _, _, err := ps.plan(); err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// Text returns the canonical parameterized statement, e.g.
+// "SELECT SUM ( price ) FROM sales WHERE qty >= ?n".
+func (ps *PreparedStmt) Text() string { return ps.tmpl.Text }
+
+// NumParams reports how many placeholders the statement carries — the
+// argument count Exec expects.
+func (ps *PreparedStmt) NumParams() int { return ps.tmpl.NumParams() }
+
+// plan returns the statement's current table and compiled skeleton,
+// recompiling when the table's plan generation moved (engine swap) or the
+// table was dropped and re-registered. The catalog stays authoritative: a
+// dropped table fails here with the usual unknown-table error.
+func (ps *PreparedStmt) plan() (*catalog.Table, *sqlfe.Prepared, error) {
+	tbl, err := ps.sess.cat.Lookup(ps.tmpl.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := tbl.PlanGen()
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.prep != nil && ps.tbl == tbl && ps.gen == gen {
+		return tbl, ps.prep, nil
+	}
+	prep, err := ps.sess.preparedFor(tbl, ps.tmpl)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps.tbl, ps.gen, ps.prep = tbl, gen, prep
+	return tbl, prep, nil
+}
+
+// Exec executes the prepared statement with positional arguments, one per
+// placeholder in statement order. With no arguments the original literals
+// the statement was prepared with are used. Numeric placeholders accept
+// float64/float32/int/int64, string placeholders accept string.
+func (ps *PreparedStmt) Exec(args ...any) (SQLResult, error) {
+	return ps.ExecCtx(context.Background(), args...)
+}
+
+// ExecCtx is Exec with deadline propagation (see Session.ExecCtx).
+func (ps *PreparedStmt) ExecCtx(ctx context.Context, args ...any) (SQLResult, error) {
+	params := ps.tmpl.Params()
+	if len(args) > 0 {
+		var err error
+		if params, err = toParams(args); err != nil {
+			return SQLResult{}, err
+		}
+	}
+	tbl, prep, err := ps.plan()
+	if err != nil {
+		return SQLResult{}, err
+	}
+	plan, err := prep.Bind(params)
+	if err != nil {
+		return SQLResult{}, err
+	}
+	return ps.sess.execPlanCtx(ctx, tbl, plan)
+}
+
+// toParams converts Go values to typed statement parameters.
+func toParams(args []any) ([]sqlfe.Param, error) {
+	out := make([]sqlfe.Param, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case float64:
+			out[i] = sqlfe.NumParam(v)
+		case float32:
+			out[i] = sqlfe.NumParam(float64(v))
+		case int:
+			out[i] = sqlfe.NumParam(float64(v))
+		case int64:
+			out[i] = sqlfe.NumParam(float64(v))
+		case string:
+			out[i] = sqlfe.StrParam(v)
+		case sqlfe.Param:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("pass: unsupported parameter type %T at position %d (want a number or a string)", a, i+1)
+		}
+	}
+	return out, nil
+}

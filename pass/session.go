@@ -7,6 +7,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/merge"
 	"repro/internal/sqlfe"
 	"repro/internal/store"
 )
@@ -38,10 +39,42 @@ type Session struct {
 	cat      *catalog.Catalog
 	store    *store.Store
 	adaptive *adaptiveRuntime
+	// plans is the session-wide prepared-plan cache: statements are
+	// normalized to parameterized templates and their compiled skeletons
+	// are reused across calls, so a repeated query shape costs one
+	// normalization pass instead of a full parse+compile. Entries are
+	// validated against the owning table's identity and plan generation on
+	// every hit (see catalog.Table.PlanGen), so drops, re-registrations
+	// and engine swaps can never serve a stale plan.
+	plans *sqlfe.PlanCache
 	// strictScatter makes deadline-bounded queries on sharded tables fail
 	// outright instead of returning Degraded partial merges. Applied to
 	// engines as they are registered (SetStrictScatter).
 	strictScatter bool
+}
+
+// DefaultPlanCacheSize is the prepared-plan cache capacity of a new
+// session (distinct query shapes, not statements — all literal variants
+// of one shape share an entry).
+const DefaultPlanCacheSize = 256
+
+// SetPlanCacheSize resizes the session's prepared-plan cache, dropping
+// all cached plans; n <= 0 disables plan caching (every statement is
+// compiled from scratch).
+func (s *Session) SetPlanCacheSize(n int) {
+	s.plans = sqlfe.NewPlanCache(n)
+}
+
+// PlanCacheStats snapshots the session's plan-cache counters.
+func (s *Session) PlanCacheStats() sqlfe.PlanCacheStats {
+	return s.plans.Stats()
+}
+
+// MergePoolStats reports the streaming-merge accumulator pool's activity
+// (process-wide): total acquisitions and how many of them had to allocate
+// a fresh accumulator — the difference is allocations avoided by reuse.
+func (s *Session) MergePoolStats() (acquires, allocated int64) {
+	return merge.PoolStats()
 }
 
 // strictable is the strict-mode surface of the scatter executor
@@ -68,7 +101,7 @@ func (s *Session) applyScatterMode(eng engine.Engine) {
 
 // NewSession returns a session with an empty catalog.
 func NewSession() *Session {
-	return &Session{cat: catalog.New()}
+	return &Session{cat: catalog.New(), plans: sqlfe.NewPlanCache(DefaultPlanCacheSize)}
 }
 
 // Register adds a synopsis under a table name (case-insensitive, unique).
@@ -149,6 +182,9 @@ type TableInfo struct {
 	// instrumentation (sharded tables only).
 	ShardScatter []int64 `json:"shard_scatter,omitempty"`
 	ShardPruned  int64   `json:"shard_pruned,omitempty"`
+	// ShardStreamed counts per-shard partial results folded into answers
+	// as they arrived (streaming merge), rather than materialized first.
+	ShardStreamed int64 `json:"shard_streamed,omitempty"`
 	// Adaptive carries workload statistics, cache effectiveness and
 	// re-optimization history when the session's adaptive layer is on.
 	Adaptive *AdaptiveInfo `json:"adaptive,omitempty"`
@@ -182,6 +218,9 @@ func (s *Session) Tables() []TableInfo {
 			if scattered, pruned, ok := t.ScatterStats(); ok {
 				out[i].ShardScatter = scattered
 				out[i].ShardPruned = pruned
+			}
+			if streamed, ok := t.StreamStats(); ok {
+				out[i].ShardStreamed = streamed
 			}
 		}
 		out[i].Adaptive = s.adaptiveInfo(t.Name())
@@ -353,22 +392,50 @@ func (s *Session) Delete(table string, pred []float64, agg float64) error {
 	return tbl.Delete(pred, agg)
 }
 
-// compile parses one statement, resolves its FROM table against the
-// catalog and plans it against that table's schema.
+// compile turns one statement into an executable plan: the statement is
+// normalized into a parameterized template in a single lexer pass (no
+// separate parse — the normalizer enforces the same grammar and reports
+// the same errors), the template's compiled skeleton is fetched from the
+// plan cache or compiled on a miss, and the lifted literals are bound
+// back into a concrete plan.
 func (s *Session) compile(sql string) (*catalog.Table, *sqlfe.Plan, error) {
-	stmt, err := sqlfe.Parse(sql)
+	tmpl, err := sqlfe.Normalize(sql)
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl, err := s.cat.Lookup(stmt.Table)
+	tbl, err := s.cat.Lookup(tmpl.Table)
 	if err != nil {
 		return nil, nil, err
 	}
-	plan, err := sqlfe.Compile(stmt, tbl.Schema())
+	prep, err := s.preparedFor(tbl, tmpl)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := prep.Bind(tmpl.Params())
 	if err != nil {
 		return nil, nil, err
 	}
 	return tbl, plan, nil
+}
+
+// preparedFor resolves a normalized template to its compiled skeleton,
+// consulting the session plan cache keyed by the canonical template text
+// with the table's (identity, plan generation) validity pair. Reading the
+// generation before the compile is sound even if an engine swap
+// interleaves: the schema is retained across swaps, so the compiled
+// skeleton is correct either way, and the entry stored under the old
+// generation is evicted on its next lookup.
+func (s *Session) preparedFor(tbl *catalog.Table, tmpl *sqlfe.Template) (*sqlfe.Prepared, error) {
+	gen := tbl.PlanGen()
+	if prep, ok := s.plans.Lookup(tmpl.Text, tbl, gen); ok {
+		return prep, nil
+	}
+	prep, err := sqlfe.CompileTemplate(tmpl, tbl.Schema())
+	if err != nil {
+		return nil, err
+	}
+	s.plans.Store(tmpl.Text, tbl, gen, prep)
+	return prep, nil
 }
 
 // execPlanCtx dispatches a compiled plan to a table's engine, observing
