@@ -56,6 +56,7 @@ func main() {
 		shards  = flag.Int("shards", 0, "shard count for the 'sharded' experiment (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		jsonOut = flag.Bool("json", false, "emit results as JSON instead of plain-text tables")
+		latJSON = flag.String("latency-json", "", "write the run-wide per-query latency histogram (buckets, p50/p95/p99) to this file as JSON")
 	)
 	flag.Parse()
 
@@ -114,4 +115,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *latJSON != "" {
+		if err := writeLatencyJSON(*latJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "passbench: -latency-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeLatencyJSON dumps the run-wide per-query latency histogram — one
+// machine-readable artifact per benchmark run, suitable for trend
+// tracking in CI.
+func writeLatencyJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(bench.LatencySnapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -18,6 +18,16 @@
 //	DELETE /tables/{name}            drop a table (and its persisted files)
 //	GET    /healthz                  liveness probe (always 200 while serving)
 //	GET    /readyz                   readiness probe (503 until warm start completes / during shutdown)
+//	GET    /metrics                  Prometheus text exposition of the process metrics registry
+//	/debug/pprof/*                   runtime profiles (only with -pprof)
+//
+// Observability: every request is logged as one structured JSON line on
+// stderr (method, path, status, duration, bytes); -slow-query-ms adds a
+// slow-query log of normalized statement templates (literals elided);
+// EXPLAIN ANALYZE prefixed to any statement returns its execution span
+// tree in the response without changing the answer; and
+// -metrics-report-every emits a periodic latency self-report. See
+// docs/OPERATIONS.md, "Monitoring & tracing".
 //
 // The serving path is hardened for operation under failure: request
 // bodies are capped (-max-body-mb → 413), concurrency is bounded
@@ -70,6 +80,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/vfs"
 	"repro/pass"
@@ -99,6 +110,10 @@ func main() {
 		strictMode   = flag.Bool("strict-scatter", false, "fail sharded queries that lose any shard instead of returning degraded partial answers")
 		faultSpec    = flag.String("fault-schedule", "", "inject storage faults for testing, e.g. 'op=sync,path=.wal,after=10,count=1,err=eio' (see internal/vfs)")
 		planCache    = flag.Int("plan-cache-size", pass.DefaultPlanCacheSize, "prepared-plan cache capacity in distinct query shapes (0 disables plan caching)")
+
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the listen address")
+		slowQueryMS = flag.Int("slow-query-ms", -1, "log statements slower than this many milliseconds as JSON lines on stderr (0 = log every statement, negative = off)")
+		reportEvery = flag.Duration("metrics-report-every", 0, "emit a periodic JSON self-report of latency histograms and headline counters to stderr (0 = off)")
 	)
 	flag.Parse()
 
@@ -158,6 +173,24 @@ func main() {
 		srv.maxBody = int64(*maxBodyMB) << 20
 	}
 	srv.setMaxInflight(*maxInflight)
+	srv.pprofOn = *pprofOn
+
+	// observability: the structured logs share one encoder on stderr, the
+	// session stats are bridged into the metrics registry for GET /metrics,
+	// and the optional self-report heartbeat runs until shutdown
+	stderrLog := obs.NewJSONLog(os.Stderr)
+	srv.reqLog = stderrLog
+	if *slowQueryMS >= 0 {
+		sess.SetSlowQueryLog(os.Stderr, time.Duration(*slowQueryMS)*time.Millisecond)
+		log.Printf("passd: slow-query log on (threshold %dms)", *slowQueryMS)
+	}
+	registerCollectors(sess)
+	reportCtx, stopReport := context.WithCancel(context.Background())
+	defer stopReport()
+	startSelfReport(reportCtx, *reportEvery, stderrLog)
+	if *pprofOn {
+		log.Printf("passd: pprof endpoints on %s/debug/pprof/", *listen)
+	}
 
 	if *demo != "" {
 		if err := loadDemo(sess, *demo, *demoRows, *partitions, *rate, *seed, *shards); err != nil {

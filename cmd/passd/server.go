@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/jsonout"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/pass"
 )
@@ -41,6 +43,11 @@ type server struct {
 	// executed through POST /query with {"prepared": name, "params": [...]}.
 	preparedMu sync.Mutex
 	prepared   map[string]*pass.PreparedStmt
+	// reqLog receives one structured JSON line per request; nil disables
+	// request logging (metrics still record every request).
+	reqLog *obs.JSONLog
+	// pprofOn mounts net/http/pprof under /debug/pprof/ (-pprof flag).
+	pprofOn bool
 }
 
 // buildOptions mirrors the synopsis-construction knobs exposed over HTTP.
@@ -89,6 +96,8 @@ func (s *server) setMaxInflight(n int) {
 //	DELETE /tables/{name}            → drop (persisted files removed too)
 //	GET    /healthz                  → liveness (200 while the process serves)
 //	GET    /readyz                   → readiness (503 until warm start completes / during shutdown)
+//	GET    /metrics                  → Prometheus text exposition of the obs registry
+//	/debug/pprof/*                   → runtime profiles (only with -pprof)
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
@@ -99,16 +108,25 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /tables/{name}/rows", s.handleInsertRows)
 	mux.HandleFunc("POST /tables/{name}/reoptimize", s.handleReoptimize)
 	mux.HandleFunc("DELETE /tables/{name}", s.handleDropTable)
-	// health endpoints bypass admission control: an overloaded server is
-	// still alive, and the probes must say so rather than be shed
+	// health and metrics endpoints bypass admission control: an overloaded
+	// server is still alive and still observable, and the probes and the
+	// scraper must see it rather than be shed
 	healthz := http.HandlerFunc(s.handleHealthz)
 	readyz := http.HandlerFunc(s.handleReadyz)
 	limited := s.admit(mux)
 	outer := http.NewServeMux()
 	outer.Handle("GET /healthz", healthz)
 	outer.Handle("GET /readyz", readyz)
+	outer.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprofOn {
+		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
+		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	outer.Handle("/", limited)
-	return outer
+	return s.logRequests(outer)
 }
 
 // admit is the load-shedding middleware: with -max-inflight set, a
@@ -187,6 +205,8 @@ type jsonStmtResult struct {
 	NoMatch bool            `json:"no_match,omitempty"`
 	Scalar  *jsonout.Answer `json:"scalar,omitempty"`
 	Groups  []jsonout.Group `json:"groups,omitempty"`
+	// Trace is the execution span tree of an EXPLAIN ANALYZE statement.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 type queryRequest struct {
@@ -240,7 +260,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := queryResponse{Results: make([]jsonStmtResult, len(results))}
 	for i, sr := range results {
-		out := jsonStmtResult{SQL: sr.SQL}
+		out := jsonStmtResult{SQL: sr.SQL, Trace: sr.Result.Trace}
 		switch {
 		case errors.Is(sr.Err, pass.ErrNoMatch):
 			out.NoMatch = true

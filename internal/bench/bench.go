@@ -14,9 +14,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// queryLatency aggregates every timed query across all experiments into
+// one process-wide histogram, surfaced by passbench -latency-json.
+var queryLatency = obs.Default().NewHistogram("passbench_query_latency_seconds",
+	"per-query latency across all benchmark workloads", nil)
+
+// LatencySnapshot returns the run-wide per-query latency histogram:
+// bucket counts plus p50/p95/p99, accumulated over every workload the
+// process has executed so far.
+func LatencySnapshot() obs.HistogramSnapshot { return queryLatency.Snapshot() }
 
 // Config scales the experiments. The defaults run every experiment in
 // seconds on a laptop while preserving the paper's curve shapes; raise
@@ -178,6 +189,7 @@ type metricsAcc struct {
 }
 
 func (a *metricsAcc) add(r core.Result, truth float64, n int, lat time.Duration) {
+	queryLatency.ObserveDuration(lat)
 	a.answered++
 	a.totalLat += lat
 	if lat > a.maxLat {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/sqlfe"
 )
 
@@ -136,18 +137,24 @@ func (t *Table) Query(kind dataset.AggKind, q dataset.Rect) (core.Result, error)
 func (t *Table) QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	sp := obs.SpanFrom(ctx)
 	rec, cache := t.recorder, t.cache
 	if rec == nil && cache == nil {
+		sp.Set("result_cache", "off")
 		return engine.QueryCtx(ctx, t.eng, kind, q)
 	}
 	gen := t.gen.Load()
 	if cache != nil {
 		if r, ok := cache.Lookup(t.name, gen, kind, q); ok {
+			sp.Set("result_cache", "hit")
 			if rec != nil {
 				rec.ObserveQuery(t.name, kind, q, r, t.Rows(), 0, true)
 			}
 			return r, nil
 		}
+		sp.Set("result_cache", "miss")
+	} else {
+		sp.Set("result_cache", "off")
 	}
 	start := time.Now()
 	r, err := engine.QueryCtx(ctx, t.eng, kind, q)

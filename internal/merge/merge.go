@@ -25,10 +25,10 @@ package merge
 import (
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // Merger is a streaming accumulator for one query's partial results. Add
@@ -224,21 +224,23 @@ func (m *Merger) Result() core.Result {
 	return out
 }
 
-// pool recycles Mergers on the batched-query hot path. poolGets counts
-// acquisitions, poolAllocs actual allocations; the difference is the
-// number of accumulator allocations the pool avoided.
+// pool recycles Mergers on the batched-query hot path. Acquisitions and
+// actual allocations are counted directly in the process-wide obs
+// registry (the difference is the number of accumulator allocations the
+// pool avoided) — there is no separate package-local copy of the stats.
 var (
 	pool = sync.Pool{New: func() any {
-		poolAllocs.Add(1)
+		poolAllocs.Inc()
 		return new(Merger)
 	}}
-	poolGets, poolAllocs atomic.Int64
+	poolGets   = obs.Default().NewCounter("pass_merge_pool_acquires_total", "merge accumulator pool Get calls")
+	poolAllocs = obs.Default().NewCounter("pass_merge_pool_allocs_total", "merge accumulators actually allocated")
 )
 
 // Get returns a pooled accumulator armed for one query of the given kind.
 // Return it with Put when the merged result has been taken.
 func Get(kind dataset.AggKind) *Merger {
-	poolGets.Add(1)
+	poolGets.Inc()
 	m := pool.Get().(*Merger)
 	m.Reset(kind)
 	return m
@@ -255,9 +257,11 @@ func Put(m *Merger) {
 // PoolStats reports the accumulator pool's lifetime effectiveness:
 // acquires is the number of Get calls, allocated the number of Mergers
 // actually allocated; acquires − allocated accumulator allocations were
-// avoided by reuse. Counters are process-wide.
+// avoided by reuse. Counters are process-wide and read straight from the
+// obs registry — this accessor and GET /metrics share one source of
+// truth.
 func PoolStats() (acquires, allocated int64) {
-	return poolGets.Load(), poolAllocs.Load()
+	return poolGets.Value(), poolAllocs.Value()
 }
 
 // Results combines partial results for one query, one entry per shard

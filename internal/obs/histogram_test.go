@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le-semantics: a value exactly on
+// an upper bound lands in that bucket, just above it spills to the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	h.Observe(0.5)  // bucket 0 (le=1)
+	h.Observe(1)    // bucket 0: boundary is inclusive
+	h.Observe(1.01) // bucket 1 (le=2)
+	h.Observe(2)    // bucket 1
+	h.Observe(5)    // bucket 2 (le=5)
+	h.Observe(5.1)  // +Inf bucket
+	h.Observe(100)  // +Inf bucket
+
+	s := h.Snapshot()
+	want := []int64{2, 2, 1, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count: got %d, want 7", s.Count)
+	}
+	if math.Abs(s.Sum-114.61) > 1e-9 {
+		t.Errorf("sum: got %g, want 114.61", s.Sum)
+	}
+}
+
+// TestHistogramQuantiles checks interpolation inside a known bucket and
+// the +Inf clamp.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all in bucket (10,20]
+	}
+	s := h.Snapshot()
+	// rank 50 of 100 all in one bucket: interpolate halfway through 10..20.
+	if s.P50 < 10 || s.P50 > 20 {
+		t.Errorf("p50 %g outside bucket (10,20]", s.P50)
+	}
+	if s.P99 < 10 || s.P99 > 20 {
+		t.Errorf("p99 %g outside bucket (10,20]", s.P99)
+	}
+
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50) // +Inf bucket
+	if q := h2.Snapshot().Quantile(0.5); q != 1 {
+		t.Errorf("+Inf-bucket quantile clamps to last bound: got %g, want 1", q)
+	}
+
+	var empty HistogramSnapshot
+	empty.Bounds = []float64{1}
+	empty.Counts = []int64{0, 0}
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile: got %g, want 0", q)
+	}
+}
+
+// TestHistogramConcurrentRecording hammers Observe from many goroutines
+// (run under -race in CI) and checks nothing is lost.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, each = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(seed*each+i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each {
+		t.Fatalf("count: got %d, want %d", s.Count, workers*each)
+	}
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != workers*each {
+		t.Fatalf("bucket sum: got %d, want %d", total, workers*each)
+	}
+	// Sum of 0..(workers*each-1) microseconds.
+	n := float64(workers * each)
+	wantSum := n * (n - 1) / 2 * 1e-6
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum+1e-9 {
+		t.Fatalf("sum: got %g, want %g", s.Sum, wantSum)
+	}
+}
+
+// TestCounterGaugeConcurrent exercises the scalar instruments under -race.
+func TestCounterGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter: got %d, want 8000", c.Value())
+	}
+	if math.Abs(g.Value()-4000) > 1e-9 {
+		t.Fatalf("gauge: got %g, want 4000", g.Value())
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLog writes one JSON object per line to an io.Writer, serialized by
+// a mutex so concurrent emitters never interleave bytes. It backs both
+// the slow-query log and passd's per-request log.
+type JSONLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time // swappable for tests
+}
+
+// NewJSONLog wraps w as a line-oriented JSON log. A nil w yields a nil
+// *JSONLog, whose Emit is a no-op — callers can wire the log
+// unconditionally and let configuration decide.
+func NewJSONLog(w io.Writer) *JSONLog {
+	if w == nil {
+		return nil
+	}
+	return &JSONLog{w: w, now: time.Now}
+}
+
+// Emit writes fields as one JSON line, adding a "ts" RFC3339Nano
+// timestamp and an "event" tag. Marshal failures drop the record rather
+// than corrupt the stream; fields must therefore be JSON-encodable.
+func (l *JSONLog) Emit(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["event"] = event
+	l.mu.Lock()
+	rec["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(rec)
+	if err == nil {
+		b = append(b, '\n')
+		l.w.Write(b)
+	}
+	l.mu.Unlock()
+}

@@ -1,0 +1,284 @@
+// Package obs is the unified observability layer: a dependency-free,
+// concurrency-safe metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms with quantile snapshots, exposed in
+// Prometheus text format), a per-query trace span tree carried through
+// context.Context (the engine behind EXPLAIN ANALYZE), and a JSON-lines
+// structured logger (the slow-query log and passd's request log).
+//
+// Every subsystem in the repository records into one process-wide Default
+// registry, so GET /metrics on passd, the periodic self-report, and the
+// ad-hoc stats surfaced through GET /tables all read from a single source
+// of truth. Instruments are cheap enough for hot paths — a counter
+// increment is one atomic add, a histogram observation two atomic adds
+// plus a bounded bucket scan — and the trace layer costs one context
+// lookup returning nil when no trace is attached (see trace.go).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (atomic).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the exposition to stay
+// Prometheus-conformant; the counter does not enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (atomic float64).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add offsets the gauge value.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind tags a registered family for the # TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindFunc // lazily collected counter or gauge
+)
+
+// metric is one registered family.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	// fn collects the value at scrape time (kindFunc); fnKind says whether
+	// it renders as a counter or a gauge.
+	fn     func() float64
+	fnKind string
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// use NewRegistry or the package-level Default.
+type Registry struct {
+	mu    sync.Mutex
+	named map[string]*metric
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{named: make(map[string]*metric)}
+}
+
+// defaultRegistry is the process-wide registry every subsystem records
+// into; passd's GET /metrics serves it.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// register adds (or replaces) a family under its name. Replacement rather
+// than panic keeps re-registration idempotent: tests and multi-session
+// processes may wire the same name more than once, and the latest wiring
+// wins.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.named[m.name]; !exists {
+		r.order = append(r.order, m.name)
+	}
+	r.named[m.name] = m
+}
+
+// NewCounter registers and returns a counter. Re-registering a name
+// returns the existing counter, so package-level instruments are safe to
+// declare from multiple call sites.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	if m, ok := r.named[name]; ok && m.counter != nil {
+		r.mu.Unlock()
+		return m.counter
+	}
+	r.mu.Unlock()
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge (reusing an existing registration
+// of the same name, like NewCounter).
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	if m, ok := r.named[name]; ok && m.gauge != nil {
+		r.mu.Unlock()
+		return m.gauge
+	}
+	r.mu.Unlock()
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bucket bounds (ascending; +Inf is implicit). nil bounds use
+// DefaultLatencyBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	if m, ok := r.named[name]; ok && m.hist != nil {
+		r.mu.Unlock()
+		return m.hist
+	}
+	r.mu.Unlock()
+	h := NewHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// CounterFunc registers a lazily collected counter: fn is called at scrape
+// time. Use it to expose counters owned by another subsystem (the plan
+// cache, a shard engine) without duplicating their state.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindFunc, fn: fn, fnKind: "counter"})
+}
+
+// GaugeFunc registers a lazily collected gauge (see CounterFunc).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindFunc, fn: fn, fnKind: "gauge"})
+}
+
+// Unregister removes a family by name (used by serving layers that wire
+// collector funcs against a session being torn down).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.named[name]; !ok {
+		return
+	}
+	delete(r.named, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// snapshotMetrics copies the registration list under the lock so the
+// (possibly slow) collector funcs run outside it.
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.order))
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, r.named[n])
+	}
+	return out
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE comments followed
+// by the samples, histograms as cumulative _bucket{le="..."} series plus
+// _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.snapshotMetrics() {
+		if err := writeFamily(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, m *metric) error {
+	typ := ""
+	switch m.kind {
+	case kindCounter:
+		typ = "counter"
+	case kindGauge:
+		typ = "gauge"
+	case kindHistogram:
+		typ = "histogram"
+	case kindFunc:
+		typ = m.fnKind
+	}
+	if m.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+		return err
+	}
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+		return err
+	case kindFunc:
+		_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
+		return err
+	case kindHistogram:
+		return writeHistogram(w, m.name, m.hist)
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	snap := h.Snapshot()
+	cum := int64(0)
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects: integers
+// without a mantissa, everything else in shortest-roundtrip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a minimal Prometheus text-format parser used to
+// validate our hand-rolled writer: it checks comment structure and
+// returns sample name → value.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: invalid metric type %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// sample: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		samples[name] = v
+		// Every sample must be preceded by a TYPE for its family.
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			family = strings.TrimSuffix(family, suffix)
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding # TYPE for %q", ln+1, name, family)
+		}
+	}
+	return samples
+}
+
+// TestWritePrometheusExposition registers one of each instrument kind and
+// parses the output back.
+func TestWritePrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "ops so far")
+	c.Add(42)
+	g := r.NewGauge("test_queue_depth", "queued items")
+	g.Set(3.5)
+	h := r.NewHistogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+	r.CounterFunc("test_hits_total", "cache hits", func() float64 { return 7 })
+	r.GaugeFunc("test_tables", "live tables", func() float64 { return 2 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+
+	checks := map[string]float64{
+		"test_ops_total":                         42,
+		"test_queue_depth":                       3.5,
+		"test_hits_total":                        7,
+		"test_tables":                            2,
+		`test_latency_seconds_bucket{le="0.01"}`: 1,
+		`test_latency_seconds_bucket{le="0.1"}`:  3,
+		`test_latency_seconds_bucket{le="1"}`:    3,
+		`test_latency_seconds_bucket{le="+Inf"}`: 4,
+		"test_latency_seconds_count":             4,
+	}
+	for name, want := range checks {
+		got, ok := samples[name]
+		if !ok {
+			t.Errorf("missing sample %q\nfull output:\n%s", name, buf.String())
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: got %g, want %g", name, got, want)
+		}
+	}
+	if sum := samples["test_latency_seconds_sum"]; sum < 5.1 || sum > 5.2 {
+		t.Errorf("histogram sum: got %g, want ~5.105", sum)
+	}
+}
+
+// TestRegistryReregister checks that NewCounter reuses an existing family
+// and that func collectors replace cleanly.
+func TestRegistryReregister(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "first")
+	b := r.NewCounter("dup_total", "second")
+	if a != b {
+		t.Fatal("re-registering a counter should return the same instrument")
+	}
+	r.GaugeFunc("fn_metric", "v1", func() float64 { return 1 })
+	r.GaugeFunc("fn_metric", "v2", func() float64 { return 2 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fn_metric 2") {
+		t.Fatalf("latest func registration should win:\n%s", buf.String())
+	}
+	if strings.Count(buf.String(), "# TYPE fn_metric") != 1 {
+		t.Fatalf("family must appear once:\n%s", buf.String())
+	}
+	r.Unregister("fn_metric")
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fn_metric") {
+		t.Fatalf("unregistered family still present:\n%s", buf.String())
+	}
+}
+
+// TestRegistryConcurrent registers and scrapes from multiple goroutines
+// (meaningful under -race).
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				c := r.NewCounter(fmt.Sprintf("worker_%d_total", w), "")
+				c.Inc()
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tracingEnabled gates the context lookup itself: when false, SpanFrom
+// returns nil without touching ctx, making the hot path byte-identical to
+// a build without tracing. It defaults to on; the overhead benchmark
+// flips it to measure the floor.
+var tracingEnabled atomic.Bool
+
+func init() { tracingEnabled.Store(true) }
+
+// SetTracingEnabled toggles trace-context propagation process-wide.
+// Returns the previous value so benchmarks can restore it.
+func SetTracingEnabled(on bool) bool { return tracingEnabled.Swap(on) }
+
+// TracingEnabled reports whether trace propagation is on.
+func TracingEnabled() bool { return tracingEnabled.Load() }
+
+// spanKey is the context key for the active span.
+type spanKey struct{}
+
+// Span is one timed node in a query trace tree. All methods are nil-safe
+// no-ops on a nil receiver, so instrumentation sites write
+// `sp := obs.SpanFrom(ctx)` once and call through unconditionally — the
+// untraced path costs a single nil check per call site. Methods are
+// mutex-guarded because scatter-gather shard goroutines may still be
+// ending their child spans (stragglers past a deadline) while the parent
+// is being marshaled.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    map[string]any
+	children []*Span
+}
+
+// StartTrace creates a root span. The caller must End it before
+// marshaling.
+func StartTrace(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// WithSpan returns a context carrying sp; SpanFrom retrieves it.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the span attached to ctx, or nil. This is the fast
+// path every instrumented layer takes: when tracing is globally off it is
+// one atomic load; when on but no trace is attached, one context lookup.
+func SpanFrom(ctx context.Context) *Span {
+	if !tracingEnabled.Load() {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Child starts a new child span under sp. Safe to call from multiple
+// goroutines; returns nil if sp is nil.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	sp.mu.Lock()
+	sp.children = append(sp.children, c)
+	sp.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock. Repeated calls keep the first duration.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if !sp.ended {
+		sp.dur = time.Since(sp.start)
+		sp.ended = true
+	}
+	sp.mu.Unlock()
+}
+
+// Set records an attribute on the span (overwrites on repeat).
+func (sp *Span) Set(key string, v any) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]any, 8)
+	}
+	sp.attrs[key] = v
+	sp.mu.Unlock()
+}
+
+// AddInt adds delta to an integer attribute, creating it at delta.
+func (sp *Span) AddInt(key string, delta int64) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]any, 8)
+	}
+	if cur, ok := sp.attrs[key].(int64); ok {
+		sp.attrs[key] = cur + delta
+	} else {
+		sp.attrs[key] = delta
+	}
+	sp.mu.Unlock()
+}
+
+// Duration returns the span's measured duration (0 until End).
+func (sp *Span) Duration() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.dur
+}
+
+// Attr returns the named attribute value (nil, false when absent or the
+// span is nil).
+func (sp *Span) Attr(key string) (any, bool) {
+	if sp == nil {
+		return nil, false
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	v, ok := sp.attrs[key]
+	return v, ok
+}
+
+// SpanJSON is the wire form of a span tree, returned by EXPLAIN ANALYZE.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	DurationUS int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanJSON    `json:"children,omitempty"`
+}
+
+// Export deep-copies the tree into its JSON form. Spans not yet ended
+// report their elapsed time so far, so stragglers never export zero.
+func (sp *Span) Export() *SpanJSON {
+	if sp == nil {
+		return nil
+	}
+	sp.mu.Lock()
+	out := &SpanJSON{Name: sp.name}
+	d := sp.dur
+	if !sp.ended {
+		d = time.Since(sp.start)
+	}
+	out.DurationUS = d.Microseconds()
+	if len(sp.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(sp.attrs))
+		for k, v := range sp.attrs {
+			out.Attrs[k] = v
+		}
+	}
+	kids := append([]*Span(nil), sp.children...)
+	sp.mu.Unlock()
+	for _, c := range kids {
+		out.Children = append(out.Children, c.Export())
+	}
+	return out
+}
+
+// MarshalJSON renders the span tree via Export, so a *Span can be placed
+// directly in a response struct.
+func (sp *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sp.Export())
+}
+
+// Summary flattens the tree into "name=duration" pairs (depth-first,
+// sorted children by name at each level for stable output) — compact
+// enough for a slow-query-log line.
+func (sp *Span) Summary() map[string]int64 {
+	out := make(map[string]int64)
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s == nil {
+			return
+		}
+		s.mu.Lock()
+		d := s.dur
+		if !s.ended {
+			d = time.Since(s.start)
+		}
+		name := s.name
+		kids := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+		out[name] += d.Microseconds()
+		sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
+		for _, c := range kids {
+			walk(c)
+		}
+	}
+	walk(sp)
+	return out
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanTree builds a small trace and checks the exported shape.
+func TestSpanTree(t *testing.T) {
+	root := StartTrace("query")
+	root.Set("sql", "SELECT SUM(v) FROM t WHERE x BETWEEN ?1 AND ?2")
+	compile := root.Child("compile")
+	compile.Set("plan_cache", "hit")
+	compile.End()
+	exec := root.Child("execute")
+	for i := 0; i < 3; i++ {
+		sh := exec.Child("shard")
+		sh.AddInt("rows", 10)
+		sh.AddInt("rows", 5)
+		sh.End()
+	}
+	exec.End()
+	root.End()
+
+	out := root.Export()
+	if out.Name != "query" || len(out.Children) != 2 {
+		t.Fatalf("bad root: %+v", out)
+	}
+	if out.Children[0].Attrs["plan_cache"] != "hit" {
+		t.Fatalf("compile attrs: %+v", out.Children[0].Attrs)
+	}
+	if len(out.Children[1].Children) != 3 {
+		t.Fatalf("execute children: %+v", out.Children[1])
+	}
+	if rows := out.Children[1].Children[0].Attrs["rows"]; rows != int64(15) {
+		t.Fatalf("AddInt accumulation: got %v", rows)
+	}
+
+	// Round-trip through JSON.
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanJSON
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "query" || len(back.Children) != 2 {
+		t.Fatalf("round-trip: %+v", back)
+	}
+
+	sum := root.Summary()
+	if sum["shard"] < 0 || len(sum) != 4 {
+		t.Fatalf("summary: %+v", sum)
+	}
+}
+
+// TestSpanNilSafety calls every method on a nil span — each must be a
+// silent no-op, since that is the untraced fast path.
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.Set("k", 1)
+	sp.AddInt("k", 1)
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil.Child must be nil")
+	}
+	if d := sp.Duration(); d != 0 {
+		t.Fatal("nil.Duration must be 0")
+	}
+	if _, ok := sp.Attr("k"); ok {
+		t.Fatal("nil.Attr must miss")
+	}
+	if sp.Export() != nil {
+		t.Fatal("nil.Export must be nil")
+	}
+}
+
+// TestSpanContext checks WithSpan/SpanFrom plumbing including the global
+// kill switch.
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if SpanFrom(ctx) != nil {
+		t.Fatal("empty ctx should carry no span")
+	}
+	sp := StartTrace("q")
+	ctx = WithSpan(ctx, sp)
+	if SpanFrom(ctx) != sp {
+		t.Fatal("span not recovered from ctx")
+	}
+	prev := SetTracingEnabled(false)
+	if SpanFrom(ctx) != nil {
+		t.Fatal("disabled tracing must hide attached spans")
+	}
+	SetTracingEnabled(prev)
+	if WithSpan(context.Background(), nil) != context.Background() {
+		t.Fatal("WithSpan(nil) should return ctx unchanged")
+	}
+}
+
+// TestSpanConcurrent ends children and marshals the parent concurrently —
+// the straggler-shard scenario; meaningful under -race.
+func TestSpanConcurrent(t *testing.T) {
+	root := StartTrace("scatter")
+	kids := make([]*Span, 8)
+	for i := range kids {
+		kids[i] = root.Child("shard")
+	}
+	var wg sync.WaitGroup
+	for _, k := range kids {
+		wg.Add(1)
+		go func(k *Span) {
+			defer wg.Done()
+			k.AddInt("rows", 100)
+			k.End()
+		}(k)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := json.Marshal(root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Export().Children); got != 8 {
+		t.Fatalf("children: got %d, want 8", got)
+	}
+}
+
+// TestSpanUnendedExport verifies an unfinished span exports its elapsed
+// time rather than zero.
+func TestSpanUnendedExport(t *testing.T) {
+	sp := StartTrace("live")
+	time.Sleep(2 * time.Millisecond)
+	if sp.Export().DurationUS <= 0 {
+		t.Fatal("unended span should export elapsed time")
+	}
+}
+
+// TestJSONLog checks line framing, the ts/event injection, and nil
+// no-op behavior.
+func TestJSONLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONLog(&buf)
+	l.now = func() time.Time { return time.Unix(1700000000, 0) }
+	l.Emit("slow_query", map[string]any{"sql": "SELECT 1", "ms": 12.5})
+	l.Emit("slow_query", map[string]any{"sql": "SELECT 2"})
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(lines[0], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["event"] != "slow_query" || rec["sql"] != "SELECT 1" || rec["ms"] != 12.5 {
+		t.Fatalf("record: %+v", rec)
+	}
+	if rec["ts"] == "" {
+		t.Fatal("missing ts")
+	}
+
+	var nilLog *JSONLog
+	nilLog.Emit("x", nil) // must not panic
+	if NewJSONLog(nil) != nil {
+		t.Fatal("NewJSONLog(nil) must be nil")
+	}
+}
+
+// The fast paths are the contract: instrumentation sites run on every
+// query, traced or not, so SpanFrom and nil-span methods must cost
+// nanoseconds. The end-to-end gate lives in internal/shard's
+// BenchmarkShardedQueryCtx pair; these isolate the obs layer itself.
+
+func BenchmarkSpanFromTracingOff(b *testing.B) {
+	prev := SetTracingEnabled(false)
+	defer SetTracingEnabled(prev)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if SpanFrom(ctx) != nil {
+			b.Fatal("span from bare context")
+		}
+	}
+}
+
+func BenchmarkSpanFromNoSpan(b *testing.B) {
+	prev := SetTracingEnabled(true)
+	defer SetTracingEnabled(prev)
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		if SpanFrom(ctx) != nil {
+			b.Fatal("span from bare context")
+		}
+	}
+}
+
+func BenchmarkNilSpanMethods(b *testing.B) {
+	var sp *Span
+	for i := 0; i < b.N; i++ {
+		sp.AddInt("k", 1)
+		sp.Child("c").End()
+	}
+}

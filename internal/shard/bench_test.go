@@ -1,12 +1,14 @@
 package shard_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine/factory"
 	"repro/internal/merge"
+	"repro/internal/obs"
 )
 
 // BenchmarkShardedQueryBatch measures the scatter-gather batch path with
@@ -36,6 +38,66 @@ func BenchmarkShardedQueryBatch(b *testing.B) {
 	b.StopTimer()
 	acquires, allocated := merge.PoolStats()
 	b.ReportMetric(float64(acquires-allocated), "pool-reuses")
+}
+
+// ctxQuerier is the deadline/trace-aware query surface of the sharded
+// engine, reached through the engine.Engine the factory returns.
+type ctxQuerier interface {
+	QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.Rect) (core.Result, error)
+}
+
+// benchCtxEngine builds the standard 4-shard fixture and returns its
+// context-aware surface.
+func benchCtxEngine(b *testing.B) ctxQuerier {
+	b.Helper()
+	d := dataset.GenIntelWireless(20000, 13)
+	eng, err := factory.Build("sharded:pass:4", d, factory.Spec{Partitions: 32, SampleSize: d.N() / 10, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cq, ok := eng.(ctxQuerier)
+	if !ok {
+		b.Fatalf("%T does not implement QueryCtx", eng)
+	}
+	return cq
+}
+
+// BenchmarkShardedQueryCtxNoTrace measures the instrumented query path
+// with tracing enabled but no trace attached: the cost of the
+// obs.SpanFrom fast path (one atomic load plus one context lookup) on
+// top of the plain scatter. CI gates this against
+// BenchmarkShardedQueryCtxTracingOff — the pair must stay within 2%.
+func BenchmarkShardedQueryCtxNoTrace(b *testing.B) {
+	eng := benchCtxEngine(b)
+	prev := obs.SetTracingEnabled(true)
+	defer obs.SetTracingEnabled(prev)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64(i % 16)
+		if _, err := eng.QueryCtx(ctx, dataset.Sum, dataset.Rect1(lo, lo+9)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedQueryCtxTracingOff is the baseline twin: the global
+// tracing kill switch is off, so SpanFrom returns before even touching
+// the context.
+func BenchmarkShardedQueryCtxTracingOff(b *testing.B) {
+	eng := benchCtxEngine(b)
+	prev := obs.SetTracingEnabled(false)
+	defer obs.SetTracingEnabled(prev)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := float64(i % 16)
+		if _, err := eng.QueryCtx(ctx, dataset.Sum, dataset.Rect1(lo, lo+9)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkShardedQuery measures the single-query streamed scatter.

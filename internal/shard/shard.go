@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -388,22 +389,40 @@ type shardAnswer struct {
 }
 
 // QueryCtx answers one aggregate under a deadline (engine.ContextQuerier).
-// Without a deadline it is exactly Query. With one, each relevant shard
-// runs in its own goroutine; shards still running when ctx expires are
-// abandoned (they finish in the background and their results are
-// discarded) and the merge proceeds over the shards that answered, widened
-// by merge.Degrade so the reported uncertainty still covers the dropped
-// data. In strict mode a dropped shard fails the query instead.
+// Without a deadline or an attached trace span it is exactly Query. With
+// either, each relevant shard runs in its own goroutine; shards still
+// running when ctx expires are abandoned (they finish in the background
+// and their results are discarded) and the merge proceeds over the shards
+// that answered, widened by merge.Degrade so the reported uncertainty
+// still covers the dropped data. In strict mode a dropped shard fails the
+// query instead. The reorder buffer folds partials in relevant-shard
+// order, so the traced answer is bitwise identical to the untraced one.
 func (e *Engine) QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.Rect) (core.Result, error) {
-	if ctx.Done() == nil {
+	sp := obs.SpanFrom(ctx)
+	if ctx.Done() == nil && sp == nil {
 		return e.Query(kind, q)
 	}
 	if err := ctx.Err(); err != nil {
 		return core.Result{}, err
 	}
+	scatter := sp.Child("scatter")
+	defer scatter.End()
 	rel := e.relevant(q)
+	scatter.Set("shards_total", int64(len(e.inner)))
+	scatter.Set("shards_relevant", int64(len(rel)))
+	scatter.Set("shards_pruned", int64(len(e.inner)-len(rel)))
 	if len(rel) == 0 {
 		return emptyResult(kind, q, e.N())
+	}
+	// Per-shard child spans are created up front so each goroutine touches
+	// only its own span; stragglers ending spans after the parent exported
+	// are safe (Span methods are mutex-guarded).
+	var shardSpans []*obs.Span
+	if scatter != nil {
+		shardSpans = make([]*obs.Span, len(rel))
+		for j, si := range rel {
+			shardSpans[j] = scatter.Child(fmt.Sprintf("shard[%d]", si))
+		}
 	}
 	// buffered so abandoned stragglers can always deliver and exit
 	ch := make(chan shardAnswer, len(rel))
@@ -412,6 +431,9 @@ func (e *Engine) QueryCtx(ctx context.Context, kind dataset.AggKind, q dataset.R
 			var a shardAnswer
 			a.idx = j
 			a.res, a.err = e.queryShard(si, kind, q)
+			if shardSpans != nil {
+				recordShardSpan(shardSpans[j], a.res, a.err)
+			}
 			ch <- a
 		}(j, si)
 	}
@@ -458,6 +480,9 @@ collect:
 		for j, si := range rel {
 			if !ok[j] {
 				droppedRows = append(droppedRows, rows[si])
+				if shardSpans != nil {
+					shardSpans[j].Set("dropped", true)
+				}
 			}
 		}
 		cause := firstErr
@@ -481,8 +506,30 @@ collect:
 	}
 	out := m.Result()
 	out.ShardsTotal, out.ShardsAnswered = len(rel), answered
+	scatter.Set("shards_answered", int64(answered))
+	scatter.Set("shards_dropped", int64(len(rel)-answered))
+	scatter.Set("partials_folded", int64(answered))
 	merge.Degrade(kind, &out, droppedRows)
 	return out, nil
+}
+
+// recordShardSpan attaches one shard partial's diagnostics to its span
+// and ends it. Runs on the shard goroutine; safe against a concurrent
+// export of the parent tree.
+func recordShardSpan(sp *obs.Span, r core.Result, err error) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.Set("error", err.Error())
+	} else {
+		sp.Set("tuples_read", int64(r.TuplesRead))
+		sp.Set("tuples_skipped", int64(r.SkippedTuples))
+		sp.Set("leaf_exact", int64(r.CoveredParts))
+		sp.Set("leaf_sampled", int64(r.PartialParts))
+		sp.Set("exact", r.Exact)
+	}
+	sp.End()
 }
 
 // batchRouting is the scatter plan for one batch, routed under a single
@@ -626,7 +673,22 @@ func (e *Engine) QueryBatch(qs []core.BatchQuery) []core.BatchResult {
 // those queries instead); queries fully answered stay exact.
 func (e *Engine) QueryBatchCtx(ctx context.Context, qs []core.BatchQuery) []core.BatchResult {
 	if ctx.Done() == nil {
-		return e.QueryBatch(qs)
+		// No deadline: execution is plain QueryBatch; if a trace is
+		// attached, wrap it in a span carrying the batch-wide deltas of the
+		// pruning/streaming counters (approximate under concurrent traffic,
+		// exact for a single traced statement).
+		sc := obs.SpanFrom(ctx).Child("scatter_batch")
+		if sc == nil {
+			return e.QueryBatch(qs)
+		}
+		prunedBefore, streamedBefore := e.pruned.Load(), e.streamed.Load()
+		out := e.QueryBatch(qs)
+		sc.Set("queries", int64(len(qs)))
+		sc.Set("shards_total", int64(len(e.inner)))
+		sc.Set("shards_pruned", e.pruned.Load()-prunedBefore)
+		sc.Set("partials_folded", e.streamed.Load()-streamedBefore)
+		sc.End()
+		return out
 	}
 	out := make([]core.BatchResult, len(qs))
 	if len(qs) == 0 {

@@ -1,0 +1,33 @@
+package sqlfe
+
+import "strings"
+
+// StripExplain detects an EXPLAIN ANALYZE prefix and returns the inner
+// statement. The prefix is case-insensitive and whitespace-tolerant
+// ("explain   analyze select ..."); a bare EXPLAIN without ANALYZE is not
+// recognized — the engine has no plan-only mode, every explain executes.
+// Normalize rejects the prefix (the grammar starts at SELECT), so callers
+// strip it before compiling and attach a trace to the execution instead.
+func StripExplain(sql string) (stmt string, explain bool) {
+	rest := strings.TrimSpace(sql)
+	const kwExplain = "EXPLAIN"
+	if len(rest) < len(kwExplain) || !strings.EqualFold(rest[:len(kwExplain)], kwExplain) {
+		return sql, false
+	}
+	rest = rest[len(kwExplain):]
+	if rest == "" || !isSpace(rest[0]) {
+		return sql, false
+	}
+	rest = strings.TrimLeft(rest, " \t\r\n")
+	const kwAnalyze = "ANALYZE"
+	if len(rest) < len(kwAnalyze) || !strings.EqualFold(rest[:len(kwAnalyze)], kwAnalyze) {
+		return sql, false
+	}
+	rest = rest[len(kwAnalyze):]
+	if rest == "" || !isSpace(rest[0]) {
+		return sql, false
+	}
+	return strings.TrimLeft(rest, " \t\r\n"), true
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/engine/factory"
@@ -138,6 +139,7 @@ func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
 	if ts.removed {
 		return nil
 	}
+	start := time.Now()
 	err := t.CheckpointShards(func(info engine.ShardInfo, innerEngine string, schema sqlfe.Schema, payloads [][]byte, shardRows []int, rows int) error {
 		if len(payloads) != len(ts.shardWALs) {
 			return fmt.Errorf("store: table %q: %d shard payloads for %d shard logs", ts.name, len(payloads), len(ts.shardWALs))
@@ -188,6 +190,8 @@ func (s *Store) saveShardedState(ts *tableState, t ShardCheckpointable) error {
 	})
 	switch {
 	case err == nil:
+		checkpointSecs.ObserveDuration(time.Since(start))
+		checkpointTotal.Inc()
 		ts.recover()
 	case transientIO(err):
 		ts.degrade(err)

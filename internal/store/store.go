@@ -468,6 +468,7 @@ func (s *Store) saveTableState(ts *tableState, t Checkpointable) error {
 	if ts.removed {
 		return nil
 	}
+	start := time.Now()
 	err := t.Checkpoint(func(engineName string, schema sqlfe.Schema, payload []byte, rows int) error {
 		gen := ts.wal.Gen() + 1
 		snap := &Snapshot{
@@ -487,6 +488,8 @@ func (s *Store) saveTableState(ts *tableState, t Checkpointable) error {
 	})
 	switch {
 	case err == nil:
+		checkpointSecs.ObserveDuration(time.Since(start))
+		checkpointTotal.Inc()
 		ts.recover()
 	case transientIO(err):
 		ts.degrade(err)

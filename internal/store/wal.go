@@ -9,9 +9,23 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/binenc"
+	"repro/internal/obs"
 	"repro/internal/vfs"
+)
+
+// Durability instruments, recorded per group commit: one append latency
+// observation covers the framed write plus the (optional) fsync, and the
+// fsync histogram isolates the device-flush cost inside it.
+var (
+	walAppends      = obs.Default().NewCounter("pass_wal_appends_total", "WAL group commits")
+	walRecords      = obs.Default().NewCounter("pass_wal_records_total", "update records journaled")
+	walAppendSecs   = obs.Default().NewHistogram("pass_wal_append_seconds", "WAL group-commit latency (write+fsync)", nil)
+	walFsyncSecs    = obs.Default().NewHistogram("pass_wal_fsync_seconds", "WAL fsync latency within a group commit", nil)
+	checkpointSecs  = obs.Default().NewHistogram("pass_checkpoint_seconds", "snapshot checkpoint latency", nil)
+	checkpointTotal = obs.Default().NewCounter("pass_checkpoints_total", "snapshot checkpoints completed")
 )
 
 // Write-ahead log format:
@@ -280,17 +294,23 @@ func (w *WAL) AppendGroup(recs []Record) error {
 		_ = w.f.Truncate(w.size)
 		_, _ = w.f.Seek(w.size, io.SeekStart)
 	}
+	start := time.Now()
 	n, err := w.f.Write(framed)
 	if err != nil {
 		undo()
 		return ioErr("WAL append", err)
 	}
 	if w.sync {
+		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
 			undo()
 			return ioErr("WAL sync", err)
 		}
+		walFsyncSecs.ObserveDuration(time.Since(syncStart))
 	}
+	walAppendSecs.ObserveDuration(time.Since(start))
+	walAppends.Inc()
+	walRecords.Add(int64(len(recs)))
 	w.prevSize, w.prevRecords = w.size, w.records
 	w.size += int64(n)
 	w.records += len(recs)

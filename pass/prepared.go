@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/sqlfe"
@@ -69,7 +70,7 @@ func (ps *PreparedStmt) plan() (*catalog.Table, *sqlfe.Prepared, error) {
 	if ps.prep != nil && ps.tbl == tbl && ps.gen == gen {
 		return tbl, ps.prep, nil
 	}
-	prep, err := ps.sess.preparedFor(tbl, ps.tmpl)
+	prep, _, err := ps.sess.preparedFor(tbl, ps.tmpl)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -85,7 +86,10 @@ func (ps *PreparedStmt) Exec(args ...any) (SQLResult, error) {
 	return ps.ExecCtx(context.Background(), args...)
 }
 
-// ExecCtx is Exec with deadline propagation (see Session.ExecCtx).
+// ExecCtx is Exec with deadline propagation (see Session.ExecCtx). Each
+// execution is observed like any other statement: it lands in the
+// process-wide latency histogram and, when slow enough, in the session's
+// slow-query log under the prepared template text.
 func (ps *PreparedStmt) ExecCtx(ctx context.Context, args ...any) (SQLResult, error) {
 	params := ps.tmpl.Params()
 	if len(args) > 0 {
@@ -94,6 +98,13 @@ func (ps *PreparedStmt) ExecCtx(ctx context.Context, args ...any) (SQLResult, er
 			return SQLResult{}, err
 		}
 	}
+	start := time.Now()
+	res, err := ps.execBound(ctx, params)
+	ps.sess.observeQuery(ps.tmpl.Text, ps.tmpl.Table, time.Since(start), err, nil)
+	return res, err
+}
+
+func (ps *PreparedStmt) execBound(ctx context.Context, params []sqlfe.Param) (SQLResult, error) {
 	tbl, prep, err := ps.plan()
 	if err != nil {
 		return SQLResult{}, err

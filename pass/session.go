@@ -2,14 +2,28 @@ package pass
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/sqlfe"
 	"repro/internal/store"
+)
+
+// Statement-level instruments, process-wide: every statement executed
+// through any session lands in one latency histogram and outcome
+// counters, the figures behind passd's GET /metrics and periodic
+// self-report.
+var (
+	queryDuration = obs.Default().NewHistogram("pass_query_duration_seconds", "SQL statement execution latency", nil)
+	queriesTotal  = obs.Default().NewCounter("pass_queries_total", "SQL statements executed")
+	queryErrors   = obs.Default().NewCounter("pass_query_errors_total", "SQL statements that failed (no-match answers excluded)")
 )
 
 // Session is a multi-table SQL serving context: a catalog of named tables
@@ -51,6 +65,11 @@ type Session struct {
 	// outright instead of returning Degraded partial merges. Applied to
 	// engines as they are registered (SetStrictScatter).
 	strictScatter bool
+	// slowLog, when attached (SetSlowQueryLog), receives one JSON line per
+	// statement slower than slowThreshold. Statements are logged by their
+	// normalized template text, so literals never reach the log.
+	slowLog       *obs.JSONLog
+	slowThreshold time.Duration
 }
 
 // DefaultPlanCacheSize is the prepared-plan cache capacity of a new
@@ -75,6 +94,46 @@ func (s *Session) PlanCacheStats() sqlfe.PlanCacheStats {
 // a fresh accumulator — the difference is allocations avoided by reuse.
 func (s *Session) MergePoolStats() (acquires, allocated int64) {
 	return merge.PoolStats()
+}
+
+// SetSlowQueryLog attaches a slow-query log: every statement whose
+// execution takes at least threshold emits one JSON line to w (template
+// text with literals elided, table, duration, error if any, and a trace
+// summary when the statement was an EXPLAIN ANALYZE). threshold 0 logs
+// every statement; a nil w detaches the log.
+func (s *Session) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	s.slowLog = obs.NewJSONLog(w)
+	s.slowThreshold = threshold
+}
+
+// observeQuery records one executed statement into the process-wide
+// instruments and, when a slow-query log is attached and the statement
+// was slow enough, emits its log line. tmplText is the normalized
+// template ("" when the statement failed before normalization — the raw
+// SQL is withheld so literals never leak into logs).
+func (s *Session) observeQuery(tmplText, table string, d time.Duration, err error, root *obs.Span) {
+	queryDuration.ObserveDuration(d)
+	queriesTotal.Inc()
+	if err != nil && !errors.Is(err, ErrNoMatch) {
+		queryErrors.Inc()
+	}
+	if s.slowLog == nil || d < s.slowThreshold {
+		return
+	}
+	fields := map[string]any{
+		"sql":         tmplText,
+		"duration_ms": float64(d.Microseconds()) / 1000,
+	}
+	if table != "" {
+		fields["table"] = table
+	}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	if root != nil {
+		fields["trace_us"] = root.Summary()
+	}
+	s.slowLog.Emit("slow_query", fields)
 }
 
 // strictable is the strict-mode surface of the scatter executor
@@ -257,12 +316,49 @@ func (s *Session) Exec(sql string) (SQLResult, error) {
 // executor of sharded tables) can drop shards that miss the deadline and
 // return a Degraded partial answer (or fail, in strict-scatter mode).
 // Engines without the capability get a fail-fast admission check.
+//
+// A statement prefixed EXPLAIN ANALYZE executes normally with a trace
+// attached: the answer is bitwise identical to the plain statement's
+// (the traced scatter folds shard partials in the same deterministic
+// order), and SQLResult.Trace carries the span tree — compile (plan-cache
+// outcome), execute (result-cache outcome, leaf scan counters), and the
+// per-shard scatter breakdown on sharded tables.
 func (s *Session) ExecCtx(ctx context.Context, sql string) (SQLResult, error) {
-	tbl, plan, err := s.compile(sql)
+	stmt, explain := sqlfe.StripExplain(sql)
+	var root *obs.Span
+	if explain {
+		root = obs.StartTrace("query")
+		ctx = obs.WithSpan(ctx, root)
+	}
+	start := time.Now()
+	res, tmplText, table, err := s.execStmt(ctx, stmt)
+	root.End()
+	s.observeQuery(tmplText, table, time.Since(start), err, root)
 	if err != nil {
 		return SQLResult{}, err
 	}
-	return s.execPlanCtx(ctx, tbl, plan)
+	if explain {
+		res.Trace = root.Export()
+	}
+	return res, nil
+}
+
+// execStmt compiles and dispatches one statement, reporting the
+// normalized template text and table name for observation ("" for the
+// parts that failed to resolve).
+func (s *Session) execStmt(ctx context.Context, sql string) (res SQLResult, tmplText, table string, err error) {
+	tbl, plan, tmpl, err := s.compile(ctx, sql)
+	if tmpl != nil {
+		tmplText = tmpl.Text
+	}
+	if tbl != nil {
+		table = tbl.Name()
+	}
+	if err != nil {
+		return SQLResult{}, tmplText, table, err
+	}
+	res, err = s.execPlanCtx(ctx, tbl, plan)
+	return res, tmplText, table, err
 }
 
 // StmtResult is the outcome of one statement in a batched execution.
@@ -291,6 +387,8 @@ func (s *Session) ExecBatch(stmts []string) []StmtResult {
 }
 
 // ExecBatchCtx is ExecBatch with deadline propagation (see ExecCtx).
+// EXPLAIN ANALYZE statements execute individually through the traced
+// path, like GROUP BY.
 func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult {
 	out := make([]StmtResult, len(stmts))
 
@@ -298,6 +396,7 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 	type compiled struct {
 		tbl  *catalog.Table
 		plan *sqlfe.Plan
+		tmpl *sqlfe.Template
 	}
 	plans := make([]compiled, len(stmts))
 	// per-table scalar sub-batches, dispatched in first-appearance order
@@ -305,12 +404,25 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 	var order []*catalog.Table
 	for i, sql := range stmts {
 		out[i].SQL = sql
-		tbl, plan, err := s.compile(sql)
-		if err != nil {
-			out[i].Err = err
+		if _, explain := sqlfe.StripExplain(sql); explain {
+			// the traced path compiles, executes and observes on its own
+			out[i].Result, out[i].Err = s.ExecCtx(ctx, sql)
 			continue
 		}
-		plans[i] = compiled{tbl: tbl, plan: plan}
+		tbl, plan, tmpl, err := s.compile(ctx, sql)
+		plans[i] = compiled{tbl: tbl, plan: plan, tmpl: tmpl}
+		if err != nil {
+			out[i].Err = err
+			tmplText, table := "", ""
+			if tmpl != nil {
+				tmplText = tmpl.Text
+			}
+			if tbl != nil {
+				table = tbl.Name()
+			}
+			s.observeQuery(tmplText, table, 0, err, nil)
+			continue
+		}
 		if plan.GroupDim < 0 {
 			if _, seen := batches[tbl]; !seen {
 				order = append(order, tbl)
@@ -319,7 +431,10 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 		}
 	}
 
-	// scalar statements: one engine-level batch per table
+	// scalar statements: one engine-level batch per table. Each statement
+	// observes the batch's amortized per-statement latency — the whole
+	// point of batching is that a statement's marginal cost is below its
+	// solo cost, and that is the cost the histogram should reflect.
 	for _, tbl := range order {
 		idx := batches[tbl]
 		qs := make([]core.BatchQuery, len(idx))
@@ -327,7 +442,10 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 			qs[j] = core.BatchQuery{Kind: plans[i].plan.Agg, Rect: plans[i].plan.Rect}
 		}
 		n := tbl.Rows()
-		for j, br := range tbl.QueryBatchCtx(ctx, qs) {
+		start := time.Now()
+		results := tbl.QueryBatchCtx(ctx, qs)
+		perStmt := time.Since(start) / time.Duration(len(idx))
+		for j, br := range results {
 			i := idx[j]
 			switch {
 			case br.Err != nil:
@@ -337,6 +455,7 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 			default:
 				out[i].Result = SQLResult{Scalar: answerFromResult(br.Result, n)}
 			}
+			s.observeQuery(plans[i].tmpl.Text, tbl.Name(), perStmt, out[i].Err, nil)
 		}
 	}
 
@@ -345,7 +464,9 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 		if out[i].Err != nil || plans[i].plan == nil || plans[i].plan.GroupDim < 0 {
 			continue
 		}
+		start := time.Now()
 		out[i].Result, out[i].Err = s.execPlanCtx(ctx, plans[i].tbl, plans[i].plan)
+		s.observeQuery(plans[i].tmpl.Text, plans[i].tbl.Name(), time.Since(start), out[i].Err, nil)
 	}
 	return out
 }
@@ -397,57 +518,74 @@ func (s *Session) Delete(table string, pred []float64, agg float64) error {
 // separate parse — the normalizer enforces the same grammar and reports
 // the same errors), the template's compiled skeleton is fetched from the
 // plan cache or compiled on a miss, and the lifted literals are bound
-// back into a concrete plan.
-func (s *Session) compile(sql string) (*catalog.Table, *sqlfe.Plan, error) {
+// back into a concrete plan. With a trace attached to ctx, a "compile"
+// span records the template and the plan-cache outcome.
+func (s *Session) compile(ctx context.Context, sql string) (*catalog.Table, *sqlfe.Plan, *sqlfe.Template, error) {
+	cs := obs.SpanFrom(ctx).Child("compile")
+	defer cs.End()
 	tmpl, err := sqlfe.Normalize(sql)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	cs.Set("template", tmpl.Text)
 	tbl, err := s.cat.Lookup(tmpl.Table)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, tmpl, err
 	}
-	prep, err := s.preparedFor(tbl, tmpl)
+	prep, hit, err := s.preparedFor(tbl, tmpl)
 	if err != nil {
-		return nil, nil, err
+		return tbl, nil, tmpl, err
+	}
+	if hit {
+		cs.Set("plan_cache", "hit")
+	} else {
+		cs.Set("plan_cache", "miss")
 	}
 	plan, err := prep.Bind(tmpl.Params())
 	if err != nil {
-		return nil, nil, err
+		return tbl, nil, tmpl, err
 	}
-	return tbl, plan, nil
+	return tbl, plan, tmpl, nil
 }
 
 // preparedFor resolves a normalized template to its compiled skeleton,
 // consulting the session plan cache keyed by the canonical template text
-// with the table's (identity, plan generation) validity pair. Reading the
-// generation before the compile is sound even if an engine swap
-// interleaves: the schema is retained across swaps, so the compiled
-// skeleton is correct either way, and the entry stored under the old
-// generation is evicted on its next lookup.
-func (s *Session) preparedFor(tbl *catalog.Table, tmpl *sqlfe.Template) (*sqlfe.Prepared, error) {
+// with the table's (identity, plan generation) validity pair; hit reports
+// whether the cache served it. Reading the generation before the compile
+// is sound even if an engine swap interleaves: the schema is retained
+// across swaps, so the compiled skeleton is correct either way, and the
+// entry stored under the old generation is evicted on its next lookup.
+func (s *Session) preparedFor(tbl *catalog.Table, tmpl *sqlfe.Template) (prep *sqlfe.Prepared, hit bool, err error) {
 	gen := tbl.PlanGen()
 	if prep, ok := s.plans.Lookup(tmpl.Text, tbl, gen); ok {
-		return prep, nil
+		return prep, true, nil
 	}
-	prep, err := sqlfe.CompileTemplate(tmpl, tbl.Schema())
+	prep, err = sqlfe.CompileTemplate(tmpl, tbl.Schema())
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.plans.Store(tmpl.Text, tbl, gen, prep)
-	return prep, nil
+	return prep, false, nil
 }
 
 // execPlanCtx dispatches a compiled plan to a table's engine, observing
 // ctx. GROUP BY execution is not deadline-interruptible mid-flight; it
-// gets a fail-fast admission check instead.
+// gets a fail-fast admission check instead. With a trace attached, an
+// "execute" span wraps the dispatch (lower layers nest under it) and
+// carries the merged result's diagnostics.
 func (s *Session) execPlanCtx(ctx context.Context, tbl *catalog.Table, plan *sqlfe.Plan) (SQLResult, error) {
+	es := obs.SpanFrom(ctx).Child("execute")
+	defer es.End()
+	if es != nil {
+		ctx = obs.WithSpan(ctx, es)
+	}
 	n := tbl.Rows()
 	if plan.GroupDim < 0 {
 		r, err := tbl.QueryCtx(ctx, plan.Agg, plan.Rect)
 		if err != nil {
 			return SQLResult{}, err
 		}
+		recordResultSpan(es, r)
 		if r.NoMatch {
 			return SQLResult{}, ErrNoMatch
 		}
@@ -463,5 +601,28 @@ func (s *Session) execPlanCtx(ctx context.Context, tbl *catalog.Table, plan *sql
 	if err != nil {
 		return SQLResult{}, err
 	}
+	es.Set("groups", int64(len(res)))
 	return SQLResult{Groups: groupAnswers(res, plan.GroupDict, n)}, nil
+}
+
+// recordResultSpan attaches a merged scalar result's diagnostics to the
+// execute span: rows touched, how leaves resolved (exact covered nodes
+// vs. sampled partial ones), cardinality evidence and degradation.
+func recordResultSpan(sp *obs.Span, r core.Result) {
+	if sp == nil {
+		return
+	}
+	sp.Set("tuples_read", int64(r.TuplesRead))
+	sp.Set("tuples_skipped", int64(r.SkippedTuples))
+	sp.Set("nodes_visited", int64(r.VisitedNodes))
+	sp.Set("leaf_exact", int64(r.CoveredParts))
+	sp.Set("leaf_sampled", int64(r.PartialParts))
+	sp.Set("exact", r.Exact)
+	if r.Degraded {
+		sp.Set("degraded", true)
+	}
+	if r.ShardsTotal > 0 {
+		sp.Set("shards_total", int64(r.ShardsTotal))
+		sp.Set("shards_answered", int64(r.ShardsAnswered))
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/sqlfe"
 )
 
@@ -80,6 +81,10 @@ type SQLResult struct {
 	// Groups holds the per-group answers of a GROUP BY query (nil
 	// otherwise).
 	Groups []GroupAnswer
+	// Trace is the execution span tree of an EXPLAIN ANALYZE statement
+	// (nil for plain statements). The answer it annotates is bitwise
+	// identical to the untraced statement's.
+	Trace *obs.SpanJSON
 }
 
 // SQL parses and executes one statement of the supported class:
