@@ -114,6 +114,16 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the listen address")
 		slowQueryMS = flag.Int("slow-query-ms", -1, "log statements slower than this many milliseconds as JSON lines on stderr (0 = log every statement, negative = off)")
 		reportEvery = flag.Duration("metrics-report-every", 0, "emit a periodic JSON self-report of latency histograms and headline counters to stderr (0 = off)")
+
+		auditSample = flag.Float64("audit-sample", 0, "continuously audit this fraction of completed queries against exact ground truth (0 = off; needs -adaptive tables for scoring)")
+		auditEvery  = flag.Duration("audit-every", time.Second, "audit worker scoring cadence")
+		auditQueue  = flag.Int("audit-queue", 1024, "pending audit samples before overflow drops")
+		sloCoverage = flag.Float64("slo-coverage", 0, "SLO: minimum empirical CI coverage per table, e.g. 0.95 (0 = objective off; implies auditing)")
+		sloP99MS    = flag.Int("slo-p99-ms", 0, "SLO: at most 1% of queries may run longer than this many milliseconds (0 = objective off)")
+		sloEvery    = flag.Duration("slo-every", 5*time.Second, "SLO error-budget evaluation cadence")
+		sloWindow   = flag.Int("slo-window", 60, "SLO budget window in evaluation ticks")
+		histLen     = flag.Int("metrics-history", obs.DefaultHistoryCapacity, "metrics history ring capacity in samples served by GET /metrics/history (0 = off)")
+		histEvery   = flag.Duration("metrics-history-every", 5*time.Second, "metrics history snapshot cadence")
 	)
 	flag.Parse()
 
@@ -139,6 +149,28 @@ func main() {
 			fatal(err)
 		}
 		log.Printf("passd: adaptive serving on (cache %d MiB, re-optimize every %s)", *cacheMB, *reoptEvery)
+	}
+	if *auditSample > 0 || *sloCoverage > 0 || *sloP99MS > 0 {
+		// enable before tables register (demo, CSV loads, warm start) so
+		// every table gets the tap; fraction -1 arms only the SLO monitor
+		fraction := *auditSample
+		if fraction <= 0 {
+			fraction = -1
+		}
+		if err := sess.EnableAudit(pass.AuditConfig{
+			SampleFraction: fraction,
+			Interval:       *auditEvery,
+			QueueSize:      *auditQueue,
+			SLOCoverage:    *sloCoverage,
+			SLOP99:         time.Duration(*sloP99MS) * time.Millisecond,
+			SLOInterval:    *sloEvery,
+			SLOWindowTicks: *sloWindow,
+			AlertLog:       os.Stderr,
+		}); err != nil {
+			fatal(err)
+		}
+		log.Printf("passd: accuracy auditing on (sample %.2f, slo coverage %.2f, slo p99 %dms)",
+			*auditSample, *sloCoverage, *sloP99MS)
 	}
 	if *dataDir != "" {
 		opts := store.Options{
@@ -185,6 +217,13 @@ func main() {
 		log.Printf("passd: slow-query log on (threshold %dms)", *slowQueryMS)
 	}
 	registerCollectors(sess)
+	obs.RegisterRuntimeMetrics(nil)
+	if *histLen > 0 {
+		hist := obs.NewHistory(nil, *histLen)
+		hist.Start(*histEvery)
+		defer hist.Stop()
+		srv.history = hist
+	}
 	reportCtx, stopReport := context.WithCancel(context.Background())
 	defer stopReport()
 	startSelfReport(reportCtx, *reportEvery, stderrLog)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -93,6 +94,73 @@ func registerCollectors(sess *pass.Session) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = obs.Default().WritePrometheus(w)
+}
+
+// handleMetricsHistory serves the in-memory metrics time series: windowed
+// rates and trends computed over the ring, plus the raw samples (or one
+// series with ?series=name). The window is bounded by -metrics-history ×
+// -metrics-history-every; there is no external TSDB behind it.
+func (s *server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("metrics history is off (start passd with -metrics-history > 0)"))
+		return
+	}
+	h := s.history
+	window := time.Minute
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad window %q: want a positive duration like 5m", raw))
+			return
+		}
+		window = d
+	}
+	resp := map[string]any{
+		"interval_ms":  h.Interval().Milliseconds(),
+		"samples_held": h.Len(),
+		"window_ms":    window.Milliseconds(),
+		"trends":       historyTrends(h, window),
+	}
+	if name := r.URL.Query().Get("series"); name != "" {
+		resp["series"] = name
+		resp["points"] = h.Series(name)
+	} else {
+		resp["samples"] = h.Samples()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// historyTrends derives the headline windowed readings an operator asks
+// for first: QPS, error rate, tail latency, coverage posture.
+func historyTrends(h *obs.History, window time.Duration) map[string]any {
+	trends := map[string]any{}
+	if qps, ok := h.Rate("pass_queries_total", window); ok {
+		trends["qps"] = qps
+	}
+	if eps, ok := h.Rate("pass_query_errors_total", window); ok {
+		trends["query_errors_per_s"] = eps
+	}
+	if p99, ok := h.Last("pass_query_duration_seconds_p99"); ok {
+		trends["query_p99_ms"] = p99 * 1000
+	}
+	if breached, ok := h.Last("pass_slo_breached"); ok {
+		trends["slo_breached"] = breached != 0
+	}
+	if audits, ok := h.Rate("pass_audit_enqueued_total", window); ok {
+		trends["audits_per_s"] = audits
+	}
+	return trends
+}
+
+// handleAudit serves the accuracy-audit report: per-stream empirical
+// coverage, relative error, hard-bound violations, and the SLO verdict.
+func (s *server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	rep, ok := s.sess.AuditReport()
+	if !ok {
+		httpError(w, http.StatusConflict, fmt.Errorf("accuracy auditing is off (start passd with -audit-sample > 0)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // statusRecorder captures the status code and body size a handler wrote,

@@ -48,6 +48,9 @@ type server struct {
 	reqLog *obs.JSONLog
 	// pprofOn mounts net/http/pprof under /debug/pprof/ (-pprof flag).
 	pprofOn bool
+	// history is the metrics time-series ring behind GET /metrics/history;
+	// nil disables the endpoint (-metrics-history 0).
+	history *obs.History
 }
 
 // buildOptions mirrors the synopsis-construction knobs exposed over HTTP.
@@ -118,6 +121,8 @@ func (s *server) handler() http.Handler {
 	outer.Handle("GET /healthz", healthz)
 	outer.Handle("GET /readyz", readyz)
 	outer.HandleFunc("GET /metrics", s.handleMetrics)
+	outer.HandleFunc("GET /metrics/history", s.handleMetricsHistory)
+	outer.HandleFunc("GET /audit", s.handleAudit)
 	if s.pprofOn {
 		outer.HandleFunc("GET /debug/pprof/", pprof.Index)
 		outer.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -167,6 +172,13 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"status": "ready"}
 	if deg := s.sess.DegradedTables(); len(deg) > 0 {
 		resp["degraded_tables"] = deg
+	}
+	// an exhausted SLO error budget does not flip readiness — the server
+	// still serves — but the probe names the failing objective and table
+	// so rollouts and operators see the accuracy regression
+	if slo, ok := s.sess.SLOStatus(); ok && slo.Breached {
+		resp["slo_breached"] = true
+		resp["slo_causes"] = slo.Causes
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -338,6 +350,20 @@ func (s *server) handleListTables(w http.ResponseWriter, r *http.Request) {
 		"acquires":            acquires,
 		"allocated":           allocated,
 		"allocations_avoided": acquires - allocated,
+	}
+	// audit layer summary and SLO verdict, when auditing is on (the
+	// per-table accuracy stats ride on each TableInfo.Audit)
+	if rep, ok := s.sess.AuditReport(); ok {
+		auditOut := map[string]any{
+			"sample_fraction": rep.SampleFraction,
+			"confidence":      rep.Confidence,
+			"dropped":         rep.Dropped,
+			"stale":           rep.Stale,
+		}
+		if rep.SLO != nil {
+			auditOut["slo"] = rep.SLO
+		}
+		out["audit"] = auditOut
 	}
 	// session-wide semantic-cache counters, when adaptive serving is on
 	if cs, ok := s.sess.CacheStats(); ok {

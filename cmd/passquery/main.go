@@ -13,6 +13,7 @@
 //	passquery -in taxi5d.csv -agg avg -where 6:18,0:15 -partitions 256
 //	passquery -in taxi.csv -agg count -where 6:18 -exact   # also print truth
 //	passquery -in taxi.csv -sql "SELECT AVG(trip_distance) FROM t WHERE pickup_time BETWEEN 6 AND 18"
+//	passquery -in taxi.csv -sql "SELECT SUM(trip_distance) FROM t WHERE pickup_time BETWEEN 6 AND 18" -explain
 //	passquery -in taxi.csv -agg sum -where 6:18 -engine aqpp   # a comparator engine
 //	passquery -in taxi.csv -agg sum -where 6:18 -json          # machine-readable
 //
@@ -32,6 +33,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -39,6 +41,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/engine/factory"
 	"repro/internal/jsonout"
+	"repro/internal/obs"
 	"repro/internal/sqlfe"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -63,6 +66,8 @@ type jsonOutput struct {
 	Exact       *jsonTruth      `json:"exact,omitempty"`
 	// ExactError reports why -exact could not produce a ground truth.
 	ExactError string `json:"exact_error,omitempty"`
+	// Trace is the EXPLAIN ANALYZE span tree (-explain only).
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 type jsonTruth struct {
@@ -81,6 +86,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		exact      = flag.Bool("exact", false, "also compute the exact answer by full scan")
 		sqlQuery   = flag.String("sql", "", "SQL statement (overrides -agg/-where); column names come from the CSV header")
+		explainQ   = flag.Bool("explain", false, "with -sql: run as EXPLAIN ANALYZE and print the span tree (in -json, attach it as \"trace\")")
 		engineName = flag.String("engine", "pass", "engine: "+strings.Join(factory.Kinds(), ", "))
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON (machine-readable)")
 		saveFile   = flag.String("save", "", "persist the built synopsis as a store snapshot file")
@@ -91,6 +97,10 @@ func main() {
 
 	if *in == "" && *loadFile == "" {
 		fmt.Fprintln(os.Stderr, "passquery: -in (or -load) is required")
+		os.Exit(2)
+	}
+	if *explainQ && *sqlQuery == "" {
+		fmt.Fprintln(os.Stderr, "passquery: -explain needs -sql (the trace hangs off a SQL statement)")
 		os.Exit(2)
 	}
 
@@ -114,7 +124,7 @@ func main() {
 				Partitions: *partitions, SampleRate: *rate, Seed: *seed,
 				Lambda: stats.LambdaFor(*confidence),
 			},
-			exact: *exact, jsonOut: *jsonOut,
+			exact: *exact, jsonOut: *jsonOut, explain: *explainQ,
 		})
 		return
 	}
@@ -164,7 +174,7 @@ func main() {
 	}
 
 	if *sqlQuery != "" {
-		runSQL(syn, *sqlQuery, out, *jsonOut)
+		runSQL(syn, *sqlQuery, out, *jsonOut, *explainQ)
 		return
 	}
 
@@ -218,6 +228,7 @@ type storeModeArgs struct {
 	spec                  factory.Spec
 	exact                 bool
 	jsonOut               bool
+	explain               bool
 }
 
 // runStoreMode persists or restores a synopsis through the store snapshot
@@ -293,8 +304,13 @@ func runStoreMode(a storeModeArgs) {
 		if err := sess.RegisterEngine(name, eng, schema); err != nil {
 			fatal(err)
 		}
-		res, err := sess.Exec(a.sql)
+		stmt := a.sql
+		if a.explain {
+			stmt = explainSQL(stmt)
+		}
+		res, err := sess.Exec(stmt)
 		out := jsonOutput{Engine: eng.Name(), MemoryBytes: eng.MemoryBytes(), SQL: a.sql}
+		out.Trace = res.Trace
 		switch {
 		case err == pass.ErrNoMatch:
 			out.NoMatch = true
@@ -327,6 +343,7 @@ func runStoreMode(a storeModeArgs) {
 		default:
 			fmt.Printf("result ≈ %.6g ± %.6g\n", out.Answer.Estimate, out.Answer.CIHalf)
 		}
+		printTrace(out.Trace)
 		return
 	}
 
@@ -449,9 +466,28 @@ func runComparator(in, name string, agg pass.Agg, ranges []pass.Range, spec fact
 	}
 }
 
-func runSQL(syn *pass.Synopsis, query string, out jsonOutput, jsonOut bool) {
+func runSQL(syn *pass.Synopsis, query string, out jsonOutput, jsonOut, explain bool) {
 	out.SQL = query
-	res, err := syn.SQL(query)
+	var res pass.SQLResult
+	var err error
+	if explain {
+		// tracing lives in the session executor, not the bare synopsis:
+		// register the synopsis under the statement's FROM table and run
+		// the statement as EXPLAIN ANALYZE (answers are bitwise identical).
+		stmt, _ := sqlfe.StripExplain(query)
+		tmpl, terr := sqlfe.Normalize(stmt)
+		if terr != nil {
+			fatal(terr)
+		}
+		sess := pass.NewSession()
+		if rerr := sess.Register(tmpl.Table, syn); rerr != nil {
+			fatal(rerr)
+		}
+		res, err = sess.Exec(explainSQL(stmt))
+		out.Trace = res.Trace
+	} else {
+		res, err = syn.SQL(query)
+	}
 	if err == pass.ErrNoMatch {
 		out.NoMatch = true
 		if jsonOut {
@@ -476,6 +512,7 @@ func runSQL(syn *pass.Synopsis, query string, out jsonOutput, jsonOut bool) {
 			fmt.Printf("hard bounds: [%.6g, %.6g]\n", a.HardLo, a.HardHi)
 		}
 		fmt.Printf("tuples read: %d   skip rate: %.1f%%\n", a.TuplesRead, a.SkipRate*100)
+		printTrace(out.Trace)
 		return
 	}
 	out.Groups = jsonout.FromGroups(res.Groups)
@@ -493,6 +530,41 @@ func runSQL(syn *pass.Synopsis, query string, out jsonOutput, jsonOut bool) {
 			continue
 		}
 		fmt.Printf("%-20s  %.6g ± %.6g\n", label, g.Answer.Estimate, g.Answer.CIHalf)
+	}
+	printTrace(out.Trace)
+}
+
+// explainSQL rewrites a statement as EXPLAIN ANALYZE (idempotently —
+// an existing prefix is stripped first, never doubled).
+func explainSQL(sql string) string {
+	stmt, _ := sqlfe.StripExplain(sql)
+	return "EXPLAIN ANALYZE " + stmt
+}
+
+// printTrace renders the EXPLAIN ANALYZE span tree as an indented text
+// tree — one line per span, duration right-aligned, attributes inline in
+// key order. No-op on a nil trace.
+func printTrace(root *obs.SpanJSON) {
+	if root == nil {
+		return
+	}
+	fmt.Println("trace:")
+	printSpan(root, 1)
+}
+
+func printSpan(sp *obs.SpanJSON, depth int) {
+	fmt.Printf("%-36s %8dµs", strings.Repeat("  ", depth)+sp.Name, sp.DurationUS)
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %s=%v", k, sp.Attrs[k])
+	}
+	fmt.Println()
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
 	}
 }
 

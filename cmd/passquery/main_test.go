@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestExplainSQLIdempotent(t *testing.T) {
+	want := "EXPLAIN ANALYZE SELECT SUM(v) FROM t"
+	if got := explainSQL("SELECT SUM(v) FROM t"); got != want {
+		t.Fatalf("plain: %q", got)
+	}
+	if got := explainSQL("explain analyze SELECT SUM(v) FROM t"); got != want {
+		t.Fatalf("already-prefixed: %q", got)
+	}
+}
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what
+// it printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestPrintTrace(t *testing.T) {
+	if out := capture(t, func() { printTrace(nil) }); out != "" {
+		t.Fatalf("nil trace printed %q", out)
+	}
+	root := &obs.SpanJSON{
+		Name: "query", DurationUS: 120,
+		Children: []*obs.SpanJSON{
+			{Name: "compile", DurationUS: 40, Attrs: map[string]any{"plan_cache": "miss"}},
+			{Name: "execute", DurationUS: 75, Attrs: map[string]any{
+				"tuples_read": 7, "leaf_exact": 3,
+			}},
+		},
+	}
+	out := capture(t, func() { printTrace(root) })
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 || lines[0] != "trace:" {
+		t.Fatalf("shape: %q", out)
+	}
+	if !strings.Contains(lines[1], "query") || !strings.Contains(lines[1], "120µs") {
+		t.Fatalf("root line: %q", lines[1])
+	}
+	// children indent deeper than the root and carry attrs in key order
+	if !strings.HasPrefix(lines[2], "    compile") || !strings.Contains(lines[2], "plan_cache=miss") {
+		t.Fatalf("compile line: %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "    execute") ||
+		!strings.Contains(lines[3], "leaf_exact=3  tuples_read=7") {
+		t.Fatalf("execute line (attrs must be key-sorted): %q", lines[3])
+	}
+}

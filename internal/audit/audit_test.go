@@ -1,0 +1,197 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+func rect1(lo, hi float64) dataset.Rect {
+	return dataset.Rect{Lo: []float64{lo}, Hi: []float64{hi}}
+}
+
+// truthTable is a test ExactFn backed by a fixed answer and generation.
+type truthTable struct {
+	mu    sync.Mutex
+	truth float64
+	gen   uint64
+}
+
+func (tt *truthTable) exact(dataset.AggKind, dataset.Rect) (float64, uint64, error) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	return tt.truth, tt.gen, nil
+}
+
+// TestAuditorScoring drives covered, uncovered, hard-violated, and
+// degraded samples through Flush and checks the stats and metrics.
+func TestAuditorScoring(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Config{SampleFraction: 1, Registry: reg})
+	tt := &truthTable{truth: 100, gen: 4}
+	a.RegisterSource("demo", tt.exact)
+
+	covered := core.Result{Estimate: 99, CIHalf: 2, HardLo: 90, HardHi: 110, HardValid: true}
+	a.Observe("demo", dataset.Sum, rect1(0, 1), covered, 4)
+
+	missed := core.Result{Estimate: 90, CIHalf: 2, HardLo: 80, HardHi: 120, HardValid: true}
+	a.Observe("demo", dataset.Sum, rect1(0, 2), missed, 4)
+
+	violated := core.Result{Estimate: 80, CIHalf: 1, HardLo: 70, HardHi: 90, HardValid: true}
+	a.Observe("demo", dataset.Sum, rect1(0, 3), violated, 4)
+
+	degraded := core.Result{Estimate: 50, CIHalf: 200, Degraded: true}
+	a.Observe("demo", dataset.Sum, rect1(0, 4), degraded, 4)
+
+	a.Flush()
+
+	stats := a.Stats()
+	normal := stats[Key{Table: "demo", Kind: dataset.Sum}]
+	if normal.Audited != 3 || normal.Covered != 1 || normal.HardViolations != 1 {
+		t.Fatalf("normal stream: %+v", normal)
+	}
+	deg := stats[Key{Table: "demo", Kind: dataset.Sum, Degraded: true}]
+	if deg.Audited != 1 || deg.Covered != 1 {
+		t.Fatalf("degraded stream must be scored separately: %+v", deg)
+	}
+	if got := normal.Coverage(); got < 0.33 || got > 0.34 {
+		t.Fatalf("coverage = %g", got)
+	}
+
+	vals := reg.Collect()
+	if vals[`pass_audit_audited_total{table="demo",agg="SUM",degraded="false"}`] != 3 {
+		t.Fatalf("audited counter missing: %v", vals)
+	}
+	if vals[`pass_audit_hard_violations_total{table="demo",agg="SUM",degraded="false"}`] != 1 {
+		t.Fatalf("hard violation counter missing")
+	}
+}
+
+// TestAuditorStaleAndNoMatch checks generation-mismatch and no-match
+// samples are skipped, not scored.
+func TestAuditorStaleAndNoMatch(t *testing.T) {
+	a := New(Config{SampleFraction: 1, Registry: obs.NewRegistry()})
+	tt := &truthTable{truth: 10, gen: 6}
+	a.RegisterSource("demo", tt.exact)
+
+	// Sampled at gen 4, truth computed at gen 6: stale.
+	a.Observe("demo", dataset.Count, rect1(0, 1), core.Result{Estimate: 10}, 4)
+	// Odd generation: update in flight.
+	tt.gen = 7
+	a.Observe("demo", dataset.Count, rect1(0, 1), core.Result{Estimate: 10}, 7)
+	// NoMatch: dropped at the tap.
+	a.Observe("demo", dataset.Count, rect1(0, 1), core.Result{NoMatch: true}, 6)
+	a.Flush()
+
+	if len(a.Stats()) != 0 {
+		t.Fatalf("stale/no-match samples must not be scored: %v", a.Stats())
+	}
+	if a.Stale() != 2 {
+		t.Fatalf("stale = %d, want 2", a.Stale())
+	}
+}
+
+// TestAuditorSampling checks the fraction gate: 0 audits nothing, and a
+// half fraction lands near half on a large stream.
+func TestAuditorSampling(t *testing.T) {
+	off := New(Config{SampleFraction: 0, Registry: obs.NewRegistry()})
+	off.RegisterSource("demo", (&truthTable{truth: 1, gen: 0}).exact)
+	for i := 0; i < 100; i++ {
+		off.Observe("demo", dataset.Sum, rect1(0, 1), core.Result{Estimate: 1}, 0)
+	}
+	off.Flush()
+	if len(off.Stats()) != 0 {
+		t.Fatal("fraction 0 must audit nothing")
+	}
+
+	reg := obs.NewRegistry()
+	half := New(Config{SampleFraction: 0.5, QueueSize: 10000, Registry: reg})
+	half.RegisterSource("demo", (&truthTable{truth: 1, gen: 0}).exact)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		half.Observe("demo", dataset.Sum, rect1(0, 1), core.Result{Estimate: 1}, 0)
+	}
+	half.Flush()
+	audited := half.Stats()[Key{Table: "demo", Kind: dataset.Sum}].Audited
+	if audited < n/3 || audited > 2*n/3 {
+		t.Fatalf("half sampling audited %d of %d", audited, n)
+	}
+}
+
+// TestAuditorQueueOverflow checks the tap never blocks: overflow drops
+// are counted.
+func TestAuditorQueueOverflow(t *testing.T) {
+	a := New(Config{SampleFraction: 1, QueueSize: 4, Registry: obs.NewRegistry()})
+	for i := 0; i < 10; i++ {
+		a.Observe("demo", dataset.Sum, rect1(0, 1), core.Result{Estimate: 1}, 0)
+	}
+	if a.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", a.Dropped())
+	}
+}
+
+// TestAuditorBackgroundWorker checks Start/Stop drains the queue.
+func TestAuditorBackgroundWorker(t *testing.T) {
+	a := New(Config{SampleFraction: 1, Interval: time.Millisecond, Registry: obs.NewRegistry()})
+	a.RegisterSource("demo", (&truthTable{truth: 5, gen: 2}).exact)
+	a.Start()
+	a.Observe("demo", dataset.Avg, rect1(0, 1), core.Result{Estimate: 5, CIHalf: 1}, 2)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := a.Stats()[Key{Table: "demo", Kind: dataset.Avg}]; st.Audited == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Stop()
+	a.Stop()
+	if st := a.Stats()[Key{Table: "demo", Kind: dataset.Avg}]; st.Audited != 1 || st.Covered != 1 {
+		t.Fatalf("worker never scored the sample: %+v", st)
+	}
+}
+
+// TestAuditorConcurrent hammers Observe/Flush/Stats/RegisterSource from
+// multiple goroutines (meaningful under -race).
+func TestAuditorConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Config{SampleFraction: 1, QueueSize: 1024, Registry: reg})
+	tt := &truthTable{truth: 7, gen: 0}
+	a.RegisterSource("demo", tt.exact)
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			a.Observe("demo", dataset.Sum, rect1(0, float64(i)), core.Result{Estimate: 7, CIHalf: 1}, 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			a.Flush()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = a.Stats()
+			var sb strings.Builder
+			_ = reg.WritePrometheus(&sb)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			a.RegisterSource("other", tt.exact)
+			a.ForgetSource("other")
+		}
+	}()
+	wg.Wait()
+	a.Flush()
+}

@@ -1,0 +1,356 @@
+package audit
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Error-budget SLOs over the audit and latency streams. Each Evaluate
+// tick diffs the underlying counters against the previous tick, pushes
+// the per-tick deltas into a bounded ring (the SLO window), and scores
+// the window: a latency objective "p99 < target" allows 1% of queries
+// over the target, a coverage objective "coverage >= target" allows
+// 1-target misses per audited query. Budget used is the miss fraction
+// divided by the allowance — crossing 1.0 with enough events flips the
+// pass_slo_breached gauge, annotates /readyz and /tables, and emits one
+// structured slo_alert log line per state transition.
+
+// SLOConfig parameterizes a Monitor. Zero targets disable the
+// corresponding objective.
+type SLOConfig struct {
+	// CoverageTarget is the minimum acceptable empirical CI coverage
+	// per table, e.g. 0.95 (non-degraded answers only).
+	CoverageTarget float64
+	// P99Target is the latency objective: at most 1% of queries may run
+	// longer than this.
+	P99Target time.Duration
+	// WindowTicks is how many Evaluate ticks the budget window spans
+	// (default 60 — five minutes at the default 5s cadence).
+	WindowTicks int
+	// MinEvents is the minimum window event count before an objective
+	// can breach (default 20), so a single slow query on an idle server
+	// does not page anyone.
+	MinEvents int64
+	// Registry receives the SLO gauges (nil uses obs.Default()).
+	Registry *obs.Registry
+	// Log receives slo_alert lines on breach/recovery (nil disables).
+	Log *obs.JSONLog
+}
+
+// SLOCause names one objective currently out of budget.
+type SLOCause struct {
+	// Objective is "latency_p99" or "coverage".
+	Objective string `json:"objective"`
+	// Table is set for per-table objectives (coverage).
+	Table string `json:"table,omitempty"`
+	// Target is the configured objective (seconds for latency,
+	// coverage rate for coverage).
+	Target float64 `json:"target"`
+	// Observed is the windowed measurement: miss fraction over target
+	// for latency, empirical coverage for coverage.
+	Observed float64 `json:"observed"`
+	// BudgetUsed is the consumed fraction of the error budget; >= 1
+	// means breached.
+	BudgetUsed float64 `json:"budget_used"`
+	// Events is the window event count backing the measurement.
+	Events int64 `json:"events"`
+}
+
+// SLOStatus is the monitor's current verdict.
+type SLOStatus struct {
+	Breached    bool       `json:"breached"`
+	Causes      []SLOCause `json:"causes,omitempty"`
+	WindowTicks int        `json:"window_ticks"`
+	Evaluations int64      `json:"evaluations"`
+}
+
+// tickDelta is one window entry: events and misses accrued in one tick.
+type tickDelta struct{ miss, total float64 }
+
+// ring is a fixed-size window of tick deltas.
+type ring struct {
+	buf  []tickDelta
+	next int
+	full bool
+}
+
+func newRing(n int) *ring { return &ring{buf: make([]tickDelta, n)} }
+
+func (r *ring) push(d tickDelta) {
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+}
+
+func (r *ring) sum() (miss, total float64) {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		miss += r.buf[i].miss
+		total += r.buf[i].total
+	}
+	return miss, total
+}
+
+// Monitor evaluates the SLO objectives on a fixed cadence.
+type Monitor struct {
+	cfg SLOConfig
+	aud *Auditor
+	lat *obs.Histogram
+
+	breachedGauge *obs.Gauge
+	budgetLatency *obs.Gauge
+	reg           *obs.Registry
+
+	mu       sync.Mutex
+	latRing  *ring
+	covRings map[string]*ring
+	prevLat  obs.HistogramSnapshot
+	prevCov  map[Key]Stat
+	status   SLOStatus
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMonitor builds a Monitor over an auditor's coverage stats (may be
+// nil when only latency is watched) and a query-latency histogram (may
+// be nil when only coverage is watched).
+func NewMonitor(aud *Auditor, lat *obs.Histogram, cfg SLOConfig) *Monitor {
+	if cfg.WindowTicks <= 0 {
+		cfg.WindowTicks = 60
+	}
+	if cfg.MinEvents <= 0 {
+		cfg.MinEvents = 20
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &Monitor{
+		cfg:      cfg,
+		aud:      aud,
+		lat:      lat,
+		reg:      reg,
+		latRing:  newRing(cfg.WindowTicks),
+		covRings: make(map[string]*ring),
+		prevCov:  make(map[Key]Stat),
+		status:   SLOStatus{WindowTicks: cfg.WindowTicks},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m.breachedGauge = reg.NewGauge("pass_slo_breached", "1 while any SLO error budget is exhausted")
+	m.budgetLatency = reg.NewLabeledGauge("pass_slo_budget_used", obs.Labels("objective", "latency_p99"),
+		"consumed fraction of the SLO error budget")
+	if m.lat != nil {
+		m.prevLat = m.lat.Snapshot()
+	}
+	return m
+}
+
+// Start launches the evaluation loop at the given cadence (<=0 defaults
+// to 5s). Call at most once.
+func (m *Monitor) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	m.mu.Lock()
+	m.started = true
+	m.mu.Unlock()
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Evaluate()
+			}
+		}
+	}()
+}
+
+// Stop halts the evaluation loop. Safe to call multiple times and
+// without Start.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
+	}
+}
+
+// Status reports the verdict of the latest Evaluate.
+func (m *Monitor) Status() SLOStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.status
+	out.Causes = append([]SLOCause(nil), m.status.Causes...)
+	return out
+}
+
+// Evaluate runs one SLO tick: diff the sources, roll the window, score
+// the budgets, flip the gauge, and emit an alert line on transitions.
+// Exported so tests (and operators via signals, if ever wired) can
+// force a deterministic evaluation.
+func (m *Monitor) Evaluate() {
+	m.mu.Lock()
+	var causes []SLOCause
+
+	if m.lat != nil && m.cfg.P99Target > 0 {
+		snap := m.lat.Snapshot()
+		d := tickDelta{
+			miss:  countAbove(snap, m.cfg.P99Target.Seconds()) - countAbove(m.prevLat, m.cfg.P99Target.Seconds()),
+			total: float64(snap.Count - m.prevLat.Count),
+		}
+		if d.miss < 0 {
+			d.miss = 0
+		}
+		if d.total < 0 {
+			d.total = 0
+		}
+		m.prevLat = snap
+		m.latRing.push(d)
+		miss, total := m.latRing.sum()
+		const allowed = 0.01 // p99 objective: 1% of queries may exceed the target
+		used := 0.0
+		if total > 0 {
+			used = (miss / total) / allowed
+		}
+		m.budgetLatency.Set(used)
+		if used >= 1 && int64(total) >= m.cfg.MinEvents {
+			causes = append(causes, SLOCause{
+				Objective:  "latency_p99",
+				Target:     m.cfg.P99Target.Seconds(),
+				Observed:   miss / total,
+				BudgetUsed: used,
+				Events:     int64(total),
+			})
+		}
+	}
+
+	if m.aud != nil && m.cfg.CoverageTarget > 0 {
+		allowed := 1 - m.cfg.CoverageTarget
+		if allowed <= 0 {
+			allowed = 1e-9 // a 100% target leaves no budget at all
+		}
+		// Per-table non-degraded miss deltas, aggregated across agg kinds.
+		deltas := make(map[string]tickDelta)
+		for k, st := range m.aud.Stats() {
+			if k.Degraded {
+				continue // widened partial answers are tracked, not paged on
+			}
+			prev := m.prevCov[k]
+			m.prevCov[k] = st
+			d := deltas[k.Table]
+			d.total += float64(st.Audited - prev.Audited)
+			d.miss += float64((st.Audited - prev.Audited) - (st.Covered - prev.Covered))
+			if d.miss < 0 {
+				d.miss = 0
+			}
+			deltas[k.Table] = d
+		}
+		for table, d := range deltas {
+			r, ok := m.covRings[table]
+			if !ok {
+				r = newRing(m.cfg.WindowTicks)
+				m.covRings[table] = r
+			}
+			r.push(d)
+		}
+		for table, r := range m.covRings {
+			miss, total := r.sum()
+			used := 0.0
+			if total > 0 {
+				used = (miss / total) / allowed
+			}
+			m.reg.NewLabeledGauge("pass_slo_budget_used",
+				obs.Labels("objective", "coverage", "table", table),
+				"consumed fraction of the SLO error budget").Set(used)
+			if used >= 1 && int64(total) >= m.cfg.MinEvents {
+				causes = append(causes, SLOCause{
+					Objective:  "coverage",
+					Table:      table,
+					Target:     m.cfg.CoverageTarget,
+					Observed:   1 - miss/total,
+					BudgetUsed: used,
+					Events:     int64(total),
+				})
+			}
+		}
+	}
+
+	wasBreached := m.status.Breached
+	m.status = SLOStatus{
+		Breached:    len(causes) > 0,
+		Causes:      causes,
+		WindowTicks: m.cfg.WindowTicks,
+		Evaluations: m.status.Evaluations + 1,
+	}
+	if m.status.Breached {
+		m.breachedGauge.Set(1)
+	} else {
+		m.breachedGauge.Set(0)
+	}
+	nowBreached := m.status.Breached
+	log := m.cfg.Log
+	m.mu.Unlock()
+
+	if log != nil && nowBreached != wasBreached {
+		state := "recovered"
+		if nowBreached {
+			state = "breached"
+		}
+		log.Emit("slo_alert", map[string]any{
+			"state":  state,
+			"causes": causes,
+		})
+	}
+}
+
+// countAbove estimates how many of a histogram snapshot's observations
+// exceeded the threshold: full counts of the buckets above it, plus a
+// linear share of the bucket containing it.
+func countAbove(s obs.HistogramSnapshot, threshold float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	above := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i == len(s.Bounds) {
+			// +Inf bucket: exact positions are unknown, so count the whole
+			// bucket as over — conservative for the budget.
+			above += float64(c)
+			continue
+		}
+		hi := s.Bounds[i]
+		switch {
+		case threshold >= hi:
+			// bucket entirely at or under the threshold
+		case threshold <= lo:
+			above += float64(c)
+		default:
+			above += float64(c) * (hi - threshold) / (hi - lo)
+		}
+	}
+	return above
+}

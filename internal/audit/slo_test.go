@@ -1,0 +1,200 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// TestSLOLatencyBudget drives the latency objective from healthy to
+// breached and back, checking gauge, causes, and alert transitions.
+func TestSLOLatencyBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	var logBuf bytes.Buffer
+	lat := obs.NewHistogram(nil)
+	m := NewMonitor(nil, lat, SLOConfig{
+		P99Target:   50 * time.Millisecond,
+		WindowTicks: 4,
+		MinEvents:   10,
+		Registry:    reg,
+		Log:         obs.NewJSONLog(&logBuf),
+	})
+
+	// Healthy tick: all fast.
+	for i := 0; i < 50; i++ {
+		lat.Observe(0.001)
+	}
+	m.Evaluate()
+	if st := m.Status(); st.Breached {
+		t.Fatalf("healthy run breached: %+v", st)
+	}
+
+	// 20% of queries over target: 20x the 1% budget.
+	for i := 0; i < 40; i++ {
+		lat.Observe(0.001)
+	}
+	for i := 0; i < 10; i++ {
+		lat.Observe(0.5)
+	}
+	m.Evaluate()
+	st := m.Status()
+	if !st.Breached || len(st.Causes) != 1 || st.Causes[0].Objective != "latency_p99" {
+		t.Fatalf("expected latency breach: %+v", st)
+	}
+	if st.Causes[0].BudgetUsed < 1 {
+		t.Fatalf("budget used = %g, want >= 1", st.Causes[0].BudgetUsed)
+	}
+	if reg.Collect()["pass_slo_breached"] != 1 {
+		t.Fatal("pass_slo_breached gauge not set")
+	}
+
+	// Recovery: fast ticks push the bad tick out of the 4-tick window.
+	for tick := 0; tick < 5; tick++ {
+		for i := 0; i < 100; i++ {
+			lat.Observe(0.001)
+		}
+		m.Evaluate()
+	}
+	if st := m.Status(); st.Breached {
+		t.Fatalf("window never recovered: %+v", st)
+	}
+	if reg.Collect()["pass_slo_breached"] != 0 {
+		t.Fatal("gauge must clear on recovery")
+	}
+
+	// Exactly two transitions, each one alert line.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("alert lines = %d, want 2:\n%s", len(lines), logBuf.String())
+	}
+	var first, second map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first["event"] != "slo_alert" || first["state"] != "breached" || second["state"] != "recovered" {
+		t.Fatalf("alert sequence wrong: %v / %v", first, second)
+	}
+}
+
+// TestSLOCoverageBudget drives the per-table coverage objective through
+// an auditor with a failing table.
+func TestSLOCoverageBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Config{SampleFraction: 1, QueueSize: 1024, Registry: reg})
+	tt := &truthTable{truth: 100, gen: 0}
+	a.RegisterSource("bad", tt.exact)
+	a.RegisterSource("good", tt.exact)
+
+	m := NewMonitor(a, nil, SLOConfig{
+		CoverageTarget: 0.95,
+		WindowTicks:    4,
+		MinEvents:      10,
+		Registry:       reg,
+	})
+
+	// good: always covered; bad: half the CIs miss the truth.
+	for i := 0; i < 40; i++ {
+		a.Observe("good", dataset.Sum, rect1(0, 1), core.Result{Estimate: 100, CIHalf: 1}, 0)
+		est := 100.0
+		if i%2 == 0 {
+			est = 50 // CI nowhere near the truth
+		}
+		a.Observe("bad", dataset.Sum, rect1(0, 1), core.Result{Estimate: est, CIHalf: 1}, 0)
+	}
+	a.Flush()
+	m.Evaluate()
+
+	st := m.Status()
+	if !st.Breached || len(st.Causes) != 1 {
+		t.Fatalf("expected one coverage breach: %+v", st)
+	}
+	c := st.Causes[0]
+	if c.Objective != "coverage" || c.Table != "bad" {
+		t.Fatalf("wrong cause: %+v", c)
+	}
+	if c.Observed > 0.6 || c.Observed < 0.4 {
+		t.Fatalf("observed coverage = %g, want ~0.5", c.Observed)
+	}
+	if v := reg.Collect()[`pass_slo_budget_used{objective="coverage",table="bad"}`]; v < 1 {
+		t.Fatalf("budget gauge for bad table = %g, want >= 1", v)
+	}
+}
+
+// TestSLOMinEvents checks a tiny stream cannot breach.
+func TestSLOMinEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	lat := obs.NewHistogram(nil)
+	m := NewMonitor(nil, lat, SLOConfig{
+		P99Target:   time.Millisecond,
+		WindowTicks: 4,
+		MinEvents:   100,
+		Registry:    reg,
+	})
+	for i := 0; i < 5; i++ {
+		lat.Observe(1) // all terrible, but only five events
+	}
+	m.Evaluate()
+	if st := m.Status(); st.Breached {
+		t.Fatalf("breached under MinEvents: %+v", st)
+	}
+}
+
+// TestSLOStartStop exercises the background loop lifecycle.
+func TestSLOStartStop(t *testing.T) {
+	m := NewMonitor(nil, obs.NewHistogram(nil), SLOConfig{
+		P99Target: time.Second,
+		Registry:  obs.NewRegistry(),
+	})
+	m.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Status().Evaluations == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	m.Stop()
+	if m.Status().Evaluations == 0 {
+		t.Fatal("loop never evaluated")
+	}
+
+	idle := NewMonitor(nil, nil, SLOConfig{Registry: obs.NewRegistry()})
+	idle.Stop() // never started: must not hang
+}
+
+// TestCountAbove checks the bucket interpolation math.
+func TestCountAbove(t *testing.T) {
+	h := obs.NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005) // bucket (0, 0.01]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // bucket (0.1, 1]
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(2) // +Inf bucket
+	}
+	s := h.Snapshot()
+	if got := countAbove(s, 1); got != 5 {
+		t.Fatalf("countAbove(1) = %g, want 5 (+Inf bucket only)", got)
+	}
+	if got := countAbove(s, 0.1); got != 15 {
+		t.Fatalf("countAbove(0.1) = %g, want 15", got)
+	}
+	// Mid-bucket: (1-0.55)/(1-0.1) of the 10 mid observations + 5 overflow.
+	got := countAbove(s, 0.55)
+	want := 10*(1-0.55)/(1-0.1) + 5
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("countAbove(0.55) = %g, want %g", got, want)
+	}
+	if got := countAbove(obs.HistogramSnapshot{}, 1); got != 0 {
+		t.Fatalf("empty snapshot: %g", got)
+	}
+}

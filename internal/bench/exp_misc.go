@@ -204,11 +204,12 @@ var Experiments = map[string]func(Config) []Table{
 	"sharded":   ShardedExp,
 	"adaptive":  AdaptiveExp,
 	"plancache": PlanCacheExp,
+	"audit":     AuditExp,
 }
 
 // ExperimentOrder is the canonical presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"table2", "table3", "dpcost", "ablation", "sharded", "adaptive",
-	"plancache",
+	"plancache", "audit",
 }

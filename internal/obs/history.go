@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// HistorySample is one point-in-time snapshot of every registered series,
+// flattened by Registry.Collect. The Values map is written once when the
+// sample is taken and never mutated afterwards, so holders of a returned
+// sample may read it without synchronization.
+type HistorySample struct {
+	T      time.Time          `json:"t"`
+	Values map[string]float64 `json:"values"`
+}
+
+// Point is one (time, value) observation of a single series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// History is an in-memory ring-buffer time series over a metrics
+// registry: at a fixed cadence (Start) — or on demand (Record) — it
+// snapshots every registered series into a bounded window of samples,
+// from which windowed rates and trends (QPS, error rate, p99 drift) can
+// be read without an external TSDB. Memory is bounded by
+// capacity × series count; old samples are overwritten in place.
+//
+// All methods are safe for concurrent use, including Record racing
+// Samples/Rate and a concurrent registry scrape.
+type History struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	buf      []HistorySample
+	next     int
+	full     bool
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// DefaultHistoryCapacity holds 15 minutes at the 5-second default cadence.
+const DefaultHistoryCapacity = 180
+
+// NewHistory returns a history ring over reg holding the last capacity
+// samples (<=0 selects DefaultHistoryCapacity). nil reg uses Default().
+func NewHistory(reg *Registry, capacity int) *History {
+	if reg == nil {
+		reg = Default()
+	}
+	if capacity <= 0 {
+		capacity = DefaultHistoryCapacity
+	}
+	return &History{
+		reg:  reg,
+		buf:  make([]HistorySample, capacity),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the background sampler at the given cadence (<=0
+// defaults to 5s) until Stop. Call at most once.
+func (h *History) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	h.mu.Lock()
+	h.interval = interval
+	h.mu.Unlock()
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				h.Record()
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler and waits for it to exit. Safe to
+// call multiple times, and before Start (the history simply never ran).
+func (h *History) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	select {
+	case <-h.done:
+	default:
+		// Start was never called; nothing to wait for
+		h.mu.Lock()
+		started := h.interval > 0
+		h.mu.Unlock()
+		if started {
+			<-h.done
+		}
+	}
+}
+
+// Interval reports the sampling cadence (0 before Start).
+func (h *History) Interval() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.interval
+}
+
+// Record takes one snapshot now. The registry collectors run outside the
+// history lock, so a slow collector func never blocks readers.
+func (h *History) Record() {
+	s := HistorySample{T: time.Now(), Values: h.reg.Collect()}
+	h.mu.Lock()
+	h.buf[h.next] = s
+	h.next++
+	if h.next == len(h.buf) {
+		h.next = 0
+		h.full = true
+	}
+	h.mu.Unlock()
+}
+
+// Len reports how many samples the window currently holds.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.full {
+		return len(h.buf)
+	}
+	return h.next
+}
+
+// Samples returns the window oldest-first. The slice is a copy; the
+// sample Values maps are shared but immutable once recorded.
+func (h *History) Samples() []HistorySample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.full {
+		return append([]HistorySample(nil), h.buf[:h.next]...)
+	}
+	out := make([]HistorySample, 0, len(h.buf))
+	out = append(out, h.buf[h.next:]...)
+	return append(out, h.buf[:h.next]...)
+}
+
+// Series extracts one named series from the window, oldest-first,
+// skipping samples where the series was not yet registered.
+func (h *History) Series(name string) []Point {
+	samples := h.Samples()
+	out := make([]Point, 0, len(samples))
+	for _, s := range samples {
+		if v, ok := s.Values[name]; ok {
+			out = append(out, Point{T: s.T, V: v})
+		}
+	}
+	return out
+}
+
+// Last returns the most recent recorded value of a series.
+func (h *History) Last(name string) (float64, bool) {
+	samples := h.Samples()
+	for i := len(samples) - 1; i >= 0; i-- {
+		if v, ok := samples[i].Values[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Rate reports a counter series' per-second increase over the trailing
+// window duration (clamped to the recorded range): the windowed QPS /
+// error-rate reading. ok is false with fewer than two usable samples.
+// Negative deltas (a counter reset, e.g. re-registration) report 0.
+func (h *History) Rate(name string, window time.Duration) (perSecond float64, ok bool) {
+	samples := h.Samples()
+	if len(samples) < 2 {
+		return 0, false
+	}
+	last := samples[len(samples)-1]
+	lastV, okLast := last.Values[name]
+	if !okLast {
+		return 0, false
+	}
+	cutoff := last.T.Add(-window)
+	// earliest sample inside the window that carries the series
+	for _, s := range samples {
+		if s.T.Before(cutoff) {
+			continue
+		}
+		v, okv := s.Values[name]
+		if !okv || s.T.Equal(last.T) {
+			continue
+		}
+		dt := last.T.Sub(s.T).Seconds()
+		if dt <= 0 {
+			return 0, false
+		}
+		d := lastV - v
+		if d < 0 {
+			d = 0
+		}
+		return d / dt, true
+	}
+	return 0, false
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistoryRecordAndWraparound fills the ring past capacity and checks
+// the window keeps only the newest samples, oldest-first.
+func TestHistoryRecordAndWraparound(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("h_ops_total", "")
+	h := NewHistory(r, 4)
+	for i := 0; i < 7; i++ {
+		c.Inc()
+		h.Record()
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", h.Len())
+	}
+	samples := h.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("Samples len = %d, want 4", len(samples))
+	}
+	// Counter went 1..7; the surviving window is 4..7 oldest-first.
+	for i, want := range []float64{4, 5, 6, 7} {
+		if got := samples[i].Values["h_ops_total"]; got != want {
+			t.Errorf("sample %d: got %g, want %g", i, got, want)
+		}
+	}
+	pts := h.Series("h_ops_total")
+	if len(pts) != 4 || pts[3].V != 7 {
+		t.Fatalf("Series: got %+v", pts)
+	}
+	if v, ok := h.Last("h_ops_total"); !ok || v != 7 {
+		t.Fatalf("Last: got %g ok=%v", v, ok)
+	}
+	if _, ok := h.Last("missing"); ok {
+		t.Fatal("Last on unknown series must report !ok")
+	}
+}
+
+// TestHistoryRate checks the windowed counter-rate math, including the
+// reset clamp, against hand-built samples with fixed timestamps.
+func TestHistoryRate(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistory(r, 8)
+	if _, ok := h.Rate("x", time.Minute); ok {
+		t.Fatal("Rate on empty history must report !ok")
+	}
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	put := func(at time.Time, v float64) {
+		h.buf[h.next] = HistorySample{T: at, Values: map[string]float64{"x": v}}
+		h.next++
+	}
+	put(t0, 100)
+	if _, ok := h.Rate("x", time.Minute); ok {
+		t.Fatal("Rate with one sample must report !ok")
+	}
+	put(t0.Add(10*time.Second), 150)
+	put(t0.Add(20*time.Second), 180)
+
+	// Full window: (180-100)/20s = 4/s.
+	if per, ok := h.Rate("x", time.Minute); !ok || per != 4 {
+		t.Fatalf("Rate full window: got %g ok=%v, want 4", per, ok)
+	}
+	// Window covering only the last two samples: (180-150)/10s = 3/s.
+	if per, ok := h.Rate("x", 15*time.Second); !ok || per != 3 {
+		t.Fatalf("Rate trailing window: got %g ok=%v, want 3", per, ok)
+	}
+
+	// Counter reset: a later sample below the earlier one clamps to 0.
+	put(t0.Add(30*time.Second), 5)
+	if per, ok := h.Rate("x", 15*time.Second); !ok || per != 0 {
+		t.Fatalf("Rate across reset: got %g ok=%v, want 0 true", per, ok)
+	}
+}
+
+// TestHistoryStartStop exercises the background sampler lifecycle,
+// including Stop-before-Start and double-Stop.
+func TestHistoryStartStop(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("g", "").Set(1)
+
+	idle := NewHistory(r, 4)
+	idle.Stop() // never started: must not hang
+	idle.Stop()
+
+	h := NewHistory(r, 16)
+	h.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.Len() < 2 {
+		t.Fatal("background sampler recorded no samples")
+	}
+	if h.Interval() != time.Millisecond {
+		t.Fatalf("Interval = %v", h.Interval())
+	}
+	h.Stop()
+	h.Stop()
+	n := h.Len()
+	time.Sleep(10 * time.Millisecond)
+	if h.Len() != n {
+		t.Fatal("sampler still recording after Stop")
+	}
+}
+
+// TestHistorySnapshotDuringScrapeRace hammers Record concurrently with
+// Samples/Rate readers and full registry scrapes (meaningful under -race).
+func TestHistorySnapshotDuringScrapeRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("race_ops_total", "")
+	hist := r.NewHistogram("race_lat", "", []float64{0.01, 0.1})
+	h := NewHistory(r, 8)
+
+	var wg sync.WaitGroup
+	const iters = 300
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			c.Inc()
+			hist.Observe(0.05)
+			h.Record()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			for _, s := range h.Samples() {
+				_ = s.Values["race_ops_total"]
+			}
+			h.Series("race_lat_p99")
+			h.Rate("race_ops_total", time.Minute)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			_ = r.Collect()
+		}
+	}()
+	wg.Wait()
+}

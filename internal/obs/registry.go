@@ -70,11 +70,17 @@ const (
 	kindFunc // lazily collected counter or gauge
 )
 
-// metric is one registered family.
+// metric is one registered series. Unlabeled metrics are a family of one:
+// name == family and labels is empty. Labeled series (NewLabeledCounter and
+// friends) share a family with every other series of the same base name —
+// the exposition emits # HELP/# TYPE once per family — and render as
+// family{labels}.
 type metric struct {
-	name string
-	help string
-	kind metricKind
+	name   string // series key: family, or family{labels}
+	family string // base metric name (the # TYPE subject)
+	labels string // rendered label pairs, `k="v",k2="v2"`; "" when unlabeled
+	help   string
+	kind   metricKind
 
 	counter *Counter
 	gauge   *Gauge
@@ -105,11 +111,14 @@ var defaultRegistry = NewRegistry()
 // Default returns the process-wide registry.
 func Default() *Registry { return defaultRegistry }
 
-// register adds (or replaces) a family under its name. Replacement rather
+// register adds (or replaces) a series under its name. Replacement rather
 // than panic keeps re-registration idempotent: tests and multi-session
 // processes may wire the same name more than once, and the latest wiring
 // wins.
 func (r *Registry) register(m *metric) {
+	if m.family == "" {
+		m.family = m.name
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, exists := r.named[m.name]; !exists {
@@ -118,32 +127,82 @@ func (r *Registry) register(m *metric) {
 	r.named[m.name] = m
 }
 
+// Labels renders alternating key/value pairs as Prometheus label syntax:
+// Labels("table", "demo", "agg", "sum") → `table="demo",agg="sum"`. Values
+// are quoted with escaping; an odd trailing key is ignored.
+func Labels(pairs ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteByte('=')
+		b.WriteString(fmt.Sprintf("%q", pairs[i+1]))
+	}
+	return b.String()
+}
+
+// seriesKey composes the registry key of a (family, labels) pair.
+func seriesKey(family, labels string) string {
+	if labels == "" {
+		return family
+	}
+	return family + "{" + labels + "}"
+}
+
+// suffixSeries inserts a name suffix before the label braces, so derived
+// series of a labeled family stay Prometheus-shaped:
+// suffixSeries(`h{agg="sum"}`, "_count") → `h_count{agg="sum"}`.
+func suffixSeries(key, suffix string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:]
+	}
+	return key + suffix
+}
+
 // NewCounter registers and returns a counter. Re-registering a name
 // returns the existing counter, so package-level instruments are safe to
 // declare from multiple call sites.
 func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.NewLabeledCounter(name, "", help)
+}
+
+// NewLabeledCounter registers a counter series under family name with the
+// given label pairs (rendered by Labels; "" for none). Series of one
+// family share a # HELP/# TYPE header in the exposition. Re-registration
+// returns the existing series.
+func (r *Registry) NewLabeledCounter(name, labels, help string) *Counter {
+	key := seriesKey(name, labels)
 	r.mu.Lock()
-	if m, ok := r.named[name]; ok && m.counter != nil {
+	if m, ok := r.named[key]; ok && m.counter != nil {
 		r.mu.Unlock()
 		return m.counter
 	}
 	r.mu.Unlock()
 	c := &Counter{}
-	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	r.register(&metric{name: key, family: name, labels: labels, help: help, kind: kindCounter, counter: c})
 	return c
 }
 
 // NewGauge registers and returns a gauge (reusing an existing registration
 // of the same name, like NewCounter).
 func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.NewLabeledGauge(name, "", help)
+}
+
+// NewLabeledGauge registers a gauge series under family name with the
+// given label pairs (see NewLabeledCounter).
+func (r *Registry) NewLabeledGauge(name, labels, help string) *Gauge {
+	key := seriesKey(name, labels)
 	r.mu.Lock()
-	if m, ok := r.named[name]; ok && m.gauge != nil {
+	if m, ok := r.named[key]; ok && m.gauge != nil {
 		r.mu.Unlock()
 		return m.gauge
 	}
 	r.mu.Unlock()
 	g := &Gauge{}
-	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	r.register(&metric{name: key, family: name, labels: labels, help: help, kind: kindGauge, gauge: g})
 	return g
 }
 
@@ -151,14 +210,22 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 // bucket bounds (ascending; +Inf is implicit). nil bounds use
 // DefaultLatencyBuckets.
 func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	return r.NewLabeledHistogram(name, "", help, bounds)
+}
+
+// NewLabeledHistogram registers a histogram series under family name with
+// the given label pairs (see NewLabeledCounter). Its _bucket/_sum/_count
+// samples carry the labels alongside le.
+func (r *Registry) NewLabeledHistogram(name, labels, help string, bounds []float64) *Histogram {
+	key := seriesKey(name, labels)
 	r.mu.Lock()
-	if m, ok := r.named[name]; ok && m.hist != nil {
+	if m, ok := r.named[key]; ok && m.hist != nil {
 		r.mu.Unlock()
 		return m.hist
 	}
 	r.mu.Unlock()
 	h := NewHistogram(bounds)
-	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	r.register(&metric{name: key, family: name, labels: labels, help: help, kind: kindHistogram, hist: h})
 	return h
 }
 
@@ -205,20 +272,22 @@ func (r *Registry) snapshotMetrics() []*metric {
 	return out
 }
 
-// WritePrometheus renders every registered family in the Prometheus text
-// exposition format (version 0.0.4): # HELP and # TYPE comments followed
-// by the samples, histograms as cumulative _bucket{le="..."} series plus
-// _sum and _count.
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE comments (emitted
+// once per family — labeled series of one base name share a header)
+// followed by the samples, histograms as cumulative _bucket{le="..."}
+// series plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	headed := make(map[string]bool)
 	for _, m := range r.snapshotMetrics() {
-		if err := writeFamily(w, m); err != nil {
+		if err := writeFamily(w, m, headed); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeFamily(w io.Writer, m *metric) error {
+func writeFamily(w io.Writer, m *metric, headed map[string]bool) error {
 	typ := ""
 	switch m.kind {
 	case kindCounter:
@@ -230,13 +299,16 @@ func writeFamily(w io.Writer, m *metric) error {
 	case kindFunc:
 		typ = m.fnKind
 	}
-	if m.help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
+	if !headed[m.family] {
+		headed[m.family] = true
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.family, strings.ReplaceAll(m.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.family, typ); err != nil {
 			return err
 		}
-	}
-	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
-		return err
 	}
 	switch m.kind {
 	case kindCounter:
@@ -249,29 +321,65 @@ func writeFamily(w io.Writer, m *metric) error {
 		_, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.fn()))
 		return err
 	case kindHistogram:
-		return writeHistogram(w, m.name, m.hist)
+		return writeHistogram(w, m.family, m.labels, m.hist)
 	}
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
+func writeHistogram(w io.Writer, family, labels string, h *Histogram) error {
 	snap := h.Snapshot()
+	// bucket series carry the family labels alongside le
+	le := func(bound string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", bound)
+		}
+		return fmt.Sprintf("{%s,le=%q}", labels, bound)
+	}
 	cum := int64(0)
 	for i, bound := range snap.Bounds {
 		cum += snap.Counts[i]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, le(formatFloat(bound)), cum); err != nil {
 			return err
 		}
 	}
 	cum += snap.Counts[len(snap.Bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, le("+Inf"), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(snap.Sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %s\n", suffixSeries(seriesKey(family, labels), "_sum"), formatFloat(snap.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixSeries(seriesKey(family, labels), "_count"), snap.Count)
 	return err
+}
+
+// Collect flattens every registered series into a name → value map: the
+// numeric snapshot behind the metrics history ring buffer and any JSON
+// reporting surface. Counters, gauges and collector funcs contribute one
+// entry under their series name; histograms contribute derived series
+// (name_count, name_sum, name_p50/p95/p99, labels preserved). Collector
+// funcs run outside the registry lock, like WritePrometheus.
+func (r *Registry) Collect() map[string]float64 {
+	ms := r.snapshotMetrics()
+	out := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = float64(m.counter.Value())
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindFunc:
+			out[m.name] = m.fn()
+		case kindHistogram:
+			snap := m.hist.Snapshot()
+			out[suffixSeries(m.name, "_count")] = float64(snap.Count)
+			out[suffixSeries(m.name, "_sum")] = snap.Sum
+			out[suffixSeries(m.name, "_p50")] = snap.P50
+			out[suffixSeries(m.name, "_p95")] = snap.P95
+			out[suffixSeries(m.name, "_p99")] = snap.P99
+		}
+	}
+	return out
 }
 
 // formatFloat renders a float the way Prometheus expects: integers

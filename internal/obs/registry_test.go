@@ -140,6 +140,83 @@ func TestRegistryReregister(t *testing.T) {
 	}
 }
 
+// TestLabeledSeries checks that labeled series render with their labels,
+// share one # HELP/# TYPE header per family, and re-register idempotently
+// per (family, labels) pair.
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewLabeledCounter("audit_total", Labels("table", "demo", "agg", "sum"), "audits")
+	b := r.NewLabeledCounter("audit_total", Labels("table", "demo", "agg", "avg"), "audits")
+	a2 := r.NewLabeledCounter("audit_total", Labels("table", "demo", "agg", "sum"), "audits")
+	if a == b {
+		t.Fatal("different label sets must be distinct series")
+	}
+	if a != a2 {
+		t.Fatal("same (family, labels) must reuse the series")
+	}
+	a.Add(3)
+	b.Add(5)
+	g := r.NewLabeledGauge("cov", Labels("table", "demo"), "coverage")
+	g.Set(0.97)
+	h := r.NewLabeledHistogram("relerr", Labels("table", "demo"), "rel err", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := parseExposition(t, text)
+	checks := map[string]float64{
+		`audit_total{table="demo",agg="sum"}`:   3,
+		`audit_total{table="demo",agg="avg"}`:   5,
+		`cov{table="demo"}`:                     0.97,
+		`relerr_bucket{table="demo",le="0.1"}`:  1,
+		`relerr_bucket{table="demo",le="1"}`:    2,
+		`relerr_bucket{table="demo",le="+Inf"}`: 2,
+		`relerr_count{table="demo"}`:            2,
+	}
+	for name, want := range checks {
+		if got, ok := samples[name]; !ok || got != want {
+			t.Errorf("%s: got %g (present=%v), want %g\n%s", name, got, ok, want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE audit_total "); n != 1 {
+		t.Fatalf("family header must appear once, got %d:\n%s", n, text)
+	}
+}
+
+// TestCollect checks the flat numeric snapshot behind the history ring.
+func TestCollect(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("ops_total", "").Add(9)
+	r.NewGauge("depth", "").Set(2)
+	r.GaugeFunc("fn", "", func() float64 { return 4 })
+	h := r.NewHistogram("lat", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	lh := r.NewLabeledHistogram("err", Labels("t", "x"), "", []float64{1})
+	lh.Observe(0.2)
+
+	got := r.Collect()
+	for name, want := range map[string]float64{
+		"ops_total":        9,
+		"depth":            2,
+		"fn":               4,
+		"lat_count":        2,
+		"lat_sum":          5.5,
+		`err_count{t="x"}`: 1,
+	} {
+		if got[name] != want {
+			t.Errorf("Collect()[%q] = %g, want %g", name, got[name], want)
+		}
+	}
+	if _, ok := got["lat_p99"]; !ok {
+		t.Error("Collect() missing histogram p99 series")
+	}
+}
+
 // TestRegistryConcurrent registers and scrapes from multiple goroutines
 // (meaningful under -race).
 func TestRegistryConcurrent(t *testing.T) {

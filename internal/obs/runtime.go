@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"runtime/metrics"
+)
+
+// Go runtime collectors: the process itself (scheduler, heap, GC) exposed
+// through the same registry as every serving metric, so a /metrics scrape
+// explains "the query path is fine but the process is drowning" without a
+// second agent. Readings are taken lazily at scrape time via
+// runtime/metrics — registering costs nothing between scrapes.
+
+// runtimeMetricNames are the runtime/metrics samples the collectors read.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// RegisterRuntimeMetrics wires the Go runtime collectors onto reg (nil
+// uses Default()): goroutine count, live heap bytes, and the p99 GC
+// stop-the-world pause since process start. Idempotent — re-registration
+// replaces the collector funcs.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	reg.GaugeFunc("go_goroutines", "goroutines currently live",
+		func() float64 { return readRuntimeValue(rmGoroutines) })
+	reg.GaugeFunc("go_heap_bytes", "bytes of live heap objects",
+		func() float64 { return readRuntimeValue(rmHeapBytes) })
+	reg.GaugeFunc("go_gc_pause_p99_seconds", "p99 GC stop-the-world pause since process start",
+		func() float64 { return readRuntimeQuantile(rmGCPauses, 0.99) })
+}
+
+// readRuntimeValue reads one scalar runtime/metrics sample as float64
+// (0 when the metric is unsupported on this Go version).
+func readRuntimeValue(name string) float64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	switch s[0].Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case metrics.KindFloat64:
+		return s[0].Value.Float64()
+	}
+	return 0
+}
+
+// readRuntimeQuantile estimates the q-quantile of a runtime/metrics
+// Float64Histogram distribution by scanning its cumulative buckets and
+// reporting the winning bucket's upper edge (or its lower edge when the
+// upper is +Inf).
+func readRuntimeQuantile(name string, q float64) float64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s[0].Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		// Buckets has len(Counts)+1 edges; bucket i spans [i, i+1]
+		hi := h.Buckets[i+1]
+		if hi > 1e300 || hi != hi { // +Inf or NaN upper edge
+			return h.Buckets[i]
+		}
+		return hi
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntimeMetrics checks the Go runtime collectors report live
+// values and appear on the exposition.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent
+
+	vals := r.Collect()
+	if vals["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %g, want >= 1", vals["go_goroutines"])
+	}
+	if vals["go_heap_bytes"] <= 0 {
+		t.Fatalf("go_heap_bytes = %g, want > 0", vals["go_heap_bytes"])
+	}
+	runtime.GC()
+	if p := r.Collect()["go_gc_pause_p99_seconds"]; p < 0 {
+		t.Fatalf("go_gc_pause_p99_seconds = %g, want >= 0", p)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"go_goroutines", "go_heap_bytes", "go_gc_pause_p99_seconds"} {
+		if !strings.Contains(buf.String(), "# TYPE "+name+" gauge") {
+			t.Errorf("exposition missing %s:\n%s", name, buf.String())
+		}
+	}
+}

@@ -174,7 +174,7 @@ func (s *Session) EnableAdaptive(cfg AdaptiveConfig) error {
 	}, s.rebuildTable)
 	s.adaptive = rt
 	for _, tbl := range s.cat.List() {
-		tbl.AttachAdaptive(rt.col, rt.resultCache())
+		s.attachHooks(tbl)
 	}
 	rt.reopt.Start()
 	return nil
@@ -182,14 +182,6 @@ func (s *Session) EnableAdaptive(cfg AdaptiveConfig) error {
 
 // Adaptive reports whether the adaptive layer is enabled.
 func (s *Session) Adaptive() bool { return s.adaptive != nil }
-
-// adaptiveAttach wires the collector and cache under a newly registered
-// table. No-op when the adaptive layer is off.
-func (s *Session) adaptiveAttach(tbl *catalog.Table) {
-	if s.adaptive != nil {
-		tbl.AttachAdaptive(s.adaptive.col, s.adaptive.resultCache())
-	}
-}
 
 // RegisterAdaptive builds a synopsis over the table (sharded when
 // shards > 1), registers it like Register/RegisterEngine, and — for
@@ -250,6 +242,7 @@ func (s *Session) RegisterAdaptive(name string, t *Table, opt Options, shards in
 	rt.sources[strings.ToLower(name)] = src
 	rt.mu.Unlock()
 	tbl.AttachObserver(src)
+	s.auditAttachSource(tbl)
 	return persisted, nil
 }
 

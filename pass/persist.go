@@ -34,9 +34,10 @@ func (s *Session) AttachStore(st *store.Store) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("pass: warm start table %q: %w", lt.Name, err)
 		}
-		// warm-started tables join the adaptive layer too (statistics +
-		// cache; no rebuilds — the base rows live only in the synopsis)
-		s.adaptiveAttach(tbl)
+		// warm-started tables join the adaptive and audit layers too
+		// (statistics + cache + tap; no rebuilds and no exact ground
+		// truth — the base rows live only in the synopsis)
+		s.attachHooks(tbl)
 		if sh, ok := engine.Underlying(lt.Engine).(engine.Sharded); ok {
 			j, err := st.AttachSharded(tbl, sh, sh.ShardInfo().Shards)
 			if err != nil {
@@ -98,7 +99,7 @@ func (s *Session) register(name string, eng engine.Engine, schema sqlfe.Schema, 
 	if err != nil {
 		return err
 	}
-	s.adaptiveAttach(tbl)
+	s.attachHooks(tbl)
 	if !persist {
 		return nil
 	}
@@ -141,13 +142,14 @@ func (s *Session) Checkpoint() error {
 	return s.store.CheckpointAll()
 }
 
-// Close stops the background re-optimizer (if the adaptive layer is on),
-// performs a final checkpoint, and releases the attached store's files.
-// Without a store only the re-optimizer shutdown remains.
+// Close stops the background re-optimizer and audit workers (if those
+// layers are on), performs a final checkpoint, and releases the attached
+// store's files. Without a store only the worker shutdowns remain.
 func (s *Session) Close() error {
 	if s.adaptive != nil {
 		s.adaptive.reopt.Stop()
 	}
+	s.auditStop()
 	if s.store == nil {
 		return nil
 	}

@@ -53,6 +53,7 @@ type Session struct {
 	cat      *catalog.Catalog
 	store    *store.Store
 	adaptive *adaptiveRuntime
+	audit    *auditRuntime
 	// plans is the session-wide prepared-plan cache: statements are
 	// normalized to parameterized templates and their compiled skeletons
 	// are reused across calls, so a repeated query shape costs one
@@ -200,7 +201,7 @@ func (s *Session) Drop(name string) error {
 	// resolve the canonical registered name first: adaptive state is
 	// keyed by it, not by whatever casing the caller used
 	canonical := name
-	if s.adaptive != nil {
+	if s.adaptive != nil || s.audit != nil {
 		if tbl, err := s.cat.Lookup(name); err == nil {
 			canonical = tbl.Name()
 		}
@@ -209,6 +210,7 @@ func (s *Session) Drop(name string) error {
 		return err
 	}
 	s.adaptiveForget(canonical)
+	s.auditForget(canonical)
 	if s.store != nil {
 		if err := s.store.Remove(name); err != nil {
 			return fmt.Errorf("pass: remove persisted files for %q: %w", name, err)
@@ -247,6 +249,9 @@ type TableInfo struct {
 	// Adaptive carries workload statistics, cache effectiveness and
 	// re-optimization history when the session's adaptive layer is on.
 	Adaptive *AdaptiveInfo `json:"adaptive,omitempty"`
+	// Audit carries empirical accuracy statistics when the session's
+	// audit layer is on (EnableAudit).
+	Audit *AuditInfo `json:"audit,omitempty"`
 	// Degraded marks a table in read-only degraded mode: its write-ahead
 	// journal or checkpoint hit an I/O failure, so writes are rejected
 	// while queries keep serving. DegradedCause carries the failure.
@@ -283,6 +288,7 @@ func (s *Session) Tables() []TableInfo {
 			}
 		}
 		out[i].Adaptive = s.adaptiveInfo(t.Name())
+		out[i].Audit = s.auditInfo(t.Name())
 		if s.store != nil {
 			if deg, cause := s.store.Degraded(t.Name()); deg {
 				out[i].Degraded = true
