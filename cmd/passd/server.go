@@ -217,6 +217,7 @@ type jsonStmtResult struct {
 	NoMatch bool            `json:"no_match,omitempty"`
 	Scalar  *jsonout.Answer `json:"scalar,omitempty"`
 	Groups  []jsonout.Group `json:"groups,omitempty"`
+	Sketch  *jsonout.Sketch `json:"sketch,omitempty"`
 	// Trace is the execution span tree of an EXPLAIN ANALYZE statement.
 	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
@@ -280,6 +281,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			out.Error = sr.Err.Error()
 		case sr.Result.Groups != nil:
 			out.Groups = jsonout.FromGroups(sr.Result.Groups)
+		case sr.Result.Sketch != nil:
+			out.Sketch = jsonout.FromSketch(sr.Result.Sketch)
 		default:
 			out.Scalar = jsonout.FromAnswer(sr.Result.Scalar)
 		}

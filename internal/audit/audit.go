@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/sketch"
 )
 
 // ErrStale reports that the table's ground truth changed between the
@@ -35,6 +36,26 @@ var ErrStale = errors.New("audit: ground truth changed under the sampled query")
 // truth, returning the truth and the table generation it was computed at.
 // Implementations return ErrStale when the generation moved mid-read.
 type ExactFn func(kind dataset.AggKind, q dataset.Rect) (truth float64, gen uint64, err error)
+
+// SketchTruth is the exact ground truth for one sketch-family audit
+// sample; only the field matching the audited kind is set.
+type SketchTruth struct {
+	// Distinct is the exact distinct count (KindDistinct).
+	Distinct float64
+	// Counts holds the exact occurrence count of each requested value,
+	// aligned by index with the values passed to the SketchExactFn
+	// (KindTopK).
+	Counts []float64
+}
+
+// SketchExactFn re-executes one sketch-family aggregate exactly against
+// a table's ground truth. For KindTopK, values lists the heavy-hitter
+// values whose exact counts are requested. Implementations return
+// ErrStale when the generation moved mid-read. KindQuantile is never
+// requested: exact quantile truth needs a full sort of the base rows,
+// too expensive for a continuous audit, so quantile answers are skipped
+// under the pass_audit_sketch_skipped_total counter instead.
+type SketchExactFn func(q sketch.Query, values []float64) (truth SketchTruth, gen uint64, err error)
 
 // RelErrBuckets are the relative-error histogram bounds: 0.01% to 100%.
 var RelErrBuckets = []float64{
@@ -65,6 +86,18 @@ type Key struct {
 	Table    string          `json:"table"`
 	Kind     dataset.AggKind `json:"-"`
 	Degraded bool            `json:"degraded"`
+	// Sketch is the sketch-family aggregate of a sketch stream (zero for
+	// scalar streams, whose aggregate is Kind).
+	Sketch sketch.Kind `json:"-"`
+}
+
+// AggLabel returns the stream's aggregate label the way SQL spells it:
+// the sketch kind for sketch-family streams, the scalar kind otherwise.
+func (k Key) AggLabel() string {
+	if k.Sketch != 0 {
+		return k.Sketch.String()
+	}
+	return k.Kind.String()
 }
 
 // Stat is a point-in-time snapshot of one audited stream.
@@ -95,6 +128,10 @@ type sample struct {
 	q   dataset.Rect
 	r   core.Result
 	gen uint64
+
+	// sq/sr replace q/r for sketch-family samples (sq non-nil).
+	sq *sketch.Query
+	sr sketch.Result
 }
 
 // stream is the per-Key accounting plus its registry instruments.
@@ -110,18 +147,21 @@ type stream struct {
 // completed queries via Observe (cheap, lock-safe), and either Start a
 // background worker or call Flush synchronously (tests, benchmarks).
 type Auditor struct {
-	cfg   Config
-	reg   *obs.Registry
-	queue chan sample
-	seq   atomic.Uint64 // sampling-decision state
+	cfg     Config
+	reg     *obs.Registry
+	queue   chan sample
+	seq     atomic.Uint64 // sampling-decision state
+	skipped atomic.Int64  // per-auditor sketch-skip count (the registry counter is process-wide)
 
-	mu      sync.Mutex
-	sources map[string]ExactFn
-	streams map[Key]*stream
+	mu            sync.Mutex
+	sources       map[string]ExactFn
+	sketchSources map[string]SketchExactFn
+	streams       map[Key]*stream
 
-	enqueued *obs.Counter
-	dropped  *obs.Counter
-	stale    *obs.Counter
+	enqueued      *obs.Counter
+	dropped       *obs.Counter
+	stale         *obs.Counter
+	sketchSkipped *obs.Counter
 
 	started  atomic.Bool
 	stopOnce sync.Once
@@ -150,16 +190,19 @@ func New(cfg Config) *Auditor {
 		reg = obs.Default()
 	}
 	a := &Auditor{
-		cfg:      cfg,
-		reg:      reg,
-		queue:    make(chan sample, cfg.QueueSize),
-		sources:  make(map[string]ExactFn),
-		streams:  make(map[Key]*stream),
-		enqueued: reg.NewCounter("pass_audit_enqueued_total", "queries sampled for accuracy auditing"),
-		dropped:  reg.NewCounter("pass_audit_dropped_total", "audit samples dropped on queue overflow"),
-		stale:    reg.NewCounter("pass_audit_stale_total", "audit samples skipped because ground truth moved"),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:           cfg,
+		reg:           reg,
+		queue:         make(chan sample, cfg.QueueSize),
+		sources:       make(map[string]ExactFn),
+		sketchSources: make(map[string]SketchExactFn),
+		streams:       make(map[Key]*stream),
+		enqueued:      reg.NewCounter("pass_audit_enqueued_total", "queries sampled for accuracy auditing"),
+		dropped:       reg.NewCounter("pass_audit_dropped_total", "audit samples dropped on queue overflow"),
+		stale:         reg.NewCounter("pass_audit_stale_total", "audit samples skipped because ground truth moved"),
+		sketchSkipped: reg.NewLabeledCounter("pass_audit_sketch_skipped_total", obs.Labels("kind", "QUANTILE"),
+			"sampled sketch answers skipped because exact truth is too expensive to recompute"),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	reg.GaugeFunc("pass_audit_queue_depth", "audit samples awaiting exact re-execution",
 		func() float64 { return float64(len(a.queue)) })
@@ -184,8 +227,24 @@ func (a *Auditor) RegisterSource(table string, fn ExactFn) {
 	a.sources[table] = fn
 }
 
-// ForgetSource detaches a table's exact re-execution hook.
-func (a *Auditor) ForgetSource(table string) { a.RegisterSource(table, nil) }
+// RegisterSketchSource wires a table's exact sketch re-execution hook.
+// Re-registering replaces; tables without one are observed but never
+// scored.
+func (a *Auditor) RegisterSketchSource(table string, fn SketchExactFn) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if fn == nil {
+		delete(a.sketchSources, table)
+		return
+	}
+	a.sketchSources[table] = fn
+}
+
+// ForgetSource detaches a table's exact re-execution hooks.
+func (a *Auditor) ForgetSource(table string) {
+	a.RegisterSource(table, nil)
+	a.RegisterSketchSource(table, nil)
+}
 
 // Observe feeds one completed query to the auditor. Called under the
 // table's read lock: the fast path is one atomic add plus a splitmix
@@ -195,17 +254,8 @@ func (a *Auditor) Observe(table string, kind dataset.AggKind, q dataset.Rect, r 
 	if r.NoMatch {
 		return // no defined truth to compare against
 	}
-	f := a.cfg.SampleFraction
-	if f <= 0 {
+	if !a.sampled() {
 		return
-	}
-	if f < 1 {
-		// Deterministic per-auditor subsampling: hash a sequence number
-		// rather than consult a locked RNG on the query path.
-		h := splitmix64(a.seq.Add(1))
-		if float64(h>>11)/(1<<53) >= f {
-			return
-		}
 	}
 	s := sample{
 		key: Key{Table: table, Kind: kind, Degraded: r.Degraded},
@@ -219,6 +269,49 @@ func (a *Auditor) Observe(table string, kind dataset.AggKind, q dataset.Rect, r 
 	default:
 		a.dropped.Inc()
 	}
+}
+
+// ObserveSketch feeds one completed sketch-family query to the auditor
+// (same contract as Observe: called under the table's read lock, cheap
+// fast path, non-blocking enqueue). QUANTILE answers are skipped under
+// a labeled counter rather than mis-scored — their exact truth needs a
+// full sort of the base rows, too expensive for a continuous audit.
+func (a *Auditor) ObserveSketch(table string, q sketch.Query, r sketch.Result, gen uint64) {
+	if !a.sampled() {
+		return
+	}
+	if q.Kind == sketch.KindQuantile {
+		a.sketchSkipped.Inc()
+		a.skipped.Add(1)
+		return
+	}
+	s := sample{
+		key: Key{Table: table, Sketch: q.Kind},
+		sq:  &q,
+		sr:  r,
+		gen: gen,
+	}
+	select {
+	case a.queue <- s:
+		a.enqueued.Inc()
+	default:
+		a.dropped.Inc()
+	}
+}
+
+// sampled makes one audit sampling decision: a deterministic per-auditor
+// hash of a sequence number, so the query path never consults a locked
+// RNG.
+func (a *Auditor) sampled() bool {
+	f := a.cfg.SampleFraction
+	if f <= 0 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	h := splitmix64(a.seq.Add(1))
+	return float64(h>>11)/(1<<53) < f
 }
 
 // Start launches the background worker draining the queue at the
@@ -267,6 +360,10 @@ func (a *Auditor) Flush() {
 
 // process scores one sample against exact ground truth.
 func (a *Auditor) process(s sample) {
+	if s.sq != nil {
+		a.processSketch(s)
+		return
+	}
 	a.mu.Lock()
 	fn := a.sources[s.key.Table]
 	a.mu.Unlock()
@@ -288,9 +385,63 @@ func (a *Auditor) process(s sample) {
 	tol := 1e-9 * max(1, absf(truth))
 	covered := absf(truth-s.r.Estimate) <= s.r.CIHalf+tol
 	hardViolated := s.r.HardValid && (truth < s.r.HardLo-tol || truth > s.r.HardHi+tol)
-	relErr := s.r.RelativeError(truth)
+	a.score(s.key, covered, hardViolated, s.r.RelativeError(truth))
+}
 
-	st := a.streamFor(s.key)
+// processSketch scores one sketch-family sample: COUNT DISTINCT against
+// its 3-sigma interval, TOPK entry counts against their hard per-entry
+// error bounds.
+func (a *Auditor) processSketch(s sample) {
+	a.mu.Lock()
+	fn := a.sketchSources[s.key.Table]
+	a.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	var values []float64
+	if s.sq.Kind == sketch.KindTopK {
+		values = make([]float64, len(s.sr.Entries))
+		for i, e := range s.sr.Entries {
+			values[i] = e.Value
+		}
+	}
+	truth, gen, err := fn(*s.sq, values)
+	if err != nil {
+		a.stale.Inc()
+		return
+	}
+	if gen != s.gen || gen%2 != 0 {
+		a.stale.Inc()
+		return
+	}
+	var covered, hardViolated bool
+	var relErr float64
+	switch s.sq.Kind {
+	case sketch.KindDistinct:
+		tol := 1e-9 * max(1, truth.Distinct)
+		covered = truth.Distinct >= s.sr.Lo-tol && truth.Distinct <= s.sr.Hi+tol
+		relErr = absf(s.sr.Value-truth.Distinct) / max(1, truth.Distinct)
+	case sketch.KindTopK:
+		covered = true
+		for i, e := range s.sr.Entries {
+			d := absf(e.Count - truth.Counts[i])
+			if d > e.ErrBound+1e-9*max(1, truth.Counts[i]) {
+				covered, hardViolated = false, true
+			}
+			if re := d / max(1, truth.Counts[i]); re > relErr {
+				relErr = re
+			}
+		}
+	default:
+		return
+	}
+	a.score(s.key, covered, hardViolated, relErr)
+}
+
+// score folds one audited sample into its stream's accounting and
+// registry instruments.
+func (a *Auditor) score(key Key, covered, hardViolated bool, relErr float64) {
+	st := a.streamFor(key)
 	a.mu.Lock()
 	st.stat.Audited++
 	if covered {
@@ -324,7 +475,7 @@ func (a *Auditor) streamFor(k Key) *stream {
 	if k.Degraded {
 		degraded = "true"
 	}
-	labels := obs.Labels("table", k.Table, "agg", k.Kind.String(), "degraded", degraded)
+	labels := obs.Labels("table", k.Table, "agg", k.AggLabel(), "degraded", degraded)
 	st := &stream{
 		audited:  a.reg.NewLabeledCounter("pass_audit_audited_total", labels, "audited queries scored against exact truth"),
 		covered:  a.reg.NewLabeledCounter("pass_audit_covered_total", labels, "audited queries whose CI contained the exact truth"),
@@ -351,6 +502,10 @@ func (a *Auditor) Dropped() int64 { return a.dropped.Value() }
 
 // Stale reports how many samples were skipped as stale.
 func (a *Auditor) Stale() int64 { return a.stale.Value() }
+
+// SketchSkipped reports how many sampled sketch answers this auditor
+// skipped because exact truth is too expensive to recompute (QUANTILE).
+func (a *Auditor) SketchSkipped() int64 { return a.skipped.Load() }
 
 // splitmix64 is the SplitMix64 mixing function — a full-avalanche hash
 // used for the per-query sampling decision.

@@ -205,11 +205,12 @@ var Experiments = map[string]func(Config) []Table{
 	"adaptive":  AdaptiveExp,
 	"plancache": PlanCacheExp,
 	"audit":     AuditExp,
+	"sketch":    SketchExp,
 }
 
 // ExperimentOrder is the canonical presentation order.
 var ExperimentOrder = []string{
 	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 	"table2", "table3", "dpcost", "ablation", "sharded", "adaptive",
-	"plancache", "audit",
+	"plancache", "audit", "sketch",
 }

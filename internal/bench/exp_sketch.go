@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/engine/factory"
+	"repro/internal/sketch"
+)
+
+// SketchExp validates the mergeable-sketch aggregates (QUANTILE, COUNT
+// DISTINCT, TOPK) end to end on a skewed discrete workload: a zipfian
+// aggregate column where heavy hitters and distinct counts are
+// meaningful, answered by an unsharded synopsis and by a sharded
+// scatter-gather engine whose per-shard sketches merge at query time.
+// Each row reports the estimate next to the exact answer computed from
+// the base rows, the observed error, and the sketch's stated bound —
+// the observed error must sit within the bound (3-sigma for COUNT
+// DISTINCT, hard for the others).
+func SketchExp(cfg Config) []Table {
+	cfg = cfg.Defaults()
+	shards := cfg.Shards
+	if shards <= 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 2 {
+		shards = 2
+	}
+
+	// zipf-ish discrete aggregate column: value v appears with weight
+	// ~1/(v+1), so a handful of heavy hitters dominate while the tail
+	// keeps the distinct count interesting
+	const universe = 2000
+	d := dataset.New("zipf", 1)
+	rng := newSplitMix(cfg.Seed + 0x5e7c)
+	for i := 0; i < cfg.Rows; i++ {
+		u := rng.float64()
+		v := math.Floor(math.Pow(float64(universe), u)) - 1
+		d.Append([]float64{float64(i)}, v)
+	}
+
+	// exact answers from the base rows
+	sorted := append([]float64(nil), d.Agg...)
+	sort.Float64s(sorted)
+	counts := map[float64]int64{}
+	for _, v := range d.Agg {
+		counts[v]++
+	}
+	exactDistinct := float64(len(counts))
+
+	type probe struct {
+		label string
+		q     sketch.Query
+	}
+	probes := []probe{
+		{"QUANTILE(a, 0.5)", sketch.Query{Kind: sketch.KindQuantile, Arg: 0.5}},
+		{"QUANTILE(a, 0.99)", sketch.Query{Kind: sketch.KindQuantile, Arg: 0.99}},
+		{"COUNT(DISTINCT a)", sketch.Query{Kind: sketch.KindDistinct}},
+		{"TOPK(a, 8)", sketch.Query{Kind: sketch.KindTopK, Arg: 8}},
+	}
+
+	sp := factory.Spec{Partitions: 64, SampleRate: 0.01, Seed: cfg.Seed}
+	out := Table{
+		Title: fmt.Sprintf("Sketch aggregates: estimate vs exact, 1 vs %d shards (%d rows, %d distinct)",
+			shards, d.N(), len(counts)),
+		Header: []string{"Aggregate", "Engine", "Estimate", "Exact", "ObsErr", "Bound", "OK", "Latency"},
+	}
+	violations := 0
+	for _, spec := range []string{"pass", fmt.Sprintf("sharded:pass:%d", shards)} {
+		e, err := factory.Build(spec, d, sp)
+		if err != nil {
+			out.AddRow(spec, "", "build failed: "+err.Error(), "", "", "", "", "")
+			continue
+		}
+		sk, ok := engine.Underlying(e).(engine.Sketcher)
+		if !ok {
+			out.AddRow(spec, e.Name(), "engine is not a Sketcher", "", "", "", "", "")
+			continue
+		}
+		for _, p := range probes {
+			start := time.Now()
+			r, err := sk.SketchQuery(p.q)
+			el := time.Since(start)
+			if err != nil {
+				out.AddRow(p.label, e.Name(), "error: "+err.Error(), "", "", "", "", "")
+				continue
+			}
+			est, exact, obs, bound := sketchScore(p.q, r, sorted, counts, exactDistinct)
+			okStr := "yes"
+			if obs > bound {
+				okStr = "NO"
+				violations++
+			}
+			out.AddRow(p.label, e.Name(), est, exact,
+				fmt.Sprintf("%.1f", obs), fmt.Sprintf("%.1f", bound), okStr, ms(el))
+		}
+	}
+	note := "QUANTILE error in rank positions, TOPK in count units (hard bounds); COUNT DISTINCT vs its 3-sigma half-width"
+	if violations > 0 {
+		note += fmt.Sprintf("; %d BOUND VIOLATIONS", violations)
+	}
+	out.Note = note
+	return []Table{out}
+}
+
+// sketchScore computes the observed error of one sketch answer against
+// the exact base rows, in the same units as the sketch's stated bound.
+func sketchScore(q sketch.Query, r sketch.Result, sorted []float64, counts map[float64]int64, exactDistinct float64) (est, exact string, obs, bound float64) {
+	switch q.Kind {
+	case sketch.KindQuantile:
+		// the guarantee is on rank: the returned value's rank interval in
+		// the sorted base rows must be within Bound positions of the
+		// target rank
+		target := q.Arg * float64(len(sorted))
+		lo := float64(sort.SearchFloat64s(sorted, r.Value))
+		hi := float64(sort.Search(len(sorted), func(i int) bool { return sorted[i] > r.Value }))
+		obs = 0
+		if target < lo {
+			obs = lo - target
+		} else if target > hi {
+			obs = target - hi
+		}
+		exactIdx := int(target)
+		if exactIdx >= len(sorted) {
+			exactIdx = len(sorted) - 1
+		}
+		return fmt.Sprintf("%g", r.Value), fmt.Sprintf("%g", sorted[exactIdx]), obs, r.Bound
+	case sketch.KindDistinct:
+		obs = math.Abs(r.Value - exactDistinct)
+		return fmt.Sprintf("%.0f", r.Value), fmt.Sprintf("%.0f", exactDistinct), obs, (r.Hi - r.Lo) / 2
+	case sketch.KindTopK:
+		// every returned heavy hitter's estimated count must be within its
+		// stated error bound of the true count
+		for _, e := range r.Entries {
+			if d := math.Abs(e.Count - float64(counts[e.Value])); d > obs {
+				obs = d
+			}
+			if e.ErrBound > bound {
+				bound = e.ErrBound
+			}
+		}
+		top := ""
+		if len(r.Entries) > 0 {
+			top = fmt.Sprintf("%g:%.0f", r.Entries[0].Value, r.Entries[0].Count)
+			exact = fmt.Sprintf("%g:%d", r.Entries[0].Value, counts[r.Entries[0].Value])
+		}
+		return top, exact, obs, bound
+	}
+	return "", "", 0, 0
+}

@@ -149,12 +149,17 @@ func (r *Reader) Str() string {
 }
 
 // Bytes reads a length-prefixed byte blob.
-func (r *Reader) Bytes() []byte {
+func (r *Reader) Bytes() []byte { return r.BytesCap(maxBlob) }
+
+// BytesCap reads a length-prefixed byte blob whose length the format
+// bounds more tightly than the global blob limit, so a corrupt length
+// field fails before allocating anything near the claimed size.
+func (r *Reader) BytesCap(limit uint64) []byte {
 	n := r.U64()
 	if r.err != nil {
 		return nil
 	}
-	if n > maxBlob {
+	if n > limit || n > maxBlob {
 		r.err = fmt.Errorf("binenc: blob length %d exceeds limit (corrupt data?)", n)
 		return nil
 	}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/sketch"
 )
 
 // QueryRecorder receives one observation per served scalar query — both
@@ -44,6 +45,15 @@ import (
 // table's read lock is held and must not call back into the table.
 type QueryRecorder interface {
 	ObserveQuery(table string, kind dataset.AggKind, q dataset.Rect, r core.Result, n int, elapsed time.Duration, cacheHit bool)
+}
+
+// SketchRecorder is the optional sketch-family extension of
+// QueryRecorder: recorders that also implement it receive one
+// observation per served sketch query (QUANTILE, COUNT DISTINCT, TOPK),
+// stamped with the generation it executed at. Calls are made while the
+// table's read lock is held and must not call back into the table.
+type SketchRecorder interface {
+	ObserveSketch(table string, q sketch.Query, r sketch.Result, gen uint64)
 }
 
 // ResultCache answers repeated scalar queries without touching the

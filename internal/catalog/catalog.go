@@ -38,6 +38,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/sketch"
 	"repro/internal/sqlfe"
 )
 
@@ -253,6 +254,28 @@ func (t *Table) GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups []
 		return nil, fmt.Errorf("catalog: engine %s of table %q does not support GROUP BY", t.eng.Name(), t.name)
 	}
 	return g.GroupBy(kind, q, dim, groups)
+}
+
+// SketchQuery answers a sketch-family aggregate (QUANTILE, COUNT
+// DISTINCT, TOPK) under the table's read lock, when the engine maintains
+// mergeable sketches (engine.Sketcher). Sketch answers bypass the
+// adaptive recorder and result cache — both speak core.Result over
+// rectangles, and sketch queries have no predicate to key on.
+func (t *Table) SketchQuery(q sketch.Query) (sketch.Result, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sk, ok := engine.Underlying(t.eng).(engine.Sketcher)
+	if !ok {
+		return sketch.Result{}, fmt.Errorf("catalog: engine %s of table %q does not support %s: %w",
+			t.eng.Name(), t.name, q.Kind, sketch.ErrUnavailable)
+	}
+	r, err := sk.SketchQuery(q)
+	if err == nil {
+		if rec, isSketch := t.recorder.(SketchRecorder); isSketch {
+			rec.ObserveSketch(t.name, q, r, t.gen.Load())
+		}
+	}
+	return r, err
 }
 
 // AttachJournal wires a write-ahead journal under the table: every

@@ -15,6 +15,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/ptree"
 	"repro/internal/sample"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 )
 
@@ -176,6 +177,11 @@ type Synopsis struct {
 	dims   int
 	rng    *stats.RNG
 	res    *sample.Reservoir
+	// sk holds the mergeable sketches (KLL/HLL/Misra-Gries) over the
+	// aggregate column, maintained through Insert/Delete and persisted
+	// with the synopsis. Nil only for synopses restored from a pre-sketch
+	// (v1) snapshot; sketch queries then return sketch.ErrUnavailable.
+	sk *sketch.Set
 	// BuildTime records wall-clock construction cost.
 	BuildTime time.Duration
 	// Partitioning is the chosen 1D leaf partitioning (1D synopses only).
@@ -234,6 +240,7 @@ func buildFromPartitioning(sorted *dataset.Dataset, opts Options, p partition.Pa
 		opts: opts, tr: tr, oneD: tr,
 		n: sorted.N(), dims: 1, rng: rng,
 		Partitioning: p,
+		sk:           sketchFromAgg(sorted.Agg),
 	}
 	s.drawSamples1D(sorted, tr)
 	s.res = sample.NewReservoir(maxInt(s.totalK, 1), stats.NewRNG(opts.Seed+0x51ed))
@@ -304,6 +311,7 @@ func BuildKD(d *dataset.Dataset, opts Options) (*Synopsis, error) {
 		opts: opts, tr: tr, kd: tr, idxCols: idxCols,
 		n: d.N(), dims: d.Dims(),
 		rng: stats.NewRNG(opts.Seed + 0x9e37),
+		sk:  sketchFromAgg(d.Agg),
 	}
 	s.drawSamplesKD(d, tr)
 	s.BuildTime = time.Since(start)
@@ -415,12 +423,40 @@ func (s *Synopsis) Dims() int { return s.dims }
 func (s *Synopsis) LeafSamples(leaf int) []SampleTuple { return s.store.leafTuples(leaf) }
 
 // MemoryBytes estimates total synopsis storage: tree aggregates plus
-// samples (8 bytes per float64: point coordinates + value). The per-leaf
-// prefix acceleration arrays are derivable from the samples and excluded,
-// matching the paper's synopsis-size accounting.
+// samples (8 bytes per float64: point coordinates + value) plus the
+// mergeable sketches. The per-leaf prefix acceleration arrays are
+// derivable from the samples and excluded, matching the paper's
+// synopsis-size accounting.
 func (s *Synopsis) MemoryBytes() int {
-	return s.tr.MemoryBytes() + s.store.totalLen()*(s.dims+1)*8
+	return s.tr.MemoryBytes() + s.store.totalLen()*(s.dims+1)*8 + int(s.sk.MemoryBytes())
 }
+
+// sketchFromAgg builds the synopsis's sketch set from the aggregate
+// column. Feeding happens in column order, which is deterministic for a
+// given dataset, so rebuilds from the same data serialize identically.
+func sketchFromAgg(agg []float64) *sketch.Set {
+	sk := sketch.NewSet()
+	for _, v := range agg {
+		sk.Add(v)
+	}
+	return sk
+}
+
+// SketchQuery answers one mergeable-sketch aggregate (QUANTILE, COUNT
+// DISTINCT, TOPK) from the synopsis's sketch set; with SketchSet it
+// provides the engine.Sketcher capability. Synopses restored from a
+// pre-sketch (v1) snapshot return sketch.ErrUnavailable.
+func (s *Synopsis) SketchQuery(q sketch.Query) (sketch.Result, error) {
+	if s.sk == nil {
+		return sketch.Result{}, sketch.ErrUnavailable
+	}
+	return s.sk.Answer(q)
+}
+
+// SketchSet exposes the synopsis's sketch state for merging by composite
+// engines. Callers must treat it as read-only; nil for pre-sketch
+// snapshots.
+func (s *Synopsis) SketchSet() *sketch.Set { return s.sk }
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/ptree"
 	"repro/internal/sample"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 )
 
@@ -20,10 +21,14 @@ import (
 // they are the ones with cheap dynamic maintenance and therefore the ones
 // worth persisting.
 
-// serMagic identifies the format; serVersion guards evolution.
+// serMagic identifies the format; serVersion guards evolution. Version 2
+// appends the mergeable-sketch section (internal/sketch) after the leaf
+// samples; version 1 snapshots still load, with nil sketches — sketch
+// queries on such a synopsis return sketch.ErrUnavailable until the
+// table is rebuilt from base rows.
 const (
 	serMagic   = 0x50415353 // "PASS"
-	serVersion = 1
+	serVersion = 2
 )
 
 // ErrNotSerializable reports a synopsis that cannot be persisted — today,
@@ -111,6 +116,15 @@ func (s *Synopsis) Save(w io.Writer) error {
 			sw.i64(int64(q))
 		}
 	}
+	// v2: mergeable-sketch section (presence flag + opaque sketch blob).
+	// A synopsis loaded from a v1 snapshot carries no sketches and
+	// round-trips the absence.
+	if s.sk != nil {
+		sw.u64(1)
+		sw.Bytes(s.sk.Encode())
+	} else {
+		sw.u64(0)
+	}
 	return sw.Flush()
 }
 
@@ -122,8 +136,9 @@ func Load(r io.Reader) (*Synopsis, error) {
 	if sr.u64() != serMagic {
 		return nil, fmt.Errorf("core: not a PASS synopsis (bad magic)")
 	}
-	if v := sr.u64(); v != serVersion {
-		return nil, fmt.Errorf("core: unsupported synopsis version %d", v)
+	version := sr.u64()
+	if version < 1 || version > serVersion {
+		return nil, fmt.Errorf("core: unsupported synopsis version %d", version)
 	}
 	var opts Options
 	opts.Lambda = sr.f64()
@@ -198,6 +213,24 @@ func Load(r io.Reader) (*Synopsis, error) {
 	}
 	if err := sr.err(); err != nil {
 		return nil, err
+	}
+	if version >= 2 {
+		if sr.u64() == 1 {
+			// a well-formed sketch blob is well under 1 MiB (the HLL
+			// registers dominate at 16 KiB); larger claims are corruption
+			blob := sr.BytesCap(1 << 20)
+			if err := sr.err(); err != nil {
+				return nil, err
+			}
+			sk, err := sketch.DecodeSet(blob)
+			if err != nil {
+				return nil, fmt.Errorf("core: corrupt synopsis: %w", err)
+			}
+			s.sk = sk
+		}
+		if err := sr.err(); err != nil {
+			return nil, err
+		}
 	}
 	st.prefSum = make([]float64, len(st.values))
 	st.prefSumSq = make([]float64, len(st.values))

@@ -39,6 +39,9 @@ func (s *Synopsis) Insert(point []float64, value float64) error {
 	leaf := s.oneD.LocateLeaf(point[0])
 	s.oneD.ApplyInsert(leaf, value)
 	s.n++
+	if s.sk != nil {
+		s.sk.Add(value)
+	}
 	accepted, evicted := s.res.Offer(sample.Item{Point: point, Value: value, Leaf: leaf})
 	if !accepted {
 		return nil
@@ -63,6 +66,9 @@ func (s *Synopsis) Delete(point []float64, value float64) error {
 		return err
 	}
 	s.n--
+	if s.sk != nil {
+		s.sk.Delete(value)
+	}
 	s.store.remove(leaf, value)
 	// keep the reservoir's view consistent
 	items := s.res.Items()

@@ -200,17 +200,20 @@ func TestCapabilitySplit(t *testing.T) {
 		_, grp := e.(engine.Grouper)
 		_, shr := e.(engine.Sharded)
 		_, cup := e.(engine.ConcurrentUpdatable)
+		_, skt := engine.Underlying(e).(engine.Sketcher)
 		if isSharded := strings.HasPrefix(kind, "sharded:"); isSharded {
-			if !upd || !grp || !shr || !cup || ser {
-				t.Errorf("%s: capabilities updatable=%v grouper=%v sharded=%v concurrent=%v serializable=%v, want t/t/t/t/f",
-					kind, upd, grp, shr, cup, ser)
+			// sharded engines carry the Sketcher surface too, erroring at
+			// call time when an inner engine keeps no sketches
+			if !upd || !grp || !shr || !cup || !skt || ser {
+				t.Errorf("%s: capabilities updatable=%v grouper=%v sharded=%v concurrent=%v sketcher=%v serializable=%v, want t/t/t/t/t/f",
+					kind, upd, grp, shr, cup, skt, ser)
 			}
 			continue
 		}
 		isPass := kind == "pass"
 		isSampling := isPass || kind == "us" || kind == "st"
-		if upd != isPass || grp != isPass {
-			t.Errorf("%s: capabilities updatable=%v grouper=%v, want both %v", kind, upd, grp, isPass)
+		if upd != isPass || grp != isPass || skt != isPass {
+			t.Errorf("%s: capabilities updatable=%v grouper=%v sketcher=%v, want all %v", kind, upd, grp, skt, isPass)
 		}
 		if ser != isSampling {
 			t.Errorf("%s: serializable=%v, want %v", kind, ser, isSampling)

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/sketch"
 )
 
 // ErrNotSerializable is returned (wrapped, with engine and table context)
@@ -183,6 +184,25 @@ type Sharded interface {
 	// Route returns the shard that owns an update with the given
 	// predicate point.
 	Route(point []float64) (int, error)
+}
+
+// Sketcher is the optional mergeable-sketch capability: engines that
+// maintain the QUANTILE / COUNT DISTINCT / TOPK summaries
+// (internal/sketch) over their aggregate column. Sketch queries carry no
+// predicate — the summaries are table-global (per shard in a sharded
+// engine, merged at gather time) — so the capability sits beside Query
+// rather than extending it.
+type Sketcher interface {
+	// SketchQuery answers one sketch aggregate. Engines restored from a
+	// snapshot that predates sketch maintenance return
+	// sketch.ErrUnavailable.
+	SketchQuery(q sketch.Query) (sketch.Result, error)
+	// SketchSet exposes the engine's sketch state for merging by
+	// composite engines (scatter-gather). Callers must treat the returned
+	// set as read-only and must not retain it across updates; composite
+	// engines clone before merging. Nil when the engine carries no
+	// sketches (pre-sketch snapshot).
+	SketchSet() *sketch.Set
 }
 
 // Sized is the optional row-count capability, used by the catalog for

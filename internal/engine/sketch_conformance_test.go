@@ -1,0 +1,177 @@
+// Sketch conformance: every sketch-capable engine — the PASS synopsis
+// and the sharded scatter-gather configurations over PASS inners — must
+// answer QUANTILE / COUNT DISTINCT / TOPK within the error bound its
+// result states, verified against exact answers computed from the base
+// rows (the exact twin). Sharded engines must additionally agree with
+// their unsharded twin where the sketch algebra makes answers
+// multiset-determined (COUNT DISTINCT), and every engine must answer
+// deterministically across repeated queries.
+package engine_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/engine/factory"
+	"repro/internal/sketch"
+)
+
+// sketchSpecs are the engine configurations that must carry working
+// sketches: the unsharded synopsis and sharded scatter-gather over PASS
+// inners (range- and hash-partitioned).
+var sketchSpecs = []string{"pass", "sharded:pass:4", "sharded:pass:3:hash"}
+
+// exactStats computes the exact twin of every sketch aggregate from the
+// base rows.
+type exactStats struct {
+	sorted []float64
+	counts map[float64]float64
+}
+
+func exactOf(agg []float64) exactStats {
+	s := append([]float64(nil), agg...)
+	sort.Float64s(s)
+	c := make(map[float64]float64)
+	for _, v := range agg {
+		c[v]++
+	}
+	return exactStats{sorted: s, counts: c}
+}
+
+// rankErr is the distance (in rank positions) from the target rank to
+// the value's rank interval in the sorted base rows — zero when the
+// returned value is a legitimate answer for the requested quantile.
+func (ex exactStats) rankErr(q, v float64) float64 {
+	target := q * float64(len(ex.sorted))
+	lo := float64(sort.SearchFloat64s(ex.sorted, v))
+	hi := float64(sort.Search(len(ex.sorted), func(i int) bool { return ex.sorted[i] > v }))
+	switch {
+	case target < lo:
+		return lo - target
+	case target > hi:
+		return target - hi
+	}
+	return 0
+}
+
+func TestConformanceSketchExactTwin(t *testing.T) {
+	d := confDataset(t)
+	ex := exactOf(d.Agg)
+	// dTop discretizes the aggregate column so a handful of values carry
+	// real weight — the regime TOPK is for
+	dTop := d.Clone()
+	for i, v := range dTop.Agg {
+		dTop.Agg[i] = math.Floor(v / 4)
+	}
+	exTop := exactOf(dTop.Agg)
+	var distinctAnswers []sketch.Result
+	for _, spec := range sketchSpecs {
+		e, err := factory.Build(spec, d, factory.Spec{Partitions: 16, SampleRate: 0.02, Seed: 11})
+		if err != nil {
+			t.Fatalf("factory.Build(%s): %v", spec, err)
+		}
+		sk, ok := engine.Underlying(e).(engine.Sketcher)
+		if !ok {
+			t.Fatalf("%s: not a Sketcher", spec)
+		}
+		t.Run(spec, func(t *testing.T) {
+			for _, q := range []float64{0.1, 0.5, 0.9} {
+				r, err := sk.SketchQuery(sketch.Query{Kind: sketch.KindQuantile, Arg: q})
+				if err != nil {
+					t.Fatalf("QUANTILE(%g): %v", q, err)
+				}
+				if obs := ex.rankErr(q, r.Value); obs > r.Bound {
+					t.Errorf("QUANTILE(%g) = %g: rank error %.0f exceeds stated bound %.0f", q, r.Value, obs, r.Bound)
+				}
+				if r.N != int64(d.N()) {
+					t.Errorf("QUANTILE(%g): N = %d, want %d", q, r.N, d.N())
+				}
+			}
+
+			r, err := sk.SketchQuery(sketch.Query{Kind: sketch.KindDistinct})
+			if err != nil {
+				t.Fatalf("COUNT DISTINCT: %v", err)
+			}
+			exact := float64(len(ex.counts))
+			if obs, bound := math.Abs(r.Value-exact), (r.Hi-r.Lo)/2; obs > bound {
+				t.Errorf("COUNT DISTINCT = %.0f (exact %.0f): error %.1f exceeds 3-sigma half-width %.1f",
+					r.Value, exact, obs, bound)
+			}
+			distinctAnswers = append(distinctAnswers, r)
+
+			// TOPK needs genuine heavy hitters to retain entries across a
+			// sharded merge (the Misra-Gries offset subtraction rightly
+			// drops values no heavier than the tail), so it runs over the
+			// discretized twin of the same rows
+			eTop, err := factory.Build(spec, dTop, factory.Spec{Partitions: 16, SampleRate: 0.02, Seed: 11})
+			if err != nil {
+				t.Fatalf("factory.Build(%s) over discretized rows: %v", spec, err)
+			}
+			skTop := engine.Underlying(eTop).(engine.Sketcher)
+			tk, err := skTop.SketchQuery(sketch.Query{Kind: sketch.KindTopK, Arg: 8})
+			if err != nil {
+				t.Fatalf("TOPK(8): %v", err)
+			}
+			if len(tk.Entries) == 0 {
+				t.Fatal("TOPK(8): no entries over heavy-hitter rows")
+			}
+			for _, en := range tk.Entries {
+				if obs := math.Abs(en.Count - exTop.counts[en.Value]); obs > en.ErrBound {
+					t.Errorf("TOPK entry %g: count %.0f (exact %.0f), error %.1f exceeds bound %.1f",
+						en.Value, en.Count, exTop.counts[en.Value], obs, en.ErrBound)
+				}
+			}
+
+			// repeated queries answer deterministically: the scatter fold
+			// runs in shard-index order, never racing itself
+			again, err := skTop.SketchQuery(sketch.Query{Kind: sketch.KindTopK, Arg: 8})
+			if err != nil || !reflect.DeepEqual(tk, again) {
+				t.Errorf("TOPK(8) not deterministic across calls: %+v vs %+v (err %v)", tk, again, err)
+			}
+		})
+	}
+	// COUNT DISTINCT is multiset-determined: the HLL registers depend
+	// only on the set of values, so every sharding of the same rows must
+	// answer bit-identically to the unsharded twin.
+	for i := 1; i < len(distinctAnswers); i++ {
+		if !reflect.DeepEqual(distinctAnswers[0], distinctAnswers[i]) {
+			t.Errorf("COUNT DISTINCT diverges between %s and %s: %+v vs %+v",
+				sketchSpecs[0], sketchSpecs[i], distinctAnswers[0], distinctAnswers[i])
+		}
+	}
+}
+
+// TestConformanceSketchUnavailable drives sketch queries at engines that
+// cannot answer them: unsharded non-PASS engines must not claim the
+// capability, and sharded engines over sketch-less inners must fail with
+// sketch.ErrUnavailable on every kind — an error, never a panic or a
+// silent wrong answer.
+func TestConformanceSketchUnavailable(t *testing.T) {
+	d := confDataset(t)
+	for kind, e := range buildAll(t, d) {
+		sk, ok := engine.Underlying(e).(engine.Sketcher)
+		sketchable := kind == "pass" || strings.HasPrefix(kind, "sharded:")
+		if ok != sketchable {
+			t.Errorf("%s: Sketcher = %v, want %v", kind, ok, sketchable)
+		}
+		if !ok || kind == "pass" || strings.HasPrefix(kind, "sharded:pass") {
+			continue
+		}
+		for _, q := range []sketch.Query{
+			{Kind: sketch.KindQuantile, Arg: 0.5},
+			{Kind: sketch.KindDistinct},
+			{Kind: sketch.KindTopK, Arg: 4},
+		} {
+			if _, err := sk.SketchQuery(q); !isUnavailable(err) {
+				t.Errorf("%s: %s over sketch-less inners returned %v, want sketch.ErrUnavailable", kind, q.Kind, err)
+			}
+		}
+	}
+}
+
+func isUnavailable(err error) bool { return errors.Is(err, sketch.ErrUnavailable) }

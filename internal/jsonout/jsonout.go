@@ -25,6 +25,45 @@ type Answer struct {
 	ShardsAnswered int  `json:"shards_answered,omitempty"`
 }
 
+// Sketch is the wire form of a sketch-family answer (QUANTILE, COUNT
+// DISTINCT, TOPK). The [lo, hi] interval is the sketch's guarantee
+// interval, not a sampling confidence interval.
+type Sketch struct {
+	Kind    string        `json:"kind"`
+	Value   float64       `json:"value,omitempty"`
+	Lo      float64       `json:"lo,omitempty"`
+	Hi      float64       `json:"hi,omitempty"`
+	Bound   float64       `json:"bound"`
+	Entries []SketchEntry `json:"entries,omitempty"`
+	Rows    int64         `json:"rows"`
+}
+
+// SketchEntry is one TOPK heavy hitter on the wire.
+type SketchEntry struct {
+	Value    float64 `json:"value"`
+	Count    float64 `json:"count"`
+	ErrBound float64 `json:"err_bound"`
+}
+
+// FromSketch converts a public sketch answer to its wire form.
+func FromSketch(a *pass.SketchAnswer) *Sketch {
+	if a == nil {
+		return nil
+	}
+	out := &Sketch{
+		Kind:  a.Kind,
+		Value: a.Value,
+		Lo:    a.Lo,
+		Hi:    a.Hi,
+		Bound: a.Bound,
+		Rows:  a.Rows,
+	}
+	for _, e := range a.Entries {
+		out.Entries = append(out.Entries, SketchEntry{Value: e.Value, Count: e.Count, ErrBound: e.ErrBound})
+	}
+	return out
+}
+
 // Group is one group's answer in a GROUP BY result.
 type Group struct {
 	Group   float64 `json:"group"`

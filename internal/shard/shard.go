@@ -14,6 +14,7 @@ import (
 	"repro/internal/merge"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/sketch"
 )
 
 // Engine is a sharded engine.Engine: N inner engines, one per data shard,
@@ -829,6 +830,59 @@ func (e *Engine) GroupBy(kind dataset.AggKind, q dataset.Rect, dim int, groups [
 		}
 	}
 	return merge.Groups(kind, parts), nil
+}
+
+// SketchQuery answers one mergeable-sketch aggregate (engine.Sketcher)
+// by gathering every shard's sketch set into a pooled streaming
+// accumulator. Sketch aggregates carry no predicate, so no shard is
+// pruned; the fold walks shards in index order under each shard's read
+// lock, which keeps the merged KLL/Misra-Gries state deterministic from
+// run to run (sketch merges are commutative at the answer level, but
+// only a fixed fold order is byte-reproducible).
+func (e *Engine) SketchQuery(q sketch.Query) (sketch.Result, error) {
+	m := merge.GetSketch()
+	defer merge.PutSketch(m)
+	for si := range e.inner {
+		sk, ok := engine.Underlying(e.inner[si]).(engine.Sketcher)
+		if !ok {
+			return sketch.Result{}, fmt.Errorf("shard: inner engine %s of shard %d does not support sketch aggregates: %w",
+				e.inner[si].Name(), si, sketch.ErrUnavailable)
+		}
+		e.scattered[si].Add(1)
+		e.locks[si].RLock()
+		absorbed := m.Absorb(sk.SketchSet())
+		e.locks[si].RUnlock()
+		e.streamed.Add(1)
+		if !absorbed {
+			return sketch.Result{}, fmt.Errorf("shard: shard %d: %w", si, sketch.ErrUnavailable)
+		}
+	}
+	merged := m.Result()
+	if merged == nil {
+		return sketch.Result{}, sketch.ErrUnavailable
+	}
+	return merged.Answer(q)
+}
+
+// SketchSet merges every shard's sketch state into a fresh set
+// (engine.Sketcher), for composite engines gathering above this one. Nil
+// when any shard predates sketch maintenance.
+func (e *Engine) SketchSet() *sketch.Set {
+	m := merge.GetSketch()
+	defer merge.PutSketch(m)
+	for si := range e.inner {
+		sk, ok := engine.Underlying(e.inner[si]).(engine.Sketcher)
+		if !ok {
+			return nil
+		}
+		e.locks[si].RLock()
+		absorbed := m.Absorb(sk.SketchSet())
+		e.locks[si].RUnlock()
+		if !absorbed {
+			return nil
+		}
+	}
+	return m.Result()
 }
 
 // Insert routes one tuple to its owning shard and applies it under that

@@ -1,0 +1,56 @@
+package sketch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeSet hammers the sketch deserializer with hostile bytes: torn
+// tails, flipped bits, and arbitrary garbage must return a wrapped
+// ErrCorrupt (or decode into a self-consistent set), and never panic.
+// Inputs that do decode must be canonical: decode→encode→decode is the
+// identity at the byte level, and every query kind answers without
+// panicking.
+func FuzzDecodeSet(f *testing.F) {
+	empty := NewSet()
+	f.Add(empty.Encode())
+	loaded := NewSet()
+	for i := 0; i < 5000; i++ {
+		loaded.Add(float64(i%211) * 1.5)
+		if i%7 == 0 {
+			loaded.Delete(float64(i % 211 * 3))
+		}
+	}
+	f.Add(loaded.Encode())
+	enc := loaded.Encode()
+	f.Add(enc[:len(enc)/2]) // torn tail
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/3] ^= 0x40 // bit flip
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x53, 0x4b, 0x54})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSet(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error is not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		enc := s.Encode()
+		again, err := DecodeSet(enc)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		if !bytes.Equal(again.Encode(), enc) {
+			t.Fatal("decode→encode is not canonical")
+		}
+		for _, q := range []Query{{KindQuantile, 0.5}, {KindDistinct, 0}, {KindTopK, 8}} {
+			if _, err := s.Answer(q); err != nil {
+				t.Fatalf("decoded set cannot answer %v: %v", q.Kind, err)
+			}
+		}
+	})
+}

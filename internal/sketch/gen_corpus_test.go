@@ -1,0 +1,54 @@
+package sketch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus for
+// FuzzDecodeSet from the current wire format. It is a maintenance tool,
+// not a test: run it after changing the encoding with
+//
+//	SKETCH_REGEN_CORPUS=1 go test -run TestRegenerateFuzzCorpus ./internal/sketch/
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("SKETCH_REGEN_CORPUS") == "" {
+		t.Skip("set SKETCH_REGEN_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSet")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	empty := NewSet()
+	loaded := NewSet()
+	for i := 0; i < 3000; i++ {
+		loaded.Add(float64(i % 257))
+	}
+	loaded.Delete(3)
+	big := NewSet()
+	x := uint64(99)
+	for i := 0; i < 20000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		big.Add(float64(x % 100003))
+	}
+	enc := loaded.Encode()
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)/2] ^= 0x40
+	seeds := map[string][]byte{
+		"empty-set":    empty.Encode(),
+		"loaded-set":   enc,
+		"big-set":      big.Encode(),
+		"torn-tail":    enc[:len(enc)/2],
+		"bit-flip":     flipped,
+		"empty-bytes":  {},
+		"short-magic":  enc[:3],
+		"trailing-pad": append(append([]byte(nil), empty.Encode()...), 0x01),
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

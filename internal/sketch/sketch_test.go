@@ -1,0 +1,409 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+)
+
+// rng is a tiny splitmix64 stream for deterministic test data.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 { r.s++; return splitmix64(r.s) }
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// zipfStream generates a skewed value stream: value i appears with
+// frequency proportional to 1/(i+1), capped to nVals distinct values.
+func zipfStream(n, nVals int, seed uint64) []float64 {
+	r := &rng{s: seed * 0x9e37}
+	weights := make([]float64, nVals)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	out := make([]float64, n)
+	for i := range out {
+		u := r.float64() * total
+		for j, w := range weights {
+			u -= w
+			if u <= 0 || j == nVals-1 {
+				out[i] = float64(j * 10)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func exactDistinct(vals []float64) int {
+	seen := make(map[uint64]struct{})
+	for _, v := range vals {
+		seen[canonBits(v)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// rankSpan returns the 0-indexed rank interval [lo, hi] that value v
+// occupies in the sorted stream.
+func rankSpan(sorted []float64, v float64) (int, int) {
+	lo := sort.SearchFloat64s(sorted, v)
+	hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	return lo, hi - 1
+}
+
+func TestHLLDistinctWithinBound(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 5000, 60000} {
+		s := NewSet()
+		r := &rng{s: uint64(n) + 7}
+		vals := make([]float64, n)
+		for i := range vals {
+			// ~n/2 distinct values: plenty of duplicates
+			vals[i] = math.Floor(r.float64() * float64(n) / 2)
+			s.Add(vals[i])
+		}
+		res, err := s.Answer(Query{Kind: KindDistinct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := float64(exactDistinct(vals))
+		if truth < res.Lo || truth > res.Hi {
+			t.Errorf("n=%d: exact distinct %v outside [%v, %v]", n, truth, res.Lo, res.Hi)
+		}
+		if res.N != int64(n) {
+			t.Errorf("n=%d: Result.N = %d", n, res.N)
+		}
+	}
+}
+
+func TestHLLNaNAndZeroCanonicalize(t *testing.T) {
+	s := NewSet()
+	s.Add(0.0)
+	s.Add(math.Copysign(0, -1))
+	s.Add(math.NaN())
+	s.Add(math.Float64frombits(0x7ff8000000000099)) // NaN, different payload
+	res, _ := s.Answer(Query{Kind: KindDistinct})
+	if math.Round(res.Value) != 2 {
+		t.Errorf("±0 and NaN payloads must collapse to 2 distinct values, estimated %v", res.Value)
+	}
+}
+
+func TestKLLQuantileWithinStatedRankBound(t *testing.T) {
+	for _, n := range []int{1, 50, 128, 129, 10000, 60000} {
+		s := NewSet()
+		r := &rng{s: uint64(n)}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.float64() * 1000
+			s.Add(vals[i])
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+			res, err := s.Answer(Query{Kind: KindQuantile, Arg: q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			target := q * float64(n-1)
+			lo, hi := rankSpan(sorted, res.Value)
+			if target >= float64(hi)+1+res.Bound || target < float64(lo)-res.Bound {
+				t.Errorf("n=%d q=%v: value %v spans ranks [%d,%d], target %v, bound %v",
+					n, q, res.Value, lo, hi, target, res.Bound)
+			}
+			if res.Lo > res.Value || res.Hi < res.Value {
+				t.Errorf("n=%d q=%v: interval [%v,%v] excludes value %v", n, q, res.Lo, res.Hi, res.Value)
+			}
+		}
+		// Small streams never compact: the answer must be exact.
+		if n <= kllCap {
+			res, _ := s.Answer(Query{Kind: KindQuantile, Arg: 0.5})
+			if res.Bound != 0 {
+				t.Errorf("n=%d fits one buffer but bound is %v", n, res.Bound)
+			}
+		}
+	}
+}
+
+func TestTopKWithinBound(t *testing.T) {
+	vals := zipfStream(50000, 500, 3)
+	s := NewSet()
+	truth := make(map[float64]float64)
+	for _, v := range vals {
+		s.Add(v)
+		truth[v]++
+	}
+	res, err := s.Answer(Query{Kind: KindTopK, Arg: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if d := math.Abs(e.Count - truth[e.Value]); d > e.ErrBound {
+			t.Errorf("value %v: estimate %v vs true %v exceeds bound %v", e.Value, e.Count, truth[e.Value], e.ErrBound)
+		}
+	}
+	// The true most-frequent value dominates far past the error bound, so
+	// it must lead the returned list.
+	if res.Entries[0].Value != 0 {
+		t.Errorf("top entry is %v, want 0 (the Zipf mode)", res.Entries[0].Value)
+	}
+}
+
+func TestDeletesWidenButNeverBreakBounds(t *testing.T) {
+	s := NewSet()
+	r := &rng{s: 99}
+	live := make(map[float64]float64)
+	var stream []float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := math.Floor(r.float64() * 200)
+		s.Add(v)
+		live[v]++
+		stream = append(stream, v)
+	}
+	// Delete a third of the stream, some values to extinction.
+	deleted := 0
+	for i := 0; i < n; i += 3 {
+		v := stream[i]
+		if live[v] <= 0 {
+			continue
+		}
+		s.Delete(v)
+		live[v]--
+		if live[v] == 0 {
+			delete(live, v)
+		}
+		deleted++
+	}
+	var liveVals []float64
+	for v, c := range live {
+		for i := 0.0; i < c; i++ {
+			liveVals = append(liveVals, v)
+		}
+	}
+	sort.Float64s(liveVals)
+
+	if res, _ := s.Answer(Query{Kind: KindDistinct}); float64(len(live)) < res.Lo || float64(len(live)) > res.Hi {
+		t.Errorf("distinct after deletes: true %d outside [%v, %v]", len(live), res.Lo, res.Hi)
+	}
+	res, _ := s.Answer(Query{Kind: KindQuantile, Arg: 0.5})
+	if res.N != int64(len(liveVals)) {
+		t.Errorf("N = %d, want %d", res.N, len(liveVals))
+	}
+	target := 0.5 * float64(len(liveVals)-1)
+	lo, hi := rankSpan(liveVals, res.Value)
+	if target >= float64(hi)+1+res.Bound || target < float64(lo)-res.Bound {
+		t.Errorf("median after deletes: value %v spans [%d,%d], target %v, bound %v",
+			res.Value, lo, hi, target, res.Bound)
+	}
+	topk, _ := s.Answer(Query{Kind: KindTopK, Arg: 10})
+	for _, e := range topk.Entries {
+		if d := math.Abs(e.Count - live[e.Value]); d > e.ErrBound {
+			t.Errorf("topk after deletes: value %v estimate %v vs true %v exceeds bound %v",
+				e.Value, e.Count, live[e.Value], e.ErrBound)
+		}
+	}
+}
+
+// TestMergeAlgebraRandomSplits is the merge-algebra property test: the
+// same stream split into random segments and merged in random shapes
+// must agree with the single-sketch twin — HLL byte-identically (its
+// state is multiset-determined), KLL and Misra-Gries at the answer
+// level within each instance's own stated bound.
+func TestMergeAlgebraRandomSplits(t *testing.T) {
+	vals := zipfStream(30000, 300, 11)
+	whole := NewSet()
+	for _, v := range vals {
+		whole.Add(v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+
+	for trial := 0; trial < 8; trial++ {
+		r := &rng{s: uint64(trial) + 1000}
+		// Random split into 2..9 segments.
+		parts := 2 + int(r.next()%8)
+		cuts := map[int]struct{}{0: {}, len(vals): {}}
+		for len(cuts) < parts+1 {
+			cuts[int(r.next()%uint64(len(vals)))] = struct{}{}
+		}
+		var bounds []int
+		for c := range cuts {
+			bounds = append(bounds, c)
+		}
+		sort.Ints(bounds)
+		var sets []*Set
+		for i := 0; i+1 < len(bounds); i++ {
+			s := NewSet()
+			for _, v := range vals[bounds[i]:bounds[i+1]] {
+				s.Add(v)
+			}
+			sets = append(sets, s)
+		}
+		// Merge in a random order (fold pairs until one remains).
+		for len(sets) > 1 {
+			i := int(r.next() % uint64(len(sets)))
+			j := int(r.next() % uint64(len(sets)-1))
+			if j >= i {
+				j++
+			}
+			merged := sets[i].Clone()
+			merged.Merge(sets[j])
+			rest := make([]*Set, 0, len(sets)-1)
+			for idx, s := range sets {
+				if idx != i && idx != j {
+					rest = append(rest, s)
+				}
+			}
+			sets = append(rest, merged)
+		}
+		got := sets[0]
+
+		// HLL: byte-level equality with the unsplit twin.
+		if got.hll.reg != whole.hll.reg || got.hll.deletes != whole.hll.deletes {
+			t.Fatalf("trial %d: merged HLL state differs from the unsplit twin", trial)
+		}
+		// KLL/MG: answers within each instance's stated bound vs exact.
+		for _, q := range []float64{0.1, 0.5, 0.9} {
+			res, _ := got.Answer(Query{Kind: KindQuantile, Arg: q})
+			target := q * float64(len(vals)-1)
+			lo, hi := rankSpan(sorted, res.Value)
+			if target >= float64(hi)+1+res.Bound || target < float64(lo)-res.Bound {
+				t.Errorf("trial %d q=%v: merged quantile %v spans [%d,%d], target %v, bound %v",
+					trial, q, res.Value, lo, hi, target, res.Bound)
+			}
+		}
+		if got.N() != whole.N() {
+			t.Errorf("trial %d: merged N %d vs %d", trial, got.N(), whole.N())
+		}
+		truth := make(map[float64]float64)
+		for _, v := range vals {
+			truth[v]++
+		}
+		topk, _ := got.Answer(Query{Kind: KindTopK, Arg: 3})
+		for _, e := range topk.Entries {
+			if d := math.Abs(e.Count - truth[e.Value]); d > e.ErrBound {
+				t.Errorf("trial %d: merged topk value %v estimate %v vs true %v exceeds bound %v",
+					trial, e.Value, e.Count, truth[e.Value], e.ErrBound)
+			}
+		}
+	}
+}
+
+// TestMergeSymmetric asserts A⊕B and B⊕A serialize byte-identically —
+// the property that keeps the streaming and slice merge paths, and the
+// traced and untraced scatter paths, bitwise-interchangeable.
+func TestMergeSymmetric(t *testing.T) {
+	mk := func(seed uint64, n int) *Set {
+		s := NewSet()
+		r := &rng{s: seed}
+		for i := 0; i < n; i++ {
+			s.Add(math.Floor(r.float64() * 500))
+		}
+		return s
+	}
+	a, b := mk(1, 7000), mk(2, 4321)
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if !bytes.Equal(ab.Encode(), ba.Encode()) {
+		t.Fatal("A.Merge(B) and B.Merge(A) serialize differently")
+	}
+	// Associativity at the byte level for symmetric groupings.
+	c := mk(3, 999)
+	abc := ab.Clone()
+	abc.Merge(c)
+	cba := c.Clone()
+	cba.Merge(ba)
+	if !bytes.Equal(abc.Encode(), cba.Encode()) {
+		t.Fatal("(A⊕B)⊕C and C⊕(B⊕A) serialize differently")
+	}
+}
+
+// TestSameStreamByteDeterminism: replaying the identical insert/delete
+// stream (the WAL warm-start path) must reproduce identical bytes.
+func TestSameStreamByteDeterminism(t *testing.T) {
+	build := func() *Set {
+		s := NewSet()
+		r := &rng{s: 42}
+		for i := 0; i < 9000; i++ {
+			v := math.Floor(r.float64() * 300)
+			s.Add(v)
+			if i%5 == 0 {
+				s.Delete(v)
+			}
+		}
+		return s
+	}
+	if !bytes.Equal(build().Encode(), build().Encode()) {
+		t.Fatal("same stream produced different bytes")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewSet()
+	r := &rng{s: 5}
+	for i := 0; i < 12000; i++ {
+		s.Add(math.Floor(r.float64() * 400))
+	}
+	s.Delete(13)
+	enc := s.Encode()
+	dec, err := DecodeSet(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Encode(), enc) {
+		t.Fatal("decode→encode is not the identity")
+	}
+	for _, q := range []Query{{KindQuantile, 0.5}, {KindDistinct, 0}, {KindTopK, 4}} {
+		a, err1 := s.Answer(q)
+		b, err2 := dec.Answer(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("answer errors: %v / %v", err1, err2)
+		}
+		if a.Value != b.Value || a.Bound != b.Bound || a.N != b.N || len(a.Entries) != len(b.Entries) {
+			t.Fatalf("%v: decoded answer %+v differs from original %+v", q.Kind, b, a)
+		}
+	}
+}
+
+func TestDecodeRejectsTornTails(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 3000; i++ {
+		s.Add(float64(i % 97))
+	}
+	enc := s.Encode()
+	for _, cut := range []int{0, 1, 2, 10, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeSet(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d bytes decoded cleanly", cut)
+		}
+	}
+	// Trailing garbage after a clean encoding is corruption too.
+	if _, err := DecodeSet(append(append([]byte(nil), enc...), 0x07)); err == nil {
+		t.Error("trailing byte decoded cleanly")
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	s := NewSet()
+	s.Add(1)
+	for _, q := range []Query{
+		{KindQuantile, 0}, {KindQuantile, 1}, {KindQuantile, -0.5}, {KindQuantile, math.NaN()},
+		{KindTopK, 0}, {KindTopK, 2.5}, {KindTopK, -1},
+		{Kind(0), 0}, {Kind(99), 0},
+	} {
+		if _, err := s.Answer(q); err == nil {
+			t.Errorf("query %+v accepted", q)
+		}
+	}
+	var nilSet *Set
+	if _, err := nilSet.Answer(Query{Kind: KindDistinct}); err != ErrUnavailable {
+		t.Errorf("nil set answered with err=%v, want ErrUnavailable", err)
+	}
+}

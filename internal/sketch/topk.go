@@ -1,0 +1,146 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// mgCap is the Misra-Gries counter capacity: enough for TOPK(col, k) at
+// any practical k while keeping decrement rounds O(mgCap).
+const mgCap = 64
+
+// MisraGries is a heavy-hitter summary over canonicalized float64
+// values. The classic guarantee — every counter undercounts its value by
+// at most the number of decrement rounds — is tracked directly in
+// errBound, which also absorbs the count offset subtracted by
+// over-capacity merges (the Agarwal et al. mergeable-summaries rule:
+// sum the counter maps, subtract the (cap+1)-th largest count, drop the
+// non-positive). Deletes decrement exactly when the value holds a
+// counter; otherwise they land on an unabsorbed-delete counter that
+// widens the per-entry bound upward. The resulting guarantee per value:
+// |estimate - true| <= errBound + deletes, and any value whose true
+// count exceeds that bound holds a counter.
+type MisraGries struct {
+	counts   map[uint64]uint64 // canonical float64 bits -> estimated count
+	errBound uint64
+	deletes  uint64
+}
+
+// NewMisraGries returns an empty summary.
+func NewMisraGries() *MisraGries {
+	return &MisraGries{counts: make(map[uint64]uint64, mgCap)}
+}
+
+// Add absorbs one canonicalized value.
+func (m *MisraGries) Add(canon uint64) {
+	if c, ok := m.counts[canon]; ok {
+		m.counts[canon] = c + 1
+		return
+	}
+	if len(m.counts) < mgCap {
+		m.counts[canon] = 1
+		return
+	}
+	// Decrement round: every counter and the incoming item each give up
+	// one unit, costing one count of accuracy across the board.
+	for k, c := range m.counts {
+		if c == 1 {
+			delete(m.counts, k)
+		} else {
+			m.counts[k] = c - 1
+		}
+	}
+	m.errBound++
+}
+
+// Delete retracts one value: exactly when it holds a counter, otherwise
+// onto the unabsorbed-delete counter.
+func (m *MisraGries) Delete(canon uint64) {
+	if c, ok := m.counts[canon]; ok {
+		if c == 1 {
+			delete(m.counts, canon)
+		} else {
+			m.counts[canon] = c - 1
+		}
+		return
+	}
+	m.deletes++
+}
+
+// Merge folds o into m: sum the counter maps; if the union exceeds
+// capacity, subtract the (cap+1)-th largest count from every counter,
+// drop the non-positive, and charge the subtracted offset to errBound.
+// Summing commutes and the offset depends only on the summed map, so
+// merge is commutative and serializes symmetrically.
+func (m *MisraGries) Merge(o *MisraGries) {
+	if o == nil {
+		return
+	}
+	for k, c := range o.counts {
+		m.counts[k] += c
+	}
+	m.errBound += o.errBound
+	m.deletes += o.deletes
+	if len(m.counts) <= mgCap {
+		return
+	}
+	all := make([]uint64, 0, len(m.counts))
+	for _, c := range m.counts {
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+	offset := all[mgCap]
+	for k, c := range m.counts {
+		if c <= offset {
+			delete(m.counts, k)
+		} else {
+			m.counts[k] = c - offset
+		}
+	}
+	m.errBound += offset
+}
+
+// Clone deep-copies the summary.
+func (m *MisraGries) Clone() *MisraGries {
+	if m == nil {
+		return nil
+	}
+	c := &MisraGries{
+		counts:   make(map[uint64]uint64, len(m.counts)),
+		errBound: m.errBound,
+		deletes:  m.deletes,
+	}
+	for k, v := range m.counts {
+		c.counts[k] = v
+	}
+	return c
+}
+
+// TopK answers TOPK(col, k): the k largest counters by estimated count
+// (value bits break ties, so the answer is deterministic), each stamped
+// with the symmetric per-entry bound errBound + deletes.
+func (m *MisraGries) TopK(k int) Result {
+	entries := make([]TopKEntry, 0, len(m.counts))
+	bound := float64(m.errBound + m.deletes)
+	for bits, c := range m.counts {
+		entries = append(entries, TopKEntry{
+			Value:    math.Float64frombits(bits),
+			Count:    float64(c),
+			ErrBound: bound,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return math.Float64bits(entries[i].Value) < math.Float64bits(entries[j].Value)
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return Result{Kind: KindTopK, Bound: bound, Entries: entries}
+}
+
+func (m *MisraGries) memoryBytes() int64 {
+	return 64 + 24*int64(len(m.counts))
+}

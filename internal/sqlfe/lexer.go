@@ -9,6 +9,12 @@
 // — and compiles it against a table schema into a rectangular predicate
 // plan the synopsis can execute. Conjunctions only: PASS's query class is
 // rectangular (Section 3.1), so OR is rejected with a clear error.
+//
+// The sketch-aggregate class answers from mergeable sketches over the
+// whole aggregate column, so it takes no WHERE or GROUP BY:
+//
+//	SELECT QUANTILE ( column , q ) | COUNT ( DISTINCT column ) | TOPK ( column , k )
+//	FROM   table
 package sqlfe
 
 import (

@@ -7,11 +7,14 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/sketch"
 )
 
 // Stmt is the parsed form of a supported SELECT statement, before schema
 // resolution.
 type Stmt struct {
+	// Agg is the moment-family aggregate; meaningless when Sketch is
+	// non-nil.
 	Agg dataset.AggKind
 	// AggColumn is the aggregated column name; "*" for COUNT(*).
 	AggColumn string
@@ -20,6 +23,17 @@ type Stmt struct {
 	Conds []Cond
 	// GroupBy is the grouping column, or "" if absent.
 	GroupBy string
+	// Sketch is non-nil for sketch-family aggregates — QUANTILE(col, q),
+	// COUNT(DISTINCT col), TOPK(col, k) — which execute against the
+	// table's mergeable sketches instead of the sample synopsis.
+	Sketch *SketchSpec
+}
+
+// SketchSpec is the parsed shape of a sketch-family aggregate. Arg is the
+// quantile fraction or k; zero for COUNT DISTINCT, which takes none.
+type SketchSpec struct {
+	Kind sketch.Kind
+	Arg  float64
 }
 
 // CondOp is a comparison operator.
@@ -116,26 +130,37 @@ func (p *parser) selectStmt() (*Stmt, error) {
 	}
 	kind, err := dataset.ParseAggKind(fn.text)
 	if err != nil {
-		return nil, fmt.Errorf("sqlfe: %q is not a supported aggregate (SUM/COUNT/AVG/MIN/MAX)", fn.text)
-	}
-	stmt.Agg = kind
-	if err := p.expectSymbol("("); err != nil {
-		return nil, err
-	}
-	arg := p.advance()
-	switch {
-	case arg.kind == tokSymbol && arg.text == "*":
-		if kind != dataset.Count {
-			return nil, fmt.Errorf("sqlfe: %s(*) is not supported; name a column", kind)
+		if err := p.sketchAgg(stmt, fn.text); err != nil {
+			return nil, err
 		}
-		stmt.AggColumn = "*"
-	case arg.kind == tokIdent:
-		stmt.AggColumn = arg.text
-	default:
-		return nil, fmt.Errorf("sqlfe: expected column or * in aggregate, got %q", arg.text)
-	}
-	if err := p.expectSymbol(")"); err != nil {
-		return nil, err
+	} else {
+		stmt.Agg = kind
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		arg := p.advance()
+		switch {
+		case arg.kind == tokSymbol && arg.text == "*":
+			if kind != dataset.Count {
+				return nil, fmt.Errorf("sqlfe: %s(*) is not supported; name a column", kind)
+			}
+			stmt.AggColumn = "*"
+		case arg.kind == tokIdent:
+			// COUNT(DISTINCT col) routes to the distinct sketch; a lone
+			// identifier "distinct" (next token is the closing paren) is
+			// still a plain column reference.
+			if kind == dataset.Count && strings.EqualFold(arg.text, "DISTINCT") && p.cur().kind == tokIdent {
+				stmt.AggColumn = p.advance().text
+				stmt.Sketch = &SketchSpec{Kind: sketch.KindDistinct}
+			} else {
+				stmt.AggColumn = arg.text
+			}
+		default:
+			return nil, fmt.Errorf("sqlfe: expected column or * in aggregate, got %q", arg.text)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
 	}
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
@@ -173,6 +198,46 @@ func (p *parser) selectStmt() (*Stmt, error) {
 		stmt.GroupBy = col.text
 	}
 	return stmt, nil
+}
+
+// sketchAgg parses the two-argument sketch aggregates QUANTILE(col, q)
+// and TOPK(col, k), reached when the function name is not a moment-family
+// aggregate. Argument range checks live in Compile, alongside the other
+// schema-independent plan validation.
+func (p *parser) sketchAgg(stmt *Stmt, fn string) error {
+	var kind sketch.Kind
+	switch {
+	case strings.EqualFold(fn, "QUANTILE"):
+		kind = sketch.KindQuantile
+	case strings.EqualFold(fn, "TOPK"):
+		kind = sketch.KindTopK
+	default:
+		return fmt.Errorf("sqlfe: %q is not a supported aggregate (SUM/COUNT/AVG/MIN/MAX/QUANTILE/TOPK/COUNT DISTINCT)", fn)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	col := p.advance()
+	if col.kind != tokIdent {
+		return fmt.Errorf("sqlfe: expected column in %s, got %q", kind, col.text)
+	}
+	stmt.AggColumn = col.text
+	if err := p.expectSymbol(","); err != nil {
+		return err
+	}
+	arg := p.advance()
+	if arg.kind != tokNumber {
+		return fmt.Errorf("sqlfe: %s needs a numeric second argument, got %q", kind, arg.text)
+	}
+	v, err := strconv.ParseFloat(arg.text, 64)
+	if err != nil {
+		return fmt.Errorf("sqlfe: bad number %q", arg.text)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return err
+	}
+	stmt.Sketch = &SketchSpec{Kind: kind, Arg: v}
+	return nil
 }
 
 func (p *parser) cond() (Cond, error) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/sketch"
 )
 
 // Schema resolves column names for planning: predicate column names in
@@ -51,6 +52,10 @@ type Plan struct {
 	// GroupDict renders group keys back to strings (nil for numeric
 	// grouping columns).
 	GroupDict *dataset.Dict
+	// Sketch is non-nil for sketch-family statements (QUANTILE, COUNT
+	// DISTINCT, TOPK). Such plans execute through the engine's Sketcher
+	// capability; Agg, Rect and the group fields are unused.
+	Sketch *sketch.Query
 }
 
 // Compile resolves a parsed statement against a schema into a Plan,
@@ -66,6 +71,16 @@ func Compile(stmt *Stmt, schema Schema) (*Plan, error) {
 	if stmt.AggColumn != "*" && stmt.AggColumn != schema.AggColumn {
 		return nil, fmt.Errorf("sqlfe: aggregate column %q is not the synopsis's aggregation column %q",
 			stmt.AggColumn, schema.AggColumn)
+	}
+	if stmt.Sketch != nil {
+		if err := checkSketchStmt(len(stmt.Conds) > 0, stmt.GroupBy != "", stmt.Sketch.Kind); err != nil {
+			return nil, err
+		}
+		q := sketch.Query{Kind: stmt.Sketch.Kind, Arg: stmt.Sketch.Arg}
+		if err := validateSketchArg(q); err != nil {
+			return nil, err
+		}
+		return &Plan{GroupDim: -1, Sketch: &q}, nil
 	}
 	dims := len(schema.PredColumns)
 	lo := make([]float64, dims)
@@ -108,6 +123,36 @@ func Compile(stmt *Stmt, schema Schema) (*Plan, error) {
 		// (the synopsis does not store distinct values); leave Groups nil
 	}
 	return p, nil
+}
+
+// checkSketchStmt rejects the clauses sketch statements cannot honor:
+// sketches summarize the whole table, so there is no predicate or
+// per-group state to evaluate against. Shared by Compile and
+// CompileTemplate so both paths fail with the same diagnostics.
+func checkSketchStmt(hasConds, hasGroupBy bool, kind sketch.Kind) error {
+	if hasConds {
+		return fmt.Errorf("sqlfe: %s does not support WHERE — sketches summarize the whole table", kind)
+	}
+	if hasGroupBy {
+		return fmt.Errorf("sqlfe: %s does not support GROUP BY — sketches keep no per-group state", kind)
+	}
+	return nil
+}
+
+// validateSketchArg range-checks a sketch query's argument. Shared by
+// Compile (literal arguments) and Prepared.Bind (bound parameters).
+func validateSketchArg(q sketch.Query) error {
+	switch q.Kind {
+	case sketch.KindQuantile:
+		if !(q.Arg > 0 && q.Arg < 1) {
+			return fmt.Errorf("sqlfe: QUANTILE fraction must be in (0, 1), got %v", q.Arg)
+		}
+	case sketch.KindTopK:
+		if q.Arg < 1 || q.Arg != math.Trunc(q.Arg) {
+			return fmt.Errorf("sqlfe: TOPK k must be a positive integer, got %v", q.Arg)
+		}
+	}
+	return nil
 }
 
 // condBounds converts one condition to an inclusive [lo, hi] interval,

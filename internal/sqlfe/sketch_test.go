@@ -1,0 +1,198 @@
+package sqlfe
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sketch"
+)
+
+func TestParseSketchAggregates(t *testing.T) {
+	cases := []struct {
+		sql  string
+		kind sketch.Kind
+		arg  float64
+		col  string
+	}{
+		{"SELECT QUANTILE(x, 0.5) FROM t", sketch.KindQuantile, 0.5, "x"},
+		{"select quantile(x, .99) from t", sketch.KindQuantile, 0.99, "x"},
+		{"SELECT TOPK(x, 10) FROM t", sketch.KindTopK, 10, "x"},
+		{"SELECT Topk ( x , 3 ) FROM t", sketch.KindTopK, 3, "x"},
+		{"SELECT COUNT(DISTINCT x) FROM t", sketch.KindDistinct, 0, "x"},
+		{"select count(distinct x) from t", sketch.KindDistinct, 0, "x"},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.sql, err)
+		}
+		if stmt.Sketch == nil {
+			t.Fatalf("Parse(%q): no sketch spec", c.sql)
+		}
+		if stmt.Sketch.Kind != c.kind || stmt.Sketch.Arg != c.arg || stmt.AggColumn != c.col {
+			t.Errorf("Parse(%q) = kind %v arg %v col %q, want %v %v %q",
+				c.sql, stmt.Sketch.Kind, stmt.Sketch.Arg, stmt.AggColumn, c.kind, c.arg, c.col)
+		}
+	}
+}
+
+func TestParseCountDistinctAsColumnName(t *testing.T) {
+	// A column literally named "distinct" is still a plain COUNT: the
+	// DISTINCT keyword reading requires a following identifier.
+	stmt, err := Parse("SELECT COUNT(distinct) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Sketch != nil || stmt.AggColumn != "distinct" {
+		t.Errorf("stmt = %+v", stmt)
+	}
+}
+
+func TestParseSketchRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"SELECT QUANTILE(x) FROM t",         // missing argument
+		"SELECT QUANTILE(x 0.5) FROM t",     // missing comma
+		"SELECT QUANTILE(x, 'a') FROM t",    // non-numeric argument
+		"SELECT QUANTILE(*, 0.5) FROM t",    // * is not a column
+		"SELECT TOPK(x, ) FROM t",           // empty argument
+		"SELECT TOPK(x, 5",                  // unclosed
+		"SELECT COUNT(DISTINCT *) FROM t",   // * after DISTINCT
+		"SELECT SUM(DISTINCT x) FROM t",     // DISTINCT only inside COUNT
+		"SELECT MEDIAN(x, 0.5) FROM t",      // unknown function stays unknown
+		"SELECT QUANTILE(x, 0.5, 2) FROM t", // extra argument
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse accepted %q", sql)
+		}
+		if _, err := Normalize(sql); err == nil {
+			t.Errorf("Normalize accepted %q", sql)
+		}
+	}
+}
+
+func TestCompileSketchPlans(t *testing.T) {
+	schema := Schema{Table: "t", PredColumns: []string{"a", "b"}, AggColumn: "x"}
+	for sql, want := range map[string]sketch.Query{
+		"SELECT QUANTILE(x, 0.5) FROM t":  {Kind: sketch.KindQuantile, Arg: 0.5},
+		"SELECT COUNT(DISTINCT x) FROM t": {Kind: sketch.KindDistinct},
+		"SELECT TOPK(x, 7) FROM t":        {Kind: sketch.KindTopK, Arg: 7},
+	} {
+		p, err := ParseAndCompile(sql, schema)
+		if err != nil {
+			t.Fatalf("ParseAndCompile(%q): %v", sql, err)
+		}
+		if p.Sketch == nil || *p.Sketch != want {
+			t.Errorf("plan for %q = %+v, want sketch %+v", sql, p.Sketch, want)
+		}
+		if p.GroupDim != -1 {
+			t.Errorf("plan for %q has GroupDim %d", sql, p.GroupDim)
+		}
+	}
+}
+
+func TestCompileSketchRejections(t *testing.T) {
+	schema := Schema{Table: "t", PredColumns: []string{"a"}, AggColumn: "x"}
+	bad := map[string]string{
+		"SELECT QUANTILE(x, 0.5) FROM t WHERE a = 1":  "WHERE",
+		"SELECT COUNT(DISTINCT x) FROM t WHERE a > 2": "WHERE",
+		"SELECT TOPK(x, 5) FROM t GROUP BY a":         "GROUP BY",
+		"SELECT QUANTILE(x, 0) FROM t":                "(0, 1)",
+		"SELECT QUANTILE(x, 1) FROM t":                "(0, 1)",
+		"SELECT QUANTILE(x, -0.5) FROM t":             "(0, 1)",
+		"SELECT TOPK(x, 0) FROM t":                    "positive integer",
+		"SELECT TOPK(x, 2.5) FROM t":                  "positive integer",
+		"SELECT TOPK(x, -3) FROM t":                   "positive integer",
+		"SELECT QUANTILE(a, 0.5) FROM t":              "aggregation column",
+		"SELECT COUNT(DISTINCT nope) FROM t":          "aggregation column",
+	}
+	for sql, frag := range bad {
+		_, err := ParseAndCompile(sql, schema)
+		if err == nil {
+			t.Errorf("ParseAndCompile accepted %q", sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error for %q = %q, want mention of %q", sql, err, frag)
+		}
+	}
+}
+
+func TestNormalizeSketchTemplates(t *testing.T) {
+	// Different q values share a template (lifted to ?n) ...
+	a := mustNormalize(t, "SELECT QUANTILE(x, 0.5) FROM t")
+	b := mustNormalize(t, "select Quantile ( x , .999 )  from T")
+	if a.Text != b.Text {
+		t.Errorf("quantile templates differ:\n%q\n%q", a.Text, b.Text)
+	}
+	if a.NumParams() != 1 || a.Params()[0].Num != 0.5 || b.Params()[0].Num != 0.999 {
+		t.Errorf("params: %+v / %+v", a.Params(), b.Params())
+	}
+	// ... while different statement shapes never collide.
+	distinctShapes := []string{
+		"SELECT QUANTILE(x, 0.5) FROM t",
+		"SELECT TOPK(x, 5) FROM t",
+		"SELECT COUNT(DISTINCT x) FROM t",
+		"SELECT COUNT(x) FROM t",
+		"SELECT COUNT(distinct) FROM t",
+		"SELECT COUNT(*) FROM t",
+	}
+	texts := map[string]string{}
+	for _, sql := range distinctShapes {
+		tm := mustNormalize(t, sql)
+		if prev, ok := texts[tm.Text]; ok {
+			t.Errorf("collision: %q and %q both normalize to %q", prev, sql, tm.Text)
+		}
+		texts[tm.Text] = sql
+	}
+}
+
+// TestBindMatchesCompileSketch extends the template-correctness twin to
+// the sketch grammar: the prepared path must produce exactly the Plan the
+// direct path produces, and reject exactly what it rejects.
+func TestBindMatchesCompileSketch(t *testing.T) {
+	schema := Schema{Table: "t", PredColumns: []string{"a"}, AggColumn: "x"}
+	for _, sql := range []string{
+		"SELECT QUANTILE(x, 0.25) FROM t",
+		"SELECT TOPK(x, 12) FROM t",
+		"SELECT COUNT(DISTINCT x) FROM t",
+	} {
+		want, err := ParseAndCompile(sql, schema)
+		if err != nil {
+			t.Fatalf("ParseAndCompile(%q): %v", sql, err)
+		}
+		tm := mustNormalize(t, sql)
+		prep, err := CompileTemplate(tm, schema)
+		if err != nil {
+			t.Fatalf("CompileTemplate(%q): %v", sql, err)
+		}
+		got, err := prep.Bind(tm.Params())
+		if err != nil {
+			t.Fatalf("Bind(%q): %v", sql, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("plan mismatch for %q:\n got %+v\nwant %+v", sql, got, want)
+		}
+	}
+	// Re-binding with an out-of-range argument fails at Bind, same as
+	// Compile would with the literal.
+	tm := mustNormalize(t, "SELECT QUANTILE(x, 0.5) FROM t")
+	prep, err := CompileTemplate(tm, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Bind([]Param{NumParam(1.5)}); err == nil {
+		t.Error("Bind accepted quantile fraction 1.5")
+	}
+	tm = mustNormalize(t, "SELECT TOPK(x, 5) FROM t")
+	if prep, err = CompileTemplate(tm, schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Bind([]Param{NumParam(2.5)}); err == nil {
+		t.Error("Bind accepted fractional k")
+	}
+	if _, err := prep.Bind([]Param{NumParam(64)}); err != nil {
+		t.Errorf("Bind rejected k=64: %v", err)
+	}
+}

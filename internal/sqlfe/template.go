@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/dataset"
+	"repro/internal/sketch"
 )
 
 // This file implements statement normalization and prepared statements:
@@ -74,6 +75,16 @@ type tmplStmt struct {
 	aggColumn string
 	conds     []tmplCond
 	groupBy   string
+	sketch    *tmplSketch
+}
+
+// tmplSketch is the parameterized twin of SketchSpec: the numeric
+// argument of QUANTILE/TOPK is lifted to parameter index arg (so q and k
+// do not fragment the plan cache); arg is -1 for COUNT DISTINCT, which
+// takes none.
+type tmplSketch struct {
+	kind sketch.Kind
+	arg  int
 }
 
 // tmplCond is one predicate with its literal(s) replaced by parameter
@@ -168,29 +179,42 @@ func (n *normalizer) run() error {
 	}
 	kind, err := dataset.ParseAggKind(fn.text)
 	if err != nil {
-		return fmt.Errorf("sqlfe: %q is not a supported aggregate (SUM/COUNT/AVG/MIN/MAX)", fn.text)
-	}
-	n.stmt.agg = kind
-	n.emit(strings.ToUpper(fn.text))
-	if err := n.expectSymbol("("); err != nil {
-		return err
-	}
-	arg := n.advance()
-	switch {
-	case arg.kind == tokSymbol && arg.text == "*":
-		if kind != dataset.Count {
-			return fmt.Errorf("sqlfe: %s(*) is not supported; name a column", kind)
+		if err := n.sketchAgg(fn.text); err != nil {
+			return err
 		}
-		n.stmt.aggColumn = "*"
-		n.emit("*")
-	case arg.kind == tokIdent:
-		n.stmt.aggColumn = arg.text
-		n.emit(arg.text)
-	default:
-		return fmt.Errorf("sqlfe: expected column or * in aggregate, got %q", arg.text)
-	}
-	if err := n.expectSymbol(")"); err != nil {
-		return err
+	} else {
+		n.stmt.agg = kind
+		n.emit(strings.ToUpper(fn.text))
+		if err := n.expectSymbol("("); err != nil {
+			return err
+		}
+		arg := n.advance()
+		switch {
+		case arg.kind == tokSymbol && arg.text == "*":
+			if kind != dataset.Count {
+				return fmt.Errorf("sqlfe: %s(*) is not supported; name a column", kind)
+			}
+			n.stmt.aggColumn = "*"
+			n.emit("*")
+		case arg.kind == tokIdent:
+			// mirrors the parser: COUNT(DISTINCT col) is the distinct
+			// sketch; DISTINCT is folded to upper case only here, where
+			// the parser consumes it as a keyword.
+			if kind == dataset.Count && strings.EqualFold(arg.text, "DISTINCT") && n.cur().kind == tokIdent {
+				n.stmt.aggColumn = n.advance().text
+				n.stmt.sketch = &tmplSketch{kind: sketch.KindDistinct, arg: -1}
+				n.emit("DISTINCT")
+				n.emit(n.stmt.aggColumn)
+			} else {
+				n.stmt.aggColumn = arg.text
+				n.emit(arg.text)
+			}
+		default:
+			return fmt.Errorf("sqlfe: expected column or * in aggregate, got %q", arg.text)
+		}
+		if err := n.expectSymbol(")"); err != nil {
+			return err
+		}
 	}
 	if err := n.expectKeyword("FROM"); err != nil {
 		return err
@@ -231,6 +255,50 @@ func (n *normalizer) run() error {
 	if n.cur().kind != tokEOF {
 		return fmt.Errorf("sqlfe: unexpected trailing input %q", n.cur().text)
 	}
+	return nil
+}
+
+// sketchAgg mirrors parser.sketchAgg: QUANTILE(col, q) and TOPK(col, k),
+// with the numeric argument lifted into the parameter vector so every q
+// (or k) shares one template.
+func (n *normalizer) sketchAgg(fn string) error {
+	var kind sketch.Kind
+	switch {
+	case strings.EqualFold(fn, "QUANTILE"):
+		kind = sketch.KindQuantile
+	case strings.EqualFold(fn, "TOPK"):
+		kind = sketch.KindTopK
+	default:
+		return fmt.Errorf("sqlfe: %q is not a supported aggregate (SUM/COUNT/AVG/MIN/MAX/QUANTILE/TOPK/COUNT DISTINCT)", fn)
+	}
+	n.emit(strings.ToUpper(fn))
+	if err := n.expectSymbol("("); err != nil {
+		return err
+	}
+	col := n.advance()
+	if col.kind != tokIdent {
+		return fmt.Errorf("sqlfe: expected column in %s, got %q", kind, col.text)
+	}
+	n.stmt.aggColumn = col.text
+	n.emit(col.text)
+	if err := n.expectSymbol(","); err != nil {
+		return err
+	}
+	arg := n.advance()
+	if arg.kind != tokNumber {
+		return fmt.Errorf("sqlfe: %s needs a numeric second argument, got %q", kind, arg.text)
+	}
+	v, err := strconv.ParseFloat(arg.text, 64)
+	if err != nil {
+		return fmt.Errorf("sqlfe: bad number %q", arg.text)
+	}
+	idx := len(n.params)
+	n.params = append(n.params, Param{Num: v})
+	n.emit("?n")
+	if err := n.expectSymbol(")"); err != nil {
+		return err
+	}
+	n.stmt.sketch = &tmplSketch{kind: kind, arg: idx}
 	return nil
 }
 
@@ -330,6 +398,9 @@ type Prepared struct {
 	groupDim  int
 	groups    []float64
 	groupDict *dataset.Dict
+	// sketch is non-nil for sketch-family statements; Bind then emits a
+	// Plan carrying a sketch.Query instead of a rectangle.
+	sketch *tmplSketch
 	// paramStr[i] reports whether parameter i must be a string.
 	paramStr []bool
 }
@@ -368,6 +439,13 @@ func CompileTemplate(t *Template, schema Schema) (*Prepared, error) {
 	}
 	for i, prm := range t.params {
 		p.paramStr[i] = prm.IsStr
+	}
+	if t.stmt.sketch != nil {
+		if err := checkSketchStmt(len(t.stmt.conds) > 0, t.stmt.groupBy != "", t.stmt.sketch.kind); err != nil {
+			return nil, err
+		}
+		p.sketch = t.stmt.sketch
+		return p, nil
 	}
 	for _, c := range t.stmt.conds {
 		dim, ok := colIndex[c.column]
@@ -419,6 +497,16 @@ func (p *Prepared) Bind(params []Param) (*Plan, error) {
 			}
 			return nil, fmt.Errorf("sqlfe: parameter %d must be %s", i+1, want)
 		}
+	}
+	if p.sketch != nil {
+		q := sketch.Query{Kind: p.sketch.kind}
+		if p.sketch.arg >= 0 {
+			q.Arg = params[p.sketch.arg].Num
+		}
+		if err := validateSketchArg(q); err != nil {
+			return nil, err
+		}
+		return &Plan{GroupDim: -1, Sketch: &q}, nil
 	}
 	lo := make([]float64, p.dims)
 	hi := make([]float64, p.dims)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/sketch"
 )
 
 // AuditConfig tunes the session's accuracy-audit layer. The zero value
@@ -217,6 +218,17 @@ func (t *auditTap) ObserveQuery(table string, kind dataset.AggKind, q dataset.Re
 	t.aud.Observe(table, kind, q, r, t.tbl.Gen())
 }
 
+// ObserveSketch makes the tap a catalog.SketchRecorder: sketch-family
+// answers (QUANTILE, COUNT DISTINCT, TOPK) reach the auditor with the
+// generation stamped by the catalog under the same read lock the query
+// executed under.
+func (t *auditTap) ObserveSketch(table string, q sketch.Query, r sketch.Result, gen uint64) {
+	if next, ok := t.next.(catalog.SketchRecorder); ok {
+		next.ObserveSketch(table, q, r, gen)
+	}
+	t.aud.ObserveSketch(table, q, r, gen)
+}
+
 // auditAttachSource wires a table's retained base rows as the auditor's
 // exact ground truth. The re-execution races live traffic by design:
 // the generation is read on both sides of the exact scan, and any
@@ -246,6 +258,41 @@ func (s *Session) auditAttachSource(tbl *catalog.Table) {
 		}
 		if tbl.Gen() != gen {
 			return 0, 0, audit.ErrStale
+		}
+		return truth, gen, nil
+	})
+	// Sketch answers are audited exactly where that is one cheap pass
+	// over the retained rows: COUNT DISTINCT (hash the column) and the
+	// counts of the TOPK values the answer returned. QUANTILE never
+	// reaches this hook — the auditor label-skips it (exact quantile
+	// truth needs a full sort).
+	s.audit.aud.RegisterSketchSource(tbl.Name(), func(q sketch.Query, values []float64) (audit.SketchTruth, uint64, error) {
+		gen := tbl.Gen()
+		if gen%2 != 0 {
+			return audit.SketchTruth{}, 0, audit.ErrStale
+		}
+		var truth audit.SketchTruth
+		src.mu.Lock()
+		switch q.Kind {
+		case sketch.KindDistinct:
+			seen := make(map[float64]struct{}, 1024)
+			for _, v := range src.data.Agg {
+				seen[v] = struct{}{}
+			}
+			truth.Distinct = float64(len(seen))
+		case sketch.KindTopK:
+			truth.Counts = make([]float64, len(values))
+			for _, v := range src.data.Agg {
+				for i, want := range values {
+					if v == want {
+						truth.Counts[i]++
+					}
+				}
+			}
+		}
+		src.mu.Unlock()
+		if tbl.Gen() != gen {
+			return audit.SketchTruth{}, 0, audit.ErrStale
 		}
 		return truth, gen, nil
 	})
@@ -327,9 +374,12 @@ type AuditReport struct {
 	SampleFraction float64 `json:"sample_fraction"`
 	Confidence     float64 `json:"confidence"`
 	// Dropped counts samples lost to queue overflow, Stale the ones
-	// skipped because ground truth moved mid-audit.
-	Dropped int64 `json:"dropped"`
-	Stale   int64 `json:"stale"`
+	// skipped because ground truth moved mid-audit, SketchSkipped the
+	// sampled sketch answers (QUANTILE) whose exact truth is too
+	// expensive to recompute.
+	Dropped       int64 `json:"dropped"`
+	Stale         int64 `json:"stale"`
+	SketchSkipped int64 `json:"sketch_skipped,omitempty"`
 	// Streams lists every audited stream, sorted by table/agg/degraded.
 	Streams []AuditStream `json:"streams"`
 	// SLO is the current budget verdict (absent without objectives).
@@ -347,12 +397,13 @@ func (s *Session) AuditReport() (AuditReport, bool) {
 		Confidence:     a.Confidence(),
 		Dropped:        a.Dropped(),
 		Stale:          a.Stale(),
+		SketchSkipped:  a.SketchSkipped(),
 		Streams:        []AuditStream{},
 	}
 	for k, st := range a.Stats() {
 		stream := AuditStream{
 			Table:          k.Table,
-			Agg:            k.Kind.String(),
+			Agg:            k.AggLabel(),
 			Degraded:       k.Degraded,
 			Audited:        st.Audited,
 			Covered:        st.Covered,

@@ -248,3 +248,49 @@ func BenchmarkExecAuditOff(b *testing.B) {
 func BenchmarkExecAuditIdle(b *testing.B) {
 	benchExec(b, benchSession(b, 0))
 }
+
+// TestAuditSketchAnswers covers the sketch-family audit path: COUNT
+// DISTINCT and TOPK answers are re-executed exactly against the retained
+// base rows (any hard violation would disprove a sketch guarantee),
+// while QUANTILE answers are skipped under the labeled counter rather
+// than mis-scored.
+func TestAuditSketchAnswers(t *testing.T) {
+	sess := newAuditSession(t, 1)
+	stmts := []string{
+		"SELECT COUNT(DISTINCT v) FROM t",
+		"SELECT TOPK(v, 4) FROM t",
+		"SELECT QUANTILE(v, 0.5) FROM t",
+	}
+	for _, sr := range sess.ExecBatch(stmts) {
+		if sr.Err != nil {
+			t.Fatalf("%s: %v", sr.SQL, sr.Err)
+		}
+		if sr.Result.Sketch == nil {
+			t.Fatalf("%s: no sketch answer", sr.SQL)
+		}
+	}
+	sess.AuditFlush()
+	rep, ok := sess.AuditReport()
+	if !ok {
+		t.Fatal("AuditReport must be available")
+	}
+	byAgg := map[string]AuditStream{}
+	for _, st := range rep.Streams {
+		byAgg[st.Agg] = st
+	}
+	for _, agg := range []string{"COUNT DISTINCT", "TOPK"} {
+		st, found := byAgg[agg]
+		if !found {
+			t.Fatalf("no %s audit stream: %+v", agg, rep.Streams)
+		}
+		if st.Audited != 1 || st.Covered != 1 || st.HardViolations != 0 {
+			t.Fatalf("%s stream mis-scored: %+v", agg, st)
+		}
+	}
+	if _, found := byAgg["QUANTILE"]; found {
+		t.Fatal("QUANTILE must be label-skipped, never scored")
+	}
+	if rep.SketchSkipped != 1 {
+		t.Fatalf("SketchSkipped = %d, want 1", rep.SketchSkipped)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/merge"
 	"repro/internal/obs"
+	"repro/internal/sketch"
 	"repro/internal/sqlfe"
 	"repro/internal/store"
 )
@@ -429,7 +430,7 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 			s.observeQuery(tmplText, table, 0, err, nil)
 			continue
 		}
-		if plan.GroupDim < 0 {
+		if plan.GroupDim < 0 && plan.Sketch == nil {
 			if _, seen := batches[tbl]; !seen {
 				order = append(order, tbl)
 			}
@@ -465,9 +466,11 @@ func (s *Session) ExecBatchCtx(ctx context.Context, stmts []string) []StmtResult
 		}
 	}
 
-	// GROUP BY statements execute individually
+	// GROUP BY and sketch statements execute individually (neither fits
+	// the scalar BatchQuery shape)
 	for i := range stmts {
-		if out[i].Err != nil || plans[i].plan == nil || plans[i].plan.GroupDim < 0 {
+		if out[i].Err != nil || plans[i].plan == nil ||
+			(plans[i].plan.GroupDim < 0 && plans[i].plan.Sketch == nil) {
 			continue
 		}
 		start := time.Now()
@@ -586,6 +589,19 @@ func (s *Session) execPlanCtx(ctx context.Context, tbl *catalog.Table, plan *sql
 		ctx = obs.WithSpan(ctx, es)
 	}
 	n := tbl.Rows()
+	if plan.Sketch != nil {
+		// sketch scatters are not deadline-interruptible mid-merge (the
+		// fold is a fixed-order pass over all shards); admission-check only
+		if err := ctx.Err(); err != nil {
+			return SQLResult{}, err
+		}
+		r, err := tbl.SketchQuery(*plan.Sketch)
+		if err != nil {
+			return SQLResult{}, err
+		}
+		recordSketchSpan(es, r)
+		return SQLResult{Sketch: sketchAnswerFromResult(r)}, nil
+	}
 	if plan.GroupDim < 0 {
 		r, err := tbl.QueryCtx(ctx, plan.Agg, plan.Rect)
 		if err != nil {
@@ -609,6 +625,18 @@ func (s *Session) execPlanCtx(ctx context.Context, tbl *catalog.Table, plan *sql
 	}
 	es.Set("groups", int64(len(res)))
 	return SQLResult{Groups: groupAnswers(res, plan.GroupDict, n)}, nil
+}
+
+// recordSketchSpan attaches a sketch answer's diagnostics to the execute
+// span: the aggregate kind, the stated error bound, and the net row count
+// the merged sketch summarizes.
+func recordSketchSpan(sp *obs.Span, r sketch.Result) {
+	if sp == nil {
+		return
+	}
+	sp.Set("sketch", r.Kind.String())
+	sp.Set("sketch_bound", r.Bound)
+	sp.Set("sketch_rows", r.N)
 }
 
 // recordResultSpan attaches a merged scalar result's diagnostics to the

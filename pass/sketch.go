@@ -1,0 +1,58 @@
+package pass
+
+import (
+	"repro/internal/sketch"
+)
+
+// SketchAnswer is the public answer of a sketch-family SQL aggregate
+// (QUANTILE, COUNT DISTINCT, TOPK). Unlike Answer, whose interval is a
+// confidence interval from sampling theory, a SketchAnswer's [Lo, Hi] is
+// the sketch's guarantee interval: hard for QUANTILE (rank error) and
+// TOPK (count error), 3-sigma for COUNT DISTINCT.
+type SketchAnswer struct {
+	// Kind spells the aggregate the way SQL does: "QUANTILE",
+	// "COUNT DISTINCT", or "TOPK".
+	Kind string
+	// Value is the scalar answer: the quantile value or the distinct-count
+	// estimate. Zero for TOPK, whose answer is Entries.
+	Value float64
+	// Lo and Hi bound the answer per the sketch's guarantee.
+	Lo, Hi float64
+	// Bound is the stated error bound in the aggregate's native units:
+	// rank positions for QUANTILE, interval width for COUNT DISTINCT,
+	// count units for TOPK entries.
+	Bound float64
+	// Entries are the heavy hitters of a TOPK answer, ordered by
+	// estimated count descending (nil for other kinds).
+	Entries []SketchEntry
+	// Rows is the net row count the sketch has absorbed.
+	Rows int64
+}
+
+// SketchEntry is one TOPK heavy hitter: the value, its estimated count,
+// and the symmetric count error bound (|estimate − true| ≤ ErrBound).
+type SketchEntry struct {
+	Value    float64
+	Count    float64
+	ErrBound float64
+}
+
+// sketchAnswerFromResult converts an internal sketch result to the
+// public answer.
+func sketchAnswerFromResult(r sketch.Result) *SketchAnswer {
+	a := &SketchAnswer{
+		Kind:  r.Kind.String(),
+		Value: r.Value,
+		Lo:    r.Lo,
+		Hi:    r.Hi,
+		Bound: r.Bound,
+		Rows:  r.N,
+	}
+	if len(r.Entries) > 0 {
+		a.Entries = make([]SketchEntry, len(r.Entries))
+		for i, e := range r.Entries {
+			a.Entries[i] = SketchEntry{Value: e.Value, Count: e.Count, ErrBound: e.ErrBound}
+		}
+	}
+	return a
+}

@@ -81,6 +81,9 @@ type SQLResult struct {
 	// Groups holds the per-group answers of a GROUP BY query (nil
 	// otherwise).
 	Groups []GroupAnswer
+	// Sketch holds the answer of a sketch-family aggregate — QUANTILE,
+	// COUNT DISTINCT, TOPK — (nil otherwise); Scalar is then unused.
+	Sketch *SketchAnswer
 	// Trace is the execution span tree of an EXPLAIN ANALYZE statement
 	// (nil for plain statements). The answer it annotates is bitwise
 	// identical to the untraced statement's.
@@ -105,6 +108,13 @@ func (s *Synopsis) SQL(query string) (SQLResult, error) {
 	plan, err := s.compileSQL(query)
 	if err != nil {
 		return SQLResult{}, err
+	}
+	if plan.Sketch != nil {
+		r, err := s.inner.SketchQuery(*plan.Sketch)
+		if err != nil {
+			return SQLResult{}, err
+		}
+		return SQLResult{Sketch: sketchAnswerFromResult(r)}, nil
 	}
 	if plan.GroupDim < 0 {
 		r, err := s.inner.Query(plan.Agg, plan.Rect)
